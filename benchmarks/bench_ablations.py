@@ -1,0 +1,53 @@
+"""A1-A3 and F2: ablations of the execution model and workload."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablation_gain_models,
+    run_ablation_timing,
+    run_ablation_vacation,
+    run_poisson_arrivals,
+)
+
+KW = dict(n_trials=8, n_items=8000)
+
+
+def test_a1_timing_models(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_ablation_timing(**KW), rounds=1, iterations=1
+    )
+    archive("ablation_timing", result.render())
+    ideal = result.variant("idealized")
+    gps = result.variant("gps")
+    # Work-conserving sharing strictly reduces measured active fraction;
+    # the idealized model is the conservative bound the paper assumes.
+    assert gps[1] < ideal[1]
+    assert gps[3] <= ideal[3] + 1e-9  # and never increases misses
+
+
+def test_a2_vacation_accounting(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_ablation_vacation(**KW), rounds=1, iterations=1
+    )
+    archive("ablation_vacation", result.render())
+    charged = result.variant("charged (paper)")
+    vacation = result.variant("vacation")
+    assert vacation[1] < charged[1]
+
+
+def test_a3_gain_models(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_ablation_gain_models(**KW), rounds=1, iterations=1
+    )
+    archive("ablation_gains", result.render())
+    assert len(result.rows) >= 3
+
+
+def test_f2_poisson_arrivals(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_poisson_arrivals(**KW), rounds=1, iterations=1
+    )
+    archive("poisson_arrivals", result.render())
+    fixed = result.variant("fixed rate (paper)")
+    poisson = result.variant("Poisson (Section 7)")
+    assert poisson[1] == pytest.approx(fixed[1], rel=0.1)

@@ -1,0 +1,36 @@
+"""Application-substrate benchmarks: mini-BLAST and Aho-Corasick."""
+
+import numpy as np
+
+from repro.apps.blast.seeding import KmerIndex
+from repro.apps.blast.sequence import random_dna
+from repro.apps.blast.trace_gains import measure_gains
+from repro.apps.nids.aho_corasick import AhoCorasick
+from repro.apps.nids.packets import PacketStreamConfig, synth_packets
+
+
+def test_miniblast_gain_measurement(benchmark):
+    trace = benchmark.pedantic(
+        lambda: measure_gains(db_len=60_000, seed=0), rounds=3, iterations=1
+    )
+    assert trace.mean_gains[1] > 1.0
+
+
+def test_kmer_index_build(benchmark):
+    rng = np.random.default_rng(0)
+    query = random_dna(4096, rng)
+    idx = benchmark(lambda: KmerIndex(query, k=11))
+    assert idx.distinct_kmers > 0
+
+
+def test_aho_corasick_scan(benchmark):
+    rng = np.random.default_rng(0)
+    cfg = PacketStreamConfig(n_packets=300)
+    packets = synth_packets(cfg, rng)
+    matcher = AhoCorasick([r.pattern for r in cfg.rules])
+
+    def scan():
+        return sum(matcher.count(p.payload) for p in packets)
+
+    total = benchmark(scan)
+    assert total >= 0

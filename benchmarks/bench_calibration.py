@@ -1,0 +1,42 @@
+"""E4: the Section 6.2 empirical calibration campaign."""
+
+import pytest
+
+from repro.experiments.calibration_exp import run_calibration
+
+
+@pytest.fixture(scope="module")
+def calibration_result():
+    return run_calibration(n_trials=10, n_items=15_000)
+
+
+def test_calibration_campaign(benchmark, archive, calibration_result):
+    result = benchmark.pedantic(
+        lambda: run_calibration(n_trials=10, n_items=15_000),
+        rounds=1,
+        iterations=1,
+    )
+    archive("calibration", result.render())
+    assert result.calibration.passed
+    assert result.monolithic_ok
+
+
+def test_calibration_converges(calibration_result):
+    assert calibration_result.calibration.passed
+
+
+def test_calibrated_b_dominates_optimistic(calibration_result):
+    from repro.apps.blast.pipeline import blast_pipeline
+    from repro.core.enforced_waits import optimistic_b
+
+    b = calibration_result.calibration.b
+    assert (b >= optimistic_b(blast_pipeline())).all()
+    # Paper shape: the post-expander nodes carry the larger multipliers.
+    assert b[1] >= 2.0
+
+
+def test_monolithic_needs_little_inflation(calibration_result):
+    """Paper: b=1, S=1 sufficed; our simulator needs at most a small S."""
+    assert calibration_result.monolithic_b == 1
+    assert calibration_result.monolithic_s <= 1.5
+    assert calibration_result.monolithic_ok

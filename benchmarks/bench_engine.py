@@ -1,0 +1,63 @@
+"""Substrate microbenchmarks: DES engine and simulator throughput."""
+
+import numpy as np
+
+from repro.apps.blast.pipeline import blast_pipeline, calibrated_b
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.core.enforced_waits import EnforcedWaitsProblem
+from repro.core.model import RealTimeProblem
+from repro.des.engine import Engine
+from repro.sim.enforced import EnforcedWaitsSimulator
+from repro.sim.monolithic import MonolithicSimulator
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-fire cost of 10k chained events."""
+
+    def run():
+        eng = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                eng.schedule_after(1.0, tick)
+
+        eng.schedule(0.0, tick)
+        eng.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_enforced_simulator_throughput(benchmark):
+    """Full BLAST enforced-waits run, 20k items."""
+    blast = blast_pipeline()
+    sol = EnforcedWaitsProblem(
+        RealTimeProblem(blast, 20.0, 2e5), calibrated_b()
+    ).solve()
+
+    def run():
+        return EnforcedWaitsSimulator(
+            blast,
+            sol.waits,
+            FixedRateArrivals(20.0),
+            2e5,
+            20_000,
+            seed=0,
+        ).run()
+
+    metrics = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert metrics.outputs > 0
+
+
+def test_monolithic_simulator_throughput(benchmark):
+    blast = blast_pipeline()
+
+    def run():
+        return MonolithicSimulator(
+            blast, 2000, FixedRateArrivals(20.0), 2e5, 20_000, seed=0
+        ).run()
+
+    metrics = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert metrics.outputs > 0

@@ -1,0 +1,102 @@
+"""A4-A6 extension experiments and the Pareto frontier."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (
+    run_adaptive_policies,
+    run_gain_sensitivity,
+    run_phase_offsets,
+)
+
+KW = dict(n_trials=8, n_items=8000)
+
+
+def test_a4_adaptive_policies(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_adaptive_policies(**KW), rounds=1, iterations=1
+    )
+    archive("adaptive_policies", result.render())
+    fixed_mr = result.variant("fixed")[3]
+    assert result.variant("full-vector")[3] <= fixed_mr + 1e-12
+    assert result.variant("slack")[3] <= fixed_mr + 1e-12
+
+
+def test_a5_phase_offsets(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_phase_offsets(**KW), rounds=1, iterations=1
+    )
+    archive("phase_offsets", result.render())
+    base = result.variant("zero phases (default)")
+    aligned = result.variant("chain-aligned phases")
+    assert aligned[1] == pytest.approx(base[1], rel=0.05)
+
+
+def test_a6_gain_sensitivity(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_gain_sensitivity(n_trials=10, n_items=12_000),
+        rounds=1,
+        iterations=1,
+    )
+    archive("gain_sensitivity", result.render())
+    assert np.isfinite(result.degradation("enforced"))
+    assert np.isfinite(result.degradation("monolithic"))
+
+
+def test_s1_bursty_stress(benchmark, archive):
+    from repro.experiments.stress import run_bursty_stress
+
+    result = benchmark.pedantic(
+        lambda: run_bursty_stress(n_trials=8, n_items=12_000),
+        rounds=1,
+        iterations=1,
+    )
+    archive("bursty_stress", result.render())
+    assert result.required_s(0.0) == 1.0
+    assert result.required_s(0.6) >= 1.0
+
+
+def test_w1_width_sweep(benchmark, archive):
+    from repro.experiments.width_sweep import run_width_sweep
+
+    result = benchmark(run_width_sweep)
+    archive("width_sweep", result.render())
+    # Wider devices monotonically help wherever feasible.
+    afs = [e for _w, e, _m, _te, _tm in result.rows if not np.isnan(e)]
+    assert all(a >= b - 1e-12 for a, b in zip(afs, afs[1:]))
+
+
+def test_pareto_frontier(benchmark, archive):
+    from repro.apps.blast.pipeline import blast_pipeline
+    from repro.core.pareto import deadline_frontier
+    from repro.utils.tables import render_table
+
+    blast = blast_pipeline()
+    b = np.asarray([1.0, 3.0, 9.0, 6.0])
+
+    def build():
+        return deadline_frontier(
+            blast, 30.0, np.geomspace(2e4, 3.5e5, 10), b_enforced=b
+        )
+
+    frontier = benchmark(build)
+    rows = [
+        (
+            float(d),
+            float(frontier.enforced_af[j]),
+            float(frontier.monolithic_af[j]),
+        )
+        for j, d in enumerate(frontier.deadlines)
+    ]
+    archive(
+        "pareto_frontier",
+        render_table(
+            ["deadline", "enforced AF", "monolithic AF"],
+            rows,
+            title=(
+                "deadline/utilization frontier at tau0=30 "
+                f"(crossover at D={frontier.crossover_deadline():.3g})"
+            ),
+        ),
+    )
+    assert np.isfinite(frontier.crossover_deadline())

@@ -1,0 +1,34 @@
+"""E5: regenerate Figure 3 — active-fraction surfaces over (tau0, D)."""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3(n_tau0=10, n_deadline=8)
+
+
+def test_fig3_sweep(benchmark, archive, fig3_result):
+    result = benchmark.pedantic(
+        lambda: run_fig3(n_tau0=10, n_deadline=8), rounds=1, iterations=1
+    )
+    archive("fig3", result.render())
+    # Section 6.3's complementary-sensitivity shape, asserted inline so a
+    # --benchmark-only run still gates the paper claim.
+    s = result.sensitivities
+    assert s.monolithic_tau0_sensitivity > s.monolithic_deadline_sensitivity
+    assert s.monolithic_tau0_sensitivity > s.enforced_tau0_sensitivity
+    assert s.enforced_deadline_sensitivity > 0.2
+
+
+def test_fig3_shape_enforced_tracks_deadline(fig3_result):
+    s = fig3_result.sensitivities
+    assert s.enforced_deadline_sensitivity > 0.2
+
+
+def test_fig3_shape_monolithic_tracks_tau0(fig3_result):
+    s = fig3_result.sensitivities
+    assert s.monolithic_tau0_sensitivity > s.monolithic_deadline_sensitivity
+    assert s.monolithic_tau0_sensitivity > s.enforced_tau0_sensitivity

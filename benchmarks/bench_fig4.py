@@ -1,0 +1,38 @@
+"""E6: regenerate Figure 4 — the strategy-difference surface."""
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_fig4(n_tau0=10, n_deadline=8)
+
+
+def test_fig4_difference_surface(benchmark, archive, fig4_result):
+    result = benchmark.pedantic(
+        lambda: run_fig4(n_tau0=10, n_deadline=8), rounds=1, iterations=1
+    )
+    archive("fig4", result.render())
+    # Paper's dominance claims, gated inline for --benchmark-only runs.
+    assert result.corner_margin_fast_slack >= 0.4
+    assert result.corner_margin_slow_tight <= -0.3
+    assert result.regions.enforced_wins.any()
+    assert result.regions.monolithic_wins.any()
+
+
+def test_fig4_enforced_wins_fast_slack_by_04(fig4_result):
+    """Paper: margin >= 0.4 at fast arrivals with deadline slack."""
+    assert fig4_result.corner_margin_fast_slack >= 0.4
+
+
+def test_fig4_monolithic_wins_slow_tight(fig4_result):
+    """Paper: monolithic dominates 'by a similar amount' opposite corner."""
+    assert fig4_result.corner_margin_slow_tight <= -0.3
+
+
+def test_fig4_both_regions_nonempty(fig4_result):
+    regions = fig4_result.regions
+    assert regions.enforced_wins.any()
+    assert regions.monolithic_wins.any()

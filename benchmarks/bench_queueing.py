@@ -1,0 +1,126 @@
+"""F1: a-priori queueing-theory estimates of the b multipliers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.queueing_exp import run_queueing_b
+
+
+@pytest.fixture(scope="module")
+def queueing_result():
+    return run_queueing_b()
+
+
+def test_f1_queueing_b(benchmark, archive, queueing_result):
+    result = benchmark.pedantic(run_queueing_b, rounds=1, iterations=1)
+    archive("queueing_b", result.render())
+    assert np.isfinite(result.b_estimated_stable).all()
+    assert np.isinf(result.b_estimated_critical).any()
+
+
+def test_stable_regime_estimates_near_paper(queueing_result):
+    est = queueing_result.b_estimated_stable
+    paper = queueing_result.b_paper
+    assert np.isfinite(est).all()
+    # Nodes 0-2 land on the paper's calibrated values.
+    assert est[0] == paper[0]
+    assert abs(est[1] - paper[1]) <= 1
+    assert abs(est[2] - paper[2]) <= 2
+
+
+def test_critical_regime_degenerates(queueing_result):
+    assert np.isinf(queueing_result.b_estimated_critical).any()
+
+
+def test_f1c_monolithic_latency_prediction(benchmark, archive):
+    """Closed-form monolithic latency model vs simulation (F1c)."""
+    from repro.apps.blast.pipeline import blast_pipeline
+    from repro.arrivals.fixed import FixedRateArrivals
+    from repro.core.model import RealTimeProblem
+    from repro.core.monolithic import solve_monolithic
+    from repro.queueing.monolithic_latency import predict_monolithic_latency
+    from repro.sim.monolithic import MonolithicSimulator
+    from repro.utils.tables import render_table
+
+    blast = blast_pipeline()
+    tau0, deadline = 30.0, 2.0e5
+    sol = solve_monolithic(RealTimeProblem(blast, tau0, deadline))
+    pred = benchmark(
+        lambda: predict_monolithic_latency(blast, sol.block_size, tau0)
+    )
+    metrics = MonolithicSimulator(
+        blast,
+        sol.block_size,
+        FixedRateArrivals(tau0),
+        deadline,
+        12 * sol.block_size,
+        seed=4,
+        keep_latency_samples=True,
+    ).run()
+    ledger = metrics.extra["ledger"]
+    rows = [
+        ("mean", pred.mean_latency, metrics.mean_latency),
+        ("p50", pred.quantile(0.5), ledger.latency.quantile(0.5)),
+        ("p99", pred.quantile(0.99), ledger.latency.quantile(0.99)),
+    ]
+    archive(
+        "monolithic_latency",
+        render_table(
+            ["statistic", "predicted", "measured"],
+            rows,
+            title=(
+                f"F1c: monolithic latency model at tau0={tau0}, "
+                f"M={sol.block_size}"
+            ),
+        ),
+    )
+    assert pred.mean_latency == pytest.approx(
+        metrics.mean_latency, rel=0.02
+    )
+
+
+def test_f1b_latency_prediction(benchmark, archive):
+    """A-priori latency quantiles vs simulated latencies (F1b)."""
+    from repro.apps.blast.pipeline import blast_pipeline, calibrated_b
+    from repro.arrivals.fixed import FixedRateArrivals
+    from repro.core.enforced_waits import EnforcedWaitsProblem
+    from repro.core.model import RealTimeProblem
+    from repro.queueing.latency import predict_latency
+    from repro.sim.enforced import EnforcedWaitsSimulator
+    from repro.utils.tables import render_table
+
+    blast = blast_pipeline()
+    tau0, deadline = 100.0, 5.0e4
+    sol = EnforcedWaitsProblem(
+        RealTimeProblem(blast, tau0, deadline), calibrated_b()
+    ).solve()
+    pred = benchmark(lambda: predict_latency(blast, sol.periods, tau0))
+    metrics = EnforcedWaitsSimulator(
+        blast,
+        sol.waits,
+        FixedRateArrivals(tau0),
+        deadline,
+        30_000,
+        seed=2,
+        keep_latency_samples=True,
+    ).run()
+    ledger = metrics.extra["ledger"]
+    rows = [
+        ("mean", pred.mean, metrics.mean_latency),
+        ("p50", pred.quantile(0.5), ledger.latency.quantile(0.5)),
+        ("p99", pred.quantile(0.99), ledger.latency.quantile(0.99)),
+        ("max / p999", pred.quantile(0.999), metrics.max_latency),
+    ]
+    archive(
+        "latency_prediction",
+        render_table(
+            ["statistic", "predicted (queueing)", "measured (simulator)"],
+            rows,
+            title=(
+                f"F1b: a-priori latency prediction at tau0={tau0}, "
+                f"D={deadline:.3g}"
+            ),
+        ),
+    )
+    assert pred.mean == pytest.approx(metrics.mean_latency, rel=0.15)
+    assert pred.miss_probability(deadline) < 1e-3 and metrics.miss_rate == 0

@@ -1,0 +1,100 @@
+"""E2/E3: the Figure 1 and Figure 2 optimizations themselves.
+
+The paper used AMPL + BONMIN; these benches time our replacement solvers
+and verify cross-solver agreement at representative operating points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast.pipeline import blast_pipeline, calibrated_b
+from repro.core.enforced_waits import EnforcedWaitsProblem
+from repro.core.model import RealTimeProblem
+from repro.core.monolithic import MonolithicProblem
+from repro.utils.tables import render_table
+
+POINTS = [(10.0, 3.5e5), (50.0, 2.0e5), (100.0, 5.0e4)]
+
+
+@pytest.fixture(scope="module")
+def blast():
+    return blast_pipeline()
+
+
+@pytest.mark.parametrize("tau0,deadline", POINTS)
+def test_enforced_waits_auto(benchmark, blast, tau0, deadline):
+    problem = RealTimeProblem(blast, tau0, deadline)
+    b = calibrated_b()
+    sol = benchmark(lambda: EnforcedWaitsProblem(problem, b).solve("auto"))
+    assert sol.feasible
+
+
+@pytest.mark.parametrize("tau0,deadline", [(10.0, 3.5e5)])
+def test_enforced_waits_interior(benchmark, blast, tau0, deadline):
+    problem = RealTimeProblem(blast, tau0, deadline)
+    b = calibrated_b()
+    sol = benchmark(
+        lambda: EnforcedWaitsProblem(problem, b).solve("interior")
+    )
+    assert sol.feasible
+
+
+@pytest.mark.parametrize("tau0,deadline", [(50.0, 2.0e5)])
+def test_enforced_waits_slsqp_crosscheck(benchmark, blast, tau0, deadline):
+    problem = RealTimeProblem(blast, tau0, deadline)
+    b = calibrated_b()
+    auto = EnforcedWaitsProblem(problem, b).solve("auto")
+    sol = benchmark(lambda: EnforcedWaitsProblem(problem, b).solve("slsqp"))
+    assert sol.active_fraction == pytest.approx(
+        auto.active_fraction, rel=1e-3
+    )
+
+
+@pytest.mark.parametrize("tau0,deadline", POINTS)
+def test_monolithic_exact_scan(benchmark, blast, tau0, deadline):
+    problem = RealTimeProblem(blast, tau0, deadline)
+    sol = benchmark(lambda: MonolithicProblem(problem).solve())
+    assert sol.feasible
+
+
+def test_solver_agreement_table(benchmark, archive, blast):
+    """Archive a cross-solver agreement table over the operating points."""
+
+    def build():
+        rows = []
+        for tau0, deadline in POINTS:
+            problem = RealTimeProblem(blast, tau0, deadline)
+            b = calibrated_b()
+            auto = EnforcedWaitsProblem(problem, b).solve("auto")
+            slsqp = EnforcedWaitsProblem(problem, b).solve("slsqp")
+            mono = MonolithicProblem(problem).solve()
+            rows.append(
+                (
+                    tau0,
+                    deadline,
+                    auto.active_fraction,
+                    slsqp.active_fraction,
+                    auto.method,
+                    mono.active_fraction if mono.feasible else float("nan"),
+                    mono.block_size,
+                )
+            )
+        return rows
+
+    rows = benchmark(build)
+    archive(
+        "solvers",
+        render_table(
+            [
+                "tau0",
+                "D",
+                "enforced AF (ours)",
+                "enforced AF (SLSQP)",
+                "method",
+                "monolithic AF",
+                "M*",
+            ],
+            rows,
+            title="E2/E3: solver outputs at representative points",
+        ),
+    )

@@ -1,0 +1,13 @@
+"""E1: regenerate Table 1 (pipeline properties and derived quantities)."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, archive):
+    result = benchmark(run_table1)
+    archive("table1", result.render())
+    # Shape assertions so the bench doubles as a regression gate.
+    assert result.per_item_cost == 7.874859538450699 or abs(
+        result.per_item_cost - 7.875
+    ) < 0.01
+    assert result.min_tau0_enforced < result.min_tau0_monolithic

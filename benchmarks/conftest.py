@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table/figure) or ablation,
+times it with pytest-benchmark, and archives the rendered rows under
+``benchmarks/output/`` so EXPERIMENTS.md can reference the exact text.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale knobs: the benches use fixed moderate sizes so a full run finishes
+in a few minutes; set ``REPRO_SCALE`` to rescale the experiment-driver
+defaults where a bench delegates to :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Write an artifact's rendered text to benchmarks/output/<name>.txt."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _write

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figures 3 and 4 on the BLAST pipeline.
+
+Sweeps the (tau0, D) parameter space of Section 6, printing the two
+active-fraction surfaces (Figure 3), the difference surface and dominance
+regions (Figure 4), and the sensitivity summary of Section 6.3.
+
+Run:  python examples/blast_design_space.py [n_tau0] [n_deadline]
+"""
+
+import sys
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+
+
+def main() -> None:
+    n_tau0 = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    n_deadline = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+
+    fig3 = run_fig3(n_tau0=n_tau0, n_deadline=n_deadline)
+    print(fig3.render())
+    print()
+    print(fig3.render_heatmaps())
+    print()
+
+    fig4 = run_fig4(sweep=fig3.sweep)
+    print(fig4.render())
+    print()
+    print(fig4.render_heatmap())
+    print()
+
+    print("paper-claim checks:")
+    print(
+        f"  enforced wins by >= 0.4 at fast arrivals + slack? "
+        f"{fig4.corner_margin_fast_slack:.3f} "
+        f"({'yes' if fig4.corner_margin_fast_slack >= 0.4 else 'NO'})"
+    )
+    print(
+        f"  monolithic wins at slow arrivals + tight deadline? "
+        f"{fig4.corner_margin_slow_tight:.3f} "
+        f"({'yes' if fig4.corner_margin_slow_tight < 0 else 'NO'})"
+    )
+
+
+if __name__ == "__main__":
+    main()

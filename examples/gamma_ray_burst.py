@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Gamma-ray burst detection under a hard alert deadline.
+
+The paper's introduction motivates bounded-latency streaming with an
+orbiting telescope that "must alert ground-based instruments when it
+detects a gamma-ray burst".  This example:
+
+1. synthesizes a photon stream with injected bursts;
+2. measures the detection pipeline's per-stage gains by actually running
+   energy filtering / pair expansion / coincidence testing;
+3. designs enforced waits meeting an alert deadline;
+4. simulates the pipeline and reports deadline compliance and the
+   achieved processor yield.
+
+Run:  python examples/gamma_ray_burst.py
+"""
+
+import numpy as np
+
+from repro import (
+    EnforcedWaitsSimulator,
+    FixedRateArrivals,
+    RealTimeProblem,
+    solve_enforced_waits,
+    solve_monolithic,
+)
+from repro.apps.gamma import (
+    PhotonStreamConfig,
+    gamma_pipeline,
+    measure_gamma_gains,
+)
+from repro.core.feasibility import min_tau0_enforced
+
+
+def main() -> None:
+    # -- 1-2. Measure the pipeline's irregularity from synthetic physics --
+    config = PhotonStreamConfig(
+        duration=20_000.0, background_rate=0.6, n_bursts=8, burst_photons=50
+    )
+    trace = measure_gamma_gains(config=config, seed=7)
+    print("measured per-stage gains:", np.round(trace.mean_gains, 4))
+    print(
+        f"ground truth: {trace.n_true_burst_photons} burst photons, "
+        f"{trace.n_detected_pairs} coincident pairs detected"
+    )
+    pipeline = gamma_pipeline(trace)
+    print(pipeline.describe())
+    print()
+
+    # -- 3. Real-time design ----------------------------------------------
+    tau0 = 1.5 * min_tau0_enforced(pipeline)  # photon event cadence
+    deadline = 40.0 * float(pipeline.service_times.sum())  # alert budget
+    problem = RealTimeProblem(pipeline, tau0, deadline)
+    b = np.full(pipeline.n_nodes, 4.0)  # conservative worst-case depths
+    sol = solve_enforced_waits(problem, b)
+    mono = solve_monolithic(problem)
+    print(
+        f"operating point: tau0={tau0:.1f} cycles/photon, "
+        f"alert deadline={deadline:.0f} cycles"
+    )
+    print(
+        f"enforced waits: AF={sol.active_fraction:.4f}  "
+        f"waits={np.round(sol.waits, 1)}"
+    )
+    if mono.feasible:
+        print(f"monolithic:     AF={mono.active_fraction:.4f}  M={mono.block_size}")
+    else:
+        print(f"monolithic:     infeasible ({mono.diagnosis})")
+    print()
+
+    # -- 4. Validate in simulation -----------------------------------------
+    metrics = EnforcedWaitsSimulator(
+        pipeline,
+        sol.waits,
+        FixedRateArrivals(tau0),
+        deadline,
+        n_items=20_000,
+        seed=3,
+    ).run()
+    print(
+        f"simulated 20k photons: miss rate={metrics.miss_rate:.4%}, "
+        f"measured AF={metrics.active_fraction:.4f} "
+        f"(predicted {sol.active_fraction:.4f}), "
+        f"worst alert latency={metrics.max_latency:.0f} cycles "
+        f"(deadline {deadline:.0f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

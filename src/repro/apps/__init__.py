@@ -1,0 +1,2 @@
+"""Applications: the paper's BLAST test pipeline and the motivating
+irregular streaming applications from its introduction."""

@@ -1,0 +1,49 @@
+"""The NCBI-BLAST-derived streaming pipeline (Section 6.1).
+
+- :func:`~repro.apps.blast.pipeline.blast_pipeline` — the paper's Table 1
+  pipeline (service times measured on a GTX 2080 in the MERCATOR
+  implementation; we take them as constants, exactly as the paper's own
+  simulation study did).
+- :mod:`~repro.apps.blast.sequence` / :mod:`~repro.apps.blast.seeding` /
+  :mod:`~repro.apps.blast.extension` — a from-scratch mini-BLAST
+  (synthetic DNA, k-mer seeding, ungapped X-drop extension) whose measured
+  per-stage gains provide an independent, genuinely data-driven gain trace
+  (:mod:`~repro.apps.blast.trace_gains`).
+"""
+
+from repro.apps.blast.pipeline import (
+    CALIBRATED_B,
+    EXPANDER_LIMIT,
+    PAPER_GAINS,
+    PAPER_SERVICE_TIMES,
+    VECTOR_WIDTH,
+    blast_pipeline,
+)
+from repro.apps.blast.sequence import mutate, plant_homologies, random_dna
+from repro.apps.blast.seeding import KmerIndex
+from repro.apps.blast.extension import ungapped_extend
+from repro.apps.blast.alignment import BandedAlignment, banded_smith_waterman
+from repro.apps.blast.trace_gains import (
+    BlastGainTrace,
+    measure_gains,
+    empirical_blast_pipeline,
+)
+
+__all__ = [
+    "blast_pipeline",
+    "PAPER_SERVICE_TIMES",
+    "PAPER_GAINS",
+    "CALIBRATED_B",
+    "EXPANDER_LIMIT",
+    "VECTOR_WIDTH",
+    "random_dna",
+    "mutate",
+    "plant_homologies",
+    "KmerIndex",
+    "ungapped_extend",
+    "BandedAlignment",
+    "banded_smith_waterman",
+    "BlastGainTrace",
+    "measure_gains",
+    "empirical_blast_pipeline",
+]

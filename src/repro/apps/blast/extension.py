@@ -1,0 +1,105 @@
+"""Ungapped X-drop seed extension: BLAST's stage 2.
+
+From a seed match, extend left and right accumulating +match/-mismatch
+scores, stopping a direction when the running score drops more than
+``xdrop`` below its running maximum; the extension's score is the sum of
+the two directions' best scores plus the seed itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SpecError
+
+__all__ = ["ExtensionResult", "ungapped_extend"]
+
+
+@dataclass(frozen=True)
+class ExtensionResult:
+    """Outcome of one ungapped extension.
+
+    ``q_start/q_end`` and ``d_start/d_end`` delimit the half-open aligned
+    ranges; ``score`` uses the +match/-mismatch scheme.
+    """
+
+    score: int
+    q_start: int
+    q_end: int
+    d_start: int
+    d_end: int
+
+    @property
+    def length(self) -> int:
+        return self.q_end - self.q_start
+
+
+def _extend_dir(
+    query: np.ndarray,
+    database: np.ndarray,
+    qpos: int,
+    dpos: int,
+    step: int,
+    match: int,
+    mismatch: int,
+    xdrop: int,
+) -> tuple[int, int]:
+    """Best score and extent in one direction; returns (best_score, steps)."""
+    score = 0
+    best = 0
+    best_steps = 0
+    steps = 0
+    q, d = qpos, dpos
+    nq, nd = query.size, database.size
+    while 0 <= q < nq and 0 <= d < nd:
+        score += match if query[q] == database[d] else mismatch
+        steps += 1
+        if score > best:
+            best = score
+            best_steps = steps
+        elif best - score > xdrop:
+            break
+        q += step
+        d += step
+    return best, best_steps
+
+
+def ungapped_extend(
+    query: np.ndarray,
+    database: np.ndarray,
+    qpos: int,
+    dpos: int,
+    k: int,
+    *,
+    match: int = 1,
+    mismatch: int = -2,
+    xdrop: int = 12,
+) -> ExtensionResult:
+    """Extend the exact seed ``query[qpos:qpos+k] == database[dpos:dpos+k]``.
+
+    The seed contributes ``k * match``; left extension starts just before
+    the seed and right extension just after it.
+    """
+    query = np.asarray(query, dtype=np.uint8)
+    database = np.asarray(database, dtype=np.uint8)
+    if k < 1:
+        raise SpecError(f"k must be >= 1, got {k}")
+    if not 0 <= qpos <= query.size - k:
+        raise SpecError(f"qpos {qpos} with k={k} outside query")
+    if not 0 <= dpos <= database.size - k:
+        raise SpecError(f"dpos {dpos} with k={k} outside database")
+    left_score, left_steps = _extend_dir(
+        query, database, qpos - 1, dpos - 1, -1, match, mismatch, xdrop
+    )
+    right_score, right_steps = _extend_dir(
+        query, database, qpos + k, dpos + k, +1, match, mismatch, xdrop
+    )
+    return ExtensionResult(
+        score=k * match + left_score + right_score,
+        q_start=qpos - left_steps,
+        q_end=qpos + k + right_steps,
+        d_start=dpos - left_steps,
+        d_end=dpos + k + right_steps,
+    )

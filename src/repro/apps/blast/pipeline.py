@@ -1,0 +1,80 @@
+"""The paper's Table 1 BLAST pipeline.
+
+| node | t_i (cycles) | g_i    | stochastic model             |
+|------|--------------|--------|------------------------------|
+| 0    | 287          | 0.379  | Bernoulli(g)                 |
+| 1    | 955          | 1.920  | Poisson(g) censored at u=16  |
+| 2    | 402          | 0.0332 | Bernoulli(g)                 |
+| 3    | 2753         | n/a    | pass-through (outputs exit)  |
+
+Vector width v = 128 (the MERCATOR configuration).  Service times were
+measured on an NVidia GTX 2080 on a human-genome vs 64-kb-query
+comparison; as in the paper's own evaluation, they enter our study as
+constants of the simulated device.
+
+The paper's prose attributes the Poisson model to "node 2", but Table 1
+and the description of "stage 1" (expansion factor up to u = 16, gain
+1.92 > 1) identify node 1 as the expander; we follow Table 1.
+
+``CALIBRATED_B = (1, 3, 9, 6)`` is the paper's empirically calibrated
+worst-case multiplier vector for the enforced-waits strategy (Section
+6.2); the monolithic strategy needed no inflation (b = 1, S = 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.gains import BernoulliGain, CensoredPoissonGain
+from repro.dataflow.spec import NodeSpec, PipelineSpec
+
+__all__ = [
+    "PAPER_SERVICE_TIMES",
+    "PAPER_GAINS",
+    "CALIBRATED_B",
+    "EXPANDER_LIMIT",
+    "VECTOR_WIDTH",
+    "blast_pipeline",
+]
+
+#: Table 1 service times, in device cycles.
+PAPER_SERVICE_TIMES: tuple[float, ...] = (287.0, 955.0, 402.0, 2753.0)
+
+#: Table 1 average gains; the final stage's gain does not affect the
+#: optimizations (its outputs leave the pipeline) and is modelled as 1.
+PAPER_GAINS: tuple[float, ...] = (0.379, 1.920, 0.0332, 1.0)
+
+#: The expander's censoring limit u (Section 6.1).
+EXPANDER_LIMIT: int = 16
+
+#: SIMD vector width v of the MERCATOR implementation.
+VECTOR_WIDTH: int = 128
+
+#: Paper-calibrated worst-case multipliers for enforced waits.
+CALIBRATED_B: tuple[float, ...] = (1.0, 3.0, 9.0, 6.0)
+
+_STAGE_NAMES = ("seed_filter", "seed_expand", "extend_filter", "report")
+
+
+def blast_pipeline(
+    *,
+    vector_width: int = VECTOR_WIDTH,
+    expander_limit: int = EXPANDER_LIMIT,
+) -> PipelineSpec:
+    """The Table 1 pipeline with the paper's stochastic gain models."""
+    t = PAPER_SERVICE_TIMES
+    g = PAPER_GAINS
+    nodes = (
+        NodeSpec(_STAGE_NAMES[0], t[0], BernoulliGain(g[0])),
+        NodeSpec(
+            _STAGE_NAMES[1], t[1], CensoredPoissonGain(g[1], expander_limit)
+        ),
+        NodeSpec(_STAGE_NAMES[2], t[2], BernoulliGain(g[2])),
+        NodeSpec(_STAGE_NAMES[3], t[3], BernoulliGain(1.0)),
+    )
+    return PipelineSpec(nodes, vector_width)
+
+
+def calibrated_b() -> np.ndarray:
+    """The paper's calibrated ``b`` vector as an array."""
+    return np.asarray(CALIBRATED_B, dtype=float)

@@ -1,0 +1,106 @@
+"""Synthetic DNA sequences for the mini-BLAST workload.
+
+Sequences are NumPy ``uint8`` arrays of base codes 0..3 (A, C, G, T).
+The generator can plant mutated copies of query fragments into a database
+sequence so that the seeding/extension stages see realistic homologies
+rather than only random-match noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SpecError
+
+__all__ = [
+    "ALPHABET",
+    "random_dna",
+    "to_string",
+    "from_string",
+    "mutate",
+    "plant_homologies",
+]
+
+ALPHABET = "ACGT"
+_CODE = {c: i for i, c in enumerate(ALPHABET)}
+
+
+def random_dna(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random sequence of length ``n`` (codes 0..3)."""
+    if n < 0:
+        raise SpecError(f"sequence length must be >= 0, got {n}")
+    return rng.integers(0, 4, size=n, dtype=np.uint8)
+
+
+def to_string(seq: np.ndarray) -> str:
+    """Decode a code array to an ACGT string."""
+    arr = np.asarray(seq)
+    if arr.size and int(arr.max()) > 3:
+        raise SpecError("sequence codes must be in 0..3")
+    return "".join(ALPHABET[int(c)] for c in arr)
+
+
+def from_string(s: str) -> np.ndarray:
+    """Encode an ACGT string (case-insensitive) to codes."""
+    try:
+        return np.asarray([_CODE[c] for c in s.upper()], dtype=np.uint8)
+    except KeyError as exc:
+        raise SpecError(f"invalid DNA character {exc.args[0]!r}") from exc
+
+
+def mutate(
+    seq: np.ndarray, rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Point-mutate each base independently with probability ``rate``.
+
+    A mutated base is replaced by one of the *other* three bases uniformly
+    (so ``rate`` is the true substitution probability).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise SpecError(f"mutation rate must be in [0, 1], got {rate}")
+    seq = np.asarray(seq, dtype=np.uint8)
+    out = seq.copy()
+    mask = rng.random(seq.size) < rate
+    n_mut = int(mask.sum())
+    if n_mut:
+        # Shift by 1..3 mod 4 guarantees a different base.
+        out[mask] = (out[mask] + rng.integers(1, 4, size=n_mut)) % 4
+    return out
+
+
+def plant_homologies(
+    database: np.ndarray,
+    query: np.ndarray,
+    n_sites: int,
+    rng: np.random.Generator,
+    *,
+    fragment_len: int = 64,
+    mutation_rate: float = 0.05,
+) -> np.ndarray:
+    """Copy mutated query fragments into random database positions.
+
+    Returns a new database array; the original is not modified.  Fragments
+    are drawn uniformly from the query and substituted (with point
+    mutations) at non-wrapping random offsets.
+    """
+    database = np.asarray(database, dtype=np.uint8).copy()
+    query = np.asarray(query, dtype=np.uint8)
+    if fragment_len < 1:
+        raise SpecError(f"fragment_len must be >= 1, got {fragment_len}")
+    if fragment_len > query.size:
+        raise SpecError(
+            f"fragment_len {fragment_len} exceeds query length {query.size}"
+        )
+    if fragment_len > database.size:
+        raise SpecError(
+            f"fragment_len {fragment_len} exceeds database length "
+            f"{database.size}"
+        )
+    for _ in range(n_sites):
+        qstart = int(rng.integers(0, query.size - fragment_len + 1))
+        dstart = int(rng.integers(0, database.size - fragment_len + 1))
+        fragment = mutate(
+            query[qstart : qstart + fragment_len], mutation_rate, rng
+        )
+        database[dstart : dstart + fragment_len] = fragment
+    return database

@@ -1,0 +1,167 @@
+"""Measure per-stage gains by actually running mini-BLAST.
+
+The paper took Table 1's gains from the MERCATOR implementation on a real
+genome comparison.  We cannot rerun that, but we *can* run our from-scratch
+mini-BLAST on synthetic sequences with planted homologies and record, for
+every item entering each stage, how many outputs it produced — yielding
+empirical gain distributions (ablation A3 in DESIGN.md) with the same
+pipeline structure:
+
+- stage 0 (filter): window -> window if it contains any seed;
+- stage 1 (expander): hit window -> its individual seed matches, censored
+  at the paper's limit u;
+- stage 2 (filter): seed match -> passing ungapped extension;
+- stage 3 (report): passing extension -> one report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.blast.extension import ungapped_extend
+from repro.apps.blast.pipeline import (
+    EXPANDER_LIMIT,
+    PAPER_SERVICE_TIMES,
+    VECTOR_WIDTH,
+)
+from repro.apps.blast.seeding import KmerIndex
+from repro.apps.blast.sequence import plant_homologies, random_dna
+from repro.dataflow.gains import EmpiricalGain
+from repro.dataflow.spec import NodeSpec, PipelineSpec
+from repro.errors import SpecError
+
+__all__ = ["BlastGainTrace", "measure_gains", "empirical_blast_pipeline"]
+
+
+@dataclass
+class BlastGainTrace:
+    """Per-item output counts observed at each stage."""
+
+    stage_counts: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    k: int
+    window: int
+    score_threshold: int
+
+    @property
+    def mean_gains(self) -> np.ndarray:
+        """Observed average gain per stage."""
+        return np.asarray(
+            [float(np.mean(c)) if c.size else 0.0 for c in self.stage_counts]
+        )
+
+    def distributions(self) -> list[EmpiricalGain]:
+        """Empirical gain distributions, one per stage with observations."""
+        out = []
+        for i, counts in enumerate(self.stage_counts):
+            if counts.size == 0:
+                raise SpecError(
+                    f"stage {i} saw no items; enlarge the workload"
+                )
+            out.append(EmpiricalGain(counts))
+        return out
+
+
+def measure_gains(
+    *,
+    query_len: int = 2048,
+    db_len: int = 200_000,
+    n_homologies: int = 60,
+    k: int = 10,
+    window: int = 32,
+    score_threshold: int = 24,
+    xdrop: int = 12,
+    expander_limit: int = EXPANDER_LIMIT,
+    mutation_rate: float = 0.05,
+    gapped_threshold: int | None = None,
+    seed: int = 0,
+) -> BlastGainTrace:
+    """Run mini-BLAST over a synthetic comparison and record stage gains.
+
+    The database is tiled into consecutive ``window``-base items (the
+    stream); seeds are found with a ``k``-mer index; extensions are
+    ungapped X-drop with a +1/-2 scheme.
+
+    With ``gapped_threshold`` set, stage 3 performs banded Smith-Waterman
+    around each passing extension's diagonal and reports only alignments
+    scoring at least the threshold (real BLAST's gapped-verification
+    behaviour); by default stage 3 reports every passing extension,
+    matching the paper's "gain N/A" final stage.
+    """
+    rng = np.random.default_rng(seed)
+    query = random_dna(query_len, rng)
+    database = random_dna(db_len, rng)
+    database = plant_homologies(
+        database,
+        query,
+        n_homologies,
+        rng,
+        fragment_len=min(64, query_len),
+        mutation_rate=mutation_rate,
+    )
+    index = KmerIndex(query, k)
+
+    s0: list[int] = []
+    s1: list[int] = []
+    s2: list[int] = []
+    s3: list[int] = []
+    for start in range(0, db_len - window + 1, window):
+        seeds = index.window_seeds(database, start, window)
+        s0.append(1 if seeds else 0)
+        if not seeds:
+            continue
+        kept = seeds[:expander_limit]
+        s1.append(len(kept))
+        for qpos, dpos in kept:
+            ext = ungapped_extend(
+                query, database, qpos, dpos, k, xdrop=xdrop
+            )
+            passed = 1 if ext.score >= score_threshold else 0
+            s2.append(passed)
+            if passed:
+                if gapped_threshold is None:
+                    s3.append(1)
+                else:
+                    from repro.apps.blast.alignment import (
+                        banded_smith_waterman,
+                    )
+
+                    aln = banded_smith_waterman(
+                        query, database, dpos - qpos
+                    )
+                    s3.append(1 if aln.score >= gapped_threshold else 0)
+    return BlastGainTrace(
+        stage_counts=(
+            np.asarray(s0, dtype=np.int64),
+            np.asarray(s1, dtype=np.int64),
+            np.asarray(s2, dtype=np.int64),
+            np.asarray(s3, dtype=np.int64),
+        ),
+        k=k,
+        window=window,
+        score_threshold=score_threshold,
+    )
+
+
+def empirical_blast_pipeline(
+    trace: BlastGainTrace,
+    *,
+    service_times: tuple[float, ...] = PAPER_SERVICE_TIMES,
+    vector_width: int = VECTOR_WIDTH,
+) -> PipelineSpec:
+    """A BLAST pipeline whose gains are the measured distributions.
+
+    Service times stay at the paper's Table 1 values — we have no way to
+    measure GPU cycles, and the optimizations only need the (t_i, gain)
+    pairs.
+    """
+    dists = trace.distributions()
+    names = ("seed_filter", "seed_expand", "extend_filter", "report")
+    if len(service_times) != 4:
+        raise SpecError("expected 4 service times for the BLAST pipeline")
+    nodes = tuple(
+        NodeSpec(names[i], float(service_times[i]), dists[i])
+        for i in range(4)
+    )
+    return PipelineSpec(nodes, vector_width)

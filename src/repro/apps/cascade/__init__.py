@@ -1,0 +1,26 @@
+"""Decision-cascade pipeline (Viola-Jones style, per the paper's intro).
+
+The introduction cites "decision cascades in machine learning
+[Viola-Jones]" as an irregular streaming workload: a chain of
+progressively more expensive classifiers where each stage rejects most of
+its input, so later (costly) stages see a thin, data-dependent trickle —
+exactly the paper's filter-node irregularity.
+"""
+
+from repro.apps.cascade.cascade import (
+    CascadeStage,
+    CascadeGainTrace,
+    cascade_pipeline,
+    default_cascade,
+    measure_cascade_gains,
+    synth_windows,
+)
+
+__all__ = [
+    "CascadeStage",
+    "CascadeGainTrace",
+    "default_cascade",
+    "synth_windows",
+    "measure_cascade_gains",
+    "cascade_pipeline",
+]

@@ -1,0 +1,30 @@
+"""Gamma-ray burst detection pipeline (the paper's motivating application).
+
+The introduction motivates latency-bounded irregular streaming with "an
+orbiting gamma-ray telescope [that] might process a stream of incoming
+photons and must alert ground-based instruments when it detects a
+gamma-ray burst" (citing the APT instrument).  Section 7 names this the
+next validation target.  We model it as a four-stage pipeline structurally
+parallel to BLAST:
+
+- stage 0: energy/quality filter on raw photon events;
+- stage 1: coincidence-candidate expansion — each accepted photon pairs
+  with recent photons nearby in time (irregular fan-out);
+- stage 2: spatial-coincidence filter on candidate pairs;
+- stage 3: burst scoring / alert generation.
+"""
+
+from repro.apps.gamma.photons import PhotonStreamConfig, synth_photon_stream
+from repro.apps.gamma.detector import (
+    GammaGainTrace,
+    gamma_pipeline,
+    measure_gamma_gains,
+)
+
+__all__ = [
+    "PhotonStreamConfig",
+    "synth_photon_stream",
+    "GammaGainTrace",
+    "measure_gamma_gains",
+    "gamma_pipeline",
+]

@@ -1,0 +1,30 @@
+"""Network intrusion detection pipeline (Snort-like, per the paper's intro).
+
+The introduction lists "network intrusion detection [Snort]" among the
+irregular streaming applications with latency constraints.  We model a
+four-stage packet-inspection pipeline:
+
+- stage 0: header prefilter (protocol/port mask) — cheap filter;
+- stage 1: multi-pattern content scan with a from-scratch Aho-Corasick
+  automaton — one packet fans out into up to ``u`` pattern matches;
+- stage 2: rule-predicate evaluation (offset/length checks per match);
+- stage 3: alert formatting/logging.
+"""
+
+from repro.apps.nids.aho_corasick import AhoCorasick
+from repro.apps.nids.packets import PacketStreamConfig, Rule, synth_packets
+from repro.apps.nids.inspector import (
+    NidsGainTrace,
+    measure_nids_gains,
+    nids_pipeline,
+)
+
+__all__ = [
+    "AhoCorasick",
+    "Rule",
+    "PacketStreamConfig",
+    "synth_packets",
+    "NidsGainTrace",
+    "measure_nids_gains",
+    "nids_pipeline",
+]

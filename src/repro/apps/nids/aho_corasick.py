@@ -1,0 +1,118 @@
+"""Aho-Corasick multi-pattern string matching.
+
+A from-scratch implementation of the classic automaton: a trie over the
+pattern set with BFS-computed failure links and output merging.  Matching a
+text of length ``n`` reports every occurrence of every pattern in
+``O(n + matches)`` automaton steps — this is the core of stage 1 of the
+NIDS pipeline (Snort's content scanner is the canonical user).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SpecError
+
+__all__ = ["AhoCorasick"]
+
+
+class AhoCorasick:
+    """Multi-pattern matcher over byte strings.
+
+    >>> ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+    >>> sorted(ac.find(b"ushers"))
+    [(1, 1), (2, 0), (2, 3)]
+
+    Matches are ``(start_index, pattern_index)`` pairs.
+    """
+
+    def __init__(self, patterns: Sequence[bytes]) -> None:
+        if not patterns:
+            raise SpecError("AhoCorasick needs at least one pattern")
+        pats: list[bytes] = []
+        for i, p in enumerate(patterns):
+            if not isinstance(p, (bytes, bytearray)) or len(p) == 0:
+                raise SpecError(
+                    f"pattern {i} must be a non-empty bytes object, got {p!r}"
+                )
+            pats.append(bytes(p))
+        self.patterns: tuple[bytes, ...] = tuple(pats)
+
+        # Trie: nodes as dicts byte -> state; state 0 is the root.
+        self._next: list[dict[int, int]] = [{}]
+        self._fail: list[int] = [0]
+        self._out: list[list[int]] = [[]]
+        for idx, pattern in enumerate(self.patterns):
+            state = 0
+            for byte in pattern:
+                nxt = self._next[state].get(byte)
+                if nxt is None:
+                    self._next.append({})
+                    self._fail.append(0)
+                    self._out.append([])
+                    nxt = len(self._next) - 1
+                    self._next[state][byte] = nxt
+                state = nxt
+            self._out[state].append(idx)
+        self._build_failure_links()
+
+    def _build_failure_links(self) -> None:
+        queue: deque[int] = deque()
+        for state in self._next[0].values():
+            self._fail[state] = 0
+            queue.append(state)
+        while queue:
+            state = queue.popleft()
+            for byte, child in self._next[state].items():
+                queue.append(child)
+                fallback = self._fail[state]
+                while fallback and byte not in self._next[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[child] = self._next[fallback].get(byte, 0)
+                if self._fail[child] == child:
+                    self._fail[child] = 0
+                self._out[child] = self._out[child] + self._out[self._fail[child]]
+
+    @property
+    def n_states(self) -> int:
+        return len(self._next)
+
+    def _step(self, state: int, byte: int) -> int:
+        while state and byte not in self._next[state]:
+            state = self._fail[state]
+        return self._next[state].get(byte, 0)
+
+    def find(self, text: bytes) -> list[tuple[int, int]]:
+        """All matches as ``(start_index, pattern_index)`` pairs."""
+        state = 0
+        matches: list[tuple[int, int]] = []
+        for pos, byte in enumerate(text):
+            state = self._step(state, byte)
+            for pat_idx in self._out[state]:
+                start = pos - len(self.patterns[pat_idx]) + 1
+                matches.append((start, pat_idx))
+        return matches
+
+    def count(self, text: bytes) -> int:
+        """Number of matches (cheaper than materializing them)."""
+        state = 0
+        total = 0
+        for byte in text:
+            state = self._step(state, byte)
+            total += len(self._out[state])
+        return total
+
+    def contains_any(self, text: bytes) -> bool:
+        """Does any pattern occur in ``text``?"""
+        state = 0
+        for byte in text:
+            state = self._step(state, byte)
+            if self._out[state]:
+                return True
+        return False
+
+    @staticmethod
+    def from_strings(patterns: Iterable[str]) -> "AhoCorasick":
+        """Build from UTF-8 strings."""
+        return AhoCorasick([p.encode("utf-8") for p in patterns])

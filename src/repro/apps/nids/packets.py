@@ -1,0 +1,130 @@
+"""Synthetic packet streams and detection rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SpecError
+
+__all__ = ["Rule", "PacketStreamConfig", "synth_packets", "Packet"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A content rule: match ``pattern`` on ``port`` within a payload range.
+
+    ``max_offset`` of None means "anywhere"; otherwise the match must start
+    at or before that byte offset (a common Snort rule option).
+    """
+
+    pattern: bytes
+    port: int
+    max_offset: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise SpecError("rule pattern must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise SpecError(f"invalid port {self.port}")
+        if self.max_offset is not None and self.max_offset < 0:
+            raise SpecError("max_offset must be >= 0")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One synthetic packet: destination port + payload bytes."""
+
+    port: int
+    payload: bytes
+    is_malicious: bool = False
+
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    Rule(b"GET /admin", 80, max_offset=0),
+    Rule(b"/etc/passwd", 80),
+    Rule(b"\x90\x90\x90\x90\x90\x90", 445),
+    Rule(b"USER anonymous", 21, max_offset=4),
+    Rule(b"SELECT * FROM", 3306),
+    Rule(b"xp_cmdshell", 1433),
+    Rule(b"\xde\xad\xbe\xef", 445),
+    Rule(b"wget http", 23),
+)
+
+
+@dataclass(frozen=True)
+class PacketStreamConfig:
+    """Synthetic traffic parameters."""
+
+    n_packets: int = 5000
+    payload_len: int = 256
+    monitored_port_fraction: float = 0.35
+    malicious_fraction: float = 0.02
+    #: Fraction of monitored-port packets carrying a *decoy*: some rule's
+    #: pattern planted on the wrong port (a benign occurrence of a
+    #: suspicious string).  Decoys survive the content scan (stage 1) but
+    #: are rejected by rule evaluation (stage 2), exercising that filter.
+    decoy_fraction: float = 0.06
+    rules: tuple[Rule, ...] = field(default=DEFAULT_RULES)
+
+    def __post_init__(self) -> None:
+        if self.n_packets < 1 or self.payload_len < 8:
+            raise SpecError("need n_packets >= 1 and payload_len >= 8")
+        for name in (
+            "monitored_port_fraction",
+            "malicious_fraction",
+            "decoy_fraction",
+        ):
+            val = getattr(self, name)
+            if not 0.0 <= val <= 1.0:
+                raise SpecError(f"{name} must be in [0,1], got {val}")
+        if not self.rules:
+            raise SpecError("need at least one rule")
+
+
+def synth_packets(
+    config: PacketStreamConfig, rng: np.random.Generator
+) -> list[Packet]:
+    """Generate a packet stream with planted rule-matching payloads.
+
+    Monitored-port packets carry mostly ASCII-ish payloads (so benign
+    accidental substring matches occur at a realistic low rate); a
+    ``malicious_fraction`` of them embed one rule's pattern at a random
+    (or rule-constrained) offset.
+    """
+    monitored_ports = sorted({r.port for r in config.rules})
+    packets: list[Packet] = []
+    for _ in range(config.n_packets):
+        monitored = rng.random() < config.monitored_port_fraction
+        if monitored:
+            port = int(monitored_ports[rng.integers(0, len(monitored_ports))])
+        else:
+            port = int(rng.integers(1024, 65536))
+        payload = bytes(rng.integers(32, 127, size=config.payload_len, dtype=np.uint8))
+        malicious = monitored and rng.random() < config.malicious_fraction
+        if malicious:
+            candidates = [r for r in config.rules if r.port == port]
+            rule = candidates[int(rng.integers(0, len(candidates)))]
+            max_start = config.payload_len - len(rule.pattern)
+            if rule.max_offset is not None:
+                max_start = min(max_start, rule.max_offset)
+            start = int(rng.integers(0, max_start + 1))
+            payload = (
+                payload[:start]
+                + rule.pattern
+                + payload[start + len(rule.pattern) :]
+            )
+        elif monitored and rng.random() < config.decoy_fraction:
+            others = [r for r in config.rules if r.port != port]
+            if others:
+                rule = others[int(rng.integers(0, len(others)))]
+                max_start = config.payload_len - len(rule.pattern)
+                start = int(rng.integers(0, max_start + 1))
+                payload = (
+                    payload[:start]
+                    + rule.pattern
+                    + payload[start + len(rule.pattern) :]
+                )
+        packets.append(Packet(port=port, payload=payload, is_malicious=malicious))
+    return packets

@@ -1,0 +1,22 @@
+"""Input stream (arrival-process) generators.
+
+The paper assumes items arrive at a fixed rate ``rho_0`` (inter-arrival
+time ``tau_0``, Section 2.1).  :class:`FixedRateArrivals` implements that;
+:class:`PoissonArrivals` and :class:`BurstyArrivals` support the future-work
+directions of Section 7 (Poisson generalization, sustained non-average
+behaviour), and :class:`TraceArrivals` replays recorded timestamps.
+"""
+
+from repro.arrivals.base import ArrivalProcess
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.arrivals.poisson import PoissonArrivals
+from repro.arrivals.bursty import BurstyArrivals
+from repro.arrivals.trace import TraceArrivals
+
+__all__ = [
+    "ArrivalProcess",
+    "FixedRateArrivals",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceArrivals",
+]

@@ -1,0 +1,42 @@
+"""Arrival-process interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["ArrivalProcess"]
+
+
+class ArrivalProcess(ABC):
+    """Generates the timestamps at which stream items enter the pipeline."""
+
+    @property
+    @abstractmethod
+    def mean_rate(self) -> float:
+        """Long-run average arrivals per cycle (the paper's ``rho_0``)."""
+
+    @abstractmethod
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Strictly nondecreasing array of ``n`` arrival times starting >= 0."""
+
+    @property
+    def mean_interarrival(self) -> float:
+        """``tau_0 = 1 / rho_0``."""
+        rate = self.mean_rate
+        if rate <= 0:
+            return float("inf")
+        return 1.0 / rate
+
+    def _check_output(self, times: np.ndarray, n: int) -> np.ndarray:
+        """Shared sanity check for concrete generators."""
+        if times.shape != (n,):
+            raise AssertionError(
+                f"{type(self).__name__} produced shape {times.shape}, wanted ({n},)"
+            )
+        if n and (np.diff(times) < 0).any():
+            raise AssertionError(f"{type(self).__name__} produced decreasing times")
+        if n and times[0] < 0:
+            raise AssertionError(f"{type(self).__name__} produced a negative time")
+        return times

@@ -1,0 +1,90 @@
+"""Bursty (two-state modulated) arrivals.
+
+Models the "sustained non-average-case behaviour over longer stretches"
+that Section 5 warns may inflate the worst-case scale parameter ``S``: the
+stream alternates between a *normal* phase with inter-arrival ``tau_normal``
+and a *burst* phase with shorter inter-arrival ``tau_burst``.  Phase
+durations are geometric in item count, giving a Markov-modulated
+deterministic process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.errors import SpecError
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["BurstyArrivals"]
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Two-phase modulated arrivals.
+
+    Parameters
+    ----------
+    tau_normal, tau_burst:
+        Inter-arrival times in the two phases (burst must be faster).
+    burst_fraction:
+        Long-run fraction of items emitted while bursting, in (0, 1).
+    mean_burst_len:
+        Average number of consecutive burst items (>= 1); phase lengths are
+        geometric with this mean.
+    """
+
+    def __init__(
+        self,
+        tau_normal: float,
+        tau_burst: float,
+        *,
+        burst_fraction: float = 0.1,
+        mean_burst_len: float = 20.0,
+    ) -> None:
+        self.tau_normal = check_positive("tau_normal", tau_normal)
+        self.tau_burst = check_positive("tau_burst", tau_burst)
+        if tau_burst >= tau_normal:
+            raise SpecError(
+                f"tau_burst ({tau_burst}) must be < tau_normal ({tau_normal})"
+            )
+        self.burst_fraction = check_in_range(
+            "burst_fraction", burst_fraction, 0.0, 1.0, lo_open=True, hi_open=True
+        )
+        self.mean_burst_len = check_positive("mean_burst_len", mean_burst_len)
+        if mean_burst_len < 1:
+            raise SpecError(f"mean_burst_len must be >= 1, got {mean_burst_len}")
+
+    @property
+    def mean_normal_len(self) -> float:
+        """Average items per normal phase implied by the burst fraction."""
+        f = self.burst_fraction
+        return self.mean_burst_len * (1.0 - f) / f
+
+    @property
+    def mean_rate(self) -> float:
+        f = self.burst_fraction
+        mean_gap = f * self.tau_burst + (1.0 - f) * self.tau_normal
+        return 1.0 / mean_gap
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        gaps = np.empty(n, dtype=float)
+        i = 0
+        bursting = False
+        while i < n:
+            mean_len = self.mean_burst_len if bursting else self.mean_normal_len
+            # Geometric with the given mean, at least one item per phase.
+            length = 1 + rng.geometric(min(1.0, 1.0 / mean_len)) - 1
+            length = max(int(length), 1)
+            tau = self.tau_burst if bursting else self.tau_normal
+            end = min(i + length, n)
+            gaps[i:end] = tau
+            i = end
+            bursting = not bursting
+        return self._check_output(np.cumsum(gaps), n)
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstyArrivals(tau_normal={self.tau_normal!r}, "
+            f"tau_burst={self.tau_burst!r}, "
+            f"burst_fraction={self.burst_fraction!r})"
+        )

@@ -1,0 +1,34 @@
+"""Deterministic fixed-rate arrivals (the paper's model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["FixedRateArrivals"]
+
+
+class FixedRateArrivals(ArrivalProcess):
+    """Items arrive exactly every ``tau0`` cycles, starting at ``offset``.
+
+    This is the paper's Section 2.1 assumption: a polling sensor producing
+    one item per ``tau_0`` cycles.
+    """
+
+    def __init__(self, tau0: float, *, offset: float = 0.0) -> None:
+        self.tau0 = check_positive("tau0", tau0)
+        self.offset = check_nonnegative("offset", offset)
+
+    @property
+    def mean_rate(self) -> float:
+        return 1.0 / self.tau0
+
+    def generate(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Deterministic: the ``rng`` argument is accepted but unused."""
+        times = self.offset + self.tau0 * np.arange(n, dtype=float)
+        return self._check_output(times, n)
+
+    def __repr__(self) -> str:
+        return f"FixedRateArrivals(tau0={self.tau0!r}, offset={self.offset!r})"

@@ -1,0 +1,28 @@
+"""Poisson-process arrivals (Section 7's generalization of fixed rate)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.utils.validation import check_positive
+
+__all__ = ["PoissonArrivals"]
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrival times with mean ``tau0`` (rate ``1/tau0``)."""
+
+    def __init__(self, tau0: float) -> None:
+        self.tau0 = check_positive("tau0", tau0)
+
+    @property
+    def mean_rate(self) -> float:
+        return 1.0 / self.tau0
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        gaps = rng.exponential(self.tau0, size=n)
+        return self._check_output(np.cumsum(gaps), n)
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals(tau0={self.tau0!r})"

@@ -1,0 +1,50 @@
+"""Replay of recorded arrival timestamps."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.errors import SpecError
+
+__all__ = ["TraceArrivals"]
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replays a fixed, nondecreasing sequence of arrival times.
+
+    Useful for driving the simulator with timestamps captured from a real
+    instrument, or for constructing adversarial test inputs.  Requests for
+    more items than the trace holds raise :class:`SpecError`.
+    """
+
+    def __init__(self, times: Sequence[float]) -> None:
+        arr = np.asarray(times, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise SpecError("trace must be a non-empty 1-D sequence of times")
+        if (np.diff(arr) < 0).any():
+            raise SpecError("trace times must be nondecreasing")
+        if arr[0] < 0:
+            raise SpecError("trace times must be >= 0")
+        self._times = arr
+
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    @property
+    def mean_rate(self) -> float:
+        if self._times.size < 2:
+            return float("inf")
+        span = float(self._times[-1] - self._times[0])
+        if span <= 0:
+            return float("inf")
+        return (self._times.size - 1) / span
+
+    def generate(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        if n > self._times.size:
+            raise SpecError(
+                f"trace holds {self._times.size} arrivals, {n} requested"
+            )
+        return self._check_output(self._times[:n].copy(), n)

@@ -1,0 +1,110 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run table1
+    repro-experiments run fig3 fig4 --export out/
+    repro-experiments run-all
+    REPRO_SCALE=0.3 repro-experiments run calibration   # smaller/faster
+
+``--export DIR`` archives each experiment's rendered text under DIR and,
+for sweep-based experiments (fig3/fig4), also the structured data as JSON
+and CSV for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _export_result(exp_id: str, result, out_dir: Path) -> list[Path]:
+    """Write rendered text (always) and structured data (when available)."""
+    from repro.experiments.export import save_json, sweep_to_csv, sweep_to_dict
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    render = getattr(result, "render", None)
+    if callable(render):
+        path = out_dir / f"{exp_id}.txt"
+        path.write_text(render() + "\n")
+        written.append(path)
+    sweep = getattr(result, "sweep", None)
+    if sweep is not None:
+        written.append(
+            save_json(sweep_to_dict(sweep), out_dir / f"{exp_id}.json")
+        )
+        written.append(sweep_to_csv(sweep, out_dir / f"{exp_id}.csv"))
+    return written
+
+
+def _cmd_list() -> int:
+    width = max(len(e) for e in EXPERIMENTS)
+    for exp_id in sorted(EXPERIMENTS):
+        exp = EXPERIMENTS[exp_id]
+        print(f"{exp_id.ljust(width)}  [{exp.paper_artifact}] {exp.title}")
+    return 0
+
+
+def _cmd_run(ids: list[str], export_dir: str | None) -> int:
+    status = 0
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            print(f"error: unknown experiment {exp_id!r}", file=sys.stderr)
+            status = 2
+            continue
+        print(f"== {exp_id} ({EXPERIMENTS[exp_id].paper_artifact}) ==")
+        start = time.perf_counter()
+        result = run_experiment(exp_id)
+        elapsed = time.perf_counter() - start
+        render = getattr(result, "render", None)
+        print(render() if callable(render) else repr(result))
+        if export_dir is not None:
+            written = _export_result(exp_id, result, Path(export_dir))
+            for path in written:
+                print(f"   exported {path}")
+        print(f"-- {exp_id} done in {elapsed:.1f}s --\n")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Enabling Real-Time "
+            "Irregular Data-Flow Pipelines on SIMD Devices' (SRMPDS '21)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run one or more experiments by id")
+    run_p.add_argument("ids", nargs="+", metavar="ID")
+    run_p.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="archive rendered text (and sweep JSON/CSV) under DIR",
+    )
+    all_p = sub.add_parser("run-all", help="run every registered experiment")
+    all_p.add_argument("--export", metavar="DIR", default=None)
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.ids, args.export)
+    if args.command == "run-all":
+        return _cmd_run(sorted(EXPERIMENTS), args.export)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The paper's primary contribution: latency-constrained scheduling of
+irregular SIMD pipelines.
+
+- :class:`~repro.core.model.RealTimeProblem` — pipeline + arrival rate +
+  deadline (the shared problem data of Figures 1 and 2).
+- :mod:`~repro.core.enforced_waits` — the enforced-waits optimization
+  (Figure 1): choose per-node waits ``w_i`` minimizing active fraction.
+- :mod:`~repro.core.monolithic` — the monolithic baseline (Figure 2):
+  choose the block size ``M``.
+- :mod:`~repro.core.feasibility` — feasibility analysis for both.
+- :mod:`~repro.core.predictions` — closed-form limits and bounds.
+- :mod:`~repro.core.calibration` — the empirical worst-case-parameter
+  search of Section 6.2.
+- :mod:`~repro.core.sweep` / :mod:`~repro.core.analysis` — (tau0, D)
+  parameter-space sweeps and the Figure 3/4 comparisons.
+"""
+
+from repro.core.model import RealTimeProblem
+from repro.core.enforced_waits import (
+    EnforcedWaitsProblem,
+    EnforcedWaitsSolution,
+    optimistic_b,
+    solve_enforced_waits,
+)
+from repro.core.monolithic import (
+    MonolithicProblem,
+    MonolithicSolution,
+    solve_monolithic,
+)
+from repro.core.feasibility import (
+    enforced_feasibility,
+    min_deadline_enforced,
+    min_tau0_enforced,
+    min_tau0_monolithic,
+    monolithic_feasible_blocks,
+)
+from repro.core.predictions import (
+    enforced_af_lower_bound,
+    monolithic_af_limit,
+)
+from repro.core.sweep import SweepResult, sweep_strategies
+from repro.core.analysis import (
+    difference_surface,
+    dominance_regions,
+    sensitivity_profile,
+)
+from repro.core.calibration import (
+    CalibrationResult,
+    calibrate_enforced_b,
+    calibrate_monolithic,
+    validate_monolithic_params,
+)
+from repro.core.admission import AdmissionRequest, AdmissionResult, admit, max_copies
+from repro.core.offsets import aligned_offsets
+from repro.core.pareto import DeadlineFrontier, deadline_frontier, min_deadline_for_af
+
+__all__ = [
+    "RealTimeProblem",
+    "EnforcedWaitsProblem",
+    "EnforcedWaitsSolution",
+    "optimistic_b",
+    "solve_enforced_waits",
+    "MonolithicProblem",
+    "MonolithicSolution",
+    "solve_monolithic",
+    "enforced_feasibility",
+    "min_deadline_enforced",
+    "min_tau0_enforced",
+    "min_tau0_monolithic",
+    "monolithic_feasible_blocks",
+    "enforced_af_lower_bound",
+    "monolithic_af_limit",
+    "SweepResult",
+    "sweep_strategies",
+    "difference_surface",
+    "dominance_regions",
+    "sensitivity_profile",
+    "CalibrationResult",
+    "calibrate_enforced_b",
+    "calibrate_monolithic",
+    "validate_monolithic_params",
+    "AdmissionRequest",
+    "AdmissionResult",
+    "admit",
+    "max_copies",
+    "aligned_offsets",
+    "DeadlineFrontier",
+    "deadline_frontier",
+    "min_deadline_for_af",
+]

@@ -1,0 +1,193 @@
+"""Comparative analysis of the two strategies — the data behind Figure 4.
+
+Figure 4 plots the difference between the monolithic and enforced-waits
+active fractions over the (tau0, D) plane; the regions above/below the
+zero plane are where each strategy dominates.  These helpers derive the
+difference surface, dominance regions, and sensitivity profiles from a
+:class:`~repro.core.sweep.SweepResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sweep import SweepResult
+from repro.errors import SpecError
+
+__all__ = [
+    "difference_surface",
+    "DominanceRegions",
+    "dominance_regions",
+    "sensitivity_profile",
+    "SensitivityProfile",
+    "crossover_curve",
+]
+
+
+def difference_surface(
+    sweep: SweepResult, *, infeasible: str = "nan"
+) -> np.ndarray:
+    """``monolithic_af - enforced_af`` over the grid (Figure 4's z-axis).
+
+    Positive entries mean enforced waits win (lower active fraction).
+
+    ``infeasible`` controls how missing strategies are scored:
+
+    - ``"nan"`` — propagate NaN (plot only the doubly-feasible region);
+    - ``"one"`` — score an infeasible strategy as active fraction 1.0
+      (it cannot yield *and* meet deadlines; treating it as a fully busy
+      processor is the natural pessimistic completion and reproduces the
+      paper's reported dominance margins at the edges of the region).
+    """
+    e = sweep.enforced_af.copy()
+    m = sweep.monolithic_af.copy()
+    if infeasible == "one":
+        e = np.where(np.isnan(e), 1.0, e)
+        m = np.where(np.isnan(m), 1.0, m)
+    elif infeasible != "nan":
+        raise SpecError(f"infeasible must be 'nan' or 'one', got {infeasible!r}")
+    return m - e
+
+
+@dataclass(frozen=True)
+class DominanceRegions:
+    """Summary of who wins where on the sweep grid."""
+
+    enforced_wins: np.ndarray
+    monolithic_wins: np.ndarray
+    ties: np.ndarray
+    max_enforced_margin: float
+    max_monolithic_margin: float
+    enforced_win_fraction: float
+
+    def describe(self) -> str:
+        total = self.enforced_wins.size
+        return (
+            f"enforced wins at {int(self.enforced_wins.sum())}/{total} points "
+            f"(max margin {self.max_enforced_margin:.3f}); monolithic wins at "
+            f"{int(self.monolithic_wins.sum())}/{total} "
+            f"(max margin {self.max_monolithic_margin:.3f})"
+        )
+
+
+def dominance_regions(
+    sweep: SweepResult,
+    *,
+    tie_tol: float = 1e-6,
+    infeasible: str = "one",
+) -> DominanceRegions:
+    """Boolean win-masks and dominance margins from a sweep."""
+    diff = difference_surface(sweep, infeasible=infeasible)
+    valid = ~np.isnan(diff)
+    enforced = valid & (diff > tie_tol)
+    monolithic = valid & (diff < -tie_tol)
+    ties = valid & ~enforced & ~monolithic
+    max_e = float(np.nanmax(diff)) if valid.any() else float("nan")
+    max_m = float(-np.nanmin(diff)) if valid.any() else float("nan")
+    frac = float(enforced.sum() / valid.sum()) if valid.any() else float("nan")
+    return DominanceRegions(
+        enforced_wins=enforced,
+        monolithic_wins=monolithic,
+        ties=ties,
+        max_enforced_margin=max_e,
+        max_monolithic_margin=max_m,
+        enforced_win_fraction=frac,
+    )
+
+
+@dataclass(frozen=True)
+class SensitivityProfile:
+    """Quantifies each strategy's sensitivity to tau0 vs D (Section 6.3).
+
+    A sensitivity is the mean absolute log-log slope of the active fraction
+    along one grid axis, restricted to feasible points: near 0 means
+    insensitive, near 1 means inverse proportionality.
+    """
+
+    enforced_tau0_sensitivity: float
+    enforced_deadline_sensitivity: float
+    monolithic_tau0_sensitivity: float
+    monolithic_deadline_sensitivity: float
+
+
+def _loglog_slope(values: np.ndarray, axis_coords: np.ndarray, axis: int) -> float:
+    """Mean |d log AF / d log coord| along ``axis``, ignoring NaN pairs."""
+    logv = np.log(values)
+    logc = np.log(axis_coords)
+    dv = np.diff(logv, axis=axis)
+    dc = np.diff(logc)
+    if axis == 0:
+        slopes = dv / dc[:, None]
+    else:
+        slopes = dv / dc[None, :]
+    good = ~np.isnan(slopes)
+    if not good.any():
+        return float("nan")
+    return float(np.mean(np.abs(slopes[good])))
+
+
+def crossover_curve(
+    sweep: SweepResult, *, infeasible: str = "one"
+) -> np.ndarray:
+    """Per arrival period, the deadline where the strategies break even.
+
+    This is the Figure 4 zero crossing as a 1-D curve: for each ``tau0``
+    row, the smallest deadline at which enforced waits match or beat the
+    monolithic baseline, log-interpolated between grid columns.  Entries
+    are NaN where enforced waits never win on the grid and
+    ``-inf`` where they win at every tested deadline (the paper's
+    fast-arrival rows, where the monolithic strategy is infeasible
+    throughout).
+
+    The paper's characterization — "enforced waits are more effective
+    when the deadline is larger relative to the arrival rate" — predicts
+    a curve increasing in ``tau0``, which
+    ``tests/test_core_sweep_analysis.py`` asserts on the BLAST pipeline.
+    """
+    diff = difference_surface(sweep, infeasible=infeasible)
+    deadlines = sweep.deadline_values
+    nt = sweep.tau0_values.size
+    out = np.full(nt, np.nan)
+    for i in range(nt):
+        row = diff[i]
+        wins = row > 0
+        if not wins.any():
+            continue
+        j = int(np.argmax(wins))  # first winning column
+        if j == 0:
+            out[i] = -np.inf
+            continue
+        # Log-interpolate the zero between columns j-1 and j.
+        d0, d1 = deadlines[j - 1], deadlines[j]
+        y0, y1 = row[j - 1], row[j]
+        if np.isnan(y0) or y1 == y0:
+            out[i] = d1
+        else:
+            frac = (0.0 - y0) / (y1 - y0)
+            out[i] = float(d0 * (d1 / d0) ** frac)
+    return out
+
+
+def sensitivity_profile(sweep: SweepResult) -> SensitivityProfile:
+    """Compute the four sensitivities Figure 3 illustrates qualitatively.
+
+    Expected shape (paper, Section 6.3): the enforced strategy is
+    deadline-sensitive but tau0-insensitive; the monolithic strategy is
+    tau0-sensitive but deadline-insensitive.
+    """
+    return SensitivityProfile(
+        enforced_tau0_sensitivity=_loglog_slope(
+            sweep.enforced_af, sweep.tau0_values, axis=0
+        ),
+        enforced_deadline_sensitivity=_loglog_slope(
+            sweep.enforced_af, sweep.deadline_values, axis=1
+        ),
+        monolithic_tau0_sensitivity=_loglog_slope(
+            sweep.monolithic_af, sweep.tau0_values, axis=0
+        ),
+        monolithic_deadline_sensitivity=_loglog_slope(
+            sweep.monolithic_af, sweep.deadline_values, axis=1
+        ),
+    )

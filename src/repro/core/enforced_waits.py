@@ -1,0 +1,401 @@
+"""The enforced-waits optimization (Figure 1 of the paper).
+
+Decision variables are the waits ``w_i >= 0``; internally we optimize the
+firing periods ``x_i = t_i + w_i``, in which the problem reads::
+
+    minimize    T(x) = (1/N) * sum_i t_i / x_i
+    subject to  x_0 <= v * tau0                      (head rate)
+                g_{i-1} * x_i <= x_{i-1}, 1 <= i < N (chain stability)
+                sum_i b_i * x_i <= D                 (deadline budget)
+                x_i >= t_i                           (waits nonnegative)
+
+The objective is separable convex on ``x > 0`` and all constraints are
+linear, so this is a convex program; we solve it exactly with one of:
+
+- ``waterfill`` — drop the chain rows, solve the box+budget relaxation in
+  closed form (:func:`repro.solvers.kkt.waterfill_box_budget`); if the
+  relaxed optimum happens to satisfy the chain rows it is certified optimal
+  for the full problem.  This is the common fast path at slow arrival
+  rates.
+- ``interior`` — the from-scratch log-barrier Newton method on the full
+  constraint set, used whenever the chain binds (fast arrivals).
+- ``slsqp`` — scipy's SLSQP as an independent cross-check.
+- ``auto`` (default) — waterfill fast path, falling back to interior.
+
+Degenerate cases (deadline exactly at the minimum budget; head cap pinned
+at the minimal period) are resolved exactly by variable pinning before the
+barrier method runs, since barrier methods need a strictly feasible
+interior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.feasibility import enforced_feasibility, minimal_periods
+from repro.core.model import RealTimeProblem
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SolverError, SpecError
+from repro.solvers.interior_point import barrier_solve
+from repro.solvers.kkt import waterfill_box_budget
+from repro.solvers.result import SolverResult, SolverStatus
+
+__all__ = [
+    "optimistic_b",
+    "EnforcedWaitsProblem",
+    "EnforcedWaitsSolution",
+    "solve_enforced_waits",
+]
+
+_TOL = 1e-9
+
+
+def optimistic_b(pipeline: PipelineSpec) -> np.ndarray:
+    """The paper's optimistic starting multipliers ``b_i = ceil(g_i)``.
+
+    Clamped below at 1 (a queue holds at least one vector's worth), which
+    also covers the final node whose gain is irrelevant.
+    """
+    g = pipeline.mean_gains
+    return np.maximum(1.0, np.ceil(g))
+
+
+@dataclass(frozen=True)
+class EnforcedWaitsSolution:
+    """Solution of the Figure 1 problem.
+
+    Attributes
+    ----------
+    feasible:
+        Whether any wait assignment satisfies the constraints.
+    periods:
+        Optimal ``x_i = t_i + w_i`` (empty when infeasible).
+    waits:
+        Optimal ``w_i`` (empty when infeasible).
+    active_fraction:
+        Optimal objective ``(1/N) sum t_i/x_i``; NaN when infeasible.
+    node_utilizations:
+        Per-node ``t_i / x_i`` (each node's own active fraction).
+    binding:
+        Labels of constraints tight at the optimum.
+    method:
+        Which solver produced the result.
+    diagnosis:
+        Infeasibility explanation when not feasible.
+    """
+
+    feasible: bool
+    periods: np.ndarray
+    waits: np.ndarray
+    active_fraction: float
+    node_utilizations: np.ndarray
+    binding: tuple[str, ...] = ()
+    method: str = ""
+    diagnosis: str | None = None
+    solver_result: SolverResult | None = field(default=None, compare=False)
+
+
+class EnforcedWaitsProblem:
+    """The Figure 1 optimization for a concrete problem instance."""
+
+    def __init__(self, problem: RealTimeProblem, b: np.ndarray | None = None) -> None:
+        self.problem = problem
+        pipeline = problem.pipeline
+        if b is None:
+            b = optimistic_b(pipeline)
+        b = np.asarray(b, dtype=float)
+        if b.shape != (pipeline.n_nodes,):
+            raise SpecError(
+                f"b must have length {pipeline.n_nodes}, got shape {b.shape}"
+            )
+        if (b <= 0).any():
+            raise SpecError("all b_i must be > 0")
+        self.b = b
+        self.t = pipeline.service_times
+        self.g = pipeline.mean_gains
+        self.n = pipeline.n_nodes
+        self.head_cap = pipeline.vector_width * problem.tau0
+        self.deadline = problem.deadline
+
+    # -- objective ---------------------------------------------------------
+
+    def active_fraction(self, x: np.ndarray) -> float:
+        """The objective ``(1/N) sum_i t_i / x_i``."""
+        return float(np.mean(self.t / x))
+
+    def _f(self, x: np.ndarray) -> float:
+        if (x <= 0).any():
+            return float("inf")
+        return float(np.sum(self.t / x)) / self.n
+
+    def _grad(self, x: np.ndarray) -> np.ndarray:
+        return -self.t / (self.n * x**2)
+
+    def _hess(self, x: np.ndarray) -> np.ndarray:
+        return np.diag(2.0 * self.t / (self.n * x**3))
+
+    # -- constraint system A x <= c ----------------------------------------
+
+    def constraint_system(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """Full linear system ``A x <= c`` with row labels."""
+        n = self.n
+        rows: list[np.ndarray] = []
+        rhs: list[float] = []
+        labels: list[str] = []
+        r = np.zeros(n)
+        r[0] = 1.0
+        rows.append(r)
+        rhs.append(self.head_cap)
+        labels.append("head_rate")
+        for i in range(1, n):
+            r = np.zeros(n)
+            r[i] = self.g[i - 1]
+            r[i - 1] = -1.0
+            rows.append(r)
+            rhs.append(0.0)
+            labels.append(f"chain_{i - 1}->{i}")
+        rows.append(self.b.copy())
+        rhs.append(self.deadline)
+        labels.append("deadline")
+        for i in range(n):
+            r = np.zeros(n)
+            r[i] = -1.0
+            rows.append(r)
+            rhs.append(-self.t[i])
+            labels.append(f"wait_nonneg_{i}")
+        return np.vstack(rows), np.asarray(rhs), labels
+
+    def chain_satisfied(self, x: np.ndarray, *, rtol: float = 1e-9) -> bool:
+        """Do the chain rows hold at ``x`` (within relative tolerance)?"""
+        for i in range(1, self.n):
+            if self.g[i - 1] * x[i] > x[i - 1] * (1 + rtol):
+                return False
+        return True
+
+    def binding_constraints(self, x: np.ndarray, *, rtol: float = 1e-6) -> tuple[str, ...]:
+        """Labels of constraints tight at ``x``."""
+        A, c, labels = self.constraint_system()
+        lhs = A @ x
+        scale = np.maximum(np.abs(c), 1.0)
+        tight = np.abs(lhs - c) <= rtol * scale
+        return tuple(lab for lab, t in zip(labels, tight) if t)
+
+    # -- solving -----------------------------------------------------------
+
+    def _solution_from_x(
+        self, x: np.ndarray, method: str, result: SolverResult | None
+    ) -> EnforcedWaitsSolution:
+        x = np.maximum(x, self.t)  # snap tiny bound violations
+        return EnforcedWaitsSolution(
+            feasible=True,
+            periods=x,
+            waits=x - self.t,
+            active_fraction=self.active_fraction(x),
+            node_utilizations=self.t / x,
+            binding=self.binding_constraints(x),
+            method=method,
+            solver_result=result,
+        )
+
+    def _infeasible(self, diagnosis: str | None) -> EnforcedWaitsSolution:
+        empty = np.empty(0)
+        return EnforcedWaitsSolution(
+            feasible=False,
+            periods=empty,
+            waits=empty,
+            active_fraction=float("nan"),
+            node_utilizations=empty,
+            method="feasibility",
+            diagnosis=diagnosis,
+        )
+
+    def solve_waterfill_relaxation(self) -> SolverResult:
+        """Exact solution of the problem *without* chain rows."""
+        lo = self.t.astype(float)
+        hi = np.full(self.n, np.inf)
+        hi[0] = self.head_cap
+        return waterfill_box_budget(self.t, self.b, lo, hi, self.deadline)
+
+    def _solve_interior(self) -> EnforcedWaitsSolution:
+        """Pin degenerate variables, then run the barrier method."""
+        n = self.n
+        x_min = minimal_periods(self.problem.pipeline)
+        x_full = x_min.copy()
+
+        # Pin a maximal prefix whose cap equals its minimal period.
+        cap = self.head_cap
+        idx0 = 0
+        while idx0 < n and x_min[idx0] >= cap * (1 - _TOL):
+            x_full[idx0] = min(x_min[idx0], cap)
+            cap = (
+                x_full[idx0] / self.g[idx0]
+                if idx0 + 1 < n and self.g[idx0] > 0
+                else np.inf
+            )
+            idx0 += 1
+        free = list(range(idx0, n))
+        budget_free = self.deadline - float(np.dot(self.b[:idx0], x_full[:idx0]))
+
+        if not free:
+            return self._solution_from_x(x_full, "interior(pinned-all)", None)
+
+        tf = self.t[free]
+        bf = self.b[free]
+        gf = self.g[idx0:n]  # gains of free nodes; gf[k-1] couples free k-1,k
+        x_min_free = x_min[free]
+
+        if float(np.dot(bf, x_min_free)) >= budget_free * (1 - _TOL):
+            # Deadline pinched to the minimum: unique solution.
+            x_full[idx0:] = x_min_free
+            return self._solution_from_x(x_full, "interior(degenerate)", None)
+
+        # Build A z <= c for the free subproblem.
+        k = len(free)
+        rows: list[np.ndarray] = []
+        rhs: list[float] = []
+        if np.isfinite(cap):
+            r = np.zeros(k)
+            r[0] = 1.0
+            rows.append(r)
+            rhs.append(cap)
+        for j in range(1, k):
+            r = np.zeros(k)
+            r[j] = gf[j - 1]
+            r[j - 1] = -1.0
+            rows.append(r)
+            rhs.append(0.0)
+        rows.append(bf.copy())
+        rhs.append(budget_free)
+        for j in range(k):
+            r = np.zeros(k)
+            r[j] = -1.0
+            rows.append(r)
+            rhs.append(-tf[j])
+        A = np.vstack(rows)
+        c = np.asarray(rhs)
+
+        z0 = self._strict_point(x_min_free, tf, gf, cap, bf, budget_free)
+        if z0 is None:
+            # No interior: fall back to the minimal point (feasible, maybe
+            # suboptimal only in measure-zero degenerate geometries).
+            x_full[idx0:] = x_min_free
+            return self._solution_from_x(x_full, "interior(no-interior)", None)
+
+        def f(z: np.ndarray) -> float:
+            if (z <= 0).any():
+                return float("inf")
+            return float(np.sum(tf / z)) / self.n
+
+        def grad(z: np.ndarray) -> np.ndarray:
+            return -tf / (self.n * z**2)
+
+        def hess(z: np.ndarray) -> np.ndarray:
+            return np.diag(2.0 * tf / (self.n * z**3))
+
+        result = barrier_solve(f, grad, hess, A, c, z0)
+        if result.status not in (SolverStatus.OPTIMAL, SolverStatus.MAX_ITER):
+            raise SolverError(
+                f"interior-point solve failed: {result.message}"
+            )
+        x_full[idx0:] = result.x
+        return self._solution_from_x(x_full, "interior", result)
+
+    @staticmethod
+    def _strict_point(
+        x_min_free: np.ndarray,
+        tf: np.ndarray,
+        gf: np.ndarray,
+        cap: float,
+        bf: np.ndarray,
+        budget_free: float,
+    ) -> np.ndarray | None:
+        """A strictly feasible point for the free subproblem, or None."""
+        k = x_min_free.size
+        for delta in (0.5, 0.2, 0.05, 1e-2, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10):
+            z = np.empty(k)
+            z[k - 1] = tf[k - 1] * (1 + delta)
+            for j in range(k - 1, 0, -1):
+                z[j - 1] = max(tf[j - 1], gf[j - 1] * z[j]) * (1 + delta)
+            if np.isfinite(cap) and z[0] >= cap * (1 - 1e-12):
+                continue
+            if float(np.dot(bf, z)) >= budget_free * (1 - 1e-12):
+                continue
+            ok = all(
+                gf[j - 1] * z[j] < z[j - 1] * (1 - 1e-13) for j in range(1, k)
+            )
+            if ok and (z > tf).all():
+                return z
+        return None
+
+    def solve(self, method: str = "auto") -> EnforcedWaitsSolution:
+        """Solve the Figure 1 problem; see module docstring for methods."""
+        feas = enforced_feasibility(self.problem, self.b)
+        if not feas.feasible:
+            return self._infeasible(feas.diagnosis)
+
+        if method in ("auto", "waterfill"):
+            relaxed = self.solve_waterfill_relaxation()
+            if relaxed.status is SolverStatus.OPTIMAL and self.chain_satisfied(
+                relaxed.x
+            ):
+                return self._solution_from_x(relaxed.x, "waterfill", relaxed)
+            if method == "waterfill":
+                raise SolverError(
+                    "waterfill relaxation violates chain constraints; "
+                    "use method='auto' or 'interior'"
+                )
+
+        if method in ("auto", "interior"):
+            return self._solve_interior()
+
+        if method == "slsqp":
+            return self._solve_slsqp()
+
+        raise SpecError(f"unknown method {method!r}")
+
+    def _solve_slsqp(self) -> EnforcedWaitsSolution:
+        """Cross-check solver using scipy's SLSQP."""
+        from scipy.optimize import minimize
+
+        A, c, _ = self.constraint_system()
+        x_min = minimal_periods(self.problem.pipeline)
+        # Start slightly inside the region.
+        x0 = np.minimum(x_min * 1.001, np.maximum(x_min, 1.0) * 1e12)
+        x0[0] = min(x0[0], self.head_cap)
+        cons = [
+            {
+                "type": "ineq",
+                "fun": lambda x, A=A, c=c: c - A @ x,
+                "jac": lambda x, A=A: -A,
+            }
+        ]
+        res = minimize(
+            self._f,
+            x0,
+            jac=self._grad,
+            method="SLSQP",
+            constraints=cons,
+            options={"maxiter": 500, "ftol": 1e-12},
+        )
+        if not res.success:
+            raise SolverError(f"SLSQP failed: {res.message}")
+        solver_result = SolverResult(
+            x=res.x,
+            objective=float(res.fun),
+            status=SolverStatus.OPTIMAL,
+            iterations=int(res.nit),
+            message="slsqp",
+        )
+        return self._solution_from_x(res.x, "slsqp", solver_result)
+
+
+def solve_enforced_waits(
+    problem: RealTimeProblem,
+    b: np.ndarray | None = None,
+    *,
+    method: str = "auto",
+) -> EnforcedWaitsSolution:
+    """Convenience wrapper: build and solve the Figure 1 problem."""
+    return EnforcedWaitsProblem(problem, b).solve(method)

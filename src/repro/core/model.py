@@ -1,0 +1,66 @@
+"""Shared problem data for the two scheduling strategies.
+
+A :class:`RealTimeProblem` couples a pipeline with the stream's fixed
+inter-arrival time ``tau0`` and the per-item deadline ``D`` (Sections 2.1
+and 2.3).  Both optimization problems (Figures 1 and 2) are parameterized
+by exactly this data plus their worst-case multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+from repro.utils.validation import check_positive
+
+__all__ = ["RealTimeProblem"]
+
+
+@dataclass(frozen=True)
+class RealTimeProblem:
+    """A pipeline under a fixed-rate stream with a latency deadline.
+
+    Attributes
+    ----------
+    pipeline:
+        The application pipeline (nodes, gains, SIMD width).
+    tau0:
+        Inter-arrival time of stream items, in cycles (``1/rho_0``).
+    deadline:
+        The latency bound ``D``: every output of an item arriving at ``t``
+        must exit by ``t + D``.
+    """
+
+    pipeline: PipelineSpec
+    tau0: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pipeline, PipelineSpec):
+            raise SpecError(
+                f"pipeline must be a PipelineSpec, got {type(self.pipeline).__name__}"
+            )
+        check_positive("tau0", self.tau0)
+        check_positive("deadline", self.deadline)
+
+    @property
+    def rho0(self) -> float:
+        """Arrival rate (items per cycle)."""
+        return 1.0 / self.tau0
+
+    @property
+    def n_nodes(self) -> int:
+        return self.pipeline.n_nodes
+
+    @property
+    def vector_width(self) -> int:
+        return self.pipeline.vector_width
+
+    def with_tau0(self, tau0: float) -> "RealTimeProblem":
+        """Copy with a different arrival rate (used by sweeps)."""
+        return RealTimeProblem(self.pipeline, tau0, self.deadline)
+
+    def with_deadline(self, deadline: float) -> "RealTimeProblem":
+        """Copy with a different deadline (used by sweeps)."""
+        return RealTimeProblem(self.pipeline, self.tau0, deadline)

@@ -1,0 +1,121 @@
+"""Deadline/utilization trade-off analysis (inverse design questions).
+
+The paper's Figures 3/4 answer "given (tau0, D), how good is each
+strategy?".  Downstream users usually face the inverse questions:
+
+- *frontier*: how does the achievable active fraction fall as the
+  deadline relaxes (at a fixed arrival rate)?
+- *inverse design*: what is the smallest deadline under which a strategy
+  can achieve a target active fraction?
+
+Both are well-posed because the optimal active fraction is nonincreasing
+in ``D`` for each strategy (a larger deadline only relaxes a constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.enforced_waits import EnforcedWaitsProblem
+from repro.core.feasibility import min_deadline_enforced
+from repro.core.model import RealTimeProblem
+from repro.core.monolithic import MonolithicProblem
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+
+__all__ = ["DeadlineFrontier", "deadline_frontier", "min_deadline_for_af"]
+
+
+@dataclass(frozen=True)
+class DeadlineFrontier:
+    """Active fraction of both strategies across deadlines at fixed tau0."""
+
+    tau0: float
+    deadlines: np.ndarray
+    enforced_af: np.ndarray
+    monolithic_af: np.ndarray
+
+    def crossover_deadline(self) -> float:
+        """First deadline at which enforced waits beat the monolithic
+        baseline (NaN if never on this grid; either strategy's infeasible
+        points count as active fraction 1)."""
+        e = np.where(np.isnan(self.enforced_af), 1.0, self.enforced_af)
+        m = np.where(np.isnan(self.monolithic_af), 1.0, self.monolithic_af)
+        wins = np.where(e < m)[0]
+        if wins.size == 0:
+            return float("nan")
+        return float(self.deadlines[wins[0]])
+
+
+def deadline_frontier(
+    pipeline: PipelineSpec,
+    tau0: float,
+    deadlines: np.ndarray,
+    *,
+    b_enforced: np.ndarray,
+    b_monolithic: int = 1,
+    s_scale: float = 1.0,
+) -> DeadlineFrontier:
+    """Evaluate both strategies along a deadline axis at fixed ``tau0``."""
+    deadlines = np.asarray(deadlines, dtype=float)
+    if deadlines.ndim != 1 or deadlines.size == 0 or (deadlines <= 0).any():
+        raise SpecError("deadlines must be a non-empty positive 1-D array")
+    e = np.full(deadlines.size, np.nan)
+    m = np.full(deadlines.size, np.nan)
+    for j, d in enumerate(deadlines):
+        problem = RealTimeProblem(pipeline, tau0, float(d))
+        esol = EnforcedWaitsProblem(problem, b_enforced).solve()
+        if esol.feasible:
+            e[j] = esol.active_fraction
+        msol = MonolithicProblem(
+            problem, b=b_monolithic, s_scale=s_scale
+        ).solve()
+        if msol.feasible:
+            m[j] = msol.active_fraction
+    return DeadlineFrontier(
+        tau0=tau0, deadlines=deadlines, enforced_af=e, monolithic_af=m
+    )
+
+
+def min_deadline_for_af(
+    pipeline: PipelineSpec,
+    tau0: float,
+    target_af: float,
+    b: np.ndarray,
+    *,
+    d_max: float = 1e9,
+    tol: float = 1e-6,
+) -> float:
+    """Smallest deadline achieving ``target_af`` with enforced waits.
+
+    Returns ``inf`` when the target is unachievable at any deadline (the
+    large-D limit of the active fraction is bounded below by the head and
+    chain caps — see :func:`repro.core.predictions.enforced_af_at_caps`).
+    Bisection is valid because the optimal objective is nonincreasing and
+    continuous in ``D`` on the feasible side.
+    """
+    if not 0 < target_af <= 1:
+        raise SpecError(f"target_af must be in (0, 1], got {target_af}")
+    b = np.asarray(b, dtype=float)
+
+    def af_at(d: float) -> float:
+        sol = EnforcedWaitsProblem(
+            RealTimeProblem(pipeline, tau0, d), b
+        ).solve()
+        return sol.active_fraction if sol.feasible else float("inf")
+
+    d_lo = min_deadline_enforced(pipeline, b)
+    if af_at(d_lo) <= target_af:
+        return d_lo
+    if af_at(d_max) > target_af:
+        return float("inf")
+    lo, hi = d_lo, d_max
+    while hi / lo > 1 + tol:
+        mid = (lo * hi) ** 0.5
+        if af_at(mid) <= target_af:
+            hi = mid
+        else:
+            lo = mid
+    return hi

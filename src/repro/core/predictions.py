@@ -1,0 +1,75 @@
+"""Closed-form limits and bounds used in the paper's qualitative analysis.
+
+Section 6.3 explains the complementary sensitivities of the two strategies
+with limiting arguments; these helpers make those limits executable so that
+tests and the analysis module can check the measured surfaces against them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.feasibility import minimal_periods
+from repro.core.model import RealTimeProblem
+from repro.dataflow.spec import PipelineSpec
+
+__all__ = [
+    "monolithic_af_limit",
+    "enforced_af_lower_bound",
+    "enforced_af_at_caps",
+]
+
+
+def monolithic_af_limit(pipeline: PipelineSpec, tau0: float) -> float:
+    """Large-``M`` limit of the monolithic active fraction.
+
+    ``rho_0 * sum_i G_i t_i / v``: with huge blocks the ceils vanish and
+    the active fraction is the per-item SIMD cost divided by the
+    inter-arrival time.  The paper: "the active fraction tends to a
+    constant in the limit of large M" — this is that constant for a given
+    ``tau0``, and it scales inversely with ``tau0``.
+    """
+    return pipeline.per_item_cost / tau0
+
+
+def enforced_af_lower_bound(
+    problem: RealTimeProblem, b: np.ndarray
+) -> float:
+    """A simple lower bound on the enforced-waits active fraction.
+
+    Relax everything except the deadline budget: by Cauchy-Schwarz,
+    ``min sum t_i/x_i  s.t. sum b_i x_i <= D`` equals
+    ``(sum sqrt(t_i b_i))^2 / D``; dividing by ``N`` bounds the objective.
+    Any cap (head rate, chain) only raises the achievable optimum, so this
+    is a valid lower bound for the full problem.
+    """
+    t = problem.pipeline.service_times
+    b = np.asarray(b, dtype=float)
+    n = problem.pipeline.n_nodes
+    s = float(np.sum(np.sqrt(t * b)))
+    return s * s / (problem.deadline * n)
+
+
+def enforced_af_at_caps(problem: RealTimeProblem) -> float:
+    """Enforced-waits active fraction when every chain cap binds.
+
+    In the large-``D`` limit the deadline budget goes slack and the optimum
+    pushes every period to its cap: ``x_0 = v*tau0`` and
+    ``x_i = x_{i-1}/g_{i-1}`` (when those caps exceed the service-time
+    floors; floors are honoured here).  The result scales like ``1/tau0``
+    inside each term's cap, explaining why the enforced strategy becomes
+    insensitive to further deadline slack once the caps bind (Section 6.3).
+    """
+    pipeline = problem.pipeline
+    t = pipeline.service_times
+    g = pipeline.mean_gains
+    n = pipeline.n_nodes
+    x = np.empty(n)
+    x[0] = max(pipeline.vector_width * problem.tau0, t[0])
+    for i in range(1, n):
+        cap = x[i - 1] / g[i - 1] if g[i - 1] > 0 else np.inf
+        x[i] = max(t[i], cap) if np.isfinite(cap) else np.inf
+    x_min = minimal_periods(pipeline)
+    x = np.maximum(x, x_min)
+    util = np.where(np.isfinite(x), t / x, 0.0)
+    return float(np.mean(util))

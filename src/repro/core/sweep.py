@@ -1,0 +1,139 @@
+"""Parameter-space sweeps over (tau0, D) grids — the data behind Figure 3.
+
+A sweep solves both strategy optimizations at every grid point and stores
+the optimal active fractions (NaN where a strategy is infeasible) plus the
+decision variables, so downstream analysis (Figure 4's difference surface,
+dominance regions) and the benchmark harness can re-derive everything from
+one :class:`SweepResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.enforced_waits import EnforcedWaitsProblem
+from repro.core.model import RealTimeProblem
+from repro.core.monolithic import MonolithicProblem
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+
+__all__ = ["SweepResult", "sweep_strategies", "paper_grid"]
+
+
+def paper_grid(
+    n_tau0: int = 12, n_deadline: int = 12
+) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's parameter ranges (Section 6.1) on a geometric grid.
+
+    ``tau0`` varied from 1 to 100 cycles and ``D`` from 2e4 to 3.5e5
+    cycles.  Geometric spacing matches how the quantities act (both enter
+    the model multiplicatively).
+    """
+    return (
+        np.geomspace(1.0, 100.0, n_tau0),
+        np.geomspace(2.0e4, 3.5e5, n_deadline),
+    )
+
+
+@dataclass
+class SweepResult:
+    """Active-fraction surfaces over a (tau0, D) grid.
+
+    Matrices are indexed ``[i_tau0, j_deadline]``.  NaN marks infeasible
+    points.  ``enforced_periods`` has an extra trailing axis of length
+    ``n_nodes``; entries at infeasible points are NaN.
+    """
+
+    tau0_values: np.ndarray
+    deadline_values: np.ndarray
+    enforced_af: np.ndarray
+    monolithic_af: np.ndarray
+    enforced_periods: np.ndarray
+    monolithic_block: np.ndarray
+    b_enforced: np.ndarray
+    b_monolithic: int
+    s_scale: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.tau0_values.size, self.deadline_values.size)
+
+    def enforced_feasible_mask(self) -> np.ndarray:
+        return ~np.isnan(self.enforced_af)
+
+    def monolithic_feasible_mask(self) -> np.ndarray:
+        return ~np.isnan(self.monolithic_af)
+
+    def row(self, i: int, j: int) -> dict:
+        """One grid point as a flat record (for table rendering)."""
+        return {
+            "tau0": float(self.tau0_values[i]),
+            "deadline": float(self.deadline_values[j]),
+            "enforced_af": float(self.enforced_af[i, j]),
+            "monolithic_af": float(self.monolithic_af[i, j]),
+            "monolithic_block": int(self.monolithic_block[i, j]),
+        }
+
+
+def sweep_strategies(
+    pipeline: PipelineSpec,
+    tau0_values: np.ndarray,
+    deadline_values: np.ndarray,
+    *,
+    b_enforced: np.ndarray,
+    b_monolithic: int = 1,
+    s_scale: float = 1.0,
+    enforced_method: str = "auto",
+) -> SweepResult:
+    """Solve both strategies at every (tau0, D) grid point.
+
+    Parameters mirror the calibrated worst-case multipliers of Section 6.2:
+    ``b_enforced`` is the per-node vector for Figure 1; ``b_monolithic``
+    and ``s_scale`` parameterize Figure 2.
+    """
+    tau0_values = np.asarray(tau0_values, dtype=float)
+    deadline_values = np.asarray(deadline_values, dtype=float)
+    if tau0_values.ndim != 1 or deadline_values.ndim != 1:
+        raise SpecError("tau0_values and deadline_values must be 1-D")
+    if (tau0_values <= 0).any() or (deadline_values <= 0).any():
+        raise SpecError("grid values must be positive")
+    b_enforced = np.asarray(b_enforced, dtype=float)
+
+    nt, nd = tau0_values.size, deadline_values.size
+    n = pipeline.n_nodes
+    e_af = np.full((nt, nd), np.nan)
+    m_af = np.full((nt, nd), np.nan)
+    e_x = np.full((nt, nd, n), np.nan)
+    m_blk = np.zeros((nt, nd), dtype=np.int64)
+
+    for i, tau0 in enumerate(tau0_values):
+        for j, d in enumerate(deadline_values):
+            problem = RealTimeProblem(pipeline, float(tau0), float(d))
+            esol = EnforcedWaitsProblem(problem, b_enforced).solve(
+                enforced_method
+            )
+            if esol.feasible:
+                e_af[i, j] = esol.active_fraction
+                e_x[i, j] = esol.periods
+            msol = MonolithicProblem(
+                problem, b=b_monolithic, s_scale=s_scale
+            ).solve()
+            if msol.feasible:
+                m_af[i, j] = msol.active_fraction
+                m_blk[i, j] = msol.block_size
+
+    return SweepResult(
+        tau0_values=tau0_values,
+        deadline_values=deadline_values,
+        enforced_af=e_af,
+        monolithic_af=m_af,
+        enforced_periods=e_x,
+        monolithic_block=m_blk,
+        b_enforced=b_enforced,
+        b_monolithic=b_monolithic,
+        s_scale=s_scale,
+        meta={"enforced_method": enforced_method},
+    )

@@ -1,0 +1,288 @@
+"""Gain distributions: the stochastic output multiplicity of a node.
+
+Section 6.1 of the paper models node irregularity with two families:
+
+- filter-like nodes emit one output per input with probability ``g`` and
+  zero otherwise (:class:`BernoulliGain`);
+- the expander node emits ``Poisson(g)`` outputs *censored* at an upper
+  limit ``u`` (:class:`CensoredPoissonGain`), i.e. draws above ``u`` are
+  clamped to ``u``.
+
+We add deterministic, empirical (trace-driven), and mixture distributions
+for ablations and for driving the model with measured mini-BLAST gains.
+
+All distributions expose:
+
+- :attr:`mean` — the paper's average gain ``g``;
+- :attr:`max_outputs` — finite support bound (the paper's ``u``) or the
+  practical bound used for queue-depth analysis;
+- :meth:`sample` — vectorized integer draws;
+- :meth:`pmf` — probability mass function on ``0..max_outputs``, used by
+  the queueing-theory module to estimate worst-case multipliers a priori.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "GainDistribution",
+    "BernoulliGain",
+    "CensoredPoissonGain",
+    "DeterministicGain",
+    "EmpiricalGain",
+    "MixtureGain",
+    "gain_from_mean",
+]
+
+
+class GainDistribution(ABC):
+    """Distribution of the number of outputs a node emits per input item."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Average number of outputs per input (the paper's ``g``)."""
+
+    @property
+    @abstractmethod
+    def max_outputs(self) -> int:
+        """Largest possible output count per input."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` independent output counts as an int64 array."""
+
+    @abstractmethod
+    def pmf(self) -> np.ndarray:
+        """P(outputs = k) for k = 0..max_outputs (sums to 1)."""
+
+    @property
+    def variance(self) -> float:
+        """Variance of the output count, from the pmf by default."""
+        p = self.pmf()
+        k = np.arange(p.size)
+        m = float(np.dot(k, p))
+        return float(np.dot((k - m) ** 2, p))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(mean={self.mean:.6g})"
+
+
+class DeterministicGain(GainDistribution):
+    """Exactly ``k`` outputs per input; ``k=1`` is a pass-through node."""
+
+    def __init__(self, k: int) -> None:
+        if not isinstance(k, (int, np.integer)) or k < 0:
+            raise SpecError(f"DeterministicGain k must be an int >= 0, got {k!r}")
+        self._k = int(k)
+
+    @property
+    def mean(self) -> float:
+        return float(self._k)
+
+    @property
+    def max_outputs(self) -> int:
+        return self._k
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self._k, dtype=np.int64)
+
+    def pmf(self) -> np.ndarray:
+        p = np.zeros(self._k + 1)
+        p[self._k] = 1.0
+        return p
+
+
+class BernoulliGain(GainDistribution):
+    """One output with probability ``p``, else zero (a filtering node)."""
+
+    def __init__(self, p: float) -> None:
+        self._p = check_probability("BernoulliGain p", p)
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    @property
+    def mean(self) -> float:
+        return self._p
+
+    @property
+    def max_outputs(self) -> int:
+        return 1
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return (rng.random(n) < self._p).astype(np.int64)
+
+    def pmf(self) -> np.ndarray:
+        return np.asarray([1.0 - self._p, self._p])
+
+
+class CensoredPoissonGain(GainDistribution):
+    """Poisson(``lam``) outputs clamped to at most ``u`` (the expander).
+
+    Censoring (not truncation): mass above ``u`` collapses onto ``u``, so
+    the realized mean is slightly below ``lam``.  :attr:`mean` reports the
+    exact censored mean; :attr:`nominal_mean` reports ``lam`` (what the
+    paper's Table 1 lists).
+    """
+
+    def __init__(self, lam: float, u: int) -> None:
+        self._lam = check_positive("CensoredPoissonGain lam", lam)
+        if not isinstance(u, (int, np.integer)) or u < 1:
+            raise SpecError(f"CensoredPoissonGain u must be an int >= 1, got {u!r}")
+        self._u = int(u)
+        self._pmf = self._build_pmf()
+
+    def _build_pmf(self) -> np.ndarray:
+        k = np.arange(self._u + 1)
+        # log pmf for numerical stability at large lam.
+        from scipy.special import gammaln
+
+        logp = k * math.log(self._lam) - self._lam - gammaln(k + 1)
+        p = np.exp(logp)
+        p[self._u] = max(1.0 - p[:-1].sum(), 0.0)  # censored tail mass
+        return p / p.sum()
+
+    @property
+    def lam(self) -> float:
+        return self._lam
+
+    @property
+    def u(self) -> int:
+        return self._u
+
+    @property
+    def nominal_mean(self) -> float:
+        """The uncensored Poisson mean (paper's listed gain)."""
+        return self._lam
+
+    @property
+    def mean(self) -> float:
+        p = self._pmf
+        return float(np.dot(np.arange(p.size), p))
+
+    @property
+    def max_outputs(self) -> int:
+        return self._u
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.minimum(rng.poisson(self._lam, n), self._u).astype(np.int64)
+
+    def pmf(self) -> np.ndarray:
+        return self._pmf.copy()
+
+
+class EmpiricalGain(GainDistribution):
+    """Gain distribution fit to an observed trace of output counts.
+
+    Used to drive the model with gains measured from the mini-BLAST
+    application (ablation A3 in DESIGN.md).
+    """
+
+    def __init__(self, counts: Sequence[int]) -> None:
+        arr = np.asarray(counts, dtype=np.int64)
+        if arr.size == 0:
+            raise SpecError("EmpiricalGain requires at least one observation")
+        if (arr < 0).any():
+            raise SpecError("EmpiricalGain counts must be >= 0")
+        self._support_max = int(arr.max())
+        self._pmf = np.bincount(arr, minlength=self._support_max + 1).astype(float)
+        self._pmf /= self._pmf.sum()
+        self._n_obs = int(arr.size)
+
+    @property
+    def n_observations(self) -> int:
+        return self._n_obs
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(np.arange(self._pmf.size), self._pmf))
+
+    @property
+    def max_outputs(self) -> int:
+        return self._support_max
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self._pmf.size, size=n, p=self._pmf).astype(np.int64)
+
+    def pmf(self) -> np.ndarray:
+        return self._pmf.copy()
+
+
+class MixtureGain(GainDistribution):
+    """Finite mixture of gain distributions with given weights.
+
+    Models mode-switching behaviour (e.g. bursty regions of a genome where
+    the expander fans out more heavily).
+    """
+
+    def __init__(
+        self,
+        components: Sequence[GainDistribution],
+        weights: Sequence[float],
+    ) -> None:
+        if len(components) == 0:
+            raise SpecError("MixtureGain requires at least one component")
+        if len(components) != len(weights):
+            raise SpecError(
+                f"MixtureGain got {len(components)} components but "
+                f"{len(weights)} weights"
+            )
+        w = np.asarray(weights, dtype=float)
+        if (w < 0).any() or w.sum() <= 0:
+            raise SpecError("MixtureGain weights must be >= 0 and sum > 0")
+        self._components = list(components)
+        self._weights = w / w.sum()
+
+    @property
+    def mean(self) -> float:
+        return float(
+            sum(w * c.mean for w, c in zip(self._weights, self._components))
+        )
+
+    @property
+    def max_outputs(self) -> int:
+        return max(c.max_outputs for c in self._components)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        choice = rng.choice(len(self._components), size=n, p=self._weights)
+        out = np.empty(n, dtype=np.int64)
+        for idx, comp in enumerate(self._components):
+            mask = choice == idx
+            cnt = int(mask.sum())
+            if cnt:
+                out[mask] = comp.sample(rng, cnt)
+        return out
+
+    def pmf(self) -> np.ndarray:
+        size = self.max_outputs + 1
+        p = np.zeros(size)
+        for w, comp in zip(self._weights, self._components):
+            cp = comp.pmf()
+            p[: cp.size] += w * cp
+        return p
+
+
+def gain_from_mean(mean: float, *, u: int | None = None) -> GainDistribution:
+    """Default stochastic model for a node with average gain ``mean``.
+
+    Mirrors the paper's Section 6.1 convention: gains at most 1 become
+    Bernoulli; gains above 1 become censored Poisson with limit ``u``
+    (default 16, the paper's expansion bound).
+    """
+    if mean < 0:
+        raise SpecError(f"gain mean must be >= 0, got {mean}")
+    if mean == 0:
+        return DeterministicGain(0)
+    if mean <= 1.0:
+        return BernoulliGain(mean)
+    return CensoredPoissonGain(mean, u if u is not None else 16)

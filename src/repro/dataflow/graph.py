@@ -1,0 +1,146 @@
+"""General dataflow-graph topology support.
+
+The paper's applications are linear pipelines, but MERCATOR-style
+frameworks support DAGs.  :class:`DataflowGraph` stores an arbitrary DAG of
+:class:`~repro.dataflow.spec.NodeSpec` nodes, validates acyclicity, computes
+per-node total gains along paths, and can certify/convert a graph that is in
+fact a chain into a :class:`~repro.dataflow.spec.PipelineSpec` (which the
+optimizers in :mod:`repro.core` require).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.dataflow.spec import NodeSpec, PipelineSpec
+from repro.errors import SpecError
+
+__all__ = ["DataflowGraph"]
+
+
+class DataflowGraph:
+    """A DAG of named dataflow nodes with single-source streaming semantics."""
+
+    def __init__(self, vector_width: int) -> None:
+        if vector_width < 1:
+            raise SpecError(f"vector_width must be >= 1, got {vector_width}")
+        self.vector_width = int(vector_width)
+        self._g = nx.DiGraph()
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, spec: NodeSpec) -> None:
+        """Register a node; names must be unique."""
+        if not isinstance(spec, NodeSpec):
+            raise SpecError(f"expected NodeSpec, got {type(spec).__name__}")
+        if spec.name in self._g:
+            raise SpecError(f"duplicate node {spec.name!r}")
+        self._g.add_node(spec.name, spec=spec)
+
+    def add_edge(self, src: str, dst: str) -> None:
+        """Connect ``src -> dst``; both must exist and no cycle may form."""
+        for name in (src, dst):
+            if name not in self._g:
+                raise SpecError(f"unknown node {name!r}")
+        if src == dst:
+            raise SpecError(f"self-loop on {src!r} is not allowed")
+        self._g.add_edge(src, dst)
+        if not nx.is_directed_acyclic_graph(self._g):
+            self._g.remove_edge(src, dst)
+            raise SpecError(f"edge {src!r}->{dst!r} would create a cycle")
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self._g.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        return self._g.number_of_edges()
+
+    def spec(self, name: str) -> NodeSpec:
+        """The :class:`NodeSpec` registered under ``name``."""
+        try:
+            return self._g.nodes[name]["spec"]
+        except KeyError as exc:
+            raise SpecError(f"unknown node {name!r}") from exc
+
+    def sources(self) -> list[str]:
+        """Nodes with no predecessors (stream entry points)."""
+        return [n for n in self._g if self._g.in_degree(n) == 0]
+
+    def sinks(self) -> list[str]:
+        """Nodes with no successors (stream exit points)."""
+        return [n for n in self._g if self._g.out_degree(n) == 0]
+
+    def topological_order(self) -> list[str]:
+        """Node names in a deterministic topological order."""
+        return list(nx.lexicographical_topological_sort(self._g))
+
+    def total_gain_into(self, name: str) -> float:
+        """Expected items reaching ``name`` per source input.
+
+        Sums the gain products over all source->node paths; for a chain
+        this is exactly the paper's ``G_i``.
+        """
+        if name not in self._g:
+            raise SpecError(f"unknown node {name!r}")
+        order = self.topological_order()
+        flow = {n: (1.0 if self._g.in_degree(n) == 0 else 0.0) for n in order}
+        for n in order:
+            out = flow[n] * self.spec(n).mean_gain
+            succs = list(self._g.successors(n))
+            for s in succs:
+                flow[s] += out
+            if n == name:
+                return flow[n]
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- chain certification -------------------------------------------------
+
+    def is_chain(self) -> bool:
+        """True iff the graph is a single linear pipeline."""
+        if self.n_nodes == 0:
+            return False
+        if self.n_nodes == 1:
+            return True
+        degrees_ok = all(
+            self._g.in_degree(n) <= 1 and self._g.out_degree(n) <= 1
+            for n in self._g
+        )
+        return (
+            degrees_ok
+            and len(self.sources()) == 1
+            and len(self.sinks()) == 1
+            and nx.is_weakly_connected(self._g)
+        )
+
+    def as_chain(self) -> PipelineSpec:
+        """Convert to a :class:`PipelineSpec`; raises if not a chain."""
+        if not self.is_chain():
+            raise SpecError(
+                "graph is not a linear chain; the paper's optimizations "
+                "apply only to linear pipelines"
+            )
+        order: list[str] = []
+        (current,) = self.sources()
+        while True:
+            order.append(current)
+            succs = list(self._g.successors(current))
+            if not succs:
+                break
+            current = succs[0]
+        return PipelineSpec(
+            tuple(self.spec(n) for n in order), self.vector_width
+        )
+
+    @staticmethod
+    def from_pipeline(spec: PipelineSpec) -> "DataflowGraph":
+        """Embed a linear pipeline as a graph."""
+        g = DataflowGraph(spec.vector_width)
+        for node in spec.nodes:
+            g.add_node(node)
+        for a, b in zip(spec.nodes, spec.nodes[1:]):
+            g.add_edge(a.name, b.name)
+        return g

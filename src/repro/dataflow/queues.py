@@ -1,0 +1,103 @@
+"""FIFO item queues between pipeline nodes.
+
+An item in flight is represented by its *origin timestamp* — the arrival
+time of the head-of-pipeline input it descends from.  That is all the
+deadline accounting needs (an item misses if it exits after
+``origin + D``), and storing bare floats keeps queues cheap.
+
+The queue records its high-water mark, which is how the empirical
+calibration of the paper's ``b_i`` multipliers observes "maximum queue size
+``b_i * v``" (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["ItemQueue"]
+
+
+class ItemQueue:
+    """Unbounded FIFO of origin timestamps with occupancy statistics.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label (usually the consuming node's name).
+    capacity:
+        Optional bound; pushing beyond it raises :class:`SimulationError`.
+        The paper's model is unbounded (capacity ``None``), but a bound is
+        useful to detect instability quickly in tests.
+    """
+
+    __slots__ = ("name", "capacity", "_items", "_max_depth", "_pushed", "_popped")
+
+    def __init__(self, name: str, *, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"queue capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[float] = deque()
+        self._max_depth = 0
+        self._pushed = 0
+        self._popped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def max_depth(self) -> int:
+        """High-water mark of queue occupancy since creation."""
+        return self._max_depth
+
+    @property
+    def total_pushed(self) -> int:
+        return self._pushed
+
+    @property
+    def total_popped(self) -> int:
+        return self._popped
+
+    def push(self, origin: float) -> None:
+        """Append one item with the given origin timestamp."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise SimulationError(
+                f"queue {self.name!r} overflowed its capacity {self.capacity}"
+            )
+        self._items.append(origin)
+        self._pushed += 1
+        if len(self._items) > self._max_depth:
+            self._max_depth = len(self._items)
+
+    def push_many(self, origins: Iterable[float]) -> None:
+        """Append several items preserving order."""
+        for origin in origins:
+            self.push(origin)
+
+    def pop_up_to(self, k: int) -> np.ndarray:
+        """Remove and return up to ``k`` oldest items' origins (FIFO order)."""
+        if k < 0:
+            raise SimulationError(f"cannot pop a negative count ({k})")
+        n = min(k, len(self._items))
+        out = np.empty(n, dtype=float)
+        items = self._items
+        for i in range(n):
+            out[i] = items.popleft()
+        self._popped += n
+        return out
+
+    def peek_oldest(self) -> float:
+        """Origin of the head item (raises if empty)."""
+        if not self._items:
+            raise SimulationError(f"queue {self.name!r} is empty")
+        return self._items[0]
+
+    def clear(self) -> None:
+        """Drop all items (statistics are retained)."""
+        self._popped += len(self._items)
+        self._items.clear()

@@ -1,0 +1,69 @@
+"""Event objects for the DES engine.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering total and deterministic: two events scheduled for the same
+time with the same priority fire in scheduling order, which is essential for
+reproducible simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventHandle"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event fires.
+    priority:
+        Tie-breaker at equal time; lower fires first.  The pipeline
+        simulators use priorities to guarantee, e.g., that item arrivals at
+        time ``t`` are enqueued before a node firing at the same ``t``
+        inspects its queue.
+    seq:
+        Monotonic sequence number assigned by the engine; makes ordering
+        total.
+    fn:
+        Zero-argument callable invoked when the event fires.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Engine.schedule`; allows cancellation.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when
+    popped.  This is O(1) and is the standard approach for binary-heap event
+    queues.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True

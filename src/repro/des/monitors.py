@@ -1,0 +1,176 @@
+"""Statistics monitors for simulations.
+
+Three collector types cover what the pipeline simulators need:
+
+- :class:`Counter` — monotone event counts (items produced, misses, ...).
+- :class:`Accumulator` — scalar samples with mean/variance/extremes
+  (per-item latencies, occupancy per firing, ...), using Welford's online
+  algorithm so memory stays O(1) unless sample retention is requested.
+- :class:`TimeWeighted` — a piecewise-constant signal integrated over time
+  (queue length, number of active nodes), for time-average statistics.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Accumulator", "TimeWeighted"]
+
+
+class Counter:
+    """A named monotone counter."""
+
+    __slots__ = ("name", "_count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError(f"Counter {self.name!r} cannot decrease (by={by})")
+        self._count += by
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, count={self._count})"
+
+
+class Accumulator:
+    """Online mean/variance/min/max of scalar samples (Welford).
+
+    With ``keep_samples=True`` all samples are also retained for quantile
+    queries; the pipeline simulators enable this only for latency audits.
+    """
+
+    def __init__(self, name: str, *, keep_samples: bool = False) -> None:
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._samples: list[float] | None = [] if keep_samples else None
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample (n-1 denominator) variance."""
+        if self._n < 2:
+            return math.nan
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if not math.isnan(v) else math.nan
+
+    @property
+    def min(self) -> float:
+        return self._min if self._n else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._n else math.nan
+
+    @property
+    def total(self) -> float:
+        return self._mean * self._n
+
+    def add(self, x: float) -> None:
+        """Record one sample."""
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+        if self._samples is not None:
+            self._samples.append(x)
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile; requires ``keep_samples=True``."""
+        if self._samples is None:
+            raise ValueError(
+                f"Accumulator {self.name!r} was created without keep_samples"
+            )
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        if not self._samples:
+            return math.nan
+        data = sorted(self._samples)
+        idx = q * (len(data) - 1)
+        lo = int(math.floor(idx))
+        hi = int(math.ceil(idx))
+        if lo == hi:
+            return data[lo]
+        frac = idx - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def __repr__(self) -> str:
+        return (
+            f"Accumulator({self.name!r}, n={self._n}, mean={self.mean:.6g})"
+        )
+
+
+class TimeWeighted:
+    """Integrate a piecewise-constant signal over virtual time.
+
+    Call :meth:`update` whenever the signal changes; the previous value is
+    weighted by the elapsed interval.  :meth:`time_average` closes the
+    current interval at the query time.
+    """
+
+    def __init__(self, name: str, *, initial: float = 0.0, t0: float = 0.0) -> None:
+        self.name = name
+        self._value = initial
+        self._last_t = t0
+        self._area = 0.0
+        self._t0 = t0
+        self._max = initial
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def update(self, t: float, value: float) -> None:
+        """Set the signal to ``value`` at time ``t`` (t must not go backwards)."""
+        if t < self._last_t:
+            raise ValueError(
+                f"TimeWeighted {self.name!r}: time moved backwards "
+                f"({t} < {self._last_t})"
+            )
+        self._area += self._value * (t - self._last_t)
+        self._last_t = t
+        self._value = value
+        if value > self._max:
+            self._max = value
+
+    def time_average(self, t: float) -> float:
+        """Time-average of the signal over [t0, t]."""
+        if t < self._last_t:
+            raise ValueError("query time precedes last update")
+        span = t - self._t0
+        if span <= 0:
+            return math.nan
+        area = self._area + self._value * (t - self._last_t)
+        return area / span
+
+    def __repr__(self) -> str:
+        return f"TimeWeighted({self.name!r}, value={self._value})"

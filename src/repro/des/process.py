@@ -1,0 +1,114 @@
+"""Process helpers layered on the DES engine.
+
+A :class:`Process` is a stateful actor bound to an engine.  The most
+important subclass here is :class:`PeriodicProcess`, which models the
+paper's node behaviour: an action repeated with a fixed period (service
+time plus enforced wait), optionally with a start offset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.des.engine import Engine
+from repro.des.events import EventHandle
+from repro.errors import SimulationError
+
+__all__ = ["Process", "PeriodicProcess"]
+
+
+class Process:
+    """Base class for engine-bound actors with a name and lifecycle."""
+
+    def __init__(self, engine: Engine, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self._started = False
+        self._stopped = False
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def start(self) -> None:
+        """Begin operation; idempotence is an error (call exactly once)."""
+        if self._started:
+            raise SimulationError(f"process {self.name!r} already started")
+        self._started = True
+        self._on_start()
+
+    def stop(self) -> None:
+        """Cease scheduling further work (safe to call more than once)."""
+        self._stopped = True
+        self._on_stop()
+
+    def _on_start(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    def _on_stop(self) -> None:
+        pass
+
+
+class PeriodicProcess(Process):
+    """Invoke ``action`` every ``period`` time units, starting at ``offset``.
+
+    The action receives the invocation index (0, 1, 2, ...).  The period may
+    be changed between invocations via :attr:`period`; the new value applies
+    from the next rescheduling, which supports adaptive-wait extensions.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        period: float,
+        action: Callable[[int], None],
+        *,
+        offset: float = 0.0,
+        priority: int = 0,
+    ) -> None:
+        super().__init__(engine, name)
+        if period <= 0:
+            raise SimulationError(
+                f"period for {name!r} must be positive, got {period}"
+            )
+        if offset < 0:
+            raise SimulationError(
+                f"offset for {name!r} must be >= 0, got {offset}"
+            )
+        self.period = period
+        self.offset = offset
+        self.priority = priority
+        self._action = action
+        self._count = 0
+        self._handle: EventHandle | None = None
+
+    @property
+    def invocations(self) -> int:
+        """Number of completed action invocations."""
+        return self._count
+
+    def _on_start(self) -> None:
+        self._handle = self.engine.schedule_after(
+            self.offset, self._fire, priority=self.priority
+        )
+
+    def _on_stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        index = self._count
+        self._count += 1
+        self._action(index)
+        if not self._stopped:
+            self._handle = self.engine.schedule_after(
+                self.period, self._fire, priority=self.priority
+            )

@@ -1,0 +1,54 @@
+"""Optional structured execution traces.
+
+A :class:`TraceRecorder` collects typed records (node firings, item moves,
+deadline misses) during a simulation.  Tracing is off by default because it
+costs memory proportional to event count; tests and debugging enable it to
+assert fine-grained ordering properties of the execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: time, event kind, subject, and free-form detail."""
+
+    time: float
+    kind: str
+    subject: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` entries with optional kind filtering."""
+
+    def __init__(self, *, kinds: set[str] | None = None, capacity: int | None = None) -> None:
+        self._records: list[TraceRecord] = []
+        self._kinds = kinds
+        self._capacity = capacity
+
+    def record(self, time: float, kind: str, subject: str, **detail: Any) -> None:
+        """Append a record unless filtered out or over capacity."""
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            return
+        self._records.append(TraceRecord(time, kind, subject, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def clear(self) -> None:
+        self._records.clear()

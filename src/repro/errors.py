@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration errors from runtime/solver failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SpecError",
+    "InfeasibleError",
+    "SolverError",
+    "SimulationError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SpecError(ReproError, ValueError):
+    """An application, pipeline, or problem specification is invalid.
+
+    Raised during construction/validation of specs (negative service time,
+    empty pipeline, malformed gain distribution, ...), never during a solve
+    or simulation of a valid problem.
+    """
+
+
+class InfeasibleError(ReproError):
+    """A constrained problem has an empty feasible region.
+
+    Carries an optional human-readable diagnosis of which constraint family
+    is violated at the minimal operating point.
+    """
+
+    def __init__(self, message: str, *, diagnosis: str | None = None) -> None:
+        super().__init__(message)
+        self.diagnosis = diagnosis
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to converge or returned an invalid point."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation entered an invalid state."""
+
+
+class CalibrationError(ReproError):
+    """Empirical parameter calibration failed to find miss-free parameters."""

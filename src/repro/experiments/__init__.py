@@ -1,0 +1,54 @@
+"""Experiment drivers: one per paper table/figure, plus ablations.
+
+Every experiment is a callable returning a result object with a
+``render()`` method (the rows/series the paper reports, as text) and
+structured fields for programmatic checks.  The benchmark harness under
+``benchmarks/`` and the CLI (``repro-experiments``) both dispatch through
+:mod:`~repro.experiments.registry`.
+
+Heavy experiments scale with the ``REPRO_SCALE`` environment variable
+(default 1.0); see :mod:`~repro.experiments.scale`.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.scale import repro_scale, scaled
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.calibration_exp import run_calibration
+from repro.experiments.sim_validation import run_sim_validation
+from repro.experiments.ablations import (
+    run_ablation_gain_models,
+    run_ablation_timing,
+    run_ablation_vacation,
+    run_poisson_arrivals,
+)
+from repro.experiments.queueing_exp import run_queueing_b
+from repro.experiments.extensions import (
+    run_adaptive_policies,
+    run_gain_sensitivity,
+    run_phase_offsets,
+)
+from repro.experiments.width_sweep import run_width_sweep
+
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "repro_scale",
+    "scaled",
+    "run_table1",
+    "run_fig3",
+    "run_fig4",
+    "run_calibration",
+    "run_sim_validation",
+    "run_ablation_timing",
+    "run_ablation_vacation",
+    "run_ablation_gain_models",
+    "run_poisson_arrivals",
+    "run_queueing_b",
+    "run_adaptive_policies",
+    "run_phase_offsets",
+    "run_gain_sensitivity",
+    "run_width_sweep",
+]

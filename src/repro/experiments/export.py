@@ -1,0 +1,120 @@
+"""Structured export of experiment results (JSON/CSV).
+
+Rendered ASCII tables are good for terminals; plotting and downstream
+analysis want structured data.  These helpers serialize the main result
+objects to plain dict/JSON and CSV without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.sweep import SweepResult
+from repro.errors import SpecError
+from repro.sim.metrics import SimMetrics
+
+__all__ = [
+    "sweep_to_dict",
+    "metrics_to_dict",
+    "save_json",
+    "sweep_to_csv",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays for json.dumps."""
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, float) and (value != value):  # NaN
+        return None
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def sweep_to_dict(sweep: SweepResult) -> dict:
+    """A :class:`SweepResult` as a JSON-ready dict (NaN -> null)."""
+    return _jsonable(
+        {
+            "tau0_values": sweep.tau0_values,
+            "deadline_values": sweep.deadline_values,
+            "enforced_af": sweep.enforced_af,
+            "monolithic_af": sweep.monolithic_af,
+            "enforced_periods": sweep.enforced_periods,
+            "monolithic_block": sweep.monolithic_block,
+            "b_enforced": sweep.b_enforced,
+            "b_monolithic": sweep.b_monolithic,
+            "s_scale": sweep.s_scale,
+            "meta": sweep.meta,
+        }
+    )
+
+
+def metrics_to_dict(metrics: SimMetrics) -> dict:
+    """A :class:`SimMetrics` as a JSON-ready dict (ledger omitted)."""
+    extra = {k: v for k, v in metrics.extra.items() if k != "ledger"}
+    return _jsonable(
+        {
+            "strategy": metrics.strategy,
+            "n_items": metrics.n_items,
+            "makespan": metrics.makespan,
+            "active_fraction": metrics.active_fraction,
+            "active_time_per_node": metrics.active_time_per_node,
+            "missed_items": metrics.missed_items,
+            "miss_rate": metrics.miss_rate,
+            "outputs": metrics.outputs,
+            "mean_latency": metrics.mean_latency,
+            "max_latency": metrics.max_latency,
+            "queue_hwm_vectors": metrics.queue_hwm_vectors,
+            "firings": metrics.firings,
+            "empty_firings": metrics.empty_firings,
+            "mean_occupancy": metrics.mean_occupancy,
+            "extra": extra,
+        }
+    )
+
+
+def save_json(data: dict, path: str | Path) -> Path:
+    """Write a dict as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def sweep_to_csv(sweep: SweepResult, path: str | Path) -> Path:
+    """One CSV row per (tau0, D) grid point."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    nt, nd = sweep.shape
+    if nt == 0 or nd == 0:
+        raise SpecError("cannot export an empty sweep")
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["tau0", "deadline", "enforced_af", "monolithic_af", "monolithic_block"]
+        )
+        for i in range(nt):
+            for j in range(nd):
+                row = sweep.row(i, j)
+                writer.writerow(
+                    [
+                        row["tau0"],
+                        row["deadline"],
+                        "" if np.isnan(row["enforced_af"]) else row["enforced_af"],
+                        ""
+                        if np.isnan(row["monolithic_af"])
+                        else row["monolithic_af"],
+                        row["monolithic_block"],
+                    ]
+                )
+    return path

@@ -1,0 +1,94 @@
+"""Experiment F1: a-priori queueing estimates of ``b_i`` vs calibration.
+
+Section 7 proposes deriving the worst-case multipliers from bulk-service
+queueing theory.  This driver evaluates
+:func:`repro.queueing.estimate_b.estimate_b` at a deadline-binding
+operating point (where the decomposition is stable) and at a
+chain-binding point (where it degenerates — the decomposed queues sit at
+their stability boundary), reporting both next to the paper's calibrated
+vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.blast.pipeline import blast_pipeline, calibrated_b
+from repro.core.enforced_waits import EnforcedWaitsProblem
+from repro.core.model import RealTimeProblem
+from repro.queueing.estimate_b import estimate_b
+from repro.utils.tables import render_table
+
+__all__ = ["QueueingBResult", "run_queueing_b"]
+
+#: A point where the deadline budget binds (chain slack -> stable queues).
+DEADLINE_BINDING_POINT: tuple[float, float] = (50.0, 2.0e5)
+
+#: A point where chain constraints bind (critically loaded queues).
+CHAIN_BINDING_POINT: tuple[float, float] = (10.0, 3.5e5)
+
+
+@dataclass
+class QueueingBResult:
+    b_estimated_stable: np.ndarray
+    b_estimated_critical: np.ndarray
+    b_paper: np.ndarray
+    stable_point: tuple[float, float]
+    critical_point: tuple[float, float]
+
+    def render(self) -> str:
+        rows = [
+            (
+                i,
+                float(self.b_paper[i]),
+                float(self.b_estimated_stable[i]),
+                float(self.b_estimated_critical[i]),
+            )
+            for i in range(self.b_paper.size)
+        ]
+        return render_table(
+            [
+                "node",
+                "paper calibrated b_i",
+                f"queueing estimate @ {self.stable_point}",
+                f"queueing estimate @ {self.critical_point}",
+            ],
+            rows,
+            title=(
+                "F1: a-priori bulk-service queueing estimates of b_i "
+                "(inf = decomposed queue critically loaded — binding "
+                "chain constraint breaks the independence approximation)"
+            ),
+        )
+
+
+def run_queueing_b(*, epsilon: float = 1e-4) -> QueueingBResult:
+    """Estimate ``b_i`` from queueing theory in both binding regimes."""
+    pipeline = blast_pipeline()
+    b = calibrated_b()
+
+    tau0_s, d_s = DEADLINE_BINDING_POINT
+    sol_s = EnforcedWaitsProblem(
+        RealTimeProblem(pipeline, tau0_s, d_s), b
+    ).solve()
+    est_s = estimate_b(
+        pipeline, sol_s.periods, tau0_s, epsilon=epsilon, strict=False
+    )
+
+    tau0_c, d_c = CHAIN_BINDING_POINT
+    sol_c = EnforcedWaitsProblem(
+        RealTimeProblem(pipeline, tau0_c, d_c), b
+    ).solve()
+    est_c = estimate_b(
+        pipeline, sol_c.periods, tau0_c, epsilon=epsilon, strict=False
+    )
+
+    return QueueingBResult(
+        b_estimated_stable=est_s,
+        b_estimated_critical=est_c,
+        b_paper=b,
+        stable_point=DEADLINE_BINDING_POINT,
+        critical_point=CHAIN_BINDING_POINT,
+    )

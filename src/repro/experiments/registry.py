@@ -1,0 +1,159 @@
+"""Registry mapping experiment ids to their drivers.
+
+Ids follow DESIGN.md's per-experiment index (E/A/F prefixes dropped in
+favour of memorable names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SpecError
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    id: str
+    title: str
+    paper_artifact: str
+    runner: Callable[[], Any]
+
+
+def _build_registry() -> dict[str, Experiment]:
+    from repro.experiments.ablations import (
+        run_ablation_gain_models,
+        run_ablation_timing,
+        run_ablation_vacation,
+        run_poisson_arrivals,
+    )
+    from repro.experiments.calibration_exp import run_calibration
+    from repro.experiments.fig3 import run_fig3
+    from repro.experiments.fig4 import run_fig4
+    from repro.experiments.extensions import (
+        run_adaptive_policies,
+        run_gain_sensitivity,
+        run_phase_offsets,
+    )
+    from repro.experiments.queueing_exp import run_queueing_b
+    from repro.experiments.sim_validation import run_sim_validation
+    from repro.experiments.stress import run_bursty_stress
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.width_sweep import run_width_sweep
+
+    entries = [
+        Experiment(
+            "table1",
+            "BLAST pipeline properties and derived quantities",
+            "Table 1",
+            run_table1,
+        ),
+        Experiment(
+            "fig3",
+            "Active-fraction surfaces over (tau0, D) for both strategies",
+            "Figure 3",
+            run_fig3,
+        ),
+        Experiment(
+            "fig4",
+            "Difference surface and dominance regions",
+            "Figure 4",
+            run_fig4,
+        ),
+        Experiment(
+            "calibration",
+            "Empirical worst-case parameter calibration",
+            "Section 6.2",
+            run_calibration,
+        ),
+        Experiment(
+            "sim-validation",
+            "Optimizer predictions vs simulator measurements",
+            "Section 6.2 (prediction match)",
+            run_sim_validation,
+        ),
+        Experiment(
+            "ablation-timing",
+            "Idealized vs GPS processor-sharing timing",
+            "ablation A1",
+            run_ablation_timing,
+        ),
+        Experiment(
+            "ablation-vacation",
+            "Charging vs vacationing empty firings",
+            "ablation A2 (Section 4 remark)",
+            run_ablation_vacation,
+        ),
+        Experiment(
+            "ablation-gains",
+            "Gain-model robustness incl. mini-BLAST empirical gains",
+            "ablation A3",
+            run_ablation_gain_models,
+        ),
+        Experiment(
+            "poisson-arrivals",
+            "Fixed-rate vs Poisson arrivals",
+            "Section 7 (future work F2)",
+            run_poisson_arrivals,
+        ),
+        Experiment(
+            "queueing-b",
+            "A-priori queueing estimates of b_i",
+            "Section 7 (future work F1)",
+            run_queueing_b,
+        ),
+        Experiment(
+            "adaptive-policies",
+            "Fixed waits vs early-firing triggers",
+            "extension A4",
+            run_adaptive_policies,
+        ),
+        Experiment(
+            "phase-offsets",
+            "Zero vs chain-aligned firing phases",
+            "extension A5",
+            run_phase_offsets,
+        ),
+        Experiment(
+            "gain-sensitivity",
+            "Strategy robustness to burstier gains",
+            "Section 6.3 claim (A6)",
+            run_gain_sensitivity,
+        ),
+        Experiment(
+            "width-sweep",
+            "Sensitivity to the SIMD vector width v",
+            "extension W1 (Section 7 outlook)",
+            run_width_sweep,
+        ),
+        Experiment(
+            "bursty-stress",
+            "Required worst-case S under bursty arrivals",
+            "Section 5 remark (S1)",
+            run_bursty_stress,
+        ),
+    ]
+    return {e.id: e for e in entries}
+
+
+EXPERIMENTS: dict[str, Experiment] = _build_registry()
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment; raises :class:`SpecError` on unknown ids."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError as exc:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise SpecError(
+            f"unknown experiment {exp_id!r}; known ids: {known}"
+        ) from exc
+
+
+def run_experiment(exp_id: str) -> Any:
+    """Run an experiment by id and return its result object."""
+    return get_experiment(exp_id).runner()

@@ -1,0 +1,37 @@
+"""Experiment scaling via the ``REPRO_SCALE`` environment variable.
+
+``REPRO_SCALE=1`` (default) runs the sizes used for EXPERIMENTS.md;
+smaller values shrink grids/trials/stream lengths proportionally (tests
+use ~0.2 implicitly via explicit small arguments); larger values extend
+toward the paper's full 100-trial, 50k-item campaigns.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import SpecError
+
+__all__ = ["repro_scale", "scaled"]
+
+_ENV = "REPRO_SCALE"
+
+
+def repro_scale() -> float:
+    """The current scale factor (positive float, default 1.0)."""
+    raw = os.environ.get(_ENV)
+    if raw is None:
+        return 1.0
+    try:
+        val = float(raw)
+    except ValueError as exc:
+        raise SpecError(f"{_ENV}={raw!r} is not a number") from exc
+    if val <= 0:
+        raise SpecError(f"{_ENV} must be > 0, got {val}")
+    return val
+
+
+def scaled(n: int, *, minimum: int = 1, factor: float | None = None) -> int:
+    """``n`` scaled by ``REPRO_SCALE`` (or an explicit factor), floored."""
+    f = repro_scale() if factor is None else factor
+    return max(minimum, int(round(n * f)))

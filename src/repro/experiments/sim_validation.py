@@ -1,0 +1,159 @@
+"""Experiment E7: optimizer predictions vs simulator measurements.
+
+Section 6.2: "the active fractions measured in the simulator closely
+matched those predicted by the optimizer for each approach and set of
+parameters tested."  This driver quantifies that match at representative
+grid points for both strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.blast.pipeline import blast_pipeline, calibrated_b
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.core.enforced_waits import EnforcedWaitsProblem
+from repro.core.model import RealTimeProblem
+from repro.core.monolithic import MonolithicProblem
+from repro.dataflow.spec import PipelineSpec
+from repro.experiments.scale import scaled
+from repro.sim.enforced import EnforcedWaitsSimulator
+from repro.sim.monolithic import MonolithicSimulator
+from repro.utils.mathx import relative_error
+from repro.utils.tables import render_table
+
+__all__ = ["SimValidationResult", "run_sim_validation"]
+
+#: Representative (tau0, D) points spanning both binding regimes.
+DEFAULT_POINTS: tuple[tuple[float, float], ...] = (
+    (5.0, 3.0e5),
+    (10.0, 3.5e5),
+    (20.0, 1.0e5),
+    (50.0, 2.0e5),
+    (100.0, 5.0e4),
+    (100.0, 3.5e5),
+)
+
+
+@dataclass
+class ValidationRow:
+    """Prediction vs measurement at one grid point for one strategy."""
+
+    strategy: str
+    tau0: float
+    deadline: float
+    predicted_af: float
+    measured_af: float
+    miss_rate: float
+
+    @property
+    def rel_error(self) -> float:
+        return relative_error(self.measured_af, self.predicted_af)
+
+
+@dataclass
+class SimValidationResult:
+    rows: list[ValidationRow] = field(default_factory=list)
+
+    @property
+    def max_rel_error(self) -> float:
+        return max((r.rel_error for r in self.rows), default=float("nan"))
+
+    def render(self) -> str:
+        table_rows = [
+            (
+                r.strategy,
+                r.tau0,
+                r.deadline,
+                r.predicted_af,
+                r.measured_af,
+                r.rel_error,
+                r.miss_rate,
+            )
+            for r in self.rows
+        ]
+        return render_table(
+            [
+                "strategy",
+                "tau0",
+                "D",
+                "predicted AF",
+                "measured AF",
+                "rel err",
+                "miss rate",
+            ],
+            table_rows,
+            title=(
+                "E7: optimizer prediction vs simulator measurement "
+                f"(max rel err {self.max_rel_error:.3g})"
+            ),
+        )
+
+
+def run_sim_validation(
+    pipeline: PipelineSpec | None = None,
+    *,
+    points: tuple[tuple[float, float], ...] = DEFAULT_POINTS,
+    n_items: int | None = None,
+    seed: int = 0,
+    b_enforced: np.ndarray | None = None,
+) -> SimValidationResult:
+    """Compare predicted and measured active fractions at ``points``."""
+    if pipeline is None:
+        pipeline = blast_pipeline()
+    if b_enforced is None:
+        b_enforced = calibrated_b()
+    items = n_items if n_items is not None else scaled(30_000, minimum=2000)
+    result = SimValidationResult()
+    for tau0, deadline in points:
+        problem = RealTimeProblem(pipeline, tau0, deadline)
+        esol = EnforcedWaitsProblem(problem, b_enforced).solve()
+        if esol.feasible:
+            sim = EnforcedWaitsSimulator(
+                pipeline,
+                esol.waits,
+                FixedRateArrivals(tau0),
+                deadline,
+                items,
+                seed=seed,
+            )
+            metrics = sim.run()
+            result.rows.append(
+                ValidationRow(
+                    strategy="enforced",
+                    tau0=tau0,
+                    deadline=deadline,
+                    predicted_af=esol.active_fraction,
+                    measured_af=metrics.active_fraction,
+                    miss_rate=metrics.miss_rate,
+                )
+            )
+        msol = MonolithicProblem(problem).solve()
+        if msol.feasible:
+            # The steady-state measurement needs several *full* blocks.
+            items_m = max(items, 4 * msol.block_size)
+            sim_m = MonolithicSimulator(
+                pipeline,
+                msol.block_size,
+                FixedRateArrivals(tau0),
+                deadline,
+                items_m,
+                seed=seed,
+            )
+            metrics_m = sim_m.run()
+            measured = metrics_m.extra["af_steady"]
+            if np.isnan(measured):
+                measured = metrics_m.active_fraction
+            result.rows.append(
+                ValidationRow(
+                    strategy="monolithic",
+                    tau0=tau0,
+                    deadline=deadline,
+                    predicted_af=msol.active_fraction,
+                    measured_af=float(measured),
+                    miss_rate=metrics_m.miss_rate,
+                )
+            )
+    return result

@@ -1,0 +1,98 @@
+"""Extension W1: sensitivity to the SIMD vector width ``v``.
+
+The paper fixes ``v = 128`` (the MERCATOR configuration) but its closing
+section points at "many other devices [with] wide SIMD support".  This
+experiment sweeps the device width at a fixed operating point, holding
+service times constant (an idealized device family where a firing costs
+the same regardless of width — i.e., pure lane-count scaling).
+
+Expected shape: a wider device helps *both* strategies (more items per
+fixed-cost firing), but affects their *feasibility* differently — the
+head-rate cap ``x_0 <= v * tau0`` relaxes linearly in ``v`` for enforced
+waits, while the monolithic stability threshold ``tau0 >= sum G_i t_i / v``
+also falls as ``1/v`` — so the band of arrival rates where only enforced
+waits are feasible shifts rather than disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.blast.pipeline import blast_pipeline, calibrated_b
+from repro.core.enforced_waits import EnforcedWaitsProblem
+from repro.core.feasibility import min_tau0_enforced, min_tau0_monolithic
+from repro.core.model import RealTimeProblem
+from repro.core.monolithic import MonolithicProblem
+from repro.utils.tables import render_table
+
+__all__ = ["WidthSweepResult", "run_width_sweep"]
+
+DEFAULT_WIDTHS: tuple[int, ...] = (16, 32, 64, 128, 256, 512)
+DEFAULT_POINT: tuple[float, float] = (20.0, 1.5e5)
+
+
+@dataclass
+class WidthSweepResult:
+    """Per-width active fractions and feasibility thresholds."""
+
+    point: tuple[float, float]
+    widths: tuple[int, ...]
+    rows: list[tuple[int, float, float, float, float]] = field(
+        default_factory=list
+    )
+
+    def enforced_af(self, width: int) -> float:
+        for w, e, _m, _te, _tm in self.rows:
+            if w == width:
+                return e
+        raise KeyError(width)
+
+    def monolithic_af(self, width: int) -> float:
+        for w, _e, m, _te, _tm in self.rows:
+            if w == width:
+                return m
+        raise KeyError(width)
+
+    def render(self) -> str:
+        return render_table(
+            [
+                "v",
+                "enforced AF",
+                "monolithic AF",
+                "min tau0 (enforced)",
+                "min tau0 (monolithic)",
+            ],
+            self.rows,
+            title=(
+                f"W1: SIMD width sweep at (tau0, D)={self.point} "
+                "(service times held fixed)"
+            ),
+        )
+
+
+def run_width_sweep(
+    point: tuple[float, float] = DEFAULT_POINT,
+    *,
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+) -> WidthSweepResult:
+    """Evaluate both strategies across device widths at one point."""
+    tau0, deadline = point
+    base = blast_pipeline()
+    result = WidthSweepResult(point=point, widths=tuple(widths))
+    for v in widths:
+        pipeline = base.with_vector_width(int(v))
+        problem = RealTimeProblem(pipeline, tau0, deadline)
+        esol = EnforcedWaitsProblem(problem, calibrated_b()).solve()
+        msol = MonolithicProblem(problem).solve()
+        result.rows.append(
+            (
+                int(v),
+                esol.active_fraction if esol.feasible else float("nan"),
+                msol.active_fraction if msol.feasible else float("nan"),
+                min_tau0_enforced(pipeline),
+                min_tau0_monolithic(pipeline),
+            )
+        )
+    return result

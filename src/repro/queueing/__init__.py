@@ -1,0 +1,52 @@
+"""Bulk-service queueing theory for a-priori worst-case parameters.
+
+Section 7 of the paper proposes deriving the queue multipliers ``b_i``
+from queueing theory instead of empirical calibration, citing the classic
+bulk-service queue analyses of Bailey (1954) and Briere & Chaudhry (1989).
+This package implements that direction:
+
+- :mod:`~repro.queueing.bulk_service` — stationary queue-length analysis
+  of a batch-service queue observed at service epochs (the embedded chain
+  ``q' = max(q - v, 0) + A`` of Bailey's model, solved numerically for an
+  arbitrary per-period arrival-count distribution).
+- :mod:`~repro.queueing.tandem` — an approximate decomposition of the
+  pipeline into per-node bulk queues, propagating compound gain
+  distributions downstream (the "Jacksonian" approximation the paper
+  suggests).
+- :mod:`~repro.queueing.estimate_b` — turn stationary distributions into
+  small-integer ``b_i`` with a tail-probability guarantee.
+- :mod:`~repro.queueing.mg1` — M/G/1 and M/D/1 reference formulas
+  (Pollaczek-Khinchine) used in tests as sanity anchors.
+"""
+
+from repro.queueing.bulk_service import (
+    BulkQueueStationary,
+    arrivals_pmf_deterministic,
+    arrivals_pmf_poisson,
+    bulk_queue_stationary,
+)
+from repro.queueing.tandem import TandemApproximation, analyze_tandem
+from repro.queueing.estimate_b import estimate_b
+from repro.queueing.latency import LatencyPrediction, predict_latency
+from repro.queueing.monolithic_latency import (
+    MonolithicLatencyPrediction,
+    predict_monolithic_latency,
+)
+from repro.queueing.mg1 import md1_mean_queue, md1_mean_wait, mg1_mean_wait
+
+__all__ = [
+    "BulkQueueStationary",
+    "bulk_queue_stationary",
+    "arrivals_pmf_deterministic",
+    "arrivals_pmf_poisson",
+    "TandemApproximation",
+    "analyze_tandem",
+    "estimate_b",
+    "LatencyPrediction",
+    "predict_latency",
+    "MonolithicLatencyPrediction",
+    "predict_monolithic_latency",
+    "mg1_mean_wait",
+    "md1_mean_wait",
+    "md1_mean_queue",
+]

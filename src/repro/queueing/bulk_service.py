@@ -1,0 +1,196 @@
+"""Stationary analysis of a batch-service queue at service epochs.
+
+A node firing every ``P`` cycles with batch capacity ``v`` defines the
+embedded chain on queue length just before each firing::
+
+    q' = max(q - v, 0) + A
+
+where ``A`` is the number of arrivals during one period.  This is Bailey's
+bulk-service queue observed at departure epochs; for a general arrival
+pmf we compute the stationary distribution numerically by iterating the
+pmf-to-pmf map (a shift-and-collapse followed by a convolution) on a
+truncated support.
+
+Stability requires ``E[A] < v``; the truncation cap must comfortably
+exceed the bulk of the stationary mass (the iteration reports the mass
+lost at the cap so callers can detect an inadequate cap).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError, SpecError
+
+__all__ = [
+    "arrivals_pmf_deterministic",
+    "arrivals_pmf_poisson",
+    "BulkQueueStationary",
+    "bulk_queue_stationary",
+    "pmf_convolve",
+]
+
+
+def pmf_convolve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Convolution of two pmfs, FFT-accelerated for large supports.
+
+    FFT round-off can produce tiny negative entries; they are clipped and
+    the result renormalized, keeping it a valid pmf.
+    """
+    if a.size * b.size <= 65536:
+        return np.convolve(a, b)
+    from scipy.signal import fftconvolve
+
+    out = fftconvolve(a, b)
+    np.clip(out, 0.0, None, out=out)
+    s = out.sum()
+    return out / s if s > 0 else out
+
+
+def arrivals_pmf_deterministic(rate: float, period: float) -> np.ndarray:
+    """Arrival-count pmf for a fixed-rate stream observed over one period.
+
+    A deterministic stream of rate ``rate`` delivers ``floor(rate*period)``
+    or ``ceil(rate*period)`` arrivals depending on phase; over random
+    phase the pmf is the two-point mixture with the exact fractional
+    weight.
+    """
+    if rate < 0 or period <= 0:
+        raise SpecError("rate must be >= 0 and period > 0")
+    mean = rate * period
+    lo = int(math.floor(mean))
+    frac = mean - lo
+    pmf = np.zeros(lo + 2)
+    pmf[lo] = 1.0 - frac
+    pmf[lo + 1] = frac
+    return pmf
+
+
+def arrivals_pmf_poisson(
+    rate: float, period: float, *, tail: float = 1e-12
+) -> np.ndarray:
+    """Poisson arrival-count pmf over one period, truncated at tail mass."""
+    if rate < 0 or period <= 0:
+        raise SpecError("rate must be >= 0 and period > 0")
+    lam = rate * period
+    if lam == 0:
+        return np.asarray([1.0])
+    hi = int(lam + 12 * math.sqrt(lam) + 20)
+    k = np.arange(hi + 1)
+    from scipy.special import gammaln
+
+    logp = k * math.log(lam) - lam - gammaln(k + 1)
+    pmf = np.exp(logp)
+    keep = pmf.cumsum() <= 1 - tail
+    n = max(int(keep.sum()) + 1, 1)
+    pmf = pmf[:n]
+    return pmf / pmf.sum()
+
+
+@dataclass(frozen=True)
+class BulkQueueStationary:
+    """Stationary distribution of the embedded queue-length chain.
+
+    ``pmf[k]`` is the long-run probability of ``k`` items queued just
+    before a firing.  ``lost_mass`` is the probability flux collapsed onto
+    the truncation cap during iteration (should be ~0 for a valid cap).
+    """
+
+    pmf: np.ndarray
+    iterations: int
+    lost_mass: float
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(np.arange(self.pmf.size), self.pmf))
+
+    def quantile(self, q: float) -> int:
+        """Smallest k with ``P(Q <= k) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise SpecError(f"quantile must be in [0,1], got {q}")
+        cdf = np.cumsum(self.pmf)
+        return int(np.searchsorted(cdf, q - 1e-15))
+
+    def tail_prob(self, k: int) -> float:
+        """``P(Q > k)``."""
+        if k < 0:
+            return 1.0
+        if k >= self.pmf.size - 1:
+            return 0.0
+        return float(self.pmf[k + 1 :].sum())
+
+
+def bulk_queue_stationary(
+    arrivals_pmf: np.ndarray,
+    batch_capacity: int,
+    *,
+    cap: int | None = None,
+    tol: float = 1e-10,
+    max_iter: int = 20_000,
+) -> BulkQueueStationary:
+    """Iterate ``q' = max(q - v, 0) + A`` to stationarity.
+
+    Parameters
+    ----------
+    arrivals_pmf:
+        pmf of arrivals per period (index = count).
+    batch_capacity:
+        The SIMD width ``v`` (items served per firing).
+    cap:
+        Queue-length truncation; defaults to
+        ``16 * batch_capacity + 4 * len(arrivals_pmf)``.
+    """
+    a = np.asarray(arrivals_pmf, dtype=float)
+    if a.ndim != 1 or a.size == 0 or (a < 0).any():
+        raise SpecError("arrivals_pmf must be a non-negative 1-D pmf")
+    total = a.sum()
+    if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+        raise SpecError(f"arrivals_pmf sums to {total}, expected 1")
+    a = a / total
+    v = int(batch_capacity)
+    if v < 1:
+        raise SpecError(f"batch_capacity must be >= 1, got {v}")
+    mean_a = float(np.dot(np.arange(a.size), a))
+    var_a = float(np.dot((np.arange(a.size) - mean_a) ** 2, a))
+    if var_a <= 1e-12 and mean_a <= v:
+        # Degenerate arrivals of exactly `round(mean_a)` per period: the
+        # chain reaches a point mass in one step even at critical load
+        # (q' = max(q - v, 0) + a stays at a once q <= v).
+        k = int(round(mean_a))
+        size = max(k + 1, 1)
+        pmf = np.zeros(size)
+        pmf[k] = 1.0
+        return BulkQueueStationary(pmf=pmf, iterations=1, lost_mass=0.0)
+    if mean_a >= v * (1 - 1e-9):
+        raise SolverError(
+            f"critically loaded bulk queue: E[A]={mean_a:.6g} vs capacity "
+            f"{v}; the stationary queue is unbounded (or numerically "
+            "unresolvable) for stochastic arrivals at or beyond capacity"
+        )
+    if cap is None:
+        cap = 16 * v + 4 * a.size
+    cap = int(cap)
+
+    pmf = np.zeros(cap + 1)
+    pmf[0] = 1.0
+    lost = 0.0
+    for it in range(1, max_iter + 1):
+        # Serve: collapse the first v+1 states onto 0, shift the rest down.
+        served = np.zeros(cap + 1)
+        head = pmf[: v + 1].sum()
+        served[0] = head
+        rest = pmf[v + 1 :]
+        served[1 : 1 + rest.size] = rest
+        # Arrive: convolve, re-truncate.
+        nxt = pmf_convolve(served, a)
+        lost = float(nxt[cap + 1 :].sum())
+        trimmed = nxt[: cap + 1].copy()
+        trimmed[cap] += lost  # keep mass normalized at the cap
+        delta = float(np.abs(trimmed - pmf).sum())
+        pmf = trimmed
+        if delta <= tol:
+            return BulkQueueStationary(pmf=pmf, iterations=it, lost_mass=lost)
+    return BulkQueueStationary(pmf=pmf, iterations=max_iter, lost_mass=lost)

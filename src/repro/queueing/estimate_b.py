@@ -1,0 +1,77 @@
+"""A-priori estimates of the worst-case queue multipliers ``b_i``.
+
+The enforced-waits deadline constraint assumes node ``i``'s input queue
+never holds more than ``b_i * v`` items (Section 4.2).  Given stationary
+queue distributions from the tandem approximation, the natural estimate is
+the smallest integer ``b`` with ``P(Q > b*v) <= epsilon`` — i.e. the
+queue exceeds the assumed depth only with small probability per firing.
+
+This realizes the paper's future-work plan (Section 7) and is compared
+against the empirically calibrated values in experiment F1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+from repro.queueing.tandem import analyze_tandem
+
+__all__ = ["estimate_b"]
+
+
+def estimate_b(
+    pipeline: PipelineSpec,
+    periods: np.ndarray,
+    tau0: float,
+    *,
+    epsilon: float = 1e-4,
+    arrival_kind: str = "deterministic",
+    max_b: int = 64,
+    strict: bool = True,
+) -> np.ndarray:
+    """Per-node ``b_i`` with stationary tail ``P(Q > b_i*v) <= epsilon``.
+
+    A node whose decomposed queue is critically loaded (which happens
+    exactly when the optimizer's chain-stability constraint binds with
+    equality at that node — the large-deadline regime) has an unbounded
+    stationary queue under the independence approximation.  With
+    ``strict=True`` (default) that raises :class:`SpecError`; with
+    ``strict=False`` the node's estimate is ``inf``, letting experiment F1
+    report where the approximation breaks down versus where it produces
+    usable multipliers.  The search is also bounded by the numerical
+    truncation of the stationary pmf (estimates needing most of the
+    truncated support are treated as unresolved, not trusted).
+    """
+    if not 0 < epsilon < 1:
+        raise SpecError(f"epsilon must be in (0,1), got {epsilon}")
+    approx = analyze_tandem(
+        pipeline,
+        periods,
+        tau0,
+        arrival_kind=arrival_kind,
+        on_unstable="raise" if strict else "none",
+    )
+    v = pipeline.vector_width
+    out = np.empty(pipeline.n_nodes)
+    for i, stat in enumerate(approx.stationaries):
+        if stat is None:
+            out[i] = float("inf")
+            continue
+        resolvable = max(stat.pmf.size // v - 2, 1)
+        limit = min(max_b, resolvable)
+        b = 1
+        while stat.tail_prob(b * v) > epsilon:
+            b += 1
+            if b > limit:
+                if strict:
+                    raise SpecError(
+                        f"node {i} needs b > {limit} at epsilon={epsilon}; "
+                        "its decomposed queue is at or beyond the stability "
+                        "boundary (binding chain constraint)"
+                    )
+                b = -1
+                break
+        out[i] = float("inf") if b < 0 else b
+    return out

@@ -1,0 +1,120 @@
+"""A-priori end-to-end latency prediction from the queue decomposition.
+
+The enforced-waits deadline constraint ``sum_i b_i (t_i + w_i) <= D``
+assumes an item waits at most ``b_i`` firings at node ``i``.  Given the
+tandem decomposition's stationary queue distributions, we can do better
+than a worst-case bound: predict the *distribution* of an item's
+end-to-end latency and read off quantiles, to compare against the
+simulator's measured latencies (closing the loop between experiments F1
+and E7).
+
+Model: an item arriving at node ``i`` finds ``Q_i`` items queued (``Q_i``
+~ the stationary distribution), so ``Q_i // v`` full firings must happen
+before the firing that consumes it.  Its time at the node is then
+
+    phase + (Q_i // v) * x_i + t_i
+
+where ``phase ~ Uniform[0, x_i)`` is the residual time until the next
+firing (the item arrives at a random point of the firing cycle) and the
+final ``t_i`` is the service of its own firing.  Nodes are treated as
+independent (the same Jackson-style approximation as the decomposition)
+and the per-node distributions are convolved on a common time grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+from repro.queueing.bulk_service import pmf_convolve
+from repro.queueing.tandem import analyze_tandem
+
+__all__ = ["LatencyPrediction", "predict_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyPrediction:
+    """Discretized end-to-end latency distribution.
+
+    ``support`` (cycles) and ``pmf`` describe the predicted latency of an
+    item that traverses the full pipeline; ``resolution`` is the bin
+    width used for discretization.
+    """
+
+    support: np.ndarray
+    pmf: np.ndarray
+    resolution: float
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(self.support, self.pmf))
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise SpecError(f"quantile must be in [0,1], got {q}")
+        cdf = np.cumsum(self.pmf)
+        idx = int(np.searchsorted(cdf, q - 1e-15))
+        idx = min(idx, self.support.size - 1)
+        return float(self.support[idx])
+
+    def miss_probability(self, deadline: float) -> float:
+        """Predicted P(latency > deadline)."""
+        return float(self.pmf[self.support > deadline].sum())
+
+
+def predict_latency(
+    pipeline: PipelineSpec,
+    periods: np.ndarray,
+    tau0: float,
+    *,
+    arrival_kind: str = "deterministic",
+    resolution: float | None = None,
+) -> LatencyPrediction:
+    """Predict end-to-end latency from the tandem decomposition.
+
+    Raises the decomposition's errors when a node is critically loaded
+    (binding chain constraints) — latency is unbounded there under the
+    independence approximation, matching :func:`repro.queueing.estimate_b`.
+    """
+    periods = np.asarray(periods, dtype=float)
+    n = pipeline.n_nodes
+    if periods.shape != (n,):
+        raise SpecError(f"periods must have length {n}")
+    approx = analyze_tandem(
+        pipeline, periods, tau0, arrival_kind=arrival_kind
+    )
+    v = pipeline.vector_width
+    if resolution is None:
+        resolution = float(periods.min()) / 8.0
+
+    total_pmf = np.asarray([1.0])
+    t = pipeline.service_times
+    for i, stat in enumerate(approx.stationaries):
+        assert stat is not None  # analyze_tandem raised otherwise
+        qpmf = stat.pmf
+        # Extra full firings ahead of the item: Q // v.
+        max_extra = (qpmf.size - 1) // v
+        extra_pmf = np.zeros(max_extra + 1)
+        for q, p in enumerate(qpmf):
+            extra_pmf[q // v] += p
+        bins_per_period = max(int(round(periods[i] / resolution)), 1)
+        service_bins = max(int(round(t[i] / resolution)), 0)
+        size = (max_extra + 1) * bins_per_period + service_bins + 1
+        node_pmf = np.zeros(size)
+        # phase ~ Uniform over one period, discretized per bin.
+        phase_weight = 1.0 / bins_per_period
+        for extra, p in enumerate(extra_pmf):
+            base = extra * bins_per_period + service_bins
+            node_pmf[base : base + bins_per_period] += p * phase_weight
+        total_pmf = pmf_convolve(total_pmf, node_pmf)
+
+    support = np.arange(total_pmf.size) * resolution
+    s = total_pmf.sum()
+    return LatencyPrediction(
+        support=support,
+        pmf=total_pmf / s if s > 0 else total_pmf,
+        resolution=resolution,
+    )

@@ -1,0 +1,41 @@
+"""Classic single-server queue formulas (reference anchors).
+
+The Pollaczek-Khinchine mean-wait formula for M/G/1 and its M/D/1
+specialization.  These are not used by the pipeline analysis directly
+(pipeline nodes are *bulk* servers) but serve as sanity anchors in tests:
+the bulk-service chain of :mod:`repro.queueing.bulk_service` with batch
+capacity 1 and Poisson arrivals must agree with M/D/1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecError
+
+__all__ = ["mg1_mean_wait", "md1_mean_wait", "md1_mean_queue"]
+
+
+def mg1_mean_wait(
+    arrival_rate: float, mean_service: float, service_second_moment: float
+) -> float:
+    """Mean waiting time in queue for M/G/1 (Pollaczek-Khinchine).
+
+    ``W_q = lambda * E[S^2] / (2 * (1 - rho))`` with ``rho = lambda*E[S]``.
+    """
+    if arrival_rate <= 0 or mean_service <= 0:
+        raise SpecError("arrival_rate and mean_service must be > 0")
+    if service_second_moment < mean_service**2:
+        raise SpecError("E[S^2] must be >= E[S]^2")
+    rho = arrival_rate * mean_service
+    if rho >= 1:
+        raise SpecError(f"unstable queue: rho={rho:.4g} >= 1")
+    return arrival_rate * service_second_moment / (2.0 * (1.0 - rho))
+
+
+def md1_mean_wait(arrival_rate: float, service_time: float) -> float:
+    """Mean waiting time in queue for M/D/1: ``rho*S / (2*(1-rho))``."""
+    return mg1_mean_wait(arrival_rate, service_time, service_time**2)
+
+
+def md1_mean_queue(arrival_rate: float, service_time: float) -> float:
+    """Mean number waiting in queue for M/D/1 (Little's law on W_q)."""
+    return arrival_rate * md1_mean_wait(arrival_rate, service_time)

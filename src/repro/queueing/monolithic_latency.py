@@ -1,0 +1,166 @@
+"""Latency model for the monolithic strategy.
+
+The Figure 2 deadline constraint ``b*M/rho_0 + S*Tbar(M) <= D`` asserts
+that an item waits at most ``b`` block-accumulation periods plus a
+worst-case block service.  This module derives the *distribution* behind
+that bound for the stable, non-backlogged case (``b = 1``), which is
+exactly the regime the paper found sufficient ("we observed no deadline
+misses even with b = 1, S = 1"):
+
+An item lands at a uniformly random position ``p`` in its block of ``M``
+(position counted from the block's start).  It then waits
+
+- accumulation: ``(M - 1 - p) * tau0`` until the block is complete, and
+- service: the full block time ``T`` (all outputs exit at completion),
+
+so ``latency = (M - 1 - p) * tau0 + T`` with ``p ~ Uniform{0..M-1}``.
+``T`` fluctuates around ``Tbar(M)`` because the per-stage item counts are
+random; we model each stage's firing count as ``ceil(X_i / v)`` with
+``X_i`` normally approximated from the gain chain's mean/variance
+(Poisson-binomial CLT), giving a discrete distribution for ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.monolithic import MonolithicProblem
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+
+__all__ = ["MonolithicLatencyPrediction", "predict_monolithic_latency"]
+
+
+@dataclass(frozen=True)
+class MonolithicLatencyPrediction:
+    """Predicted latency statistics for items under block size M."""
+
+    block_size: int
+    tau0: float
+    service_support: np.ndarray
+    service_pmf: np.ndarray
+
+    @property
+    def mean_service(self) -> float:
+        return float(np.dot(self.service_support, self.service_pmf))
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean over uniform block position plus mean block service."""
+        return (self.block_size - 1) / 2.0 * self.tau0 + self.mean_service
+
+    @property
+    def max_accumulation_wait(self) -> float:
+        return (self.block_size - 1) * self.tau0
+
+    def quantile(self, q: float) -> float:
+        """Latency quantile over (position, service) independence."""
+        if not 0.0 <= q <= 1.0:
+            raise SpecError(f"quantile must be in [0,1], got {q}")
+        # Latency = A + T with A uniform on {0, tau0, ..., (M-1) tau0}.
+        m = self.block_size
+        acc = np.arange(m) * self.tau0
+        # Convolve the two distributions coarsely via sampling-free outer
+        # sum (support sizes are small: |T| stages combos, M positions).
+        lat = (acc[:, None] + self.service_support[None, :]).ravel()
+        w = (np.full(m, 1.0 / m)[:, None] * self.service_pmf[None, :]).ravel()
+        order = np.argsort(lat)
+        cdf = np.cumsum(w[order])
+        idx = int(np.searchsorted(cdf, q - 1e-15))
+        idx = min(idx, lat.size - 1)
+        return float(lat[order][idx])
+
+    def miss_probability(self, deadline: float) -> float:
+        m = self.block_size
+        acc = np.arange(m) * self.tau0
+        lat = (acc[:, None] + self.service_support[None, :]).ravel()
+        w = (np.full(m, 1.0 / m)[:, None] * self.service_pmf[None, :]).ravel()
+        return float(w[lat > deadline].sum())
+
+
+def _stage_count_moments(
+    pipeline: PipelineSpec, m: int
+) -> list[tuple[float, float]]:
+    """(mean, variance) of the item count entering each stage for a block
+    of ``m`` inputs, propagating the compound-sum law through the chain:
+    for ``S = sum_{j<=N} Y_j`` with ``N`` the (random) input count,
+    ``E[S] = E[N] E[Y]`` and
+    ``Var[S] = E[N] Var[Y] + Var[N] E[Y]^2``.
+    """
+    moments = [(float(m), 0.0)]
+    for node in pipeline.nodes[:-1]:
+        mean_n, var_n = moments[-1]
+        g = node.gain
+        mean_y = g.mean
+        var_y = g.variance
+        moments.append(
+            (
+                mean_n * mean_y,
+                mean_n * var_y + var_n * mean_y**2,
+            )
+        )
+    return moments
+
+
+def predict_monolithic_latency(
+    pipeline: PipelineSpec,
+    block_size: int,
+    tau0: float,
+    *,
+    n_sigma: float = 4.0,
+) -> MonolithicLatencyPrediction:
+    """Predict per-item latency for the stable monolithic pipeline.
+
+    Each stage's firing count is ``ceil(X/v)`` with ``X`` normal
+    (mean/variance from the gain chain); stage counts are treated as
+    independent and their service contributions convolved over a +-
+    ``n_sigma`` range.  Valid when blocks do not queue (the stability
+    constraint holds with margin), i.e. the paper's b = 1 regime.
+    """
+    if block_size < 1:
+        raise SpecError(f"block_size must be >= 1, got {block_size}")
+    if tau0 <= 0:
+        raise SpecError(f"tau0 must be > 0, got {tau0}")
+    v = pipeline.vector_width
+    moments = _stage_count_moments(pipeline, block_size)
+
+    support = np.asarray([0.0])
+    pmf = np.asarray([1.0])
+    for (mean_n, var_n), node in zip(moments, pipeline.nodes):
+        sd = float(np.sqrt(max(var_n, 0.0)))
+        lo = max(int(np.floor((mean_n - n_sigma * sd) / v)), 0)
+        hi = int(np.ceil((mean_n + n_sigma * sd) / v)) + 1
+        firings = np.arange(lo, hi + 1)
+        if sd == 0.0:
+            f = int(np.ceil(mean_n / v)) if mean_n > 0 else 0
+            stage_support = np.asarray([f * node.service_time])
+            stage_pmf = np.asarray([1.0])
+        else:
+            from scipy.stats import norm
+
+            # P(firings = f) = P((f-1)v < X <= f v).
+            upper = norm.cdf((firings * v - mean_n) / sd)
+            lower = norm.cdf(((firings - 1) * v - mean_n) / sd)
+            stage_pmf = np.maximum(upper - lower, 0.0)
+            total = stage_pmf.sum()
+            if total <= 0:
+                raise SpecError("degenerate stage-count distribution")
+            stage_pmf = stage_pmf / total
+            stage_support = firings * node.service_time
+        # Outer-sum convolution of small supports.
+        new_support = (support[:, None] + stage_support[None, :]).ravel()
+        new_pmf = (pmf[:, None] * stage_pmf[None, :]).ravel()
+        # Merge duplicates to keep the support compact.
+        uniq, inverse = np.unique(new_support, return_inverse=True)
+        merged = np.zeros(uniq.size)
+        np.add.at(merged, inverse, new_pmf)
+        support, pmf = uniq, merged
+
+    return MonolithicLatencyPrediction(
+        block_size=int(block_size),
+        tau0=float(tau0),
+        service_support=support,
+        service_pmf=pmf,
+    )

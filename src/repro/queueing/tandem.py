@@ -1,0 +1,176 @@
+"""Approximate decomposition of the pipeline into independent bulk queues.
+
+The exact system is a tandem network of bulk-service queues with
+deterministic service epochs — analytically intractable (Section 3 cites
+the restrictive assumptions of known product-form results).  Following the
+paper's future-work suggestion, we analyze each node *independently*:
+
+1. Node 0 sees the external arrival process over its period ``x_0``.
+2. Node ``i > 0`` sees, per period ``x_i``, the outputs of
+   ``x_i / x_{i-1}`` firings of node ``i-1`` (a fractional count handled
+   as a floor/ceil mixture), each firing emitting a *compound gain*: the
+   sum of per-item gains over the items it consumed.  The consumed count
+   is approximated by its steady-state mean ``min(v, rate_in * x_{i-1})``.
+
+Independence across nodes is the Jackson-style approximation; it ignores
+correlation between consecutive firings (bursts propagate), so the
+resulting tail estimates are *approximations*, to be compared against the
+empirically calibrated ``b_i`` (experiment F1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+from repro.queueing.bulk_service import (
+    BulkQueueStationary,
+    arrivals_pmf_deterministic,
+    arrivals_pmf_poisson,
+    bulk_queue_stationary,
+    pmf_convolve,
+)
+
+__all__ = ["TandemApproximation", "analyze_tandem"]
+
+
+def _pmf_self_convolve(pmf: np.ndarray, n: int, *, cap: int) -> np.ndarray:
+    """pmf of the sum of ``n`` iid draws, truncated at ``cap``."""
+    if n < 0:
+        raise SpecError(f"n must be >= 0, got {n}")
+    result = np.asarray([1.0])
+    base = np.asarray(pmf, dtype=float)
+    while n:
+        if n & 1:
+            result = pmf_convolve(result, base)[: cap + 1]
+        n >>= 1
+        if n:
+            base = pmf_convolve(base, base)[: cap + 1]
+    s = result.sum()
+    return result / s if s > 0 else result
+
+
+def _mix_counts(pmf_per_unit: np.ndarray, count: float, *, cap: int) -> np.ndarray:
+    """pmf of a sum over a *fractional* number of iid draws.
+
+    ``count = 3.4`` becomes a 60/40 mixture of 3 and 4 draws — the same
+    device :func:`arrivals_pmf_deterministic` uses for fractional arrival
+    counts.
+    """
+    lo = int(math.floor(count))
+    frac = count - lo
+    pmf_lo = _pmf_self_convolve(pmf_per_unit, lo, cap=cap)
+    if frac == 0.0:
+        return pmf_lo
+    pmf_hi = _pmf_self_convolve(pmf_per_unit, lo + 1, cap=cap)
+    size = max(pmf_lo.size, pmf_hi.size)
+    out = np.zeros(size)
+    out[: pmf_lo.size] += (1 - frac) * pmf_lo
+    out[: pmf_hi.size] += frac * pmf_hi
+    return out / out.sum()
+
+
+@dataclass(frozen=True)
+class TandemApproximation:
+    """Per-node stationary queue distributions under the decomposition.
+
+    A ``None`` entry marks a node whose decomposed queue is critically
+    loaded (stationary distribution unbounded under the approximation);
+    see :func:`analyze_tandem`'s ``on_unstable``.
+    """
+
+    stationaries: tuple[BulkQueueStationary | None, ...]
+    periods: np.ndarray
+    mean_inputs_per_period: np.ndarray
+
+    def queue_quantiles(self, q: float) -> np.ndarray:
+        """Per-node queue-length quantiles (items); inf for unstable nodes."""
+        return np.asarray(
+            [
+                float(s.quantile(q)) if s is not None else float("inf")
+                for s in self.stationaries
+            ]
+        )
+
+
+def analyze_tandem(
+    pipeline: PipelineSpec,
+    periods: np.ndarray,
+    tau0: float,
+    *,
+    arrival_kind: str = "deterministic",
+    cap_factor: int = 24,
+    on_unstable: str = "raise",
+) -> TandemApproximation:
+    """Independent bulk-queue analysis of every node (see module doc).
+
+    ``periods`` are the firing periods ``x_i = t_i + w_i`` (e.g. from the
+    enforced-waits optimizer).  ``arrival_kind`` selects the external
+    stream model ('deterministic' or 'poisson').
+
+    ``on_unstable`` controls critically loaded nodes (which occur exactly
+    where the optimizer's chain constraint binds): ``"raise"`` propagates
+    the :class:`~repro.errors.SolverError`; ``"none"`` records ``None``
+    for that node and continues with the rest.
+    """
+    if on_unstable not in ("raise", "none"):
+        raise SpecError(
+            f"on_unstable must be 'raise' or 'none', got {on_unstable!r}"
+        )
+    periods = np.asarray(periods, dtype=float)
+    n = pipeline.n_nodes
+    if periods.shape != (n,):
+        raise SpecError(f"periods must have length {n}")
+    if (periods <= 0).any():
+        raise SpecError("periods must be positive")
+    v = pipeline.vector_width
+    rate = 1.0 / tau0
+
+    stationaries: list[BulkQueueStationary | None] = []
+    mean_inputs = np.empty(n)
+    cap = cap_factor * v
+
+    def solve_node(a_pmf: np.ndarray) -> BulkQueueStationary | None:
+        from repro.errors import SolverError
+
+        try:
+            return bulk_queue_stationary(a_pmf, v, cap=cap)
+        except SolverError:
+            if on_unstable == "raise":
+                raise
+            return None
+
+    # Node 0: external arrivals over x_0.
+    if arrival_kind == "deterministic":
+        a_pmf = arrivals_pmf_deterministic(rate, periods[0])
+    elif arrival_kind == "poisson":
+        a_pmf = arrivals_pmf_poisson(rate, periods[0])
+    else:
+        raise SpecError(
+            f"arrival_kind must be 'deterministic' or 'poisson', "
+            f"got {arrival_kind!r}"
+        )
+    mean_inputs[0] = rate * periods[0]
+    stationaries.append(solve_node(a_pmf))
+
+    # Downstream nodes: compound outputs of upstream firings.
+    rate_in = rate  # item rate entering the current node
+    for i in range(1, n):
+        upstream = pipeline.nodes[i - 1]
+        consumed_mean = min(float(v), rate_in * periods[i - 1])
+        per_firing = _mix_counts(upstream.gain.pmf(), consumed_mean, cap=cap)
+        firings_per_period = periods[i] / periods[i - 1]
+        a_pmf = _mix_counts(per_firing, firings_per_period, cap=cap)
+        mean_inputs[i] = float(np.dot(np.arange(a_pmf.size), a_pmf))
+        stationaries.append(solve_node(a_pmf))
+        rate_in *= upstream.mean_gain
+
+    return TandemApproximation(
+        stationaries=tuple(stationaries),
+        periods=periods,
+        mean_inputs_per_period=mean_inputs,
+    )

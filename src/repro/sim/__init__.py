@@ -1,0 +1,35 @@
+"""Discrete-event simulators of the paper's execution model (Section 6.2).
+
+"We developed a discrete-event simulation of pipeline execution on the
+system described in Section 2.  The simulator is capable of processing a
+long stream of simulated inputs using either of our two strategies and
+determining how many inputs, if any, incur a deadline miss."
+
+- :class:`~repro.sim.enforced.EnforcedWaitsSimulator` — per-node periodic
+  firings with enforced waits ``w_i``.
+- :class:`~repro.sim.monolithic.MonolithicSimulator` — whole-pipeline block
+  processing with block size ``M``.
+- :mod:`~repro.sim.metrics` — per-run metrics (active fraction, latency
+  distribution, deadline misses, queue high-water marks).
+- :mod:`~repro.sim.runner` — multi-seed trial campaigns (the paper's "100
+  runs with different random seeds").
+"""
+
+from repro.sim.metrics import LatencyLedger, SimMetrics
+from repro.sim.adaptive import AdaptiveWaitsSimulator
+from repro.sim.enforced import EnforcedWaitsSimulator
+from repro.sim.monolithic import MonolithicSimulator
+from repro.sim.runner import TrialsResult, run_trials
+from repro.sim.report import summarize_metrics, summarize_trials
+
+__all__ = [
+    "SimMetrics",
+    "LatencyLedger",
+    "AdaptiveWaitsSimulator",
+    "EnforcedWaitsSimulator",
+    "MonolithicSimulator",
+    "run_trials",
+    "TrialsResult",
+    "summarize_metrics",
+    "summarize_trials",
+]

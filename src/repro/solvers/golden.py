@@ -1,0 +1,54 @@
+"""Golden-section minimization of a unimodal scalar function."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import SolverError
+
+__all__ = ["golden_section_min"]
+
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/phi
+_INVPHI2 = (3.0 - math.sqrt(5.0)) / 2.0  # 1/phi^2
+
+
+def golden_section_min(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 300,
+) -> tuple[float, float]:
+    """Minimize a unimodal ``fn`` on [lo, hi]; returns ``(x*, fn(x*))``.
+
+    Standard golden-section search with interval-width stopping.  On a
+    non-unimodal function it still converges to *a* local minimum bracketed
+    by the initial interval.
+    """
+    if lo > hi:
+        raise SolverError(f"golden_section_min needs lo <= hi, got [{lo}, {hi}]")
+    if lo == hi:
+        return lo, fn(lo)
+    a, b = lo, hi
+    h = b - a
+    c = a + _INVPHI2 * h
+    d = a + _INVPHI * h
+    fc, fd = fn(c), fn(d)
+    for _ in range(max_iter):
+        if h <= tol * max(1.0, abs(a) + abs(b)):
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            h = b - a
+            c = a + _INVPHI2 * h
+            fc = fn(c)
+        else:
+            a, c, fc = c, d, fd
+            h = b - a
+            d = a + _INVPHI * h
+            fd = fn(d)
+    if fc < fd:
+        return c, fc
+    return d, fd

@@ -1,0 +1,64 @@
+"""Vectorized grid-search helpers.
+
+The monolithic problem (Figure 2) has one bounded integer variable, so an
+exhaustive vectorized scan is both exact and fast; these helpers implement
+"argmin of objective over the feasible subset of a candidate grid".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SolverError
+
+__all__ = ["best_feasible_index", "grid_min"]
+
+
+def best_feasible_index(
+    objective: np.ndarray, feasible: np.ndarray
+) -> int | None:
+    """Index of the smallest objective among feasible entries, or None.
+
+    Ties break toward the smallest index, which for the monolithic scan
+    means the smallest block size achieving the optimum (preferable since
+    a smaller block also means less buffering).
+    """
+    obj = np.asarray(objective, dtype=float)
+    feas = np.asarray(feasible, dtype=bool)
+    if obj.shape != feas.shape or obj.ndim != 1:
+        raise SolverError("objective and feasible must be equal-length 1-D arrays")
+    if not feas.any():
+        return None
+    masked = np.where(feas, obj, np.inf)
+    idx = int(np.argmin(masked))
+    if not np.isfinite(masked[idx]):
+        return None
+    return idx
+
+
+def grid_min(
+    fn: Callable[[np.ndarray], np.ndarray],
+    candidates: np.ndarray,
+    *,
+    feasible: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> tuple[float, float] | None:
+    """Exact minimum of a vectorized ``fn`` over explicit candidates.
+
+    ``fn`` and ``feasible`` map a candidate array to value/mask arrays.
+    Returns ``(x*, fn(x*))`` or ``None`` if no candidate is feasible.
+    """
+    cand = np.asarray(candidates, dtype=float)
+    if cand.ndim != 1 or cand.size == 0:
+        raise SolverError("candidates must be a non-empty 1-D array")
+    vals = np.asarray(fn(cand), dtype=float)
+    mask = (
+        np.ones(cand.shape, dtype=bool)
+        if feasible is None
+        else np.asarray(feasible(cand), dtype=bool)
+    )
+    idx = best_feasible_index(vals, mask)
+    if idx is None:
+        return None
+    return float(cand[idx]), float(vals[idx])

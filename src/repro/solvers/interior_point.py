@@ -1,0 +1,155 @@
+"""Log-barrier interior-point method for linearly constrained convex programs.
+
+Solves::
+
+    minimize    f(x)
+    subject to  A x <= c
+
+for smooth convex ``f`` given by value/gradient/Hessian callbacks, by
+minimizing the centering function ``mu * f(x) - sum log(c - A x)`` with
+damped Newton steps and increasing ``mu`` along the central path.  The
+enforced-waits problem (4-8 variables, ~10 constraints) is tiny, so dense
+linear algebra is more than adequate.
+
+The caller must supply a strictly feasible starting point; for the
+enforced-waits problem :mod:`repro.core.enforced_waits` constructs one by
+shrinking toward the analytic center of the chain box.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solvers.line_search import backtracking_armijo
+from repro.solvers.result import SolverResult, SolverStatus
+
+__all__ = ["barrier_solve"]
+
+
+def barrier_solve(
+    f: Callable[[np.ndarray], float],
+    grad: Callable[[np.ndarray], np.ndarray],
+    hess: Callable[[np.ndarray], np.ndarray],
+    A: np.ndarray,
+    c: np.ndarray,
+    x0: np.ndarray,
+    *,
+    mu0: float = 1.0,
+    mu_factor: float = 10.0,
+    tol: float = 1e-9,
+    newton_tol: float = 1e-10,
+    max_newton: int = 80,
+    max_outer: int = 60,
+) -> SolverResult:
+    """Barrier method; see module docstring.
+
+    Parameters
+    ----------
+    f, grad, hess:
+        Objective callbacks; ``hess`` returns the dense Hessian matrix.
+    A, c:
+        Constraints ``A x <= c`` (m x n and m).
+    x0:
+        Strictly feasible start (``A x0 < c``); else :class:`SolverError`.
+    tol:
+        Target duality gap ``m / mu``.
+
+    Returns
+    -------
+    SolverResult with ``extra['duality_gap']`` and ``extra['mu']``.
+    """
+    A = np.asarray(A, dtype=float)
+    c = np.asarray(c, dtype=float)
+    x = np.asarray(x0, dtype=float).copy()
+    m, n = A.shape
+    if c.shape != (m,) or x.shape != (n,):
+        raise SolverError(
+            f"shape mismatch: A {A.shape}, c {c.shape}, x0 {x.shape}"
+        )
+    slack0 = c - A @ x
+    if (slack0 <= 0).any():
+        worst = int(np.argmin(slack0))
+        raise SolverError(
+            f"x0 not strictly feasible: constraint {worst} slack "
+            f"{slack0[worst]:.3g}"
+        )
+
+    def barrier_val(mu: float, xx: np.ndarray) -> float:
+        s = c - A @ xx
+        if (s <= 0).any():
+            return float("inf")
+        fx = f(xx)
+        if not np.isfinite(fx):
+            return float("inf")
+        return mu * fx - float(np.sum(np.log(s)))
+
+    mu = mu0
+    outer = 0
+    total_newton = 0
+    for outer in range(1, max_outer + 1):
+        # Newton centering at this mu.
+        for _ in range(max_newton):
+            s = c - A @ x
+            inv_s = 1.0 / s
+            g = mu * grad(x) + A.T @ inv_s
+            H = mu * hess(x) + A.T @ ((inv_s**2)[:, None] * A)
+            try:
+                step = np.linalg.solve(H, -g)
+            except np.linalg.LinAlgError:
+                # Regularize a singular Hessian.
+                H = H + 1e-10 * np.trace(H) / max(n, 1) * np.eye(n)
+                try:
+                    step = np.linalg.solve(H, -g)
+                except np.linalg.LinAlgError as exc:
+                    return SolverResult(
+                        x=x,
+                        objective=f(x),
+                        status=SolverStatus.FAILED,
+                        iterations=outer,
+                        message=f"singular Newton system: {exc}",
+                    )
+            lam_sq = float(-g @ step)
+            if lam_sq / 2.0 <= newton_tol:
+                break
+            fx_bar = barrier_val(mu, x)
+            slope = float(g @ step)
+            try:
+                alpha = backtracking_armijo(
+                    lambda z: barrier_val(mu, z), x, step, fx_bar, slope
+                )
+            except SolverError:
+                break  # cannot improve further at this mu; advance path
+            x = x + alpha * step
+            total_newton += 1
+        gap = m / mu
+        if gap <= tol:
+            # Dual estimate for KKT residual: lambda_i = 1/(mu * s_i).
+            s = c - A @ x
+            lam = 1.0 / (mu * s)
+            res = grad(x) + A.T @ lam
+            denom = max(float(np.max(np.abs(grad(x)))), 1e-300)
+            return SolverResult(
+                x=x,
+                objective=f(x),
+                status=SolverStatus.OPTIMAL,
+                iterations=outer,
+                kkt_residual=float(np.max(np.abs(res))) / denom,
+                message=f"converged, duality gap {gap:.3g}",
+                extra={
+                    "duality_gap": gap,
+                    "mu": mu,
+                    "newton_steps": total_newton,
+                },
+            )
+        mu *= mu_factor
+    return SolverResult(
+        x=x,
+        objective=f(x),
+        status=SolverStatus.MAX_ITER,
+        iterations=outer,
+        message=f"outer-iteration budget exhausted (gap {m / mu:.3g})",
+        extra={"duality_gap": m / mu, "mu": mu},
+    )

@@ -1,0 +1,204 @@
+"""Exact KKT solvers for separable problems with box + budget structure.
+
+The enforced-waits problem (Figure 1), after the change of variables
+``x_i = t_i + w_i``, relaxes to::
+
+    minimize    sum_i t_i / x_i
+    subject to  lo_i <= x_i <= hi_i          (bounds from w >= 0 and caps)
+                sum_i b_i x_i <= B           (the deadline budget)
+
+This is a classic *waterfilling* problem: at the optimum either the budget
+is slack and every ``x_i`` sits at its cap, or there is a water level
+``lam > 0`` with ``x_i = clip(sqrt(t_i / (lam * b_i)), lo_i, hi_i)`` and
+the budget tight.  The level is found by bisection on the monotone budget
+usage.  The solution is exact (up to bisection tolerance) and its KKT
+residual is reported so callers can *certify* optimality — in particular,
+:mod:`repro.core.enforced_waits` uses this as a fast path whenever the
+chain constraints turn out slack at the relaxed optimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solvers.bisection import bisect_root
+from repro.solvers.result import SolverResult, SolverStatus
+
+__all__ = ["waterfill_box_budget", "project_box_budget"]
+
+
+def _validate_box(lo: np.ndarray, hi: np.ndarray) -> None:
+    if (lo > hi + 1e-15).any():
+        bad = int(np.argmax(lo - hi))
+        raise SolverError(
+            f"empty box: lo[{bad}]={lo[bad]:.6g} > hi[{bad}]={hi[bad]:.6g}"
+        )
+
+
+def waterfill_box_budget(
+    t: np.ndarray,
+    b: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    budget: float,
+    *,
+    tol: float = 1e-12,
+) -> SolverResult:
+    """Solve ``min sum t_i/x_i  s.t. lo <= x <= hi, sum b_i x_i <= budget``.
+
+    Requirements: ``t >= 0``, ``b > 0``, ``lo > 0``.  Infinite ``hi``
+    entries are allowed (uncapped variables) provided the budget constraint
+    keeps the problem bounded whenever it must bind.
+
+    Returns a :class:`SolverResult`; ``extra['lam']`` holds the budget
+    multiplier (0 when the budget is slack).
+    """
+    t = np.asarray(t, dtype=float)
+    b = np.asarray(b, dtype=float)
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    n = t.size
+    if not (b.size == lo.size == hi.size == n):
+        raise SolverError("waterfill: t, b, lo, hi must have equal length")
+    if (t < 0).any():
+        raise SolverError("waterfill: t must be >= 0")
+    if (b <= 0).any():
+        raise SolverError("waterfill: b must be > 0")
+    if (lo <= 0).any():
+        raise SolverError("waterfill: lo must be > 0 (objective pole at 0)")
+    _validate_box(lo, hi)
+
+    min_usage = float(np.dot(b, lo))
+    if min_usage > budget * (1 + 1e-12):
+        return SolverResult(
+            x=lo.copy(),
+            objective=float(np.sum(t / lo)),
+            status=SolverStatus.INFEASIBLE,
+            message=(
+                f"minimum budget usage {min_usage:.6g} exceeds budget "
+                f"{budget:.6g}"
+            ),
+        )
+
+    def x_of(lam: float) -> np.ndarray:
+        with np.errstate(divide="ignore"):
+            raw = np.sqrt(np.where(t > 0, t, 0.0) / (lam * b))
+        raw = np.where(t > 0, raw, lo)  # zero-cost vars pinned at lo
+        return np.clip(raw, lo, hi)
+
+    # Budget slack at the caps -> caps are optimal (objective decreasing).
+    cap_usage = float(np.dot(b, hi))
+    if np.isfinite(cap_usage) and cap_usage <= budget * (1 + 1e-12):
+        x = hi.copy()
+        # Zero-cost variables still go to lo (saves budget, same objective);
+        # keep caps for t>0 only.
+        x = np.where(t > 0, x, lo)
+        return SolverResult(
+            x=x,
+            objective=float(np.sum(t / x)),
+            status=SolverStatus.OPTIMAL,
+            kkt_residual=0.0,
+            message="budget slack; all capped",
+            extra={"lam": 0.0},
+        )
+
+    # Bisection on lam: usage(lam) is nonincreasing.
+    def usage(lam: float) -> float:
+        return float(np.dot(b, x_of(lam)))
+
+    # Bracket: large lam -> x -> lo -> usage = min_usage <= budget;
+    # small lam -> x -> hi -> usage >= budget.
+    lam_hi = 1.0
+    while usage(lam_hi) > budget and lam_hi < 1e30:
+        lam_hi *= 4.0
+    lam_lo = lam_hi
+    while usage(lam_lo) < budget and lam_lo > 1e-30:
+        lam_lo /= 4.0
+    if usage(lam_lo) < budget * (1 - 1e-12):
+        # Even at tiny lam the caps keep usage below budget; handled above
+        # for finite caps — reaching here means numerical corner; treat as
+        # slack-at-caps.
+        x = x_of(lam_lo)
+        return SolverResult(
+            x=x,
+            objective=float(np.sum(t / x)),
+            status=SolverStatus.OPTIMAL,
+            kkt_residual=0.0,
+            message="budget effectively slack",
+            extra={"lam": float(lam_lo)},
+        )
+
+    # Geometric bisection on lam (it can span many orders of magnitude;
+    # arithmetic bisection loses relative precision at small lam).  Keep
+    # the final iterate on the feasible side (usage <= budget).
+    lam_lo = max(lam_lo, 1e-300)
+    for _ in range(200):
+        lam_mid = math.sqrt(lam_lo * lam_hi)
+        if usage(lam_mid) > budget:
+            lam_lo = lam_mid
+        else:
+            lam_hi = lam_mid
+        if lam_hi / lam_lo < 1 + 1e-14:
+            break
+    lam = lam_hi
+    x = x_of(lam)
+
+    # KKT residual: stationarity on strictly interior coordinates.
+    interior = (x > lo * (1 + 1e-9)) & (x < hi * (1 - 1e-9)) & (t > 0)
+    if interior.any():
+        res = np.abs(-t[interior] / x[interior] ** 2 + lam * b[interior])
+        scale = np.maximum(t[interior] / x[interior] ** 2, 1e-300)
+        kkt = float(np.max(res / scale))
+    else:
+        kkt = 0.0
+
+    return SolverResult(
+        x=x,
+        objective=float(np.sum(t / x)),
+        status=SolverStatus.OPTIMAL,
+        kkt_residual=kkt,
+        message="waterfilled",
+        extra={"lam": float(lam)},
+    )
+
+
+def project_box_budget(
+    y: np.ndarray,
+    b: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    budget: float,
+    *,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Euclidean projection onto ``{x : lo <= x <= hi, b^T x <= budget}``.
+
+    ``b`` must be positive and the set nonempty (``b^T lo <= budget``).
+    Standard approach: clamp; if the budget is violated, shift along ``-b``
+    by a multiplier found with bisection (usage is monotone in the shift).
+    """
+    y = np.asarray(y, dtype=float)
+    b = np.asarray(b, dtype=float)
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    if (b <= 0).any():
+        raise SolverError("project_box_budget: b must be > 0")
+    _validate_box(lo, hi)
+    if float(np.dot(b, lo)) > budget * (1 + 1e-12):
+        raise SolverError("project_box_budget: empty feasible set")
+
+    x = np.clip(y, lo, hi)
+    if float(np.dot(b, x)) <= budget * (1 + 1e-12):
+        return x
+
+    def usage(lam: float) -> float:
+        return float(np.dot(b, np.clip(y - lam * b, lo, hi)))
+
+    lam_hi = 1.0
+    while usage(lam_hi) > budget and lam_hi < 1e30:
+        lam_hi *= 4.0
+    lam = bisect_root(lambda l: usage(l) - budget, 0.0, lam_hi, tol=tol)
+    return np.clip(y - lam * b, lo, hi)

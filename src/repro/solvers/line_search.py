@@ -1,0 +1,49 @@
+"""Backtracking (Armijo) line search."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SolverError
+
+__all__ = ["backtracking_armijo"]
+
+
+def backtracking_armijo(
+    fn: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    direction: np.ndarray,
+    fx: float,
+    slope: float,
+    *,
+    alpha0: float = 1.0,
+    c1: float = 1e-4,
+    shrink: float = 0.5,
+    max_steps: int = 60,
+    accept_inf: bool = False,
+) -> float:
+    """Find a step ``alpha`` with sufficient decrease along ``direction``.
+
+    Requires ``slope = grad(f)^T direction < 0`` (a descent direction).
+    ``fn`` may return +inf outside a domain (e.g. a barrier); backtracking
+    then also serves as a fraction-to-the-boundary rule.
+
+    Returns the accepted step size; raises :class:`SolverError` if no step
+    satisfies the Armijo condition within ``max_steps`` halvings.
+    """
+    if slope >= 0:
+        raise SolverError(
+            f"line search needs a descent direction (slope={slope:.3g})"
+        )
+    alpha = alpha0
+    for _ in range(max_steps):
+        trial = fn(x + alpha * direction)
+        if np.isfinite(trial) and trial <= fx + c1 * alpha * slope:
+            return alpha
+        alpha *= shrink
+    raise SolverError(
+        f"Armijo line search failed after {max_steps} backtracks "
+        f"(fx={fx:.6g}, slope={slope:.3g})"
+    )

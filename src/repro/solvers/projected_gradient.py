@@ -1,0 +1,85 @@
+"""Projected gradient descent over box + budget constraint sets.
+
+A simple, robust first-order method used as an independent cross-check of
+the interior-point and waterfilling solvers on the relaxed enforced-waits
+problem (and usable for any smooth objective over the same set geometry).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solvers.kkt import project_box_budget
+from repro.solvers.result import SolverResult, SolverStatus
+
+__all__ = ["projected_gradient_min"]
+
+
+def projected_gradient_min(
+    f: Callable[[np.ndarray], float],
+    grad: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    budget: float,
+    x0: np.ndarray | None = None,
+    *,
+    step0: float = 1.0,
+    tol: float = 1e-10,
+    max_iter: int = 5000,
+) -> SolverResult:
+    """Minimize ``f`` over ``{lo <= x <= hi, b^T x <= budget}``.
+
+    Uses Armijo backtracking on the projected path and a fixed-point
+    stopping rule ``||x - P(x - s*grad)|| <= tol * (1 + ||x||)``.
+    """
+    b = np.asarray(b, dtype=float)
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    if x0 is None:
+        x = project_box_budget(0.5 * (lo + np.minimum(hi, lo * 4)), b, lo, hi, budget)
+    else:
+        x = project_box_budget(np.asarray(x0, dtype=float), b, lo, hi, budget)
+
+    fx = f(x)
+    if not np.isfinite(fx):
+        raise SolverError("projected gradient: objective not finite at start")
+    step = step0
+    it = 0
+    for it in range(1, max_iter + 1):
+        g = grad(x)
+        trial_step = step
+        accepted = False
+        for _ in range(60):
+            x_new = project_box_budget(x - trial_step * g, b, lo, hi, budget)
+            f_new = f(x_new)
+            # Armijo condition along the projected arc.
+            decrease = float(g @ (x - x_new))
+            if np.isfinite(f_new) and f_new <= fx - 1e-4 * decrease:
+                accepted = True
+                break
+            trial_step *= 0.5
+        if not accepted:
+            break
+        move = float(np.linalg.norm(x_new - x))
+        x, fx = x_new, f_new
+        step = min(trial_step * 2.0, step0 * 1e6)
+        if move <= tol * (1.0 + float(np.linalg.norm(x))):
+            return SolverResult(
+                x=x,
+                objective=fx,
+                status=SolverStatus.OPTIMAL,
+                iterations=it,
+                kkt_residual=move,
+                message="projected-gradient fixed point",
+            )
+    return SolverResult(
+        x=x,
+        objective=fx,
+        status=SolverStatus.MAX_ITER,
+        iterations=it,
+        message="iteration budget exhausted",
+    )

@@ -1,0 +1,67 @@
+"""Structured solver outcomes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolverStatus", "SolverResult"]
+
+
+class SolverStatus(enum.Enum):
+    """Terminal state of a solve."""
+
+    OPTIMAL = "optimal"
+    """Converged; KKT residuals below tolerance."""
+
+    MAX_ITER = "max_iter"
+    """Iteration budget exhausted before convergence."""
+
+    INFEASIBLE = "infeasible"
+    """The feasible region is (numerically) empty."""
+
+    FAILED = "failed"
+    """Numerical failure (singular system, NaN, ...)."""
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a numerical solve.
+
+    Attributes
+    ----------
+    x:
+        The final iterate (may be meaningless unless ``ok``).
+    objective:
+        Objective value at ``x``.
+    status:
+        Terminal :class:`SolverStatus`.
+    iterations:
+        Outer-iteration count.
+    kkt_residual:
+        Max-norm of the KKT/stationarity residual at ``x`` when the solver
+        computes one; NaN otherwise.
+    message:
+        Human-readable diagnostic.
+    """
+
+    x: np.ndarray
+    objective: float
+    status: SolverStatus
+    iterations: int = 0
+    kkt_residual: float = float("nan")
+    message: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the solve reached optimality."""
+        return self.status is SolverStatus.OPTIMAL
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverResult(status={self.status.value}, "
+            f"objective={self.objective:.6g}, iterations={self.iterations})"
+        )

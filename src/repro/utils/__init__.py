@@ -1,0 +1,39 @@
+"""Shared utilities: validation, math helpers, and text-table rendering."""
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+from repro.utils.mathx import (
+    ceil_div,
+    clamp,
+    cumprod_prefix,
+    geometric_spread,
+    is_close,
+    log_space,
+    relative_error,
+    safe_div,
+)
+from repro.utils.tables import render_table
+
+__all__ = [
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "ceil_div",
+    "clamp",
+    "cumprod_prefix",
+    "geometric_spread",
+    "is_close",
+    "log_space",
+    "relative_error",
+    "safe_div",
+    "render_table",
+]

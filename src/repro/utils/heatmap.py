@@ -1,0 +1,78 @@
+"""ASCII heatmaps for terminal-only visualization of sweep surfaces.
+
+Matplotlib is unavailable in many reproduction environments; an ASCII
+shading still conveys the *shape* of the Figure 3/4 surfaces (gradients
+and the Figure 4 zero crossing) directly in the terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_heatmap"]
+
+_DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    *,
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+    title: str | None = None,
+    ramp: str = _DEFAULT_RAMP,
+    nan_char: str = "·",
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render a 2-D array as shaded characters (low -> high along ramp).
+
+    NaN cells (e.g. infeasible sweep points) render as ``nan_char``.
+    ``vmin``/``vmax`` pin the color scale (default: data min/max), which
+    lets two surfaces share one scale for comparison.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {m.shape}")
+    if len(ramp) < 2:
+        raise ValueError("ramp needs at least 2 characters")
+    finite = m[np.isfinite(m)]
+    lo = vmin if vmin is not None else (float(finite.min()) if finite.size else 0.0)
+    hi = vmax if vmax is not None else (float(finite.max()) if finite.size else 1.0)
+    span = hi - lo if hi > lo else 1.0
+
+    def shade(value: float) -> str:
+        if not np.isfinite(value):
+            return nan_char
+        frac = min(max((value - lo) / span, 0.0), 1.0)
+        return ramp[int(round(frac * (len(ramp) - 1)))]
+
+    rows_txt = ["".join(shade(v) for v in row) for row in m]
+    label_w = 0
+    if row_labels is not None:
+        if len(row_labels) != m.shape[0]:
+            raise ValueError("row_labels length mismatch")
+        label_w = max(len(str(l)) for l in row_labels)
+        rows_txt = [
+            f"{str(l).rjust(label_w)} |{r}|"
+            for l, r in zip(row_labels, rows_txt)
+        ]
+    else:
+        rows_txt = [f"|{r}|" for r in rows_txt]
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.extend(rows_txt)
+    if col_labels is not None:
+        if len(col_labels) != m.shape[1]:
+            raise ValueError("col_labels length mismatch")
+        # Space is tight: print first and last column labels only.
+        pad = " " * (label_w + 2) if row_labels is not None else " "
+        first, last = str(col_labels[0]), str(col_labels[-1])
+        gap = max(m.shape[1] - len(first) - len(last), 1)
+        out.append(f"{pad}{first}{' ' * gap}{last}")
+    out.append(f"scale: '{ramp[0]}'={lo:.3g} .. '{ramp[-1]}'={hi:.3g}, '{nan_char}'=infeasible")
+    return "\n".join(out)

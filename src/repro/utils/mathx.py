@@ -1,0 +1,82 @@
+"""Small numeric helpers used throughout the package."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ceil_div",
+    "clamp",
+    "cumprod_prefix",
+    "geometric_spread",
+    "is_close",
+    "log_space",
+    "relative_error",
+    "safe_div",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division ``ceil(a / b)`` for non-negative ``a``, positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"ceil_div numerator must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def clamp(x: float, lo: float, hi: float) -> float:
+    """Clamp ``x`` into the closed interval [lo, hi]."""
+    if lo > hi:
+        raise ValueError(f"clamp requires lo <= hi, got [{lo}, {hi}]")
+    return lo if x < lo else hi if x > hi else x
+
+
+def cumprod_prefix(values: Sequence[float]) -> np.ndarray:
+    """Exclusive prefix products: out[i] = prod(values[:i]), out[0] = 1.
+
+    This is exactly the paper's total gain ``G_i = prod_{j<i} g_j`` when
+    applied to the per-node gains.
+    """
+    arr = np.asarray(values, dtype=float)
+    out = np.empty(arr.size + 1, dtype=float)
+    out[0] = 1.0
+    np.cumprod(arr, out=out[1:])
+    return out[:-1] if arr.size else out[:1]
+
+
+def geometric_spread(lo: float, hi: float, n: int) -> np.ndarray:
+    """``n`` geometrically spaced points from ``lo`` to ``hi`` inclusive."""
+    if lo <= 0 or hi <= 0:
+        raise ValueError("geometric_spread endpoints must be positive")
+    if n < 1:
+        raise ValueError("geometric_spread needs n >= 1")
+    if n == 1:
+        return np.asarray([lo], dtype=float)
+    return np.geomspace(lo, hi, n)
+
+
+def is_close(a: float, b: float, *, rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+    """Symmetric closeness test mirroring :func:`math.isclose` defaults we use."""
+    return math.isclose(a, b, rel_tol=rtol, abs_tol=atol)
+
+
+def log_space(lo: float, hi: float, n: int) -> np.ndarray:
+    """Alias of :func:`geometric_spread` kept for readability at call sites."""
+    return geometric_spread(lo, hi, n)
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured - expected| / max(|expected|, tiny); safe at expected == 0."""
+    denom = max(abs(expected), 1e-300)
+    return abs(measured - expected) / denom
+
+
+def safe_div(num: float, den: float, *, default: float = math.inf) -> float:
+    """``num / den`` with a configurable value when ``den == 0``."""
+    if den == 0:
+        return default
+    return num / den

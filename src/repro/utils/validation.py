@@ -1,0 +1,94 @@
+"""Argument-validation helpers.
+
+These raise :class:`repro.errors.SpecError` with uniform, descriptive
+messages.  Centralizing validation keeps the spec classes terse and the error
+text consistent across the package.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import SpecError
+
+__all__ = [
+    "check_type",
+    "check_finite",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_in_range",
+]
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> Any:
+    """Raise :class:`SpecError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        tname = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise SpecError(
+            f"{name} must be of type {tname}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_finite(name: str, value: float) -> float:
+    """Raise :class:`SpecError` unless ``value`` is a finite real number."""
+    try:
+        fval = float(value)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(fval) or math.isinf(fval):
+        raise SpecError(f"{name} must be finite, got {fval!r}")
+    return fval
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise :class:`SpecError` unless ``value`` is finite and > 0."""
+    fval = check_finite(name, value)
+    if fval <= 0:
+        raise SpecError(f"{name} must be > 0, got {fval!r}")
+    return fval
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Raise :class:`SpecError` unless ``value`` is finite and >= 0."""
+    fval = check_finite(name, value)
+    if fval < 0:
+        raise SpecError(f"{name} must be >= 0, got {fval!r}")
+    return fval
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise :class:`SpecError` unless ``value`` lies in [0, 1]."""
+    fval = check_finite(name, value)
+    if not 0.0 <= fval <= 1.0:
+        raise SpecError(f"{name} must be in [0, 1], got {fval!r}")
+    return fval
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    lo_open: bool = False,
+    hi_open: bool = False,
+) -> float:
+    """Raise :class:`SpecError` unless ``value`` is inside the interval.
+
+    ``lo_open``/``hi_open`` select open endpoints on either side.
+    """
+    fval = check_finite(name, value)
+    lo_ok = fval > lo if lo_open else fval >= lo
+    hi_ok = fval < hi if hi_open else fval <= hi
+    if not (lo_ok and hi_ok):
+        lbr = "(" if lo_open else "["
+        rbr = ")" if hi_open else "]"
+        raise SpecError(f"{name} must be in {lbr}{lo}, {hi}{rbr}, got {fval!r}")
+    return fval

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.blast.pipeline import blast_pipeline
+from repro.dataflow.gains import BernoulliGain, DeterministicGain
+from repro.dataflow.spec import NodeSpec, PipelineSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def blast() -> PipelineSpec:
+    """The paper's Table 1 pipeline."""
+    return blast_pipeline()
+
+
+@pytest.fixture
+def calibrated_b() -> np.ndarray:
+    return np.asarray([1.0, 3.0, 9.0, 6.0])
+
+
+@pytest.fixture
+def tiny_pipeline() -> PipelineSpec:
+    """A fast two-node pipeline for cheap simulation tests."""
+    return PipelineSpec(
+        (
+            NodeSpec("a", 10.0, BernoulliGain(0.5)),
+            NodeSpec("b", 20.0, DeterministicGain(1)),
+        ),
+        vector_width=4,
+    )
+
+
+@pytest.fixture
+def passthrough_pipeline() -> PipelineSpec:
+    """Three deterministic pass-through nodes (no randomness at all)."""
+    return PipelineSpec(
+        (
+            NodeSpec("p0", 5.0, DeterministicGain(1)),
+            NodeSpec("p1", 7.0, DeterministicGain(1)),
+            NodeSpec("p2", 3.0, DeterministicGain(1)),
+        ),
+        vector_width=8,
+    )

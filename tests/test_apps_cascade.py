@@ -1,0 +1,86 @@
+"""Tests for the decision-cascade application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cascade.cascade import (
+    CascadeStage,
+    cascade_pipeline,
+    default_cascade,
+    measure_cascade_gains,
+    synth_windows,
+)
+from repro.errors import SpecError
+
+
+class TestStages:
+    def test_default_cascade_shape(self):
+        stages = default_cascade()
+        costs = [s.service_time for s in stages]
+        feats = [s.n_features for s in stages]
+        assert costs == sorted(costs)  # deeper stages cost more
+        assert feats == sorted(feats)
+
+    def test_stage_validation(self):
+        with pytest.raises(SpecError):
+            CascadeStage(n_features=0, threshold=0.0, service_time=1.0)
+        with pytest.raises(SpecError):
+            CascadeStage(n_features=1, threshold=0.0, service_time=0.0)
+
+
+class TestWindows:
+    def test_shapes_and_labels(self, rng):
+        feats, is_obj = synth_windows(500, 16, 0.1, rng)
+        assert feats.shape == (500, 16)
+        assert is_obj.shape == (500,)
+        assert 0.02 < is_obj.mean() < 0.2
+
+    def test_objects_shifted(self, rng):
+        feats, is_obj = synth_windows(20_000, 8, 0.5, rng)
+        assert feats[is_obj].mean() > feats[~is_obj].mean()
+
+    def test_validation(self, rng):
+        with pytest.raises(SpecError):
+            synth_windows(0, 4, 0.1, rng)
+        with pytest.raises(SpecError):
+            synth_windows(10, 4, 1.5, rng)
+
+
+class TestGains:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return measure_cascade_gains(n_windows=10_000, seed=1)
+
+    def test_all_stages_filter(self, trace):
+        g = trace.mean_gains
+        assert ((g > 0.0) & (g <= 1.0)).all()
+
+    def test_survival_shrinks_down_cascade(self, trace):
+        sizes = [c.size for c in trace.stage_counts]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_detection_enriches_objects(self):
+        # Higher object fraction -> more detections.
+        low = measure_cascade_gains(
+            n_windows=10_000, object_fraction=0.0, seed=1
+        )
+        high = measure_cascade_gains(
+            n_windows=10_000, object_fraction=0.2, seed=1
+        )
+        assert high.n_detections > low.n_detections
+
+    def test_pipeline_constructs_and_solves(self, trace):
+        from repro.core.enforced_waits import solve_enforced_waits
+        from repro.core.feasibility import min_tau0_enforced
+        from repro.core.model import RealTimeProblem
+
+        p = cascade_pipeline(trace)
+        tau0 = 2.0 * min_tau0_enforced(p)
+        sol = solve_enforced_waits(
+            RealTimeProblem(p, tau0, 1e5), np.full(4, 2.0)
+        )
+        assert sol.feasible
+
+    def test_depth_mismatch_rejected(self, trace):
+        with pytest.raises(SpecError):
+            cascade_pipeline(trace, stages=default_cascade()[:2])

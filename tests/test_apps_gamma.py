@@ -1,0 +1,79 @@
+"""Tests for the gamma-ray burst detection application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gamma.detector import gamma_pipeline, measure_gamma_gains
+from repro.apps.gamma.photons import PhotonStreamConfig, synth_photon_stream
+from repro.errors import SpecError
+
+
+class TestPhotonStream:
+    def test_time_sorted_with_fields(self, rng):
+        events = synth_photon_stream(PhotonStreamConfig(), rng)
+        assert (np.diff(events["time"]) >= 0).all()
+        assert {"time", "x", "y", "energy", "is_burst"} <= set(
+            events.dtype.names
+        )
+
+    def test_burst_count(self, rng):
+        cfg = PhotonStreamConfig(n_bursts=3, burst_photons=25)
+        events = synth_photon_stream(cfg, rng)
+        assert int(events["is_burst"].sum()) == 75
+
+    def test_positions_in_unit_square(self, rng):
+        events = synth_photon_stream(PhotonStreamConfig(), rng)
+        assert (events["x"] >= 0).all() and (events["x"] <= 1).all()
+        assert (events["y"] >= 0).all() and (events["y"] <= 1).all()
+
+    def test_energy_spectrum_above_min(self, rng):
+        cfg = PhotonStreamConfig(min_energy=2.0)
+        events = synth_photon_stream(cfg, rng)
+        bg = events[~events["is_burst"]]
+        assert (bg["energy"] >= 2.0).all()
+
+    def test_config_validation(self):
+        with pytest.raises(SpecError):
+            PhotonStreamConfig(duration=0)
+        with pytest.raises(SpecError):
+            PhotonStreamConfig(burst_radius=0.6)
+        with pytest.raises(SpecError):
+            PhotonStreamConfig(energy_index=1.0)
+
+
+class TestDetectorGains:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return measure_gamma_gains(seed=2)
+
+    def test_stage_shapes(self, trace):
+        g = trace.mean_gains
+        assert 0.0 < g[0] < 1.0  # energy filter
+        assert g[1] >= 0.0  # pair expansion
+        assert 0.0 <= g[2] <= 1.0  # coincidence filter
+        assert g[3] == 1.0
+
+    def test_pair_limit_respected(self, trace):
+        assert trace.stage_counts[1].max() <= 16
+
+    def test_bursts_yield_coincidences(self):
+        quiet = measure_gamma_gains(
+            config=PhotonStreamConfig(n_bursts=0), seed=2
+        )
+        busy = measure_gamma_gains(
+            config=PhotonStreamConfig(n_bursts=10, burst_photons=60), seed=2
+        )
+        assert busy.n_detected_pairs > quiet.n_detected_pairs
+
+    def test_pipeline_is_usable_problem(self, trace):
+        from repro.core.enforced_waits import solve_enforced_waits
+        from repro.core.feasibility import min_tau0_enforced
+        from repro.core.model import RealTimeProblem
+
+        p = gamma_pipeline(trace)
+        tau0 = 2.0 * min_tau0_enforced(p)
+        sol = solve_enforced_waits(
+            RealTimeProblem(p, tau0, 5e5), np.full(4, 3.0)
+        )
+        assert sol.feasible
+        assert 0 < sol.active_fraction < 1

@@ -1,0 +1,130 @@
+"""Tests for the NIDS application, especially Aho-Corasick."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.nids.aho_corasick import AhoCorasick
+from repro.apps.nids.inspector import measure_nids_gains, nids_pipeline
+from repro.apps.nids.packets import (
+    DEFAULT_RULES,
+    PacketStreamConfig,
+    Rule,
+    synth_packets,
+)
+from repro.errors import SpecError
+
+
+class TestAhoCorasick:
+    def test_classic_example(self):
+        ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        assert sorted(ac.find(b"ushers")) == [(1, 1), (2, 0), (2, 3)]
+
+    def test_overlapping_matches(self):
+        ac = AhoCorasick([b"aa"])
+        assert ac.find(b"aaaa") == [(0, 0), (1, 0), (2, 0)]
+
+    def test_pattern_inside_pattern(self):
+        ac = AhoCorasick([b"ab", b"abab"])
+        found = sorted(ac.find(b"abab"))
+        assert (0, 0) in found  # "ab" at 0
+        assert (2, 0) in found  # "ab" at 2
+        assert (0, 1) in found  # "abab" at 0
+
+    def test_count_matches_find(self):
+        ac = AhoCorasick([b"ab", b"ba", b"aba"])
+        text = b"abababa"
+        assert ac.count(text) == len(ac.find(text))
+
+    def test_contains_any(self):
+        ac = AhoCorasick([b"xyz"])
+        assert ac.contains_any(b"wxyzw")
+        assert not ac.contains_any(b"wxyw")
+
+    def test_no_match(self):
+        ac = AhoCorasick([b"needle"])
+        assert ac.find(b"haystack") == []
+
+    def test_from_strings(self):
+        ac = AhoCorasick.from_strings(["abc"])
+        assert ac.find(b"xxabcxx") == [(2, 0)]
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            AhoCorasick([])
+        with pytest.raises(SpecError):
+            AhoCorasick([b""])
+
+    @settings(max_examples=40)
+    @given(
+        patterns=st.lists(
+            st.binary(min_size=1, max_size=4), min_size=1, max_size=5, unique=True
+        ),
+        text=st.binary(max_size=80),
+    )
+    def test_property_matches_naive_search(self, patterns, text):
+        """AC finds exactly what naive substring scanning finds."""
+        ac = AhoCorasick(patterns)
+        expected = set()
+        for pidx, pat in enumerate(patterns):
+            start = 0
+            while True:
+                i = text.find(pat, start)
+                if i < 0:
+                    break
+                expected.add((i, pidx))
+                start = i + 1
+        assert set(ac.find(text)) == expected
+
+
+class TestPackets:
+    def test_malicious_packets_match_their_rule(self, rng):
+        cfg = PacketStreamConfig(n_packets=2000, malicious_fraction=0.2)
+        packets = synth_packets(cfg, rng)
+        matcher = AhoCorasick([r.pattern for r in cfg.rules])
+        for pkt in packets:
+            if pkt.is_malicious:
+                assert matcher.contains_any(pkt.payload)
+
+    def test_rule_validation(self):
+        with pytest.raises(SpecError):
+            Rule(b"", 80)
+        with pytest.raises(SpecError):
+            Rule(b"x", 70000)
+        with pytest.raises(SpecError):
+            Rule(b"x", 80, max_offset=-1)
+
+    def test_config_validation(self):
+        with pytest.raises(SpecError):
+            PacketStreamConfig(n_packets=0)
+        with pytest.raises(SpecError):
+            PacketStreamConfig(malicious_fraction=1.5)
+
+
+class TestInspectorGains:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return measure_nids_gains(
+            config=PacketStreamConfig(n_packets=3000, malicious_fraction=0.05),
+            seed=4,
+        )
+
+    def test_stage_shapes(self, trace):
+        g = trace.mean_gains
+        assert 0.0 < g[0] < 1.0  # port filter
+        assert g[1] >= 0.0
+        assert 0.0 < g[2] <= 1.0  # decoys rejected here
+        assert g[3] == 1.0
+
+    def test_decoys_rejected_by_rule_eval(self, trace):
+        # Some content matches fail rule evaluation (wrong port decoys).
+        assert trace.mean_gains[2] < 1.0
+
+    def test_alerts_cover_malicious(self, trace):
+        assert trace.n_alerts >= trace.n_malicious  # every plant matched
+
+    def test_pipeline_constructs(self, trace):
+        p = nids_pipeline(trace)
+        assert p.n_nodes == 4
+        assert p.vector_width == 128

@@ -1,0 +1,117 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import (
+    BurstyArrivals,
+    FixedRateArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.errors import SpecError
+
+
+class TestFixedRate:
+    def test_exact_spacing(self, rng):
+        times = FixedRateArrivals(10.0).generate(5, rng)
+        assert times.tolist() == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_offset(self, rng):
+        times = FixedRateArrivals(10.0, offset=3.0).generate(2, rng)
+        assert times.tolist() == [3.0, 13.0]
+
+    def test_rate_and_interarrival(self):
+        p = FixedRateArrivals(4.0)
+        assert p.mean_rate == 0.25
+        assert p.mean_interarrival == 4.0
+
+    def test_rng_optional(self):
+        assert FixedRateArrivals(1.0).generate(3, None).size == 3
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(SpecError):
+            FixedRateArrivals(0.0)
+
+
+class TestPoisson:
+    def test_mean_rate_statistics(self, rng):
+        times = PoissonArrivals(10.0).generate(20_000, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(10.0, rel=0.05)
+        # Exponential: std == mean.
+        assert gaps.std() == pytest.approx(10.0, rel=0.1)
+
+    def test_nondecreasing(self, rng):
+        times = PoissonArrivals(1.0).generate(1000, rng)
+        assert (np.diff(times) >= 0).all()
+
+
+class TestBursty:
+    def test_mean_rate_accounts_for_phases(self):
+        p = BurstyArrivals(10.0, 2.0, burst_fraction=0.5)
+        assert p.mean_rate == pytest.approx(1.0 / 6.0)
+
+    def test_gaps_only_two_values(self, rng):
+        p = BurstyArrivals(10.0, 2.0)
+        gaps = np.diff(p.generate(5000, rng))
+        assert set(np.unique(gaps)) <= {2.0, 10.0}
+
+    def test_burst_fraction_realized(self, rng):
+        p = BurstyArrivals(10.0, 2.0, burst_fraction=0.2, mean_burst_len=30)
+        gaps = np.diff(p.generate(50_000, rng))
+        frac = (gaps == 2.0).mean()
+        assert frac == pytest.approx(0.2, abs=0.06)
+
+    def test_rejects_slow_burst(self):
+        with pytest.raises(SpecError):
+            BurstyArrivals(2.0, 10.0)
+
+    def test_rejects_degenerate_fraction(self):
+        with pytest.raises(SpecError):
+            BurstyArrivals(10.0, 2.0, burst_fraction=0.0)
+
+
+class TestTrace:
+    def test_replays(self, rng):
+        p = TraceArrivals([0.0, 1.5, 4.0])
+        assert p.generate(2, rng).tolist() == [0.0, 1.5]
+        assert len(p) == 3
+
+    def test_over_request_rejected(self, rng):
+        with pytest.raises(SpecError):
+            TraceArrivals([1.0]).generate(2, rng)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(SpecError):
+            TraceArrivals([2.0, 1.0])
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SpecError):
+            TraceArrivals([-1.0, 1.0])
+
+    def test_mean_rate(self):
+        assert TraceArrivals([0.0, 1.0, 2.0]).mean_rate == pytest.approx(1.0)
+
+
+@settings(max_examples=25)
+@given(
+    tau0=st.floats(0.1, 100.0),
+    n=st.integers(1, 200),
+    kind=st.sampled_from(["fixed", "poisson", "bursty"]),
+)
+def test_property_generators_contract(tau0, n, kind):
+    """All generators produce n nondecreasing nonnegative times."""
+    rng = np.random.default_rng(0)
+    if kind == "fixed":
+        proc = FixedRateArrivals(tau0)
+    elif kind == "poisson":
+        proc = PoissonArrivals(tau0)
+    else:
+        proc = BurstyArrivals(tau0 * 2, tau0 / 2)
+    times = proc.generate(n, rng)
+    assert times.shape == (n,)
+    assert (times >= 0).all()
+    assert (np.diff(times) >= 0).all()

@@ -1,0 +1,105 @@
+"""Tests for banded Smith-Waterman."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast.alignment import banded_smith_waterman
+from repro.apps.blast.sequence import from_string, random_dna
+from repro.errors import SpecError
+
+
+class TestPerfectMatches:
+    def test_identical_sequences(self):
+        seq = from_string("ACGTACGTAC")
+        r = banded_smith_waterman(seq, seq, diagonal=0)
+        assert r.score == 2 * seq.size  # match=+2 each
+        assert r.q_end == seq.size
+        assert r.d_end == seq.size
+
+    def test_shifted_match_via_diagonal(self):
+        query = from_string("ACGTACGT")
+        database = np.concatenate([from_string("TTTT"), query])
+        r = banded_smith_waterman(query, database, diagonal=4)
+        assert r.score == 2 * query.size
+        assert r.d_end == database.size
+
+
+class TestLocality:
+    def test_local_alignment_ignores_prefix_noise(self):
+        query = from_string("CCCC" + "ACGTACGTACGT")
+        database = from_string("GGGG" + "ACGTACGTACGT")
+        r = banded_smith_waterman(query, database, diagonal=0)
+        assert r.score == 2 * 12  # the shared 12-mer only
+
+    def test_empty_inputs(self):
+        assert banded_smith_waterman(
+            np.asarray([], dtype=np.uint8), from_string("ACGT"), 0
+        ).score == 0
+
+
+class TestGapsAndMismatches:
+    def test_single_mismatch_costs(self):
+        a = from_string("AAAAAAAAAA")
+        b = a.copy()
+        b[5] = 1  # C
+        r = banded_smith_waterman(a, b, diagonal=0)
+        # Either align through the mismatch (20 - 2 - 3 = 15) or take the
+        # best clean run (5 * 2 = 10): through wins.
+        assert r.score == 2 * 10 - 2 - 3
+
+    def test_gap_bridges_insertion(self):
+        query = from_string("ACGTACGTACGT")
+        database = np.concatenate(
+            [query[:6], from_string("G"), query[6:]]
+        )
+        r = banded_smith_waterman(query, database, diagonal=0, band=4)
+        # Full alignment with one gap: 12*2 - 5 = 19; beats the best
+        # ungapped half (6*2 + ... <= 14ish).
+        assert r.score == 2 * 12 - 5
+
+    def test_band_limits_reachable_cells(self):
+        query = from_string("ACGTACGT")
+        database = np.concatenate([from_string("TTTTTTTTTT"), query])
+        # True alignment lives on diagonal 10; a narrow band at 0 misses it.
+        narrow = banded_smith_waterman(query, database, diagonal=0, band=2)
+        wide = banded_smith_waterman(query, database, diagonal=0, band=10)
+        assert wide.score > narrow.score
+
+
+class TestAgainstFullDP:
+    def _full_sw(self, a, b, match=2, mismatch=-3, gap=-5):
+        h = np.zeros((a.size + 1, b.size + 1), dtype=np.int64)
+        best = 0
+        for i in range(1, a.size + 1):
+            for j in range(1, b.size + 1):
+                sub = match if a[i - 1] == b[j - 1] else mismatch
+                h[i, j] = max(
+                    0,
+                    h[i - 1, j - 1] + sub,
+                    h[i - 1, j] + gap,
+                    h[i, j - 1] + gap,
+                )
+                best = max(best, int(h[i, j]))
+        return best
+
+    def test_wide_band_equals_full_dp(self, rng):
+        for _ in range(5):
+            a = random_dna(18, rng)
+            b = random_dna(18, rng)
+            full = self._full_sw(a, b)
+            banded = banded_smith_waterman(a, b, diagonal=0, band=18)
+            assert banded.score == full
+
+
+class TestValidation:
+    def test_bad_band(self):
+        seq = from_string("ACGT")
+        with pytest.raises(SpecError):
+            banded_smith_waterman(seq, seq, 0, band=0)
+
+    def test_bad_penalties(self):
+        seq = from_string("ACGT")
+        with pytest.raises(SpecError):
+            banded_smith_waterman(seq, seq, 0, gap=1)
+        with pytest.raises(SpecError):
+            banded_smith_waterman(seq, seq, 0, match=0)

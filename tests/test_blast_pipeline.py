@@ -1,0 +1,103 @@
+"""Tests for the Table 1 pipeline spec and mini-BLAST gain measurement."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast.pipeline import (
+    CALIBRATED_B,
+    EXPANDER_LIMIT,
+    PAPER_GAINS,
+    PAPER_SERVICE_TIMES,
+    VECTOR_WIDTH,
+    blast_pipeline,
+    calibrated_b,
+)
+from repro.apps.blast.trace_gains import (
+    empirical_blast_pipeline,
+    measure_gains,
+)
+from repro.dataflow.gains import BernoulliGain, CensoredPoissonGain
+from repro.errors import SpecError
+
+
+class TestTable1Constants:
+    def test_paper_values(self):
+        assert PAPER_SERVICE_TIMES == (287.0, 955.0, 402.0, 2753.0)
+        assert PAPER_GAINS[:3] == (0.379, 1.920, 0.0332)
+        assert VECTOR_WIDTH == 128
+        assert EXPANDER_LIMIT == 16
+        assert CALIBRATED_B == (1.0, 3.0, 9.0, 6.0)
+
+    def test_pipeline_gain_models(self):
+        p = blast_pipeline()
+        assert isinstance(p.nodes[0].gain, BernoulliGain)
+        assert isinstance(p.nodes[1].gain, CensoredPoissonGain)
+        assert p.nodes[1].gain.u == 16
+        assert isinstance(p.nodes[2].gain, BernoulliGain)
+
+    def test_custom_width(self):
+        assert blast_pipeline(vector_width=64).vector_width == 64
+
+    def test_calibrated_b_array(self):
+        assert calibrated_b().tolist() == [1.0, 3.0, 9.0, 6.0]
+
+
+class TestMeasureGains:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return measure_gains(db_len=40_000, n_homologies=25, seed=3)
+
+    def test_stage_structure(self, trace):
+        gains = trace.mean_gains
+        assert 0.0 < gains[0] < 1.0  # stage 0 filters
+        assert gains[1] > 1.0  # stage 1 expands
+        assert 0.0 < gains[2] <= 1.0  # stage 2 filters
+        assert gains[3] == 1.0  # report emits one per input
+
+    def test_expander_censored(self, trace):
+        assert trace.stage_counts[1].max() <= EXPANDER_LIMIT
+
+    def test_counts_chain_consistently(self, trace):
+        s0, s1, s2, s3 = trace.stage_counts
+        # Stage 1 sees exactly the stage-0 passers.
+        assert s1.size == int(s0.sum())
+        # Stage 2 sees every expanded seed.
+        assert s2.size == int(s1.sum())
+        assert s3.size == int(s2.sum())
+
+    def test_homologies_drive_hits(self):
+        quiet = measure_gains(db_len=40_000, n_homologies=0, seed=3)
+        busy = measure_gains(db_len=40_000, n_homologies=60, seed=3)
+        assert busy.mean_gains[0] > quiet.mean_gains[0]
+
+    def test_deterministic_by_seed(self):
+        a = measure_gains(db_len=20_000, seed=5)
+        b = measure_gains(db_len=20_000, seed=5)
+        assert all(
+            (x == y).all() for x, y in zip(a.stage_counts, b.stage_counts)
+        )
+
+    def test_gapped_verification_filters(self):
+        plain = measure_gains(db_len=40_000, seed=3)
+        gapped = measure_gains(
+            db_len=40_000, gapped_threshold=100, seed=3
+        )
+        assert plain.mean_gains[3] == 1.0
+        assert gapped.mean_gains[3] < 1.0
+        # Earlier stages are untouched by the stage-3 policy.
+        assert (plain.stage_counts[0] == gapped.stage_counts[0]).all()
+        assert (plain.stage_counts[2] == gapped.stage_counts[2]).all()
+
+
+class TestEmpiricalPipeline:
+    def test_builds_with_paper_service_times(self):
+        trace = measure_gains(db_len=40_000, seed=3)
+        p = empirical_blast_pipeline(trace)
+        assert p.n_nodes == 4
+        assert np.allclose(p.service_times, PAPER_SERVICE_TIMES)
+        assert p.mean_gains[1] > 1.0
+
+    def test_service_times_validated(self):
+        trace = measure_gains(db_len=40_000, seed=3)
+        with pytest.raises(SpecError):
+            empirical_blast_pipeline(trace, service_times=(1.0, 2.0))

@@ -1,0 +1,124 @@
+"""Tests for k-mer seeding and ungapped extension."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast.extension import ungapped_extend
+from repro.apps.blast.seeding import KmerIndex, pack_kmers
+from repro.apps.blast.sequence import from_string, random_dna
+from repro.errors import SpecError
+
+
+class TestPackKmers:
+    def test_known_values(self):
+        # "ACG" = 0*16 + 1*4 + 2 = 6 for k=3.
+        codes = pack_kmers(from_string("ACGT"), 3)
+        assert codes.tolist() == [6, int("123", 4)]
+
+    def test_short_sequence_empty(self):
+        assert pack_kmers(from_string("AC"), 3).size == 0
+
+    def test_distinct_kmers_distinct_codes(self, rng):
+        seq = random_dna(5000, rng)
+        k = 8
+        codes = pack_kmers(seq, k)
+        # Reconstruct a few kmers from codes and compare.
+        for i in (0, 100, 4990):
+            val = int(codes[i])
+            digits = []
+            for _ in range(k):
+                digits.append(val % 4)
+                val //= 4
+            assert digits[::-1] == seq[i : i + k].tolist()
+
+    def test_k_bounds(self):
+        with pytest.raises(SpecError):
+            pack_kmers(np.zeros(40, dtype=np.uint8), 0)
+        with pytest.raises(SpecError):
+            pack_kmers(np.zeros(40, dtype=np.uint8), 32)
+
+
+class TestKmerIndex:
+    def test_finds_planted_seed(self, rng):
+        query = from_string("ACGTACGTACGTACG")
+        idx = KmerIndex(query, k=11)
+        db = np.concatenate([random_dna(100, rng), query[:11], random_dna(100, rng)])
+        seeds = idx.window_seeds(db, 90, 40)
+        assert any(dpos == 100 and qpos == 0 for qpos, dpos in seeds)
+
+    def test_has_seed_agrees_with_window_seeds(self, rng):
+        query = random_dna(200, rng)
+        idx = KmerIndex(query, k=9)
+        db = random_dna(3000, rng)
+        for start in range(0, 2900, 100):
+            has = idx.has_seed(db, start, 100)
+            found = len(idx.window_seeds(db, start, 100)) > 0
+            assert has == found
+
+    def test_windows_tile_without_double_count(self, rng):
+        query = random_dna(300, rng)
+        idx = KmerIndex(query, k=8)
+        db = random_dna(2000, rng)
+        w = 50
+        all_seeds = []
+        for start in range(0, db.size - w + 1, w):
+            all_seeds.extend(idx.window_seeds(db, start, w))
+        assert len(all_seeds) == len(set(all_seeds))
+
+    def test_query_shorter_than_k_rejected(self, rng):
+        with pytest.raises(SpecError):
+            KmerIndex(random_dna(5, rng), k=11)
+
+    def test_lookup(self):
+        query = from_string("AAAA")
+        idx = KmerIndex(query, k=2)
+        assert idx.lookup(0) == [0, 1, 2]  # "AA" at positions 0,1,2
+        assert idx.lookup(15) == []
+
+    def test_bad_window_start(self, rng):
+        idx = KmerIndex(random_dna(100, rng), k=8)
+        with pytest.raises(SpecError):
+            idx.window_seeds(random_dna(50, rng), 60, 10)
+
+
+class TestExtension:
+    def test_perfect_match_extends_fully(self):
+        seq = from_string("ACGTACGTACGTACGTACGT")
+        r = ungapped_extend(seq, seq, 8, 8, k=4)
+        assert r.q_start == 0 and r.q_end == seq.size
+        assert r.score == seq.size  # +1 per base
+
+    def test_mismatch_stops_extension(self):
+        query = from_string("AAAAACCCCC")
+        db = from_string("AAAAAGGGGG")
+        r = ungapped_extend(query, db, 0, 0, k=5, xdrop=2)
+        # Seed covers the matching A's; right extension hits C vs G.
+        assert r.score == 5
+        assert r.q_end <= 7
+
+    def test_xdrop_allows_recovery(self):
+        # match-mismatch-match: larger xdrop tolerates the dip.
+        query = from_string("AAAAA" + "T" + "AAAAA")
+        db = from_string("AAAAA" + "C" + "AAAAA")
+        strict = ungapped_extend(query, db, 0, 0, k=5, xdrop=1)
+        lenient = ungapped_extend(query, db, 0, 0, k=5, xdrop=10)
+        assert lenient.score >= strict.score
+        assert lenient.q_end == 11
+
+    def test_left_extension(self):
+        query = from_string("ACGTAAAAA")
+        db = from_string("ACGTAAAAA")
+        r = ungapped_extend(query, db, 4, 4, k=5)
+        assert r.q_start == 0  # extended left through ACGT
+
+    def test_length_property(self):
+        seq = from_string("ACGTACGT")
+        r = ungapped_extend(seq, seq, 0, 0, k=4)
+        assert r.length == r.q_end - r.q_start
+
+    def test_bounds_validation(self):
+        seq = from_string("ACGTACGT")
+        with pytest.raises(SpecError):
+            ungapped_extend(seq, seq, 6, 0, k=4)
+        with pytest.raises(SpecError):
+            ungapped_extend(seq, seq, 0, 0, k=0)

@@ -1,0 +1,116 @@
+"""Tests for synthetic DNA sequence utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.blast.sequence import (
+    from_string,
+    mutate,
+    plant_homologies,
+    random_dna,
+    to_string,
+)
+from repro.errors import SpecError
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        s = "ACGTACGT"
+        assert to_string(from_string(s)) == s
+
+    def test_case_insensitive(self):
+        assert from_string("acgt").tolist() == [0, 1, 2, 3]
+
+    def test_invalid_char_rejected(self):
+        with pytest.raises(SpecError):
+            from_string("ACGX")
+
+    def test_invalid_codes_rejected(self):
+        with pytest.raises(SpecError):
+            to_string(np.asarray([0, 5], dtype=np.uint8))
+
+
+class TestRandomDna:
+    def test_length_and_range(self, rng):
+        seq = random_dna(1000, rng)
+        assert seq.size == 1000
+        assert seq.dtype == np.uint8
+        assert set(np.unique(seq)) <= {0, 1, 2, 3}
+
+    def test_roughly_uniform(self, rng):
+        seq = random_dna(100_000, rng)
+        counts = np.bincount(seq, minlength=4) / seq.size
+        assert np.allclose(counts, 0.25, atol=0.01)
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(SpecError):
+            random_dna(-1, rng)
+
+
+class TestMutate:
+    def test_zero_rate_identity(self, rng):
+        seq = random_dna(500, rng)
+        assert (mutate(seq, 0.0, rng) == seq).all()
+
+    def test_rate_one_changes_everything(self, rng):
+        seq = random_dna(500, rng)
+        out = mutate(seq, 1.0, rng)
+        assert (out != seq).all()  # mutation always picks a different base
+
+    def test_rate_is_substitution_probability(self, rng):
+        seq = random_dna(100_000, rng)
+        out = mutate(seq, 0.1, rng)
+        assert (out != seq).mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_original_untouched(self, rng):
+        seq = random_dna(100, rng)
+        copy = seq.copy()
+        mutate(seq, 0.5, rng)
+        assert (seq == copy).all()
+
+    def test_bad_rate(self, rng):
+        with pytest.raises(SpecError):
+            mutate(random_dna(10, rng), 1.5, rng)
+
+
+class TestPlantHomologies:
+    def test_planted_fragment_matches_query_closely(self, rng):
+        query = random_dna(500, rng)
+        db = random_dna(10_000, rng)
+        out = plant_homologies(
+            db, query, 20, rng, fragment_len=64, mutation_rate=0.0
+        )
+        # With zero mutations, at least one exact 64-mer of the query
+        # appears in the planted database.
+        q_str = to_string(query)
+        out_str = to_string(out)
+        assert any(
+            q_str[i : i + 64] in out_str for i in range(0, 500 - 64, 16)
+        )
+
+    def test_zero_sites_identity(self, rng):
+        db = random_dna(1000, rng)
+        out = plant_homologies(db, random_dna(200, rng), 0, rng)
+        assert (out == db).all()
+
+    def test_fragment_longer_than_query_rejected(self, rng):
+        with pytest.raises(SpecError):
+            plant_homologies(
+                random_dna(1000, rng),
+                random_dna(10, rng),
+                1,
+                rng,
+                fragment_len=64,
+            )
+
+    @settings(max_examples=10)
+    @given(n_sites=st.integers(0, 10))
+    def test_property_output_is_valid_dna(self, n_sites):
+        rng = np.random.default_rng(1)
+        out = plant_homologies(
+            random_dna(2000, rng), random_dna(300, rng), n_sites, rng
+        )
+        assert out.size == 2000
+        assert set(np.unique(out)) <= {0, 1, 2, 3}

@@ -1,0 +1,50 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_all(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "fig3" in out
+    assert "Figure 4" in out
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "done in" in out
+
+
+def test_run_unknown_id(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_multiple(capsys):
+    assert main(["run", "table1", "queueing-b"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("==") >= 4
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_export_writes_artifacts(tmp_path, capsys):
+    assert main(["run", "table1", "--export", str(tmp_path)]) == 0
+    assert (tmp_path / "table1.txt").exists()
+    assert "exported" in capsys.readouterr().out
+
+
+def test_export_sweep_json_csv(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.35")
+    assert main(["run", "fig3", "--export", str(tmp_path)]) == 0
+    assert (tmp_path / "fig3.txt").exists()
+    assert (tmp_path / "fig3.json").exists()
+    assert (tmp_path / "fig3.csv").exists()

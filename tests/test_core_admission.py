@@ -1,0 +1,96 @@
+"""Tests for co-scheduling admission control."""
+
+import numpy as np
+import pytest
+
+from repro.core.admission import AdmissionRequest, admit, max_copies
+from repro.core.model import RealTimeProblem
+from repro.errors import SpecError
+
+B = np.asarray([1.0, 3.0, 9.0, 6.0])
+
+
+def _request(blast, name, tau0, deadline):
+    return AdmissionRequest(
+        name=name, problem=RealTimeProblem(blast, tau0, deadline), b=B
+    )
+
+
+class TestAdmit:
+    def test_low_load_apps_admitted(self, blast):
+        reqs = [
+            _request(blast, "a", 100.0, 3.5e5),  # AF ~ 0.05
+            _request(blast, "b", 50.0, 2.0e5),  # AF ~ 0.09
+        ]
+        result = admit(reqs)
+        assert result.admitted
+        assert result.total_utilization < 0.2
+        assert result.headroom == pytest.approx(
+            1.0 - result.total_utilization
+        )
+        assert set(result.solutions) == {"a", "b"}
+
+    def test_overload_rejected(self, blast):
+        # Three copies of a ~0.66-utilization stream cannot co-reside.
+        reqs = [
+            _request(blast, f"app{i}", 3.0, 3.5e5) for i in range(3)
+        ]
+        result = admit(reqs)
+        assert not result.admitted
+        assert result.total_utilization > 1.0
+
+    def test_infeasible_app_blocks_admission(self, blast):
+        reqs = [
+            _request(blast, "good", 100.0, 3.5e5),
+            _request(blast, "impossible", 1.0, 3.5e5),
+        ]
+        result = admit(reqs)
+        assert not result.admitted
+        assert result.infeasible == ["impossible"]
+
+    def test_capacity_parameter(self, blast):
+        reqs = [_request(blast, "a", 50.0, 2.0e5)]  # AF ~ 0.087
+        assert admit(reqs, capacity=0.5).admitted
+        assert not admit(reqs, capacity=0.05).admitted
+
+    def test_render(self, blast):
+        result = admit([_request(blast, "a", 100.0, 3.5e5)])
+        text = result.render()
+        assert "ADMIT" in text and "a" in text
+
+    def test_validation(self, blast):
+        with pytest.raises(SpecError):
+            admit([])
+        with pytest.raises(SpecError):
+            admit([_request(blast, "a", 50.0, 2e5)], capacity=0.0)
+        with pytest.raises(SpecError):
+            admit(
+                [
+                    _request(blast, "dup", 50.0, 2e5),
+                    _request(blast, "dup", 60.0, 2e5),
+                ]
+            )
+        with pytest.raises(SpecError):
+            AdmissionRequest("", RealTimeProblem(blast, 50.0, 2e5), B)
+
+
+class TestMaxCopies:
+    def test_counts_match_single_af(self, blast):
+        problem = RealTimeProblem(blast, 100.0, 3.5e5)
+        from repro.core.enforced_waits import solve_enforced_waits
+
+        af = solve_enforced_waits(problem, B).active_fraction
+        assert max_copies(problem, B) == int(1.0 // af)
+
+    def test_infeasible_is_zero(self, blast):
+        assert max_copies(RealTimeProblem(blast, 1.0, 3.5e5), B) == 0
+
+    def test_consistent_with_admit(self, blast):
+        problem = RealTimeProblem(blast, 100.0, 3.5e5)
+        k = max_copies(problem, B)
+        reqs = [
+            AdmissionRequest(f"copy{i}", problem, B) for i in range(k)
+        ]
+        assert admit(reqs).admitted
+        reqs_over = reqs + [AdmissionRequest("extra", problem, B)]
+        assert not admit(reqs_over).admitted

@@ -1,0 +1,104 @@
+"""Tests for feasibility analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import (
+    enforced_feasibility,
+    min_deadline_enforced,
+    min_tau0_enforced,
+    min_tau0_monolithic,
+    minimal_periods,
+    monolithic_feasible_blocks,
+)
+from repro.core.model import RealTimeProblem
+from repro.errors import SpecError
+
+
+class TestMinimalPeriods:
+    def test_blast_backward_recursion(self, blast):
+        x = minimal_periods(blast)
+        # Hand-computed: x3=2753, x2=max(402, .0332*2753)=402,
+        # x1=max(955, 1.92*402)=955, x0=max(287, .379*955)=361.9...
+        assert x[3] == 2753.0
+        assert x[2] == 402.0
+        assert x[1] == pytest.approx(max(955.0, 1.92 * 402.0))
+        assert x[0] == pytest.approx(0.379 * 955.0)
+
+    def test_chain_consistency(self, blast):
+        x = minimal_periods(blast)
+        g = blast.mean_gains
+        for i in range(1, blast.n_nodes):
+            assert g[i - 1] * x[i] <= x[i - 1] * (1 + 1e-12)
+        assert (x >= blast.service_times).all()
+
+    def test_passthrough_chain(self, passthrough_pipeline):
+        # Gains of 1: upstream must be at least as fast as downstream.
+        x = minimal_periods(passthrough_pipeline)
+        assert x.tolist() == [7.0, 7.0, 3.0]
+
+
+class TestEnforcedFeasibility:
+    def test_feasible_point(self, blast, calibrated_b):
+        prob = RealTimeProblem(blast, 50.0, 2e5)
+        feas = enforced_feasibility(prob, calibrated_b)
+        assert feas.feasible
+        assert feas.diagnosis is None
+
+    def test_too_fast_arrivals(self, blast, calibrated_b):
+        prob = RealTimeProblem(blast, 1.0, 3.5e5)
+        feas = enforced_feasibility(prob, calibrated_b)
+        assert not feas.feasible
+        assert "keep up" in feas.diagnosis
+
+    def test_too_tight_deadline(self, blast, calibrated_b):
+        prob = RealTimeProblem(blast, 50.0, 1e4)
+        feas = enforced_feasibility(prob, calibrated_b)
+        assert not feas.feasible
+        assert "deadline" in feas.diagnosis
+
+    def test_b_shape_validated(self, blast):
+        prob = RealTimeProblem(blast, 50.0, 1e5)
+        with pytest.raises(SpecError):
+            enforced_feasibility(prob, np.ones(3))
+        with pytest.raises(SpecError):
+            enforced_feasibility(prob, np.asarray([1.0, -1.0, 1.0, 1.0]))
+
+
+class TestThresholds:
+    def test_min_deadline_matches_paper_scale(self, blast, calibrated_b):
+        # With the paper's b, min feasible D ~= 2.3e4, explaining why
+        # "values of D below 2e4 resulted in no feasible realizations".
+        d_min = min_deadline_enforced(blast, calibrated_b)
+        assert 2.0e4 < d_min < 2.6e4
+
+    def test_min_tau0_enforced(self, blast):
+        # x_min[0]/v = 361.945/128 ~ 2.83.
+        assert min_tau0_enforced(blast) == pytest.approx(2.83, abs=0.01)
+
+    def test_min_tau0_monolithic_is_per_item_cost(self, blast):
+        assert min_tau0_monolithic(blast) == pytest.approx(
+            blast.per_item_cost
+        )
+
+    def test_strategies_ordering(self, blast):
+        # Enforced waits sustain faster arrivals than monolithic on BLAST.
+        assert min_tau0_enforced(blast) < min_tau0_monolithic(blast)
+
+
+class TestMonolithicBlocks:
+    def test_feasible_interval_nonempty(self, blast):
+        prob = RealTimeProblem(blast, 50.0, 2e5)
+        blocks = monolithic_feasible_blocks(prob, b=1, s_scale=1.0)
+        assert blocks.size > 0
+        assert blocks.min() >= 1
+
+    def test_infeasible_when_arrivals_too_fast(self, blast):
+        prob = RealTimeProblem(blast, 3.0, 3.5e5)
+        blocks = monolithic_feasible_blocks(prob, b=1, s_scale=1.0)
+        assert blocks.size == 0
+
+    def test_max_block_cap_respected(self, blast):
+        prob = RealTimeProblem(blast, 50.0, 2e5)
+        blocks = monolithic_feasible_blocks(prob, b=1, s_scale=1.0, max_block=500)
+        assert blocks.max() <= 500

@@ -1,0 +1,32 @@
+"""Tests for RealTimeProblem."""
+
+import pytest
+
+from repro.core.model import RealTimeProblem
+from repro.errors import SpecError
+
+
+def test_basic_properties(blast):
+    p = RealTimeProblem(blast, tau0=10.0, deadline=1e5)
+    assert p.rho0 == pytest.approx(0.1)
+    assert p.n_nodes == 4
+    assert p.vector_width == 128
+
+
+def test_with_tau0_and_deadline(blast):
+    p = RealTimeProblem(blast, 10.0, 1e5)
+    assert p.with_tau0(20.0).tau0 == 20.0
+    assert p.with_tau0(20.0).deadline == 1e5
+    assert p.with_deadline(2e5).deadline == 2e5
+    assert p.with_deadline(2e5).tau0 == 10.0
+
+
+@pytest.mark.parametrize("tau0,deadline", [(0.0, 1e5), (10.0, 0.0), (-1.0, 1e5)])
+def test_rejects_nonpositive(blast, tau0, deadline):
+    with pytest.raises(SpecError):
+        RealTimeProblem(blast, tau0, deadline)
+
+
+def test_rejects_non_pipeline():
+    with pytest.raises(SpecError):
+        RealTimeProblem("not a pipeline", 1.0, 1.0)  # type: ignore[arg-type]

@@ -1,0 +1,117 @@
+"""Tests for the monolithic optimization (Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import RealTimeProblem
+from repro.core.monolithic import MonolithicProblem, solve_monolithic
+from repro.errors import SpecError
+
+
+class TestTbar:
+    def test_matches_hand_computation(self, blast):
+        prob = MonolithicProblem(RealTimeProblem(blast, 50.0, 2e5))
+        # M=1000: inputs per node = 1000*G = (1000, 379, 727.7, 24.2)
+        # firings = ceil(./128) = (8, 3, 6, 1)
+        expected = 8 * 287 + 3 * 955 + 6 * 402 + 1 * 2753
+        assert prob.tbar(1000) == pytest.approx(expected)
+
+    def test_vectorized_matches_scalar(self, blast):
+        prob = MonolithicProblem(RealTimeProblem(blast, 50.0, 2e5))
+        ms = np.asarray([1, 7, 100, 12345])
+        vec = prob.tbar(ms)
+        for i, m in enumerate(ms):
+            assert vec[i] == pytest.approx(prob.tbar(int(m)))
+
+    def test_tbar_per_item_tends_to_limit(self, blast):
+        prob = MonolithicProblem(RealTimeProblem(blast, 50.0, 1e9))
+        assert prob.tbar(10**6) / 10**6 == pytest.approx(
+            blast.per_item_cost, rel=1e-3
+        )
+
+    def test_rejects_m_below_one(self, blast):
+        prob = MonolithicProblem(RealTimeProblem(blast, 50.0, 2e5))
+        with pytest.raises(SpecError):
+            prob.tbar(0)
+
+
+class TestConstraints:
+    def test_worst_case_scale(self, blast):
+        prob = MonolithicProblem(
+            RealTimeProblem(blast, 50.0, 2e5), s_scale=1.5
+        )
+        assert prob.worst_case_time(100) == pytest.approx(
+            1.5 * prob.tbar(100)
+        )
+
+    def test_param_validation(self, blast):
+        rt = RealTimeProblem(blast, 50.0, 2e5)
+        with pytest.raises(SpecError):
+            MonolithicProblem(rt, b=0)
+        with pytest.raises(SpecError):
+            MonolithicProblem(rt, s_scale=0.5)
+
+    def test_max_block_from_deadline(self, blast):
+        prob = MonolithicProblem(RealTimeProblem(blast, 50.0, 2e5), b=2)
+        assert prob.max_block() == int(2e5 // (2 * 50.0))
+
+
+class TestSolve:
+    def test_paper_point_regression(self, blast):
+        sol = solve_monolithic(RealTimeProblem(blast, 10.0, 3.5e5))
+        assert sol.feasible
+        assert sol.active_fraction == pytest.approx(0.789, abs=2e-3)
+        assert sol.block_size == 15831
+
+    def test_optimum_is_exact_over_scan(self, blast):
+        prob = MonolithicProblem(RealTimeProblem(blast, 80.0, 1e5))
+        sol = prob.solve()
+        assert sol.feasible
+        ms = np.arange(1, prob.max_block() + 1)
+        afs = np.asarray(prob.active_fraction(ms))
+        feas = np.asarray(prob.feasible(ms))
+        assert sol.active_fraction == pytest.approx(float(afs[feas].min()))
+
+    def test_infeasible_fast_arrivals(self, blast):
+        sol = solve_monolithic(RealTimeProblem(blast, 3.0, 3.5e5))
+        assert not sol.feasible
+        assert "stable" in sol.diagnosis or "throughput" in sol.diagnosis
+
+    def test_infeasible_tiny_deadline(self, blast):
+        sol = solve_monolithic(RealTimeProblem(blast, 100.0, 50.0))
+        assert not sol.feasible
+
+    def test_solution_satisfies_both_constraints(self, blast):
+        sol = solve_monolithic(RealTimeProblem(blast, 25.0, 1.5e5))
+        assert sol.feasible
+        m = sol.block_size
+        tb = sol.block_service_time
+        assert tb <= m * 25.0 * (1 + 1e-9)
+        assert m * 25.0 + tb <= 1.5e5 * (1 + 1e-9)
+
+    def test_af_decreases_with_tau0(self, blast):
+        afs = [
+            solve_monolithic(RealTimeProblem(blast, tau0, 3.5e5)).active_fraction
+            for tau0 in (10.0, 30.0, 100.0)
+        ]
+        assert afs[0] > afs[1] > afs[2]
+
+    def test_af_insensitive_to_large_deadline(self, blast):
+        a = solve_monolithic(RealTimeProblem(blast, 100.0, 2e5)).active_fraction
+        b = solve_monolithic(RealTimeProblem(blast, 100.0, 3.5e5)).active_fraction
+        assert abs(a - b) < 0.02  # nearly flat in D (Fig 3 bottom)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tau0=st.floats(8.5, 100.0), deadline=st.floats(3e4, 3.5e5))
+    def test_property_optimum_feasible(self, tau0, deadline):
+        from repro.apps.blast.pipeline import blast_pipeline
+
+        prob = MonolithicProblem(
+            RealTimeProblem(blast_pipeline(), tau0, deadline)
+        )
+        sol = prob.solve()
+        if sol.feasible:
+            assert bool(prob.feasible(sol.block_size))
+            assert sol.active_fraction <= 1.0 + 1e-9

@@ -1,0 +1,141 @@
+"""Tests for phase offsets and the deadline/utilization frontier."""
+
+import numpy as np
+import pytest
+
+from repro.core.offsets import aligned_offsets
+from repro.core.pareto import deadline_frontier, min_deadline_for_af
+from repro.errors import SpecError
+
+
+class TestAlignedOffsets:
+    def test_prefix_sums_of_service_times(self, blast):
+        periods = blast.service_times * 2
+        offsets = aligned_offsets(blast, periods)
+        t = blast.service_times
+        assert offsets[0] == 0.0
+        assert offsets[1] == t[0]
+        assert offsets[2] == t[0] + t[1]
+        assert offsets[3] == t[0] + t[1] + t[2]
+
+    def test_epsilon_added_per_stage(self, blast):
+        periods = blast.service_times * 2
+        offsets = aligned_offsets(blast, periods, epsilon=1.0)
+        assert offsets[1] == blast.service_times[0] + 1.0
+        assert offsets[3] == float(blast.service_times[:3].sum()) + 3.0
+
+    def test_validation(self, blast):
+        with pytest.raises(SpecError):
+            aligned_offsets(blast, blast.service_times[:2])
+        with pytest.raises(SpecError):
+            aligned_offsets(blast, blast.service_times * 0.5)
+        with pytest.raises(SpecError):
+            aligned_offsets(blast, blast.service_times, epsilon=-1.0)
+
+    def test_aligned_offsets_cut_passthrough_latency(self, passthrough_pipeline):
+        """With equal periods, alignment removes per-stage phase waits."""
+        from repro.arrivals.fixed import FixedRateArrivals
+        from repro.sim.enforced import EnforcedWaitsSimulator
+
+        p = passthrough_pipeline
+        period = 10.0
+        waits = period - p.service_times  # equal periods everywhere
+        offsets = aligned_offsets(p, np.full(3, period))
+        base = EnforcedWaitsSimulator(
+            p, waits, FixedRateArrivals(10.0), 1e6, 500, seed=0
+        ).run()
+        aligned = EnforcedWaitsSimulator(
+            p,
+            waits,
+            FixedRateArrivals(10.0),
+            1e6,
+            500,
+            seed=0,
+            start_offsets=offsets,
+        ).run()
+        assert aligned.mean_latency < base.mean_latency
+        assert aligned.outputs == base.outputs
+
+
+class TestDeadlineFrontier:
+    @pytest.fixture(scope="class")
+    def frontier(self):
+        from repro.apps.blast.pipeline import blast_pipeline
+
+        return deadline_frontier(
+            blast_pipeline(),
+            tau0=30.0,
+            deadlines=np.geomspace(2e4, 3.5e5, 8),
+            b_enforced=np.asarray([1.0, 3.0, 9.0, 6.0]),
+        )
+
+    def test_enforced_af_nonincreasing(self, frontier):
+        vals = frontier.enforced_af[~np.isnan(frontier.enforced_af)]
+        assert (np.diff(vals) <= 1e-12).all()
+
+    def test_monolithic_nearly_flat(self, frontier):
+        vals = frontier.monolithic_af[~np.isnan(frontier.monolithic_af)]
+        assert vals.max() - vals.min() < 0.35  # falls early, then flat
+
+    def test_crossover_exists(self, frontier):
+        d_cross = frontier.crossover_deadline()
+        assert np.isfinite(d_cross)
+        # Before the crossover monolithic wins, after it enforced wins.
+        j = int(np.where(frontier.deadlines == d_cross)[0][0])
+        e = np.where(np.isnan(frontier.enforced_af), 1.0, frontier.enforced_af)
+        m = np.where(
+            np.isnan(frontier.monolithic_af), 1.0, frontier.monolithic_af
+        )
+        assert e[j] < m[j]
+        if j > 0:
+            assert e[j - 1] >= m[j - 1]
+
+    def test_validation(self):
+        from repro.apps.blast.pipeline import blast_pipeline
+
+        with pytest.raises(SpecError):
+            deadline_frontier(
+                blast_pipeline(),
+                30.0,
+                np.asarray([]),
+                b_enforced=np.ones(4),
+            )
+
+
+class TestMinDeadlineForAf:
+    def test_inverse_of_forward_solve(self, blast, calibrated_b):
+        from repro.core.enforced_waits import solve_enforced_waits
+        from repro.core.model import RealTimeProblem
+
+        tau0 = 50.0
+        target = 0.15
+        d_star = min_deadline_for_af(blast, tau0, target, calibrated_b)
+        assert np.isfinite(d_star)
+        # Forward solve at d_star achieves the target (within bisection tol);
+        # slightly below it does not.
+        sol = solve_enforced_waits(
+            RealTimeProblem(blast, tau0, d_star * 1.001), calibrated_b
+        )
+        assert sol.active_fraction <= target * 1.01
+        sol_below = solve_enforced_waits(
+            RealTimeProblem(blast, tau0, d_star * 0.9), calibrated_b
+        )
+        assert (not sol_below.feasible) or sol_below.active_fraction > target
+
+    def test_unachievable_target_is_inf(self, blast, calibrated_b):
+        # At tau0=10 the caps floor the AF around 0.19; 0.01 is impossible.
+        assert min_deadline_for_af(
+            blast, 10.0, 0.01, calibrated_b
+        ) == float("inf")
+
+    def test_trivial_target_returns_min_deadline(self, blast, calibrated_b):
+        from repro.core.feasibility import min_deadline_enforced
+
+        d = min_deadline_for_af(blast, 50.0, 1.0, calibrated_b)
+        assert d == pytest.approx(
+            min_deadline_enforced(blast, calibrated_b)
+        )
+
+    def test_target_validated(self, blast, calibrated_b):
+        with pytest.raises(SpecError):
+            min_deadline_for_af(blast, 50.0, 0.0, calibrated_b)

@@ -1,0 +1,66 @@
+"""Tests for closed-form predictions."""
+
+import numpy as np
+import pytest
+
+from repro.core.enforced_waits import solve_enforced_waits
+from repro.core.model import RealTimeProblem
+from repro.core.monolithic import solve_monolithic
+from repro.core.predictions import (
+    enforced_af_at_caps,
+    enforced_af_lower_bound,
+    monolithic_af_limit,
+)
+
+
+class TestMonolithicLimit:
+    def test_limit_is_per_item_cost_over_tau0(self, blast):
+        assert monolithic_af_limit(blast, 50.0) == pytest.approx(
+            blast.per_item_cost / 50.0
+        )
+
+    def test_actual_af_approaches_limit_for_large_d(self, blast):
+        sol = solve_monolithic(RealTimeProblem(blast, 100.0, 3.5e5))
+        limit = monolithic_af_limit(blast, 100.0)
+        assert sol.active_fraction >= limit - 1e-12
+        assert sol.active_fraction <= limit * 1.15  # close for big blocks
+
+
+class TestEnforcedLowerBound:
+    @pytest.mark.parametrize(
+        "tau0,deadline", [(10.0, 3.5e5), (50.0, 2e5), (100.0, 5e4)]
+    )
+    def test_bound_is_valid(self, blast, calibrated_b, tau0, deadline):
+        prob = RealTimeProblem(blast, tau0, deadline)
+        sol = solve_enforced_waits(prob, calibrated_b)
+        if sol.feasible:
+            lb = enforced_af_lower_bound(prob, calibrated_b)
+            assert sol.active_fraction >= lb - 1e-9
+
+    def test_bound_tight_when_only_deadline_binds(self, blast, calibrated_b):
+        # Huge head cap (slow arrivals) and modest D: deadline dominates.
+        prob = RealTimeProblem(blast, 1e4, 1e5)
+        sol = solve_enforced_waits(prob, calibrated_b)
+        lb = enforced_af_lower_bound(prob, calibrated_b)
+        assert sol.active_fraction == pytest.approx(lb, rel=1e-3)
+
+
+class TestEnforcedAtCaps:
+    def test_caps_value_is_large_d_limit(self, blast, calibrated_b):
+        tau0 = 20.0
+        cap_af = enforced_af_at_caps(RealTimeProblem(blast, tau0, 1.0))
+        # With an enormous deadline, the solver should hit the caps.
+        sol = solve_enforced_waits(
+            RealTimeProblem(blast, tau0, 1e9), calibrated_b
+        )
+        assert sol.active_fraction == pytest.approx(cap_af, rel=1e-6)
+
+    def test_scales_inversely_with_tau0(self, blast):
+        a = enforced_af_at_caps(RealTimeProblem(blast, 10.0, 1.0))
+        b = enforced_af_at_caps(RealTimeProblem(blast, 100.0, 1.0))
+        assert b == pytest.approx(a / 10.0, rel=1e-6)
+
+    def test_respects_service_floors(self, blast):
+        # At very slow tau0 the caps exceed nothing; utilizations <= 1.
+        af = enforced_af_at_caps(RealTimeProblem(blast, 0.1, 1.0))
+        assert 0.0 < af <= 1.0

@@ -1,0 +1,154 @@
+"""Tests for parameter sweeps and the Figure 3/4 analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    difference_surface,
+    dominance_regions,
+    sensitivity_profile,
+)
+from repro.core.sweep import paper_grid, sweep_strategies
+from repro.errors import SpecError
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    from repro.apps.blast.pipeline import blast_pipeline
+
+    tau0s = np.asarray([3.16, 10.0, 31.6, 100.0])
+    ds = np.asarray([2e4, 4e4, 1e5, 3.5e5])
+    return sweep_strategies(
+        blast_pipeline(), tau0s, ds, b_enforced=np.asarray([1.0, 3.0, 9.0, 6.0])
+    )
+
+
+class TestPaperGrid:
+    def test_ranges_match_section_6_1(self):
+        tau0s, ds = paper_grid(5, 7)
+        assert tau0s[0] == pytest.approx(1.0)
+        assert tau0s[-1] == pytest.approx(100.0)
+        assert ds[0] == pytest.approx(2e4)
+        assert ds[-1] == pytest.approx(3.5e5)
+        assert tau0s.size == 5 and ds.size == 7
+
+
+class TestSweep:
+    def test_shapes(self, small_sweep):
+        assert small_sweep.shape == (4, 4)
+        assert small_sweep.enforced_af.shape == (4, 4)
+        assert small_sweep.enforced_periods.shape == (4, 4, 4)
+
+    def test_feasibility_masks_consistent(self, small_sweep):
+        e_mask = small_sweep.enforced_feasible_mask()
+        assert e_mask.dtype == bool
+        # Wherever feasible, periods are recorded.
+        assert not np.isnan(
+            small_sweep.enforced_periods[e_mask]
+        ).any()
+
+    def test_known_regime_values(self, small_sweep):
+        # (tau0=10, D=3.5e5) regression anchors.
+        i, j = 1, 3
+        assert small_sweep.enforced_af[i, j] == pytest.approx(0.197, abs=5e-3)
+        assert small_sweep.monolithic_af[i, j] == pytest.approx(0.789, abs=5e-3)
+
+    def test_monolithic_infeasible_fast_arrivals(self, small_sweep):
+        assert np.isnan(small_sweep.monolithic_af[0]).all()  # tau0=3.16
+
+    def test_row_accessor(self, small_sweep):
+        row = small_sweep.row(1, 3)
+        assert row["tau0"] == pytest.approx(10.0)
+        assert row["monolithic_block"] > 0
+
+    def test_grid_validation(self):
+        from repro.apps.blast.pipeline import blast_pipeline
+
+        with pytest.raises(SpecError):
+            sweep_strategies(
+                blast_pipeline(),
+                np.asarray([-1.0]),
+                np.asarray([1e5]),
+                b_enforced=np.ones(4),
+            )
+
+
+class TestDifference:
+    def test_nan_mode_propagates(self, small_sweep):
+        diff = difference_surface(small_sweep, infeasible="nan")
+        assert np.isnan(diff[0]).all()  # monolithic infeasible row
+
+    def test_one_mode_scores_infeasible(self, small_sweep):
+        diff = difference_surface(small_sweep, infeasible="one")
+        assert not np.isnan(diff).any()
+        # tau0=3.16, D=3.5e5: mono infeasible (1.0) vs enforced ~0.62.
+        assert diff[0, 3] == pytest.approx(1.0 - small_sweep.enforced_af[0, 3])
+
+    def test_mode_validation(self, small_sweep):
+        with pytest.raises(SpecError):
+            difference_surface(small_sweep, infeasible="zero")
+
+
+class TestDominance:
+    def test_paper_claims(self, small_sweep):
+        regions = dominance_regions(small_sweep)
+        # Enforced wins by >= 0.4 somewhere (fast arrivals + slack).
+        assert regions.max_enforced_margin >= 0.4
+        # Monolithic wins by a similar amount somewhere (slow + tight).
+        assert regions.max_monolithic_margin >= 0.3
+        # Both regions non-trivial.
+        assert regions.enforced_wins.any()
+        assert regions.monolithic_wins.any()
+        assert "wins" in regions.describe()
+
+    def test_win_masks_disjoint(self, small_sweep):
+        regions = dominance_regions(small_sweep)
+        assert not (regions.enforced_wins & regions.monolithic_wins).any()
+
+
+class TestCrossoverCurve:
+    def test_increases_with_tau0(self, small_sweep):
+        from repro.core.analysis import crossover_curve
+
+        curve = crossover_curve(small_sweep)
+        # Fast arrivals: enforced wins everywhere tested (-inf); as tau0
+        # grows the break-even deadline grows (paper's diagonal).
+        finite = curve[np.isfinite(curve)]
+        assert finite.size >= 2
+        assert (np.diff(finite) >= -1e-9).all()
+        # Fastest feasible row wins at every deadline.
+        assert np.isneginf(curve[0]) or np.isfinite(curve[0])
+
+    def test_values_bracket_the_sign_change(self, small_sweep):
+        from repro.core.analysis import (
+            crossover_curve,
+            difference_surface,
+        )
+
+        curve = crossover_curve(small_sweep)
+        diff = difference_surface(small_sweep, infeasible="one")
+        ds = small_sweep.deadline_values
+        for i, d_star in enumerate(curve):
+            if not np.isfinite(d_star):
+                continue
+            after = diff[i, ds >= d_star]
+            assert after.size == 0 or after[0] >= -1e-9
+
+
+class TestSensitivity:
+    def test_complementary_shape(self, small_sweep):
+        prof = sensitivity_profile(small_sweep)
+        # Paper Section 6.3: enforced tracks D, monolithic tracks tau0.
+        assert (
+            prof.monolithic_tau0_sensitivity
+            > prof.monolithic_deadline_sensitivity
+        )
+        assert (
+            prof.enforced_deadline_sensitivity
+            > 0.5 * prof.enforced_tau0_sensitivity
+        )
+        # Monolithic is much more tau0-sensitive than enforced at scale.
+        assert (
+            prof.monolithic_tau0_sensitivity
+            > prof.enforced_tau0_sensitivity
+        )

@@ -1,0 +1,68 @@
+"""Tests for the vector firing rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.firing import fire_vector
+from repro.dataflow.gains import BernoulliGain, DeterministicGain
+from repro.dataflow.queues import ItemQueue
+
+
+def test_empty_queue_empty_firing(rng):
+    q = ItemQueue("q")
+    r = fire_vector(q, 4, DeterministicGain(1), rng)
+    assert r.consumed == 0
+    assert r.produced == 0
+    assert r.occupancy == 0.0
+
+
+def test_consumes_at_most_vector_width(rng):
+    q = ItemQueue("q")
+    q.push_many(np.arange(10.0))
+    r = fire_vector(q, 4, DeterministicGain(1), rng)
+    assert r.consumed == 4
+    assert len(q) == 6
+    assert r.occupancy == 1.0
+
+
+def test_partial_vector_occupancy(rng):
+    q = ItemQueue("q")
+    q.push_many([1.0, 2.0])
+    r = fire_vector(q, 8, DeterministicGain(1), rng)
+    assert r.consumed == 2
+    assert r.occupancy == pytest.approx(0.25)
+
+
+def test_outputs_inherit_origins_in_order(rng):
+    q = ItemQueue("q")
+    q.push_many([10.0, 20.0])
+    r = fire_vector(q, 4, DeterministicGain(2), rng)
+    assert r.output_origins.tolist() == [10.0, 10.0, 20.0, 20.0]
+
+
+def test_filter_gain_drops_items(rng):
+    q = ItemQueue("q")
+    q.push_many(np.arange(1000.0))
+    produced = 0
+    while len(q):
+        produced += fire_vector(q, 128, BernoulliGain(0.25), rng).produced
+    assert 150 < produced < 350  # ~250 expected
+
+
+@settings(max_examples=40)
+@given(
+    n_items=st.integers(0, 40),
+    v=st.integers(1, 16),
+    k=st.integers(0, 4),
+)
+def test_property_conservation(n_items, v, k):
+    """produced == consumed * k for deterministic gain k."""
+    rng = np.random.default_rng(0)
+    q = ItemQueue("q")
+    q.push_many(np.arange(float(n_items)))
+    r = fire_vector(q, v, DeterministicGain(k), rng)
+    assert r.consumed == min(n_items, v)
+    assert r.produced == r.consumed * k
+    assert len(q) == n_items - r.consumed

@@ -1,0 +1,196 @@
+"""Tests for gain distributions, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.gains import (
+    BernoulliGain,
+    CensoredPoissonGain,
+    DeterministicGain,
+    EmpiricalGain,
+    MixtureGain,
+    gain_from_mean,
+)
+from repro.errors import SpecError
+
+
+def _check_pmf_contract(dist):
+    """Shared invariants every distribution must satisfy."""
+    pmf = dist.pmf()
+    assert pmf.size == dist.max_outputs + 1
+    assert (pmf >= 0).all()
+    assert pmf.sum() == pytest.approx(1.0)
+    mean_from_pmf = float(np.dot(np.arange(pmf.size), pmf))
+    assert mean_from_pmf == pytest.approx(dist.mean, rel=1e-9, abs=1e-12)
+
+
+class TestDeterministic:
+    def test_mean_and_samples(self, rng):
+        d = DeterministicGain(3)
+        assert d.mean == 3.0
+        assert (d.sample(rng, 10) == 3).all()
+        _check_pmf_contract(d)
+
+    def test_zero_gain(self, rng):
+        d = DeterministicGain(0)
+        assert (d.sample(rng, 5) == 0).all()
+        assert d.variance == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(SpecError):
+            DeterministicGain(-1)
+
+
+class TestBernoulli:
+    def test_mean_is_p(self):
+        assert BernoulliGain(0.379).mean == pytest.approx(0.379)
+
+    def test_samples_binary(self, rng):
+        s = BernoulliGain(0.5).sample(rng, 1000)
+        assert set(np.unique(s)) <= {0, 1}
+
+    def test_sample_mean_converges(self, rng):
+        s = BernoulliGain(0.379).sample(rng, 200_000)
+        assert s.mean() == pytest.approx(0.379, abs=0.005)
+
+    def test_pmf(self):
+        _check_pmf_contract(BernoulliGain(0.25))
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects_bad_p(self, bad):
+        with pytest.raises(SpecError):
+            BernoulliGain(bad)
+
+
+class TestCensoredPoisson:
+    def test_censoring_limits_samples(self, rng):
+        d = CensoredPoissonGain(1.92, 16)
+        s = d.sample(rng, 100_000)
+        assert s.max() <= 16
+        assert s.min() >= 0
+
+    def test_censored_mean_below_nominal(self):
+        d = CensoredPoissonGain(1.92, 2)  # aggressive censoring
+        assert d.mean < d.nominal_mean
+
+    def test_mild_censoring_mean_close(self):
+        d = CensoredPoissonGain(1.92, 16)  # paper's configuration
+        assert d.mean == pytest.approx(1.92, abs=1e-6)
+
+    def test_pmf_contract(self):
+        _check_pmf_contract(CensoredPoissonGain(1.92, 16))
+
+    def test_tail_mass_collapses_to_limit(self):
+        tight = CensoredPoissonGain(5.0, 3)
+        pmf = tight.pmf()
+        # P(X=3 censored) = P(Poisson >= 3), which is large for lam=5.
+        assert pmf[3] > 0.7
+
+    def test_sample_mean_matches_censored_mean(self, rng):
+        d = CensoredPoissonGain(3.0, 4)
+        s = d.sample(rng, 200_000)
+        assert s.mean() == pytest.approx(d.mean, abs=0.02)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SpecError):
+            CensoredPoissonGain(0.0, 16)
+        with pytest.raises(SpecError):
+            CensoredPoissonGain(1.0, 0)
+
+
+class TestEmpirical:
+    def test_reproduces_observed_frequencies(self):
+        d = EmpiricalGain([0, 0, 1, 1, 1, 2])
+        pmf = d.pmf()
+        assert pmf[0] == pytest.approx(2 / 6)
+        assert pmf[1] == pytest.approx(3 / 6)
+        assert pmf[2] == pytest.approx(1 / 6)
+        assert d.mean == pytest.approx(5 / 6)
+        assert d.n_observations == 6
+
+    def test_sampling_within_support(self, rng):
+        d = EmpiricalGain([0, 3, 3, 7])
+        s = d.sample(rng, 1000)
+        assert set(np.unique(s)) <= {0, 3, 7}
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(SpecError):
+            EmpiricalGain([])
+        with pytest.raises(SpecError):
+            EmpiricalGain([1, -1])
+
+
+class TestMixture:
+    def test_mean_is_weighted(self):
+        m = MixtureGain([BernoulliGain(0.0), BernoulliGain(1.0)], [0.25, 0.75])
+        assert m.mean == pytest.approx(0.75)
+        _check_pmf_contract(m)
+
+    def test_mixture_has_higher_variance_than_single(self):
+        single = BernoulliGain(0.5)
+        mix = MixtureGain([BernoulliGain(0.0), BernoulliGain(1.0)], [0.5, 0.5])
+        assert mix.mean == pytest.approx(single.mean)
+        # Same mean, but mixture concentrates on extreme phases.
+        assert mix.variance <= single.variance + 1e-12
+
+    def test_sampling_uses_all_components(self, rng):
+        m = MixtureGain(
+            [DeterministicGain(1), DeterministicGain(5)], [0.5, 0.5]
+        )
+        s = m.sample(rng, 2000)
+        assert {1, 5} <= set(np.unique(s))
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(SpecError):
+            MixtureGain([DeterministicGain(1)], [0.5, 0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecError):
+            MixtureGain([], [])
+
+
+class TestGainFromMean:
+    def test_sub_unit_becomes_bernoulli(self):
+        assert isinstance(gain_from_mean(0.379), BernoulliGain)
+
+    def test_super_unit_becomes_censored_poisson(self):
+        d = gain_from_mean(1.92)
+        assert isinstance(d, CensoredPoissonGain)
+        assert d.u == 16  # the paper's default limit
+
+    def test_zero_is_deterministic(self):
+        assert isinstance(gain_from_mean(0.0), DeterministicGain)
+
+    def test_custom_limit(self):
+        assert gain_from_mean(3.0, u=4).max_outputs == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(SpecError):
+            gain_from_mean(-0.5)
+
+
+@settings(max_examples=30)
+@given(mean=st.floats(0.01, 0.99))
+def test_property_bernoulli_pmf_mean(mean):
+    _check_pmf_contract(BernoulliGain(mean))
+
+
+@settings(max_examples=30)
+@given(lam=st.floats(0.1, 10.0), u=st.integers(1, 32))
+def test_property_censored_poisson_contract(lam, u):
+    d = CensoredPoissonGain(lam, u)
+    _check_pmf_contract(d)
+    assert d.mean <= d.nominal_mean + 1e-12
+    assert d.max_outputs == u
+
+
+@settings(max_examples=30)
+@given(
+    counts=st.lists(st.integers(0, 20), min_size=1, max_size=200),
+)
+def test_property_empirical_mean_matches_data(counts):
+    d = EmpiricalGain(counts)
+    assert d.mean == pytest.approx(float(np.mean(counts)))
+    _check_pmf_contract(d)

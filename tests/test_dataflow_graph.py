@@ -1,0 +1,117 @@
+"""Tests for the general dataflow graph."""
+
+import pytest
+
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.gains import BernoulliGain, DeterministicGain
+from repro.dataflow.spec import NodeSpec, PipelineSpec
+from repro.errors import SpecError
+
+
+def _node(name, t=1.0, g=1.0):
+    gain = DeterministicGain(1) if g == 1.0 else BernoulliGain(g)
+    return NodeSpec(name, t, gain)
+
+
+class TestConstruction:
+    def test_add_nodes_and_edges(self):
+        g = DataflowGraph(8)
+        g.add_node(_node("a"))
+        g.add_node(_node("b"))
+        g.add_edge("a", "b")
+        assert g.n_nodes == 2 and g.n_edges == 1
+
+    def test_duplicate_node_rejected(self):
+        g = DataflowGraph(8)
+        g.add_node(_node("a"))
+        with pytest.raises(SpecError, match="duplicate"):
+            g.add_node(_node("a"))
+
+    def test_unknown_edge_endpoint_rejected(self):
+        g = DataflowGraph(8)
+        g.add_node(_node("a"))
+        with pytest.raises(SpecError, match="unknown"):
+            g.add_edge("a", "zzz")
+
+    def test_self_loop_rejected(self):
+        g = DataflowGraph(8)
+        g.add_node(_node("a"))
+        with pytest.raises(SpecError, match="self-loop"):
+            g.add_edge("a", "a")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        g = DataflowGraph(8)
+        for n in "abc":
+            g.add_node(_node(n))
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        with pytest.raises(SpecError, match="cycle"):
+            g.add_edge("c", "a")
+        assert g.n_edges == 2  # offending edge rolled back
+
+
+class TestQueries:
+    def _diamond(self):
+        g = DataflowGraph(8)
+        for n, gain in [("s", 1.0), ("l", 0.5), ("r", 0.5), ("t", 1.0)]:
+            g.add_node(_node(n, g=gain))
+        g.add_edge("s", "l")
+        g.add_edge("s", "r")
+        g.add_edge("l", "t")
+        g.add_edge("r", "t")
+        return g
+
+    def test_sources_and_sinks(self):
+        g = self._diamond()
+        assert g.sources() == ["s"]
+        assert g.sinks() == ["t"]
+
+    def test_topological_order_valid(self):
+        g = self._diamond()
+        order = g.topological_order()
+        assert order.index("s") == 0
+        assert order.index("t") == 3
+
+    def test_total_gain_sums_paths(self):
+        g = self._diamond()
+        # Two paths s->l->t and s->r->t, each with gain 1 * 0.5.
+        assert g.total_gain_into("t") == pytest.approx(1.0)
+        assert g.total_gain_into("l") == pytest.approx(1.0)
+
+    def test_total_gain_chain_matches_pipeline(self, blast):
+        g = DataflowGraph.from_pipeline(blast)
+        for i, node in enumerate(blast.nodes):
+            assert g.total_gain_into(node.name) == pytest.approx(
+                float(blast.total_gains[i]), rel=1e-9
+            )
+
+
+class TestChainCertification:
+    def test_diamond_is_not_chain(self):
+        g = TestQueries()._diamond()
+        assert not g.is_chain()
+        with pytest.raises(SpecError, match="linear chain"):
+            g.as_chain()
+
+    def test_round_trip_pipeline(self, blast):
+        g = DataflowGraph.from_pipeline(blast)
+        assert g.is_chain()
+        back = g.as_chain()
+        assert isinstance(back, PipelineSpec)
+        assert [n.name for n in back.nodes] == [n.name for n in blast.nodes]
+        assert back.vector_width == blast.vector_width
+
+    def test_single_node_is_chain(self):
+        g = DataflowGraph(4)
+        g.add_node(_node("only"))
+        assert g.is_chain()
+        assert g.as_chain().n_nodes == 1
+
+    def test_disconnected_is_not_chain(self):
+        g = DataflowGraph(4)
+        g.add_node(_node("a"))
+        g.add_node(_node("b"))
+        assert not g.is_chain()
+
+    def test_empty_is_not_chain(self):
+        assert not DataflowGraph(4).is_chain()

@@ -1,0 +1,99 @@
+"""Tests for ItemQueue, including FIFO property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.queues import ItemQueue
+from repro.errors import SimulationError
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        q = ItemQueue("q")
+        q.push_many([1.0, 2.0, 3.0])
+        assert q.pop_up_to(2).tolist() == [1.0, 2.0]
+        assert q.pop_up_to(5).tolist() == [3.0]
+
+    def test_pop_from_empty_is_empty_array(self):
+        q = ItemQueue("q")
+        out = q.pop_up_to(4)
+        assert out.size == 0
+        assert out.dtype == float
+
+    def test_pop_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            ItemQueue("q").pop_up_to(-1)
+
+    def test_len_and_counts(self):
+        q = ItemQueue("q")
+        q.push_many([0.0, 1.0, 2.0])
+        q.pop_up_to(2)
+        assert len(q) == 1
+        assert q.total_pushed == 3
+        assert q.total_popped == 2
+
+    def test_peek_oldest(self):
+        q = ItemQueue("q")
+        q.push(42.0)
+        assert q.peek_oldest() == 42.0
+        assert len(q) == 1  # peek does not consume
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError, match="empty"):
+            ItemQueue("q").peek_oldest()
+
+    def test_clear_retains_stats(self):
+        q = ItemQueue("q")
+        q.push_many([1.0, 2.0])
+        q.clear()
+        assert len(q) == 0
+        assert q.max_depth == 2
+
+
+class TestHighWaterMark:
+    def test_tracks_max_depth(self):
+        q = ItemQueue("q")
+        q.push_many([1.0, 2.0, 3.0])
+        q.pop_up_to(3)
+        q.push(4.0)
+        assert q.max_depth == 3
+
+    def test_capacity_enforced(self):
+        q = ItemQueue("q", capacity=2)
+        q.push_many([1.0, 2.0])
+        with pytest.raises(SimulationError, match="overflow"):
+            q.push(3.0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            ItemQueue("q", capacity=0)
+
+
+@settings(max_examples=50)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.floats(0, 1e6),  # push this origin
+            st.integers(0, 10),  # pop up to this many
+        ),
+        max_size=200,
+    )
+)
+def test_property_fifo_matches_reference(ops):
+    """Queue behaves exactly like a reference list under arbitrary op mixes."""
+    q = ItemQueue("q")
+    reference: list[float] = []
+    max_depth = 0
+    for op in ops:
+        if isinstance(op, float):
+            q.push(op)
+            reference.append(op)
+            max_depth = max(max_depth, len(reference))
+        else:
+            got = q.pop_up_to(op).tolist()
+            want, reference = reference[:op], reference[op:]
+            assert got == want
+    assert len(q) == len(reference)
+    assert q.max_depth == max_depth

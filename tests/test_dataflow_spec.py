@@ -1,0 +1,101 @@
+"""Tests for NodeSpec / PipelineSpec."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.gains import BernoulliGain, CensoredPoissonGain, DeterministicGain
+from repro.dataflow.spec import NodeSpec, PipelineSpec
+from repro.errors import SpecError
+
+
+class TestNodeSpec:
+    def test_valid(self):
+        n = NodeSpec("stage", 287.0, BernoulliGain(0.379))
+        assert n.mean_gain == pytest.approx(0.379)
+
+    def test_default_gain_is_passthrough(self):
+        assert NodeSpec("x", 1.0).mean_gain == 1.0
+
+    def test_rejects_bad_service_time(self):
+        with pytest.raises(SpecError):
+            NodeSpec("x", 0.0)
+        with pytest.raises(SpecError):
+            NodeSpec("x", -1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecError):
+            NodeSpec("", 1.0)
+
+    def test_rejects_non_distribution_gain(self):
+        with pytest.raises(SpecError):
+            NodeSpec("x", 1.0, gain=0.5)  # type: ignore[arg-type]
+
+
+class TestPipelineSpec:
+    def test_blast_derived_quantities(self, blast):
+        assert blast.n_nodes == 4
+        assert blast.vector_width == 128
+        G = blast.total_gains
+        assert G[0] == 1.0
+        assert G[1] == pytest.approx(0.379)
+        assert G[2] == pytest.approx(0.379 * 1.92, rel=1e-3)
+        assert G[3] == pytest.approx(0.379 * 1.92 * 0.0332, rel=1e-3)
+        # per-item cost = sum G_i t_i / v ~ 7.87 cycles (hand-computed)
+        assert blast.per_item_cost == pytest.approx(7.87, abs=0.05)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecError):
+            PipelineSpec((), 128)
+
+    def test_rejects_duplicate_names(self):
+        nodes = (NodeSpec("a", 1.0), NodeSpec("a", 2.0))
+        with pytest.raises(SpecError, match="duplicate"):
+            PipelineSpec(nodes, 4)
+
+    def test_rejects_bad_vector_width(self):
+        with pytest.raises(SpecError):
+            PipelineSpec((NodeSpec("a", 1.0),), 0)
+
+    def test_node_index(self, blast):
+        assert blast.node_index("seed_expand") == 1
+        with pytest.raises(SpecError):
+            blast.node_index("missing")
+
+    def test_with_vector_width(self, blast):
+        narrower = blast.with_vector_width(32)
+        assert narrower.vector_width == 32
+        assert narrower.nodes == blast.nodes
+        assert narrower.per_item_cost == pytest.approx(
+            blast.per_item_cost * 4, rel=1e-9
+        )
+
+    def test_describe_renders(self, blast):
+        text = blast.describe()
+        assert "seed_filter" in text
+        assert "G_i" in text
+
+    def test_list_nodes_coerced_to_tuple(self):
+        p = PipelineSpec([NodeSpec("a", 1.0)], 4)  # type: ignore[arg-type]
+        assert isinstance(p.nodes, tuple)
+
+
+class TestFromArrays:
+    def test_gain_model_selection(self):
+        p = PipelineSpec.from_arrays([287, 955], [0.379, 1.92], 128)
+        assert isinstance(p.nodes[0].gain, BernoulliGain)
+        assert isinstance(p.nodes[1].gain, CensoredPoissonGain)
+
+    def test_expander_limit_forwarded(self):
+        p = PipelineSpec.from_arrays([1.0], [3.0], 8, expander_limit=4)
+        assert p.nodes[0].gain.max_outputs == 4
+
+    def test_zero_gain(self):
+        p = PipelineSpec.from_arrays([1.0], [0.0], 8)
+        assert isinstance(p.nodes[0].gain, DeterministicGain)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(SpecError):
+            PipelineSpec.from_arrays([1.0, 2.0], [1.0], 8)
+
+    def test_min_periods_equals_service_times(self, blast):
+        assert np.allclose(blast.min_periods, blast.service_times)

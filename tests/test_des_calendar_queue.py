@@ -1,0 +1,140 @@
+"""Tests for the calendar queue, including equivalence with the heap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.calendar_queue import CalendarQueue
+from repro.des.engine import Engine
+from repro.des.events import Event
+from repro.errors import SimulationError
+
+
+def _event(time, priority=0, seq=0):
+    return Event(time=time, priority=priority, seq=seq, fn=lambda: None)
+
+
+class TestBasics:
+    def test_push_pop_sorted(self):
+        q = CalendarQueue()
+        for i, t in enumerate([5.0, 1.0, 3.0, 2.0, 4.0]):
+            q.push(_event(t, seq=i))
+        out = [q.pop().time for _ in range(5)]
+        assert out == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert len(q) == 0
+
+    def test_priority_and_seq_tiebreak(self):
+        q = CalendarQueue()
+        q.push(_event(1.0, priority=1, seq=0))
+        q.push(_event(1.0, priority=-1, seq=1))
+        q.push(_event(1.0, priority=-1, seq=2))
+        assert q.pop().seq == 1
+        assert q.pop().seq == 2
+        assert q.pop().seq == 0
+
+    def test_peek_does_not_remove(self):
+        q = CalendarQueue()
+        q.push(_event(2.0))
+        assert q.peek().time == 2.0
+        assert len(q) == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+        with pytest.raises(IndexError):
+            CalendarQueue().peek()
+
+    def test_clear(self):
+        q = CalendarQueue()
+        q.push(_event(1.0))
+        q.clear()
+        assert len(q) == 0
+
+    def test_far_future_events(self):
+        # Events many "years" apart exercise the full-scan fallback.
+        q = CalendarQueue(n_buckets=4, bucket_width=1.0)
+        q.push(_event(1e9, seq=0))
+        q.push(_event(0.5, seq=1))
+        assert q.pop().time == 0.5
+        assert q.pop().time == 1e9
+
+    def test_resize_preserves_order(self):
+        q = CalendarQueue(n_buckets=4, bucket_width=1.0)
+        times = list(np.linspace(0, 1000, 200))
+        rng = np.random.default_rng(0)
+        rng.shuffle(times)
+        for i, t in enumerate(times):
+            q.push(_event(float(t), seq=i))
+        out = [q.pop().time for _ in range(len(times))]
+        assert out == sorted(times)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(n_buckets=0)
+        with pytest.raises(ValueError):
+            CalendarQueue(bucket_width=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    times=st.lists(st.floats(0.0, 1e6), min_size=1, max_size=150),
+    priorities=st.lists(st.integers(-2, 2), min_size=1, max_size=150),
+)
+def test_property_matches_heap_order(times, priorities):
+    """The calendar queue dequeues in exactly the heap's total order."""
+    import heapq
+
+    n = min(len(times), len(priorities))
+    cal = CalendarQueue()
+    heap: list[Event] = []
+    for k in range(n):
+        e = _event(times[k], priorities[k], seq=k)
+        cal.push(e)
+        heapq.heappush(heap, e)
+    cal_order = [(cal.pop().seq) for _ in range(n)]
+    heap_order = [heapq.heappop(heap).seq for _ in range(n)]
+    assert cal_order == heap_order
+
+
+class TestEngineIntegration:
+    def test_engine_accepts_calendar(self):
+        eng = Engine(queue="calendar")
+        fired = []
+        eng.schedule(3.0, lambda: fired.append("b"))
+        eng.schedule(1.0, lambda: fired.append("a"))
+        eng.run()
+        assert fired == ["a", "b"]
+
+    def test_engine_rejects_unknown_queue(self):
+        with pytest.raises(SimulationError):
+            Engine(queue="skiplist")
+
+    def test_simulation_identical_across_queues(self, blast, calibrated_b):
+        """A full pipeline simulation is bit-identical on both queues."""
+        from repro.arrivals.fixed import FixedRateArrivals
+        from repro.core.enforced_waits import solve_enforced_waits
+        from repro.core.model import RealTimeProblem
+        from repro.sim.enforced import EnforcedWaitsSimulator
+
+        sol = solve_enforced_waits(
+            RealTimeProblem(blast, 20.0, 2e5), calibrated_b
+        )
+
+        def run(queue_kind):
+            sim = EnforcedWaitsSimulator(
+                blast,
+                sol.waits,
+                FixedRateArrivals(20.0),
+                2e5,
+                2000,
+                seed=5,
+            )
+            sim.engine = Engine(queue=queue_kind)
+            return sim.run()
+
+        heap_m = run("heap")
+        cal_m = run("calendar")
+        assert heap_m.outputs == cal_m.outputs
+        assert heap_m.mean_latency == cal_m.mean_latency
+        assert heap_m.active_fraction == cal_m.active_fraction

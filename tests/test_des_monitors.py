@@ -1,0 +1,96 @@
+"""Tests for statistics monitors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.des.monitors import Accumulator, Counter, TimeWeighted
+
+
+class TestCounter:
+    def test_counts(self):
+        c = Counter("items")
+        c.increment()
+        c.increment(5)
+        assert c.count == 6
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+
+class TestAccumulator:
+    def test_empty_stats_are_nan(self):
+        acc = Accumulator("x")
+        assert math.isnan(acc.mean)
+        assert math.isnan(acc.min)
+        assert math.isnan(acc.variance)
+
+    def test_basic_moments(self):
+        acc = Accumulator("x")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            acc.add(v)
+        assert acc.n == 4
+        assert acc.mean == pytest.approx(2.5)
+        assert acc.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert acc.min == 1.0 and acc.max == 4.0
+        assert acc.total == pytest.approx(10.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_welford_matches_numpy(self, xs):
+        acc = Accumulator("x")
+        for v in xs:
+            acc.add(v)
+        assert acc.mean == pytest.approx(float(np.mean(xs)), abs=1e-6, rel=1e-9)
+        assert acc.variance == pytest.approx(
+            float(np.var(xs, ddof=1)), abs=1e-4, rel=1e-6
+        )
+
+    def test_quantile_requires_samples(self):
+        acc = Accumulator("x")
+        acc.add(1.0)
+        with pytest.raises(ValueError, match="keep_samples"):
+            acc.quantile(0.5)
+
+    def test_quantile_interpolates(self):
+        acc = Accumulator("x", keep_samples=True)
+        for v in (0.0, 10.0):
+            acc.add(v)
+        assert acc.quantile(0.5) == pytest.approx(5.0)
+        assert acc.quantile(0.0) == 0.0
+        assert acc.quantile(1.0) == 10.0
+
+    def test_quantile_range_checked(self):
+        acc = Accumulator("x", keep_samples=True)
+        with pytest.raises(ValueError):
+            acc.quantile(1.5)
+
+
+class TestTimeWeighted:
+    def test_time_average_of_step_signal(self):
+        tw = TimeWeighted("q", initial=0.0)
+        tw.update(10.0, 4.0)  # 0 over [0,10)
+        tw.update(20.0, 0.0)  # 4 over [10,20)
+        assert tw.time_average(20.0) == pytest.approx(2.0)
+
+    def test_average_extends_current_value(self):
+        tw = TimeWeighted("q", initial=2.0)
+        assert tw.time_average(10.0) == pytest.approx(2.0)
+
+    def test_max_tracked(self):
+        tw = TimeWeighted("q")
+        tw.update(1.0, 7.0)
+        tw.update(2.0, 3.0)
+        assert tw.max == 7.0
+
+    def test_time_cannot_reverse(self):
+        tw = TimeWeighted("q")
+        tw.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.update(4.0, 2.0)
+
+    def test_zero_span_average_is_nan(self):
+        assert math.isnan(TimeWeighted("q").time_average(0.0))

@@ -1,0 +1,78 @@
+"""Tests for Process/PeriodicProcess."""
+
+import pytest
+
+from repro.des.engine import Engine
+from repro.des.process import PeriodicProcess, Process
+from repro.errors import SimulationError
+
+
+class TestProcess:
+    def test_double_start_rejected(self):
+        p = Process(Engine(), "p")
+        p.start()
+        with pytest.raises(SimulationError, match="already started"):
+            p.start()
+
+    def test_stop_is_safe_twice(self):
+        p = Process(Engine(), "p")
+        p.stop()
+        p.stop()
+        assert p.stopped
+
+
+class TestPeriodicProcess:
+    def test_fires_at_offset_then_period(self):
+        eng = Engine()
+        times = []
+        proc = PeriodicProcess(
+            eng, "tick", period=10.0, action=lambda i: times.append(eng.now), offset=3.0
+        )
+        proc.start()
+        eng.run(until=35.0)
+        assert times == [3.0, 13.0, 23.0, 33.0]
+        assert proc.invocations == 4
+
+    def test_action_receives_index(self):
+        eng = Engine()
+        indices = []
+        proc = PeriodicProcess(eng, "tick", 1.0, lambda i: indices.append(i))
+        proc.start()
+        eng.run(until=3.5)
+        assert indices == [0, 1, 2, 3]
+
+    def test_stop_halts_firing(self):
+        eng = Engine()
+        count = [0]
+
+        def action(i):
+            count[0] += 1
+            if count[0] == 2:
+                proc.stop()
+
+        proc = PeriodicProcess(eng, "tick", 1.0, action)
+        proc.start()
+        eng.run(until=100.0)
+        assert count[0] == 2
+
+    def test_period_change_applies_next_cycle(self):
+        eng = Engine()
+        times = []
+
+        def action(i):
+            times.append(eng.now)
+            if i == 0:
+                proc.period = 5.0
+
+        proc = PeriodicProcess(eng, "tick", 1.0, action)
+        proc.start()
+        eng.run(until=12.0)
+        assert times == [0.0, 5.0, 10.0]
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(Engine(), "x", 0.0, lambda i: None)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(Engine(), "x", 1.0, lambda i: None, offset=-1.0)

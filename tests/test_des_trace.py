@@ -1,0 +1,43 @@
+"""Tests for the trace recorder."""
+
+from repro.des.trace import TraceRecorder
+
+
+def test_records_in_order():
+    tr = TraceRecorder()
+    tr.record(1.0, "fire", "n0", consumed=3)
+    tr.record(2.0, "complete", "n0", produced=1)
+    assert len(tr) == 2
+    records = list(tr)
+    assert records[0].kind == "fire"
+    assert records[0].detail == {"consumed": 3}
+
+
+def test_kind_filter():
+    tr = TraceRecorder(kinds={"fire"})
+    tr.record(1.0, "fire", "n0")
+    tr.record(1.0, "complete", "n0")
+    assert len(tr) == 1
+    assert tr.of_kind("complete") == []
+
+
+def test_capacity_cap():
+    tr = TraceRecorder(capacity=2)
+    for i in range(5):
+        tr.record(float(i), "fire", "n0")
+    assert len(tr) == 2
+
+
+def test_of_kind_selects():
+    tr = TraceRecorder()
+    tr.record(1.0, "a", "s")
+    tr.record(2.0, "b", "s")
+    tr.record(3.0, "a", "s")
+    assert [r.time for r in tr.of_kind("a")] == [1.0, 3.0]
+
+
+def test_clear():
+    tr = TraceRecorder()
+    tr.record(1.0, "a", "s")
+    tr.clear()
+    assert len(tr) == 0

@@ -1,0 +1,33 @@
+"""Run the executable examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.apps.nids.aho_corasick
+import repro.des.engine
+import repro.des.rng
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.des.engine,
+        repro.des.rng,
+        repro.apps.nids.aho_corasick,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert attempted > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0
+
+
+def test_package_docstring_example():
+    """The quickstart in repro/__init__ must stay runnable."""
+    failures = doctest.testmod(repro, verbose=False).failed
+    assert failures == 0

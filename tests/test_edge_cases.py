@@ -1,0 +1,125 @@
+"""Edge cases cutting across optimizer and simulator.
+
+Zero-gain (stream-killing) nodes, non-default SIMD widths, and the
+same-mean property of the bursty gain variant used by ablations A3/A6.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.core.enforced_waits import solve_enforced_waits
+from repro.core.model import RealTimeProblem
+from repro.core.monolithic import solve_monolithic
+from repro.dataflow.gains import BernoulliGain, DeterministicGain
+from repro.dataflow.spec import NodeSpec, PipelineSpec
+from repro.sim.enforced import EnforcedWaitsSimulator
+
+
+class TestZeroGainNode:
+    """A node that annihilates the stream mid-pipeline."""
+
+    @pytest.fixture
+    def killer_pipeline(self):
+        return PipelineSpec(
+            (
+                NodeSpec("head", 5.0, BernoulliGain(0.5)),
+                NodeSpec("killer", 7.0, DeterministicGain(0)),
+                NodeSpec("starved", 3.0, DeterministicGain(1)),
+            ),
+            vector_width=4,
+        )
+
+    def test_optimizer_handles_zero_gain(self, killer_pipeline):
+        sol = solve_enforced_waits(
+            RealTimeProblem(killer_pipeline, 10.0, 1e4), np.ones(3)
+        )
+        assert sol.feasible
+        # The starved node has no chain cap (g=0 disables it); its period
+        # is limited only by the deadline budget.
+        assert sol.periods[2] > killer_pipeline.service_times[2]
+
+    def test_monolithic_handles_zero_gain(self, killer_pipeline):
+        sol = solve_monolithic(RealTimeProblem(killer_pipeline, 10.0, 1e4))
+        assert sol.feasible
+        # G = (1, 0.5, 0): the starved stage contributes no firings.
+        assert killer_pipeline.total_gains[2] == 0.0
+
+    def test_simulation_drains_with_no_outputs(self, killer_pipeline):
+        metrics = EnforcedWaitsSimulator(
+            killer_pipeline,
+            np.zeros(3),
+            FixedRateArrivals(5.0),
+            1e6,
+            500,
+            seed=0,
+        ).run()
+        assert metrics.outputs == 0
+        assert metrics.missed_items == 0  # no outputs -> nothing late
+        assert metrics.firings[2] > 0  # starved node still fires (empty)
+        assert metrics.empty_firings[2] == metrics.firings[2]
+
+
+class TestNonDefaultWidth:
+    """Nothing may hardcode v = 128."""
+
+    @pytest.mark.parametrize("v", [8, 32])
+    def test_prediction_matches_simulation(self, v):
+        pipeline = PipelineSpec.from_arrays(
+            [40.0, 90.0, 25.0], [0.6, 1.7, 0.4], v
+        )
+        tau0 = 3.0 * pipeline.service_times[0] / v * 4
+        deadline = 60.0 * float(pipeline.service_times.sum())
+        sol = solve_enforced_waits(
+            RealTimeProblem(pipeline, tau0, deadline), np.full(3, 3.0)
+        )
+        assert sol.feasible
+        metrics = EnforcedWaitsSimulator(
+            pipeline,
+            sol.waits,
+            FixedRateArrivals(tau0),
+            deadline,
+            4000,
+            seed=1,
+        ).run()
+        assert metrics.active_fraction == pytest.approx(
+            sol.active_fraction, rel=0.08
+        )
+        assert metrics.miss_rate < 0.02
+
+    def test_head_cap_uses_actual_width(self):
+        pipeline = PipelineSpec.from_arrays([50.0], [1.0], 8)
+        # x_0 <= 8 * tau0 and x_0 >= 50 -> infeasible below tau0 = 6.25.
+        assert not solve_enforced_waits(
+            RealTimeProblem(pipeline, 6.0, 1e4), np.ones(1)
+        ).feasible
+        assert solve_enforced_waits(
+            RealTimeProblem(pipeline, 6.5, 1e4), np.ones(1)
+        ).feasible
+
+
+class TestBurstyVariant:
+    """The A3/A6 bursty mixture must preserve every node's mean gain."""
+
+    def test_means_preserved(self, blast):
+        from repro.experiments.ablations import _bursty_variant
+
+        bursty = _bursty_variant(blast)
+        # Nominal means are preserved exactly; the loud Poisson component
+        # loses a hair of realized mean to censoring at u=16 (<0.1%).
+        assert np.allclose(
+            bursty.mean_gains, blast.mean_gains, rtol=1e-3
+        )
+
+    def test_variance_not_decreased(self, blast):
+        from repro.experiments.ablations import _bursty_variant
+
+        bursty = _bursty_variant(blast)
+        for orig, burst in zip(blast.nodes, bursty.nodes):
+            assert burst.gain.variance >= orig.gain.variance - 1e-12
+
+    def test_expander_censoring_limit_kept(self, blast):
+        from repro.experiments.ablations import _bursty_variant
+
+        bursty = _bursty_variant(blast)
+        assert bursty.nodes[1].gain.max_outputs <= 16

@@ -1,0 +1,37 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    InfeasibleError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    SpecError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (SpecError, InfeasibleError, SolverError, SimulationError, CalibrationError):
+        assert issubclass(exc, ReproError)
+
+
+def test_spec_error_is_value_error():
+    # Callers used to ValueError semantics keep working.
+    assert issubclass(SpecError, ValueError)
+
+
+def test_infeasible_carries_diagnosis():
+    err = InfeasibleError("nope", diagnosis="deadline too tight")
+    assert err.diagnosis == "deadline too tight"
+    assert "nope" in str(err)
+
+
+def test_infeasible_diagnosis_optional():
+    assert InfeasibleError("nope").diagnosis is None
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise SolverError("x")

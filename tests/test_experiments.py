@@ -1,0 +1,121 @@
+"""Tests for the experiment drivers and registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.scale import repro_scale, scaled
+from repro.experiments.table1 import run_table1
+
+
+class TestScale:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert repro_scale() == 1.0
+        assert scaled(10) == 10
+
+    def test_env_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert scaled(10) == 5
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert scaled(10, minimum=3) == 3
+
+    def test_bad_values_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "zero")
+        with pytest.raises(SpecError):
+            repro_scale()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(SpecError):
+            repro_scale()
+
+    def test_explicit_factor_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        assert scaled(100, factor=0.5) == 50
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(EXPERIMENTS)
+        assert {
+            "table1",
+            "fig3",
+            "fig4",
+            "calibration",
+            "sim-validation",
+            "ablation-timing",
+            "ablation-vacation",
+            "ablation-gains",
+            "poisson-arrivals",
+            "queueing-b",
+        } <= ids
+
+    def test_get_unknown_raises_with_hints(self):
+        with pytest.raises(SpecError, match="known ids"):
+            get_experiment("fig99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("table1")
+        assert hasattr(result, "render")
+
+
+class TestTable1:
+    def test_values(self):
+        r = run_table1()
+        assert r.per_item_cost == pytest.approx(7.87, abs=0.05)
+        assert r.min_tau0_enforced < r.min_tau0_monolithic
+        text = r.render()
+        assert "287" in text and "2753" in text
+        assert "BLAST" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def fig3(self):
+        return run_fig3(n_tau0=5, n_deadline=4)
+
+    def test_surfaces_have_feasible_region(self, fig3):
+        assert fig3.sweep.enforced_feasible_mask().any()
+        assert fig3.sweep.monolithic_feasible_mask().any()
+
+    def test_complementary_sensitivities(self, fig3):
+        s = fig3.sensitivities
+        assert s.monolithic_tau0_sensitivity > s.monolithic_deadline_sensitivity
+        assert s.monolithic_tau0_sensitivity > s.enforced_tau0_sensitivity
+
+    def test_render_contains_both_surfaces(self, fig3):
+        text = fig3.render()
+        assert "enforced-waits active fraction" in text
+        assert "monolithic active fraction" in text
+        assert "Sensitivities" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return run_fig4(n_tau0=5, n_deadline=4)
+
+    def test_paper_dominance_claims(self, fig4):
+        # Enforced wins by >= 0.4 at fast arrivals + slack deadline.
+        assert fig4.corner_margin_fast_slack >= 0.4
+        # Monolithic wins at slow arrivals + tight deadline.
+        assert fig4.corner_margin_slow_tight < 0.0
+        assert fig4.regions.max_enforced_margin >= 0.4
+
+    def test_difference_shape(self, fig4):
+        assert fig4.difference.shape == fig4.sweep.shape
+
+    def test_render(self, fig4):
+        text = fig4.render()
+        assert "Figure 4" in text
+        assert "margin" in text
+
+    def test_reuses_sweep(self, fig4):
+        again = run_fig4(sweep=fig4.sweep)
+        assert np.array_equal(
+            again.difference, fig4.difference, equal_nan=True
+        )

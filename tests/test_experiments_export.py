@@ -1,0 +1,77 @@
+"""Tests for structured result export."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import (
+    metrics_to_dict,
+    save_json,
+    sweep_to_csv,
+    sweep_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    from repro.apps.blast.pipeline import blast_pipeline
+    from repro.core.sweep import sweep_strategies
+
+    return sweep_strategies(
+        blast_pipeline(),
+        np.asarray([10.0, 100.0]),
+        np.asarray([5e4, 3.5e5]),
+        b_enforced=np.asarray([1.0, 3.0, 9.0, 6.0]),
+    )
+
+
+class TestSweepExport:
+    def test_dict_is_json_serializable(self, sweep):
+        data = sweep_to_dict(sweep)
+        text = json.dumps(data)  # must not raise
+        parsed = json.loads(text)
+        assert parsed["tau0_values"] == [10.0, 100.0]
+        assert parsed["b_monolithic"] == 1
+
+    def test_nan_becomes_null(self, sweep):
+        data = sweep_to_dict(sweep)
+        # (tau0=10, D=5e4): monolithic feasible; find a NaN elsewhere by
+        # construction: enforced at tau0=10 D=5e4 may be feasible, so force
+        # a NaN check structurally: JSON must contain no bare NaN tokens.
+        text = json.dumps(data)
+        assert "NaN" not in text
+
+    def test_save_json_roundtrip(self, sweep, tmp_path):
+        path = save_json(sweep_to_dict(sweep), tmp_path / "sweep.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["deadline_values"] == [5e4, 3.5e5]
+
+    def test_csv_rows(self, sweep, tmp_path):
+        path = sweep_to_csv(sweep, tmp_path / "sweep.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][0] == "tau0"
+        assert len(rows) == 1 + 4  # header + 2x2 grid
+
+
+class TestMetricsExport:
+    def test_dict_round_trips(self, tiny_pipeline):
+        from repro.arrivals.fixed import FixedRateArrivals
+        from repro.sim.enforced import EnforcedWaitsSimulator
+
+        metrics = EnforcedWaitsSimulator(
+            tiny_pipeline,
+            np.zeros(2),
+            FixedRateArrivals(10.0),
+            1e6,
+            200,
+            seed=0,
+        ).run()
+        data = metrics_to_dict(metrics)
+        text = json.dumps(data)
+        parsed = json.loads(text)
+        assert parsed["strategy"] == "enforced"
+        assert parsed["n_items"] == 200
+        assert "ledger" not in parsed["extra"]

@@ -1,0 +1,74 @@
+"""Tests for the A4-A6 extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (
+    run_adaptive_policies,
+    run_gain_sensitivity,
+    run_phase_offsets,
+)
+from repro.experiments.registry import EXPERIMENTS
+
+
+def test_extensions_registered():
+    assert {"adaptive-policies", "phase-offsets", "gain-sensitivity"} <= set(
+        EXPERIMENTS
+    )
+
+
+class TestAdaptivePolicies:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_adaptive_policies(n_trials=3, n_items=3000)
+
+    def test_all_policies_present(self, result):
+        names = [r[0] for r in result.rows]
+        assert names == ["fixed", "full-vector", "slack"]
+
+    def test_adaptive_never_misses_more(self, result):
+        fixed_mr = result.variant("fixed")[3]
+        assert result.variant("full-vector")[3] <= fixed_mr + 1e-12
+        assert result.variant("slack")[3] <= fixed_mr + 1e-12
+
+    def test_render_includes_latency(self, result):
+        text = result.render()
+        assert "mean latency" in text
+        assert "A4" in text
+
+
+class TestPhaseOffsets:
+    def test_runs_and_preserves_af(self):
+        result = run_phase_offsets(n_trials=3, n_items=3000)
+        base = result.variant("zero phases (default)")
+        aligned = result.variant("chain-aligned phases")
+        # Phases shift when firings happen, not how often: the active
+        # fraction is essentially unchanged.
+        assert aligned[1] == pytest.approx(base[1], rel=0.05)
+        assert "A5" in result.render()
+
+
+class TestGainSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_gain_sensitivity(n_trials=4, n_items=6000)
+
+    def test_covers_both_strategies_and_workloads(self, result):
+        combos = {(s, w) for s, w, _, _ in result.rows}
+        assert combos == {
+            ("enforced", "nominal"),
+            ("enforced", "bursty"),
+            ("monolithic", "nominal"),
+            ("monolithic", "bursty"),
+        }
+
+    def test_degradations_computable(self, result):
+        # Direction is a finding, not an assumption (see EXPERIMENTS.md);
+        # both values must simply be well-defined and non-negative-ish.
+        e = result.degradation("enforced")
+        m = result.degradation("monolithic")
+        assert np.isfinite(e) and np.isfinite(m)
+
+    def test_render(self, result):
+        assert "A6" in result.render()
+        assert "degradation" in result.render()

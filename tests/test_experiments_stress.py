@@ -1,0 +1,43 @@
+"""Tests for the bursty-arrival stress experiment (S1)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.stress import _bursty_for, run_bursty_stress
+
+
+def test_registered():
+    assert "bursty-stress" in EXPERIMENTS
+
+
+def test_bursty_stream_preserves_mean_rate():
+    for intensity in (0.2, 0.5, 0.8):
+        proc = _bursty_for(20.0, intensity)
+        assert proc.mean_rate == pytest.approx(1 / 20.0, rel=1e-9)
+
+
+class TestStress:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_bursty_stress(
+            intensities=(0.0, 0.6), n_trials=4, n_items=6000
+        )
+
+    def test_fixed_rate_needs_no_inflation(self, result):
+        assert result.required_s(0.0) == 1.0
+
+    def test_strong_bursts_raise_required_s(self, result):
+        assert result.required_s(0.6) >= result.required_s(0.0)
+
+    def test_enforced_design_reported(self, result):
+        for _i, _s, e_mf, _m in result.rows:
+            assert 0.0 <= e_mf <= 1.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "S1" in text and "burst intensity" in text
+
+    def test_unknown_intensity_raises(self, result):
+        with pytest.raises(KeyError):
+            result.required_s(0.123)

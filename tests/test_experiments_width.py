@@ -1,0 +1,52 @@
+"""Tests for the SIMD width sweep (extension W1)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.width_sweep import run_width_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_width_sweep(widths=(32, 64, 128, 256))
+
+
+def test_registered():
+    assert "width-sweep" in EXPERIMENTS
+
+
+def test_wider_device_never_hurts_enforced(sweep):
+    afs = [sweep.enforced_af(w) for w in (32, 64, 128, 256)]
+    finite = [a for a in afs if not np.isnan(a)]
+    assert all(a >= b - 1e-12 for a, b in zip(finite, finite[1:]))
+
+
+def test_wider_device_never_hurts_monolithic(sweep):
+    afs = [sweep.monolithic_af(w) for w in (64, 128, 256)]
+    finite = [a for a in afs if not np.isnan(a)]
+    assert all(a >= b - 1e-12 for a, b in zip(finite, finite[1:]))
+
+
+def test_feasibility_thresholds_scale_inversely(sweep):
+    rows = {w: (te, tm) for w, _e, _m, te, tm in sweep.rows}
+    te32, tm32 = rows[32]
+    te128, tm128 = rows[128]
+    assert te32 == pytest.approx(4 * te128, rel=1e-9)
+    assert tm32 == pytest.approx(4 * tm128, rel=1e-9)
+
+
+def test_narrow_devices_infeasible_at_point(sweep):
+    # At tau0=20 a 32-lane device cannot sustain the monolithic strategy.
+    assert np.isnan(sweep.monolithic_af(32))
+    assert not np.isnan(sweep.enforced_af(32))
+
+
+def test_render(sweep):
+    text = sweep.render()
+    assert "W1" in text and "128" in text
+
+
+def test_unknown_width_raises(sweep):
+    with pytest.raises(KeyError):
+        sweep.enforced_af(7)

@@ -1,0 +1,130 @@
+"""The paper's quotable claims, one test each.
+
+A reviewer-facing index: every numbered claim cites the paper sentence it
+checks. All tests here are optimizer-level (fast); simulation-backed
+versions live in test_integration.py and the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.enforced_waits import solve_enforced_waits
+from repro.core.model import RealTimeProblem
+from repro.core.monolithic import solve_monolithic
+
+B = np.asarray([1.0, 3.0, 9.0, 6.0])
+
+
+@pytest.fixture(scope="module")
+def blast():
+    from repro.apps.blast.pipeline import blast_pipeline
+
+    return blast_pipeline()
+
+
+class TestSection4Claims:
+    def test_claim_waits_trade_latency_for_occupancy(self, blast):
+        """Sec. 4: "we can increase occupancy by delaying n_i's firing" —
+        more deadline room means longer waits and lower active fraction."""
+        tight = solve_enforced_waits(RealTimeProblem(blast, 50.0, 5e4), B)
+        slack = solve_enforced_waits(RealTimeProblem(blast, 50.0, 3e5), B)
+        assert (slack.waits >= tight.waits - 1e-6).all()
+        assert slack.active_fraction < tight.active_fraction
+
+    def test_claim_objective_form(self, blast):
+        """Fig. 1: T(w) = (1/N) sum t_i/(t_i + w_i)."""
+        sol = solve_enforced_waits(RealTimeProblem(blast, 50.0, 2e5), B)
+        t = blast.service_times
+        assert sol.active_fraction == pytest.approx(
+            float(np.mean(t / (t + sol.waits)))
+        )
+
+
+class TestSection5Claims:
+    def test_claim_af_tends_to_constant_in_large_m(self, blast):
+        """Sec. 6.3: "raising D allows the block size M to grow, but the
+        active fraction tends to a constant in the limit of large M"."""
+        tau0 = 100.0
+        afs = [
+            solve_monolithic(RealTimeProblem(blast, tau0, d)).active_fraction
+            for d in (1.5e5, 2.5e5, 3.5e5)
+        ]
+        limit = blast.per_item_cost / tau0
+        # Converging from above toward the constant (ceil overhead ~ 1/M).
+        assert afs[0] > afs[1] > afs[2] > limit
+        assert afs[-1] == pytest.approx(limit, rel=0.10)
+        assert abs(afs[2] - afs[1]) < abs(afs[1] - afs[0])
+
+    def test_claim_m_restricted_by_deadline(self, blast):
+        """Sec. 5: "Eventually, M becomes too large to ensure that an
+        arriving item will ... be completely processed by its deadline"."""
+        loose = solve_monolithic(RealTimeProblem(blast, 50.0, 3e5))
+        tight = solve_monolithic(RealTimeProblem(blast, 50.0, 6e4))
+        assert tight.block_size < loose.block_size
+
+
+class TestSection6Claims:
+    def test_claim_no_feasible_below_2e4(self, blast):
+        """Sec. 6.1: "Values of D below 2x10^4 cycles resulted in no
+        feasible ... realizations of the pipeline by either approach"."""
+        for tau0 in (5.0, 20.0, 100.0):
+            prob = RealTimeProblem(blast, tau0, 1.9e4)
+            assert not solve_enforced_waits(prob, B).feasible
+
+    def test_claim_enforced_insensitive_to_tau0_except_smallest(self, blast):
+        """Sec. 6.3: "the enforced-wait strategy's active fraction is
+        insensitive to tau0 except at the smallest sizes"."""
+        d = 2e5
+        af_small = solve_enforced_waits(
+            RealTimeProblem(blast, 4.0, d), B
+        ).active_fraction
+        af_mid = solve_enforced_waits(
+            RealTimeProblem(blast, 40.0, d), B
+        ).active_fraction
+        af_large = solve_enforced_waits(
+            RealTimeProblem(blast, 100.0, d), B
+        ).active_fraction
+        assert af_small > 2 * af_mid  # sensitive at the smallest tau0
+        assert af_mid == pytest.approx(af_large, rel=0.15)  # then flat-ish
+
+    def test_claim_enforced_scales_inversely_with_d(self, blast):
+        """Sec. 6.3: enforced AF "scales inversely with D"."""
+        tau0 = 50.0
+        af1 = solve_enforced_waits(
+            RealTimeProblem(blast, tau0, 1e5), B
+        ).active_fraction
+        af2 = solve_enforced_waits(
+            RealTimeProblem(blast, tau0, 2e5), B
+        ).active_fraction
+        assert af1 / af2 == pytest.approx(2.0, rel=0.15)
+
+    def test_claim_monolithic_scales_inversely_with_tau0(self, blast):
+        """Sec. 6.3: monolithic AF "scales linearly with rho_0 and hence
+        inversely with tau0"."""
+        d = 3.5e5
+        af1 = solve_monolithic(RealTimeProblem(blast, 25.0, d)).active_fraction
+        af2 = solve_monolithic(RealTimeProblem(blast, 100.0, d)).active_fraction
+        assert af1 / af2 == pytest.approx(4.0, rel=0.15)
+
+    def test_claim_enforced_wins_by_04_fast_and_slack(self, blast):
+        """Sec. 6.3: "at least 0.4 in absolute terms ... in the region of
+        the fastest arrival rates and sufficient deadline slack"."""
+        prob = RealTimeProblem(blast, 10.0, 3.5e5)
+        e = solve_enforced_waits(prob, B).active_fraction
+        m = solve_monolithic(prob).active_fraction
+        assert m - e >= 0.4
+
+    def test_claim_severalfold_better(self, blast):
+        """Sec. 6.3: "or several-fold better for enforced-waits"."""
+        prob = RealTimeProblem(blast, 10.0, 3.5e5)
+        e = solve_enforced_waits(prob, B).active_fraction
+        m = solve_monolithic(prob).active_fraction
+        assert m / e >= 3.0
+
+    def test_claim_monolithic_dominates_opposite_corner(self, blast):
+        """Sec. 6.3: "the monolithic strategy dominates by a similar
+        amount for slow arrivals and little deadline slack"."""
+        prob = RealTimeProblem(blast, 100.0, 2.4e4)
+        e = solve_enforced_waits(prob, B).active_fraction
+        m = solve_monolithic(prob).active_fraction
+        assert e - m >= 0.4

@@ -1,0 +1,133 @@
+"""Tests for the bulk-service queue analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError, SpecError
+from repro.queueing.bulk_service import (
+    arrivals_pmf_deterministic,
+    arrivals_pmf_poisson,
+    bulk_queue_stationary,
+    pmf_convolve,
+)
+from repro.queueing.mg1 import md1_mean_queue, md1_mean_wait, mg1_mean_wait
+
+
+class TestArrivalPmfs:
+    def test_deterministic_integer_rate(self):
+        pmf = arrivals_pmf_deterministic(2.0, 3.0)  # exactly 6 per period
+        assert pmf[6] == pytest.approx(1.0)
+
+    def test_deterministic_fractional_mixture(self):
+        pmf = arrivals_pmf_deterministic(0.5, 5.0)  # mean 2.5
+        assert pmf[2] == pytest.approx(0.5)
+        assert pmf[3] == pytest.approx(0.5)
+        mean = float(np.dot(np.arange(pmf.size), pmf))
+        assert mean == pytest.approx(2.5)
+
+    def test_poisson_mean(self):
+        pmf = arrivals_pmf_poisson(0.7, 10.0)
+        mean = float(np.dot(np.arange(pmf.size), pmf))
+        assert mean == pytest.approx(7.0, rel=1e-6)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_poisson_zero_rate(self):
+        assert arrivals_pmf_poisson(0.0, 5.0).tolist() == [1.0]
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            arrivals_pmf_deterministic(-1.0, 1.0)
+        with pytest.raises(SpecError):
+            arrivals_pmf_poisson(1.0, 0.0)
+
+
+class TestStationary:
+    def test_md1_embedded_anchor(self):
+        """Batch capacity 1 + Poisson arrivals = M/D/1 at departures.
+
+        The stationary queue length at departure epochs of M/D/1 has mean
+        rho + rho^2/(2(1-rho)).
+        """
+        rho = 0.5
+        stat = bulk_queue_stationary(arrivals_pmf_poisson(rho, 1.0), 1)
+        expected = rho + rho**2 / (2 * (1 - rho))
+        assert stat.mean == pytest.approx(expected, abs=1e-6)
+
+    def test_deterministic_point_mass(self):
+        # Exactly 3 arrivals per period, capacity 4: queue is always 3.
+        stat = bulk_queue_stationary(
+            arrivals_pmf_deterministic(3.0, 1.0), 4
+        )
+        assert stat.pmf[3] == pytest.approx(1.0)
+        assert stat.lost_mass == 0.0
+
+    def test_critical_deterministic_is_stable(self):
+        # Exactly v arrivals per period is fine for degenerate arrivals.
+        stat = bulk_queue_stationary(arrivals_pmf_deterministic(4.0, 1.0), 4)
+        assert stat.mean == pytest.approx(4.0)
+
+    def test_critical_stochastic_rejected(self):
+        pmf = arrivals_pmf_poisson(4.0, 1.0)  # mean 4 = capacity
+        with pytest.raises(SolverError, match="critically loaded"):
+            bulk_queue_stationary(pmf, 4)
+
+    def test_overloaded_rejected(self):
+        with pytest.raises(SolverError):
+            bulk_queue_stationary(arrivals_pmf_poisson(5.0, 1.0), 4)
+
+    def test_quantile_and_tail(self):
+        stat = bulk_queue_stationary(arrivals_pmf_poisson(2.0, 1.0), 4)
+        q95 = stat.quantile(0.95)
+        assert stat.tail_prob(q95) <= 0.05 + 1e-9
+        assert stat.tail_prob(-1) == 1.0
+        assert stat.tail_prob(10**6) == 0.0
+
+    def test_heavier_load_longer_queue(self):
+        light = bulk_queue_stationary(arrivals_pmf_poisson(1.0, 1.0), 4)
+        heavy = bulk_queue_stationary(arrivals_pmf_poisson(3.5, 1.0), 4)
+        assert heavy.mean > light.mean
+
+    def test_pmf_validation(self):
+        with pytest.raises(SpecError):
+            bulk_queue_stationary(np.asarray([0.5, 0.4]), 2)  # sums to .9
+        with pytest.raises(SpecError):
+            bulk_queue_stationary(np.asarray([1.0]), 0)
+
+
+class TestPmfConvolve:
+    def test_small_matches_numpy(self):
+        a = np.asarray([0.5, 0.5])
+        b = np.asarray([0.25, 0.75])
+        assert pmf_convolve(a, b) == pytest.approx(np.convolve(a, b))
+
+    def test_large_uses_fft_and_stays_pmf(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(1000)
+        a /= a.sum()
+        out = pmf_convolve(a, a)
+        assert (out >= 0).all()
+        assert out.sum() == pytest.approx(1.0)
+
+
+class TestMg1:
+    def test_pk_formula(self):
+        # Exponential service: E[S^2] = 2/mu^2 -> W_q = rho/(mu - lambda).
+        lam, mu = 0.5, 1.0
+        w = mg1_mean_wait(lam, 1 / mu, 2 / mu**2)
+        assert w == pytest.approx(lam / (mu * (mu - lam)))
+
+    def test_md1_half_of_mm1(self):
+        lam, s = 0.5, 1.0
+        assert md1_mean_wait(lam, s) == pytest.approx(
+            mg1_mean_wait(lam, s, 2 * s**2) / 2
+        )
+
+    def test_littles_law(self):
+        lam, s = 0.3, 1.0
+        assert md1_mean_queue(lam, s) == pytest.approx(
+            lam * md1_mean_wait(lam, s)
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(SpecError, match="rho"):
+            mg1_mean_wait(1.0, 1.0, 1.0)

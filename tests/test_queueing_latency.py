@@ -1,0 +1,94 @@
+"""Tests for the a-priori latency prediction."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.core.enforced_waits import solve_enforced_waits
+from repro.core.model import RealTimeProblem
+from repro.errors import SpecError
+from repro.queueing.latency import predict_latency
+from repro.sim.enforced import EnforcedWaitsSimulator
+
+B = np.asarray([1.0, 3.0, 9.0, 6.0])
+
+
+@pytest.fixture(scope="module")
+def tight_point():
+    """Deadline-binding point where the approximation is sharpest."""
+    from repro.apps.blast.pipeline import blast_pipeline
+
+    blast = blast_pipeline()
+    tau0, deadline = 100.0, 5.0e4
+    sol = solve_enforced_waits(RealTimeProblem(blast, tau0, deadline), B)
+    return blast, tau0, deadline, sol
+
+
+class TestPrediction:
+    def test_pmf_is_distribution(self, tight_point):
+        blast, tau0, _, sol = tight_point
+        pred = predict_latency(blast, sol.periods, tau0)
+        assert pred.pmf.sum() == pytest.approx(1.0)
+        assert (pred.pmf >= 0).all()
+        assert pred.support[0] == 0.0
+
+    def test_mean_close_to_simulation(self, tight_point):
+        blast, tau0, deadline, sol = tight_point
+        pred = predict_latency(blast, sol.periods, tau0)
+        metrics = EnforcedWaitsSimulator(
+            blast,
+            sol.waits,
+            FixedRateArrivals(tau0),
+            deadline,
+            20_000,
+            seed=2,
+        ).run()
+        assert pred.mean == pytest.approx(metrics.mean_latency, rel=0.15)
+
+    def test_prediction_bounds_measured_tail(self, tight_point):
+        """The independence approximation skews conservative: the
+        predicted 99.9% quantile should cover the measured maximum."""
+        blast, tau0, deadline, sol = tight_point
+        pred = predict_latency(blast, sol.periods, tau0)
+        metrics = EnforcedWaitsSimulator(
+            blast,
+            sol.waits,
+            FixedRateArrivals(tau0),
+            deadline,
+            20_000,
+            seed=2,
+        ).run()
+        assert pred.quantile(0.999) >= metrics.max_latency * 0.9
+
+    def test_predicts_no_misses_where_none_measured(self, tight_point):
+        blast, tau0, deadline, sol = tight_point
+        pred = predict_latency(blast, sol.periods, tau0)
+        assert pred.miss_probability(deadline) < 1e-3
+
+    def test_quantiles_monotone(self, tight_point):
+        blast, tau0, _, sol = tight_point
+        pred = predict_latency(blast, sol.periods, tau0)
+        qs = [pred.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_quantile_validated(self, tight_point):
+        blast, tau0, _, sol = tight_point
+        pred = predict_latency(blast, sol.periods, tau0)
+        with pytest.raises(SpecError):
+            pred.quantile(1.5)
+
+    def test_critical_point_raises(self):
+        from repro.apps.blast.pipeline import blast_pipeline
+        from repro.errors import SolverError
+
+        blast = blast_pipeline()
+        sol = solve_enforced_waits(
+            RealTimeProblem(blast, 10.0, 3.5e5), B
+        )
+        with pytest.raises(SolverError):
+            predict_latency(blast, sol.periods, 10.0)
+
+    def test_periods_validated(self, tight_point):
+        blast, tau0, _, sol = tight_point
+        with pytest.raises(SpecError):
+            predict_latency(blast, sol.periods[:2], tau0)

@@ -1,0 +1,106 @@
+"""Tests for the monolithic latency model."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.core.model import RealTimeProblem
+from repro.core.monolithic import solve_monolithic
+from repro.errors import SpecError
+from repro.queueing.monolithic_latency import predict_monolithic_latency
+from repro.sim.monolithic import MonolithicSimulator
+
+
+@pytest.fixture(scope="module")
+def blast_setup():
+    from repro.apps.blast.pipeline import blast_pipeline
+
+    blast = blast_pipeline()
+    tau0, deadline = 30.0, 2.0e5
+    sol = solve_monolithic(RealTimeProblem(blast, tau0, deadline))
+    return blast, tau0, deadline, sol
+
+
+class TestAgainstSimulation:
+    @pytest.fixture(scope="class")
+    def measured(self, blast_setup):
+        blast, tau0, deadline, sol = blast_setup
+        return MonolithicSimulator(
+            blast,
+            sol.block_size,
+            FixedRateArrivals(tau0),
+            deadline,
+            10 * sol.block_size,
+            seed=4,
+            keep_latency_samples=True,
+        ).run()
+
+    def test_mean_within_two_percent(self, blast_setup, measured):
+        blast, tau0, _, sol = blast_setup
+        pred = predict_monolithic_latency(blast, sol.block_size, tau0)
+        assert pred.mean_latency == pytest.approx(
+            measured.mean_latency, rel=0.02
+        )
+
+    def test_tail_quantile_close(self, blast_setup, measured):
+        blast, tau0, _, sol = blast_setup
+        pred = predict_monolithic_latency(blast, sol.block_size, tau0)
+        ledger = measured.extra["ledger"]
+        assert pred.quantile(0.99) == pytest.approx(
+            ledger.latency.quantile(0.99), rel=0.03
+        )
+
+    def test_miss_probability_agrees(self, blast_setup, measured):
+        blast, tau0, deadline, sol = blast_setup
+        pred = predict_monolithic_latency(blast, sol.block_size, tau0)
+        assert pred.miss_probability(deadline) < 1e-3
+        assert measured.miss_rate == 0
+
+
+class TestStructure:
+    def test_pmf_is_distribution(self, blast_setup):
+        blast, tau0, _, sol = blast_setup
+        pred = predict_monolithic_latency(blast, sol.block_size, tau0)
+        assert pred.service_pmf.sum() == pytest.approx(1.0)
+        assert (pred.service_pmf >= 0).all()
+
+    def test_mean_service_matches_tbar_closely(self, blast_setup):
+        from repro.core.monolithic import MonolithicProblem
+
+        blast, tau0, deadline, sol = blast_setup
+        pred = predict_monolithic_latency(blast, sol.block_size, tau0)
+        tbar = MonolithicProblem(
+            RealTimeProblem(blast, tau0, deadline)
+        ).tbar(sol.block_size)
+        # E[ceil] >= ceil[E] (Jensen), so prediction sits at or above Tbar.
+        assert pred.mean_service >= tbar - 1e-9
+        assert pred.mean_service <= tbar * 1.15
+
+    def test_deterministic_passthrough_exact(self, passthrough_pipeline):
+        # All gains 1: T is deterministic, latency quantiles exact.
+        m = 16
+        pred = predict_monolithic_latency(passthrough_pipeline, m, 5.0)
+        expected_t = sum(
+            -(-m // passthrough_pipeline.vector_width) * n.service_time
+            for n in passthrough_pipeline.nodes
+        )
+        assert pred.service_support.size == 1
+        assert pred.mean_service == pytest.approx(expected_t)
+        assert pred.quantile(1.0) == pytest.approx(
+            (m - 1) * 5.0 + expected_t
+        )
+
+    def test_quantiles_monotone(self, blast_setup):
+        blast, tau0, _, sol = blast_setup
+        pred = predict_monolithic_latency(blast, sol.block_size, tau0)
+        qs = [pred.quantile(q) for q in (0.1, 0.5, 0.9, 0.999)]
+        assert qs == sorted(qs)
+
+    def test_validation(self, passthrough_pipeline):
+        with pytest.raises(SpecError):
+            predict_monolithic_latency(passthrough_pipeline, 0, 1.0)
+        with pytest.raises(SpecError):
+            predict_monolithic_latency(passthrough_pipeline, 5, 0.0)
+        pred = predict_monolithic_latency(passthrough_pipeline, 5, 1.0)
+        with pytest.raises(SpecError):
+            pred.quantile(2.0)

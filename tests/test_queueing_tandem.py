@@ -1,0 +1,164 @@
+"""Tests for the tandem decomposition and b estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.enforced_waits import solve_enforced_waits
+from repro.core.model import RealTimeProblem
+from repro.errors import SolverError, SpecError
+from repro.queueing.estimate_b import estimate_b
+from repro.queueing.tandem import analyze_tandem
+
+
+@pytest.fixture(scope="module")
+def stable_point():
+    """Deadline-binding solution (chain slack -> stable decomposition)."""
+    from repro.apps.blast.pipeline import blast_pipeline
+
+    blast = blast_pipeline()
+    sol = solve_enforced_waits(
+        RealTimeProblem(blast, 50.0, 2.0e5), np.asarray([1.0, 3.0, 9.0, 6.0])
+    )
+    return blast, sol
+
+
+class TestAnalyzeTandem:
+    def test_stable_point_all_nodes_resolved(self, stable_point):
+        blast, sol = stable_point
+        approx = analyze_tandem(blast, sol.periods, 50.0)
+        assert len(approx.stationaries) == 4
+        assert all(s is not None for s in approx.stationaries)
+        q95 = approx.queue_quantiles(0.95)
+        assert (q95 >= 0).all()
+        assert np.isfinite(q95).all()
+
+    def test_mean_inputs_consistent_with_rates(self, stable_point):
+        blast, sol = stable_point
+        approx = analyze_tandem(blast, sol.periods, 50.0)
+        # Node 0 mean inputs per period = rate * x_0.
+        assert approx.mean_inputs_per_period[0] == pytest.approx(
+            sol.periods[0] / 50.0
+        )
+        # Downstream means scale with total gain and period ratio.
+        G = blast.total_gains
+        for i in range(1, 4):
+            expected = G[i] * sol.periods[i] / 50.0
+            assert approx.mean_inputs_per_period[i] == pytest.approx(
+                expected, rel=0.05
+            )
+
+    def test_critical_chain_binding_raises_or_none(self):
+        from repro.apps.blast.pipeline import blast_pipeline
+
+        blast = blast_pipeline()
+        sol = solve_enforced_waits(
+            RealTimeProblem(blast, 10.0, 3.5e5),
+            np.asarray([1.0, 3.0, 9.0, 6.0]),
+        )
+        with pytest.raises(SolverError):
+            analyze_tandem(blast, sol.periods, 10.0, on_unstable="raise")
+        approx = analyze_tandem(
+            blast, sol.periods, 10.0, on_unstable="none"
+        )
+        assert any(s is None for s in approx.stationaries)
+        assert np.isinf(approx.queue_quantiles(0.9)).any()
+
+    def test_validation(self, stable_point):
+        blast, sol = stable_point
+        with pytest.raises(SpecError):
+            analyze_tandem(blast, sol.periods[:2], 50.0)
+        with pytest.raises(SpecError):
+            analyze_tandem(blast, sol.periods, 50.0, arrival_kind="weird")
+        with pytest.raises(SpecError):
+            analyze_tandem(blast, sol.periods, 50.0, on_unstable="maybe")
+
+
+class TestEstimateB:
+    def test_stable_point_close_to_paper(self, stable_point):
+        """The headline F1 result: a-priori estimates land near the
+        paper's empirically calibrated (1, 3, 9, 6)."""
+        blast, sol = stable_point
+        b = estimate_b(blast, sol.periods, 50.0, epsilon=1e-4)
+        assert b[0] == 1.0
+        assert b[1] == pytest.approx(3.0, abs=1.0)
+        assert b[2] == pytest.approx(9.0, abs=2.0)
+        assert (b >= 1).all()
+
+    def test_smaller_epsilon_larger_b(self, stable_point):
+        blast, sol = stable_point
+        loose = estimate_b(blast, sol.periods, 50.0, epsilon=1e-2)
+        tight = estimate_b(blast, sol.periods, 50.0, epsilon=1e-6)
+        assert (tight >= loose).all()
+
+    def test_critical_point_strict_raises(self):
+        from repro.apps.blast.pipeline import blast_pipeline
+
+        blast = blast_pipeline()
+        sol = solve_enforced_waits(
+            RealTimeProblem(blast, 10.0, 3.5e5),
+            np.asarray([1.0, 3.0, 9.0, 6.0]),
+        )
+        with pytest.raises((SolverError, SpecError)):
+            estimate_b(blast, sol.periods, 10.0, strict=True)
+        b = estimate_b(blast, sol.periods, 10.0, strict=False)
+        assert np.isinf(b).any()
+
+    def test_epsilon_validated(self, stable_point):
+        blast, sol = stable_point
+        with pytest.raises(SpecError):
+            estimate_b(blast, sol.periods, 50.0, epsilon=0.0)
+
+
+class TestMixCounts:
+    """Properties of the fractional-count compound distribution."""
+
+    def test_integer_count_is_plain_convolution(self):
+        from repro.queueing.tandem import _mix_counts
+
+        base = np.asarray([0.5, 0.5])  # fair coin
+        pmf = _mix_counts(base, 2.0, cap=16)
+        assert pmf == pytest.approx(np.asarray([0.25, 0.5, 0.25]))
+
+    def test_fractional_count_mixes_floor_ceil(self):
+        from repro.queueing.tandem import _mix_counts
+
+        base = np.asarray([0.0, 1.0])  # always 1 output
+        pmf = _mix_counts(base, 2.5, cap=16)
+        # Sum of 2 or 3 deterministic ones, weighted 50/50.
+        assert pmf[2] == pytest.approx(0.5)
+        assert pmf[3] == pytest.approx(0.5)
+
+    def test_zero_count_is_point_mass_at_zero(self):
+        from repro.queueing.tandem import _mix_counts
+
+        pmf = _mix_counts(np.asarray([0.3, 0.7]), 0.0, cap=8)
+        assert pmf.tolist() == [1.0]
+
+    def test_mean_scales_linearly(self):
+        from repro.queueing.tandem import _mix_counts
+
+        base = np.asarray([0.25, 0.5, 0.25])  # mean 1
+        for count in (1.0, 2.7, 5.25):
+            pmf = _mix_counts(base, count, cap=64)
+            mean = float(np.dot(np.arange(pmf.size), pmf))
+            assert mean == pytest.approx(count, rel=1e-9)
+
+    def test_always_a_valid_pmf(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.queueing.tandem import _mix_counts
+
+        @settings(max_examples=30, deadline=None)
+        @given(
+            weights=st.lists(st.floats(0.01, 1.0), min_size=1, max_size=6),
+            count=st.floats(0.0, 12.0),
+        )
+        def run(weights, count):
+            base = np.asarray(weights)
+            base = base / base.sum()
+            pmf = _mix_counts(base, count, cap=128)
+            assert (pmf >= -1e-12).all()
+            assert pmf.sum() == pytest.approx(1.0)
+
+        run()

@@ -1,0 +1,140 @@
+"""Tests for the adaptive-waits simulator (extension A4)."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.errors import SimulationError, SpecError
+from repro.sim.adaptive import AdaptiveWaitsSimulator
+from repro.sim.enforced import EnforcedWaitsSimulator
+
+
+def _run(pipeline, waits, tau0, deadline, n_items, **kw):
+    return AdaptiveWaitsSimulator(
+        pipeline,
+        waits,
+        FixedRateArrivals(tau0),
+        deadline,
+        n_items,
+        seed=kw.pop("seed", 0),
+        **kw,
+    ).run()
+
+
+class TestFixedPolicyBaseline:
+    def test_matches_enforced_simulator(self, blast, calibrated_b):
+        """policy='fixed' reproduces the fixed-wait simulator's behaviour."""
+        from repro.core.enforced_waits import solve_enforced_waits
+        from repro.core.model import RealTimeProblem
+
+        tau0, deadline = 20.0, 2e5
+        sol = solve_enforced_waits(
+            RealTimeProblem(blast, tau0, deadline), calibrated_b
+        )
+        fixed = _run(blast, sol.waits, tau0, deadline, 4000, policy="fixed")
+        reference = EnforcedWaitsSimulator(
+            blast,
+            sol.waits,
+            FixedRateArrivals(tau0),
+            deadline,
+            4000,
+            seed=0,
+        ).run()
+        assert fixed.outputs == reference.outputs
+        assert fixed.mean_latency == pytest.approx(reference.mean_latency)
+        assert fixed.active_fraction == pytest.approx(
+            reference.active_fraction, rel=1e-9
+        )
+        assert (fixed.extra["early_firings"] == 0).all()
+
+
+class TestFullVectorPolicy:
+    def test_early_fires_on_backlog(self, tiny_pipeline):
+        """With waits much longer than needed, the trigger fires early."""
+        waits = np.asarray([500.0, 500.0])  # periods 510 / 520
+        # Arrivals every 10 cycles fill the width-4 vector every 40.
+        eager = _run(
+            tiny_pipeline, waits, 10.0, 1e6, 400, policy="full-vector"
+        )
+        fixed = _run(tiny_pipeline, waits, 10.0, 1e6, 400, policy="fixed")
+        assert eager.extra["early_firings"][0] > 0
+        assert eager.mean_latency < fixed.mean_latency
+
+    def test_never_misses_more_than_fixed(self, blast, calibrated_b):
+        from repro.core.enforced_waits import solve_enforced_waits
+        from repro.core.model import RealTimeProblem
+
+        tau0, deadline = 10.0, 3.5e5
+        sol = solve_enforced_waits(
+            RealTimeProblem(blast, tau0, deadline), calibrated_b
+        )
+        eager = _run(
+            blast, sol.waits, tau0, deadline, 5000, policy="full-vector"
+        )
+        fixed = _run(blast, sol.waits, tau0, deadline, 5000, policy="fixed")
+        assert eager.missed_items <= fixed.missed_items
+        assert eager.max_latency <= fixed.max_latency + 1e-9
+
+    def test_conservation(self, tiny_pipeline):
+        m = _run(
+            tiny_pipeline,
+            np.asarray([100.0, 100.0]),
+            5.0,
+            1e6,
+            1000,
+            policy="full-vector",
+        )
+        # Node 1 is a deterministic pass-through, node 0 Bernoulli(0.5).
+        assert 350 < m.outputs < 650
+
+
+class TestSlackPolicy:
+    def test_rescues_deadline_pressed_items(self, tiny_pipeline):
+        """Long waits + a tight deadline: slack firing prevents misses."""
+        waits = np.asarray([400.0, 400.0])  # periods 410 / 420
+        deadline = 600.0
+        fixed = _run(
+            tiny_pipeline, waits, 20.0, deadline, 500, policy="fixed"
+        )
+        slack = _run(
+            tiny_pipeline, waits, 20.0, deadline, 500, policy="slack"
+        )
+        assert slack.missed_items < fixed.missed_items
+
+    def test_slack_factor_validated(self, tiny_pipeline):
+        with pytest.raises(SpecError):
+            AdaptiveWaitsSimulator(
+                tiny_pipeline,
+                np.zeros(2),
+                FixedRateArrivals(1.0),
+                10.0,
+                5,
+                slack_factor=0.0,
+            )
+
+
+class TestValidation:
+    def test_unknown_policy(self, tiny_pipeline):
+        with pytest.raises(SpecError, match="policy"):
+            AdaptiveWaitsSimulator(
+                tiny_pipeline,
+                np.zeros(2),
+                FixedRateArrivals(1.0),
+                10.0,
+                5,
+                policy="psychic",
+            )
+
+    def test_single_use(self, tiny_pipeline):
+        sim = AdaptiveWaitsSimulator(
+            tiny_pipeline, np.zeros(2), FixedRateArrivals(1.0), 1e5, 10
+        )
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_seed_reproducible(self, tiny_pipeline):
+        a = _run(tiny_pipeline, np.full(2, 50.0), 5.0, 1e5, 500, seed=3)
+        b = _run(tiny_pipeline, np.full(2, 50.0), 5.0, 1e5, 500, seed=3)
+        assert a.outputs == b.outputs
+        assert a.mean_latency == b.mean_latency

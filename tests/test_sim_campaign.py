@@ -1,0 +1,113 @@
+"""Tests for the parallel campaign runner."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.errors import SpecError
+from repro.sim.campaign import run_trials_parallel
+from repro.sim.enforced import EnforcedWaitsSimulator
+from repro.sim.monolithic import MonolithicSimulator
+from repro.sim.runner import run_trials
+
+
+@pytest.fixture(scope="module")
+def enforced_kwargs():
+    from repro.apps.blast.pipeline import blast_pipeline
+    from repro.core.enforced_waits import solve_enforced_waits
+    from repro.core.model import RealTimeProblem
+
+    blast = blast_pipeline()
+    sol = solve_enforced_waits(
+        RealTimeProblem(blast, 20.0, 2e5), np.asarray([1.0, 3.0, 9.0, 6.0])
+    )
+    return dict(
+        pipeline=blast,
+        waits=sol.waits,
+        arrivals=FixedRateArrivals(20.0),
+        deadline=2e5,
+        n_items=2000,
+    )
+
+
+class TestSerialEquivalence:
+    def test_matches_serial_runner(self, enforced_kwargs):
+        serial = run_trials(
+            lambda seed: EnforcedWaitsSimulator(**enforced_kwargs, seed=seed),
+            4,
+        )
+        parallel_serial = run_trials_parallel(
+            EnforcedWaitsSimulator, enforced_kwargs, 4, workers=1
+        )
+        assert [m.outputs for m in serial.metrics] == [
+            m.outputs for m in parallel_serial.metrics
+        ]
+        assert serial.mean_active_fraction == pytest.approx(
+            parallel_serial.mean_active_fraction, rel=1e-12
+        )
+
+    def test_workers_give_identical_results(self, enforced_kwargs):
+        one = run_trials_parallel(
+            EnforcedWaitsSimulator, enforced_kwargs, 4, workers=1
+        )
+        many = run_trials_parallel(
+            EnforcedWaitsSimulator, enforced_kwargs, 4, workers=2
+        )
+        assert [m.outputs for m in one.metrics] == [
+            m.outputs for m in many.metrics
+        ]
+        assert [m.mean_latency for m in one.metrics] == [
+            m.mean_latency for m in many.metrics
+        ]
+
+    def test_monolithic_class_supported(self, enforced_kwargs):
+        kwargs = dict(
+            pipeline=enforced_kwargs["pipeline"],
+            block_size=1000,
+            arrivals=FixedRateArrivals(20.0),
+            deadline=2e5,
+            n_items=4000,
+        )
+        trials = run_trials_parallel(
+            MonolithicSimulator, kwargs, [3, 7], workers=2
+        )
+        assert trials.seeds == (3, 7)
+        assert trials.n_trials == 2
+
+
+class TestCalibrationIntegration:
+    def test_workers_do_not_change_calibration(self):
+        from repro.apps.blast.pipeline import blast_pipeline
+        from repro.core.calibration import calibrate_enforced_b
+
+        p = blast_pipeline()
+        kwargs = dict(n_trials=4, n_items=4000)
+        serial = calibrate_enforced_b(
+            p, np.asarray([5.0]), np.asarray([4e4]), **kwargs
+        )
+        parallel = calibrate_enforced_b(
+            p, np.asarray([5.0]), np.asarray([4e4]), workers=2, **kwargs
+        )
+        assert (serial.b == parallel.b).all()
+        assert serial.n_rounds == parallel.n_rounds
+
+
+class TestValidation:
+    def test_seed_in_kwargs_rejected(self, enforced_kwargs):
+        bad = dict(enforced_kwargs, seed=1)
+        with pytest.raises(SpecError):
+            run_trials_parallel(EnforcedWaitsSimulator, bad, 2)
+
+    def test_empty_seeds_rejected(self, enforced_kwargs):
+        with pytest.raises(SpecError):
+            run_trials_parallel(EnforcedWaitsSimulator, enforced_kwargs, 0)
+        with pytest.raises(SpecError):
+            run_trials_parallel(
+                EnforcedWaitsSimulator, enforced_kwargs, []
+            )
+
+    def test_negative_workers_rejected(self, enforced_kwargs):
+        with pytest.raises(SpecError):
+            run_trials_parallel(
+                EnforcedWaitsSimulator, enforced_kwargs, 2, workers=-1
+            )

@@ -1,0 +1,68 @@
+"""Tests for the multi-seed runner and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.errors import SpecError
+from repro.sim.enforced import EnforcedWaitsSimulator
+from repro.sim.report import summarize_metrics, summarize_trials
+from repro.sim.runner import run_trials
+
+
+def _factory(pipeline):
+    def make(seed: int) -> EnforcedWaitsSimulator:
+        return EnforcedWaitsSimulator(
+            pipeline,
+            np.zeros(pipeline.n_nodes),
+            FixedRateArrivals(10.0),
+            1e6,
+            200,
+            seed=seed,
+        )
+
+    return make
+
+
+class TestRunTrials:
+    def test_int_seeds_expand_to_range(self, tiny_pipeline):
+        trials = run_trials(_factory(tiny_pipeline), 3)
+        assert trials.seeds == (0, 1, 2)
+        assert trials.n_trials == 3
+
+    def test_explicit_seeds(self, tiny_pipeline):
+        trials = run_trials(_factory(tiny_pipeline), [5, 9])
+        assert trials.seeds == (5, 9)
+
+    def test_statistics(self, tiny_pipeline):
+        trials = run_trials(_factory(tiny_pipeline), 4)
+        assert 0.0 <= trials.miss_free_fraction <= 1.0
+        assert trials.mean_active_fraction > 0
+        assert trials.std_active_fraction >= 0
+        assert trials.max_miss_rate >= trials.mean_miss_rate or (
+            trials.max_miss_rate == trials.mean_miss_rate
+        )
+
+    def test_observed_b_at_least_one(self, tiny_pipeline):
+        trials = run_trials(_factory(tiny_pipeline), 3)
+        assert (trials.observed_b() >= 1.0).all()
+
+    def test_empty_seeds_rejected(self, tiny_pipeline):
+        with pytest.raises(SpecError):
+            run_trials(_factory(tiny_pipeline), [])
+        with pytest.raises(SpecError):
+            run_trials(_factory(tiny_pipeline), 0)
+
+
+class TestReports:
+    def test_summarize_metrics(self, tiny_pipeline):
+        m = _factory(tiny_pipeline)(0).run()
+        text = summarize_metrics(m)
+        assert "active fraction" in text
+        assert "enforced" in text
+
+    def test_summarize_trials(self, tiny_pipeline):
+        trials = run_trials(_factory(tiny_pipeline), 2)
+        text = summarize_trials(trials, label="unit test")
+        assert "unit test" in text
+        assert "miss-free fraction" in text

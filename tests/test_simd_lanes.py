@@ -1,0 +1,44 @@
+"""Tests for lane-assignment arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.simd.lanes import lane_occupancies, split_into_vectors, vectors_needed
+
+
+def test_vectors_needed_basic():
+    assert vectors_needed(0, 128) == 0
+    assert vectors_needed(300, 128) == 3
+
+
+def test_split_example():
+    assert split_into_vectors(300, 128).tolist() == [128, 128, 44]
+
+
+def test_split_empty():
+    assert split_into_vectors(0, 128).size == 0
+
+
+def test_occupancies():
+    occ = lane_occupancies(300, 128)
+    assert occ[:2].tolist() == [1.0, 1.0]
+    assert occ[2] == pytest.approx(44 / 128)
+
+
+def test_rejects_bad_args():
+    with pytest.raises(SpecError):
+        vectors_needed(-1, 4)
+    with pytest.raises(SpecError):
+        vectors_needed(1, 0)
+
+
+@given(n=st.integers(0, 100_000), v=st.integers(1, 512))
+def test_property_split_conserves_items(n, v):
+    counts = split_into_vectors(n, v)
+    assert int(counts.sum()) == n
+    if counts.size:
+        assert (counts[:-1] == v).all()  # dense compaction
+        assert 1 <= counts[-1] <= v

@@ -1,0 +1,56 @@
+"""Tests for the occupancy tracker."""
+
+import math
+
+import pytest
+
+from repro.simd.occupancy import OccupancyTracker
+
+
+def test_initial_state():
+    tr = OccupancyTracker("n0", 4)
+    assert tr.firings == 0
+    assert math.isnan(tr.mean_occupancy)
+
+
+def test_record_and_aggregate():
+    tr = OccupancyTracker("n0", 4)
+    tr.record_firing(4, 10.0)
+    tr.record_firing(2, 10.0)
+    tr.record_firing(0, 10.0)
+    assert tr.firings == 3
+    assert tr.empty_firings == 1
+    assert tr.items_consumed == 6
+    assert tr.active_time == 30.0
+    assert tr.mean_occupancy == pytest.approx(6 / 12)
+    assert tr.mean_occupancy_nonempty == pytest.approx(6 / 8)
+
+
+def test_histogram():
+    tr = OccupancyTracker("n0", 2)
+    tr.record_firing(0, 1.0)
+    tr.record_firing(2, 1.0)
+    tr.record_firing(2, 1.0)
+    assert tr.histogram().tolist() == [1, 0, 2]
+
+
+def test_vacation_charge_zero_allowed():
+    tr = OccupancyTracker("n0", 4)
+    tr.record_firing(0, 0.0)
+    assert tr.active_time == 0.0
+
+
+def test_rejects_out_of_range():
+    tr = OccupancyTracker("n0", 4)
+    with pytest.raises(ValueError):
+        tr.record_firing(5, 1.0)
+    with pytest.raises(ValueError):
+        tr.record_firing(-1, 1.0)
+    with pytest.raises(ValueError):
+        tr.record_firing(1, -1.0)
+
+
+def test_all_empty_nonempty_occupancy_nan():
+    tr = OccupancyTracker("n0", 4)
+    tr.record_firing(0, 1.0)
+    assert math.isnan(tr.mean_occupancy_nonempty)

@@ -1,0 +1,137 @@
+"""Tests for processor-sharing timing models, especially the GPS fluid engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simd.sharing import (
+    GpsProcessor,
+    IdealizedSharing,
+    WorkConservingSharing,
+)
+
+
+class TestIdealized:
+    def test_fixed_duration(self):
+        model = IdealizedSharing()
+        assert model.begin_firing(10.0, 0, 287.0) == 297.0
+
+    def test_static_flag(self):
+        assert IdealizedSharing.static is True
+
+
+class TestGpsSingleJob:
+    def test_lone_job_gets_full_processor(self):
+        gps = GpsProcessor()
+        gps.submit(0.0, 4.0, "a")
+        t, tag = gps.next_completion()
+        assert t == pytest.approx(4.0)
+        assert tag == "a"
+        done = gps.advance(4.0)
+        assert done == [(4.0, "a")]
+        assert gps.active_jobs == 0
+
+    def test_share_cap_limits_lone_job(self):
+        gps = GpsProcessor(share_cap=0.25)
+        gps.submit(0.0, 1.0, "a")
+        t, _ = gps.next_completion()
+        assert t == pytest.approx(4.0)  # work 1 at rate 1/4
+
+    def test_partial_advance_preserves_remaining(self):
+        gps = GpsProcessor()
+        gps.submit(0.0, 4.0, "a")
+        assert gps.advance(2.0) == []
+        t, _ = gps.next_completion()
+        assert t == pytest.approx(4.0)
+
+
+class TestGpsTwoJobs:
+    def test_equal_sharing(self):
+        gps = GpsProcessor()
+        gps.submit(0.0, 1.0, "a")
+        gps.submit(0.0, 1.0, "b")
+        done = gps.advance(10.0)
+        # Both share rate 1/2 until a completes at t=2; b also done at 2.
+        assert [d[1] for d in done] == ["a", "b"]
+        assert done[0][0] == pytest.approx(2.0)
+        assert done[1][0] == pytest.approx(2.0)
+
+    def test_rate_speedup_after_completion(self):
+        gps = GpsProcessor()
+        gps.submit(0.0, 1.0, "short")
+        gps.submit(0.0, 2.0, "long")
+        done = gps.advance(10.0)
+        # short finishes at t=2 (rate 1/2); long has 1 work left, now at
+        # rate 1 -> finishes at t=3.
+        assert done == [
+            (pytest.approx(2.0), "short"),
+            (pytest.approx(3.0), "long"),
+        ]
+
+    def test_capped_rates_do_not_speed_up(self):
+        gps = GpsProcessor(share_cap=0.5)
+        gps.submit(0.0, 1.0, "short")
+        gps.submit(0.0, 2.0, "long")
+        done = gps.advance(10.0)
+        # long stays at rate 1/2 even once alone: finishes at t=4.
+        assert done[1][0] == pytest.approx(4.0)
+
+    def test_fifo_tiebreak_on_equal_work(self):
+        gps = GpsProcessor()
+        gps.submit(0.0, 1.0, "first")
+        gps.submit(0.0, 1.0, "second")
+        done = gps.advance(5.0)
+        assert [d[1] for d in done] == ["first", "second"]
+
+
+class TestGpsErrors:
+    def test_clock_cannot_reverse(self):
+        gps = GpsProcessor()
+        gps.advance(5.0)
+        with pytest.raises(SimulationError):
+            gps.advance(4.0)
+
+    def test_zero_work_rejected(self):
+        with pytest.raises(SimulationError):
+            GpsProcessor().submit(0.0, 0.0, "a")
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(SimulationError):
+            GpsProcessor(share_cap=0.0)
+        with pytest.raises(SimulationError):
+            GpsProcessor(share_cap=1.5)
+
+    def test_submit_past_completion_rejected(self):
+        gps = GpsProcessor()
+        gps.submit(0.0, 1.0, "a")
+        with pytest.raises(SimulationError, match="advance"):
+            gps.submit(5.0, 1.0, "b")  # "a" completed inside the gap
+
+    def test_reset(self):
+        gps = GpsProcessor()
+        gps.submit(0.0, 1.0, "a")
+        gps.reset()
+        assert gps.active_jobs == 0
+        assert gps.now == 0.0
+
+
+class TestWorkConservingSharing:
+    def test_work_scaled_by_n_nodes(self):
+        # t_i measured at share 1/N -> full-processor work t_i/N.
+        model = WorkConservingSharing(4)
+        tag = model.begin_firing(0.0, 2, 955.0)
+        t, done_tag = model.next_completion(0.0)
+        assert done_tag == tag
+        assert t == pytest.approx(955.0 / 4)  # lone job, full processor
+
+    def test_capped_matches_idealized_duration(self):
+        model = WorkConservingSharing(4, capped=True)
+        model.begin_firing(0.0, 0, 955.0)
+        t, _ = model.next_completion(0.0)
+        assert t == pytest.approx(955.0)  # rate capped at 1/4
+
+    def test_dynamic_flag(self):
+        assert WorkConservingSharing(2).static is False
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(SimulationError):
+            WorkConservingSharing(0)

@@ -1,0 +1,173 @@
+"""Tests for the waterfilling solver and box+budget projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.solvers.kkt import project_box_budget, waterfill_box_budget
+from repro.solvers.result import SolverStatus
+
+
+class TestWaterfill:
+    def test_budget_slack_goes_to_caps(self):
+        r = waterfill_box_budget(
+            t=np.asarray([1.0, 1.0]),
+            b=np.asarray([1.0, 1.0]),
+            lo=np.asarray([1.0, 1.0]),
+            hi=np.asarray([5.0, 5.0]),
+            budget=100.0,
+        )
+        assert r.ok
+        assert r.x.tolist() == [5.0, 5.0]
+        assert r.extra["lam"] == 0.0
+
+    def test_symmetric_binding_budget(self):
+        r = waterfill_box_budget(
+            t=np.asarray([1.0, 1.0]),
+            b=np.asarray([1.0, 1.0]),
+            lo=np.asarray([0.1, 0.1]),
+            hi=np.asarray([np.inf, np.inf]),
+            budget=10.0,
+        )
+        assert r.ok
+        assert r.x == pytest.approx(np.asarray([5.0, 5.0]))
+        assert np.dot(r.x, [1, 1]) == pytest.approx(10.0)
+
+    def test_asymmetric_waterfill_sqrt_rule(self):
+        # Interior optimum: x_i proportional to sqrt(t_i/b_i).
+        t = np.asarray([4.0, 1.0])
+        b = np.asarray([1.0, 1.0])
+        r = waterfill_box_budget(
+            t, b, np.full(2, 1e-6), np.full(2, np.inf), budget=30.0
+        )
+        assert r.ok
+        assert r.x[0] / r.x[1] == pytest.approx(2.0, rel=1e-6)
+
+    def test_infeasible_budget(self):
+        r = waterfill_box_budget(
+            t=np.ones(2),
+            b=np.ones(2),
+            lo=np.asarray([5.0, 6.0]),
+            hi=np.full(2, np.inf),
+            budget=10.0,
+        )
+        assert r.status is SolverStatus.INFEASIBLE
+
+    def test_zero_cost_variable_pinned_low(self):
+        r = waterfill_box_budget(
+            t=np.asarray([1.0, 0.0]),
+            b=np.asarray([1.0, 1.0]),
+            lo=np.asarray([0.5, 0.5]),
+            hi=np.asarray([np.inf, 10.0]),
+            budget=8.0,
+        )
+        assert r.ok
+        assert r.x[1] == pytest.approx(0.5)  # frees budget for the costly var
+        assert r.x[0] == pytest.approx(7.5)
+
+    def test_validates_shapes_and_signs(self):
+        with pytest.raises(SolverError):
+            waterfill_box_budget(np.ones(2), np.ones(3), np.ones(2), np.ones(2), 1.0)
+        with pytest.raises(SolverError):
+            waterfill_box_budget(
+                np.ones(2), np.zeros(2), np.ones(2), np.full(2, 2.0), 10.0
+            )
+        with pytest.raises(SolverError):
+            waterfill_box_budget(
+                np.ones(2), np.ones(2), np.zeros(2), np.full(2, 2.0), 10.0
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        t=st.lists(st.floats(0.1, 100), min_size=2, max_size=6),
+        b=st.lists(st.floats(0.1, 10), min_size=2, max_size=6),
+        budget_factor=st.floats(1.05, 10.0),
+    )
+    def test_property_matches_slsqp(self, t, b, budget_factor):
+        """Waterfilling agrees with scipy SLSQP on random instances."""
+        n = min(len(t), len(b))
+        t = np.asarray(t[:n])
+        b = np.asarray(b[:n])
+        lo = np.full(n, 0.5)
+        hi = np.full(n, 1e6)
+        budget = float(np.dot(b, lo)) * budget_factor
+        r = waterfill_box_budget(t, b, lo, hi, budget)
+        assert r.ok
+
+        from scipy.optimize import minimize
+
+        res = minimize(
+            lambda x: float(np.sum(t / x)),
+            r.x * 1.01,
+            jac=lambda x: -t / x**2,
+            bounds=[(lo[i], hi[i]) for i in range(n)],
+            constraints=[
+                {
+                    "type": "ineq",
+                    "fun": lambda x: budget - float(np.dot(b, x)),
+                }
+            ],
+            method="SLSQP",
+            options={"maxiter": 300, "ftol": 1e-12},
+        )
+        if res.success:
+            assert r.objective <= float(res.fun) * (1 + 1e-6)
+
+
+class TestProjection:
+    def test_identity_inside(self):
+        y = np.asarray([1.0, 1.0])
+        out = project_box_budget(
+            y, np.ones(2), np.zeros(2) + 0.1, np.full(2, 5.0), 10.0
+        )
+        assert out == pytest.approx(y)
+
+    def test_clamps_to_box(self):
+        out = project_box_budget(
+            np.asarray([10.0, -10.0]),
+            np.ones(2),
+            np.asarray([0.0, 0.0]),
+            np.asarray([2.0, 2.0]),
+            100.0,
+        )
+        assert out.tolist() == [2.0, 0.0]
+
+    def test_budget_projection_on_simplex(self):
+        out = project_box_budget(
+            np.asarray([2.0, 2.0]),
+            np.ones(2),
+            np.zeros(2),
+            np.full(2, 10.0),
+            2.0,
+        )
+        assert out == pytest.approx(np.asarray([1.0, 1.0]))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(SolverError, match="empty"):
+            project_box_budget(
+                np.ones(2), np.ones(2), np.full(2, 5.0), np.full(2, 9.0), 1.0
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        y=st.lists(st.floats(-50, 50), min_size=2, max_size=5),
+        budget=st.floats(1.0, 40.0),
+    )
+    def test_property_projection_is_feasible_and_optimal(self, y, budget):
+        n = len(y)
+        y = np.asarray(y)
+        b = np.ones(n)
+        lo = np.zeros(n)
+        hi = np.full(n, 20.0)
+        out = project_box_budget(y, b, lo, hi, budget)
+        assert (out >= lo - 1e-9).all() and (out <= hi + 1e-9).all()
+        assert float(b @ out) <= budget * (1 + 1e-9)
+        # Projection optimality: no feasible point is closer (spot-check
+        # against random feasible candidates).
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            cand = rng.uniform(lo, np.minimum(hi, budget))
+            if float(b @ cand) <= budget:
+                assert np.linalg.norm(y - out) <= np.linalg.norm(y - cand) + 1e-6

@@ -1,0 +1,57 @@
+"""Tests for the ASCII heatmap renderer."""
+
+import numpy as np
+import pytest
+
+from repro.utils.heatmap import ascii_heatmap
+
+
+def test_extremes_use_ramp_ends():
+    m = np.asarray([[0.0, 1.0]])
+    out = ascii_heatmap(m, ramp=" @")
+    row = [l for l in out.splitlines() if l.startswith("|")][0]
+    assert row == "| @|"
+
+
+def test_nan_rendered_specially():
+    m = np.asarray([[np.nan, 1.0]])
+    out = ascii_heatmap(m, nan_char="?")
+    assert "?" in out
+
+
+def test_labels_and_title():
+    m = np.zeros((2, 3))
+    out = ascii_heatmap(
+        m,
+        row_labels=["a", "bb"],
+        col_labels=["1", "2", "3"],
+        title="T",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].strip().startswith("a")
+    assert "scale:" in lines[-1]
+
+
+def test_fixed_scale_shared_between_maps():
+    a = ascii_heatmap(np.asarray([[0.5]]), vmin=0.0, vmax=1.0, ramp=" .@")
+    b = ascii_heatmap(np.asarray([[0.5]]), vmin=0.0, vmax=2.0, ramp=" .@")
+    cell_a = [l for l in a.splitlines() if l.startswith("|")][0]
+    cell_b = [l for l in b.splitlines() if l.startswith("|")][0]
+    assert cell_a != cell_b  # same value shades differently per scale
+
+
+def test_constant_matrix_ok():
+    out = ascii_heatmap(np.full((2, 2), 3.0))
+    assert "|" in out
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_heatmap(np.zeros(3))
+    with pytest.raises(ValueError):
+        ascii_heatmap(np.zeros((2, 2)), ramp="x")
+    with pytest.raises(ValueError):
+        ascii_heatmap(np.zeros((2, 2)), row_labels=["only-one"])
+    with pytest.raises(ValueError):
+        ascii_heatmap(np.zeros((2, 2)), col_labels=["only-one"])

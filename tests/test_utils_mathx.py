@@ -1,0 +1,111 @@
+"""Tests for repro.utils.mathx."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.mathx import (
+    ceil_div,
+    clamp,
+    cumprod_prefix,
+    geometric_spread,
+    is_close,
+    relative_error,
+    safe_div,
+)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(0, 5, 0), (1, 5, 1), (5, 5, 1), (6, 5, 2), (300, 128, 3)],
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b) or ceil_div(a, b) == -(-a // b)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_covers_exactly(self, a, b):
+        # ceil_div(a,b)*b is the least multiple of b covering a.
+        k = ceil_div(a, b)
+        assert k * b >= a
+        assert (k - 1) * b < a or k == 0
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(1.5, 1, 2) == 1.5
+
+    def test_outside(self):
+        assert clamp(0.0, 1, 2) == 1
+        assert clamp(3.0, 1, 2) == 2
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            clamp(0, 2, 1)
+
+
+class TestCumprodPrefix:
+    def test_blast_total_gains(self):
+        g = [0.379, 1.920, 0.0332, 1.0]
+        G = cumprod_prefix(g)
+        assert G[0] == 1.0
+        assert G[1] == pytest.approx(0.379)
+        assert G[2] == pytest.approx(0.379 * 1.920)
+        assert G[3] == pytest.approx(0.379 * 1.920 * 0.0332)
+
+    def test_empty(self):
+        assert cumprod_prefix([]).tolist() == [1.0]
+
+    @given(st.lists(st.floats(0.01, 10), min_size=1, max_size=8))
+    def test_recurrence(self, gains):
+        G = cumprod_prefix(gains)
+        assert G[0] == 1.0
+        for i in range(1, len(gains)):
+            assert G[i] == pytest.approx(G[i - 1] * gains[i - 1])
+
+
+class TestGeometricSpread:
+    def test_endpoints(self):
+        pts = geometric_spread(1.0, 100.0, 5)
+        assert pts[0] == pytest.approx(1.0)
+        assert pts[-1] == pytest.approx(100.0)
+
+    def test_single_point(self):
+        assert geometric_spread(3.0, 9.0, 1).tolist() == [3.0]
+
+    def test_log_even_spacing(self):
+        pts = geometric_spread(1.0, 16.0, 5)
+        ratios = pts[1:] / pts[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_spread(0.0, 1.0, 3)
+
+
+class TestMisc:
+    def test_is_close(self):
+        assert is_close(1.0, 1.0 + 1e-12)
+        assert not is_close(1.0, 1.1)
+
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_safe_div(self):
+        assert safe_div(1.0, 2.0) == 0.5
+        assert safe_div(1.0, 0.0) == math.inf
+        assert safe_div(1.0, 0.0, default=0.0) == 0.0

@@ -1,0 +1,39 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.utils.tables import render_table
+
+
+def test_basic_render():
+    out = render_table(["a", "bb"], [(1, 2.5), (10, 0.25)])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, separator, 2 rows
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_title_prepended():
+    out = render_table(["x"], [(1,)], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_float_formatting():
+    out = render_table(["v"], [(0.123456789,)], floatfmt=".2f")
+    assert "0.12" in out
+
+
+def test_bool_rendering():
+    out = render_table(["ok"], [(True,), (False,)])
+    assert "yes" in out and "no" in out
+
+
+def test_column_alignment():
+    out = render_table(["col"], [(1,), (1000,)])
+    rows = out.splitlines()[2:]
+    assert len(rows[0]) == len(rows[1])  # right-justified equal width
+
+
+def test_mismatched_row_raises():
+    with pytest.raises(ValueError, match="row 0 has 1 cells"):
+        render_table(["a", "b"], [(1,)])

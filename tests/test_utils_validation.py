@@ -1,0 +1,88 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.errors import SpecError
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type("x", 3.5, (int, float)) == 3.5
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(SpecError, match="x must be of type int"):
+            check_type("x", "3", int)
+
+
+class TestCheckFinite:
+    def test_accepts_int_and_float(self):
+        assert check_finite("x", 3) == 3.0
+        assert check_finite("x", -2.5) == -2.5
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_nonfinite(self, bad):
+        with pytest.raises(SpecError, match="finite"):
+            check_finite("x", bad)
+
+    def test_rejects_nonnumeric(self):
+        with pytest.raises(SpecError):
+            check_finite("x", "hello")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.001) == 0.001
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(SpecError, match="> 0"):
+            check_positive("x", bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(SpecError, match=">= 0"):
+            check_nonnegative("x", -1e-9)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(SpecError, match=r"\[0, 1\]"):
+            check_probability("p", bad)
+
+
+class TestCheckInRange:
+    def test_closed_endpoints(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("x", 2.0, 1.0, 2.0) == 2.0
+
+    def test_open_endpoints_reject_boundary(self):
+        with pytest.raises(SpecError):
+            check_in_range("x", 1.0, 1.0, 2.0, lo_open=True)
+        with pytest.raises(SpecError):
+            check_in_range("x", 2.0, 1.0, 2.0, hi_open=True)
+
+    def test_error_message_shows_brackets(self):
+        with pytest.raises(SpecError, match=r"\(1, 2\]"):
+            check_in_range("x", 1.0, 1, 2, lo_open=True)
