@@ -11,6 +11,13 @@ Usage::
 ``--export DIR`` archives each experiment's rendered text under DIR and,
 for sweep-based experiments (fig3/fig4), also the structured data as JSON
 and CSV for plotting.
+
+``--telemetry`` asks experiments that support it (currently those whose
+drivers accept a ``telemetry`` keyword, e.g. ``calibration``) to collect
+run telemetry — per-node firing counts, occupancy, queue high-water
+marks, wait/service split, and event-loop statistics.  The telemetry is
+printed after the experiment's own rendering and, with ``--export``,
+written as ``<id>.telemetry.json`` and ``<id>.telemetry.csv``.
 """
 
 from __future__ import annotations
@@ -27,7 +34,13 @@ __all__ = ["main"]
 
 def _export_result(exp_id: str, result, out_dir: Path) -> list[Path]:
     """Write rendered text (always) and structured data (when available)."""
-    from repro.experiments.export import save_json, sweep_to_csv, sweep_to_dict
+    from repro.experiments.export import (
+        save_json,
+        sweep_to_csv,
+        sweep_to_dict,
+        telemetry_to_csv,
+        telemetry_to_dict,
+    )
 
     out_dir.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
@@ -42,6 +55,17 @@ def _export_result(exp_id: str, result, out_dir: Path) -> list[Path]:
             save_json(sweep_to_dict(sweep), out_dir / f"{exp_id}.json")
         )
         written.append(sweep_to_csv(sweep, out_dir / f"{exp_id}.csv"))
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None:
+        written.append(
+            save_json(
+                telemetry_to_dict(telemetry),
+                out_dir / f"{exp_id}.telemetry.json",
+            )
+        )
+        written.append(
+            telemetry_to_csv(telemetry, out_dir / f"{exp_id}.telemetry.csv")
+        )
     return written
 
 
@@ -53,7 +77,11 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(ids: list[str], export_dir: str | None) -> int:
+def _cmd_run(
+    ids: list[str],
+    export_dir: str | None,
+    telemetry: bool = False,
+) -> int:
     status = 0
     for exp_id in ids:
         if exp_id not in EXPERIMENTS:
@@ -62,10 +90,12 @@ def _cmd_run(ids: list[str], export_dir: str | None) -> int:
             continue
         print(f"== {exp_id} ({EXPERIMENTS[exp_id].paper_artifact}) ==")
         start = time.perf_counter()
-        result = run_experiment(exp_id)
+        result = run_experiment(exp_id, telemetry=telemetry)
         elapsed = time.perf_counter() - start
         render = getattr(result, "render", None)
         print(render() if callable(render) else repr(result))
+        if telemetry and not EXPERIMENTS[exp_id].supports_telemetry:
+            print(f"   (experiment {exp_id!r} does not collect telemetry)")
         if export_dir is not None:
             written = _export_result(exp_id, result, Path(export_dir))
             for path in written:
@@ -93,16 +123,25 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="archive rendered text (and sweep JSON/CSV) under DIR",
     )
+    run_p.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "collect run telemetry (per-node firings, occupancy, queue "
+            "high-water marks, engine stats) on supporting experiments"
+        ),
+    )
     all_p = sub.add_parser("run-all", help="run every registered experiment")
     all_p.add_argument("--export", metavar="DIR", default=None)
+    all_p.add_argument("--telemetry", action="store_true")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.ids, args.export)
+        return _cmd_run(args.ids, args.export, args.telemetry)
     if args.command == "run-all":
-        return _cmd_run(sorted(EXPERIMENTS), args.export)
+        return _cmd_run(sorted(EXPERIMENTS), args.export, args.telemetry)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

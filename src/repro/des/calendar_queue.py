@@ -72,7 +72,14 @@ class CalendarQueue:
         return (e.time, e.priority, e.seq)
 
     def push(self, event: Event) -> None:
-        self._buckets[self._day_of(event.time) % self._n].append(event)
+        day = self._day_of(event.time)
+        if day < self._cursor_day:
+            # An event earlier than the current day (a resize may have
+            # advanced the cursor to the then-minimum event): rewind so
+            # the forward scan cannot skip it.  DES engines never push
+            # into the past, so this stays off the hot path.
+            self._cursor_day = day
+        self._buckets[day % self._n].append(event)
         self._size += 1
         if self._size > 2 * self._n and self._n < 1 << 20:
             self._resize(2 * self._n)
@@ -81,10 +88,18 @@ class CalendarQueue:
         events = [e for bucket in self._buckets for e in bucket]
         if events:
             # Re-derive the width from the current population spread so
-            # events distribute across the year.
+            # events distribute across the year.  A zero-span population
+            # (all queued events at one timestamp) carries no spread
+            # information: keep the current width rather than collapsing
+            # to a degenerate sliver, which would scatter later events
+            # billions of days past the cursor and degrade every
+            # subsequent pop to the full-scan fallback.
             times = sorted(e.time for e in events)
             span = times[-1] - times[0]
-            width = max(span / max(len(events), 1), 1e-9)
+            if span > 0:
+                width = max(span / len(events), 1e-9)
+            else:
+                width = self._width
             start_day = int(times[0] / width)
         else:
             width = self._width

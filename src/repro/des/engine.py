@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from typing import Any, Callable
 
 from repro.des.events import Event, EventHandle
@@ -74,6 +75,7 @@ class Engine:
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        self._wall_time = 0.0
 
     @property
     def now(self) -> float:
@@ -89,6 +91,11 @@ class Engine:
     def events_processed(self) -> int:
         """Total callbacks executed so far."""
         return self._events_processed
+
+    @property
+    def wall_time(self) -> float:
+        """Wall-clock seconds spent inside :meth:`run` so far."""
+        return self._wall_time
 
     def schedule(
         self,
@@ -158,6 +165,7 @@ class Engine:
             raise SimulationError("Engine.run is not reentrant")
         self._running = True
         budget = math.inf if max_events is None else max_events
+        wall_start = time.perf_counter()
         try:
             while len(self._queue):
                 # Peek past cancelled events without firing.
@@ -175,6 +183,7 @@ class Engine:
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            self._wall_time += time.perf_counter() - wall_start
             self._running = False
 
     def clear(self) -> None:

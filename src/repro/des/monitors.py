@@ -54,6 +54,7 @@ class Accumulator:
         self._min = math.inf
         self._max = -math.inf
         self._samples: list[float] | None = [] if keep_samples else None
+        self._sorted: list[float] | None = None  # cache; invalidated by add()
 
     @property
     def n(self) -> int:
@@ -99,6 +100,7 @@ class Accumulator:
             self._max = x
         if self._samples is not None:
             self._samples.append(x)
+            self._sorted = None
 
     def quantile(self, q: float) -> float:
         """Empirical quantile; requires ``keep_samples=True``."""
@@ -110,7 +112,12 @@ class Accumulator:
             raise ValueError(f"quantile must be in [0,1], got {q}")
         if not self._samples:
             return math.nan
-        data = sorted(self._samples)
+        # Sorting the full sample list on every call makes repeated
+        # quantile queries O(n log n) each; cache the sorted view and
+        # rebuild it only after new samples arrive.
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        data = self._sorted
         idx = q * (len(data) - 1)
         lo = int(math.floor(idx))
         hi = int(math.ceil(idx))

@@ -14,6 +14,7 @@ __all__ = [
     "SolverError",
     "SimulationError",
     "CalibrationError",
+    "CampaignError",
 ]
 
 
@@ -52,3 +53,7 @@ class SimulationError(ReproError):
 
 class CalibrationError(ReproError):
     """Empirical parameter calibration failed to find miss-free parameters."""
+
+
+class CampaignError(ReproError):
+    """A strict multi-seed campaign had failed or timed-out trials."""

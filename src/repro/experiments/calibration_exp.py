@@ -10,19 +10,23 @@ dominate the optimistic start and concentrate after the expander.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.apps.blast.pipeline import blast_pipeline
+from repro.arrivals.fixed import FixedRateArrivals
 from repro.core.calibration import (
     CalibrationResult,
     calibrate_enforced_b,
     calibrate_monolithic,
 )
-from repro.core.enforced_waits import optimistic_b
+from repro.core.enforced_waits import EnforcedWaitsProblem, optimistic_b
+from repro.core.model import RealTimeProblem
 from repro.dataflow.spec import PipelineSpec
 from repro.experiments.scale import scaled
+from repro.obs.telemetry import RunTelemetry
+from repro.sim.enforced import EnforcedWaitsSimulator
 from repro.utils.tables import render_table
 
 __all__ = ["CalibrationExpResult", "run_calibration"]
@@ -41,6 +45,7 @@ class CalibrationExpResult:
     monolithic_ok: bool
     grid_tau0: np.ndarray
     grid_deadline: np.ndarray
+    telemetry: RunTelemetry | None = field(default=None)
 
     def render(self) -> str:
         pipeline = blast_pipeline()
@@ -66,7 +71,44 @@ class CalibrationExpResult:
             f"S={self.monolithic_s:.2f} (paper: b=1, S=1 with no misses), "
             f"passed={self.monolithic_ok}"
         )
-        return table + "\n" + mono
+        out = table + "\n" + mono
+        if self.telemetry is not None:
+            out += "\n" + self.telemetry.render()
+        return out
+
+
+def _representative_telemetry(
+    pipeline: PipelineSpec,
+    b: np.ndarray,
+    tau0s: np.ndarray,
+    deadlines: np.ndarray,
+    n_items: int,
+    seed: int,
+) -> RunTelemetry | None:
+    """One instrumented run at the first feasible grid point under ``b``.
+
+    The calibration campaign itself runs thousands of trials; telemetry
+    for every one would be noise.  One representative enforced-waits run
+    at the calibrated multipliers shows where queues peak and how the
+    per-node service/wait budget splits.
+    """
+    for tau0 in tau0s:
+        for deadline in sorted(deadlines, reverse=True):
+            problem = RealTimeProblem(pipeline, float(tau0), float(deadline))
+            solution = EnforcedWaitsProblem(problem, b).solve()
+            if not solution.feasible:
+                continue
+            sim = EnforcedWaitsSimulator(
+                pipeline,
+                solution.waits,
+                FixedRateArrivals(float(tau0)),
+                float(deadline),
+                n_items,
+                seed=seed,
+                telemetry=True,
+            )
+            return sim.run().extra["telemetry"]
+    return None
 
 
 def run_calibration(
@@ -75,8 +117,15 @@ def run_calibration(
     n_trials: int | None = None,
     n_items: int | None = None,
     seed_base: int = 0,
+    telemetry: bool = False,
 ) -> CalibrationExpResult:
-    """Run the calibration loop on a small representative grid."""
+    """Run the calibration loop on a small representative grid.
+
+    ``telemetry=True`` additionally instruments one representative
+    enforced-waits run at the calibrated multipliers and attaches its
+    :class:`~repro.obs.telemetry.RunTelemetry` as ``result.telemetry``
+    (exported by the CLI as ``calibration.telemetry.json``/``.csv``).
+    """
     if pipeline is None:
         pipeline = blast_pipeline()
     trials = n_trials if n_trials is not None else scaled(20, minimum=8)
@@ -106,6 +155,13 @@ def run_calibration(
         n_items=items,
         seed_base=seed_base,
     )
+    run_telemetry = (
+        _representative_telemetry(
+            pipeline, calibration.b, tau0s, deadlines, items, seed_base
+        )
+        if telemetry
+        else None
+    )
     return CalibrationExpResult(
         calibration=calibration,
         monolithic_b=mono_b,
@@ -113,4 +169,5 @@ def run_calibration(
         monolithic_ok=mono_ok,
         grid_tau0=tau0s,
         grid_deadline=deadlines,
+        telemetry=run_telemetry,
     )

@@ -16,11 +16,16 @@ import numpy as np
 
 from repro.core.sweep import SweepResult
 from repro.errors import SpecError
+from repro.obs.telemetry import RunTelemetry
 from repro.sim.metrics import SimMetrics
+from repro.sim.runner import TrialsResult
 
 __all__ = [
     "sweep_to_dict",
     "metrics_to_dict",
+    "telemetry_to_dict",
+    "telemetry_to_csv",
+    "trials_to_dict",
     "save_json",
     "sweep_to_csv",
 ]
@@ -59,9 +64,123 @@ def sweep_to_dict(sweep: SweepResult) -> dict:
     )
 
 
+def telemetry_to_dict(telemetry: RunTelemetry) -> dict:
+    """A :class:`RunTelemetry` as a JSON-ready dict.
+
+    The schema mirrors the dataclasses: ``nodes`` is a list of per-node
+    records (firing counts, occupancy, service/wait split, queue
+    high-water marks and time-averages) and ``engine`` the event-loop
+    statistics including the derived rates.
+    """
+    eng = telemetry.engine
+    return _jsonable(
+        {
+            "strategy": telemetry.strategy,
+            "nodes": [
+                {
+                    "name": n.name,
+                    "firings": n.firings,
+                    "empty_firings": n.empty_firings,
+                    "items_consumed": n.items_consumed,
+                    "mean_occupancy": n.mean_occupancy,
+                    "service_time": n.service_time,
+                    "wait_time": n.wait_time,
+                    "queue_hwm": n.queue_hwm,
+                    "queue_hwm_vectors": n.queue_hwm_vectors,
+                    "queue_time_avg": n.queue_time_avg,
+                    "queue_pushed": n.queue_pushed,
+                    "queue_popped": n.queue_popped,
+                }
+                for n in telemetry.nodes
+            ],
+            "engine": {
+                "events_processed": eng.events_processed,
+                "sim_time": eng.sim_time,
+                "wall_time": eng.wall_time,
+                "events_per_wall_second": eng.events_per_wall_second,
+                "wall_time_per_sim_second": eng.wall_time_per_sim_second,
+            },
+        }
+    )
+
+
+_TELEMETRY_CSV_COLUMNS = (
+    "name",
+    "firings",
+    "empty_firings",
+    "items_consumed",
+    "mean_occupancy",
+    "service_time",
+    "wait_time",
+    "queue_hwm",
+    "queue_hwm_vectors",
+    "queue_time_avg",
+    "queue_pushed",
+    "queue_popped",
+)
+
+
+def telemetry_to_csv(telemetry: RunTelemetry, path: str | Path) -> Path:
+    """One CSV row per node (engine stats belong in the JSON export)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = telemetry_to_dict(telemetry)["nodes"]
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_TELEMETRY_CSV_COLUMNS)
+        for rec in records:
+            writer.writerow(
+                ["" if rec[c] is None else rec[c] for c in _TELEMETRY_CSV_COLUMNS]
+            )
+    return path
+
+
+def trials_to_dict(trials: TrialsResult) -> dict:
+    """A :class:`TrialsResult` as a JSON-ready dict.
+
+    Contains the campaign's acceptance statistics, one outcome record per
+    seed (status, attempts, duration, error), and each successful trial's
+    metrics (with telemetry, when collected).
+    """
+    return _jsonable(
+        {
+            "seeds": list(trials.seeds),
+            "n_attempted": trials.n_attempted,
+            "n_ok": trials.n_trials,
+            "n_failed": trials.n_failed,
+            "n_timed_out": trials.n_timed_out,
+            "miss_free_fraction": trials.miss_free_fraction,
+            "mean_active_fraction": (
+                trials.mean_active_fraction if trials.n_trials else None
+            ),
+            "outcomes": [
+                {
+                    "seed": o.seed,
+                    "status": o.status,
+                    "attempts": o.attempts,
+                    "duration": o.duration,
+                    "error": o.error,
+                    "metrics": (
+                        metrics_to_dict(o.metrics)
+                        if o.metrics is not None
+                        else None
+                    ),
+                }
+                for o in trials.outcomes
+            ],
+        }
+    )
+
+
 def metrics_to_dict(metrics: SimMetrics) -> dict:
-    """A :class:`SimMetrics` as a JSON-ready dict (ledger omitted)."""
+    """A :class:`SimMetrics` as a JSON-ready dict (ledger omitted).
+
+    A collected :class:`RunTelemetry` in ``extra["telemetry"]`` is
+    serialized through :func:`telemetry_to_dict`.
+    """
     extra = {k: v for k, v in metrics.extra.items() if k != "ledger"}
+    if isinstance(extra.get("telemetry"), RunTelemetry):
+        extra["telemetry"] = telemetry_to_dict(extra["telemetry"])
     return _jsonable(
         {
             "strategy": metrics.strategy,

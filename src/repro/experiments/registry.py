@@ -6,6 +6,7 @@ favour of memorable names).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -22,6 +23,14 @@ class Experiment:
     title: str
     paper_artifact: str
     runner: Callable[[], Any]
+
+    @property
+    def supports_telemetry(self) -> bool:
+        """True when the driver accepts a ``telemetry`` keyword."""
+        try:
+            return "telemetry" in inspect.signature(self.runner).parameters
+        except (TypeError, ValueError):  # pragma: no cover — odd callables
+            return False
 
 
 def _build_registry() -> dict[str, Experiment]:
@@ -154,6 +163,14 @@ def get_experiment(exp_id: str) -> Experiment:
         ) from exc
 
 
-def run_experiment(exp_id: str) -> Any:
-    """Run an experiment by id and return its result object."""
-    return get_experiment(exp_id).runner()
+def run_experiment(exp_id: str, *, telemetry: bool = False) -> Any:
+    """Run an experiment by id and return its result object.
+
+    ``telemetry=True`` is forwarded to drivers that accept a
+    ``telemetry`` keyword (others run unchanged — not every experiment
+    has a single representative simulation to instrument).
+    """
+    exp = get_experiment(exp_id)
+    if telemetry and exp.supports_telemetry:
+        return exp.runner(telemetry=True)
+    return exp.runner()

@@ -1,0 +1,28 @@
+"""Run observability: structured telemetry for simulation runs.
+
+Irregular-rate pipelines are exactly the workloads where aggregate
+metrics hide the interesting behaviour — which node's queue spiked, how
+much of a node's life was service vs. enforced wait, how hard the event
+loop worked per simulated second.  This package collects those per-node
+and per-engine facts during a run (via the existing
+:mod:`repro.des.monitors` collector types) and exposes them as a
+structured, exportable :class:`RunTelemetry` value.
+
+Enable collection with ``telemetry=True`` on any simulator, or
+``repro-experiments run <id> --telemetry`` on the CLI; export as
+JSON/CSV through :mod:`repro.experiments.export`.
+"""
+
+from repro.obs.telemetry import (
+    EngineTelemetry,
+    NodeTelemetry,
+    RunTelemetry,
+    TelemetryCollector,
+)
+
+__all__ = [
+    "EngineTelemetry",
+    "NodeTelemetry",
+    "RunTelemetry",
+    "TelemetryCollector",
+]

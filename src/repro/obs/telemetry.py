@@ -1,0 +1,234 @@
+"""Per-run telemetry: node-level and engine-level observability.
+
+:class:`TelemetryCollector` is the live object a simulator feeds from
+its event handlers; it is built entirely from the existing monitor
+primitives (:class:`~repro.des.monitors.Counter`,
+:class:`~repro.des.monitors.Accumulator`,
+:class:`~repro.des.monitors.TimeWeighted`), so collection costs stay
+O(1) per event and nothing here can perturb simulation determinism
+(telemetry never touches the RNG or the event queue).
+
+:meth:`TelemetryCollector.finalize` freezes the collector into a
+:class:`RunTelemetry` — plain dataclasses of plain numbers — which
+travels in ``SimMetrics.extra["telemetry"]``, pickles across campaign
+worker processes, renders as a table (:meth:`RunTelemetry.render`), and
+serializes via :func:`repro.experiments.export.telemetry_to_dict`.
+
+Telemetry schema
+----------------
+Per node (:class:`NodeTelemetry`):
+
+- ``firings`` / ``empty_firings`` — vector firings, and those that
+  consumed zero items;
+- ``items_consumed`` — total items consumed;
+- ``mean_occupancy`` — mean consumed/v over firings (NaN if none);
+- ``service_time`` — total time the node spent in firings;
+- ``wait_time`` — makespan minus service time (enforced waits + idle);
+- ``queue_hwm`` / ``queue_hwm_vectors`` — input-queue high-water mark,
+  in items and in vector-width units (the empirical ``b_i``);
+- ``queue_time_avg`` — time-average input-queue length;
+- ``queue_pushed`` / ``queue_popped`` — total items through the queue.
+
+Per engine (:class:`EngineTelemetry`):
+
+- ``events_processed`` — callbacks executed by the event loop;
+- ``sim_time`` — virtual makespan of the run;
+- ``wall_time`` — wall-clock seconds inside the event loop;
+- ``events_per_wall_second`` / ``wall_time_per_sim_second`` — derived
+  rates (NaN when a denominator is zero).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.des.monitors import Accumulator, Counter, TimeWeighted
+from repro.utils.tables import render_table
+
+__all__ = [
+    "NodeTelemetry",
+    "EngineTelemetry",
+    "RunTelemetry",
+    "TelemetryCollector",
+]
+
+
+def _rate(num: float, den: float) -> float:
+    return num / den if den > 0 else math.nan
+
+
+@dataclass(frozen=True)
+class NodeTelemetry:
+    """One node's frozen per-run telemetry (see module docstring)."""
+
+    name: str
+    firings: int
+    empty_firings: int
+    items_consumed: int
+    mean_occupancy: float
+    service_time: float
+    wait_time: float
+    queue_hwm: int
+    queue_hwm_vectors: float
+    queue_time_avg: float
+    queue_pushed: int
+    queue_popped: int
+
+
+@dataclass(frozen=True)
+class EngineTelemetry:
+    """Event-loop statistics of one run."""
+
+    events_processed: int
+    sim_time: float
+    wall_time: float
+
+    @property
+    def events_per_wall_second(self) -> float:
+        return _rate(self.events_processed, self.wall_time)
+
+    @property
+    def wall_time_per_sim_second(self) -> float:
+        return _rate(self.wall_time, self.sim_time)
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """A complete run's telemetry: one entry per node plus engine stats."""
+
+    strategy: str
+    nodes: tuple[NodeTelemetry, ...]
+    engine: EngineTelemetry
+
+    def render(self) -> str:
+        """The telemetry as aligned tables (node table + engine line)."""
+        rows = [
+            (
+                n.name,
+                n.firings,
+                n.empty_firings,
+                f"{n.mean_occupancy:.3f}",
+                f"{n.service_time:.4g}",
+                f"{n.wait_time:.4g}",
+                n.queue_hwm,
+                f"{n.queue_time_avg:.3f}",
+            )
+            for n in self.nodes
+        ]
+        table = render_table(
+            [
+                "node",
+                "firings",
+                "empty",
+                "occupancy",
+                "service",
+                "wait",
+                "q hwm",
+                "q avg",
+            ],
+            rows,
+            title=f"run telemetry ({self.strategy})",
+        )
+        eng = self.engine
+        line = (
+            f"engine: {eng.events_processed} events in "
+            f"{eng.wall_time:.3f}s wall ({eng.events_per_wall_second:.0f} "
+            f"ev/s, {eng.wall_time_per_sim_second:.3g} wall-s per sim-s "
+            f"over {eng.sim_time:.4g} sim-s)"
+        )
+        return table + "\n" + line
+
+
+class TelemetryCollector:
+    """Live telemetry collection for one simulation run.
+
+    The simulators call the ``on_*`` hooks from their event handlers;
+    every hook is O(1) and built on the standard monitor types.  The
+    collector is single-use, like the simulators that feed it.
+    """
+
+    def __init__(self, node_names: list[str], vector_width: int) -> None:
+        if vector_width < 1:
+            raise ValueError(f"vector_width must be >= 1, got {vector_width}")
+        self.vector_width = int(vector_width)
+        self.node_names = list(node_names)
+        n = len(self.node_names)
+        self._firings = [Counter(f"{nm}.firings") for nm in node_names]
+        self._empty = [Counter(f"{nm}.empty_firings") for nm in node_names]
+        self._items = [Counter(f"{nm}.items") for nm in node_names]
+        self._pushed = [Counter(f"{nm}.queue_pushed") for nm in node_names]
+        self._popped = [Counter(f"{nm}.queue_popped") for nm in node_names]
+        self._occupancy = [
+            Accumulator(f"{nm}.occupancy") for nm in node_names
+        ]
+        self._service = [Accumulator(f"{nm}.service") for nm in node_names]
+        self._qlen = [TimeWeighted(f"{nm}.queue_len") for nm in node_names]
+        self._busy = [TimeWeighted(f"{nm}.busy") for nm in node_names]
+        self._n = n
+
+    # -- hooks (called by simulators) ------------------------------------
+
+    def on_enqueue(self, i: int, t: float, pushed: int, qlen: int) -> None:
+        """``pushed`` items entered node ``i``'s input queue at ``t``."""
+        self._pushed[i].increment(pushed)
+        self._qlen[i].update(t, float(qlen))
+
+    def on_fire(self, i: int, t: float, consumed: int, qlen: int) -> None:
+        """Node ``i`` started a firing at ``t`` consuming ``consumed``."""
+        self._firings[i].increment()
+        if consumed == 0:
+            self._empty[i].increment()
+        self._items[i].increment(consumed)
+        self._popped[i].increment(consumed)
+        self._occupancy[i].add(consumed / self.vector_width)
+        self._qlen[i].update(t, float(qlen))
+        self._busy[i].update(t, 1.0)
+
+    def on_complete(self, i: int, t: float, duration: float) -> None:
+        """Node ``i``'s firing finished at ``t`` after ``duration``."""
+        self._service[i].add(duration)
+        self._busy[i].update(t, 0.0)
+
+    # -- finalization -----------------------------------------------------
+
+    def finalize(
+        self,
+        *,
+        strategy: str,
+        makespan: float,
+        events_processed: int,
+        wall_time: float,
+    ) -> RunTelemetry:
+        """Freeze the collected statistics into a :class:`RunTelemetry`."""
+        span = makespan if makespan > 0 and not math.isnan(makespan) else 0.0
+        nodes = []
+        for i, name in enumerate(self.node_names):
+            service = self._service[i].total if self._service[i].n else 0.0
+            hwm = int(self._qlen[i].max)
+            nodes.append(
+                NodeTelemetry(
+                    name=name,
+                    firings=self._firings[i].count,
+                    empty_firings=self._empty[i].count,
+                    items_consumed=self._items[i].count,
+                    mean_occupancy=self._occupancy[i].mean,
+                    service_time=service,
+                    wait_time=(span - service) if span else math.nan,
+                    queue_hwm=hwm,
+                    queue_hwm_vectors=hwm / self.vector_width,
+                    queue_time_avg=(
+                        self._qlen[i].time_average(span) if span else math.nan
+                    ),
+                    queue_pushed=self._pushed[i].count,
+                    queue_popped=self._popped[i].count,
+                )
+            )
+        engine = EngineTelemetry(
+            events_processed=int(events_processed),
+            sim_time=float(makespan),
+            wall_time=float(wall_time),
+        )
+        return RunTelemetry(
+            strategy=strategy, nodes=tuple(nodes), engine=engine
+        )

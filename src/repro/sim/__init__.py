@@ -17,10 +17,16 @@ determining how many inputs, if any, incur a deadline miss."
 
 from repro.sim.metrics import LatencyLedger, SimMetrics
 from repro.sim.adaptive import AdaptiveWaitsSimulator
+from repro.sim.campaign import run_trials_parallel
 from repro.sim.enforced import EnforcedWaitsSimulator
+from repro.sim.faults import FaultPlan, InjectedFault
 from repro.sim.monolithic import MonolithicSimulator
-from repro.sim.runner import TrialsResult, run_trials
-from repro.sim.report import summarize_metrics, summarize_trials
+from repro.sim.runner import TrialOutcome, TrialsResult, run_trials
+from repro.sim.report import (
+    summarize_metrics,
+    summarize_telemetry,
+    summarize_trials,
+)
 
 __all__ = [
     "SimMetrics",
@@ -28,8 +34,13 @@ __all__ = [
     "AdaptiveWaitsSimulator",
     "EnforcedWaitsSimulator",
     "MonolithicSimulator",
+    "FaultPlan",
+    "InjectedFault",
     "run_trials",
+    "run_trials_parallel",
+    "TrialOutcome",
     "TrialsResult",
     "summarize_metrics",
+    "summarize_telemetry",
     "summarize_trials",
 ]

@@ -35,6 +35,7 @@ from repro.des.engine import Engine
 from repro.des.events import EventHandle
 from repro.des.rng import RngRegistry
 from repro.errors import SimulationError, SpecError
+from repro.obs.telemetry import TelemetryCollector
 from repro.sim.metrics import LatencyLedger, SimMetrics
 
 __all__ = ["AdaptiveWaitsSimulator"]
@@ -56,6 +57,9 @@ class AdaptiveWaitsSimulator:
         For ``"slack"``: fire early when the head item's remaining time
         budget is below ``slack_factor`` times the estimated downstream
         traversal time (one period per remaining stage).
+    telemetry:
+        When True, attach a :class:`~repro.obs.telemetry.RunTelemetry`
+        as ``metrics.extra["telemetry"]``.
     """
 
     def __init__(
@@ -70,6 +74,7 @@ class AdaptiveWaitsSimulator:
         policy: str = "full-vector",
         slack_factor: float = 1.5,
         charge_empty_firings: bool = True,
+        telemetry: bool = False,
         max_events: int = 20_000_000,
     ) -> None:
         waits = np.asarray(waits, dtype=float)
@@ -104,6 +109,13 @@ class AdaptiveWaitsSimulator:
         n = pipeline.n_nodes
         self.queues = [ItemQueue(f"q{i}") for i in range(n)]
         self.ledger = LatencyLedger(deadline)
+        self.collector = (
+            TelemetryCollector(
+                [node.name for node in pipeline.nodes], pipeline.vector_width
+            )
+            if telemetry
+            else None
+        )
         self._active_time = np.zeros(n)
         self._firings = np.zeros(n, dtype=np.int64)
         self._empty_firings = np.zeros(n, dtype=np.int64)
@@ -154,6 +166,10 @@ class AdaptiveWaitsSimulator:
     def _arrive(self, origin: float) -> None:
         self.queues[0].push(origin)
         self._in_flight += 1
+        if self.collector is not None:
+            self.collector.on_enqueue(
+                0, self.engine.now, 1, len(self.queues[0])
+            )
         self._consider_early_fire(0)
 
     def _arrivals_finished(self) -> None:
@@ -180,6 +196,10 @@ class AdaptiveWaitsSimulator:
         now = self.engine.now
         origins = self.queues[i].pop_up_to(self.pipeline.vector_width)
         t_i = self.pipeline.nodes[i].service_time
+        if self.collector is not None:
+            self.collector.on_fire(
+                i, now, int(origins.size), len(self.queues[i])
+            )
         self.engine.schedule(
             now + t_i,
             lambda i=i, o=origins, s=now: self._complete(i, o, s),
@@ -199,6 +219,8 @@ class AdaptiveWaitsSimulator:
         if consumed == 0:
             self._empty_firings[i] += 1
         self._items_consumed[i] += consumed
+        if self.collector is not None:
+            self.collector.on_complete(i, now, now - start)
         if consumed:
             gain = self.pipeline.nodes[i].gain
             counts = gain.sample(self.rng.stream(f"node{i}.gain"), consumed)
@@ -206,6 +228,10 @@ class AdaptiveWaitsSimulator:
             if i + 1 < self.pipeline.n_nodes:
                 self.queues[i + 1].push_many(outputs)
                 self._in_flight += int(outputs.size) - consumed
+                if self.collector is not None:
+                    self.collector.on_enqueue(
+                        i + 1, now, int(outputs.size), len(self.queues[i + 1])
+                    )
                 self._consider_early_fire(i + 1)
             else:
                 self.ledger.record_exits(outputs, now)
@@ -252,6 +278,17 @@ class AdaptiveWaitsSimulator:
         n = self.pipeline.n_nodes
         v = self.pipeline.vector_width
         af = float(self._active_time.sum()) / (n * makespan)
+        extra = {
+            "policy": self.policy,
+            "early_firings": self._early_firings.copy(),
+        }
+        if self.collector is not None:
+            extra["telemetry"] = self.collector.finalize(
+                strategy=f"adaptive:{self.policy}",
+                makespan=makespan,
+                events_processed=self.engine.events_processed,
+                wall_time=self.engine.wall_time,
+            )
         with np.errstate(invalid="ignore"):
             occupancy = np.where(
                 self._firings > 0,
@@ -278,8 +315,5 @@ class AdaptiveWaitsSimulator:
             firings=self._firings.copy(),
             empty_firings=self._empty_firings.copy(),
             mean_occupancy=occupancy,
-            extra={
-                "policy": self.policy,
-                "early_firings": self._early_firings.copy(),
-            },
+            extra=extra,
         )

@@ -1,32 +1,128 @@
-"""Parallel multi-seed campaigns via multiprocessing.
+"""Supervised parallel multi-seed campaigns via multiprocessing.
 
 :func:`repro.sim.runner.run_trials` is deliberately simple (a factory
 closure per seed), but closures do not pickle, so it cannot fan out to
 worker processes.  :func:`run_trials_parallel` takes the picklable form
-— a simulator class plus its keyword arguments — and distributes seeds
-over a :class:`concurrent.futures.ProcessPoolExecutor`.  Results are
-deterministic and identical to the serial runner: each seed fully
-determines its run, and results are reassembled in seed order.
+— a simulator class plus its keyword arguments — and supervises one
+worker process per seed (up to ``workers`` concurrently).
 
-Calibration campaigns (tens of grid points x tens of seeds) are the
-intended user; a laptop with 8 cores runs them ~6x faster.
+Unlike a bare ``ProcessPoolExecutor.map`` — where one crashed or hung
+seed aborts the whole campaign and loses every completed trial — each
+seed here is an isolated unit of work:
+
+- a **crash** (exception, or a worker process dying outright) is
+  captured as a ``failed`` :class:`~repro.sim.runner.TrialOutcome` with
+  its traceback;
+- a **hang** is reaped by the per-trial ``timeout``: the worker process
+  is terminated and the trial recorded as ``timed-out``;
+- transient failures are retried up to ``retries`` times with
+  exponential ``backoff`` before a trial is declared failed;
+- everything else lands in :class:`~repro.sim.runner.TrialsResult` in
+  seed order, so campaigns degrade gracefully and report partial
+  results.
+
+Failure paths are testable deterministically through the
+:class:`~repro.sim.faults.FaultPlan` hook, which each attempt applies
+before constructing its simulator.
+
+Results remain deterministic and identical to the serial runner: each
+seed fully determines its run, and outcomes are reassembled in seed
+order regardless of completion order.  Calibration campaigns (tens of
+grid points x tens of seeds) are the intended user; a laptop with 8
+cores runs them ~6x faster.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import multiprocessing as mp
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as mp_wait
 from typing import Any, Sequence
 
-from repro.errors import SpecError
-from repro.sim.metrics import SimMetrics
-from repro.sim.runner import TrialsResult
+from repro.errors import CampaignError, SpecError
+from repro.sim.faults import FaultPlan
+from repro.sim.runner import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMED_OUT,
+    TrialOutcome,
+    TrialsResult,
+    check_metrics,
+    normalize_seeds,
+)
 
 __all__ = ["run_trials_parallel"]
 
 
-def _run_one(job: tuple[type, dict[str, Any], int]) -> SimMetrics:
-    sim_cls, kwargs, seed = job
-    return sim_cls(**kwargs, seed=seed).run()
+def _run_attempt(
+    sim_cls: type,
+    kwargs: dict[str, Any],
+    seed: int,
+    faults: FaultPlan | None,
+    attempt: int,
+):
+    """One trial attempt: fault hook, construct, run, validate."""
+    if faults is not None:
+        faults.apply(seed, attempt)
+    sim = sim_cls(**kwargs, seed=seed)
+    return check_metrics(sim, sim.run())
+
+
+def _worker(
+    conn: Connection,
+    sim_cls: type,
+    kwargs: dict[str, Any],
+    seed: int,
+    faults: FaultPlan | None,
+    attempt: int,
+) -> None:
+    """Worker-process entry: send ("ok", metrics) or ("error", traceback)."""
+    try:
+        metrics = _run_attempt(sim_cls, kwargs, seed, faults, attempt)
+        conn.send((STATUS_OK, metrics))
+    except BaseException:  # noqa: BLE001 — the traceback is the payload
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Job:
+    """A not-yet-running trial attempt."""
+
+    index: int
+    seed: int
+    attempt: int = 1
+    ready_at: float = 0.0  # monotonic time before which it must not start
+
+
+@dataclass
+class _Running:
+    """A live worker process and its receive pipe."""
+
+    job: _Job
+    proc: mp.Process
+    conn: Connection
+    started_at: float
+    result: tuple[str, Any] | None = field(default=None)
+
+
+def _check_picklable(sim_cls: type, kwargs: dict[str, Any],
+                     faults: FaultPlan | None) -> None:
+    """Fail early with a clear SpecError instead of a raw pool traceback."""
+    try:
+        pickle.dumps((sim_cls, kwargs, faults))
+    except Exception as exc:
+        raise SpecError(
+            f"campaign arguments must be picklable to reach worker "
+            f"processes; pickling failed with: {exc!r}"
+        ) from exc
 
 
 def run_trials_parallel(
@@ -35,8 +131,13 @@ def run_trials_parallel(
     seeds: Sequence[int] | int,
     *,
     workers: int | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.5,
+    faults: FaultPlan | None = None,
+    strict: bool = False,
 ) -> TrialsResult:
-    """Run ``sim_cls(**kwargs, seed=s).run()`` for every seed.
+    """Run ``sim_cls(**kwargs, seed=s).run()`` for every seed, supervised.
 
     Parameters
     ----------
@@ -45,36 +146,267 @@ def run_trials_parallel(
         ``MonolithicSimulator``, ``AdaptiveWaitsSimulator``, ...).
     kwargs:
         Constructor arguments *excluding* ``seed``; must be picklable
-        when ``workers > 1``.
+        when worker processes are used.
     seeds:
         An int ``k`` (meaning ``range(k)``) or an explicit sequence.
     workers:
-        Process count; ``None``, 0, or 1 runs serially in-process (no
-        pickling requirement), matching :func:`repro.sim.runner.run_trials`
-        exactly.
+        Concurrent worker-process count; ``None``, 0, or 1 runs serially
+        in-process (no pickling requirement), matching
+        :func:`repro.sim.runner.run_trials` exactly — unless ``timeout``
+        is set, which requires process isolation and forces at least one
+        worker process.
+    timeout:
+        Per-trial wall-clock budget in seconds.  An attempt exceeding it
+        has its worker terminated and is recorded (after any retries) as
+        a ``timed-out`` :class:`~repro.sim.runner.TrialOutcome`.
+    retries:
+        Extra attempts per seed after a crash or timeout (bounded
+        retry for transient failures).
+    backoff:
+        Base of the exponential retry delay: attempt ``k``'s retry waits
+        ``backoff * 2**(k-1)`` seconds (the campaign keeps scheduling
+        other seeds meanwhile).
+    faults:
+        Optional :class:`~repro.sim.faults.FaultPlan` applied before
+        each attempt — the deterministic fault-injection hook used by
+        the failure-path tests.
+    strict:
+        When True, raise :class:`~repro.errors.CampaignError` if any
+        trial is not ok (after retries).  The partial results are
+        attached to the exception as ``exc.result``.
 
     Returns the same :class:`TrialsResult` as the serial runner, with
-    metrics in seed order regardless of completion order.
+    outcomes in seed order regardless of completion order.
     """
     if "seed" in kwargs:
         raise SpecError("pass seeds via the seeds argument, not kwargs")
-    if isinstance(seeds, int):
-        if seeds < 1:
-            raise SpecError(f"need at least one trial, got {seeds}")
-        seed_list = tuple(range(seeds))
-    else:
-        seed_list = tuple(int(s) for s in seeds)
-        if not seed_list:
-            raise SpecError("seeds must be non-empty")
+    seed_list = normalize_seeds(seeds)
     if workers is not None and workers < 0:
         raise SpecError(f"workers must be >= 0, got {workers}")
+    if timeout is not None and timeout <= 0:
+        raise SpecError(f"timeout must be > 0, got {timeout}")
+    if retries < 0:
+        raise SpecError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise SpecError(f"backoff must be >= 0, got {backoff}")
+
+    use_processes = (workers is not None and workers > 1) or timeout is not None
+    n_procs = max(1, workers or 0) if use_processes else 0
 
     result = TrialsResult(seeds=seed_list)
-    jobs = [(sim_cls, kwargs, seed) for seed in seed_list]
-    if workers is None or workers <= 1:
-        result.metrics.extend(_run_one(job) for job in jobs)
-        return result
+    if not use_processes:
+        for seed in seed_list:
+            result.outcomes.append(
+                _run_serial(sim_cls, kwargs, seed, faults, retries, backoff)
+            )
+    else:
+        _check_picklable(sim_cls, kwargs, faults)
+        outcomes = _supervise(
+            sim_cls,
+            kwargs,
+            seed_list,
+            n_procs=n_procs,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            faults=faults,
+        )
+        result.outcomes.extend(outcomes)
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        result.metrics.extend(pool.map(_run_one, jobs))
+    if strict and not result.all_ok:
+        bad = ", ".join(
+            f"seed {o.seed}: {o.status}" for o in result.failures
+        )
+        exc = CampaignError(
+            f"{len(result.failures)} of {result.n_attempted} trials did "
+            f"not complete ({bad})"
+        )
+        exc.result = result  # type: ignore[attr-defined]
+        raise exc
     return result
+
+
+def _run_serial(
+    sim_cls: type,
+    kwargs: dict[str, Any],
+    seed: int,
+    faults: FaultPlan | None,
+    retries: int,
+    backoff: float,
+) -> TrialOutcome:
+    """In-process execution of one seed with retry; errors are captured."""
+    outcome: TrialOutcome | None = None
+    for attempt in range(1, retries + 2):
+        start = time.perf_counter()
+        try:
+            metrics = _run_attempt(sim_cls, kwargs, seed, faults, attempt)
+        except Exception:
+            outcome = TrialOutcome(
+                seed=seed,
+                status=STATUS_FAILED,
+                error=traceback.format_exc(),
+                attempts=attempt,
+                duration=time.perf_counter() - start,
+            )
+            if attempt <= retries and backoff > 0:
+                time.sleep(backoff * 2 ** (attempt - 1))
+            continue
+        return TrialOutcome(
+            seed=seed,
+            status=STATUS_OK,
+            metrics=metrics,
+            attempts=attempt,
+            duration=time.perf_counter() - start,
+        )
+    assert outcome is not None
+    return outcome
+
+
+def _spawn(
+    sim_cls: type,
+    kwargs: dict[str, Any],
+    job: _Job,
+    faults: FaultPlan | None,
+) -> _Running:
+    recv, send = mp.Pipe(duplex=False)
+    proc = mp.Process(
+        target=_worker,
+        args=(send, sim_cls, kwargs, job.seed, faults, job.attempt),
+        daemon=True,
+    )
+    proc.start()
+    send.close()  # the parent only reads; the child owns the send end
+    return _Running(job=job, proc=proc, conn=recv, started_at=time.monotonic())
+
+
+def _reap(running: _Running) -> None:
+    """Terminate and clean up a worker (idempotent)."""
+    if running.proc.is_alive():
+        running.proc.terminate()
+        running.proc.join(timeout=5.0)
+        if running.proc.is_alive():  # pragma: no cover — last resort
+            running.proc.kill()
+            running.proc.join()
+    else:
+        running.proc.join()
+    running.conn.close()
+
+
+def _supervise(
+    sim_cls: type,
+    kwargs: dict[str, Any],
+    seed_list: tuple[int, ...],
+    *,
+    n_procs: int,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    faults: FaultPlan | None,
+) -> list[TrialOutcome]:
+    """The supervisor loop: launch, collect, reap, retry."""
+    pending: list[_Job] = [
+        _Job(index=i, seed=s) for i, s in enumerate(seed_list)
+    ]
+    running: list[_Running] = []
+    outcomes: dict[int, TrialOutcome] = {}
+
+    def finish(job: _Job, status: str, *, metrics=None, error=None,
+               duration: float) -> None:
+        retriable = status in (STATUS_FAILED, STATUS_TIMED_OUT)
+        if retriable and job.attempt <= retries:
+            pending.append(
+                _Job(
+                    index=job.index,
+                    seed=job.seed,
+                    attempt=job.attempt + 1,
+                    ready_at=time.monotonic()
+                    + backoff * 2 ** (job.attempt - 1),
+                )
+            )
+            return
+        outcomes[job.index] = TrialOutcome(
+            seed=job.seed,
+            status=status,
+            metrics=metrics,
+            error=error,
+            attempts=job.attempt,
+            duration=duration,
+        )
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            # Launch every ready job while capacity is free (lowest seed
+            # index first, for reproducible scheduling).
+            pending.sort(key=lambda j: (j.ready_at, j.index))
+            while pending and len(running) < n_procs and pending[0].ready_at <= now:
+                job = pending.pop(0)
+                running.append(_spawn(sim_cls, kwargs, job, faults))
+            if not running:
+                # All capacity idle; sleep until the next retry is ready.
+                time.sleep(max(0.0, pending[0].ready_at - now))
+                continue
+
+            # Wait for any worker to produce a result or die, but no
+            # longer than the nearest timeout/retry deadline.
+            wait_budget = 0.1
+            if timeout is not None:
+                nearest = min(r.started_at + timeout for r in running)
+                wait_budget = max(0.0, min(wait_budget, nearest - now))
+            mp_wait(
+                [r.conn for r in running] + [r.proc.sentinel for r in running],
+                timeout=wait_budget,
+            )
+
+            now = time.monotonic()
+            still_running: list[_Running] = []
+            for r in running:
+                duration = now - r.started_at
+                msg: tuple[str, Any] | None = None
+                try:
+                    if r.conn.poll():
+                        msg = r.conn.recv()
+                except (EOFError, OSError):
+                    msg = None
+                if msg is not None:
+                    _reap(r)
+                    kind, payload = msg
+                    if kind == STATUS_OK:
+                        finish(r.job, STATUS_OK, metrics=payload,
+                               duration=duration)
+                    else:
+                        finish(r.job, STATUS_FAILED, error=payload,
+                               duration=duration)
+                elif not r.proc.is_alive():
+                    # Died without reporting (hard crash, os._exit, ...).
+                    _reap(r)
+                    finish(
+                        r.job,
+                        STATUS_FAILED,
+                        error=(
+                            f"worker process for seed {r.job.seed} died "
+                            f"without a result (exitcode "
+                            f"{r.proc.exitcode})"
+                        ),
+                        duration=duration,
+                    )
+                elif timeout is not None and duration > timeout:
+                    _reap(r)
+                    finish(
+                        r.job,
+                        STATUS_TIMED_OUT,
+                        error=(
+                            f"trial for seed {r.job.seed} exceeded the "
+                            f"per-trial timeout of {timeout}s "
+                            f"(attempt {r.job.attempt})"
+                        ),
+                        duration=duration,
+                    )
+                else:
+                    still_running.append(r)
+            running = still_running
+    finally:
+        for r in running:
+            _reap(r)
+
+    return [outcomes[i] for i in range(len(seed_list))]

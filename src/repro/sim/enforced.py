@@ -32,6 +32,7 @@ from repro.des.events import EventHandle
 from repro.des.rng import RngRegistry
 from repro.des.trace import TraceRecorder
 from repro.errors import SimulationError, SpecError
+from repro.obs.telemetry import TelemetryCollector
 from repro.sim.metrics import LatencyLedger, SimMetrics
 from repro.simd.occupancy import OccupancyTracker
 from repro.simd.sharing import IdealizedSharing, TimingModel, WorkConservingSharing
@@ -75,6 +76,12 @@ class EnforcedWaitsSimulator:
         see :func:`repro.core.offsets.aligned_offsets`.
     trace:
         Optional :class:`~repro.des.trace.TraceRecorder`.
+    telemetry:
+        When True, collect per-node and engine telemetry
+        (:class:`~repro.obs.telemetry.RunTelemetry`) and attach it as
+        ``metrics.extra["telemetry"]``.  Collection is passive: it never
+        touches the RNG or the event queue, so results are bit-identical
+        with or without it.
     """
 
     def __init__(
@@ -91,6 +98,7 @@ class EnforcedWaitsSimulator:
         start_offsets: np.ndarray | None = None,
         keep_latency_samples: bool = False,
         trace: TraceRecorder | None = None,
+        telemetry: bool = False,
         max_events: int = 20_000_000,
     ) -> None:
         waits = np.asarray(waits, dtype=float)
@@ -134,6 +142,13 @@ class EnforcedWaitsSimulator:
             for node in pipeline.nodes
         ]
         self.ledger = LatencyLedger(deadline, keep_samples=keep_latency_samples)
+        self.collector = (
+            TelemetryCollector(
+                [node.name for node in pipeline.nodes], pipeline.vector_width
+            )
+            if telemetry
+            else None
+        )
 
         if timing == "idealized":
             self._timing: TimingModel = IdealizedSharing()
@@ -162,6 +177,10 @@ class EnforcedWaitsSimulator:
     def _arrive(self, origin: float) -> None:
         self.queues[0].push(origin)
         self._in_flight += 1
+        if self.collector is not None:
+            self.collector.on_enqueue(
+                0, self.engine.now, 1, len(self.queues[0])
+            )
         if self.trace is not None:
             self.trace.record(self.engine.now, "arrival", "stream", origin=origin)
 
@@ -188,6 +207,8 @@ class EnforcedWaitsSimulator:
         origins = self.queues[i].pop_up_to(self.pipeline.vector_width)
         consumed = origins.size
         t_i = self.pipeline.nodes[i].service_time
+        if self.collector is not None:
+            self.collector.on_fire(i, now, int(consumed), len(self.queues[i]))
         if self.trace is not None:
             self.trace.record(now, "fire", self.pipeline.nodes[i].name,
                               consumed=int(consumed))
@@ -215,6 +236,8 @@ class EnforcedWaitsSimulator:
         charge = (now - start) if (consumed > 0 or self.charge_empty) else 0.0
         self.trackers[i].record_firing(int(consumed), charge)
         self._active_time[i] += charge
+        if self.collector is not None:
+            self.collector.on_complete(i, now, now - start)
         if consumed:
             gain = self.pipeline.nodes[i].gain
             node_rng = self.rng.stream(f"node{i}.gain")
@@ -223,6 +246,10 @@ class EnforcedWaitsSimulator:
             if i + 1 < self.pipeline.n_nodes:
                 self.queues[i + 1].push_many(outputs)
                 self._in_flight += int(outputs.size) - int(consumed)
+                if self.collector is not None:
+                    self.collector.on_enqueue(
+                        i + 1, now, int(outputs.size), len(self.queues[i + 1])
+                    )
             else:
                 self.ledger.record_exits(outputs, now)
                 self._in_flight -= int(consumed)
@@ -308,6 +335,18 @@ class EnforcedWaitsSimulator:
         v = self.pipeline.vector_width
         af = float(np.sum(self._active_time)) / (n * makespan)
         hwm = np.asarray([q.max_depth for q in self.queues], dtype=float) / v
+        extra = {
+            "timing": self._timing_name,
+            "charge_empty": self.charge_empty,
+            "ledger": self.ledger,
+        }
+        if self.collector is not None:
+            extra["telemetry"] = self.collector.finalize(
+                strategy="enforced",
+                makespan=makespan,
+                events_processed=self.engine.events_processed,
+                wall_time=self.engine.wall_time,
+            )
         return SimMetrics(
             strategy="enforced",
             n_items=self.n_items,
@@ -327,9 +366,5 @@ class EnforcedWaitsSimulator:
             mean_occupancy=np.asarray(
                 [tr.mean_occupancy for tr in self.trackers]
             ),
-            extra={
-                "timing": self._timing_name,
-                "charge_empty": self.charge_empty,
-                "ledger": self.ledger,
-            },
+            extra=extra,
         )

@@ -16,6 +16,7 @@ simulator, so both strategies see statistically identical irregularity.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from repro.arrivals.base import ArrivalProcess
 from repro.dataflow.spec import PipelineSpec
 from repro.des.rng import RngRegistry
 from repro.errors import SimulationError, SpecError
+from repro.obs.telemetry import EngineTelemetry, NodeTelemetry, RunTelemetry
 from repro.sim.metrics import LatencyLedger, SimMetrics
 from repro.simd.occupancy import OccupancyTracker
 
@@ -49,6 +51,11 @@ class MonolithicSimulator:
     flush_partial:
         Whether the final ``n_items mod M`` items are processed as a short
         block once arrivals end (default True).
+    telemetry:
+        When True, attach a :class:`~repro.obs.telemetry.RunTelemetry`
+        as ``metrics.extra["telemetry"]``.  The monolithic strategy has
+        no event loop: the engine section counts processed *blocks* as
+        its events, and only the head queue (input backlog) exists.
     """
 
     def __init__(
@@ -62,6 +69,7 @@ class MonolithicSimulator:
         seed: int = 0,
         flush_partial: bool = True,
         keep_latency_samples: bool = False,
+        telemetry: bool = False,
     ) -> None:
         if block_size < 1:
             raise SpecError(f"block_size must be >= 1, got {block_size}")
@@ -81,7 +89,46 @@ class MonolithicSimulator:
             OccupancyTracker(node.name, pipeline.vector_width)
             for node in pipeline.nodes
         ]
+        self.telemetry = bool(telemetry)
         self._ran = False
+
+    def _build_telemetry(
+        self, makespan: float, n_blocks: int, max_backlog: int,
+        wall_time: float,
+    ) -> RunTelemetry:
+        """Telemetry from the trackers (block execution has no event loop)."""
+        v = self.pipeline.vector_width
+        span = makespan if makespan > 0 and not math.isnan(makespan) else 0.0
+        nodes = []
+        for i, tracker in enumerate(self.trackers):
+            hwm = max_backlog if i == 0 else 0
+            nodes.append(
+                NodeTelemetry(
+                    name=tracker.name,
+                    firings=tracker.firings,
+                    empty_firings=tracker.empty_firings,
+                    items_consumed=tracker.items_consumed,
+                    mean_occupancy=tracker.mean_occupancy,
+                    service_time=tracker.active_time,
+                    wait_time=(
+                        (span - tracker.active_time) if span else math.nan
+                    ),
+                    queue_hwm=hwm,
+                    queue_hwm_vectors=hwm / v,
+                    queue_time_avg=math.nan,
+                    queue_pushed=tracker.items_consumed,
+                    queue_popped=tracker.items_consumed,
+                )
+            )
+        return RunTelemetry(
+            strategy="monolithic",
+            nodes=tuple(nodes),
+            engine=EngineTelemetry(
+                events_processed=n_blocks,
+                sim_time=float(makespan),
+                wall_time=wall_time,
+            ),
+        )
 
     def _process_block(self, origins: np.ndarray, start: float) -> float:
         """Run one block through all stages; returns the completion time.
@@ -115,6 +162,7 @@ class MonolithicSimulator:
         if self._ran:
             raise SimulationError("simulator instances are single-use")
         self._ran = True
+        wall_start = time.perf_counter()
 
         times = self.arrivals.generate(
             self.n_items, self.rng.stream("arrivals")
@@ -151,6 +199,29 @@ class MonolithicSimulator:
         v = self.pipeline.vector_width
         hwm = np.full(self.pipeline.n_nodes, np.nan)
         hwm[0] = max_backlog / v  # only the head queue exists monolithically
+        extra = {
+            "block_size": m,
+            "blocks": len(block_bounds),
+            "max_backlog_items": max_backlog,
+            "ledger": self.ledger,
+            # Steady-state active fraction: measured block service time
+            # per block accumulation period, over full blocks only.
+            # This is the direct empirical counterpart of the
+            # optimizer's rho_0*Tbar(M)/M, free of end-of-stream drain
+            # dilution (short streams hold few large blocks).
+            "af_steady": (
+                steady_active / (n_full * m * _mean_gap(times))
+                if n_full
+                else float("nan")
+            ),
+        }
+        if self.telemetry:
+            extra["telemetry"] = self._build_telemetry(
+                makespan,
+                len(block_bounds),
+                max_backlog,
+                time.perf_counter() - wall_start,
+            )
         return SimMetrics(
             strategy="monolithic",
             n_items=self.n_items,
@@ -172,20 +243,5 @@ class MonolithicSimulator:
             mean_occupancy=np.asarray(
                 [tr.mean_occupancy for tr in self.trackers]
             ),
-            extra={
-                "block_size": m,
-                "blocks": len(block_bounds),
-                "max_backlog_items": max_backlog,
-                "ledger": self.ledger,
-                # Steady-state active fraction: measured block service time
-                # per block accumulation period, over full blocks only.
-                # This is the direct empirical counterpart of the
-                # optimizer's rho_0*Tbar(M)/M, free of end-of-stream drain
-                # dilution (short streams hold few large blocks).
-                "af_steady": (
-                    steady_active / (n_full * m * _mean_gap(times))
-                    if n_full
-                    else float("nan")
-                ),
-            },
+            extra=extra,
         )

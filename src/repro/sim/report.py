@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+from repro.obs.telemetry import RunTelemetry
 from repro.sim.metrics import SimMetrics
 from repro.sim.runner import TrialsResult
 from repro.utils.tables import render_table
 
-__all__ = ["summarize_metrics", "summarize_trials"]
+__all__ = ["summarize_metrics", "summarize_trials", "summarize_telemetry"]
 
 
 def summarize_metrics(metrics: SimMetrics) -> str:
@@ -26,8 +27,13 @@ def summarize_metrics(metrics: SimMetrics) -> str:
 
 
 def summarize_trials(trials: TrialsResult, *, label: str = "campaign") -> str:
-    """A multi-seed campaign's acceptance statistics (Section 6.2 terms)."""
-    rows = [
+    """A multi-seed campaign's acceptance statistics (Section 6.2 terms).
+
+    When the campaign had failed or timed-out trials, the summary names
+    them (count, seeds, and retry attempts) so a partial result cannot be
+    mistaken for a clean one.
+    """
+    rows: list[tuple[str, object]] = [
         ("trials", trials.n_trials),
         ("miss-free fraction", trials.miss_free_fraction),
         ("mean active fraction", trials.mean_active_fraction),
@@ -35,4 +41,21 @@ def summarize_trials(trials: TrialsResult, *, label: str = "campaign") -> str:
         ("mean item miss rate", trials.mean_miss_rate),
         ("max item miss rate", trials.max_miss_rate),
     ]
-    return render_table(["metric", "value"], rows, title=label)
+    failures = trials.failures
+    if failures:
+        rows.insert(1, ("attempted trials", trials.n_attempted))
+        rows.insert(2, ("failed trials", trials.n_failed))
+        rows.insert(3, ("timed-out trials", trials.n_timed_out))
+    table = render_table(["metric", "value"], rows, title=label)
+    if not failures:
+        return table
+    lines = [
+        f"  seed {o.seed}: {o.status} after {o.attempts} attempt(s)"
+        for o in failures
+    ]
+    return table + "\nincomplete trials:\n" + "\n".join(lines)
+
+
+def summarize_telemetry(telemetry: RunTelemetry) -> str:
+    """A run's telemetry as per-node tables plus an engine line."""
+    return telemetry.render()

@@ -4,10 +4,20 @@ Section 6.2: "checked how often the simulator reported deadline misses
 over 100 runs with different random seeds ... no misses in at least 95% of
 random trials".  :func:`run_trials` executes a simulator factory across
 seeds and aggregates exactly those acceptance statistics.
+
+Every trial produces a :class:`TrialOutcome` — ``ok``, ``failed`` (with
+the captured traceback), or ``timed-out`` — and :class:`TrialsResult`
+aggregates the paper's statistics over the successful subset, so a
+campaign with a few bad seeds still reports its partial results instead
+of losing everything.  The serial :func:`run_trials` keeps the historic
+fail-fast default (``catch_failures=False``); the supervised parallel
+runner (:func:`repro.sim.campaign.run_trials_parallel`) always collects.
 """
 
 from __future__ import annotations
 
+import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -16,29 +26,106 @@ import numpy as np
 from repro.errors import SpecError
 from repro.sim.metrics import SimMetrics
 
-__all__ = ["TrialsResult", "run_trials"]
+__all__ = ["TrialOutcome", "TrialsResult", "run_trials"]
+
+#: Trial status values.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMED_OUT = "timed-out"
+
+
+@dataclass
+class TrialOutcome:
+    """The result of one seed's trial, successful or not.
+
+    Attributes
+    ----------
+    seed:
+        The trial's seed.
+    status:
+        ``"ok"``, ``"failed"``, or ``"timed-out"``.
+    metrics:
+        The run's :class:`SimMetrics` when ``status == "ok"``, else None.
+    error:
+        Captured traceback text of the final failing attempt (None when ok;
+        a short diagnostic for timeouts).
+    attempts:
+        Total attempts made (> 1 when retries were consumed).
+    duration:
+        Wall-clock seconds of the final attempt (NaN if unmeasured).
+    """
+
+    seed: int
+    status: str
+    metrics: SimMetrics | None = None
+    error: str | None = None
+    attempts: int = 1
+    duration: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.status not in (STATUS_OK, STATUS_FAILED, STATUS_TIMED_OUT):
+            raise SpecError(f"invalid trial status {self.status!r}")
+        if (self.status == STATUS_OK) != (self.metrics is not None):
+            raise SpecError(
+                f"status {self.status!r} inconsistent with "
+                f"metrics={'present' if self.metrics is not None else 'absent'}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
 
 
 @dataclass
 class TrialsResult:
     """Aggregated outcome of a multi-seed campaign.
 
-    ``metrics`` holds one :class:`SimMetrics` per seed, in seed order.
+    ``outcomes`` holds one :class:`TrialOutcome` per seed, in seed order;
+    ``metrics`` exposes the successful runs' :class:`SimMetrics` (also in
+    seed order), over which all acceptance statistics are computed.
     """
 
     seeds: tuple[int, ...]
-    metrics: list[SimMetrics] = field(default_factory=list)
+    outcomes: list[TrialOutcome] = field(default_factory=list)
+
+    @property
+    def metrics(self) -> list[SimMetrics]:
+        """SimMetrics of the successful trials, in seed order."""
+        return [o.metrics for o in self.outcomes if o.metrics is not None]
 
     @property
     def n_trials(self) -> int:
+        """Number of *successful* trials (the statistics' sample size)."""
         return len(self.metrics)
+
+    @property
+    def n_attempted(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(o.status == STATUS_FAILED for o in self.outcomes)
+
+    @property
+    def n_timed_out(self) -> int:
+        return sum(o.status == STATUS_TIMED_OUT for o in self.outcomes)
+
+    @property
+    def failures(self) -> list[TrialOutcome]:
+        """The non-ok outcomes, in seed order."""
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def all_ok(self) -> bool:
+        return bool(self.outcomes) and all(o.ok for o in self.outcomes)
 
     @property
     def miss_free_fraction(self) -> float:
         """Fraction of runs with zero deadline misses (paper's >= 95%)."""
-        if not self.metrics:
+        metrics = self.metrics
+        if not metrics:
             return float("nan")
-        return sum(m.miss_free for m in self.metrics) / len(self.metrics)
+        return sum(m.miss_free for m in metrics) / len(metrics)
 
     @property
     def mean_active_fraction(self) -> float:
@@ -46,7 +133,11 @@ class TrialsResult:
 
     @property
     def std_active_fraction(self) -> float:
-        return float(np.std([m.active_fraction for m in self.metrics]))
+        """Sample (n-1 denominator) std dev, matching Accumulator.variance."""
+        afs = [m.active_fraction for m in self.metrics]
+        if len(afs) < 2:
+            return float("nan")
+        return float(np.std(afs, ddof=1))
 
     @property
     def mean_miss_rate(self) -> float:
@@ -69,32 +160,84 @@ class TrialsResult:
         return np.maximum(1.0, np.ceil(q))
 
 
+def normalize_seeds(seeds: Sequence[int] | int) -> tuple[int, ...]:
+    """Expand an int ``k`` to ``range(k)``; validate explicit sequences."""
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise SpecError(f"need at least one trial, got {seeds}")
+        return tuple(range(seeds))
+    seed_list = tuple(int(s) for s in seeds)
+    if not seed_list:
+        raise SpecError("seeds must be non-empty")
+    return seed_list
+
+
+def check_metrics(sim: object, metrics: object) -> SimMetrics:
+    """Validate a simulator's run() return value."""
+    if not isinstance(metrics, SimMetrics):
+        raise SpecError(
+            f"factory produced {type(sim).__name__} whose run() returned "
+            f"{type(metrics).__name__}, not SimMetrics"
+        )
+    return metrics
+
+
 def run_trials(
     factory: Callable[[int], object],
     seeds: Sequence[int] | int,
+    *,
+    catch_failures: bool = False,
+    retries: int = 0,
+    backoff: float = 0.0,
 ) -> TrialsResult:
     """Run ``factory(seed).run()`` for every seed and aggregate.
 
     ``seeds`` may be an int ``k`` (meaning ``range(k)``) or an explicit
     sequence.  The factory must return a fresh simulator per call
     (simulators are single-use).
+
+    With ``catch_failures=True`` a raising trial is retried up to
+    ``retries`` times (sleeping ``backoff * 2**(attempt-1)`` seconds
+    between attempts) and, if still failing, recorded as a ``failed``
+    :class:`TrialOutcome` instead of propagating.  The default preserves
+    the historic fail-fast behaviour.  Per-trial timeouts need process
+    isolation — use :func:`repro.sim.campaign.run_trials_parallel`.
     """
-    if isinstance(seeds, int):
-        if seeds < 1:
-            raise SpecError(f"need at least one trial, got {seeds}")
-        seed_list = tuple(range(seeds))
-    else:
-        seed_list = tuple(int(s) for s in seeds)
-        if not seed_list:
-            raise SpecError("seeds must be non-empty")
+    if retries < 0:
+        raise SpecError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise SpecError(f"backoff must be >= 0, got {backoff}")
+    seed_list = normalize_seeds(seeds)
     result = TrialsResult(seeds=seed_list)
     for seed in seed_list:
-        sim = factory(seed)
-        metrics = sim.run()  # type: ignore[attr-defined]
-        if not isinstance(metrics, SimMetrics):
-            raise SpecError(
-                f"factory produced {type(sim).__name__} whose run() did not "
-                "return SimMetrics"
+        attempts = retries + 1 if catch_failures else 1
+        outcome: TrialOutcome | None = None
+        for attempt in range(1, attempts + 1):
+            start = time.perf_counter()
+            try:
+                sim = factory(seed)
+                metrics = check_metrics(sim, sim.run())  # type: ignore[attr-defined]
+            except Exception:
+                if not catch_failures:
+                    raise
+                outcome = TrialOutcome(
+                    seed=seed,
+                    status=STATUS_FAILED,
+                    error=traceback.format_exc(),
+                    attempts=attempt,
+                    duration=time.perf_counter() - start,
+                )
+                if attempt <= retries and backoff > 0:
+                    time.sleep(backoff * 2 ** (attempt - 1))
+                continue
+            outcome = TrialOutcome(
+                seed=seed,
+                status=STATUS_OK,
+                metrics=metrics,
+                attempts=attempt,
+                duration=time.perf_counter() - start,
             )
-        result.metrics.append(metrics)
+            break
+        assert outcome is not None
+        result.outcomes.append(outcome)
     return result

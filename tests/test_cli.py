@@ -48,3 +48,26 @@ def test_export_sweep_json_csv(tmp_path, capsys, monkeypatch):
     assert (tmp_path / "fig3.txt").exists()
     assert (tmp_path / "fig3.json").exists()
     assert (tmp_path / "fig3.csv").exists()
+
+
+def test_telemetry_flag_exports_json_csv(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_SCALE", "0.2")
+    assert main(
+        ["run", "calibration", "--telemetry", "--export", str(tmp_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "run telemetry" in out
+    jpath = tmp_path / "calibration.telemetry.json"
+    assert jpath.exists()
+    assert (tmp_path / "calibration.telemetry.csv").exists()
+    data = json.loads(jpath.read_text())
+    assert all(n["firings"] >= 0 for n in data["nodes"])
+    assert all("queue_hwm" in n for n in data["nodes"])
+
+
+def test_telemetry_flag_on_unsupporting_experiment(capsys):
+    assert main(["run", "table1", "--telemetry"]) == 0
+    out = capsys.readouterr().out
+    assert "does not collect telemetry" in out

@@ -75,6 +75,21 @@ class TestBasics:
         with pytest.raises(ValueError):
             CalendarQueue(bucket_width=0.0)
 
+    def test_zero_span_resize_keeps_width(self):
+        # Regression: a resize while every queued event shares one
+        # timestamp used to collapse the bucket width to 1e-9, scattering
+        # all later events astronomically far from the cursor and forcing
+        # the full-scan fallback on every subsequent pop.
+        q = CalendarQueue(n_buckets=4, bucket_width=1.0)
+        for i in range(64):  # well past the 2*n resize threshold
+            q.push(_event(5.0, seq=i))
+        assert q._width == 1.0
+        q.push(_event(7.25, seq=64))
+        q.push(_event(6.5, seq=65))
+        assert [q.pop().time for _ in range(64)] == [5.0] * 64
+        assert q.pop().time == 6.5
+        assert q.pop().time == 7.25
+
 
 @settings(max_examples=40, deadline=None)
 @given(
@@ -94,6 +109,36 @@ def test_property_matches_heap_order(times, priorities):
         heapq.heappush(heap, e)
     cal_order = [(cal.pop().seq) for _ in range(n)]
     heap_order = [heapq.heappop(heap).seq for _ in range(n)]
+    assert cal_order == heap_order
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shared=st.floats(0.0, 1e6),
+    n_shared=st.integers(40, 120),  # enough volume to trigger resizes
+    later=st.lists(st.floats(0.0, 1e6), min_size=0, max_size=40),
+    priorities=st.lists(st.integers(-2, 2), min_size=160, max_size=160),
+)
+def test_property_zero_span_population_matches_heap(
+    shared, n_shared, later, priorities
+):
+    """Resizing with all events at one timestamp keeps heap-identical order.
+
+    Regression for the degenerate-width resize: the identical-timestamp
+    population forces span == 0 at resize time, and the trailing pushes
+    verify the surviving geometry still orders correctly.
+    """
+    import heapq
+
+    cal = CalendarQueue(n_buckets=4, bucket_width=1.0)
+    heap: list[Event] = []
+    events = [shared] * n_shared + later
+    for k, t in enumerate(events):
+        e = _event(t, priorities[k % len(priorities)], seq=k)
+        cal.push(e)
+        heapq.heappush(heap, e)
+    cal_order = [cal.pop().seq for _ in range(len(events))]
+    heap_order = [heapq.heappop(heap).seq for _ in range(len(events))]
     assert cal_order == heap_order
 
 

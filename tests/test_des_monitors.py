@@ -68,6 +68,32 @@ class TestAccumulator:
         with pytest.raises(ValueError):
             acc.quantile(1.5)
 
+    def test_quantile_cache_invalidated_by_interleaved_adds(self):
+        # Regression: the sorted view is cached between queries and must
+        # be rebuilt after add(), not reused stale.
+        rng = np.random.default_rng(7)
+        acc = Accumulator("x", keep_samples=True)
+        reference: list[float] = []
+        for batch in range(5):
+            for v in rng.normal(size=20):
+                acc.add(float(v))
+                reference.append(float(v))
+            for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+                expected = float(np.quantile(reference, q))
+                # Repeated queries (cache hits) must agree with each
+                # other and with the freshly-computed reference.
+                first = acc.quantile(q)
+                assert acc.quantile(q) == first
+                assert first == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+    def test_quantile_cache_not_shared_across_instances(self):
+        a = Accumulator("a", keep_samples=True)
+        b = Accumulator("b", keep_samples=True)
+        a.add(1.0)
+        b.add(100.0)
+        assert a.quantile(0.5) == 1.0
+        assert b.quantile(0.5) == 100.0
+
 
 class TestTimeWeighted:
     def test_time_average_of_step_signal(self):

@@ -1,14 +1,77 @@
 """Tests for the parallel campaign runner."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.arrivals.fixed import FixedRateArrivals
-from repro.errors import SpecError
+from repro.errors import CampaignError, SpecError
 from repro.sim.campaign import run_trials_parallel
 from repro.sim.enforced import EnforcedWaitsSimulator
+from repro.sim.faults import FaultPlan, InjectedFault
+from repro.sim.metrics import SimMetrics
 from repro.sim.monolithic import MonolithicSimulator
 from repro.sim.runner import run_trials
+
+
+def _dummy_metrics(seed: int) -> SimMetrics:
+    return SimMetrics(
+        strategy="dummy",
+        n_items=1,
+        makespan=1.0,
+        active_time_per_node=np.ones(1),
+        active_fraction=0.5 + seed * 0.01,
+        missed_items=0,
+        miss_rate=0.0,
+        outputs=1,
+        mean_latency=1.0,
+        max_latency=1.0,
+        queue_hwm_vectors=np.ones(1),
+        firings=np.ones(1),
+        empty_firings=np.zeros(1),
+        mean_occupancy=np.ones(1),
+    )
+
+
+class FastSim:
+    """A trivial picklable simulator that finishes instantly."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = seed
+
+    def run(self) -> SimMetrics:
+        return _dummy_metrics(self.seed)
+
+
+class CrashingSim:
+    """Raises inside run() — the classic crashing trial."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = seed
+
+    def run(self) -> SimMetrics:
+        raise RuntimeError(f"boom from seed {self.seed}")
+
+
+class DyingSim:
+    """Kills its worker process outright (no exception to catch)."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = seed
+
+    def run(self) -> SimMetrics:
+        os._exit(17)
+
+
+class NotMetricsSim:
+    """run() returns the wrong type."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = seed
+
+    def run(self) -> dict:
+        return {"not": "metrics"}
 
 
 @pytest.fixture(scope="module")
@@ -111,3 +174,150 @@ class TestValidation:
             run_trials_parallel(
                 EnforcedWaitsSimulator, enforced_kwargs, 2, workers=-1
             )
+
+    def test_non_picklable_kwarg_gives_clear_error(self):
+        with pytest.raises(SpecError, match="picklable"):
+            run_trials_parallel(
+                FastSim, {"callback": lambda x: x}, 2, workers=2
+            )
+
+    def test_wrong_metrics_type_names_both_classes(self):
+        trials = run_trials_parallel(NotMetricsSim, {}, [0], workers=2)
+        (outcome,) = trials.outcomes
+        assert outcome.status == "failed"
+        assert "NotMetricsSim" in outcome.error
+        assert "dict" in outcome.error
+
+
+class TestFailurePaths:
+    def test_crashing_simulator_captured(self):
+        trials = run_trials_parallel(CrashingSim, {}, [0, 1], workers=2)
+        assert trials.n_attempted == 2
+        assert trials.n_failed == 2
+        assert trials.n_trials == 0
+        for seed, outcome in zip((0, 1), trials.outcomes):
+            assert outcome.seed == seed
+            assert outcome.status == "failed"
+            assert outcome.metrics is None
+            assert "RuntimeError" in outcome.error
+            assert f"boom from seed {seed}" in outcome.error
+
+    def test_worker_death_detected(self):
+        trials = run_trials_parallel(DyingSim, {}, [0], workers=2)
+        (outcome,) = trials.outcomes
+        assert outcome.status == "failed"
+        assert "died without a result" in outcome.error
+        assert "17" in outcome.error
+
+    def test_hanging_trial_times_out(self):
+        faults = FaultPlan(hang_seeds=(1,), hang_seconds=60.0)
+        trials = run_trials_parallel(
+            FastSim, {}, [0, 1, 2], workers=2, timeout=1.0, faults=faults
+        )
+        assert [o.status for o in trials.outcomes] == [
+            "ok",
+            "timed-out",
+            "ok",
+        ]
+        assert trials.n_timed_out == 1
+        timed_out = trials.outcomes[1]
+        assert timed_out.metrics is None
+        assert "timeout" in timed_out.error
+        assert timed_out.duration >= 1.0
+
+    def test_serial_path_captures_injected_crash(self):
+        faults = FaultPlan(crash_seeds=(1,))
+        trials = run_trials_parallel(
+            FastSim, {}, [0, 1, 2], workers=1, faults=faults
+        )
+        assert [o.status for o in trials.outcomes] == ["ok", "failed", "ok"]
+        assert "InjectedFault" in trials.outcomes[1].error
+
+    def test_transient_crash_recovers_with_retries(self):
+        faults = FaultPlan(transient_crashes={2: 2})
+        trials = run_trials_parallel(
+            FastSim,
+            {},
+            [0, 1, 2, 3],
+            workers=2,
+            retries=2,
+            backoff=0.0,
+            faults=faults,
+        )
+        assert trials.all_ok
+        assert trials.outcomes[2].attempts == 3
+        assert all(o.attempts == 1 for i, o in enumerate(trials.outcomes) if i != 2)
+
+    def test_retries_exhausted_records_failure(self):
+        faults = FaultPlan(transient_crashes={0: 5})
+        trials = run_trials_parallel(
+            FastSim, {}, [0], workers=2, retries=1, backoff=0.0, faults=faults
+        )
+        (outcome,) = trials.outcomes
+        assert outcome.status == "failed"
+        assert outcome.attempts == 2
+
+    def test_strict_mode_raises_with_partial_results(self):
+        faults = FaultPlan(crash_seeds=(1,))
+        with pytest.raises(CampaignError) as excinfo:
+            run_trials_parallel(
+                FastSim, {}, [0, 1, 2], workers=2, faults=faults, strict=True
+            )
+        result = excinfo.value.result
+        assert result.n_trials == 2
+        assert result.n_failed == 1
+        assert "seed 1" in str(excinfo.value)
+
+    def test_acceptance_20_seed_campaign_with_injected_faults(self):
+        """ISSUE acceptance: 20 seeds, 3 crashes + 1 hang -> 16 ok, in order."""
+        faults = FaultPlan(
+            crash_seeds=(2, 7, 11), hang_seeds=(15,), hang_seconds=60.0
+        )
+        trials = run_trials_parallel(
+            FastSim, {}, 20, workers=4, timeout=1.5, faults=faults
+        )
+        assert trials.seeds == tuple(range(20))
+        assert trials.n_attempted == 20
+        assert trials.n_trials == 16
+        assert trials.n_failed == 3
+        assert trials.n_timed_out == 1
+        assert [o.seed for o in trials.outcomes] == list(range(20))
+        for o in trials.outcomes:
+            if o.seed in (2, 7, 11):
+                assert o.status == "failed" and "InjectedFault" in o.error
+            elif o.seed == 15:
+                assert o.status == "timed-out"
+            else:
+                assert o.ok and isinstance(o.metrics, SimMetrics)
+        # The statistics run over the 16 survivors.
+        assert len(trials.metrics) == 16
+        assert trials.mean_active_fraction == pytest.approx(
+            np.mean([0.5 + s * 0.01 for s in range(20) if s not in (2, 7, 11, 15)])
+        )
+
+
+class TestFaultPlan:
+    def test_crash_seed_raises(self):
+        with pytest.raises(InjectedFault, match="seed 3"):
+            FaultPlan(crash_seeds=(3,)).apply(3)
+        FaultPlan(crash_seeds=(3,)).apply(4)  # other seeds untouched
+
+    def test_transient_threshold(self):
+        plan = FaultPlan(transient_crashes={1: 2})
+        with pytest.raises(InjectedFault):
+            plan.apply(1, attempt=1)
+        with pytest.raises(InjectedFault):
+            plan.apply(1, attempt=2)
+        plan.apply(1, attempt=3)  # recovered
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(hang_seconds=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan(transient_crashes={0: 0})
+
+    def test_plan_pickles(self):
+        import pickle
+
+        plan = FaultPlan(crash_seeds=(1,), transient_crashes={2: 1})
+        assert pickle.loads(pickle.dumps(plan)) == plan

@@ -1,13 +1,16 @@
 """Tests for the multi-seed runner and report rendering."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.arrivals.fixed import FixedRateArrivals
+from repro.des.monitors import Accumulator
 from repro.errors import SpecError
 from repro.sim.enforced import EnforcedWaitsSimulator
 from repro.sim.report import summarize_metrics, summarize_trials
-from repro.sim.runner import run_trials
+from repro.sim.runner import TrialOutcome, run_trials
 
 
 def _factory(pipeline):
@@ -53,6 +56,89 @@ class TestRunTrials:
         with pytest.raises(SpecError):
             run_trials(_factory(tiny_pipeline), 0)
 
+    def test_std_active_fraction_matches_accumulator(self, tiny_pipeline):
+        """Regression: the campaign std must use the same ddof=1 convention
+        as Accumulator.variance (it used to mix population and sample std)."""
+        trials = run_trials(_factory(tiny_pipeline), 6)
+        acc = Accumulator("af")
+        for m in trials.metrics:
+            acc.add(m.active_fraction)
+        assert trials.std_active_fraction == pytest.approx(acc.std, rel=1e-12)
+        assert trials.std_active_fraction == pytest.approx(
+            float(np.std([m.active_fraction for m in trials.metrics], ddof=1)),
+            rel=1e-12,
+        )
+
+    def test_std_active_fraction_nan_below_two_samples(self, tiny_pipeline):
+        trials = run_trials(_factory(tiny_pipeline), 1)
+        assert math.isnan(trials.std_active_fraction)
+
+    def test_wrong_metrics_type_error_names_types(self):
+        class Confused:
+            def __init__(self, seed):
+                pass
+
+            def run(self):
+                return [1, 2, 3]
+
+        with pytest.raises(SpecError, match=r"Confused.*list.*not SimMetrics"):
+            run_trials(Confused, 2)
+
+    def test_failure_propagates_by_default(self):
+        class Broken:
+            def __init__(self, seed):
+                pass
+
+            def run(self):
+                raise ValueError("kaput")
+
+        with pytest.raises(ValueError, match="kaput"):
+            run_trials(Broken, 2)
+
+    def test_catch_failures_records_outcomes(self, tiny_pipeline):
+        calls = []
+
+        def flaky(seed):
+            calls.append(seed)
+            if seed == 1:
+                raise ValueError("seed 1 is cursed")
+            return _factory(tiny_pipeline)(seed)
+
+        trials = run_trials(flaky, 3, catch_failures=True)
+        assert [o.status for o in trials.outcomes] == ["ok", "failed", "ok"]
+        assert trials.n_trials == 2
+        assert "seed 1 is cursed" in trials.outcomes[1].error
+        assert not trials.all_ok
+
+    def test_catch_failures_retries(self, tiny_pipeline):
+        attempts = {1: 0}
+
+        def flaky(seed):
+            if seed == 1:
+                attempts[1] += 1
+                if attempts[1] < 3:
+                    raise ValueError("transient")
+            return _factory(tiny_pipeline)(seed)
+
+        trials = run_trials(flaky, 2, catch_failures=True, retries=2)
+        assert trials.all_ok
+        assert trials.outcomes[1].attempts == 3
+
+
+class TestTrialOutcome:
+    def test_invalid_status_rejected(self):
+        with pytest.raises(SpecError):
+            TrialOutcome(seed=0, status="exploded")
+
+    def test_ok_requires_metrics(self):
+        with pytest.raises(SpecError):
+            TrialOutcome(seed=0, status="ok")
+
+    def test_failed_forbids_metrics(self, tiny_pipeline):
+        m = _factory(tiny_pipeline)(0).run()
+        with pytest.raises(SpecError):
+            TrialOutcome(seed=0, status="failed", metrics=m)
+
 
 class TestReports:
     def test_summarize_metrics(self, tiny_pipeline):
@@ -66,3 +152,16 @@ class TestReports:
         text = summarize_trials(trials, label="unit test")
         assert "unit test" in text
         assert "miss-free fraction" in text
+        assert "incomplete trials" not in text
+
+    def test_summarize_trials_names_failures(self, tiny_pipeline):
+        def flaky(seed):
+            if seed == 1:
+                raise ValueError("cursed")
+            return _factory(tiny_pipeline)(seed)
+
+        trials = run_trials(flaky, 3, catch_failures=True)
+        text = summarize_trials(trials)
+        assert "failed trials" in text
+        assert "incomplete trials" in text
+        assert "seed 1: failed after 1 attempt(s)" in text
