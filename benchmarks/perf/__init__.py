@@ -1,0 +1,17 @@
+"""Machine-readable performance-regression harness.
+
+Unlike the pytest-benchmark suites in ``benchmarks/bench_*.py`` (which
+time paper-artifact regeneration), this package measures the *simulator
+substrate itself* — engine event throughput, queue operation throughput,
+ledger recording, and end-to-end runs of the vectorized simulators
+against the frozen pre-vectorization references in
+:mod:`repro.sim.reference` — and writes the results as
+``BENCH_perf.json`` at the repository root.
+
+Run from the repository root::
+
+    python -m benchmarks.perf.run            # full scale (~100k items e2e)
+    python -m benchmarks.perf.run --smoke    # reduced scale for CI
+
+See ``docs/model.md`` for the output schema.
+"""

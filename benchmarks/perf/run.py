@@ -1,0 +1,328 @@
+"""Emit ``BENCH_perf.json``: simulator hot-path throughput measurements.
+
+Every end-to-end section runs the production (vectorized) simulator and
+its frozen pre-vectorization reference on the *same* seed and asserts the
+resulting :class:`~repro.sim.metrics.SimMetrics` are bit-identical before
+reporting the speedup — a perf number from a divergent simulation would
+be meaningless.
+
+Usage (repository root)::
+
+    python -m benchmarks.perf.run [--smoke] [--out PATH]
+
+``--smoke`` shrinks every workload so the whole harness finishes in a few
+seconds; CI runs it on every push and archives the JSON artifact without
+gating on absolute numbers (shared runners are too noisy for that).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.arrivals.poisson import PoissonArrivals  # noqa: E402
+from repro.dataflow.gains import (  # noqa: E402
+    BernoulliGain,
+    CensoredPoissonGain,
+    DeterministicGain,
+)
+from repro.dataflow.queues import ItemQueue  # noqa: E402
+from repro.dataflow.spec import NodeSpec, PipelineSpec  # noqa: E402
+from repro.des.engine import Engine  # noqa: E402
+from repro.sim.adaptive import AdaptiveWaitsSimulator  # noqa: E402
+from repro.sim.enforced import EnforcedWaitsSimulator  # noqa: E402
+from repro.sim.metrics import LatencyLedger, SimMetrics  # noqa: E402
+from repro.sim.monolithic import MonolithicSimulator  # noqa: E402
+from repro.sim.reference import (  # noqa: E402
+    ReferenceAdaptiveSimulator,
+    ReferenceEnforcedSimulator,
+    ReferenceItemQueue,
+    ReferenceLatencyLedger,
+    ReferenceMonolithicSimulator,
+)
+
+SCHEMA_VERSION = 1
+
+_SCALAR_FIELDS = (
+    "strategy",
+    "n_items",
+    "makespan",
+    "active_fraction",
+    "missed_items",
+    "miss_rate",
+    "outputs",
+    "mean_latency",
+    "max_latency",
+)
+_ARRAY_FIELDS = (
+    "active_time_per_node",
+    "queue_hwm_vectors",
+    "firings",
+    "empty_firings",
+    "mean_occupancy",
+)
+
+
+def _pipeline() -> PipelineSpec:
+    """Three stages exercising growth, filtering and deterministic fan-out."""
+    return PipelineSpec(
+        nodes=(
+            NodeSpec("a", service_time=1.0, gain=CensoredPoissonGain(1.2, 4)),
+            NodeSpec("b", service_time=0.7, gain=BernoulliGain(0.8)),
+            NodeSpec("c", service_time=0.5, gain=DeterministicGain(2)),
+        ),
+        vector_width=8,
+    )
+
+
+def _metrics_bit_identical(a: SimMetrics, b: SimMetrics) -> bool:
+    for f in _SCALAR_FIELDS:
+        x, y = getattr(a, f), getattr(b, f)
+        if isinstance(x, float) and math.isnan(x) and math.isnan(y):
+            continue
+        if x != y:
+            return False
+    return all(
+        np.array_equal(getattr(a, f), getattr(b, f), equal_nan=True)
+        for f in _ARRAY_FIELDS
+    )
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def bench_engine(n_events: int) -> dict:
+    """Schedule-and-fire throughput of chained events, per queue backend."""
+    out = {}
+    for backend in ("heap", "calendar"):
+
+        def run():
+            eng = Engine(queue=backend)
+            count = [0]
+
+            def tick():
+                count[0] += 1
+                if count[0] < n_events:
+                    eng.schedule_after(1.0, tick)
+
+            eng.schedule(0.0, tick)
+            eng.run()
+            return count[0]
+
+        fired, seconds = _timed(run)
+        assert fired == n_events
+        out[backend] = {
+            "events": n_events,
+            "seconds": seconds,
+            "events_per_sec": n_events / seconds if seconds > 0 else None,
+        }
+    return out
+
+
+def bench_queue(n_items: int, batch: int = 64) -> dict:
+    """push_many/pop_up_to cycles: ring buffer vs the frozen deque queue."""
+    ids = np.arange(batch, dtype=np.int64)
+    rounds = n_items // batch
+
+    def run_ring():
+        q = ItemQueue("bench", dtype=np.int64)
+        for _ in range(rounds):
+            q.push_many(ids)
+            q.pop_up_to(batch)
+        return q.total_popped
+
+    def run_reference():
+        q = ReferenceItemQueue("bench")
+        for _ in range(rounds):
+            q.push_many(ids)
+            q.pop_up_to(batch)
+        return q.total_popped
+
+    popped, ring_s = _timed(run_ring)
+    popped_ref, ref_s = _timed(run_reference)
+    assert popped == popped_ref == rounds * batch
+    return {
+        "items": rounds * batch,
+        "batch": batch,
+        "ring": {
+            "seconds": ring_s,
+            "items_per_sec": popped / ring_s if ring_s > 0 else None,
+        },
+        "reference_deque": {
+            "seconds": ref_s,
+            "items_per_sec": popped / ref_s if ref_s > 0 else None,
+        },
+        "speedup": ref_s / ring_s if ring_s > 0 else None,
+    }
+
+
+def bench_ledger(n_outputs: int, batch: int = 256) -> dict:
+    """record_exits throughput: vectorized vs per-output reference."""
+    rng = np.random.default_rng(0)
+    rounds = n_outputs // batch
+    origins = rng.uniform(0.0, 100.0, size=batch)
+    ids = np.arange(batch, dtype=np.int64)
+
+    def run_vectorized():
+        ledger = LatencyLedger(deadline=50.0)
+        for _ in range(rounds):
+            ledger.record_exits(origins, 120.0, ids=ids)
+        return ledger.outputs
+
+    def run_reference():
+        ledger = ReferenceLatencyLedger(deadline=50.0)
+        for _ in range(rounds):
+            ledger.record_exits(origins, 120.0)
+        return ledger.outputs
+
+    outs, vec_s = _timed(run_vectorized)
+    outs_ref, ref_s = _timed(run_reference)
+    assert outs == outs_ref == rounds * batch
+    return {
+        "outputs": rounds * batch,
+        "batch": batch,
+        "vectorized": {
+            "seconds": vec_s,
+            "outputs_per_sec": outs / vec_s if vec_s > 0 else None,
+        },
+        "reference": {
+            "seconds": ref_s,
+            "outputs_per_sec": outs / ref_s if ref_s > 0 else None,
+        },
+        "speedup": ref_s / vec_s if vec_s > 0 else None,
+    }
+
+
+def _e2e(production_cls, reference_cls, n_items: int, *, seed: int = 0,
+         deadline: float = 60.0, repeats: int = 3) -> dict:
+    """Race production vs reference on one seed; verify bit-identity.
+
+    Both classes get a small warm-up run first (JIT-free Python still
+    pays one-time costs: lazy imports, allocator growth, ufunc caches),
+    and the reported time is the best of ``repeats`` runs.
+    """
+    common = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=deadline,
+        n_items=n_items,
+        seed=seed,
+    )
+    warm = dict(common, n_items=min(500, n_items))
+    production_cls(**warm).run()
+    reference_cls(**warm).run()
+
+    m_prod, prod_s = None, math.inf
+    m_ref, ref_s = None, math.inf
+    for _ in range(repeats):
+        m_prod, s = _timed(lambda: production_cls(**common).run())
+        prod_s = min(prod_s, s)
+        m_ref, s = _timed(lambda: reference_cls(**common).run())
+        ref_s = min(ref_s, s)
+    identical = _metrics_bit_identical(m_prod, m_ref)
+    return {
+        "n_items": n_items,
+        "seed": seed,
+        "production_seconds": prod_s,
+        "reference_seconds": ref_s,
+        "speedup": ref_s / prod_s if prod_s > 0 else None,
+        "metrics_bit_identical": identical,
+        "outputs": m_prod.outputs,
+        "missed_items": m_prod.missed_items,
+    }
+
+
+def bench_e2e(smoke: bool) -> dict:
+    waits = np.asarray([3.0, 2.0, 1.5])
+    n_enforced = 5_000 if smoke else 100_000
+    n_adaptive = 2_000 if smoke else 20_000
+    n_mono = 5_000 if smoke else 100_000
+
+    enforced = _e2e(
+        lambda **kw: EnforcedWaitsSimulator(_pipeline(), waits, **kw),
+        lambda **kw: ReferenceEnforcedSimulator(_pipeline(), waits, **kw),
+        n_enforced,
+    )
+    adaptive = _e2e(
+        lambda **kw: AdaptiveWaitsSimulator(_pipeline(), waits, **kw),
+        lambda **kw: ReferenceAdaptiveSimulator(_pipeline(), waits, **kw),
+        n_adaptive,
+    )
+    monolithic = _e2e(
+        lambda **kw: MonolithicSimulator(_pipeline(), 16, **kw),
+        lambda **kw: ReferenceMonolithicSimulator(_pipeline(), 16, **kw),
+        n_mono,
+        deadline=120.0,
+    )
+    return {
+        "enforced": enforced,
+        "adaptive": adaptive,
+        "monolithic": monolithic,
+    }
+
+
+def run_all(smoke: bool) -> dict:
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "engine": bench_engine(20_000 if smoke else 200_000),
+        "queue": bench_queue(200_000 if smoke else 2_000_000),
+        "ledger": bench_ledger(100_000 if smoke else 1_000_000),
+        "e2e": bench_e2e(smoke),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Simulator hot-path benchmarks -> BENCH_perf.json"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced scales for CI (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_perf.json",
+        help="output path (default: BENCH_perf.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_all(smoke=args.smoke)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    e2e = report["e2e"]["enforced"]
+    print(f"wrote {args.out}")
+    print(
+        f"enforced e2e ({e2e['n_items']} items): "
+        f"{e2e['reference_seconds']:.3f}s -> {e2e['production_seconds']:.3f}s "
+        f"({e2e['speedup']:.2f}x), bit-identical={e2e['metrics_bit_identical']}"
+    )
+    if not all(
+        section["metrics_bit_identical"] for section in report["e2e"].values()
+    ):
+        print("ERROR: production and reference metrics diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

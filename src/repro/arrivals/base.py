@@ -19,7 +19,16 @@ class ArrivalProcess(ABC):
 
     @abstractmethod
     def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        """Strictly nondecreasing array of ``n`` arrival times starting >= 0."""
+        """Nondecreasing array of ``n`` arrival times starting >= 0.
+
+        The contract is **nondecreasing, ties allowed**: ``times[k+1] >=
+        times[k]`` for all ``k``.  Equal consecutive timestamps are
+        legitimate (trace replays of real instruments produce them
+        routinely), so consumers must not treat the origin timestamp as a
+        unique item identity — see
+        :class:`repro.sim.metrics.LatencyLedger`, which keys per-item
+        accounting on integer item ids for exactly this reason.
+        """
 
     @property
     def mean_interarrival(self) -> float:
@@ -30,7 +39,7 @@ class ArrivalProcess(ABC):
         return 1.0 / rate
 
     def _check_output(self, times: np.ndarray, n: int) -> np.ndarray:
-        """Shared sanity check for concrete generators."""
+        """Shared sanity check: nondecreasing (ties allowed), nonnegative."""
         if times.shape != (n,):
             raise AssertionError(
                 f"{type(self).__name__} produced shape {times.shape}, wanted ({n},)"

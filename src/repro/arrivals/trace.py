@@ -15,9 +15,12 @@ __all__ = ["TraceArrivals"]
 class TraceArrivals(ArrivalProcess):
     """Replays a fixed, nondecreasing sequence of arrival times.
 
-    Useful for driving the simulator with timestamps captured from a real
-    instrument, or for constructing adversarial test inputs.  Requests for
-    more items than the trace holds raise :class:`SpecError`.
+    Ties (equal consecutive timestamps) are explicitly allowed, matching
+    the :meth:`~repro.arrivals.base.ArrivalProcess.generate` contract —
+    real instrument captures quantize timestamps and produce them
+    routinely.  Useful for driving the simulator with recorded
+    timestamps, or for constructing adversarial test inputs.  Requests
+    for more items than the trace holds raise :class:`SpecError`.
     """
 
     def __init__(self, times: Sequence[float]) -> None:

@@ -1,9 +1,19 @@
 """FIFO item queues between pipeline nodes.
 
-An item in flight is represented by its *origin timestamp* — the arrival
-time of the head-of-pipeline input it descends from.  That is all the
-deadline accounting needs (an item misses if it exits after
-``origin + D``), and storing bare floats keeps queues cheap.
+An item in flight is represented by a scalar token.  Historically this was
+the item's *origin timestamp* — the arrival time of the head-of-pipeline
+input it descends from — which is what the deadline accounting needs (an
+item misses if it exits after ``origin + D``).  Because arrival processes
+may legitimately produce *tied* timestamps (the contract is nondecreasing,
+not strictly increasing), the simulators now thread integer **item ids**
+through their queues instead (``dtype=np.int64``) and look origins up by
+id at the pipeline tail; the queue itself is agnostic and stores whatever
+scalar dtype it was created with (float origins by default).
+
+Storage is a power-of-two NumPy ring buffer, so ``push_many`` and
+``pop_up_to`` are O(1) slice copies (at most two per call, when the
+window wraps) rather than per-item Python loops — the queue is on the
+simulator hot path, traversed once per item per stage.
 
 The queue records its high-water mark, which is how the empirical
 calibration of the paper's ``b_i`` multipliers observes "maximum queue size
@@ -12,7 +22,6 @@ calibration of the paper's ``b_i`` multipliers observes "maximum queue size
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Iterable
 
 import numpy as np
@@ -21,9 +30,11 @@ from repro.errors import SimulationError
 
 __all__ = ["ItemQueue"]
 
+_INITIAL_CAPACITY = 16
+
 
 class ItemQueue:
-    """Unbounded FIFO of origin timestamps with occupancy statistics.
+    """Unbounded FIFO of scalar item tokens with occupancy statistics.
 
     Parameters
     ----------
@@ -32,23 +43,52 @@ class ItemQueue:
     capacity:
         Optional bound; pushing beyond it raises :class:`SimulationError`.
         The paper's model is unbounded (capacity ``None``), but a bound is
-        useful to detect instability quickly in tests.
+        useful to detect instability quickly in tests.  A bulk
+        :meth:`push_many` that would exceed the bound raises *before*
+        copying anything, leaving the queue unchanged.
+    dtype:
+        Element dtype of the backing buffer (default ``float`` for origin
+        timestamps; the simulators use ``np.int64`` item ids).
     """
 
-    __slots__ = ("name", "capacity", "_items", "_max_depth", "_pushed", "_popped")
+    __slots__ = (
+        "name",
+        "capacity",
+        "_buf",
+        "_head",
+        "_size",
+        "_max_depth",
+        "_pushed",
+        "_popped",
+        "_dropped",
+    )
 
-    def __init__(self, name: str, *, capacity: int | None = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        capacity: int | None = None,
+        dtype: np.dtype | type = float,
+    ) -> None:
         if capacity is not None and capacity < 1:
             raise SimulationError(f"queue capacity must be >= 1, got {capacity}")
         self.name = name
         self.capacity = capacity
-        self._items: deque[float] = deque()
+        self._buf = np.empty(_INITIAL_CAPACITY, dtype=dtype)
+        self._head = 0
+        self._size = 0
         self._max_depth = 0
         self._pushed = 0
         self._popped = 0
+        self._dropped = 0
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._size
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the backing ring buffer."""
+        return self._buf.dtype
 
     @property
     def max_depth(self) -> int:
@@ -61,43 +101,108 @@ class ItemQueue:
 
     @property
     def total_popped(self) -> int:
+        """Items removed by :meth:`pop_up_to` (throughput; excludes drops)."""
         return self._popped
 
+    @property
+    def total_dropped(self) -> int:
+        """Items discarded by :meth:`clear` (never delivered downstream)."""
+        return self._dropped
+
+    def _grow(self, needed: int) -> None:
+        """Resize to the next power of two >= ``needed``, unwrapping."""
+        new_cap = max(len(self._buf), _INITIAL_CAPACITY)
+        while new_cap < needed:
+            new_cap *= 2
+        new = np.empty(new_cap, dtype=self._buf.dtype)
+        head, size, cap = self._head, self._size, len(self._buf)
+        first = min(size, cap - head)
+        new[:first] = self._buf[head : head + first]
+        new[first:size] = self._buf[: size - first]
+        self._buf = new
+        self._head = 0
+
     def push(self, origin: float) -> None:
-        """Append one item with the given origin timestamp."""
-        if self.capacity is not None and len(self._items) >= self.capacity:
+        """Append one item token."""
+        if self.capacity is not None and self._size >= self.capacity:
             raise SimulationError(
                 f"queue {self.name!r} overflowed its capacity {self.capacity}"
             )
-        self._items.append(origin)
+        buf = self._buf
+        if self._size == len(buf):
+            self._grow(self._size + 1)
+            buf = self._buf
+        buf[(self._head + self._size) & (len(buf) - 1)] = origin
+        self._size += 1
         self._pushed += 1
-        if len(self._items) > self._max_depth:
-            self._max_depth = len(self._items)
+        if self._size > self._max_depth:
+            self._max_depth = self._size
 
     def push_many(self, origins: Iterable[float]) -> None:
-        """Append several items preserving order."""
-        for origin in origins:
-            self.push(origin)
+        """Append several items preserving order (O(1) slice copies)."""
+        if isinstance(origins, np.ndarray):
+            arr = origins
+        else:
+            arr = np.asarray(list(origins), dtype=self._buf.dtype)
+        k = int(arr.size)
+        if k == 0:
+            return
+        if self.capacity is not None and self._size + k > self.capacity:
+            raise SimulationError(
+                f"queue {self.name!r} overflowed its capacity {self.capacity}"
+            )
+        if self._size + k > len(self._buf):
+            self._grow(self._size + k)
+        buf = self._buf
+        cap = len(buf)
+        tail = (self._head + self._size) & (cap - 1)
+        first = cap - tail
+        if k <= first:  # contiguous window (the common case)
+            buf[tail : tail + k] = arr
+        else:
+            buf[tail:] = arr[:first]
+            buf[: k - first] = arr[first:]
+        self._size += k
+        self._pushed += k
+        if self._size > self._max_depth:
+            self._max_depth = self._size
 
     def pop_up_to(self, k: int) -> np.ndarray:
-        """Remove and return up to ``k`` oldest items' origins (FIFO order)."""
+        """Remove and return up to ``k`` oldest items (FIFO order)."""
         if k < 0:
             raise SimulationError(f"cannot pop a negative count ({k})")
-        n = min(k, len(self._items))
-        out = np.empty(n, dtype=float)
-        items = self._items
-        for i in range(n):
-            out[i] = items.popleft()
+        n = self._size
+        if k < n:
+            n = k
+        buf = self._buf
+        cap = len(buf)
+        head = self._head
+        first = cap - head
+        if n <= first:  # contiguous window (the common case)
+            out = buf[head : head + n].copy()
+            self._head = (head + n) & (cap - 1)
+        else:
+            out = np.empty(n, dtype=buf.dtype)
+            out[:first] = buf[head:]
+            out[first:] = buf[: n - first]
+            self._head = n - first
+        self._size -= n
         self._popped += n
         return out
 
     def peek_oldest(self) -> float:
-        """Origin of the head item (raises if empty)."""
-        if not self._items:
+        """Token of the head item (raises if empty)."""
+        if not self._size:
             raise SimulationError(f"queue {self.name!r} is empty")
-        return self._items[0]
+        return self._buf[self._head].item()
 
     def clear(self) -> None:
-        """Drop all items (statistics are retained)."""
-        self._popped += len(self._items)
-        self._items.clear()
+        """Drop all items, counting them as :attr:`total_dropped`.
+
+        Statistics are retained.  Dropped items are deliberately *not*
+        added to :attr:`total_popped`, which tracks delivered throughput
+        only — conflating the two would inflate throughput telemetry.
+        """
+        self._dropped += self._size
+        self._size = 0
+        self._head = 0

@@ -166,12 +166,18 @@ class Engine:
         self._running = True
         budget = math.inf if max_events is None else max_events
         wall_start = time.perf_counter()
+        # The loop body is inlined (rather than delegating to step(),
+        # which would re-scan past cancelled events) and hoists the
+        # queue's bound methods: this loop is the simulator's innermost
+        # hot path.
+        queue = self._queue
+        peek = queue.peek
+        pop = queue.pop
         try:
-            while len(self._queue):
-                # Peek past cancelled events without firing.
-                top = self._queue.peek()
+            while len(queue):
+                top = peek()
                 if top.cancelled:
-                    self._queue.pop()
+                    pop()
                     continue
                 if until is not None and top.time > until:
                     break
@@ -179,7 +185,10 @@ class Engine:
                     raise SimulationError(
                         f"event budget of {max_events} exhausted at t={self._now}"
                     )
-                self.step()
+                pop()
+                self._now = top.time
+                self._events_processed += 1
+                top.fn()
             if until is not None and until > self._now:
                 self._now = until
         finally:

@@ -20,6 +20,24 @@ information says waiting longer cannot help:
 
 The fixed-wait behaviour of :class:`~repro.sim.enforced.EnforcedWaitsSimulator`
 is the ``"fixed"`` policy baseline; ablation A4 compares all three.
+
+Arrival scheduling
+------------------
+Early-firing triggers are evaluated at each arrival, so arrivals cannot
+be drained wholesale as in the enforced simulator.  Instead, at most one
+arrival event is pending at a time (the next undelivered timestamp), and
+whenever the head node starts a firing — during which triggers are
+inert, since a busy node never fires early — every arrival landing
+within the firing window is drained in one chunk at the completion
+boundary, before the completion handler re-evaluates the triggers.  In
+the saturated regimes that dominate run time, nearly all arrivals take
+the chunked path.  The result is bit-identical to the per-item reference
+(:class:`~repro.sim.reference.ReferenceAdaptiveSimulator`); telemetry
+observations are replayed with the original arrival timestamps.
+
+Items are identified by integer ids (their index in the arrival stream)
+carried through the queues; origins are looked up by id at the tail, so
+tied arrival timestamps cannot be conflated in miss accounting.
 """
 
 from __future__ import annotations
@@ -60,6 +78,9 @@ class AdaptiveWaitsSimulator:
     telemetry:
         When True, attach a :class:`~repro.obs.telemetry.RunTelemetry`
         as ``metrics.extra["telemetry"]``.
+    engine_queue:
+        Event-queue implementation: ``"heap"`` (default) or
+        ``"calendar"``.
     """
 
     def __init__(
@@ -75,6 +96,7 @@ class AdaptiveWaitsSimulator:
         slack_factor: float = 1.5,
         charge_empty_firings: bool = True,
         telemetry: bool = False,
+        engine_queue: str = "heap",
         max_events: int = 20_000_000,
     ) -> None:
         waits = np.asarray(waits, dtype=float)
@@ -105,9 +127,9 @@ class AdaptiveWaitsSimulator:
         self.max_events = max_events
 
         self.rng = RngRegistry(seed)
-        self.engine = Engine()
+        self.engine = Engine(queue=engine_queue)
         n = pipeline.n_nodes
-        self.queues = [ItemQueue(f"q{i}") for i in range(n)]
+        self.queues = [ItemQueue(f"q{i}", dtype=np.int64) for i in range(n)]
         self.ledger = LatencyLedger(deadline)
         self.collector = (
             TelemetryCollector(
@@ -123,6 +145,9 @@ class AdaptiveWaitsSimulator:
         self._items_consumed = np.zeros(n, dtype=np.int64)
         self._busy = [False] * n
         self._pending_fire: list[EventHandle | None] = [None] * n
+        self._times: np.ndarray | None = None  # arrival times, set by run()
+        self._cursor = 0  # first not-yet-enqueued arrival index
+        self._next_arrival: EventHandle | None = None
         self._arrivals_done = False
         self._in_flight = 0
         self._shutdown = False
@@ -148,7 +173,8 @@ class AdaptiveWaitsSimulator:
         if qlen >= self.pipeline.vector_width:
             return True
         if self.policy == "slack":
-            head_origin = self.queues[i].peek_oldest()
+            head_id = self.queues[i].peek_oldest()
+            head_origin = float(self._times[head_id])
             remaining = head_origin + self.deadline - self.engine.now
             return remaining < self.slack_factor * self._downstream_time[i]
         return False
@@ -163,18 +189,60 @@ class AdaptiveWaitsSimulator:
 
     # -- event handlers --------------------------------------------------------
 
-    def _arrive(self, origin: float) -> None:
-        self.queues[0].push(origin)
+    def _arrive_next(self) -> None:
+        """Deliver the single pending arrival (head node idle)."""
+        self._next_arrival = None
+        i = self._cursor
+        self.queues[0].push(i)
         self._in_flight += 1
+        self._cursor = i + 1
         if self.collector is not None:
             self.collector.on_enqueue(
                 0, self.engine.now, 1, len(self.queues[0])
             )
+        if self._cursor < self.n_items:
+            self._next_arrival = self.engine.schedule(
+                float(self._times[self._cursor]),
+                self._arrive_next,
+                priority=_PRIO_ARRIVAL,
+            )
+        else:
+            self._arrivals_done = True
         self._consider_early_fire(0)
 
-    def _arrivals_finished(self) -> None:
-        self._arrivals_done = True
-        self._maybe_shutdown()
+    def _drain_busy_window(self) -> None:
+        """Chunk-deliver every arrival with timestamp <= now.
+
+        Scheduled at a head-node firing's completion boundary with
+        arrival priority, so it runs after same-time arrivals would have
+        and before the completion handler re-checks the triggers.  While
+        the node was busy each per-item trigger check was a no-op, so
+        delivering the window's arrivals in one chunk is observationally
+        identical; telemetry is replayed with true arrival timestamps.
+        """
+        now = self.engine.now
+        c = self._cursor
+        times = self._times
+        j = int(np.searchsorted(times, now, side="right"))
+        if j > c:
+            q0 = self.queues[0]
+            q0.push_many(np.arange(c, j, dtype=np.int64))
+            self._in_flight += j - c
+            self._cursor = j
+            if self.collector is not None:
+                on_enqueue = self.collector.on_enqueue
+                qlen = len(q0) - (j - c)
+                for k in range(c, j):
+                    qlen += 1
+                    on_enqueue(0, float(times[k]), 1, qlen)
+        if self._cursor < self.n_items:
+            self._next_arrival = self.engine.schedule(
+                float(times[self._cursor]),
+                self._arrive_next,
+                priority=_PRIO_ARRIVAL,
+            )
+        else:
+            self._arrivals_done = True
 
     def _maybe_shutdown(self) -> None:
         if (
@@ -194,23 +262,33 @@ class AdaptiveWaitsSimulator:
         self._pending_fire[i] = None
         self._busy[i] = True
         now = self.engine.now
-        origins = self.queues[i].pop_up_to(self.pipeline.vector_width)
+        ids = self.queues[i].pop_up_to(self.pipeline.vector_width)
         t_i = self.pipeline.nodes[i].service_time
         if self.collector is not None:
             self.collector.on_fire(
-                i, now, int(origins.size), len(self.queues[i])
+                i, now, int(ids.size), len(self.queues[i])
             )
+        done = now + t_i
+        if i == 0 and self._next_arrival is not None:
+            # Arrivals inside this firing window cannot trigger anything;
+            # fold them into one chunk event at the completion boundary.
+            if float(self._times[self._cursor]) <= done:
+                self._next_arrival.cancel()
+                self._next_arrival = None
+                self.engine.schedule(
+                    done, self._drain_busy_window, priority=_PRIO_ARRIVAL
+                )
         self.engine.schedule(
-            now + t_i,
-            lambda i=i, o=origins, s=now: self._complete(i, o, s),
+            done,
+            lambda i=i, o=ids, s=now: self._complete(i, o, s),
             priority=_PRIO_COMPLETE,
         )
 
-    def _complete(self, i: int, origins: np.ndarray, start: float) -> None:
+    def _complete(self, i: int, ids: np.ndarray, start: float) -> None:
         now = self.engine.now
         self._busy[i] = False
         self._last_activity = max(self._last_activity, now)
-        consumed = int(origins.size)
+        consumed = int(ids.size)
         charge = (
             (now - start) if (consumed > 0 or self.charge_empty) else 0.0
         )
@@ -224,7 +302,7 @@ class AdaptiveWaitsSimulator:
         if consumed:
             gain = self.pipeline.nodes[i].gain
             counts = gain.sample(self.rng.stream(f"node{i}.gain"), consumed)
-            outputs = np.repeat(origins, counts)
+            outputs = np.repeat(ids, counts)
             if i + 1 < self.pipeline.n_nodes:
                 self.queues[i + 1].push_many(outputs)
                 self._in_flight += int(outputs.size) - consumed
@@ -234,7 +312,7 @@ class AdaptiveWaitsSimulator:
                     )
                 self._consider_early_fire(i + 1)
             else:
-                self.ledger.record_exits(outputs, now)
+                self.ledger.record_exits(self._times[outputs], now, ids=outputs)
                 self._in_flight -= consumed
         if not self._shutdown:
             self._pending_fire[i] = self.engine.schedule(
@@ -254,15 +332,11 @@ class AdaptiveWaitsSimulator:
         if self._ran:
             raise SimulationError("simulator instances are single-use")
         self._ran = True
-        times = self.arrivals.generate(self.n_items, self.rng.stream("arrivals"))
-        for origin in times:
-            self.engine.schedule(
-                float(origin),
-                lambda o=float(origin): self._arrive(o),
-                priority=_PRIO_ARRIVAL,
-            )
-        self.engine.schedule(
-            float(times[-1]), self._arrivals_finished, priority=_PRIO_FIRE + 1
+        self._times = self.arrivals.generate(
+            self.n_items, self.rng.stream("arrivals")
+        )
+        self._next_arrival = self.engine.schedule(
+            float(self._times[0]), self._arrive_next, priority=_PRIO_ARRIVAL
         )
         for i in range(self.pipeline.n_nodes):
             self._pending_fire[i] = self.engine.schedule(
@@ -274,7 +348,7 @@ class AdaptiveWaitsSimulator:
                 f"pipeline failed to drain: {self._in_flight} in flight"
             )
 
-        makespan = max(self._last_activity, float(times[-1]))
+        makespan = max(self._last_activity, float(self._times[-1]))
         n = self.pipeline.n_nodes
         v = self.pipeline.vector_width
         af = float(self._active_time.sum()) / (n * makespan)

@@ -23,19 +23,38 @@ class LatencyLedger:
     """Records output exits and scores deadline misses per origin item.
 
     An origin item "misses" if *any* of its outputs exits after
-    ``origin + deadline`` (Section 2.3).  Origins are float timestamps;
-    distinct arrivals have distinct timestamps under every arrival process
-    in :mod:`repro.arrivals` (strictly increasing generators), which makes
-    the timestamp a usable item identity.
+    ``origin + deadline`` (Section 2.3).
+
+    Item identity
+    -------------
+    The arrival contract (:meth:`repro.arrivals.base.ArrivalProcess.generate`)
+    is *nondecreasing* times — ties are allowed, and trace replays of real
+    instruments produce them routinely.  A bare origin timestamp is
+    therefore **not** a usable item identity: keying on it collapses
+    distinct tied-arrival items, undercounting ``missed_items`` and
+    ``items_with_output``.  Callers that can identify items (the
+    simulators thread integer item ids through their queues) should pass
+    ``ids`` to :meth:`record_exits` / ``item_id`` to :meth:`record_exit`;
+    the ledger then keys its per-item sets on the id.  Without ids it
+    falls back to the origin timestamp (correct only for strictly
+    increasing streams).
+
+    :meth:`record_exits` is vectorized: latencies and deadline
+    comparisons are array operations, and the latency accumulator uses
+    :meth:`~repro.des.monitors.Accumulator.add_many`, which is
+    bit-identical to the per-output path.
     """
 
     def __init__(self, deadline: float, *, keep_samples: bool = False) -> None:
         if deadline <= 0:
             raise ValueError(f"deadline must be > 0, got {deadline}")
         self.deadline = deadline
+        # Precomputed once; identical to the historical per-call
+        # expression ``deadline * (1 + 1e-12)``.
+        self._late_threshold = deadline * (1 + 1e-12)
         self.latency = Accumulator("latency", keep_samples=keep_samples)
-        self._missed_origins: set[float] = set()
-        self._exited_origins: set[float] = set()
+        self._missed_keys: set = set()
+        self._exited_keys: set = set()
         self._outputs = 0
         self._late_outputs = 0
 
@@ -51,14 +70,21 @@ class LatencyLedger:
     @property
     def missed_items(self) -> int:
         """Origin items with at least one late output."""
-        return len(self._missed_origins)
+        return len(self._missed_keys)
 
     @property
     def items_with_output(self) -> int:
-        return len(self._exited_origins)
+        return len(self._exited_keys)
 
-    def record_exit(self, origin: float, exit_time: float) -> None:
-        """Record one output exiting the pipeline tail."""
+    def record_exit(
+        self, origin: float, exit_time: float, *, item_id: int | None = None
+    ) -> None:
+        """Record one output exiting the pipeline tail.
+
+        ``item_id``, when given, is the identity key for per-item miss
+        accounting; otherwise the origin timestamp is used (see the class
+        docstring for the tied-timestamp caveat).
+        """
         lat = exit_time - origin
         if lat < 0:
             raise ValueError(
@@ -67,14 +93,56 @@ class LatencyLedger:
             )
         self.latency.add(lat)
         self._outputs += 1
-        self._exited_origins.add(origin)
-        if lat > self.deadline * (1 + 1e-12):
+        key = origin if item_id is None else item_id
+        self._exited_keys.add(key)
+        if lat > self._late_threshold:
             self._late_outputs += 1
-            self._missed_origins.add(origin)
+            self._missed_keys.add(key)
 
-    def record_exits(self, origins: np.ndarray, exit_time: float) -> None:
-        for origin in origins:
-            self.record_exit(float(origin), exit_time)
+    def record_exits(
+        self,
+        origins: np.ndarray,
+        exit_time: float,
+        *,
+        ids: np.ndarray | None = None,
+    ) -> None:
+        """Record a batch of outputs exiting at ``exit_time`` (vectorized).
+
+        ``origins`` are the outputs' origin timestamps; ``ids``, when
+        given, are the matching integer item ids used as identity keys.
+        """
+        origins = np.asarray(origins, dtype=float)
+        n = int(origins.size)
+        if n == 0:
+            return
+        if n <= 16:
+            # Tiny batches (the enforced simulator's tail exits a few
+            # outputs per firing): per-element numpy overhead exceeds
+            # the scalar path, which is bit-identical by definition.
+            record = self.record_exit
+            if ids is None:
+                for o in origins.tolist():
+                    record(o, exit_time)
+            else:
+                for o, i in zip(origins.tolist(), np.asarray(ids).tolist()):
+                    record(o, exit_time, item_id=i)
+            return
+        lats = exit_time - origins
+        if lats.min() < 0:
+            bad = origins[lats < 0][0]
+            raise ValueError(
+                f"output exits before its origin (origin={bad}, "
+                f"exit={exit_time})"
+            )
+        self.latency.add_many(lats)
+        self._outputs += n
+        keys = origins if ids is None else np.asarray(ids)
+        self._exited_keys.update(keys.tolist())
+        late = lats > self._late_threshold
+        n_late = int(np.count_nonzero(late))
+        if n_late:
+            self._late_outputs += n_late
+            self._missed_keys.update(keys[late].tolist())
 
     def miss_rate(self, n_items: int) -> float:
         """Fraction of stream items that missed (paper: '< 1% of inputs')."""

@@ -11,6 +11,11 @@ Because stage boundaries are the only events, the execution unrolls
 block-by-block without a general event queue; the per-item stochastic
 gains are still sampled individually, exactly as in the enforced-waits
 simulator, so both strategies see statistically identical irregularity.
+
+Blocks carry integer item ids (indices into the arrival-time array), so
+deadline accounting stays per-item even when arrival timestamps tie, and
+each stage's firings are recorded in one vectorized batch
+(:meth:`~repro.simd.occupancy.OccupancyTracker.record_firings`).
 """
 
 from __future__ import annotations
@@ -130,23 +135,35 @@ class MonolithicSimulator:
             ),
         )
 
-    def _process_block(self, origins: np.ndarray, start: float) -> float:
+    def _process_block(self, ids: np.ndarray, times: np.ndarray, start: float) -> float:
         """Run one block through all stages; returns the completion time.
 
+        ``ids`` are the block's integer item ids (indices into ``times``).
         Mutates the occupancy trackers and, at the tail, the ledger.
         """
         v = self.pipeline.vector_width
         duration = 0.0
-        current = origins
+        current = ids
         for i, node in enumerate(self.pipeline.nodes):
             n_in = current.size
             firings = -(-n_in // v) if n_in else 0
             stage_time = firings * node.service_time
             duration += stage_time
-            # Record each firing; all are full except possibly the last.
-            for f in range(firings):
-                consumed = v if f < firings - 1 else n_in - (firings - 1) * v
-                self.trackers[i].record_firing(int(consumed), node.service_time)
+            # Record the stage's firings: all are full except possibly
+            # the last.  Small stages (the common case at practical M)
+            # skip array construction entirely; both paths are
+            # bit-identical to per-firing recording.
+            if firings:
+                tracker = self.trackers[i]
+                if firings <= 32:
+                    record = tracker.record_firing
+                    for _ in range(firings - 1):
+                        record(v, node.service_time)
+                    record(n_in - (firings - 1) * v, node.service_time)
+                else:
+                    consumed = np.full(firings, v, dtype=np.int64)
+                    consumed[-1] = n_in - (firings - 1) * v
+                    tracker.record_firings(consumed, node.service_time)
             if n_in:
                 counts = node.gain.sample(self.rng.stream(f"node{i}.gain"), n_in)
                 current = np.repeat(current, counts)
@@ -154,7 +171,7 @@ class MonolithicSimulator:
                 current = current[:0]
         completion = start + duration
         if current.size:
-            self.ledger.record_exits(current, completion)
+            self.ledger.record_exits(times[current], completion, ids=current)
         return completion
 
     def run(self) -> SimMetrics:
@@ -185,7 +202,9 @@ class MonolithicSimulator:
             # block starts (backlog high-water mark, in items).
             arrived = int(np.searchsorted(times, start, side="right"))
             max_backlog = max(max_backlog, arrived - lo)
-            completion = self._process_block(times[lo:hi].copy(), start)
+            completion = self._process_block(
+                np.arange(lo, hi, dtype=np.int64), times, start
+            )
             active += completion - start
             if hi - lo == m:
                 steady_active += completion - start

@@ -64,6 +64,46 @@ class OccupancyTracker:
         self._active_time += charged_time
         self._hist[consumed] += 1
 
+    def record_firings(self, consumed: np.ndarray, charged_each: float) -> None:
+        """Record a batch of firings, each charged ``charged_each`` time.
+
+        Bit-identical to calling :meth:`record_firing` once per entry:
+        the integer statistics are exact under any summation order, and
+        the float active time keeps the exact sequential rounding of the
+        per-firing loop — directly for small batches (where per-element
+        numpy overhead dominates), via ``np.cumsum`` (a strictly
+        sequential reduction) seeded with the current total for large
+        ones.  Used by the monolithic simulator, whose blocks record
+        ``ceil(n/v)`` firings per stage.
+        """
+        counts = np.asarray(consumed, dtype=np.int64)
+        k = int(counts.size)
+        if k == 0:
+            return
+        if charged_each < 0:
+            raise ValueError(f"charged_time must be >= 0, got {charged_each}")
+        if k <= 32:
+            record = self.record_firing
+            for c in counts.tolist():
+                record(c, charged_each)
+            return
+        if counts.min() < 0 or counts.max() > self.vector_width:
+            bad = counts[(counts < 0) | (counts > self.vector_width)][0]
+            raise ValueError(
+                f"consumed must be in [0, {self.vector_width}], got {int(bad)}"
+            )
+        self._firings += k
+        self._empty_firings += int(np.count_nonzero(counts == 0))
+        self._items += int(counts.sum())
+        self._active_time = float(
+            np.cumsum(
+                np.concatenate(
+                    ([self._active_time], np.full(k, float(charged_each)))
+                )
+            )[-1]
+        )
+        self._hist += np.bincount(counts, minlength=self.vector_width + 1)
+
     @property
     def mean_occupancy(self) -> float:
         """Average lane occupancy across all firings (NaN if no firings)."""

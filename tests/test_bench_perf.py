@@ -1,0 +1,44 @@
+"""Schema smoke test for the perf-regression harness (micro scale)."""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.perf import run as perf_run
+
+
+def test_micro_sections_have_schema_fields():
+    engine = perf_run.bench_engine(300)
+    for backend in ("heap", "calendar"):
+        assert engine[backend]["events"] == 300
+        assert engine[backend]["seconds"] >= 0
+        assert engine[backend]["events_per_sec"] > 0
+
+    queue = perf_run.bench_queue(2_000)
+    assert queue["items"] > 0
+    assert queue["ring"]["items_per_sec"] > 0
+    assert queue["reference_deque"]["items_per_sec"] > 0
+    assert queue["speedup"] > 0
+
+    ledger = perf_run.bench_ledger(2_048)
+    assert ledger["outputs"] == 2_048
+    assert ledger["vectorized"]["outputs_per_sec"] > 0
+    assert ledger["speedup"] > 0
+
+
+def test_e2e_section_verifies_bit_identity(tmp_path):
+    section = perf_run._e2e(
+        lambda **kw: perf_run.EnforcedWaitsSimulator(
+            perf_run._pipeline(), perf_run.np.asarray([3.0, 2.0, 1.5]), **kw
+        ),
+        lambda **kw: perf_run.ReferenceEnforcedSimulator(
+            perf_run._pipeline(), perf_run.np.asarray([3.0, 2.0, 1.5]), **kw
+        ),
+        400,
+        repeats=1,
+    )
+    assert section["metrics_bit_identical"] is True
+    assert section["n_items"] == 400
+    assert section["production_seconds"] > 0
+    # The full report is JSON-serializable as emitted by main().
+    json.dumps(section)

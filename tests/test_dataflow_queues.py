@@ -51,6 +51,90 @@ class TestBasics:
         assert len(q) == 0
         assert q.max_depth == 2
 
+    def test_clear_counts_drops_not_pops(self):
+        """clear() drops items; total_popped is throughput only."""
+        q = ItemQueue("q")
+        q.push_many([1.0, 2.0, 3.0])
+        q.pop_up_to(1)
+        q.clear()
+        assert q.total_popped == 1
+        assert q.total_dropped == 2
+        assert q.total_pushed == 3
+        # Conservation: every pushed item was either popped or dropped.
+        assert q.total_popped + q.total_dropped + len(q) == q.total_pushed
+
+    def test_clear_empty_is_noop_for_drops(self):
+        q = ItemQueue("q")
+        q.clear()
+        assert q.total_dropped == 0
+
+
+class TestRingBuffer:
+    """Exercise wraparound and growth of the ring-buffer backing store."""
+
+    def test_wraparound_preserves_fifo(self):
+        q = ItemQueue("q")
+        # Interleave pushes and pops so head walks around the buffer
+        # repeatedly (initial capacity is small).
+        expect = []
+        value = 0.0
+        for _ in range(50):
+            batch = [value + k for k in range(7)]
+            value += 7
+            q.push_many(batch)
+            expect.extend(batch)
+            got = q.pop_up_to(5).tolist()
+            want, expect = expect[:5], expect[5:]
+            assert got == want
+        assert q.pop_up_to(len(q)).tolist() == expect
+
+    def test_growth_across_wrap_boundary(self):
+        q = ItemQueue("q")
+        q.push_many(np.arange(12.0))
+        q.pop_up_to(10)  # head deep into the buffer
+        q.push_many(np.arange(100.0))  # forces growth while wrapped
+        assert q.pop_up_to(2).tolist() == [10.0, 11.0]
+        assert q.pop_up_to(100).tolist() == list(np.arange(100.0))
+
+    def test_integer_dtype(self):
+        q = ItemQueue("q", dtype=np.int64)
+        q.push_many(np.arange(5, dtype=np.int64))
+        out = q.pop_up_to(3)
+        assert out.dtype == np.int64
+        assert out.tolist() == [0, 1, 2]
+        assert q.peek_oldest() == 3
+        assert isinstance(q.peek_oldest(), int)
+
+    def test_pop_empty_respects_dtype(self):
+        q = ItemQueue("q", dtype=np.int64)
+        out = q.pop_up_to(4)
+        assert out.size == 0
+        assert out.dtype == np.int64
+
+    def test_pop_returns_copy(self):
+        """Popped arrays must not alias the internal buffer."""
+        q = ItemQueue("q")
+        q.push_many([1.0, 2.0, 3.0])
+        out = q.pop_up_to(3)
+        out[:] = -1.0
+        q.push_many([4.0, 5.0])
+        assert q.pop_up_to(2).tolist() == [4.0, 5.0]
+
+    def test_overflow_rejected_before_partial_push(self):
+        """A too-large push_many must not partially enqueue."""
+        q = ItemQueue("q", capacity=4)
+        q.push_many([1.0, 2.0])
+        with pytest.raises(SimulationError, match="overflow"):
+            q.push_many([3.0, 4.0, 5.0])
+        assert len(q) == 2
+        assert q.total_pushed == 2
+
+    def test_push_many_empty_is_noop(self):
+        q = ItemQueue("q")
+        q.push_many(np.asarray([]))
+        assert len(q) == 0
+        assert q.total_pushed == 0
+
 
 class TestHighWaterMark:
     def test_tracks_max_depth(self):

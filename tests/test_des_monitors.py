@@ -49,6 +49,50 @@ class TestAccumulator:
             float(np.var(xs, ddof=1)), abs=1e-4, rel=1e-6
         )
 
+    @given(st.lists(st.floats(-1e6, 1e6), max_size=200))
+    def test_add_many_bit_identical_to_add(self, xs):
+        """add_many must reproduce repeated add() bit-for-bit.
+
+        Welford's recurrence is order-dependent, so the batch path keeps
+        the exact sequential update; seed-for-seed simulator equivalence
+        relies on this.
+        """
+        a = Accumulator("a")
+        b = Accumulator("b")
+        for v in xs:
+            a.add(v)
+        b.add_many(np.asarray(xs))
+        assert a.n == b.n
+        if xs:
+            assert a.mean == b.mean  # bitwise, no approx
+            assert a.min == b.min
+            assert a.max == b.max
+        if len(xs) >= 2:  # sample variance is NaN below n=2
+            assert a.variance == b.variance
+
+    def test_add_many_split_batches_match_single_batch(self):
+        xs = np.linspace(0.0, 1.0, 101) ** 2
+        a = Accumulator("a")
+        b = Accumulator("b")
+        a.add_many(xs)
+        b.add_many(xs[:40])
+        b.add_many(xs[40:])
+        assert a.mean == b.mean
+        assert a.variance == b.variance
+
+    def test_add_many_extends_kept_samples(self):
+        acc = Accumulator("x", keep_samples=True)
+        acc.add(5.0)
+        acc.add_many(np.asarray([1.0, 9.0]))
+        assert acc.quantile(0.5) == 5.0
+        assert acc.n == 3
+
+    def test_add_many_empty_is_noop(self):
+        acc = Accumulator("x")
+        acc.add_many(np.asarray([]))
+        assert acc.n == 0
+        assert math.isnan(acc.mean)
+
     def test_quantile_requires_samples(self):
         acc = Accumulator("x")
         acc.add(1.0)

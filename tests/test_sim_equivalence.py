@@ -1,0 +1,208 @@
+"""Seed-for-seed equivalence of the vectorized simulators vs references.
+
+The vectorized hot path (chunked arrival scheduling, ring-buffer queues,
+batched ledger/tracker recording) is an *optimization*, not a model
+change: for every seed it must produce bit-identical
+:class:`~repro.sim.metrics.SimMetrics` — including telemetry extras — to
+the frozen pre-change implementations in :mod:`repro.sim.reference`.
+
+Legitimate divergences, excluded from comparison:
+
+- ``engine.events_processed`` (chunked arrivals schedule fewer events);
+- ``wall_time`` fields (nondeterministic);
+- trace record *order* within a timestamp (timestamps themselves agree).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrivals.poisson import PoissonArrivals
+from repro.dataflow.gains import (
+    BernoulliGain,
+    CensoredPoissonGain,
+    DeterministicGain,
+)
+from repro.dataflow.spec import NodeSpec, PipelineSpec
+from repro.sim.adaptive import AdaptiveWaitsSimulator
+from repro.sim.enforced import EnforcedWaitsSimulator
+from repro.sim.monolithic import MonolithicSimulator
+from repro.sim.reference import (
+    ReferenceAdaptiveSimulator,
+    ReferenceEnforcedSimulator,
+    ReferenceMonolithicSimulator,
+)
+
+SEEDS = [0, 1, 7]
+QUEUES = ["heap", "calendar"]
+
+_SCALAR_FIELDS = (
+    "strategy",
+    "n_items",
+    "makespan",
+    "active_fraction",
+    "missed_items",
+    "miss_rate",
+    "outputs",
+    "mean_latency",
+    "max_latency",
+)
+_ARRAY_FIELDS = (
+    "active_time_per_node",
+    "queue_hwm_vectors",
+    "firings",
+    "empty_firings",
+    "mean_occupancy",
+)
+
+
+def _pipeline() -> PipelineSpec:
+    """A three-node pipeline exercising growth, filtering and fan-out."""
+    return PipelineSpec(
+        nodes=(
+            NodeSpec("a", service_time=1.0, gain=CensoredPoissonGain(1.2, 4)),
+            NodeSpec("b", service_time=0.7, gain=BernoulliGain(0.8)),
+            NodeSpec("c", service_time=0.5, gain=DeterministicGain(2)),
+        ),
+        vector_width=8,
+    )
+
+
+def _assert_bitwise_equal(sim_new, sim_ref, m_new, m_ref) -> None:
+    for f in _SCALAR_FIELDS:
+        a, b = getattr(m_new, f), getattr(m_ref, f)
+        if isinstance(a, float) and math.isnan(a) and math.isnan(b):
+            continue
+        assert a == b, f"{f}: {a!r} != {b!r}"
+    for f in _ARRAY_FIELDS:
+        a, b = getattr(m_new, f), getattr(m_ref, f)
+        assert np.array_equal(a, b, equal_nan=True), f"{f}: {a!r} != {b!r}"
+
+    # Telemetry extras: every per-node counter/statistic, bitwise.
+    ta = m_new.extra.get("telemetry")
+    tb = m_ref.extra.get("telemetry")
+    assert (ta is None) == (tb is None)
+    if ta is not None:
+        assert len(ta.nodes) == len(tb.nodes)
+        for na, nb in zip(ta.nodes, tb.nodes):
+            assert na == nb, f"node telemetry differs: {na!r} != {nb!r}"
+        # events_processed legitimately differs (fewer arrival events);
+        # wall_time is nondeterministic.  sim_time must agree exactly.
+        assert ta.engine.sim_time == tb.engine.sim_time
+
+    # Ledger internals, including the order-sensitive Welford moments.
+    la, lb = sim_new.ledger, sim_ref.ledger
+    assert la.outputs == lb.outputs
+    assert la.late_outputs == lb.late_outputs
+    assert la.missed_items == lb.missed_items
+    assert la.items_with_output == lb.items_with_output
+    if la.outputs:
+        assert la.latency.mean == lb.latency.mean
+        assert la.latency.std == lb.latency.std
+        assert la.latency.min == lb.latency.min
+        assert la.latency.max == lb.latency.max
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("engine_queue", QUEUES)
+def test_enforced_bitwise_equivalent(seed, engine_queue):
+    waits = np.asarray([3.0, 2.0, 1.5])
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=40.0,
+        n_items=1500,
+        seed=seed,
+        telemetry=True,
+    )
+    s1 = EnforcedWaitsSimulator(
+        _pipeline(), waits, **kw, engine_queue=engine_queue
+    )
+    s2 = ReferenceEnforcedSimulator(
+        _pipeline(), waits, **kw, engine_queue=engine_queue
+    )
+    _assert_bitwise_equal(s1, s2, s1.run(), s2.run())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("engine_queue", QUEUES)
+def test_adaptive_bitwise_equivalent(seed, engine_queue):
+    waits = np.asarray([3.0, 2.0, 1.5])
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=40.0,
+        n_items=1500,
+        seed=seed,
+        telemetry=True,
+    )
+    s1 = AdaptiveWaitsSimulator(
+        _pipeline(), waits, **kw, engine_queue=engine_queue
+    )
+    s2 = ReferenceAdaptiveSimulator(
+        _pipeline(), waits, **kw, engine_queue=engine_queue
+    )
+    _assert_bitwise_equal(s1, s2, s1.run(), s2.run())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_monolithic_bitwise_equivalent(seed):
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=80.0,
+        n_items=1500,
+        seed=seed,
+        telemetry=True,
+    )
+    s1 = MonolithicSimulator(_pipeline(), 16, **kw)
+    s2 = ReferenceMonolithicSimulator(_pipeline(), 16, **kw)
+    _assert_bitwise_equal(s1, s2, s1.run(), s2.run())
+
+
+def test_enforced_saturated_regime_equivalent():
+    """Overloaded pipeline: queues grow, drains span many items at once."""
+    waits = np.asarray([0.0, 0.0, 0.0])
+    kw = dict(
+        arrivals=PoissonArrivals(0.2),  # 5 items per cycle: saturating
+        deadline=10.0,
+        n_items=800,
+        seed=3,
+        telemetry=True,
+    )
+    s1 = EnforcedWaitsSimulator(_pipeline(), waits, **kw)
+    s2 = ReferenceEnforcedSimulator(_pipeline(), waits, **kw)
+    _assert_bitwise_equal(s1, s2, s1.run(), s2.run())
+
+
+def test_enforced_gps_timing_equivalent():
+    """GPS timing keeps the per-completion path; must still match."""
+    waits = np.asarray([3.0, 2.0, 1.5])
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=80.0,
+        n_items=600,
+        seed=5,
+        timing="gps",
+        telemetry=True,
+    )
+    s1 = EnforcedWaitsSimulator(_pipeline(), waits, **kw)
+    s2 = ReferenceEnforcedSimulator(_pipeline(), waits, **kw)
+    _assert_bitwise_equal(s1, s2, s1.run(), s2.run())
+
+
+def test_adaptive_policies_equivalent():
+    """Both early-fire policies must survive the chunked-arrival change."""
+    waits = np.asarray([3.0, 2.0, 1.5])
+    for policy in ("full-vector", "slack"):
+        kw = dict(
+            arrivals=PoissonArrivals(1.4),
+            deadline=40.0,
+            n_items=1000,
+            seed=11,
+            policy=policy,
+            telemetry=True,
+        )
+        s1 = AdaptiveWaitsSimulator(_pipeline(), waits, **kw)
+        s2 = ReferenceAdaptiveSimulator(_pipeline(), waits, **kw)
+        _assert_bitwise_equal(s1, s2, s1.run(), s2.run())

@@ -54,3 +54,43 @@ def test_all_empty_nonempty_occupancy_nan():
     tr = OccupancyTracker("n0", 4)
     tr.record_firing(0, 1.0)
     assert math.isnan(tr.mean_occupancy_nonempty)
+
+
+def test_record_firings_bit_identical_to_loop():
+    """The batched path must match per-firing recording bit-for-bit.
+
+    Sequential float accumulation of active time is order-dependent, so
+    the vectorized path reproduces the exact rounding sequence.
+    """
+    import numpy as np
+
+    consumed = np.asarray([4, 4, 4, 2, 0, 3, 4, 1] * 40, dtype=np.int64)
+    a = OccupancyTracker("a", 4)
+    b = OccupancyTracker("b", 4)
+    for c in consumed:
+        a.record_firing(int(c), 0.1)  # 0.1 is not exactly representable
+    b.record_firings(consumed, 0.1)
+    assert a.firings == b.firings
+    assert a.empty_firings == b.empty_firings
+    assert a.items_consumed == b.items_consumed
+    assert a.active_time == b.active_time  # bitwise
+    assert a.mean_occupancy == b.mean_occupancy
+    assert np.array_equal(a.histogram(), b.histogram())
+
+
+def test_record_firings_rejects_out_of_range():
+    import numpy as np
+
+    tr = OccupancyTracker("n0", 4)
+    with pytest.raises(ValueError):
+        tr.record_firings(np.asarray([1, 5]), 1.0)
+    with pytest.raises(ValueError):
+        tr.record_firings(np.asarray([-1]), 1.0)
+
+
+def test_record_firings_empty_is_noop():
+    import numpy as np
+
+    tr = OccupancyTracker("n0", 4)
+    tr.record_firings(np.asarray([], dtype=np.int64), 1.0)
+    assert tr.firings == 0
