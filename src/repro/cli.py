@@ -13,9 +13,10 @@ for sweep-based experiments (fig3/fig4), also the structured data as JSON
 and CSV for plotting.
 
 ``--telemetry`` asks experiments that support it (currently those whose
-drivers accept a ``telemetry`` keyword, e.g. ``calibration``) to collect
-run telemetry — per-node firing counts, occupancy, queue high-water
-marks, wait/service split, and event-loop statistics.  The telemetry is
+drivers accept a ``telemetry`` keyword, e.g. ``calibration`` and
+``overload-sweep``) to collect run telemetry — per-node firing counts,
+occupancy, queue high-water marks, shed counts, degraded-mode intervals,
+wait/service split, and event-loop statistics.  The telemetry is
 printed after the experiment's own rendering and, with ``--export``,
 written as ``<id>.telemetry.json`` and ``<id>.telemetry.csv``.
 """

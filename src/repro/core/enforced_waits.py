@@ -20,6 +20,13 @@ linear, so this is a convex program; we solve it exactly with one of:
 - ``interior`` — the from-scratch log-barrier Newton method on the full
   constraint set, used whenever the chain binds (fast arrivals).
 - ``slsqp`` — scipy's SLSQP as an independent cross-check.
+- ``fallback`` — the resilient chain (:mod:`repro.solvers.fallback`):
+  interior point, then projected gradient on the box+budget relaxation,
+  then an exhaustive grid scan over the chain-tight family — retrying
+  each rung with perturbed strictly feasible starts, and accepting a
+  result only with a passing feasibility certificate.  Use this when a
+  plan must come back even if the primary solver hits numerical
+  trouble.
 - ``auto`` (default) — waterfill fast path, falling back to interior.
 
 Degenerate cases (deadline exactly at the minimum budget; head cap pinned
@@ -38,8 +45,16 @@ from repro.core.feasibility import enforced_feasibility, minimal_periods
 from repro.core.model import RealTimeProblem
 from repro.dataflow.spec import PipelineSpec
 from repro.errors import SolverError, SpecError
+from repro.solvers.fallback import (
+    FallbackRung,
+    certify_linear,
+    perturbation_scale,
+    solve_with_fallback,
+)
+from repro.solvers.grid import best_feasible_index
 from repro.solvers.interior_point import barrier_solve
 from repro.solvers.kkt import waterfill_box_budget
+from repro.solvers.projected_gradient import projected_gradient_min
 from repro.solvers.result import SolverResult, SolverStatus
 
 __all__ = [
@@ -353,7 +368,129 @@ class EnforcedWaitsProblem:
         if method == "slsqp":
             return self._solve_slsqp()
 
+        if method == "fallback":
+            return self._solve_fallback()
+
         raise SpecError(f"unknown method {method!r}")
+
+    # -- resilient fallback chain ------------------------------------------
+
+    def _fallback_start(self, A: np.ndarray, c: np.ndarray, scale: float) -> np.ndarray:
+        """A strictly feasible start, pushed by ``scale`` on retries.
+
+        Builds chain-tight backward-recursion points inflated by a range
+        of deltas (as :meth:`_strict_point` does for the pinned
+        subproblem) and returns the first that is strictly inside the
+        *full* constraint set.  ``scale > 0`` (exponential-backoff
+        retries) additionally stretches the coordinates by unequal
+        factors so consecutive retries start geometrically farther from
+        a pathological point.
+        """
+        n, t, g = self.n, self.t, self.g
+        stretch = 1.0 + scale * np.linspace(1.0, 0.5, n)
+        for delta in (0.5, 0.2, 0.05, 1e-2, 1e-3, 1e-4, 1e-6, 1e-8):
+            z = np.empty(n)
+            z[n - 1] = t[n - 1] * (1 + delta)
+            for j in range(n - 1, 0, -1):
+                z[j - 1] = max(t[j - 1], g[j - 1] * z[j]) * (1 + delta)
+            if scale:
+                z = z * stretch
+            if (c - A @ z > 0).all():
+                return z
+        raise SolverError(
+            "no strictly feasible interior start found "
+            f"(perturbation scale {scale:g})"
+        )
+
+    def _chain_tight_family(self, deltas: np.ndarray) -> np.ndarray:
+        """Chain-feasible periods ``x(delta)``, one row per delta.
+
+        Each member is the backward recursion ``x_{N-1} = t_{N-1} (1 +
+        d)``, ``x_{i-1} = max(t_{i-1}, g_{i-1} x_i) (1 + d)``; ``d = 0``
+        reproduces :func:`~repro.core.feasibility.minimal_periods`, so
+        the family always contains a feasible member once the problem
+        itself is feasible.  Chain and wait-nonnegativity rows hold by
+        construction; head cap and deadline budget are screened by the
+        caller.
+        """
+        n, t, g = self.n, self.t, self.g
+        infl = 1.0 + deltas
+        x = np.empty((deltas.size, n))
+        x[:, n - 1] = t[n - 1] * infl
+        for j in range(n - 1, 0, -1):
+            x[:, j - 1] = np.maximum(t[j - 1], g[j - 1] * x[:, j]) * infl
+        return x
+
+    def _solve_fallback(self) -> EnforcedWaitsSolution:
+        """The resilient chain: interior -> projected gradient -> grid."""
+        A, c, labels = self.constraint_system()
+
+        def certify(x: np.ndarray):
+            return certify_linear(A, c, x, labels=labels, tol=_TOL)
+
+        def solve_interior_rung(attempt: int) -> SolverResult:
+            z0 = self._fallback_start(A, c, perturbation_scale(attempt))
+            return barrier_solve(self._f, self._grad, self._hess, A, c, z0)
+
+        def solve_pg_rung(attempt: int) -> SolverResult:
+            # Box + budget relaxation (chain rows dropped); the
+            # certificate rejects the result if the chain binds.
+            lo = self.t.astype(float)
+            hi = np.full(self.n, np.inf)
+            hi[0] = self.head_cap
+            x0 = self._fallback_start(A, c, perturbation_scale(attempt))
+            return projected_gradient_min(
+                self._f, self._grad, self.b, lo, hi, self.deadline, x0
+            )
+
+        def solve_grid_rung(attempt: int) -> SolverResult:
+            # Exhaustive scan of the 1-D chain-tight family.  Larger
+            # deltas mean larger periods, hence a smaller objective, so
+            # the optimum sits at the budget/cap boundary; retries
+            # refine the grid.
+            hi = 1e-6
+            while hi < 1e12:
+                x = self._chain_tight_family(np.asarray([hi * 2]))[0]
+                if (
+                    x[0] > self.head_cap * (1 + _TOL)
+                    or float(np.dot(self.b, x)) > self.deadline * (1 + _TOL)
+                ):
+                    break
+                hi *= 2
+            n_pts = 1024 * (attempt + 1)
+            deltas = np.linspace(0.0, hi * 2, n_pts)
+            X = self._chain_tight_family(deltas)
+            feasible = (X[:, 0] <= self.head_cap * (1 + _TOL)) & (
+                X @ self.b <= self.deadline * (1 + _TOL)
+            )
+            objective = np.mean(self.t / X, axis=1)
+            idx = best_feasible_index(objective, feasible)
+            if idx is None:
+                raise SolverError(
+                    "grid rung found no feasible chain-tight member"
+                )
+            return SolverResult(
+                x=X[idx],
+                objective=float(objective[idx]),
+                status=SolverStatus.OPTIMAL,
+                iterations=n_pts,
+                message=(
+                    f"grid scan over {n_pts} chain-tight candidates "
+                    f"(delta <= {hi * 2:.3g})"
+                ),
+            )
+
+        result = solve_with_fallback(
+            [
+                FallbackRung("interior-point", solve_interior_rung),
+                FallbackRung("projected-gradient", solve_pg_rung),
+                FallbackRung("grid", solve_grid_rung),
+            ],
+            certify=certify,
+            attempts=3,
+        )
+        rung = result.extra["fallback"]["rung"]
+        return self._solution_from_x(result.x, f"fallback:{rung}", result)
 
     def _solve_slsqp(self) -> EnforcedWaitsSolution:
         """Cross-check solver using scipy's SLSQP."""

@@ -18,15 +18,40 @@ simulator hot path, traversed once per item per stage.
 The queue records its high-water mark, which is how the empirical
 calibration of the paper's ``b_i`` multipliers observes "maximum queue size
 ``b_i * v``" (Section 4.2).
+
+Overflow behaviour
+------------------
+A bounded queue (``capacity`` set) handles a push beyond capacity
+according to ``on_overflow``:
+
+- ``"raise"`` (default) — raise :class:`~repro.errors.SimulationError`
+  *before* copying anything, leaving the queue unchanged.  This is the
+  fail-fast mode used to detect instability in tests.
+- a :class:`~repro.resilience.shedding.ShedPolicy` — shed items instead
+  of aborting: the policy picks which of (queued + incoming) items
+  survive, the push returns the dropped tokens so the caller can account
+  them as deadline misses, and the run continues.  This is the
+  degraded-mode runtime used under overload.
+
+Drop accounting keeps provenance: :attr:`ItemQueue.total_shed` counts
+policy drops at push time, :attr:`ItemQueue.dropped_by_clear` counts
+:meth:`ItemQueue.clear` discards, and :attr:`ItemQueue.total_dropped` is
+their sum.  The conservation invariant
+``total_popped + total_dropped + len(q) == total_pushed`` holds in every
+mode (shed incoming items count as pushed, then dropped).
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (typing only)
+    from repro.resilience.shedding import ShedPolicy
 
 __all__ = ["ItemQueue"]
 
@@ -34,33 +59,36 @@ _INITIAL_CAPACITY = 16
 
 
 class ItemQueue:
-    """Unbounded FIFO of scalar item tokens with occupancy statistics.
+    """FIFO of scalar item tokens with occupancy statistics.
 
     Parameters
     ----------
     name:
         Diagnostic label (usually the consuming node's name).
     capacity:
-        Optional bound; pushing beyond it raises :class:`SimulationError`.
-        The paper's model is unbounded (capacity ``None``), but a bound is
-        useful to detect instability quickly in tests.  A bulk
-        :meth:`push_many` that would exceed the bound raises *before*
-        copying anything, leaving the queue unchanged.
+        Optional bound; pushing beyond it triggers the ``on_overflow``
+        behaviour.  The paper's model is unbounded (capacity ``None``).
     dtype:
         Element dtype of the backing buffer (default ``float`` for origin
         timestamps; the simulators use ``np.int64`` item ids).
+    on_overflow:
+        ``"raise"`` (default) or a
+        :class:`~repro.resilience.shedding.ShedPolicy`; see the module
+        docstring.  Ignored when ``capacity`` is None.
     """
 
     __slots__ = (
         "name",
         "capacity",
+        "on_overflow",
         "_buf",
         "_head",
         "_size",
         "_max_depth",
         "_pushed",
         "_popped",
-        "_dropped",
+        "_cleared",
+        "_shed",
     )
 
     def __init__(
@@ -69,18 +97,26 @@ class ItemQueue:
         *,
         capacity: int | None = None,
         dtype: np.dtype | type = float,
+        on_overflow: Union[str, "ShedPolicy"] = "raise",
     ) -> None:
         if capacity is not None and capacity < 1:
             raise SimulationError(f"queue capacity must be >= 1, got {capacity}")
+        if isinstance(on_overflow, str) and on_overflow != "raise":
+            raise SimulationError(
+                f"on_overflow must be 'raise' or a ShedPolicy, "
+                f"got {on_overflow!r}"
+            )
         self.name = name
         self.capacity = capacity
+        self.on_overflow = on_overflow
         self._buf = np.empty(_INITIAL_CAPACITY, dtype=dtype)
         self._head = 0
         self._size = 0
         self._max_depth = 0
         self._pushed = 0
         self._popped = 0
-        self._dropped = 0
+        self._cleared = 0
+        self._shed = 0
 
     def __len__(self) -> int:
         return self._size
@@ -92,11 +128,18 @@ class ItemQueue:
 
     @property
     def max_depth(self) -> int:
-        """High-water mark of queue occupancy since creation."""
+        """High-water mark of queue occupancy since creation.
+
+        A push that sheds counts as having momentarily reached the
+        capacity (the queue was offered more than it could hold), so a
+        bounded queue that ever overflowed reports ``max_depth ==
+        capacity``.
+        """
         return self._max_depth
 
     @property
     def total_pushed(self) -> int:
+        """Items offered to the queue (including ones shed on arrival)."""
         return self._pushed
 
     @property
@@ -106,8 +149,18 @@ class ItemQueue:
 
     @property
     def total_dropped(self) -> int:
+        """All items discarded (``dropped_by_clear + total_shed``)."""
+        return self._cleared + self._shed
+
+    @property
+    def dropped_by_clear(self) -> int:
         """Items discarded by :meth:`clear` (never delivered downstream)."""
-        return self._dropped
+        return self._cleared
+
+    @property
+    def total_shed(self) -> int:
+        """Items dropped by the overflow shed policy at push time."""
+        return self._shed
 
     def _grow(self, needed: int) -> None:
         """Resize to the next power of two >= ``needed``, unwrapping."""
@@ -122,11 +175,77 @@ class ItemQueue:
         self._buf = new
         self._head = 0
 
-    def push(self, origin: float) -> None:
-        """Append one item token."""
-        if self.capacity is not None and self._size >= self.capacity:
+    def _overflow_error(self, attempted: int) -> SimulationError:
+        return SimulationError(
+            f"queue {self.name!r} overflowed: depth {self._size} + "
+            f"push {attempted} exceeds capacity {self.capacity}"
+        )
+
+    def _snapshot(self) -> np.ndarray:
+        """Current contents, oldest first (a copy)."""
+        buf = self._buf
+        cap = len(buf)
+        head, size = self._head, self._size
+        first = min(size, cap - head)
+        out = np.empty(size, dtype=buf.dtype)
+        out[:first] = buf[head : head + first]
+        out[first:] = buf[: size - first]
+        return out
+
+    def _shed_push(self, arr: np.ndarray, now: float) -> np.ndarray:
+        """Overflow path under a shed policy; returns the dropped tokens.
+
+        The policy sees the queued items (oldest first) concatenated
+        with the incoming batch and must keep exactly ``capacity`` of
+        them; kept items retain their relative order.  O(capacity), but
+        only runs on actual overflow.
+        """
+        policy = self.on_overflow
+        held = self._snapshot()
+        if arr.dtype != held.dtype:
+            arr = arr.astype(held.dtype)
+        combined = np.concatenate((held, arr))
+        cap = self.capacity
+        mask = np.asarray(
+            policy.keep_mask(combined, cap, now), dtype=bool
+        )
+        if mask.shape != combined.shape:
             raise SimulationError(
-                f"queue {self.name!r} overflowed its capacity {self.capacity}"
+                f"shed policy {policy!r} returned mask shape {mask.shape} "
+                f"for {combined.shape[0]} items on queue {self.name!r}"
+            )
+        kept = combined[mask]
+        if kept.size != cap:
+            raise SimulationError(
+                f"shed policy {policy!r} kept {kept.size} of "
+                f"{combined.size} items on queue {self.name!r}; must keep "
+                f"exactly the capacity ({cap})"
+            )
+        dropped = combined[~mask]
+        if kept.size > len(self._buf):
+            self._grow(kept.size)
+        buf = self._buf
+        buf[: kept.size] = kept
+        self._head = 0
+        self._size = kept.size
+        self._pushed += int(arr.size)
+        self._shed += int(dropped.size)
+        if cap > self._max_depth:
+            self._max_depth = cap
+        return dropped
+
+    def push(self, origin: float, *, now: float = 0.0) -> np.ndarray | None:
+        """Append one item token.
+
+        Returns None normally; under a shed policy an overflow returns
+        the array of dropped tokens (which may include previously queued
+        items, depending on the policy).
+        """
+        if self.capacity is not None and self._size >= self.capacity:
+            if self.on_overflow == "raise":
+                raise self._overflow_error(1)
+            return self._shed_push(
+                np.asarray([origin], dtype=self._buf.dtype), now
             )
         buf = self._buf
         if self._size == len(buf):
@@ -137,20 +256,35 @@ class ItemQueue:
         self._pushed += 1
         if self._size > self._max_depth:
             self._max_depth = self._size
+        return None
 
-    def push_many(self, origins: Iterable[float]) -> None:
-        """Append several items preserving order (O(1) slice copies)."""
+    def push_many(
+        self, origins: Iterable[float], *, now: float = 0.0
+    ) -> np.ndarray | None:
+        """Append several items preserving order (O(1) slice copies).
+
+        Overflow contract (bounded queues): the capacity check runs
+        *before* anything is copied.  With ``on_overflow="raise"`` a
+        batch that would exceed the bound — even by one item — raises
+        :class:`~repro.errors.SimulationError` and leaves the queue
+        completely unchanged: there is **no partial enqueue** of the
+        prefix that would have fit.  With a shed policy, the whole batch
+        is offered, the policy chooses which of (queued + incoming)
+        items survive, and the dropped tokens are returned (None when
+        nothing was dropped).  ``now`` is forwarded to the policy for
+        deadline-aware decisions and is ignored otherwise.
+        """
         if isinstance(origins, np.ndarray):
             arr = origins
         else:
             arr = np.asarray(list(origins), dtype=self._buf.dtype)
         k = int(arr.size)
         if k == 0:
-            return
+            return None
         if self.capacity is not None and self._size + k > self.capacity:
-            raise SimulationError(
-                f"queue {self.name!r} overflowed its capacity {self.capacity}"
-            )
+            if self.on_overflow == "raise":
+                raise self._overflow_error(k)
+            return self._shed_push(arr, now)
         if self._size + k > len(self._buf):
             self._grow(self._size + k)
         buf = self._buf
@@ -166,6 +300,7 @@ class ItemQueue:
         self._pushed += k
         if self._size > self._max_depth:
             self._max_depth = self._size
+        return None
 
     def pop_up_to(self, k: int) -> np.ndarray:
         """Remove and return up to ``k`` oldest items (FIFO order)."""
@@ -197,12 +332,14 @@ class ItemQueue:
         return self._buf[self._head].item()
 
     def clear(self) -> None:
-        """Drop all items, counting them as :attr:`total_dropped`.
+        """Drop all items, counting them as :attr:`dropped_by_clear`.
 
         Statistics are retained.  Dropped items are deliberately *not*
         added to :attr:`total_popped`, which tracks delivered throughput
         only — conflating the two would inflate throughput telemetry.
+        Clear drops are likewise kept distinct from shed-policy drops
+        (:attr:`total_shed`); :attr:`total_dropped` sums both.
         """
-        self._dropped += self._size
+        self._cleared += self._size
         self._size = 0
         self._head = 0

@@ -1,6 +1,6 @@
 """Statistics monitors for simulations.
 
-Three collector types cover what the pipeline simulators need:
+Four collector types cover what the pipeline simulators need:
 
 - :class:`Counter` — monotone event counts (items produced, misses, ...).
 - :class:`Accumulator` — scalar samples with mean/variance/extremes
@@ -8,6 +8,9 @@ Three collector types cover what the pipeline simulators need:
   algorithm so memory stays O(1) unless sample retention is requested.
 - :class:`TimeWeighted` — a piecewise-constant signal integrated over time
   (queue length, number of active nodes), for time-average statistics.
+- :class:`Ewma` — an exponentially weighted moving average of a sampled
+  signal (deadline slack of exiting items), for trend detection by the
+  degraded-mode watchdog (:mod:`repro.resilience.watchdog`).
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import math
 
 import numpy as np
 
-__all__ = ["Counter", "Accumulator", "TimeWeighted"]
+__all__ = ["Counter", "Accumulator", "TimeWeighted", "Ewma"]
 
 
 class Counter:
@@ -168,6 +171,50 @@ class Accumulator:
         return (
             f"Accumulator({self.name!r}, n={self._n}, mean={self.mean:.6g})"
         )
+
+
+class Ewma:
+    """Exponentially weighted moving average of scalar samples.
+
+    ``value`` after k samples is ``(1-alpha)*value + alpha*x_k``, seeded
+    with the first sample (so a single observation is reported exactly,
+    without a warm-up bias toward zero).  Smaller ``alpha`` smooths
+    harder; the degraded-mode watchdog uses this to detect *sustained*
+    slack erosion without reacting to a single late item.
+    """
+
+    __slots__ = ("name", "alpha", "_value", "_n")
+
+    def __init__(self, name: str, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(
+                f"Ewma {name!r}: alpha must be in (0, 1], got {alpha}"
+            )
+        self.name = name
+        self.alpha = alpha
+        self._value = math.nan
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def value(self) -> float:
+        """Current average; NaN before the first sample."""
+        return self._value
+
+    def add(self, x: float) -> float:
+        """Fold in one sample and return the updated average."""
+        if self._n == 0:
+            self._value = float(x)
+        else:
+            self._value += self.alpha * (float(x) - self._value)
+        self._n += 1
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Ewma({self.name!r}, alpha={self.alpha}, value={self._value:.6g})"
 
 
 class TimeWeighted:

@@ -90,8 +90,12 @@ def telemetry_to_dict(telemetry: RunTelemetry) -> dict:
                     "queue_time_avg": n.queue_time_avg,
                     "queue_pushed": n.queue_pushed,
                     "queue_popped": n.queue_popped,
+                    "queue_shed": n.queue_shed,
                 }
                 for n in telemetry.nodes
+            ],
+            "degraded_intervals": [
+                list(pair) for pair in telemetry.degraded_intervals
             ],
             "engine": {
                 "events_processed": eng.events_processed,
@@ -117,6 +121,7 @@ _TELEMETRY_CSV_COLUMNS = (
     "queue_time_avg",
     "queue_pushed",
     "queue_popped",
+    "queue_shed",
 )
 
 

@@ -48,6 +48,7 @@ def _build_registry() -> dict[str, Experiment]:
         run_gain_sensitivity,
         run_phase_offsets,
     )
+    from repro.experiments.overload import run_overload_sweep
     from repro.experiments.queueing_exp import run_queueing_b
     from repro.experiments.sim_validation import run_sim_validation
     from repro.experiments.stress import run_bursty_stress
@@ -144,6 +145,12 @@ def _build_registry() -> dict[str, Experiment]:
             "Required worst-case S under bursty arrivals",
             "Section 5 remark (S1)",
             run_bursty_stress,
+        ),
+        Experiment(
+            "overload-sweep",
+            "Load shedding and graceful degradation under arrival overload",
+            "robustness extension (R1)",
+            run_overload_sweep,
         ),
     ]
     return {e.id: e for e in entries}

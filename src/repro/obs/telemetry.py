@@ -27,7 +27,10 @@ Per node (:class:`NodeTelemetry`):
 - ``queue_hwm`` / ``queue_hwm_vectors`` — input-queue high-water mark,
   in items and in vector-width units (the empirical ``b_i``);
 - ``queue_time_avg`` — time-average input-queue length;
-- ``queue_pushed`` / ``queue_popped`` — total items through the queue.
+- ``queue_pushed`` / ``queue_popped`` — total items through the queue;
+- ``queue_shed`` — items dropped by the queue's overflow shed policy
+  (0 unless degraded-mode shedding is enabled; see
+  :mod:`repro.resilience.shedding`).
 
 Per engine (:class:`EngineTelemetry`):
 
@@ -74,6 +77,7 @@ class NodeTelemetry:
     queue_time_avg: float
     queue_pushed: int
     queue_popped: int
+    queue_shed: int = 0
 
 
 @dataclass(frozen=True)
@@ -95,11 +99,22 @@ class EngineTelemetry:
 
 @dataclass(frozen=True)
 class RunTelemetry:
-    """A complete run's telemetry: one entry per node plus engine stats."""
+    """A complete run's telemetry: one entry per node plus engine stats.
+
+    ``degraded_intervals`` holds the deadline watchdog's ``(enter,
+    exit)`` virtual-time pairs (empty unless a watchdog was attached and
+    triggered — see :mod:`repro.resilience.watchdog`).
+    """
 
     strategy: str
     nodes: tuple[NodeTelemetry, ...]
     engine: EngineTelemetry
+    degraded_intervals: tuple[tuple[float, float], ...] = ()
+
+    @property
+    def total_shed(self) -> int:
+        """Items dropped by shed policies across all node queues."""
+        return sum(n.queue_shed for n in self.nodes)
 
     def render(self) -> str:
         """The telemetry as aligned tables (node table + engine line)."""
@@ -113,6 +128,7 @@ class RunTelemetry:
                 f"{n.wait_time:.4g}",
                 n.queue_hwm,
                 f"{n.queue_time_avg:.3f}",
+                n.queue_shed,
             )
             for n in self.nodes
         ]
@@ -126,6 +142,7 @@ class RunTelemetry:
                 "wait",
                 "q hwm",
                 "q avg",
+                "shed",
             ],
             rows,
             title=f"run telemetry ({self.strategy})",
@@ -137,6 +154,11 @@ class RunTelemetry:
             f"ev/s, {eng.wall_time_per_sim_second:.3g} wall-s per sim-s "
             f"over {eng.sim_time:.4g} sim-s)"
         )
+        if self.degraded_intervals:
+            spans = ", ".join(
+                f"[{a:.4g}, {b:.4g}]" for a, b in self.degraded_intervals
+            )
+            line += f"\ndegraded intervals: {spans}"
         return table + "\n" + line
 
 
@@ -159,6 +181,7 @@ class TelemetryCollector:
         self._items = [Counter(f"{nm}.items") for nm in node_names]
         self._pushed = [Counter(f"{nm}.queue_pushed") for nm in node_names]
         self._popped = [Counter(f"{nm}.queue_popped") for nm in node_names]
+        self._shed = [Counter(f"{nm}.queue_shed") for nm in node_names]
         self._occupancy = [
             Accumulator(f"{nm}.occupancy") for nm in node_names
         ]
@@ -190,6 +213,11 @@ class TelemetryCollector:
         self._service[i].add(duration)
         self._busy[i].update(t, 0.0)
 
+    def on_shed(self, i: int, t: float, dropped: int, qlen: int) -> None:
+        """``dropped`` items were shed from node ``i``'s queue at ``t``."""
+        self._shed[i].increment(dropped)
+        self._qlen[i].update(t, float(qlen))
+
     # -- finalization -----------------------------------------------------
 
     def finalize(
@@ -199,6 +227,7 @@ class TelemetryCollector:
         makespan: float,
         events_processed: int,
         wall_time: float,
+        degraded_intervals: tuple[tuple[float, float], ...] = (),
     ) -> RunTelemetry:
         """Freeze the collected statistics into a :class:`RunTelemetry`."""
         span = makespan if makespan > 0 and not math.isnan(makespan) else 0.0
@@ -222,6 +251,7 @@ class TelemetryCollector:
                     ),
                     queue_pushed=self._pushed[i].count,
                     queue_popped=self._popped[i].count,
+                    queue_shed=self._shed[i].count,
                 )
             )
         engine = EngineTelemetry(
@@ -230,5 +260,8 @@ class TelemetryCollector:
             wall_time=float(wall_time),
         )
         return RunTelemetry(
-            strategy=strategy, nodes=tuple(nodes), engine=engine
+            strategy=strategy,
+            nodes=tuple(nodes),
+            engine=engine,
+            degraded_intervals=tuple(degraded_intervals),
         )

@@ -1,0 +1,50 @@
+"""Degraded-mode runtime layer: survive overload inside the simulation.
+
+The paper's schedules assume the plan's ``rho_0``, ``t_i`` and ``g_i``
+hold exactly at runtime.  This package models what a production pipeline
+does when they don't:
+
+- :mod:`~repro.resilience.faults` — deterministic in-simulation fault
+  injection (service-time spikes, node stalls, arrival bursts beyond the
+  planned rate) via :class:`RuntimeFaultPlan`.
+- :mod:`~repro.resilience.shedding` — load-shedding policies for
+  capacity-bounded queues (:class:`DropNewest`, :class:`DropOldest`,
+  :class:`DeadlineAware`), turning queue overflow from a hard crash into
+  accounted deadline misses.
+- :mod:`~repro.resilience.watchdog` — a :class:`DeadlineWatchdog` that
+  detects sustained slack erosion, temporarily zeroes the enforced waits
+  (graceful degradation), and restores them with hysteresis once the
+  backlog drains.
+
+Process-level trial faults (crash/hang/flake whole runs) remain in
+:mod:`repro.sim.faults`; the solver fallback chain lives in
+:mod:`repro.solvers.fallback`.
+"""
+
+from repro.resilience.faults import (
+    ArrivalBurst,
+    NodeStall,
+    RuntimeFaultPlan,
+    ServiceSpike,
+)
+from repro.resilience.shedding import (
+    DeadlineAware,
+    DropNewest,
+    DropOldest,
+    ShedPolicy,
+    make_shed_policy,
+)
+from repro.resilience.watchdog import DeadlineWatchdog
+
+__all__ = [
+    "ArrivalBurst",
+    "NodeStall",
+    "RuntimeFaultPlan",
+    "ServiceSpike",
+    "ShedPolicy",
+    "DropNewest",
+    "DropOldest",
+    "DeadlineAware",
+    "make_shed_policy",
+    "DeadlineWatchdog",
+]

@@ -1,0 +1,182 @@
+"""Deterministic *in-simulation* fault injection.
+
+:class:`repro.sim.faults.FaultPlan` makes whole trials fail at the
+process level (crash / hang / flake) to exercise the campaign
+supervisor.  This module instead injects faults *inside* the modeled
+system, so the degraded-mode runtime (shedding, deadline watchdog) can
+be exercised deterministically:
+
+- :class:`ServiceSpike` — a node's service time is multiplied by
+  ``factor`` for firings starting within a window (a slow shard, a
+  thermal throttle, a noisy neighbour).
+- :class:`NodeStall` — a node refuses to fire for ``duration`` starting
+  at ``start`` (a GC pause, a driver reset); firings due within the
+  stall are deferred to its end.
+- :class:`ArrivalBurst` — the arrival stream runs ``factor`` times
+  faster than planned inside a window (load beyond the planned
+  ``rho_0``); implemented as a deterministic, order-preserving remap of
+  the generated arrival timestamps so the same seed still produces the
+  same underlying stream.
+
+A :class:`RuntimeFaultPlan` bundles any number of these.  All lookups
+are pure functions of the virtual clock, so a faulted run is exactly as
+reproducible as a clean one — and an *empty* plan is behaviourally
+inert (identity arrival transform, unit service factor, no stalls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SpecError
+
+__all__ = [
+    "ServiceSpike",
+    "NodeStall",
+    "ArrivalBurst",
+    "RuntimeFaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class ServiceSpike:
+    """Multiply node ``node``'s service time by ``factor`` on [start, end)."""
+
+    node: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise SpecError(f"spike node must be >= 0, got {self.node}")
+        if not self.end > self.start >= 0:
+            raise SpecError(
+                f"spike window must satisfy 0 <= start < end, "
+                f"got [{self.start}, {self.end})"
+            )
+        if self.factor <= 0:
+            raise SpecError(f"spike factor must be > 0, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """Node ``node`` cannot start firings on [start, start + duration)."""
+
+    node: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise SpecError(f"stall node must be >= 0, got {self.node}")
+        if self.start < 0:
+            raise SpecError(f"stall start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise SpecError(
+                f"stall duration must be > 0, got {self.duration}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class ArrivalBurst:
+    """Arrivals inside [start, end] run ``factor`` times faster.
+
+    ``factor > 1`` compresses the window's inter-arrival gaps (a 2x
+    burst halves them); arrivals after the window shift earlier by the
+    time the compression saved, so the remap is continuous and
+    order-preserving.
+    """
+
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not self.end > self.start >= 0:
+            raise SpecError(
+                f"burst window must satisfy 0 <= start < end, "
+                f"got [{self.start}, {self.end}]"
+            )
+        if self.factor <= 0:
+            raise SpecError(f"burst factor must be > 0, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class RuntimeFaultPlan:
+    """A deterministic schedule of in-simulation faults.
+
+    Plain frozen values throughout, so plans pickle to campaign worker
+    processes and hash/compare structurally.  Burst windows refer to the
+    timeline *after* any earlier burst in the tuple has been applied;
+    non-overlapping ascending windows behave as naively expected.
+    """
+
+    service_spikes: tuple[ServiceSpike, ...] = ()
+    stalls: tuple[NodeStall, ...] = ()
+    bursts: tuple[ArrivalBurst, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not (self.service_spikes or self.stalls or self.bursts)
+
+    def service_factor(self, node: int, t: float) -> float:
+        """Combined service-time multiplier for a firing of ``node`` at ``t``.
+
+        Overlapping spikes on the same node compound multiplicatively.
+        """
+        factor = 1.0
+        for spike in self.service_spikes:
+            if spike.node == node and spike.start <= t < spike.end:
+                factor *= spike.factor
+        return factor
+
+    def stall_release(self, node: int, t: float) -> float:
+        """Earliest time >= ``t`` at which ``node`` may start a firing.
+
+        Returns ``t`` itself when the node is not stalled at ``t``.
+        Chained stalls (one ending inside another) are resolved to the
+        final release time.
+        """
+        release = t
+        changed = True
+        while changed:
+            changed = False
+            for stall in self.stalls:
+                if stall.node == node and stall.start <= release < stall.end:
+                    release = stall.end
+                    changed = True
+        return release
+
+    def transform_arrivals(self, times: np.ndarray) -> np.ndarray:
+        """Apply every burst to a nondecreasing arrival-time array.
+
+        The remap is piecewise affine with positive slope, so the output
+        is nondecreasing whenever the input is; with no bursts the input
+        array is returned unchanged (identity, not a copy).
+        """
+        if not self.bursts:
+            return times
+        out = np.asarray(times, dtype=float)
+        for burst in self.bursts:
+            out = _apply_burst(out, burst)
+        return out
+
+
+def _apply_burst(times: np.ndarray, burst: ArrivalBurst) -> np.ndarray:
+    """One burst window's order-preserving timestamp remap."""
+    span = burst.end - burst.start
+    saved = span * (1.0 - 1.0 / burst.factor)
+    out = times.copy()
+    inside = (times >= burst.start) & (times <= burst.end)
+    out[inside] = burst.start + (times[inside] - burst.start) / burst.factor
+    after = times > burst.end
+    out[after] = times[after] - saved
+    return out

@@ -1,0 +1,170 @@
+"""Load-shedding policies for capacity-bounded item queues.
+
+The paper's model assumes queues sized from the plan's ``b_i`` never
+overflow; a production pipeline under overload (arrival bursts beyond
+the planned ``rho_0``, service-time spikes) must instead *shed* load
+gracefully.  A :class:`ShedPolicy` attached to a bounded
+:class:`~repro.dataflow.queues.ItemQueue` (via its ``on_overflow``
+parameter) decides, at the moment a push would exceed capacity, which
+items to keep and which to drop — instead of the default behaviour of
+raising :class:`~repro.errors.SimulationError` and aborting the run.
+
+Three policies are provided:
+
+- :class:`DropNewest` — reject the overflowing tail of the incoming
+  batch; queued items are never disturbed.  This models a bounded
+  mailbox that refuses new work ("tail drop").
+- :class:`DropOldest` — evict the oldest queued items to make room for
+  the incoming batch.  This models a freshness-first buffer where stale
+  work is the least valuable ("head drop").
+- :class:`DeadlineAware` — drop the items with the least remaining
+  deadline slack after accounting for estimated downstream service:
+  items that are already doomed to miss are shed first, so capacity is
+  spent on items that can still make their deadline.  Requires a
+  ``slack_of`` callback mapping item tokens to remaining slack.
+
+All policies are deterministic: given the same queue state, incoming
+batch, and clock they drop the same items, so fault-injected simulations
+stay seed-for-seed reproducible.  Shedding preserves the FIFO order of
+the kept items.
+
+Policies operate on the *combined* sequence (queued items oldest-first,
+then the incoming batch in push order) and return which positions to
+keep.  The queue translates that into buffer surgery and counts the
+drops under ``total_shed`` (distinct from :meth:`ItemQueue.clear`'s
+``dropped_by_clear`` — see the queue's accounting docstring).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SpecError
+
+__all__ = [
+    "ShedPolicy",
+    "DropNewest",
+    "DropOldest",
+    "DeadlineAware",
+    "make_shed_policy",
+]
+
+
+class ShedPolicy:
+    """Base class: decide which of ``combined`` items survive an overflow.
+
+    Subclasses implement :meth:`keep_mask`.  ``combined`` holds the
+    queued items (oldest first) followed by the incoming batch (push
+    order); exactly ``combined.size - capacity`` entries must be False
+    in the returned mask (the queue validates this).
+    """
+
+    #: Short policy identifier used in telemetry and CLI surfaces.
+    name: str = "abstract"
+
+    def keep_mask(
+        self, combined: np.ndarray, capacity: int, now: float
+    ) -> np.ndarray:
+        """Boolean mask over ``combined``: True = keep, False = shed."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class DropNewest(ShedPolicy):
+    """Reject the overflowing tail of the incoming batch (tail drop)."""
+
+    name = "drop-newest"
+
+    def keep_mask(
+        self, combined: np.ndarray, capacity: int, now: float
+    ) -> np.ndarray:
+        mask = np.zeros(combined.size, dtype=bool)
+        mask[:capacity] = True
+        return mask
+
+
+class DropOldest(ShedPolicy):
+    """Evict the oldest items to make room for new ones (head drop)."""
+
+    name = "drop-oldest"
+
+    def keep_mask(
+        self, combined: np.ndarray, capacity: int, now: float
+    ) -> np.ndarray:
+        mask = np.zeros(combined.size, dtype=bool)
+        mask[combined.size - capacity :] = True
+        return mask
+
+
+class DeadlineAware(ShedPolicy):
+    """Shed the items least able to make their deadline.
+
+    Parameters
+    ----------
+    slack_of:
+        ``slack_of(tokens, now) -> np.ndarray`` of remaining slack per
+        token: time left until the item's deadline *minus* the estimated
+        downstream service still ahead of it.  Items with negative slack
+        cannot make their deadline even if serviced immediately.
+
+    The policy drops the ``k`` smallest-slack items (doomed items go
+    first); ties break toward older items, which have strictly less
+    remaining headroom than equal-slack newer ones in FIFO service.
+    """
+
+    name = "deadline-aware"
+
+    def __init__(
+        self, slack_of: Callable[[np.ndarray, float], np.ndarray]
+    ) -> None:
+        if not callable(slack_of):
+            raise SpecError("DeadlineAware requires a callable slack_of")
+        self.slack_of = slack_of
+
+    def keep_mask(
+        self, combined: np.ndarray, capacity: int, now: float
+    ) -> np.ndarray:
+        slack = np.asarray(self.slack_of(combined, now), dtype=float)
+        if slack.shape != combined.shape:
+            raise SpecError(
+                f"slack_of returned shape {slack.shape}, "
+                f"wanted {combined.shape}"
+            )
+        n_drop = combined.size - capacity
+        # Stable sort: equal-slack items drop oldest-first.
+        order = np.argsort(slack, kind="stable")
+        mask = np.ones(combined.size, dtype=bool)
+        mask[order[:n_drop]] = False
+        return mask
+
+    def __repr__(self) -> str:
+        return "DeadlineAware(slack_of=...)"
+
+
+def make_shed_policy(
+    name: str,
+    *,
+    slack_of: Callable[[np.ndarray, float], np.ndarray] | None = None,
+) -> ShedPolicy:
+    """Construct a policy by its CLI/config name.
+
+    ``slack_of`` is required for (and only used by) ``deadline-aware``.
+    """
+    if name == "drop-newest":
+        return DropNewest()
+    if name == "drop-oldest":
+        return DropOldest()
+    if name == "deadline-aware":
+        if slack_of is None:
+            raise SpecError(
+                "shed policy 'deadline-aware' requires a slack_of callback"
+            )
+        return DeadlineAware(slack_of)
+    raise SpecError(
+        f"unknown shed policy {name!r}; known: "
+        "'drop-newest', 'drop-oldest', 'deadline-aware'"
+    )

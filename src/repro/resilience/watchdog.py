@@ -1,0 +1,180 @@
+"""Deadline watchdog: graceful degradation of enforced waits.
+
+The optimizer's waits ``w_i`` trade SIMD occupancy against latency under
+the *planned* arrival rate.  When the runtime rate exceeds the plan (an
+arrival burst, a service spike), holding the waits makes every queue
+grow and every item's deadline slack erode until the run is lost.  The
+watchdog detects *sustained* slack erosion and responds by temporarily
+zeroing the enforced waits — the pipeline falls back to firing as fast
+as it can, sacrificing occupancy (the objective) to protect deadlines
+(the constraint).  Once the backlog drains and slack recovers past a
+*higher* threshold (hysteresis, so the mode doesn't flap at the
+boundary), the planned waits are restored.
+
+Mechanically the simulators consult :meth:`DeadlineWatchdog.wait_scale`
+whenever they schedule a post-firing wait, and feed the watchdog the
+deadline slack of every exiting output batch plus the current in-flight
+backlog via :meth:`observe_exit`.  Both calls are O(1) and touch neither
+the RNG nor the event queue, so a run with a watchdog attached but never
+triggered is *observationally* identical to one without (and a simulator
+constructed without a watchdog skips the calls entirely, keeping the
+default path bit-identical).
+
+Degraded intervals are recorded as ``(enter_time, exit_time)`` pairs
+(the final interval's exit is the run's makespan if degradation never
+lifted) and surface in ``SimMetrics.extra["resilience"]`` and run
+telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.des.monitors import Ewma
+from repro.errors import SpecError
+
+__all__ = ["DeadlineWatchdog"]
+
+
+class DeadlineWatchdog:
+    """Monitor slack erosion; zero enforced waits until backlog drains.
+
+    Parameters
+    ----------
+    deadline:
+        The per-item latency bound ``D``; thresholds are fractions of it.
+    enter_slack_frac:
+        Enter degraded mode when the smoothed exit slack stays below
+        ``enter_slack_frac * deadline`` for ``sustain_time``.
+    exit_slack_frac:
+        Leave degraded mode only once the smoothed slack exceeds
+        ``exit_slack_frac * deadline`` (must be > ``enter_slack_frac``:
+        the hysteresis band) *and* the backlog is at most
+        ``drain_backlog``.
+    sustain_time:
+        Virtual time the erosion must persist before degrading; guards
+        against reacting to a single late item.
+    drain_backlog:
+        In-flight item count at or below which the backlog counts as
+        drained.
+    alpha:
+        EWMA smoothing factor for the slack signal.
+    """
+
+    def __init__(
+        self,
+        deadline: float,
+        *,
+        enter_slack_frac: float = 0.25,
+        exit_slack_frac: float = 0.5,
+        sustain_time: float = 0.0,
+        drain_backlog: int = 0,
+        alpha: float = 0.2,
+    ) -> None:
+        if deadline <= 0:
+            raise SpecError(f"deadline must be > 0, got {deadline}")
+        if not 0.0 <= enter_slack_frac < exit_slack_frac <= 1.0:
+            raise SpecError(
+                "need 0 <= enter_slack_frac < exit_slack_frac <= 1 "
+                f"(hysteresis band), got enter={enter_slack_frac}, "
+                f"exit={exit_slack_frac}"
+            )
+        if sustain_time < 0:
+            raise SpecError(
+                f"sustain_time must be >= 0, got {sustain_time}"
+            )
+        if drain_backlog < 0:
+            raise SpecError(
+                f"drain_backlog must be >= 0, got {drain_backlog}"
+            )
+        self.deadline = float(deadline)
+        self.enter_threshold = enter_slack_frac * deadline
+        self.exit_threshold = exit_slack_frac * deadline
+        self.sustain_time = float(sustain_time)
+        self.drain_backlog = int(drain_backlog)
+        self._slack = Ewma("watchdog.slack", alpha)
+        self._degraded = False
+        self._erosion_since: float | None = None
+        self._entered_at: float = math.nan
+        self._intervals: list[tuple[float, float]] = []
+        self._finalized = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while enforced waits are suppressed."""
+        return self._degraded
+
+    @property
+    def wait_scale(self) -> float:
+        """Multiplier the simulators apply to every enforced wait."""
+        return 0.0 if self._degraded else 1.0
+
+    @property
+    def smoothed_slack(self) -> float:
+        """Current EWMA of observed exit slack (NaN before any exit)."""
+        return self._slack.value
+
+    @property
+    def intervals(self) -> tuple[tuple[float, float], ...]:
+        """Closed degraded intervals ``(enter, exit)`` so far."""
+        return tuple(self._intervals)
+
+    @property
+    def degradations(self) -> int:
+        """Times degraded mode has been entered (open interval included)."""
+        return len(self._intervals) + (1 if self._degraded else 0)
+
+    def degraded_time(self, now: float) -> float:
+        """Total virtual time spent degraded up to ``now``."""
+        total = sum(end - start for start, end in self._intervals)
+        if self._degraded:
+            total += now - self._entered_at
+        return total
+
+    # -- observations (called by the simulators) ---------------------------
+
+    def observe_exit(self, now: float, slack: float, backlog: int) -> None:
+        """Feed one exit batch's minimum deadline slack and the backlog.
+
+        ``slack`` is ``origin + deadline - now`` minimized over the batch
+        (negative for a missed item); ``backlog`` is the number of items
+        currently in flight anywhere in the pipeline.
+        """
+        value = self._slack.add(slack)
+        if not self._degraded:
+            if value < self.enter_threshold:
+                if self._erosion_since is None:
+                    self._erosion_since = now
+                if now - self._erosion_since >= self.sustain_time:
+                    self._degraded = True
+                    self._entered_at = now
+                    self._erosion_since = None
+            else:
+                self._erosion_since = None
+        else:
+            if value > self.exit_threshold and backlog <= self.drain_backlog:
+                self._intervals.append((self._entered_at, now))
+                self._degraded = False
+                self._entered_at = math.nan
+
+    def finalize(self, now: float) -> tuple[tuple[float, float], ...]:
+        """Close any open degraded interval at ``now`` and return all.
+
+        Idempotent; called by the simulators at end of run with the
+        makespan.
+        """
+        if self._degraded and not self._finalized:
+            self._intervals.append((self._entered_at, now))
+            self._degraded = False
+            self._entered_at = math.nan
+        self._finalized = True
+        return self.intervals
+
+    def __repr__(self) -> str:
+        state = "degraded" if self._degraded else "nominal"
+        return (
+            f"DeadlineWatchdog({state}, slack={self._slack.value:.4g}, "
+            f"intervals={len(self._intervals)})"
+        )

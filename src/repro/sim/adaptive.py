@@ -38,6 +38,11 @@ observations are replayed with the original arrival timestamps.
 Items are identified by integer ids (their index in the arrival stream)
 carried through the queues; origins are looked up by id at the tail, so
 tied arrival timestamps cannot be conflated in miss accounting.
+
+The degraded-mode runtime kwargs (``runtime_faults``, ``queue_capacity``
++ ``shed_policy``, ``watchdog``) work exactly as on
+:class:`~repro.sim.enforced.EnforcedWaitsSimulator`; disabled (the
+default) they leave the simulation bit-identical to the reference.
 """
 
 from __future__ import annotations
@@ -54,6 +59,9 @@ from repro.des.events import EventHandle
 from repro.des.rng import RngRegistry
 from repro.errors import SimulationError, SpecError
 from repro.obs.telemetry import TelemetryCollector
+from repro.resilience.faults import RuntimeFaultPlan
+from repro.resilience.shedding import make_shed_policy
+from repro.resilience.watchdog import DeadlineWatchdog
 from repro.sim.metrics import LatencyLedger, SimMetrics
 
 __all__ = ["AdaptiveWaitsSimulator"]
@@ -81,6 +89,19 @@ class AdaptiveWaitsSimulator:
     engine_queue:
         Event-queue implementation: ``"heap"`` (default) or
         ``"calendar"``.
+    runtime_faults:
+        Optional :class:`~repro.resilience.faults.RuntimeFaultPlan`
+        injecting service spikes, node stalls, and arrival bursts.
+    queue_capacity:
+        Optional bound on every inter-node queue.  Without a
+        ``shed_policy`` an overflow raises
+        :class:`~repro.errors.SimulationError`.
+    shed_policy:
+        ``None`` (default), ``"drop-newest"``, ``"drop-oldest"``, or
+        ``"deadline-aware"``; requires ``queue_capacity``.
+    watchdog:
+        Optional :class:`~repro.resilience.watchdog.DeadlineWatchdog`;
+        while degraded, enforced waits are scaled to zero.
     """
 
     def __init__(
@@ -98,6 +119,10 @@ class AdaptiveWaitsSimulator:
         telemetry: bool = False,
         engine_queue: str = "heap",
         max_events: int = 20_000_000,
+        runtime_faults: RuntimeFaultPlan | None = None,
+        queue_capacity: int | None = None,
+        shed_policy: str | None = None,
+        watchdog: DeadlineWatchdog | None = None,
     ) -> None:
         waits = np.asarray(waits, dtype=float)
         if waits.shape != (pipeline.n_nodes,):
@@ -126,10 +151,40 @@ class AdaptiveWaitsSimulator:
         self.charge_empty = bool(charge_empty_firings)
         self.max_events = max_events
 
+        if shed_policy is not None and queue_capacity is None:
+            raise SpecError("shed_policy requires queue_capacity")
+        self._faults = (
+            None
+            if runtime_faults is None or runtime_faults.empty
+            else runtime_faults
+        )
+        self._watchdog = watchdog
+
         self.rng = RngRegistry(seed)
         self.engine = Engine(queue=engine_queue)
         n = pipeline.n_nodes
-        self.queues = [ItemQueue(f"q{i}", dtype=np.int64) for i in range(n)]
+        # Minimum downstream service from node i (inclusive) to the tail:
+        # the deadline-aware shed policy's traversal estimate.
+        service = pipeline.service_times
+        self._downstream_service = np.asarray(
+            [float(service[i:].sum()) for i in range(n)]
+        )
+        self.queues = [
+            ItemQueue(
+                f"q{i}",
+                dtype=np.int64,
+                capacity=queue_capacity,
+                on_overflow=(
+                    "raise"
+                    if shed_policy is None
+                    else make_shed_policy(
+                        shed_policy, slack_of=self._make_slack_fn(i)
+                    )
+                ),
+            )
+            for i in range(n)
+        ]
+        self._shed_counts = np.zeros(n, dtype=np.int64)
         self.ledger = LatencyLedger(deadline)
         self.collector = (
             TelemetryCollector(
@@ -160,10 +215,50 @@ class AdaptiveWaitsSimulator:
             [float(periods[i:].sum()) for i in range(n)]
         )
 
+    # -- resilience plumbing -------------------------------------------------
+
+    def _make_slack_fn(self, i: int):
+        """Deadline-aware shedding slack for node ``i``'s queue."""
+
+        def slack_of(ids: np.ndarray, now: float) -> np.ndarray:
+            return (
+                self._times[ids]
+                + self.deadline
+                - now
+                - self._downstream_service[i]
+            )
+
+        return slack_of
+
+    def _on_shed(self, i: int, dropped: np.ndarray, now: float) -> None:
+        """Account tokens shed from node ``i``'s queue as deadline misses."""
+        k = int(dropped.size)
+        self._in_flight -= k
+        self._shed_counts[i] += k
+        self.ledger.record_drops(ids=dropped)
+        if self.collector is not None:
+            self.collector.on_shed(i, now, k, len(self.queues[i]))
+        self._maybe_shutdown()
+
+    def _wait_after(self, i: int) -> float:
+        """Enforced wait for node ``i``'s next firing (watchdog-scaled)."""
+        if self._watchdog is not None and self._watchdog.degraded:
+            return 0.0
+        return self.waits[i]
+
     # -- early-fire triggers -------------------------------------------------
 
     def _should_fire_early(self, i: int) -> bool:
         if self._busy[i] or self._shutdown:
+            return False
+        if (
+            self._faults is not None
+            and self._faults.stall_release(i, self.engine.now)
+            > self.engine.now
+        ):
+            # A stalled node cannot usefully fire early; attempting to
+            # would just churn the deferral path and miscount
+            # early_firings.
             return False
         qlen = len(self.queues[i])
         if qlen == 0:
@@ -193,13 +288,14 @@ class AdaptiveWaitsSimulator:
         """Deliver the single pending arrival (head node idle)."""
         self._next_arrival = None
         i = self._cursor
-        self.queues[0].push(i)
+        now = self.engine.now
+        dropped = self.queues[0].push(i, now=now)
         self._in_flight += 1
         self._cursor = i + 1
         if self.collector is not None:
-            self.collector.on_enqueue(
-                0, self.engine.now, 1, len(self.queues[0])
-            )
+            self.collector.on_enqueue(0, now, 1, len(self.queues[0]))
+        if dropped is not None and dropped.size:
+            self._on_shed(0, dropped, now)
         if self._cursor < self.n_items:
             self._next_arrival = self.engine.schedule(
                 float(self._times[self._cursor]),
@@ -224,17 +320,24 @@ class AdaptiveWaitsSimulator:
         c = self._cursor
         times = self._times
         j = int(np.searchsorted(times, now, side="right"))
+        dropped = None
         if j > c:
             q0 = self.queues[0]
-            q0.push_many(np.arange(c, j, dtype=np.int64))
+            dropped = q0.push_many(np.arange(c, j, dtype=np.int64), now=now)
             self._in_flight += j - c
             self._cursor = j
             if self.collector is not None:
-                on_enqueue = self.collector.on_enqueue
-                qlen = len(q0) - (j - c)
-                for k in range(c, j):
-                    qlen += 1
-                    on_enqueue(0, float(times[k]), 1, qlen)
+                if dropped is None:
+                    on_enqueue = self.collector.on_enqueue
+                    qlen = len(q0) - (j - c)
+                    for k in range(c, j):
+                        qlen += 1
+                        on_enqueue(0, float(times[k]), 1, qlen)
+                else:
+                    # Shedding reshuffled the queue; per-item depth
+                    # replay no longer reconstructs, so record the
+                    # chunk as one observation.
+                    self.collector.on_enqueue(0, now, j - c, len(q0))
         if self._cursor < self.n_items:
             self._next_arrival = self.engine.schedule(
                 float(times[self._cursor]),
@@ -243,6 +346,8 @@ class AdaptiveWaitsSimulator:
             )
         else:
             self._arrivals_done = True
+        if dropped is not None and dropped.size:
+            self._on_shed(0, dropped, now)
 
     def _maybe_shutdown(self) -> None:
         if (
@@ -259,11 +364,23 @@ class AdaptiveWaitsSimulator:
     def _fire(self, i: int) -> None:
         if self._shutdown or self._busy[i]:
             return
+        now = self.engine.now
+        if self._faults is not None:
+            release = self._faults.stall_release(i, now)
+            if release > now:
+                # Stalled: defer this firing to the stall's end.
+                if self._pending_fire[i] is not None:
+                    self._pending_fire[i].cancel()
+                self._pending_fire[i] = self.engine.schedule(
+                    release, lambda i=i: self._fire(i), priority=_PRIO_FIRE
+                )
+                return
         self._pending_fire[i] = None
         self._busy[i] = True
-        now = self.engine.now
         ids = self.queues[i].pop_up_to(self.pipeline.vector_width)
         t_i = self.pipeline.nodes[i].service_time
+        if self._faults is not None:
+            t_i = t_i * self._faults.service_factor(i, now)
         if self.collector is not None:
             self.collector.on_fire(
                 i, now, int(ids.size), len(self.queues[i])
@@ -304,19 +421,28 @@ class AdaptiveWaitsSimulator:
             counts = gain.sample(self.rng.stream(f"node{i}.gain"), consumed)
             outputs = np.repeat(ids, counts)
             if i + 1 < self.pipeline.n_nodes:
-                self.queues[i + 1].push_many(outputs)
+                dropped = self.queues[i + 1].push_many(outputs, now=now)
                 self._in_flight += int(outputs.size) - consumed
                 if self.collector is not None:
                     self.collector.on_enqueue(
                         i + 1, now, int(outputs.size), len(self.queues[i + 1])
                     )
+                if dropped is not None and dropped.size:
+                    self._on_shed(i + 1, dropped, now)
                 self._consider_early_fire(i + 1)
             else:
                 self.ledger.record_exits(self._times[outputs], now, ids=outputs)
                 self._in_flight -= consumed
+                if self._watchdog is not None:
+                    slack = (
+                        float(self._times[outputs].min())
+                        + self.deadline
+                        - now
+                    )
+                    self._watchdog.observe_exit(now, slack, self._in_flight)
         if not self._shutdown:
             self._pending_fire[i] = self.engine.schedule(
-                now + self.waits[i],
+                now + self._wait_after(i),
                 lambda i=i: self._fire(i),
                 priority=_PRIO_FIRE,
             )
@@ -335,6 +461,10 @@ class AdaptiveWaitsSimulator:
         self._times = self.arrivals.generate(
             self.n_items, self.rng.stream("arrivals")
         )
+        if self._faults is not None:
+            # Arrival bursts remap the same seed-determined stream; the
+            # RNG draw above is identical with or without faults.
+            self._times = self._faults.transform_arrivals(self._times)
         self._next_arrival = self.engine.schedule(
             float(self._times[0]), self._arrive_next, priority=_PRIO_ARRIVAL
         )
@@ -356,12 +486,37 @@ class AdaptiveWaitsSimulator:
             "policy": self.policy,
             "early_firings": self._early_firings.copy(),
         }
+        degraded_intervals: tuple[tuple[float, float], ...] = ()
+        if self._watchdog is not None:
+            degraded_intervals = self._watchdog.finalize(makespan)
+        if (
+            self._watchdog is not None
+            or self._faults is not None
+            or self._shed_counts.any()
+        ):
+            extra["resilience"] = {
+                "shed_per_node": self._shed_counts.copy(),
+                "shed_total": int(self._shed_counts.sum()),
+                "dropped_items": self.ledger.dropped_items,
+                "degraded_intervals": degraded_intervals,
+                "degraded_time": (
+                    self._watchdog.degraded_time(makespan)
+                    if self._watchdog is not None
+                    else 0.0
+                ),
+                "degradations": (
+                    self._watchdog.degradations
+                    if self._watchdog is not None
+                    else 0
+                ),
+            }
         if self.collector is not None:
             extra["telemetry"] = self.collector.finalize(
                 strategy=f"adaptive:{self.policy}",
                 makespan=makespan,
                 events_processed=self.engine.events_processed,
                 wall_time=self.engine.wall_time,
+                degraded_intervals=degraded_intervals,
             )
         with np.errstate(invalid="ignore"):
             occupancy = np.where(

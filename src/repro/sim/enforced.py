@@ -40,6 +40,25 @@ which the queues carry end-to-end; origin timestamps are looked up by id
 at the pipeline tail.  This keeps deadline accounting correct when
 distinct items share an arrival timestamp (ties are allowed by the
 arrival contract).
+
+Degraded-mode runtime (opt-in)
+------------------------------
+Four keyword arguments enable the resilience layer
+(:mod:`repro.resilience`); all default to disabled, and the disabled
+path is bit-identical to the plain simulator (pinned by
+``tests/test_sim_equivalence.py``):
+
+- ``runtime_faults`` — a :class:`~repro.resilience.faults.RuntimeFaultPlan`
+  injecting service-time spikes, node stalls, and arrival bursts beyond
+  the planned rate, all deterministic per seed.
+- ``queue_capacity`` + ``shed_policy`` — bound every inter-node queue
+  and shed on overflow instead of raising; shed items are accounted as
+  deadline misses in the :class:`~repro.sim.metrics.LatencyLedger` and
+  as ``queue_shed`` in telemetry.
+- ``watchdog`` — a :class:`~repro.resilience.watchdog.DeadlineWatchdog`
+  that zeroes the enforced waits while slack erodes and restores them
+  (with hysteresis) once the backlog drains; degraded intervals land in
+  ``metrics.extra["resilience"]`` and telemetry.
 """
 
 from __future__ import annotations
@@ -58,6 +77,9 @@ from repro.des.rng import RngRegistry
 from repro.des.trace import TraceRecorder
 from repro.errors import SimulationError, SpecError
 from repro.obs.telemetry import TelemetryCollector
+from repro.resilience.faults import RuntimeFaultPlan
+from repro.resilience.shedding import make_shed_policy
+from repro.resilience.watchdog import DeadlineWatchdog
 from repro.sim.metrics import LatencyLedger, SimMetrics
 from repro.simd.occupancy import OccupancyTracker
 from repro.simd.sharing import IdealizedSharing, TimingModel, WorkConservingSharing
@@ -111,6 +133,20 @@ class EnforcedWaitsSimulator:
         Event-queue implementation for the DES engine: ``"heap"``
         (default) or ``"calendar"``.  Results are identical; large event
         populations run faster on the calendar queue.
+    runtime_faults:
+        Optional :class:`~repro.resilience.faults.RuntimeFaultPlan` of
+        in-simulation faults (see the module docstring).
+    queue_capacity:
+        Optional bound on every inter-node queue (in items).  Without a
+        ``shed_policy`` an overflow raises
+        :class:`~repro.errors.SimulationError` (fail-fast instability
+        detection); with one, overflow sheds.
+    shed_policy:
+        ``None`` (default), ``"drop-newest"``, ``"drop-oldest"``, or
+        ``"deadline-aware"``; requires ``queue_capacity``.
+    watchdog:
+        Optional :class:`~repro.resilience.watchdog.DeadlineWatchdog`
+        enabling graceful degradation of the enforced waits.
     """
 
     def __init__(
@@ -130,6 +166,10 @@ class EnforcedWaitsSimulator:
         telemetry: bool = False,
         engine_queue: str = "heap",
         max_events: int = 20_000_000,
+        runtime_faults: RuntimeFaultPlan | None = None,
+        queue_capacity: int | None = None,
+        shed_policy: str | None = None,
+        watchdog: DeadlineWatchdog | None = None,
     ) -> None:
         waits = np.asarray(waits, dtype=float)
         if waits.shape != (pipeline.n_nodes,):
@@ -163,10 +203,40 @@ class EnforcedWaitsSimulator:
         self.trace = trace
         self.max_events = max_events
 
+        if shed_policy is not None and queue_capacity is None:
+            raise SpecError("shed_policy requires queue_capacity")
+        self._faults = (
+            None
+            if runtime_faults is None or runtime_faults.empty
+            else runtime_faults
+        )
+        self._watchdog = watchdog
+
         self.rng = RngRegistry(seed)
         self.engine = Engine(queue=engine_queue)
         n = pipeline.n_nodes
-        self.queues = [ItemQueue(f"q{i}", dtype=np.int64) for i in range(n)]
+        # Minimum downstream service from node i (inclusive) to the tail:
+        # the deadline-aware shed policy's traversal estimate.
+        service = pipeline.service_times
+        self._downstream_service = np.asarray(
+            [float(service[i:].sum()) for i in range(n)]
+        )
+        self.queues = [
+            ItemQueue(
+                f"q{i}",
+                dtype=np.int64,
+                capacity=queue_capacity,
+                on_overflow=(
+                    "raise"
+                    if shed_policy is None
+                    else make_shed_policy(
+                        shed_policy, slack_of=self._make_slack_fn(i)
+                    )
+                ),
+            )
+            for i in range(n)
+        ]
+        self._shed_counts = np.zeros(n, dtype=np.int64)
         self.trackers = [
             OccupancyTracker(node.name, pipeline.vector_width)
             for node in pipeline.nodes
@@ -217,6 +287,44 @@ class EnforcedWaitsSimulator:
         self._v = int(pipeline.vector_width)
         self._n_nodes = n
 
+    def _make_slack_fn(self, i: int):
+        """Remaining-slack estimator for node ``i``'s queue (deadline-aware).
+
+        Slack of an item is the time left until its deadline minus the
+        minimum service still ahead of it; ``self._times`` is bound
+        lazily because arrivals are generated in :meth:`run`.
+        """
+
+        def slack_of(ids: np.ndarray, now: float) -> np.ndarray:
+            return (
+                self._times[ids]
+                + self.deadline
+                - now
+                - self._downstream_service[i]
+            )
+
+        return slack_of
+
+    def _on_shed(self, i: int, dropped: np.ndarray, now: float) -> None:
+        """Account tokens shed from node ``i``'s queue as deadline misses."""
+        k = int(dropped.size)
+        self._in_flight -= k
+        self._shed_counts[i] += k
+        self.ledger.record_drops(ids=dropped)
+        if self.collector is not None:
+            self.collector.on_shed(i, now, k, len(self.queues[i]))
+        if self.trace is not None:
+            self.trace.record(
+                now, "shed", self.pipeline.nodes[i].name, dropped=k
+            )
+        self._maybe_shutdown()
+
+    def _wait_after(self, i: int) -> float:
+        """Enforced wait for node ``i``'s next firing (watchdog-scaled)."""
+        if self._watchdog is not None and self._watchdog.degraded:
+            return 0.0
+        return self._waits_f[i]
+
     # -- event handlers ------------------------------------------------------
 
     def _drain_arrivals(self, now: float) -> None:
@@ -236,15 +344,21 @@ class EnforcedWaitsSimulator:
         if j <= c:
             return
         q0 = self.queues[0]
-        q0.push_many(np.arange(c, j, dtype=np.int64))
+        dropped = q0.push_many(np.arange(c, j, dtype=np.int64), now=now)
         self._in_flight += j - c
         self._cursor = j
         if self.collector is not None:
-            on_enqueue = self.collector.on_enqueue
-            qlen = len(q0) - (j - c)
-            for k in range(c, j):
-                qlen += 1
-                on_enqueue(0, float(times[k]), 1, qlen)
+            if dropped is None:
+                on_enqueue = self.collector.on_enqueue
+                qlen = len(q0) - (j - c)
+                for k in range(c, j):
+                    qlen += 1
+                    on_enqueue(0, float(times[k]), 1, qlen)
+            else:
+                # Shedding reshuffled the queue; the per-item replay's
+                # incremental lengths no longer apply.  Record the batch
+                # wholesale at drain time instead.
+                self.collector.on_enqueue(0, now, j - c, len(q0))
         if self.trace is not None:
             record = self.trace.record
             for k in range(c, j):
@@ -252,6 +366,8 @@ class EnforcedWaitsSimulator:
                 record(origin, "arrival", "stream", origin=origin)
         if j >= self.n_items:
             self._arrivals_done = True
+        if dropped is not None and dropped.size:
+            self._on_shed(0, dropped, now)
 
     def _maybe_shutdown(self) -> None:
         if (
@@ -269,11 +385,21 @@ class EnforcedWaitsSimulator:
         if self._shutdown:
             return
         now = self.engine.now
+        if self._faults is not None:
+            release = self._faults.stall_release(i, now)
+            if release > now:
+                # Stalled: defer this firing to the stall's end.
+                self.engine.schedule(
+                    release, self._fire_fns[i], priority=_PRIO_FIRE
+                )
+                return
         if i == 0:
             self._drain_arrivals(now)
         ids = self.queues[i].pop_up_to(self._v)
         consumed = ids.size
         t_i = self._service_f[i]
+        if self._faults is not None:
+            t_i *= self._faults.service_factor(i, now)
         if self.collector is not None:
             self.collector.on_fire(i, now, int(consumed), len(self.queues[i]))
         if self.trace is not None:
@@ -309,7 +435,7 @@ class EnforcedWaitsSimulator:
                 if self.collector is not None:
                     self.collector.on_complete(i, done, done - now)
                 self.engine.schedule(
-                    done + self._waits_f[i],
+                    done + self._wait_after(i),
                     self._fire_fns[i],
                     priority=_PRIO_FIRE,
                 )
@@ -335,15 +461,24 @@ class EnforcedWaitsSimulator:
             counts = self._gain_of[i].sample(self._rng_of[i], consumed)
             outputs = np.repeat(ids, counts)
             if i + 1 < self._n_nodes:
-                self.queues[i + 1].push_many(outputs)
+                dropped = self.queues[i + 1].push_many(outputs, now=now)
                 self._in_flight += int(outputs.size) - int(consumed)
                 if self.collector is not None:
                     self.collector.on_enqueue(
                         i + 1, now, int(outputs.size), len(self.queues[i + 1])
                     )
+                if dropped is not None and dropped.size:
+                    self._on_shed(i + 1, dropped, now)
             else:
                 self.ledger.record_exits(self._times[outputs], now, ids=outputs)
                 self._in_flight -= int(consumed)
+                if self._watchdog is not None:
+                    slack = (
+                        float(self._times[outputs].min())
+                        + self.deadline
+                        - now
+                    )
+                    self._watchdog.observe_exit(now, slack, self._in_flight)
             if self.trace is not None:
                 self.trace.record(
                     now, "complete", self.pipeline.nodes[i].name,
@@ -352,7 +487,7 @@ class EnforcedWaitsSimulator:
         # Next firing after the enforced wait.
         if not self._shutdown:
             self.engine.schedule(
-                now + self._waits_f[i],
+                now + self._wait_after(i),
                 self._fire_fns[i],
                 priority=_PRIO_FIRE,
             )
@@ -395,6 +530,10 @@ class EnforcedWaitsSimulator:
         self._times = self.arrivals.generate(
             self.n_items, self.rng.stream("arrivals")
         )
+        if self._faults is not None:
+            # Arrival bursts remap the same seed-determined stream; the
+            # RNG draw above is identical with or without faults.
+            self._times = self._faults.transform_arrivals(self._times)
         # No per-arrival events: the head node's firings drain the
         # arrival array lazily (see module docstring).  Firings
         # self-perpetuate until shutdown, so the drain always happens.
@@ -425,12 +564,37 @@ class EnforcedWaitsSimulator:
             "charge_empty": self.charge_empty,
             "ledger": self.ledger,
         }
+        degraded_intervals: tuple[tuple[float, float], ...] = ()
+        if self._watchdog is not None:
+            degraded_intervals = self._watchdog.finalize(makespan)
+        if (
+            self._watchdog is not None
+            or self._faults is not None
+            or self._shed_counts.any()
+        ):
+            extra["resilience"] = {
+                "shed_per_node": self._shed_counts.copy(),
+                "shed_total": int(self._shed_counts.sum()),
+                "dropped_items": self.ledger.dropped_items,
+                "degraded_intervals": degraded_intervals,
+                "degraded_time": (
+                    self._watchdog.degraded_time(makespan)
+                    if self._watchdog is not None
+                    else 0.0
+                ),
+                "degradations": (
+                    self._watchdog.degradations
+                    if self._watchdog is not None
+                    else 0
+                ),
+            }
         if self.collector is not None:
             extra["telemetry"] = self.collector.finalize(
                 strategy="enforced",
                 makespan=makespan,
                 events_processed=self.engine.events_processed,
                 wall_time=self.engine.wall_time,
+                degraded_intervals=degraded_intervals,
             )
         return SimMetrics(
             strategy="enforced",

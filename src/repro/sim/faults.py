@@ -79,4 +79,21 @@ class FaultPlan:
                 f"{failing} transient failures)"
             )
         if seed in self.hang_seeds:
-            time.sleep(self.hang_seconds)
+            self._hang()
+
+    def _hang(self) -> None:
+        """Sleep ``hang_seconds`` in small interruptible increments.
+
+        A single ``time.sleep(3600)`` blocks the worker in one
+        uninterruptible syscall: signals delivered to the process (and
+        thread-based cancellation checks) wait for the full duration.
+        Sleeping in short slices keeps the hang reapable — the
+        supervised runner's timeout, a KeyboardInterrupt, or a test
+        harness can all cut in at the next slice boundary.
+        """
+        deadline = time.monotonic() + self.hang_seconds
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(0.1, remaining))

@@ -55,8 +55,10 @@ class LatencyLedger:
         self.latency = Accumulator("latency", keep_samples=keep_samples)
         self._missed_keys: set = set()
         self._exited_keys: set = set()
+        self._dropped_keys: set = set()
         self._outputs = 0
         self._late_outputs = 0
+        self._dropped_outputs = 0
 
     @property
     def outputs(self) -> int:
@@ -75,6 +77,42 @@ class LatencyLedger:
     @property
     def items_with_output(self) -> int:
         return len(self._exited_keys)
+
+    @property
+    def dropped_outputs(self) -> int:
+        """In-flight tokens shed by a queue overflow policy (never exited)."""
+        return self._dropped_outputs
+
+    @property
+    def dropped_items(self) -> int:
+        """Origin items that lost at least one token to shedding."""
+        return len(self._dropped_keys)
+
+    def record_drops(
+        self, ids: np.ndarray | None = None, *, origins: np.ndarray | None = None
+    ) -> None:
+        """Account shed in-flight tokens as deadline misses.
+
+        A shed token never reaches the pipeline tail, so its origin item
+        can never satisfy "every output exits by ``origin + D``" — the
+        item is scored as missed immediately (it joins
+        :attr:`missed_items` and therefore :meth:`miss_rate`), without
+        contributing a latency sample or an output count.  Identity
+        follows the same rules as :meth:`record_exits`: pass integer
+        ``ids`` when available, ``origins`` only as the tied-timestamp
+        fallback.
+        """
+        keys = ids if ids is not None else origins
+        if keys is None:
+            raise ValueError("record_drops needs ids or origins")
+        keys = np.asarray(keys)
+        n = int(keys.size)
+        if n == 0:
+            return
+        self._dropped_outputs += n
+        key_list = keys.tolist()
+        self._dropped_keys.update(key_list)
+        self._missed_keys.update(key_list)
 
     def record_exit(
         self, origin: float, exit_time: float, *, item_id: int | None = None

@@ -16,6 +16,12 @@ Blocks carry integer item ids (indices into the arrival-time array), so
 deadline accounting stays per-item even when arrival timestamps tie, and
 each stage's firings are recorded in one vectorized batch
 (:meth:`~repro.simd.occupancy.OccupancyTracker.record_firings`).
+
+Of the degraded-mode runtime (:mod:`repro.resilience`) the monolithic
+strategy supports only ``runtime_faults``: arrival bursts remap the
+stream, and service spikes / node stalls stretch the affected stage of
+each block.  Queue shedding and the deadline watchdog do not apply —
+the strategy has no inter-node queues and no enforced waits to degrade.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.dataflow.spec import PipelineSpec
 from repro.des.rng import RngRegistry
 from repro.errors import SimulationError, SpecError
 from repro.obs.telemetry import EngineTelemetry, NodeTelemetry, RunTelemetry
+from repro.resilience.faults import RuntimeFaultPlan
 from repro.sim.metrics import LatencyLedger, SimMetrics
 from repro.simd.occupancy import OccupancyTracker
 
@@ -61,6 +68,11 @@ class MonolithicSimulator:
         as ``metrics.extra["telemetry"]``.  The monolithic strategy has
         no event loop: the engine section counts processed *blocks* as
         its events, and only the head queue (input backlog) exists.
+    runtime_faults:
+        Optional :class:`~repro.resilience.faults.RuntimeFaultPlan`:
+        arrival bursts remap the stream, service spikes scale a stage's
+        per-firing time, stalls delay a stage's start (see the module
+        docstring for what monolithic does not support).
     """
 
     def __init__(
@@ -75,6 +87,7 @@ class MonolithicSimulator:
         flush_partial: bool = True,
         keep_latency_samples: bool = False,
         telemetry: bool = False,
+        runtime_faults: RuntimeFaultPlan | None = None,
     ) -> None:
         if block_size < 1:
             raise SpecError(f"block_size must be >= 1, got {block_size}")
@@ -95,6 +108,11 @@ class MonolithicSimulator:
             for node in pipeline.nodes
         ]
         self.telemetry = bool(telemetry)
+        self._faults = (
+            None
+            if runtime_faults is None or runtime_faults.empty
+            else runtime_faults
+        )
         self._ran = False
 
     def _build_telemetry(
@@ -145,9 +163,20 @@ class MonolithicSimulator:
         duration = 0.0
         current = ids
         for i, node in enumerate(self.pipeline.nodes):
+            t_node = node.service_time
+            if self._faults is not None:
+                # A stall delays this stage's start; a spike stretches
+                # its per-firing time.  Both are evaluated at the
+                # stage's (post-stall) start within the block.
+                stage_start = start + duration
+                release = self._faults.stall_release(i, stage_start)
+                if release > stage_start:
+                    duration += release - stage_start
+                    stage_start = release
+                t_node = t_node * self._faults.service_factor(i, stage_start)
             n_in = current.size
             firings = -(-n_in // v) if n_in else 0
-            stage_time = firings * node.service_time
+            stage_time = firings * t_node
             duration += stage_time
             # Record the stage's firings: all are full except possibly
             # the last.  Small stages (the common case at practical M)
@@ -158,12 +187,12 @@ class MonolithicSimulator:
                 if firings <= 32:
                     record = tracker.record_firing
                     for _ in range(firings - 1):
-                        record(v, node.service_time)
-                    record(n_in - (firings - 1) * v, node.service_time)
+                        record(v, t_node)
+                    record(n_in - (firings - 1) * v, t_node)
                 else:
                     consumed = np.full(firings, v, dtype=np.int64)
                     consumed[-1] = n_in - (firings - 1) * v
-                    tracker.record_firings(consumed, node.service_time)
+                    tracker.record_firings(consumed, t_node)
             if n_in:
                 counts = node.gain.sample(self.rng.stream(f"node{i}.gain"), n_in)
                 current = np.repeat(current, counts)
@@ -184,6 +213,9 @@ class MonolithicSimulator:
         times = self.arrivals.generate(
             self.n_items, self.rng.stream("arrivals")
         )
+        if self._faults is not None:
+            # Same seed-determined stream, remapped by arrival bursts.
+            times = self._faults.transform_arrivals(times)
         m = self.block_size
         n_full = self.n_items // m
         block_bounds = [(k * m, (k + 1) * m) for k in range(n_full)]

@@ -15,6 +15,10 @@ solvers:
 - :mod:`~repro.solvers.golden`, :mod:`~repro.solvers.bisection`,
   :mod:`~repro.solvers.grid`, :mod:`~repro.solvers.line_search` —
   scalar/utility routines used by the above and by the monolithic scan.
+- :mod:`~repro.solvers.fallback` — resilient orchestration: an ordered
+  chain of solver rungs with perturbed-restart retries and explicit
+  feasibility certificates, so planning degrades gracefully instead of
+  aborting on one method's numerical failure.
 
 All solvers return :class:`~repro.solvers.result.SolverResult` so callers
 and tests can inspect convergence status and optimality residuals.
@@ -22,6 +26,13 @@ and tests can inspect convergence status and optimality residuals.
 
 from repro.solvers.result import SolverResult, SolverStatus
 from repro.solvers.bisection import bisect_root, bisect_decreasing
+from repro.solvers.fallback import (
+    FallbackRung,
+    FeasibilityCertificate,
+    certify_linear,
+    perturbation_scale,
+    solve_with_fallback,
+)
 from repro.solvers.golden import golden_section_min
 from repro.solvers.grid import best_feasible_index, grid_min
 from repro.solvers.line_search import backtracking_armijo
@@ -42,4 +53,9 @@ __all__ = [
     "project_box_budget",
     "barrier_solve",
     "projected_gradient_min",
+    "FallbackRung",
+    "FeasibilityCertificate",
+    "certify_linear",
+    "perturbation_scale",
+    "solve_with_fallback",
 ]

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.dataflow.queues import ItemQueue
 from repro.errors import SimulationError
+from repro.resilience.shedding import DropNewest, DropOldest, ShedPolicy
 
 
 class TestBasics:
@@ -153,6 +154,127 @@ class TestHighWaterMark:
     def test_capacity_must_be_positive(self):
         with pytest.raises(SimulationError):
             ItemQueue("q", capacity=0)
+
+
+class TestOverflowContract:
+    """The push_many overflow contract: check-then-copy, exact boundaries."""
+
+    def test_push_many_fills_to_exact_capacity(self):
+        q = ItemQueue("q", capacity=4)
+        assert q.push_many([1.0, 2.0, 3.0, 4.0]) is None
+        assert len(q) == 4
+        assert q.max_depth == 4
+
+    def test_one_past_capacity_raises(self):
+        q = ItemQueue("q", capacity=4)
+        q.push_many([1.0, 2.0, 3.0])
+        q.push(4.0)  # exactly full is fine
+        with pytest.raises(SimulationError, match="overflow"):
+            q.push(5.0)
+        assert len(q) == 4
+
+    def test_error_reports_depth_capacity_and_attempt(self):
+        q = ItemQueue("deep", capacity=4)
+        q.push_many([1.0, 2.0, 3.0])
+        with pytest.raises(
+            SimulationError,
+            match=r"'deep' overflowed: depth 3 \+ push 2 exceeds capacity 4",
+        ):
+            q.push_many([4.0, 5.0])
+        # Nothing was partially enqueued.
+        assert len(q) == 3
+        assert q.total_pushed == 3
+
+    def test_boundary_after_pops(self):
+        """Capacity is on current depth, not cumulative pushes."""
+        q = ItemQueue("q", capacity=3)
+        q.push_many([1.0, 2.0, 3.0])
+        q.pop_up_to(2)
+        assert q.push_many([4.0, 5.0]) is None  # refilled to exactly 3
+        with pytest.raises(SimulationError, match="depth 3 \\+ push 1"):
+            q.push(6.0)
+
+    def test_unknown_on_overflow_string_rejected(self):
+        with pytest.raises(SimulationError, match="on_overflow"):
+            ItemQueue("q", capacity=2, on_overflow="drop")
+
+
+class TestShedding:
+    """Shed-policy overflow: provenance accounting and buffer surgery."""
+
+    def test_drop_newest_keeps_queued_items(self):
+        q = ItemQueue("q", capacity=3, on_overflow=DropNewest())
+        q.push_many([1.0, 2.0])
+        dropped = q.push_many([3.0, 4.0, 5.0])
+        assert dropped.tolist() == [4.0, 5.0]
+        assert q.pop_up_to(3).tolist() == [1.0, 2.0, 3.0]
+
+    def test_drop_oldest_evicts_queued_items(self):
+        q = ItemQueue("q", capacity=3, on_overflow=DropOldest())
+        q.push_many([1.0, 2.0])
+        dropped = q.push_many([3.0, 4.0, 5.0])
+        assert dropped.tolist() == [1.0, 2.0]
+        assert q.pop_up_to(3).tolist() == [3.0, 4.0, 5.0]
+
+    def test_shed_vs_clear_provenance(self):
+        """total_dropped = dropped_by_clear + total_shed, separately tracked."""
+        q = ItemQueue("q", capacity=2, on_overflow=DropNewest())
+        q.push_many([1.0, 2.0])
+        q.push(3.0)  # shed: 3.0 dropped
+        assert q.total_shed == 1
+        assert q.dropped_by_clear == 0
+        q.clear()  # drops the 2 held items
+        assert q.dropped_by_clear == 2
+        assert q.total_shed == 1
+        assert q.total_dropped == 3
+        # Conservation holds across both drop flavours.
+        assert q.total_popped + q.total_dropped + len(q) == q.total_pushed
+
+    def test_shed_counts_incoming_as_pushed(self):
+        q = ItemQueue("q", capacity=2, on_overflow=DropNewest())
+        q.push_many([1.0, 2.0])
+        q.push_many([3.0, 4.0])
+        assert q.total_pushed == 4
+        assert q.total_shed == 2
+        assert len(q) == 2
+
+    def test_shed_sets_max_depth_to_capacity(self):
+        q = ItemQueue("q", capacity=5, on_overflow=DropNewest())
+        q.push(1.0)
+        q.push_many(np.arange(2.0, 12.0))
+        assert q.max_depth == 5
+
+    def test_wraparound_with_capacity_and_shedding(self):
+        """Head deep in the ring: shed rebuild still sees oldest-first."""
+        q = ItemQueue("q", capacity=4, on_overflow=DropOldest())
+        # Walk the head around the (power-of-two) backing buffer.
+        for base in range(0, 40, 4):
+            q.push_many(np.arange(base, base + 4, dtype=float))
+            q.pop_up_to(4)
+        q.push_many([100.0, 101.0, 102.0])
+        dropped = q.push_many([103.0, 104.0])
+        assert dropped.tolist() == [100.0]
+        assert q.pop_up_to(4).tolist() == [101.0, 102.0, 103.0, 104.0]
+        assert q.total_popped + q.total_dropped + len(q) == q.total_pushed
+
+    def test_push_after_shed_continues_normally(self):
+        q = ItemQueue("q", capacity=3, on_overflow=DropNewest())
+        q.push_many([1.0, 2.0, 3.0, 4.0])  # sheds 4.0
+        q.pop_up_to(2)
+        assert q.push(5.0) is None
+        assert q.pop_up_to(3).tolist() == [3.0, 5.0]
+
+    def test_malformed_policy_mask_rejected(self):
+        class BadPolicy(ShedPolicy):
+            name = "bad"
+
+            def keep_mask(self, combined, capacity, now):
+                return np.ones(combined.size, dtype=bool)  # keeps too many
+
+        q = ItemQueue("q", capacity=2, on_overflow=BadPolicy())
+        q.push_many([1.0, 2.0])
+        with pytest.raises(SimulationError, match="must keep exactly"):
+            q.push(3.0)
 
 
 @settings(max_examples=50)

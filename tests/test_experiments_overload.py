@@ -1,0 +1,64 @@
+"""Tests for the R1 overload-sweep experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.overload import run_overload_sweep
+from repro.experiments.registry import EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_overload_sweep(n_items=1500, telemetry=True)
+
+
+class TestOverloadSweep:
+    def test_registered_with_telemetry_support(self):
+        exp = EXPERIMENTS["overload-sweep"]
+        assert exp.supports_telemetry
+        assert "R1" in exp.paper_artifact
+
+    def test_covers_every_factor_policy_cell(self, sweep):
+        factors = {row[0] for row in sweep.rows}
+        policies = {row[1] for row in sweep.rows}
+        assert factors == {1.2, 2.0, 3.0}
+        assert policies == {"drop-newest", "drop-oldest", "deadline-aware"}
+        assert len(sweep.rows) == 9
+
+    def test_fail_fast_aborts_where_shedding_survives(self, sweep):
+        """The headline claim: bounded queues abort without a shed
+        policy, while every shedding cell completed (it has a row)."""
+        assert sweep.raise_outcomes[1.2] == "survives"
+        assert sweep.raise_outcomes[2.0] == "aborts"
+        assert sweep.raise_outcomes[3.0] == "aborts"
+
+    def test_overload_sheds_and_scores_misses(self, sweep):
+        _, _, shed, lost, miss, _, _ = sweep.cell(2.0, "deadline-aware")
+        assert shed > 0
+        assert lost > 0
+        assert miss > 0
+        # Heavier overload sheds at least as much.
+        assert sweep.cell(3.0, "deadline-aware")[2] >= shed
+
+    def test_planned_rate_sheds_nothing(self, sweep):
+        for policy in ("drop-newest", "drop-oldest", "deadline-aware"):
+            _, _, shed, lost, miss, _, _ = sweep.cell(1.2, policy)
+            assert shed == 0
+            assert miss == 0
+
+    def test_telemetry_carries_shed_counts(self, sweep):
+        assert sweep.telemetry is not None
+        assert sweep.telemetry.total_shed == sweep.cell(
+            3.0, "deadline-aware"
+        )[2]
+
+    def test_render_mentions_fail_fast_outcomes(self, sweep):
+        text = sweep.render()
+        assert "aborts" in text
+        assert "deadline-aware" in text
+        assert f"capacity {sweep.queue_capacity}" in text
+
+    def test_cell_lookup_raises_on_unknown(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.cell(9.9, "drop-newest")

@@ -1,0 +1,310 @@
+"""Tests for in-simulation fault injection (repro.resilience.faults).
+
+Covers the fault dataclasses' validation, the pure lookup functions
+(service factor compounding, stall chaining, burst remapping), and the
+ISSUE acceptance scenario: a sustained arrival burst through bounded
+queues with deadline-aware shedding completes gracefully where the
+fail-fast configuration aborts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.dataflow.gains import DeterministicGain
+from repro.dataflow.spec import NodeSpec, PipelineSpec
+from repro.errors import SimulationError, SpecError
+from repro.resilience import (
+    ArrivalBurst,
+    DeadlineWatchdog,
+    NodeStall,
+    RuntimeFaultPlan,
+    ServiceSpike,
+)
+from repro.sim.enforced import EnforcedWaitsSimulator
+
+
+class TestValidation:
+    def test_spike_rejects_negative_node(self):
+        with pytest.raises(SpecError, match="node"):
+            ServiceSpike(-1, 0.0, 1.0, 2.0)
+
+    def test_spike_rejects_empty_window(self):
+        with pytest.raises(SpecError, match="window"):
+            ServiceSpike(0, 5.0, 5.0, 2.0)
+
+    def test_spike_rejects_negative_start(self):
+        with pytest.raises(SpecError, match="window"):
+            ServiceSpike(0, -1.0, 5.0, 2.0)
+
+    def test_spike_rejects_nonpositive_factor(self):
+        with pytest.raises(SpecError, match="factor"):
+            ServiceSpike(0, 0.0, 1.0, 0.0)
+
+    def test_stall_rejects_negative_node(self):
+        with pytest.raises(SpecError, match="node"):
+            NodeStall(-2, 0.0, 1.0)
+
+    def test_stall_rejects_nonpositive_duration(self):
+        with pytest.raises(SpecError, match="duration"):
+            NodeStall(0, 1.0, 0.0)
+
+    def test_stall_end_property(self):
+        assert NodeStall(0, 2.0, 3.0).end == 5.0
+
+    def test_burst_rejects_inverted_window(self):
+        with pytest.raises(SpecError, match="window"):
+            ArrivalBurst(10.0, 4.0, 2.0)
+
+    def test_burst_rejects_nonpositive_factor(self):
+        with pytest.raises(SpecError, match="factor"):
+            ArrivalBurst(0.0, 10.0, -1.0)
+
+
+class TestEmptyPlan:
+    def test_empty_flag(self):
+        assert RuntimeFaultPlan().empty
+        assert not RuntimeFaultPlan(stalls=(NodeStall(0, 1.0, 1.0),)).empty
+
+    def test_unit_service_factor(self):
+        assert RuntimeFaultPlan().service_factor(0, 100.0) == 1.0
+
+    def test_identity_stall_release(self):
+        assert RuntimeFaultPlan().stall_release(3, 42.0) == 42.0
+
+    def test_transform_is_identity_not_copy(self):
+        """With no bursts the input array itself must come back."""
+        times = np.linspace(0.0, 10.0, 11)
+        out = RuntimeFaultPlan().transform_arrivals(times)
+        assert out is times
+
+
+class TestServiceFactor:
+    def test_window_is_half_open(self):
+        plan = RuntimeFaultPlan(
+            service_spikes=(ServiceSpike(1, 10.0, 20.0, 3.0),)
+        )
+        assert plan.service_factor(1, 9.999) == 1.0
+        assert plan.service_factor(1, 10.0) == 3.0
+        assert plan.service_factor(1, 19.999) == 3.0
+        assert plan.service_factor(1, 20.0) == 1.0  # end exclusive
+
+    def test_other_nodes_unaffected(self):
+        plan = RuntimeFaultPlan(
+            service_spikes=(ServiceSpike(1, 10.0, 20.0, 3.0),)
+        )
+        assert plan.service_factor(0, 15.0) == 1.0
+        assert plan.service_factor(2, 15.0) == 1.0
+
+    def test_overlapping_spikes_compound(self):
+        plan = RuntimeFaultPlan(
+            service_spikes=(
+                ServiceSpike(0, 0.0, 100.0, 2.0),
+                ServiceSpike(0, 50.0, 60.0, 1.5),
+            )
+        )
+        assert plan.service_factor(0, 55.0) == pytest.approx(3.0)
+        assert plan.service_factor(0, 70.0) == 2.0
+
+
+class TestStallRelease:
+    def test_not_stalled_returns_t(self):
+        plan = RuntimeFaultPlan(stalls=(NodeStall(0, 10.0, 5.0),))
+        assert plan.stall_release(0, 9.0) == 9.0
+        assert plan.stall_release(0, 15.0) == 15.0  # end is release
+
+    def test_inside_stall_defers_to_end(self):
+        plan = RuntimeFaultPlan(stalls=(NodeStall(0, 10.0, 5.0),))
+        assert plan.stall_release(0, 12.0) == 15.0
+        assert plan.stall_release(0, 10.0) == 15.0  # start inclusive
+
+    def test_chained_stalls_resolve_to_final_release(self):
+        """A stall ending inside another pushes through both."""
+        plan = RuntimeFaultPlan(
+            stalls=(NodeStall(0, 10.0, 5.0), NodeStall(0, 14.0, 6.0))
+        )
+        assert plan.stall_release(0, 11.0) == 20.0
+
+    def test_other_node_stall_ignored(self):
+        plan = RuntimeFaultPlan(stalls=(NodeStall(2, 10.0, 5.0),))
+        assert plan.stall_release(0, 12.0) == 12.0
+
+
+class TestTransformArrivals:
+    def _plan(self, factor: float = 2.0) -> RuntimeFaultPlan:
+        return RuntimeFaultPlan(
+            bursts=(ArrivalBurst(10.0, 20.0, factor),)
+        )
+
+    def test_before_window_untouched(self):
+        times = np.asarray([0.0, 5.0, 9.9])
+        out = self._plan().transform_arrivals(times)
+        assert np.array_equal(out, times)
+
+    def test_window_gaps_compressed_by_factor(self):
+        times = np.asarray([10.0, 12.0, 16.0, 20.0])
+        out = self._plan(2.0).transform_arrivals(times)
+        assert out == pytest.approx([10.0, 11.0, 13.0, 15.0])
+
+    def test_after_window_shifted_by_saved_time(self):
+        # A 2x burst over a 10-wide window saves 5 time units.
+        times = np.asarray([25.0, 40.0])
+        out = self._plan(2.0).transform_arrivals(times)
+        assert out == pytest.approx([20.0, 35.0])
+
+    def test_remap_is_continuous_and_order_preserving(self):
+        times = np.linspace(0.0, 40.0, 400)
+        out = self._plan(3.0).transform_arrivals(times)
+        assert (np.diff(out) > 0).all()
+        # Piecewise affine with no jumps: max step bounded by input step.
+        assert np.diff(out).max() <= np.diff(times).max() + 1e-12
+
+    def test_preserves_count_and_dtype(self):
+        times = np.linspace(0.0, 40.0, 50)
+        out = self._plan().transform_arrivals(times)
+        assert out.shape == times.shape
+        assert out.dtype == float
+
+    def test_sequential_bursts_compose(self):
+        plan = RuntimeFaultPlan(
+            bursts=(
+                ArrivalBurst(10.0, 20.0, 2.0),
+                ArrivalBurst(30.0, 40.0, 2.0),
+            )
+        )
+        out = plan.transform_arrivals(np.asarray([50.0]))
+        assert out == pytest.approx([40.0])  # 5 saved by each burst
+
+
+# -- end-to-end: the ISSUE acceptance scenario ----------------------------
+
+
+def _overload_pipeline() -> PipelineSpec:
+    return PipelineSpec(
+        nodes=(
+            NodeSpec("s0", 0.5, DeterministicGain(1)),
+            NodeSpec("s1", 0.5, DeterministicGain(1)),
+            NodeSpec("s2", 0.5, DeterministicGain(1)),
+        ),
+        vector_width=4,
+    )
+
+
+def _overload_sim(factor: float, **kwargs) -> EnforcedWaitsSimulator:
+    plan = RuntimeFaultPlan(
+        bursts=(ArrivalBurst(20.0, 120.0, factor),)
+    )
+    return EnforcedWaitsSimulator(
+        _overload_pipeline(),
+        np.asarray([2.0, 2.0, 2.0]),
+        FixedRateArrivals(1.0),
+        15.0,
+        300,
+        seed=0,
+        runtime_faults=plan,
+        **kwargs,
+    )
+
+
+class TestOverloadAcceptance:
+    """2x burst + deadline-aware shedding: complete, shed, degrade."""
+
+    def test_fail_fast_aborts_under_burst(self):
+        with pytest.raises(SimulationError, match="overflow"):
+            _overload_sim(3.0, queue_capacity=16).run()
+
+    @pytest.mark.parametrize("factor", [2.0, 3.0])
+    def test_shedding_run_completes(self, factor):
+        sim = _overload_sim(
+            factor,
+            queue_capacity=16,
+            shed_policy="deadline-aware",
+            watchdog=DeadlineWatchdog(15.0, sustain_time=0.75),
+            telemetry=True,
+        )
+        metrics = sim.run()  # must not raise
+        res = metrics.extra["resilience"]
+        assert res["shed_total"] > 0
+        assert res["shed_total"] == int(res["shed_per_node"].sum())
+        # Shed items are lost for good: they count as misses.
+        assert res["dropped_items"] > 0
+        assert metrics.miss_rate > 0
+
+        # Telemetry carries the same shed counts and the intervals.
+        tel = metrics.extra["telemetry"]
+        assert tel.total_shed == res["shed_total"]
+        assert tel.degraded_intervals == res["degraded_intervals"]
+
+        # Queue conservation: pushed = popped + dropped + still queued.
+        for q in sim.queues:
+            assert (
+                q.total_popped + q.total_dropped + len(q) == q.total_pushed
+            )
+            assert q.max_depth <= 16
+
+    def test_watchdog_degrades_under_sustained_burst(self):
+        sim = _overload_sim(
+            3.0,
+            queue_capacity=16,
+            shed_policy="deadline-aware",
+            watchdog=DeadlineWatchdog(15.0, sustain_time=0.75),
+        )
+        metrics = sim.run()
+        res = metrics.extra["resilience"]
+        assert res["degradations"] >= 1
+        assert res["degraded_time"] > 0
+        for enter, exit_ in res["degraded_intervals"]:
+            assert 0 <= enter < exit_ <= metrics.makespan
+
+    def test_drop_policies_also_survive(self):
+        for policy in ("drop-newest", "drop-oldest"):
+            metrics = _overload_sim(
+                3.0, queue_capacity=16, shed_policy=policy
+            ).run()
+            assert metrics.extra["resilience"]["shed_total"] > 0
+
+    def test_service_spike_extends_makespan(self):
+        clean = EnforcedWaitsSimulator(
+            _overload_pipeline(),
+            np.asarray([2.0, 2.0, 2.0]),
+            FixedRateArrivals(1.0),
+            15.0,
+            100,
+            seed=0,
+        ).run()
+        spiked = EnforcedWaitsSimulator(
+            _overload_pipeline(),
+            np.asarray([2.0, 2.0, 2.0]),
+            FixedRateArrivals(1.0),
+            15.0,
+            100,
+            seed=0,
+            runtime_faults=RuntimeFaultPlan(
+                service_spikes=(ServiceSpike(1, 0.0, 200.0, 8.0),)
+            ),
+        ).run()
+        assert spiked.makespan > clean.makespan
+
+    def test_stall_defers_firings(self):
+        clean = EnforcedWaitsSimulator(
+            _overload_pipeline(),
+            np.asarray([2.0, 2.0, 2.0]),
+            FixedRateArrivals(1.0),
+            15.0,
+            100,
+            seed=0,
+        ).run()
+        stalled = EnforcedWaitsSimulator(
+            _overload_pipeline(),
+            np.asarray([2.0, 2.0, 2.0]),
+            FixedRateArrivals(1.0),
+            15.0,
+            100,
+            seed=0,
+            runtime_faults=RuntimeFaultPlan(
+                stalls=(NodeStall(0, 10.0, 40.0),)
+            ),
+        ).run()
+        assert stalled.makespan > clean.makespan

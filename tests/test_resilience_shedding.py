@@ -1,0 +1,109 @@
+"""Tests for shed policies (repro.resilience.shedding).
+
+keep_mask contracts are exercised directly on synthetic combined arrays
+(queued oldest-first, then incoming); integration with ItemQueue buffer
+surgery lives in test_dataflow_queues.py.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.resilience.shedding import (
+    DeadlineAware,
+    DropNewest,
+    DropOldest,
+    make_shed_policy,
+)
+
+
+class TestDropNewest:
+    def test_keeps_leading_capacity_items(self):
+        mask = DropNewest().keep_mask(np.arange(5.0), 3, now=0.0)
+        assert mask.tolist() == [True, True, True, False, False]
+
+    def test_name(self):
+        assert DropNewest().name == "drop-newest"
+
+
+class TestDropOldest:
+    def test_keeps_trailing_capacity_items(self):
+        mask = DropOldest().keep_mask(np.arange(5.0), 3, now=0.0)
+        assert mask.tolist() == [False, False, True, True, True]
+
+    def test_name(self):
+        assert DropOldest().name == "drop-oldest"
+
+
+class TestDeadlineAware:
+    def test_drops_smallest_slack_items(self):
+        # Tokens are arbitrary; slack decides.  Token 2.0 and 4.0 are
+        # the most doomed and must go.
+        slack_by_token = {0.0: 5.0, 1.0: 9.0, 2.0: -1.0, 3.0: 7.0, 4.0: 0.5}
+
+        def slack_of(tokens, now):
+            return np.asarray([slack_by_token[t] for t in tokens])
+
+        mask = DeadlineAware(slack_of).keep_mask(
+            np.arange(5.0), 3, now=0.0
+        )
+        assert mask.tolist() == [True, True, False, True, False]
+
+    def test_ties_drop_oldest_first(self):
+        """Equal slack: the stable sort sheds earlier positions first."""
+        policy = DeadlineAware(lambda tokens, now: np.zeros(tokens.size))
+        mask = policy.keep_mask(np.arange(4.0), 2, now=0.0)
+        assert mask.tolist() == [False, False, True, True]
+
+    def test_now_is_forwarded_to_slack_of(self):
+        seen = []
+
+        def slack_of(tokens, now):
+            seen.append(now)
+            return np.zeros(tokens.size)
+
+        DeadlineAware(slack_of).keep_mask(np.arange(3.0), 2, now=17.5)
+        assert seen == [17.5]
+
+    def test_keep_mask_preserves_fifo_of_survivors(self):
+        """The mask never reorders; survivors keep their relative order."""
+        policy = DeadlineAware(
+            lambda tokens, now: np.asarray([3.0, 1.0, 4.0, 2.0])
+        )
+        mask = policy.keep_mask(np.arange(4.0), 2, now=0.0)
+        kept = np.arange(4.0)[mask]
+        assert kept.tolist() == [0.0, 2.0]  # still ascending = FIFO
+
+    def test_rejects_noncallable_slack_of(self):
+        with pytest.raises(SpecError, match="callable"):
+            DeadlineAware(None)
+
+    def test_rejects_wrong_shape_from_slack_of(self):
+        policy = DeadlineAware(lambda tokens, now: np.zeros(2))
+        with pytest.raises(SpecError, match="shape"):
+            policy.keep_mask(np.arange(5.0), 3, now=0.0)
+
+    def test_repr_elides_callback(self):
+        assert repr(DeadlineAware(lambda t, n: t)) == (
+            "DeadlineAware(slack_of=...)"
+        )
+
+
+class TestFactory:
+    def test_builds_by_name(self):
+        assert isinstance(make_shed_policy("drop-newest"), DropNewest)
+        assert isinstance(make_shed_policy("drop-oldest"), DropOldest)
+        policy = make_shed_policy(
+            "deadline-aware", slack_of=lambda t, n: np.zeros(t.size)
+        )
+        assert isinstance(policy, DeadlineAware)
+
+    def test_deadline_aware_requires_slack_of(self):
+        with pytest.raises(SpecError, match="slack_of"):
+            make_shed_policy("deadline-aware")
+
+    def test_unknown_name_lists_known_policies(self):
+        with pytest.raises(SpecError, match="drop-newest.*drop-oldest"):
+            make_shed_policy("random-drop")

@@ -321,3 +321,40 @@ class TestFaultPlan:
 
         plan = FaultPlan(crash_seeds=(1,), transient_crashes={2: 1})
         assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_hang_sleeps_in_interruptible_slices(self, monkeypatch):
+        """A hang must never block in one long uninterruptible sleep."""
+        import repro.sim.faults as faults_mod
+
+        clock = [0.0]
+        slices = []
+
+        def fake_monotonic():
+            return clock[0]
+
+        def fake_sleep(seconds):
+            slices.append(seconds)
+            clock[0] += seconds
+
+        monkeypatch.setattr(faults_mod.time, "monotonic", fake_monotonic)
+        monkeypatch.setattr(faults_mod.time, "sleep", fake_sleep)
+        FaultPlan(hang_seeds=(5,), hang_seconds=0.35).apply(5)
+        assert sum(slices) == pytest.approx(0.35)
+        assert max(slices) <= 0.1  # reapable at every slice boundary
+        assert len(slices) >= 4
+
+    def test_hang_interrupt_propagates_at_slice_boundary(self, monkeypatch):
+        """An interrupt delivered mid-hang escapes within one slice."""
+        import repro.sim.faults as faults_mod
+
+        calls = []
+
+        def interrupting_sleep(seconds):
+            calls.append(seconds)
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(faults_mod.time, "sleep", interrupting_sleep)
+        with pytest.raises(KeyboardInterrupt):
+            FaultPlan(hang_seeds=(5,), hang_seconds=3600.0).apply(5)
+        assert len(calls) == 2

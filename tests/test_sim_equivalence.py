@@ -191,6 +191,74 @@ def test_enforced_gps_timing_equivalent():
     _assert_bitwise_equal(s1, s2, s1.run(), s2.run())
 
 
+def test_enforced_disabled_resilience_kwargs_equivalent():
+    """Resilience kwargs in their disabled states must stay bit-identical.
+
+    An empty fault plan, no watchdog, and an unreachable queue bound all
+    normalize to the plain fast path; the reference simulator has no such
+    kwargs at all, so any residual behavioural coupling shows up here.
+    """
+    from repro.resilience import RuntimeFaultPlan
+
+    waits = np.asarray([3.0, 2.0, 1.5])
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=40.0,
+        n_items=1500,
+        seed=2,
+        telemetry=True,
+    )
+    for resilience_kw in (
+        dict(runtime_faults=RuntimeFaultPlan(), watchdog=None),
+        dict(queue_capacity=10**6),  # bounded but never overflows
+        dict(
+            runtime_faults=RuntimeFaultPlan(),
+            queue_capacity=10**6,
+            shed_policy="deadline-aware",
+        ),
+    ):
+        s1 = EnforcedWaitsSimulator(_pipeline(), waits, **kw, **resilience_kw)
+        s2 = ReferenceEnforcedSimulator(_pipeline(), waits, **kw)
+        _assert_bitwise_equal(s1, s2, s1.run(), s2.run())
+
+
+def test_adaptive_disabled_resilience_kwargs_equivalent():
+    from repro.resilience import RuntimeFaultPlan
+
+    waits = np.asarray([3.0, 2.0, 1.5])
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=40.0,
+        n_items=1500,
+        seed=2,
+        telemetry=True,
+    )
+    for resilience_kw in (
+        dict(runtime_faults=RuntimeFaultPlan(), watchdog=None),
+        dict(queue_capacity=10**6, shed_policy="drop-oldest"),
+    ):
+        s1 = AdaptiveWaitsSimulator(_pipeline(), waits, **kw, **resilience_kw)
+        s2 = ReferenceAdaptiveSimulator(_pipeline(), waits, **kw)
+        _assert_bitwise_equal(s1, s2, s1.run(), s2.run())
+
+
+def test_monolithic_empty_fault_plan_equivalent():
+    from repro.resilience import RuntimeFaultPlan
+
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=80.0,
+        n_items=1500,
+        seed=2,
+        telemetry=True,
+    )
+    s1 = MonolithicSimulator(
+        _pipeline(), 16, **kw, runtime_faults=RuntimeFaultPlan()
+    )
+    s2 = ReferenceMonolithicSimulator(_pipeline(), 16, **kw)
+    _assert_bitwise_equal(s1, s2, s1.run(), s2.run())
+
+
 def test_adaptive_policies_equivalent():
     """Both early-fire policies must survive the chunked-arrival change."""
     waits = np.asarray([3.0, 2.0, 1.5])

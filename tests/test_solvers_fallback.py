@@ -1,0 +1,267 @@
+"""Tests for the solver fallback chain (repro.solvers.fallback).
+
+Unit tests drive solve_with_fallback with synthetic rungs; the
+integration tests run EnforcedWaitsProblem with method="fallback" on the
+paper pipeline, including the ISSUE acceptance case of a sabotaged
+interior-point rung falling through to a certified backup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.enforced_waits import EnforcedWaitsProblem
+from repro.core.model import RealTimeProblem
+from repro.errors import SolverError
+from repro.solvers.fallback import (
+    FallbackRung,
+    FeasibilityCertificate,
+    certify_linear,
+    perturbation_scale,
+    solve_with_fallback,
+)
+from repro.solvers.result import SolverResult, SolverStatus
+
+import repro.core.enforced_waits as ew
+
+
+class TestCertifyLinear:
+    A = np.asarray([[1.0, 0.0], [0.0, 1.0], [-1.0, -1.0]])
+    c = np.asarray([2.0, 3.0, -1.0])
+    labels = ["x0_cap", "x1_cap", "sum_floor"]
+
+    def test_feasible_point_passes(self):
+        cert = certify_linear(self.A, self.c, np.asarray([1.0, 1.0]))
+        assert cert.satisfied
+        assert cert.max_violation < 0  # strictly feasible
+
+    def test_violation_scaled_by_rhs_magnitude(self):
+        # x0 = 4 violates row 0 (c=2) by 2, scaled by max(|2|,1) = 2.
+        cert = certify_linear(self.A, self.c, np.asarray([4.0, 1.0]))
+        assert not cert.satisfied
+        assert cert.max_violation == pytest.approx(1.0)
+
+    def test_worst_constraint_labelled(self):
+        cert = certify_linear(
+            self.A, self.c, np.asarray([4.0, 1.0]), labels=self.labels
+        )
+        assert cert.worst_constraint == "x0_cap"
+
+    def test_default_row_labels(self):
+        cert = certify_linear(self.A, self.c, np.asarray([4.0, 1.0]))
+        assert cert.worst_constraint == "row_0"
+
+    def test_small_rhs_not_inflated(self):
+        """|c| < 1 rows scale by 1, not by the tiny |c|."""
+        cert = certify_linear(
+            np.asarray([[1.0]]), np.asarray([1e-6]), np.asarray([0.5])
+        )
+        assert cert.max_violation == pytest.approx(0.5 - 1e-6)
+
+    def test_nonfinite_iterate_fails_with_inf(self):
+        cert = certify_linear(self.A, self.c, np.asarray([np.nan, 1.0]))
+        assert not cert.satisfied
+        assert cert.max_violation == float("inf")
+        assert "non-finite" in cert.worst_constraint
+
+    def test_tolerance_respected(self):
+        x = np.asarray([2.0 + 5e-10, 1.0])
+        assert certify_linear(self.A, self.c, x, tol=1e-9).satisfied
+        assert not certify_linear(self.A, self.c, x, tol=1e-12).satisfied
+
+    def test_repr_states_verdict(self):
+        good = certify_linear(self.A, self.c, np.asarray([1.0, 1.0]))
+        bad = certify_linear(self.A, self.c, np.asarray([9.0, 9.0]))
+        assert "feasible" in repr(good)
+        assert "INFEASIBLE" in repr(bad)
+
+
+class TestPerturbationScale:
+    def test_attempt_zero_is_unperturbed(self):
+        assert perturbation_scale(0) == 0.0
+
+    def test_doubles_per_retry(self):
+        assert perturbation_scale(1) == 1e-3
+        assert perturbation_scale(2) == 2e-3
+        assert perturbation_scale(3) == 4e-3
+
+    def test_custom_base(self):
+        assert perturbation_scale(2, base=0.5) == 1.0
+
+
+def _ok(x, objective=1.0, status=SolverStatus.OPTIMAL, message=""):
+    return SolverResult(
+        x=np.asarray(x, dtype=float),
+        objective=objective,
+        status=status,
+        iterations=1,
+        message=message,
+    )
+
+
+class TestSolveWithFallback:
+    def test_rejects_empty_chain(self):
+        with pytest.raises(SolverError, match="at least one rung"):
+            solve_with_fallback([])
+
+    def test_rejects_nonpositive_attempts(self):
+        rung = FallbackRung("r", lambda a: _ok([0.0]))
+        with pytest.raises(SolverError, match="attempts"):
+            solve_with_fallback([rung], attempts=0)
+
+    def test_first_rung_success_short_circuits(self):
+        calls = []
+
+        def second(attempt):
+            calls.append(attempt)
+            return _ok([0.0])
+
+        result = solve_with_fallback(
+            [
+                FallbackRung("first", lambda a: _ok([1.0])),
+                FallbackRung("second", second),
+            ]
+        )
+        assert calls == []
+        fb = result.extra["fallback"]
+        assert fb["rung"] == "first"
+        assert fb["rung_index"] == 0
+        assert fb["attempt"] == 0
+        assert fb["trail"] == ()
+
+    def test_raising_rung_retried_with_growing_attempts(self):
+        attempts = []
+
+        def flaky(attempt):
+            attempts.append(attempt)
+            if attempt < 2:
+                raise SolverError("singular system")
+            return _ok([1.0])
+
+        result = solve_with_fallback([FallbackRung("flaky", flaky)])
+        assert attempts == [0, 1, 2]
+        fb = result.extra["fallback"]
+        assert fb["attempt"] == 2
+        assert len(fb["trail"]) == 2
+        assert "singular system" in fb["trail"][0]
+
+    def test_linalgerror_counts_as_failed_attempt(self):
+        def bad(attempt):
+            raise np.linalg.LinAlgError("not positive definite")
+
+        result = solve_with_fallback(
+            [
+                FallbackRung("bad", bad),
+                FallbackRung("good", lambda a: _ok([1.0])),
+            ]
+        )
+        assert result.extra["fallback"]["rung"] == "good"
+        assert len(result.extra["fallback"]["trail"]) == 3
+
+    def test_certificate_rejection_advances_the_chain(self):
+        A = np.asarray([[1.0]])
+        c = np.asarray([1.0])
+
+        def certify(x):
+            return certify_linear(A, c, x)
+
+        result = solve_with_fallback(
+            [
+                FallbackRung("cheats", lambda a: _ok([5.0])),  # infeasible
+                FallbackRung("honest", lambda a: _ok([0.5])),
+            ],
+            certify=certify,
+        )
+        fb = result.extra["fallback"]
+        assert fb["rung"] == "honest"
+        assert any("certificate failed" in s for s in fb["trail"])
+        assert result.extra["certificate"].satisfied
+
+    def test_certified_nonoptimal_kept_as_last_resort(self):
+        maxiter = _ok(
+            [0.5], objective=3.0, status=SolverStatus.MAX_ITER,
+            message="hit iteration cap",
+        )
+        result = solve_with_fallback(
+            [FallbackRung("only", lambda a: maxiter)],
+            certify=lambda x: certify_linear(
+                np.asarray([[1.0]]), np.asarray([1.0]), x
+            ),
+        )
+        assert result.status is SolverStatus.MAX_ITER
+        assert result.extra["fallback"]["rung"] == "only"
+        assert result.extra["certificate"].satisfied
+
+    def test_best_last_resort_wins_by_objective(self):
+        worse = _ok([0.1], objective=5.0, status=SolverStatus.MAX_ITER)
+        better = _ok([0.2], objective=2.0, status=SolverStatus.MAX_ITER)
+        result = solve_with_fallback(
+            [
+                FallbackRung("worse", lambda a: worse),
+                FallbackRung("better", lambda a: better),
+            ],
+        )
+        assert result.objective == 2.0
+        assert result.extra["fallback"]["rung"] == "better"
+
+    def test_total_failure_raises_with_trail(self):
+        def bad(attempt):
+            raise SolverError("boom")
+
+        with pytest.raises(SolverError, match="all fallback rungs failed"):
+            solve_with_fallback([FallbackRung("bad", bad)], attempts=2)
+
+
+class TestEnforcedWaitsFallback:
+    """method='fallback' on the paper pipeline, healthy and sabotaged."""
+
+    @pytest.fixture
+    def problem(self, blast, calibrated_b):
+        return EnforcedWaitsProblem(
+            RealTimeProblem(blast, 20.0, 6.0e4), calibrated_b
+        )
+
+    def test_healthy_chain_matches_auto(self, problem):
+        auto = problem.solve("auto")
+        fb = problem.solve("fallback")
+        assert fb.feasible
+        assert fb.method == "fallback:interior-point"
+        assert fb.active_fraction == pytest.approx(
+            auto.active_fraction, rel=1e-6
+        )
+        np.testing.assert_allclose(fb.waits, auto.waits, rtol=1e-5, atol=1e-6)
+
+    def test_forced_interior_failure_falls_through(
+        self, problem, monkeypatch
+    ):
+        """ISSUE acceptance: sabotage interior point, get a certified
+        result from a lower rung with the failures on the trail."""
+
+        def sabotaged(*args, **kwargs):
+            raise SolverError("injected interior-point failure")
+
+        monkeypatch.setattr(ew, "barrier_solve", sabotaged)
+        sol = problem.solve("fallback")
+        assert sol.feasible
+        rung = sol.method.removeprefix("fallback:")
+        assert rung in ("projected-gradient", "grid")
+
+        result = sol.solver_result
+        cert = result.extra["certificate"]
+        assert cert.satisfied
+        assert cert.max_violation <= 1e-9
+        trail = result.extra["fallback"]["trail"]
+        interior_failures = [s for s in trail if "interior-point" in s]
+        assert len(interior_failures) == 3  # all retries exhausted
+        assert all("injected" in s for s in interior_failures)
+
+    def test_fallback_on_infeasible_point_reports_infeasible(self, blast):
+        # Deadline far too tight for any wait assignment.
+        problem = EnforcedWaitsProblem(
+            RealTimeProblem(blast, 20.0, 1.0),
+            np.asarray([1.0, 3.0, 9.0, 6.0]),
+        )
+        sol = problem.solve("fallback")
+        assert not sol.feasible
+        assert sol.diagnosis
