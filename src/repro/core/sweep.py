@@ -87,12 +87,20 @@ def sweep_strategies(
     b_monolithic: int = 1,
     s_scale: float = 1.0,
     enforced_method: str = "auto",
+    cache=None,
+    warm_start: bool = True,
 ) -> SweepResult:
     """Solve both strategies at every (tau0, D) grid point.
 
     Parameters mirror the calibrated worst-case multipliers of Section 6.2:
     ``b_enforced`` is the per-node vector for Figure 1; ``b_monolithic``
     and ``s_scale`` parameterize Figure 2.
+
+    ``cache`` routes the enforced-waits solves through a
+    :class:`repro.planning.cache.PlanCache` (exact hits and certified
+    warm starts; see :func:`repro.planning.warmstart.solve_plan`), so a
+    grid revisited by a later sweep — or shared between Figure 3 and
+    Figure 4 — is solved once.  ``None`` keeps the uncached path.
     """
     tau0_values = np.asarray(tau0_values, dtype=float)
     deadline_values = np.asarray(deadline_values, dtype=float)
@@ -109,12 +117,25 @@ def sweep_strategies(
     e_x = np.full((nt, nd, n), np.nan)
     m_blk = np.zeros((nt, nd), dtype=np.int64)
 
+    if cache is not None:
+        # Imported lazily: planning sits above core in the layering.
+        from repro.planning.warmstart import solve_plan
+
     for i, tau0 in enumerate(tau0_values):
         for j, d in enumerate(deadline_values):
             problem = RealTimeProblem(pipeline, float(tau0), float(d))
-            esol = EnforcedWaitsProblem(problem, b_enforced).solve(
-                enforced_method
-            )
+            if cache is not None:
+                esol = solve_plan(
+                    problem,
+                    b_enforced,
+                    method=enforced_method,
+                    cache=cache,
+                    warm_start=warm_start,
+                ).solution
+            else:
+                esol = EnforcedWaitsProblem(problem, b_enforced).solve(
+                    enforced_method
+                )
             if esol.feasible:
                 e_af[i, j] = esol.active_fraction
                 e_x[i, j] = esol.periods

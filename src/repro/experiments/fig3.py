@@ -111,16 +111,27 @@ def run_fig3(
     n_tau0: int | None = None,
     n_deadline: int | None = None,
     b_enforced: np.ndarray | None = None,
+    cache=None,
 ) -> Fig3Result:
-    """Regenerate the Figure 3 surfaces on the paper's parameter ranges."""
+    """Regenerate the Figure 3 surfaces on the paper's parameter ranges.
+
+    Enforced-waits solves route through the shared plan cache by
+    default (``cache=None``), so Figure 4 — which sweeps the identical
+    grid — and repeated invocations resolve from cache instead of
+    re-solving.
+    """
+    from repro.planning.warmstart import default_cache
+
     if pipeline is None:
         pipeline = blast_pipeline()
     if b_enforced is None:
         b_enforced = calibrated_b()
+    if cache is None:
+        cache = default_cache()
     nt = n_tau0 if n_tau0 is not None else scaled(12, minimum=4)
     nd = n_deadline if n_deadline is not None else scaled(12, minimum=4)
     tau0s, deadlines = paper_grid(nt, nd)
     sweep = sweep_strategies(
-        pipeline, tau0s, deadlines, b_enforced=b_enforced
+        pipeline, tau0s, deadlines, b_enforced=b_enforced, cache=cache
     )
     return Fig3Result(sweep=sweep, sensitivities=sensitivity_profile(sweep))

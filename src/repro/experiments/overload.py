@@ -27,11 +27,11 @@ from dataclasses import dataclass, field
 
 from repro.apps.blast.pipeline import blast_pipeline, calibrated_b
 from repro.arrivals.fixed import FixedRateArrivals
-from repro.core.enforced_waits import EnforcedWaitsProblem
 from repro.core.model import RealTimeProblem
 from repro.errors import SimulationError
 from repro.experiments.scale import scaled
 from repro.obs.telemetry import RunTelemetry
+from repro.planning.warmstart import solve_plan
 from repro.resilience import ArrivalBurst, DeadlineWatchdog, RuntimeFaultPlan
 from repro.sim.enforced import EnforcedWaitsSimulator
 from repro.utils.tables import render_table
@@ -117,7 +117,9 @@ def run_overload_sweep(
     items = n_items if n_items is not None else scaled(6000, minimum=1500)
     problem = RealTimeProblem(pipeline, tau0, deadline)
     b = calibrated_b()
-    sol = EnforcedWaitsProblem(problem, b).solve()
+    # Planned through the shared plan cache: repeated sweeps (CI smoke,
+    # parameter studies) reuse the same design point's solution.
+    sol = solve_plan(problem, b).solution
     if not sol.feasible:
         raise SimulationError(
             f"overload sweep needs a feasible design point, got {point}"

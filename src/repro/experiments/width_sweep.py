@@ -18,10 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.apps.blast.pipeline import blast_pipeline, calibrated_b
-from repro.core.enforced_waits import EnforcedWaitsProblem
 from repro.core.feasibility import min_tau0_enforced, min_tau0_monolithic
 from repro.core.model import RealTimeProblem
 from repro.core.monolithic import MonolithicProblem
@@ -76,15 +73,27 @@ def run_width_sweep(
     point: tuple[float, float] = DEFAULT_POINT,
     *,
     widths: tuple[int, ...] = DEFAULT_WIDTHS,
+    cache=None,
 ) -> WidthSweepResult:
-    """Evaluate both strategies across device widths at one point."""
+    """Evaluate both strategies across device widths at one point.
+
+    Enforced-waits solves go through the plan cache (the process-wide
+    default when ``cache=None``): a repeated sweep — or one sharing
+    widths with a previous sweep — resolves from cache.  Each width is
+    a *different* cache shape (the head-rate cap depends on ``v``), so
+    within one cold sweep every width is still solved exactly.
+    """
+    from repro.planning.warmstart import default_cache, solve_plan
+
     tau0, deadline = point
     base = blast_pipeline()
+    if cache is None:
+        cache = default_cache()
     result = WidthSweepResult(point=point, widths=tuple(widths))
     for v in widths:
         pipeline = base.with_vector_width(int(v))
         problem = RealTimeProblem(pipeline, tau0, deadline)
-        esol = EnforcedWaitsProblem(problem, calibrated_b()).solve()
+        esol = solve_plan(problem, calibrated_b(), cache=cache).solution
         msol = MonolithicProblem(problem).solve()
         result.rows.append(
             (

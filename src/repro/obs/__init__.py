@@ -16,6 +16,7 @@ JSON/CSV through :mod:`repro.experiments.export`.
 from repro.obs.telemetry import (
     EngineTelemetry,
     NodeTelemetry,
+    PlanCacheTelemetry,
     RunTelemetry,
     TelemetryCollector,
 )
@@ -23,6 +24,7 @@ from repro.obs.telemetry import (
 __all__ = [
     "EngineTelemetry",
     "NodeTelemetry",
+    "PlanCacheTelemetry",
     "RunTelemetry",
     "TelemetryCollector",
 ]

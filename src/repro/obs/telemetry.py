@@ -52,6 +52,7 @@ from repro.utils.tables import render_table
 __all__ = [
     "NodeTelemetry",
     "EngineTelemetry",
+    "PlanCacheTelemetry",
     "RunTelemetry",
     "TelemetryCollector",
 ]
@@ -160,6 +161,54 @@ class RunTelemetry:
             )
             line += f"\ndegraded intervals: {spans}"
         return table + "\n" + line
+
+
+@dataclass(frozen=True)
+class PlanCacheTelemetry:
+    """Frozen counters of a :class:`repro.planning.cache.PlanCache`.
+
+    ``coalesced`` counts requests that the async planning service
+    deduplicated onto an identical in-flight solve (single-flight);
+    ``warm_hits``/``warm_rejects`` count near-miss warm starts accepted
+    (certified) vs rejected back to the cold path.
+    """
+
+    entries: int
+    capacity: int
+    requests: int
+    hits: int
+    misses: int
+    warm_hits: int
+    warm_rejects: int
+    stores: int
+    evictions: int
+    coalesced: int
+    disk_entries_loaded: int
+    disk_load_errors: int
+
+    @property
+    def hit_rate(self) -> float:
+        return _rate(self.hits, self.requests)
+
+    def render(self) -> str:
+        """The counters as one aligned table."""
+        rows = [
+            ("entries", f"{self.entries}/{self.capacity}"),
+            ("requests", self.requests),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("hit rate", f"{self.hit_rate:.3f}" if self.requests else "n/a"),
+            ("warm hits", self.warm_hits),
+            ("warm rejects", self.warm_rejects),
+            ("stores", self.stores),
+            ("evictions", self.evictions),
+            ("coalesced (single-flight)", self.coalesced),
+            ("disk entries loaded", self.disk_entries_loaded),
+            ("disk load errors", self.disk_load_errors),
+        ]
+        return render_table(
+            ["counter", "value"], rows, title="plan cache telemetry"
+        )
 
 
 class TelemetryCollector:

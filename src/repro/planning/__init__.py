@@ -1,0 +1,52 @@
+"""Plan caching, warm-started solves, and async batch planning.
+
+The paper's optimizations are solved *offline per configuration*; sweeps
+and campaigns in this repo revisit near-identical ``(spec, rho_0, D,
+b)`` configurations thousands of times.  This package amortizes that:
+
+- :mod:`repro.planning.cache` — content-addressed plan cache
+  (deterministic keys, in-memory LRU, optional corruption-tolerant
+  on-disk JSON store, full counter telemetry);
+- :mod:`repro.planning.warmstart` — :func:`solve_plan`, the cached
+  solve entry point with certified near-miss warm starting;
+- :mod:`repro.planning.service` — :class:`PlanningService`, an asyncio
+  batch frontend with single-flight deduplication and bounded
+  concurrency (the ``repro-plan`` CLI drives it).
+
+See ``docs/planning.md`` for key semantics, the warm-start acceptance
+rule, and single-flight behavior.
+"""
+
+from repro.planning.cache import (
+    CacheStats,
+    PlanCache,
+    plan_key,
+    shape_key,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.planning.service import PlanRequest, PlanResponse, PlanningService
+from repro.planning.warmstart import (
+    PlanOutcome,
+    default_cache,
+    reset_default_cache,
+    solve_plan,
+    warm_start_solve,
+)
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "PlanOutcome",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanningService",
+    "default_cache",
+    "plan_key",
+    "reset_default_cache",
+    "shape_key",
+    "solution_from_dict",
+    "solution_to_dict",
+    "solve_plan",
+    "warm_start_solve",
+]

@@ -1,0 +1,331 @@
+"""Command-line entry point: ``repro-plan``.
+
+Usage::
+
+    # 64 concurrent demo requests (16 distinct configs -> duplicates
+    # exercise single-flight), telemetry printed at the end:
+    repro-plan batch --demo 64
+
+    # plan a request file against a persistent on-disk store:
+    repro-plan batch --requests reqs.json --store plans.json
+
+    # JSON-lines planning server:
+    repro-plan serve --port 7421 --store plans.json
+
+``batch`` resolves every request through one
+:class:`~repro.planning.service.PlanningService`, prints per-request
+timing with the resolution source (``hit``/``warm``/``cold``; ``+``
+marks a coalesced request), and ends with the cache telemetry counters.
+
+``serve`` speaks JSON lines over TCP: each request line is either a
+planning request object or ``{"op": "stats"}`` / ``{"op": "shutdown"}``.
+Responses are one JSON object per line.
+
+Request object schema (both file and wire)::
+
+    {
+      "pipeline": {"service_times": [...], "mean_gains": [...],
+                   "vector_width": 128},
+      "tau0": 20.0,
+      "deadline": 1.5e5,
+      "b": [1, 3, 9, 6],          # optional (default: optimistic ceil(g))
+      "method": "auto",            # optional
+      "tag": "sweep-point-3"       # optional, echoed back
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import RealTimeProblem
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import ReproError, SpecError
+from repro.planning.cache import PlanCache
+from repro.planning.service import PlanRequest, PlanResponse, PlanningService
+
+__all__ = ["main", "parse_request", "demo_requests"]
+
+
+def parse_request(obj: dict, *, tag: str | None = None) -> PlanRequest:
+    """Build a :class:`PlanRequest` from its JSON object form."""
+    if not isinstance(obj, dict):
+        raise SpecError(f"request must be a JSON object, got {type(obj).__name__}")
+    try:
+        pspec = obj["pipeline"]
+        pipeline = PipelineSpec.from_arrays(
+            pspec["service_times"],
+            pspec["mean_gains"],
+            int(pspec["vector_width"]),
+        )
+        problem = RealTimeProblem(
+            pipeline, float(obj["tau0"]), float(obj["deadline"])
+        )
+    except KeyError as exc:
+        raise SpecError(f"request is missing required field {exc}") from exc
+    b = obj.get("b")
+    return PlanRequest(
+        problem=problem,
+        b=None if b is None else np.asarray(b, dtype=float),
+        method=str(obj.get("method", "auto")),
+        tag=obj.get("tag", tag),
+    )
+
+
+def demo_requests(n: int, *, distinct: int = 16) -> list[PlanRequest]:
+    """``n`` requests over ``distinct`` BLAST operating points.
+
+    Requests cycle through the distinct configurations, so any ``n >
+    distinct`` produces duplicate keys — the workload the single-flight
+    and cache layers exist for.
+    """
+    from repro.apps.blast.pipeline import blast_pipeline, calibrated_b
+
+    pipeline = blast_pipeline()
+    b = calibrated_b()
+    tau0s = np.geomspace(15.0, 60.0, max(1, distinct // 4))
+    deadlines = np.geomspace(8.0e4, 3.0e5, 4)
+    points = [
+        (float(t), float(d)) for t in tau0s for d in deadlines
+    ][:distinct]
+    requests = []
+    for i in range(n):
+        tau0, deadline = points[i % len(points)]
+        requests.append(
+            PlanRequest(
+                problem=RealTimeProblem(pipeline, tau0, deadline),
+                b=b,
+                tag=f"demo-{i}",
+            )
+        )
+    return requests
+
+
+def _response_to_dict(resp: PlanResponse) -> dict:
+    sol = resp.solution
+    return {
+        "tag": resp.tag,
+        "key": resp.key,
+        "source": resp.source,
+        "coalesced": resp.coalesced,
+        "seconds": resp.seconds,
+        "feasible": sol.feasible,
+        "active_fraction": sol.active_fraction,
+        "waits": [float(w) for w in sol.waits],
+        "periods": [float(x) for x in sol.periods],
+        "method": sol.method,
+        "diagnosis": sol.diagnosis,
+    }
+
+
+def _load_requests(path: Path) -> list[PlanRequest]:
+    raw = json.loads(path.read_text())
+    if not isinstance(raw, list):
+        raise SpecError("request file must hold a JSON array of requests")
+    return [
+        parse_request(obj, tag=obj.get("tag", f"req-{i}"))
+        for i, obj in enumerate(raw)
+    ]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if (args.requests is None) == (args.demo is None):
+        print(
+            "error: exactly one of --requests FILE or --demo N is required",
+            file=sys.stderr,
+        )
+        return 2
+    requests = (
+        demo_requests(args.demo, distinct=args.demo_distinct)
+        if args.demo is not None
+        else _load_requests(Path(args.requests))
+    )
+    cache = PlanCache(capacity=args.capacity, path=args.store)
+    service = PlanningService(
+        cache,
+        max_concurrency=args.concurrency,
+        warm_start=not args.no_warm_start,
+    )
+    responses = service.plan_batch(requests)
+    for resp in responses:
+        flag = "+" if resp.coalesced else " "
+        af = (
+            f"{resp.solution.active_fraction:.6f}"
+            if resp.solution.feasible
+            else "infeasible"
+        )
+        print(
+            f"{resp.tag or resp.key[:12]:<16} {resp.source:<5}{flag} "
+            f"{resp.seconds * 1e3:9.3f} ms  AF={af}"
+        )
+    print()
+    print(cache.telemetry().render())
+    if args.store is not None:
+        cache.flush()
+        print(f"store flushed to {args.store}")
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps([_response_to_dict(r) for r in responses], indent=2)
+            + "\n"
+        )
+        print(f"responses written to {args.json}")
+    return 0
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    cache = PlanCache(capacity=args.capacity, path=args.store)
+    service = PlanningService(
+        cache,
+        max_concurrency=args.concurrency,
+        warm_start=not args.no_warm_start,
+    )
+    remaining = [args.max_requests]  # None = unlimited
+    done = asyncio.Event()
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while not done.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                    op = obj.get("op") if isinstance(obj, dict) else None
+                    if op == "stats":
+                        t = cache.telemetry()
+                        payload = {
+                            "op": "stats",
+                            **{
+                                f: getattr(t, f)
+                                for f in (
+                                    "entries",
+                                    "requests",
+                                    "hits",
+                                    "misses",
+                                    "warm_hits",
+                                    "warm_rejects",
+                                    "coalesced",
+                                    "evictions",
+                                )
+                            },
+                        }
+                    elif op == "shutdown":
+                        payload = {"op": "shutdown", "ok": True}
+                        done.set()
+                    else:
+                        resp = await service.plan(parse_request(obj))
+                        payload = _response_to_dict(resp)
+                except (ReproError, ValueError, KeyError, TypeError) as exc:
+                    payload = {"error": f"{type(exc).__name__}: {exc}"}
+                writer.write((json.dumps(payload) + "\n").encode())
+                await writer.drain()
+                if payload.get("op") == "shutdown":
+                    break
+                if remaining[0] is not None and "error" not in payload:
+                    remaining[0] -= 1
+                    if remaining[0] <= 0:
+                        done.set()
+                        break
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, args.host, args.port)
+    addr = server.sockets[0].getsockname()
+    print(f"repro-plan serving on {addr[0]}:{addr[1]}", flush=True)
+    async with server:
+        await done.wait()
+    if args.store is not None:
+        cache.flush()
+    print(cache.telemetry().render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    return asyncio.run(_serve(args))
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="on-disk JSON plan store (loaded tolerantly, flushed on exit)",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=512, help="in-memory LRU capacity"
+    )
+    p.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="max concurrent solves (semaphore bound)",
+    )
+    p.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable near-miss warm starting (cold solves only)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-plan",
+        description="Plan cache + async batch planning service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    batch_p = sub.add_parser(
+        "batch", help="resolve a batch of planning requests concurrently"
+    )
+    batch_p.add_argument(
+        "--requests", metavar="FILE", default=None, help="JSON request array"
+    )
+    batch_p.add_argument(
+        "--demo",
+        type=int,
+        metavar="N",
+        default=None,
+        help="generate N demo requests over the BLAST pipeline",
+    )
+    batch_p.add_argument(
+        "--demo-distinct",
+        type=int,
+        default=16,
+        help="distinct configurations in the demo workload",
+    )
+    batch_p.add_argument(
+        "--json", metavar="FILE", default=None, help="write responses as JSON"
+    )
+    _add_common(batch_p)
+
+    serve_p = sub.add_parser("serve", help="JSON-lines planning server (TCP)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7421)
+    serve_p.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="exit after N successful requests (tests / smoke runs)",
+    )
+    _add_common(serve_p)
+
+    args = parser.parse_args(argv)
+    if args.command == "batch":
+        return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

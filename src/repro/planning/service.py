@@ -1,0 +1,172 @@
+"""Async batch planning frontend: bounded concurrency + single-flight.
+
+:class:`PlanningService` accepts many planning requests at once and
+resolves each through the plan cache (:func:`~repro.planning.warmstart.
+solve_plan`).  Three properties make it a serving layer rather than a
+loop:
+
+- **Single-flight deduplication** — identical keys submitted while a
+  solve for that key is in flight do not re-solve; they await the same
+  future and are counted in ``cache.stats.coalesced``.  Combined with
+  the cache itself this makes a burst of duplicate requests cost one
+  solve total.
+- **Bounded concurrency** — at most ``max_concurrency`` solves run at
+  once (an ``asyncio.Semaphore``); solves run in worker threads
+  (``asyncio.to_thread``) so the event loop keeps accepting requests.
+- **Per-request timing** — every response reports its wall-clock
+  resolution time and the source (``hit``/``warm``/``cold``) it was
+  served from, plus whether it was coalesced onto another request's
+  solve.
+
+The synchronous convenience wrapper :meth:`PlanningService.plan_batch`
+drives a whole request list through one event loop and returns responses
+in request order — this is what ``repro-plan batch`` uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import AsyncIterator, Sequence
+
+import numpy as np
+
+from repro.core.enforced_waits import EnforcedWaitsSolution
+from repro.core.model import RealTimeProblem
+from repro.errors import SpecError
+from repro.planning.cache import PlanCache, plan_key
+from repro.planning.warmstart import PlanOutcome, solve_plan
+
+__all__ = ["PlanRequest", "PlanResponse", "PlanningService"]
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planning request.
+
+    ``tag`` is an opaque caller label threaded through to the response
+    (useful to correlate streamed results with submitted requests).
+    """
+
+    problem: RealTimeProblem
+    b: np.ndarray | None = None
+    method: str = "auto"
+    tag: str | None = None
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """One resolved request with timing and provenance."""
+
+    tag: str | None
+    key: str
+    source: str
+    seconds: float
+    coalesced: bool
+    solution: EnforcedWaitsSolution
+
+
+class PlanningService:
+    """Asyncio batch planner over a shared :class:`PlanCache`."""
+
+    def __init__(
+        self,
+        cache: PlanCache | None = None,
+        *,
+        max_concurrency: int = 8,
+        warm_start: bool = True,
+    ) -> None:
+        if max_concurrency < 1:
+            raise SpecError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        self.cache = cache if cache is not None else PlanCache()
+        self.max_concurrency = int(max_concurrency)
+        self.warm_start = warm_start
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._sem = asyncio.Semaphore(self.max_concurrency)
+
+    # -- async API ---------------------------------------------------------
+
+    async def plan(self, request: PlanRequest) -> PlanResponse:
+        """Resolve one request (single-flight, bounded concurrency)."""
+        from repro.core.enforced_waits import EnforcedWaitsProblem
+
+        # Validate + normalize b exactly as the solver layer will, so the
+        # single-flight key matches solve_plan's.
+        ewp = EnforcedWaitsProblem(request.problem, request.b)
+        key = plan_key(request.problem, ewp.b, method=request.method)
+
+        t0 = time.perf_counter()
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.cache.stats.coalesced += 1
+            outcome: PlanOutcome = await asyncio.shield(inflight)
+            return PlanResponse(
+                tag=request.tag,
+                key=key,
+                source=outcome.source,
+                seconds=time.perf_counter() - t0,
+                coalesced=True,
+                solution=outcome.solution,
+            )
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            async with self._sem:
+                outcome = await asyncio.to_thread(
+                    solve_plan,
+                    request.problem,
+                    ewp.b,
+                    method=request.method,
+                    cache=self.cache,
+                    warm_start=self.warm_start,
+                )
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # A coalesced waiter (if any) consumes the exception;
+                # otherwise silence the "never retrieved" warning.
+                future.exception()
+            raise
+        else:
+            future.set_result(outcome)
+        finally:
+            self._inflight.pop(key, None)
+        return PlanResponse(
+            tag=request.tag,
+            key=key,
+            source=outcome.source,
+            seconds=time.perf_counter() - t0,
+            coalesced=False,
+            solution=outcome.solution,
+        )
+
+    async def plan_many(
+        self, requests: Sequence[PlanRequest]
+    ) -> list[PlanResponse]:
+        """Resolve all requests concurrently; responses in request order."""
+        return list(
+            await asyncio.gather(*(self.plan(r) for r in requests))
+        )
+
+    async def stream(
+        self, requests: Sequence[PlanRequest]
+    ) -> AsyncIterator[PlanResponse]:
+        """Yield responses as they complete (not in request order)."""
+        tasks = [asyncio.ensure_future(self.plan(r)) for r in requests]
+        try:
+            for done in asyncio.as_completed(tasks):
+                yield await done
+        finally:
+            for t in tasks:
+                if not t.done():
+                    t.cancel()
+
+    # -- sync convenience --------------------------------------------------
+
+    def plan_batch(self, requests: Sequence[PlanRequest]) -> list[PlanResponse]:
+        """Run :meth:`plan_many` on a fresh event loop (blocking)."""
+        return asyncio.run(self.plan_many(requests))

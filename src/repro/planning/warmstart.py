@@ -1,0 +1,202 @@
+"""Warm-started enforced-waits solves through the plan cache.
+
+:func:`solve_plan` is the cached planning entry point.  Resolution order
+for a configuration ``(pipeline, tau0, D, b, method)``:
+
+1. **Exact hit** — the cache holds this exact key: return the stored
+   solution unchanged (bit-identical to the solve that produced it).
+2. **Warm start** — the cache holds a solution of the *same shape*
+   (identical ``t``/``g``/``v``/``b``/method, different ``tau0`` or
+   ``D``): seed the interior-point barrier method from the cached
+   optimal periods instead of a cold start
+   (:func:`warm_start_solve`).  The warm result is accepted only if the
+   barrier converges to ``OPTIMAL`` *and* a fresh
+   :class:`~repro.solvers.fallback.FeasibilityCertificate` passes on the
+   full constraint system; otherwise the attempt is rejected (counted in
+   ``stats.warm_rejects``) and the cold path runs.
+3. **Cold solve** — :meth:`EnforcedWaitsProblem.solve` with the
+   requested method, exactly as the uncached code path.
+
+Warm-start seeding detail: a cached optimum sits *on* the boundary of
+its own feasible region (its binding constraints are tight) and may be
+slightly outside the perturbed problem's region, while the barrier
+method needs a strictly feasible start.  The seed is therefore blended
+with a strictly interior chain-tight point ``z`` — for a convex region,
+``alpha * seed + (1 - alpha) * z`` with ``alpha < 1`` is strictly
+feasible whenever ``seed`` is feasible, and decreasing ``alpha`` pulls
+an infeasible seed into the region.  The first strictly feasible blend
+(largest ``alpha``, i.e. closest to the seed) is used.
+
+Infeasible configurations short-circuit: the feasibility check runs
+first (as in the cold path), the infeasible verdict is cached, and no
+warm start is attempted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.enforced_waits import EnforcedWaitsProblem, EnforcedWaitsSolution
+from repro.core.feasibility import enforced_feasibility
+from repro.core.model import RealTimeProblem
+from repro.errors import SolverError
+from repro.planning.cache import PlanCache, plan_key, shape_key
+from repro.solvers.fallback import FeasibilityCertificate, certify_linear
+from repro.solvers.interior_point import barrier_solve
+from repro.solvers.result import SolverStatus
+
+__all__ = ["PlanOutcome", "default_cache", "reset_default_cache", "solve_plan", "warm_start_solve"]
+
+_CERT_TOL = 1e-9
+_WARM_ALPHAS = (0.98, 0.9, 0.7, 0.4, 0.1)
+
+_default_cache: PlanCache | None = None
+
+
+def default_cache() -> PlanCache:
+    """The process-wide shared plan cache (created on first use)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = PlanCache(capacity=512)
+    return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Drop the shared cache (tests and long-lived services)."""
+    global _default_cache
+    _default_cache = None
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """One resolved planning request.
+
+    ``source`` is ``"hit"`` (exact cache hit), ``"warm"`` (near-miss
+    warm-started solve), or ``"cold"`` (full solve).  ``certificate`` is
+    set on warm solves only.
+    """
+
+    solution: EnforcedWaitsSolution
+    key: str
+    source: str
+    seconds: float
+    certificate: FeasibilityCertificate | None = None
+
+
+def _strict_interior(ewp: EnforcedWaitsProblem, A: np.ndarray, c: np.ndarray) -> np.ndarray | None:
+    """A strictly feasible chain-tight point, or None if there is none.
+
+    Backward recursion ``x_{N-1} = t_{N-1}(1+d)``, ``x_{i-1} =
+    max(t_{i-1}, g_{i-1} x_i)(1+d)`` over decreasing inflations ``d``.
+    """
+    n, t, g = ewp.n, ewp.t, ewp.g
+    for delta in (0.5, 0.2, 0.05, 1e-2, 1e-3, 1e-4, 1e-6, 1e-8):
+        z = np.empty(n)
+        z[n - 1] = t[n - 1] * (1 + delta)
+        for j in range(n - 1, 0, -1):
+            z[j - 1] = max(t[j - 1], g[j - 1] * z[j]) * (1 + delta)
+        if (c - A @ z > 0).all():
+            return z
+    return None
+
+
+def warm_start_solve(
+    ewp: EnforcedWaitsProblem,
+    seed_periods: np.ndarray,
+) -> tuple[EnforcedWaitsSolution, FeasibilityCertificate] | None:
+    """Barrier solve seeded near ``seed_periods``; None on rejection.
+
+    Acceptance rule (documented in docs/planning.md): the barrier method
+    must reach ``SolverStatus.OPTIMAL`` and the iterate must pass a
+    fresh linear :class:`FeasibilityCertificate` at tolerance 1e-9 on
+    the *full* constraint system.  Any numerical failure, non-optimal
+    status, or certificate rejection returns None so the caller falls
+    back to the cold solve chain.
+    """
+    A, c, labels = ewp.constraint_system()
+    seed = np.asarray(seed_periods, dtype=float)
+    if seed.shape != ewp.t.shape or not np.isfinite(seed).all():
+        return None
+    seed = np.maximum(seed, ewp.t)
+    z = _strict_interior(ewp, A, c)
+    if z is None:
+        return None
+    x0 = None
+    for alpha in _WARM_ALPHAS:
+        blend = alpha * seed + (1.0 - alpha) * z
+        if (c - A @ blend > 0).all():
+            x0 = blend
+            break
+    if x0 is None:
+        x0 = z
+    try:
+        result = barrier_solve(ewp._f, ewp._grad, ewp._hess, A, c, x0)
+    except (SolverError, np.linalg.LinAlgError):
+        return None
+    if result.status is not SolverStatus.OPTIMAL:
+        return None
+    cert = certify_linear(A, c, result.x, labels=labels, tol=_CERT_TOL)
+    if not cert.satisfied:
+        return None
+    x = np.maximum(result.x, ewp.t)  # snap tiny bound violations
+    result.extra["certificate"] = cert
+    solution = EnforcedWaitsSolution(
+        feasible=True,
+        periods=x,
+        waits=x - ewp.t,
+        active_fraction=ewp.active_fraction(x),
+        node_utilizations=ewp.t / x,
+        binding=ewp.binding_constraints(x),
+        method="warmstart(interior)",
+        solver_result=result,
+    )
+    return solution, cert
+
+
+def solve_plan(
+    problem: RealTimeProblem,
+    b: np.ndarray | None = None,
+    *,
+    method: str = "auto",
+    cache: PlanCache | None = None,
+    warm_start: bool = True,
+) -> PlanOutcome:
+    """Solve the Figure 1 problem through the plan cache.
+
+    Drop-in replacement for
+    :func:`repro.core.enforced_waits.solve_enforced_waits` that
+    resolves via exact hit / warm start / cold solve (module
+    docstring).  With ``cache=None`` the process-wide
+    :func:`default_cache` is used.
+    """
+    if cache is None:
+        cache = default_cache()
+    ewp = EnforcedWaitsProblem(problem, b)
+    key = plan_key(problem, ewp.b, method=method)
+    shape = shape_key(problem.pipeline, ewp.b, method=method)
+
+    t0 = time.perf_counter()
+    cached = cache.get(key)
+    if cached is not None:
+        return PlanOutcome(cached, key, "hit", time.perf_counter() - t0)
+
+    feas = enforced_feasibility(problem, ewp.b)
+    if warm_start and feas.feasible:
+        seed = cache.nearest_by_shape(shape)
+        if seed is not None:
+            warm = warm_start_solve(ewp, seed.periods)
+            if warm is not None:
+                solution, cert = warm
+                cache.stats.warm_hits += 1
+                cache.put(key, solution, shape=shape)
+                return PlanOutcome(
+                    solution, key, "warm", time.perf_counter() - t0, cert
+                )
+            cache.stats.warm_rejects += 1
+
+    solution = ewp.solve(method)
+    cache.put(key, solution, shape=shape)
+    return PlanOutcome(solution, key, "cold", time.perf_counter() - t0)

@@ -17,7 +17,7 @@ determining how many inputs, if any, incur a deadline miss."
 
 from repro.sim.metrics import LatencyLedger, SimMetrics
 from repro.sim.adaptive import AdaptiveWaitsSimulator
-from repro.sim.campaign import run_trials_parallel
+from repro.sim.campaign import run_planned_trials_parallel, run_trials_parallel
 from repro.sim.enforced import EnforcedWaitsSimulator
 from repro.sim.faults import FaultPlan, InjectedFault
 from repro.sim.monolithic import MonolithicSimulator
@@ -37,6 +37,7 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "run_trials",
+    "run_planned_trials_parallel",
     "run_trials_parallel",
     "TrialOutcome",
     "TrialsResult",

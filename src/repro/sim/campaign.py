@@ -54,7 +54,7 @@ from repro.sim.runner import (
     normalize_seeds,
 )
 
-__all__ = ["run_trials_parallel"]
+__all__ = ["run_trials_parallel", "run_planned_trials_parallel"]
 
 
 def _run_attempt(
@@ -224,6 +224,76 @@ def run_trials_parallel(
         exc.result = result  # type: ignore[attr-defined]
         raise exc
     return result
+
+
+def run_planned_trials_parallel(
+    sim_cls: type,
+    problem,
+    kwargs: dict[str, Any],
+    seeds: Sequence[int] | int,
+    *,
+    b=None,
+    method: str = "auto",
+    cache=None,
+    warm_start: bool = True,
+    **campaign_kwargs,
+):
+    """Plan enforced waits through the plan cache, then fan out trials.
+
+    Campaign sweeps revisit the same ``(pipeline, tau0, D, b)`` design
+    point for every seed batch; this wrapper resolves the Figure 1 plan
+    once through :func:`repro.planning.warmstart.solve_plan` (exact hit
+    / certified warm start / cold solve) and injects ``pipeline``,
+    ``waits``, and ``deadline`` into the simulator kwargs before
+    delegating to :func:`run_trials_parallel`.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.core.model.RealTimeProblem` to plan for.
+    kwargs:
+        Remaining simulator constructor arguments (``arrivals``,
+        ``n_items``, ...) excluding ``pipeline``/``waits``/``deadline``,
+        which this wrapper supplies.
+    b, method, cache, warm_start:
+        Forwarded to :func:`~repro.planning.warmstart.solve_plan`
+        (``cache=None`` uses the process-wide default cache).
+    campaign_kwargs:
+        ``workers``/``timeout``/``retries``/``backoff``/``faults``/
+        ``strict``, as in :func:`run_trials_parallel`.
+
+    Returns ``(trials_result, plan_outcome)`` so callers can inspect
+    both the campaign outcomes and the plan's provenance (cache source,
+    timing, certificate).
+
+    Raises :class:`~repro.errors.SpecError` if the design point is
+    infeasible — an infeasible plan has no waits to simulate.
+    """
+    from repro.planning.warmstart import solve_plan
+
+    for reserved in ("pipeline", "waits", "deadline"):
+        if reserved in kwargs:
+            raise SpecError(
+                f"{reserved!r} is supplied by the planner; remove it "
+                f"from kwargs"
+            )
+    outcome = solve_plan(
+        problem, b, method=method, cache=cache, warm_start=warm_start
+    )
+    if not outcome.solution.feasible:
+        raise SpecError(
+            f"cannot run a planned campaign at an infeasible design point "
+            f"(tau0={problem.tau0:g}, D={problem.deadline:g}): "
+            f"{outcome.solution.diagnosis}"
+        )
+    full_kwargs = dict(
+        kwargs,
+        pipeline=problem.pipeline,
+        waits=outcome.solution.waits,
+        deadline=problem.deadline,
+    )
+    result = run_trials_parallel(sim_cls, full_kwargs, seeds, **campaign_kwargs)
+    return result, outcome
 
 
 def _run_serial(

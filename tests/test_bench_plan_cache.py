@@ -1,0 +1,47 @@
+"""Schema smoke test for the plan-cache benchmark harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.perf import plan_cache as bench
+
+
+@pytest.mark.slow
+def test_smoke_report_sections_and_invariants(tmp_path):
+    report = bench.run_all(smoke=True)
+    json.dumps(report)  # JSON-serializable as emitted by main()
+
+    sweep = report["repeated_sweep"]
+    assert sweep["solutions_equal"] is True
+    assert sweep["total_solves"] == sweep["grid_points"] * sweep["repeats"]
+    assert sweep["cache_hits"] + sweep["cache_misses"] == sweep["total_solves"]
+    assert sweep["speedup"] > 1.0
+
+    warm = report["warmstart"]
+    assert 0.0 <= warm["warm_accept_rate"] <= 1.0
+    assert warm["max_active_fraction_deviation"] < 1e-6
+
+    batch = report["service_batch"]
+    assert batch["all_resolved"] is True
+    assert batch["requests"] == 64
+    assert batch["solves"] == batch["distinct_configs"]
+    assert batch["coalesced"] > 0
+    assert sum(batch["sources"].values()) == batch["requests"]
+
+
+@pytest.mark.slow
+def test_main_writes_report_and_gates_speedup(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    rc = bench.main(["--smoke", "--out", str(out), "--min-speedup", "1.5"])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["schema_version"] == bench.SCHEMA_VERSION
+    assert "wrote" in capsys.readouterr().out
+
+    # An absurd floor must trip the gate.
+    rc = bench.main(["--smoke", "--out", str(out), "--min-speedup", "1e9"])
+    assert rc == 1
+    assert "below" in capsys.readouterr().err

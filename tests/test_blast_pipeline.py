@@ -77,6 +77,7 @@ class TestMeasureGains:
             (x == y).all() for x, y in zip(a.stage_counts, b.stage_counts)
         )
 
+    @pytest.mark.slow
     def test_gapped_verification_filters(self):
         plain = measure_gains(db_len=40_000, seed=3)
         gapped = measure_gains(

@@ -25,6 +25,7 @@ def test_run_unknown_id(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+@pytest.mark.slow
 def test_run_multiple(capsys):
     assert main(["run", "table1", "queueing-b"]) == 0
     out = capsys.readouterr().out
@@ -50,6 +51,7 @@ def test_export_sweep_json_csv(tmp_path, capsys, monkeypatch):
     assert (tmp_path / "fig3.csv").exists()
 
 
+@pytest.mark.slow
 def test_telemetry_flag_exports_json_csv(tmp_path, capsys, monkeypatch):
     import json
 

@@ -75,6 +75,7 @@ class TestAblations:
 
 
 class TestCalibration:
+    @pytest.mark.slow
     def test_small_campaign(self):
         r = run_calibration(n_trials=6, n_items=8000)
         assert r.calibration.passed
@@ -92,6 +93,7 @@ class TestCalibration:
 
 
 class TestQueueingB:
+    @pytest.mark.slow
     def test_both_regimes(self):
         r = run_queueing_b(epsilon=1e-3)
         # Stable (deadline-binding) regime: finite, near paper's values.

@@ -1,0 +1,84 @@
+"""`run_planned_trials_parallel`: campaigns resolved through the plan cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrivals.fixed import FixedRateArrivals
+from repro.core.model import RealTimeProblem
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+from repro.planning.cache import PlanCache
+from repro.sim.campaign import run_planned_trials_parallel
+from repro.sim.enforced import EnforcedWaitsSimulator
+
+
+@pytest.fixture
+def problem() -> RealTimeProblem:
+    pipeline = PipelineSpec.from_arrays([10.0, 20.0], [0.5, 1.0], 8)
+    return RealTimeProblem(pipeline, 20.0, 800.0)
+
+
+def _kwargs(problem) -> dict:
+    return dict(arrivals=FixedRateArrivals(problem.tau0), n_items=100)
+
+
+def test_campaign_uses_planned_waits(problem):
+    cache = PlanCache()
+    result, outcome = run_planned_trials_parallel(
+        EnforcedWaitsSimulator,
+        problem,
+        _kwargs(problem),
+        seeds=3,
+        cache=cache,
+        workers=0,
+    )
+    assert outcome.source == "cold"
+    assert outcome.solution.feasible
+    assert result.n_trials == 3
+    assert result.all_ok
+    # A second campaign at the same design point is an exact cache hit
+    # and runs the same waits, so metrics are reproducible.
+    result2, outcome2 = run_planned_trials_parallel(
+        EnforcedWaitsSimulator,
+        problem,
+        _kwargs(problem),
+        seeds=3,
+        cache=cache,
+        workers=0,
+    )
+    assert outcome2.source == "hit"
+    assert np.array_equal(outcome2.solution.waits, outcome.solution.waits)
+    for a, b in zip(result.metrics, result2.metrics):
+        assert a.active_fraction == b.active_fraction
+        assert a.missed_items == b.missed_items
+
+
+def test_reserved_kwargs_rejected(problem):
+    for reserved, value in (
+        ("pipeline", problem.pipeline),
+        ("waits", np.zeros(2)),
+        ("deadline", 800.0),
+    ):
+        with pytest.raises(SpecError, match="supplied by the planner"):
+            run_planned_trials_parallel(
+                EnforcedWaitsSimulator,
+                problem,
+                dict(_kwargs(problem), **{reserved: value}),
+                seeds=1,
+                cache=PlanCache(),
+                workers=0,
+            )
+
+
+def test_infeasible_design_point_raises(problem):
+    with pytest.raises(SpecError, match="infeasible design point"):
+        run_planned_trials_parallel(
+            EnforcedWaitsSimulator,
+            problem.with_deadline(1.0),
+            _kwargs(problem),
+            seeds=1,
+            cache=PlanCache(),
+            workers=0,
+        )

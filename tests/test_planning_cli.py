@@ -1,0 +1,227 @@
+"""`repro-plan` CLI: batch verb, request files, store persistence, serve."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.planning.cli import demo_requests, main, parse_request
+
+BLAST_REQUEST = {
+    "pipeline": {
+        "service_times": [10.0, 20.0],
+        "mean_gains": [0.5, 1.0],
+        "vector_width": 8,
+    },
+    "tau0": 20.0,
+    "deadline": 500.0,
+}
+
+
+class TestParseRequest:
+    def test_full_object(self):
+        obj = dict(BLAST_REQUEST, b=[1.0, 1.0], method="interior", tag="x")
+        req = parse_request(obj)
+        assert req.tag == "x"
+        assert req.method == "interior"
+        assert req.problem.tau0 == 20.0
+        assert list(req.b) == [1.0, 1.0]
+
+    def test_optional_fields_defaulted(self):
+        req = parse_request(dict(BLAST_REQUEST), tag="fallback")
+        assert req.b is None
+        assert req.method == "auto"
+        assert req.tag == "fallback"
+
+    def test_missing_field_raises_spec_error(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError, match="missing required field"):
+            parse_request({"pipeline": BLAST_REQUEST["pipeline"]})
+
+    def test_demo_requests_cycle_distinct_points(self):
+        reqs = demo_requests(10, distinct=4)
+        assert len(reqs) == 10
+        keys = {(r.problem.tau0, r.problem.deadline) for r in reqs}
+        assert len(keys) == 4
+
+
+@pytest.mark.slow
+class TestBatchVerb:
+    def test_demo_batch_prints_requests_and_telemetry(self, capsys):
+        rc = main(["batch", "--demo", "12", "--demo-distinct", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("demo-") == 12
+        assert "plan cache telemetry" in out
+        assert "coalesced (single-flight)" in out
+
+    def test_requests_file_and_json_output(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(
+            json.dumps(
+                [
+                    dict(BLAST_REQUEST, tag="a"),
+                    dict(BLAST_REQUEST, tag="b"),  # duplicate key
+                    dict(BLAST_REQUEST, tau0=25.0, tag="c"),
+                ]
+            )
+        )
+        out_json = tmp_path / "responses.json"
+        rc = main(
+            ["batch", "--requests", str(reqs), "--json", str(out_json)]
+        )
+        assert rc == 0
+        responses = json.loads(out_json.read_text())
+        assert [r["tag"] for r in responses] == ["a", "b", "c"]
+        assert all(r["feasible"] for r in responses)
+        # a and b share a key: one was served by the other's solve or
+        # from cache.
+        assert (
+            sum(r["coalesced"] for r in responses)
+            + sum(r["source"] == "hit" for r in responses)
+            >= 1
+        )
+        out = capsys.readouterr().out
+        assert "responses written to" in out
+
+    def test_store_persists_across_runs(self, tmp_path, capsys):
+        store = tmp_path / "plans.json"
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([dict(BLAST_REQUEST, tag="p")]))
+
+        assert main(["batch", "--requests", str(reqs), "--store", str(store)]) == 0
+        first = capsys.readouterr().out
+        assert "cold" in first
+        assert store.exists()
+
+        assert main(["batch", "--requests", str(reqs), "--store", str(store)]) == 0
+        second = capsys.readouterr().out
+        assert "hit" in second.splitlines()[0]
+
+    def test_requires_exactly_one_input_mode(self, tmp_path, capsys):
+        assert main(["batch"]) == 2
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text("[]")
+        assert main(["batch", "--requests", str(reqs), "--demo", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "exactly one of" in err
+
+
+def _client_lines(port: int, lines: list[str]) -> list[dict]:
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        fh = sock.makefile("rw", encoding="utf-8")
+        out = []
+        for line in lines:
+            fh.write(line + "\n")
+            fh.flush()
+            out.append(json.loads(fh.readline()))
+        return out
+
+
+@pytest.mark.slow
+class TestServeVerb:
+    def test_serve_plans_stats_and_shutdown(self, capsys):
+        # Port 0: the OS picks a free port; the server prints it.
+        ready = threading.Event()
+        port_box: list[int] = []
+        rc_box: list[int] = []
+
+        class _Tee:
+            """Capture the 'serving on' line to learn the bound port."""
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def write(self, text):
+                if "serving on" in text and not port_box:
+                    port_box.append(int(text.rsplit(":", 1)[1]))
+                    ready.set()
+                return self.inner.write(text)
+
+            def flush(self):
+                self.inner.flush()
+
+        def run_server():
+            import sys as _sys
+
+            old = _sys.stdout
+            _sys.stdout = _Tee(old)
+            try:
+                # 3 = two plan requests + the stats op (each successful
+                # line counts toward --max-requests).
+                rc_box.append(
+                    main(["serve", "--port", "0", "--max-requests", "3"])
+                )
+            finally:
+                _sys.stdout = old
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=15), "server never announced its port"
+        port = port_box[0]
+
+        responses = _client_lines(
+            port,
+            [
+                json.dumps(dict(BLAST_REQUEST, tag="wire-1")),
+                json.dumps(dict(BLAST_REQUEST, tag="wire-2")),
+                json.dumps({"op": "stats"}),
+            ],
+        )
+        assert responses[0]["tag"] == "wire-1"
+        assert responses[0]["source"] == "cold"
+        assert responses[0]["feasible"]
+        assert responses[1]["source"] == "hit"
+        assert responses[2]["op"] == "stats"
+        assert responses[2]["hits"] == 1
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert rc_box == [0]
+
+    def test_serve_reports_malformed_requests(self):
+        ready = threading.Event()
+        port_box: list[int] = []
+
+        class _Tee:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def write(self, text):
+                if "serving on" in text and not port_box:
+                    port_box.append(int(text.rsplit(":", 1)[1]))
+                    ready.set()
+                return self.inner.write(text)
+
+            def flush(self):
+                self.inner.flush()
+
+        def run_server():
+            import sys as _sys
+
+            old = _sys.stdout
+            _sys.stdout = _Tee(old)
+            try:
+                main(["serve", "--port", "0", "--max-requests", "1"])
+            finally:
+                _sys.stdout = old
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=15)
+        port = port_box[0]
+
+        responses = _client_lines(
+            port,
+            [
+                json.dumps({"tau0": 1.0}),  # missing pipeline -> error
+                json.dumps(dict(BLAST_REQUEST, tag="ok")),
+            ],
+        )
+        assert "error" in responses[0]
+        assert responses[1]["tag"] == "ok"
+        thread.join(timeout=15)
+        assert not thread.is_alive()

@@ -1,0 +1,188 @@
+"""Async planning service: single-flight dedup and bounded concurrency."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps.blast.pipeline import blast_pipeline, calibrated_b
+from repro.core.model import RealTimeProblem
+from repro.errors import SpecError
+from repro.planning.cache import PlanCache
+from repro.planning.service import PlanRequest, PlanResponse, PlanningService
+from repro.planning.warmstart import PlanOutcome
+
+
+def _request(tau0: float, deadline: float = 1.5e5, tag=None) -> PlanRequest:
+    return PlanRequest(
+        problem=RealTimeProblem(blast_pipeline(), tau0, deadline),
+        b=calibrated_b(),
+        tag=tag,
+    )
+
+
+class TestBatch:
+    def test_64_requests_with_duplicates(self):
+        """The acceptance-criterion scenario: >= 64 concurrent requests,
+        duplicates coalesced via single-flight, order preserved."""
+        distinct = [
+            _request(tau0, tag=f"p{i}")
+            for i, tau0 in enumerate(np.linspace(20.0, 26.0, 8))
+        ]
+        requests = [
+            PlanRequest(d.problem, d.b, tag=f"r{i}")
+            for i in range(64)
+            for d in [distinct[i % len(distinct)]]
+        ]
+        cache = PlanCache()
+        service = PlanningService(cache, max_concurrency=8)
+        responses = service.plan_batch(requests)
+
+        assert len(responses) == 64
+        assert [r.tag for r in responses] == [f"r{i}" for i in range(64)]
+        for r in responses:
+            assert isinstance(r, PlanResponse)
+            assert r.solution.feasible
+            assert r.source in ("hit", "warm", "cold")
+            assert r.seconds >= 0.0
+        # 8 distinct keys -> 8 real solves; everything else was either
+        # coalesced onto an in-flight solve or an exact cache hit.
+        assert cache.stats.stores == 8
+        coalesced = sum(r.coalesced for r in responses)
+        assert coalesced == cache.stats.coalesced
+        assert coalesced + cache.stats.hits == 64 - 8
+        assert cache.stats.coalesced > 0  # observable in telemetry
+        assert "coalesced" in cache.telemetry().render()
+
+    def test_identical_burst_costs_one_solve(self):
+        cache = PlanCache()
+        service = PlanningService(cache, max_concurrency=4)
+        responses = service.plan_batch([_request(20.0) for _ in range(16)])
+        assert len(responses) == 16
+        assert cache.stats.stores == 1
+        assert sum(not r.coalesced for r in responses) == 1
+
+    def test_solutions_match_uncached_solve(self):
+        from repro.core.enforced_waits import EnforcedWaitsProblem
+
+        req = _request(20.0)
+        service = PlanningService(PlanCache())
+        (resp,) = service.plan_batch([req])
+        cold = EnforcedWaitsProblem(req.problem, req.b).solve()
+        np.testing.assert_array_equal(resp.solution.periods, cold.periods)
+
+
+class TestSingleFlight:
+    def test_inflight_waiters_share_one_outcome(self, monkeypatch):
+        """Pin the solver in a gate so requests genuinely overlap, then
+        assert exactly one underlying solve ran."""
+        calls = []
+        gate = threading.Event()
+
+        def fake_solve_plan(problem, b=None, **kwargs):
+            calls.append(problem.tau0)
+            gate.wait(timeout=5.0)
+            sol = object.__new__(
+                __import__(
+                    "repro.core.enforced_waits", fromlist=["x"]
+                ).EnforcedWaitsSolution
+            )
+            return PlanOutcome(sol, "k", "cold", 0.0)
+
+        monkeypatch.setattr(
+            "repro.planning.service.solve_plan", fake_solve_plan
+        )
+
+        async def scenario():
+            service = PlanningService(PlanCache(), max_concurrency=4)
+            req = _request(20.0)
+            tasks = [
+                asyncio.ensure_future(service.plan(req)) for _ in range(6)
+            ]
+            await asyncio.sleep(0.05)  # let all six reach the service
+            gate.set()
+            return await asyncio.gather(*tasks)
+
+        responses = asyncio.run(scenario())
+        assert len(calls) == 1
+        assert sum(r.coalesced for r in responses) == 5
+        sols = {id(r.solution) for r in responses}
+        assert len(sols) == 1
+
+    def test_owner_failure_propagates_to_waiters(self, monkeypatch):
+        gate = threading.Event()
+
+        def failing_solve_plan(problem, b=None, **kwargs):
+            gate.wait(timeout=5.0)
+            raise RuntimeError("injected solver crash")
+
+        monkeypatch.setattr(
+            "repro.planning.service.solve_plan", failing_solve_plan
+        )
+
+        async def scenario():
+            service = PlanningService(PlanCache(), max_concurrency=2)
+            req = _request(20.0)
+            tasks = [
+                asyncio.ensure_future(service.plan(req)) for _ in range(3)
+            ]
+            await asyncio.sleep(0.05)
+            gate.set()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+
+class TestConcurrencyBound:
+    def test_semaphore_caps_parallel_solves(self, monkeypatch):
+        limit = 3
+        active = 0
+        high_water = 0
+        lock = threading.Lock()
+
+        def slow_solve_plan(problem, b=None, **kwargs):
+            nonlocal active, high_water
+            with lock:
+                active += 1
+                high_water = max(high_water, active)
+            try:
+                threading.Event().wait(0.05)
+                sol = object.__new__(
+                    __import__(
+                        "repro.core.enforced_waits", fromlist=["x"]
+                    ).EnforcedWaitsSolution
+                )
+                return PlanOutcome(sol, "k", "cold", 0.0)
+            finally:
+                with lock:
+                    active -= 1
+
+        monkeypatch.setattr(
+            "repro.planning.service.solve_plan", slow_solve_plan
+        )
+        service = PlanningService(PlanCache(), max_concurrency=limit)
+        requests = [_request(20.0 + i) for i in range(10)]
+        responses = service.plan_batch(requests)
+        assert len(responses) == 10
+        assert high_water <= limit
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(SpecError):
+            PlanningService(max_concurrency=0)
+
+
+class TestStream:
+    def test_stream_yields_every_response(self):
+        service = PlanningService(PlanCache(), max_concurrency=4)
+        requests = [_request(20.0 + i, tag=f"s{i}") for i in range(5)]
+
+        async def scenario():
+            return [r async for r in service.stream(requests)]
+
+        responses = asyncio.run(scenario())
+        assert sorted(r.tag for r in responses) == [f"s{i}" for i in range(5)]
+        assert all(r.solution.feasible for r in responses)

@@ -1,0 +1,223 @@
+"""Property-based tests (Hypothesis): ItemQueue vs a list oracle; gains.
+
+The ring buffer (``repro.dataflow.queues.ItemQueue``) sits on the
+simulator hot path and owns tricky wrap-around arithmetic; here it is
+driven with arbitrary operation sequences against a plain-Python-list
+oracle, checking FIFO order, occupancy statistics, the conservation
+invariant ``total_popped + total_dropped + len == total_pushed``, and
+the no-partial-enqueue overflow contract.
+
+The gain properties pin the algebra the planning layer builds on: the
+pmf is a distribution, its mean matches ``.mean``, samples stay within
+``[0, max_outputs]``, and ``G_i`` composition is an exclusive prefix
+product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.gains import (
+    BernoulliGain,
+    CensoredPoissonGain,
+    DeterministicGain,
+    EmpiricalGain,
+    gain_from_mean,
+)
+from repro.dataflow.queues import ItemQueue
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SimulationError
+from repro.utils.mathx import cumprod_prefix
+
+# -- operation sequences for the queue-vs-oracle test ----------------------
+
+_push_one = st.tuples(st.just("push"), st.floats(0.0, 1e9))
+_push_many = st.tuples(
+    st.just("push_many"),
+    st.lists(st.floats(0.0, 1e9), min_size=0, max_size=40),
+)
+_pop = st.tuples(st.just("pop"), st.integers(0, 50))
+_clear = st.tuples(st.just("clear"), st.none())
+_ops = st.lists(
+    st.one_of(_push_one, _push_many, _pop, _clear), min_size=1, max_size=60
+)
+
+
+class _Oracle:
+    """The obviously-correct model: a plain Python list."""
+
+    def __init__(self, capacity: int | None) -> None:
+        self.items: list[float] = []
+        self.capacity = capacity
+        self.pushed = 0
+        self.popped = 0
+        self.cleared = 0
+        self.max_depth = 0
+
+    def push_many(self, xs: list[float]) -> bool:
+        """Mirror the all-or-nothing overflow contract; True if accepted."""
+        if not xs:
+            return True
+        if (
+            self.capacity is not None
+            and len(self.items) + len(xs) > self.capacity
+        ):
+            return False
+        self.items.extend(xs)
+        self.pushed += len(xs)
+        self.max_depth = max(self.max_depth, len(self.items))
+        return True
+
+    def pop_up_to(self, k: int) -> list[float]:
+        out, self.items = self.items[:k], self.items[k:]
+        self.popped += len(out)
+        return out
+
+    def clear(self) -> None:
+        self.cleared += len(self.items)
+        self.items = []
+
+
+@given(ops=_ops, capacity=st.one_of(st.none(), st.integers(1, 30)))
+@settings(max_examples=200, deadline=None)
+def test_queue_matches_list_oracle(ops, capacity):
+    q = ItemQueue("prop", capacity=capacity)
+    oracle = _Oracle(capacity)
+
+    for op, arg in ops:
+        if op == "push":
+            if oracle.push_many([arg]):
+                q.push(arg)
+            else:
+                with pytest.raises(SimulationError):
+                    q.push(arg)
+        elif op == "push_many":
+            if oracle.push_many(arg):
+                q.push_many(arg)
+            else:
+                depth = len(q)
+                with pytest.raises(SimulationError):
+                    q.push_many(arg)
+                # no-partial-enqueue: the failed batch changed nothing
+                assert len(q) == depth
+        elif op == "pop":
+            got = q.pop_up_to(arg)
+            assert list(got) == oracle.pop_up_to(arg)
+        else:
+            q.clear()
+            oracle.clear()
+
+        # Invariants hold after every single operation.
+        assert len(q) == len(oracle.items)
+        assert q.total_pushed == oracle.pushed
+        assert q.total_popped == oracle.popped
+        assert q.dropped_by_clear == oracle.cleared
+        assert q.max_depth == oracle.max_depth
+        assert (
+            q.total_popped + q.total_dropped + len(q) == q.total_pushed
+        )
+
+    # Drain and compare the full remaining FIFO order.
+    assert list(q.pop_up_to(len(q) + 1)) == oracle.pop_up_to(
+        len(oracle.items) + 1
+    )
+
+
+@given(
+    xs=st.lists(st.floats(0.0, 1e9), min_size=0, max_size=200),
+    pops=st.lists(st.integers(0, 20), max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_queue_wraparound_preserves_fifo(xs, pops):
+    """Interleaved pushes/pops force head wraps; order must survive."""
+    q = ItemQueue("wrap")
+    expected: list[float] = []
+    got: list[float] = []
+    it = iter(xs)
+    for k in pops:
+        batch = [x for _, x in zip(range(k + 1), it)]
+        q.push_many(batch)
+        expected.extend(batch)
+        got.extend(q.pop_up_to(k))
+    got.extend(q.pop_up_to(len(q)))
+    remaining = list(it)
+    q.push_many(remaining)
+    expected.extend(remaining)
+    got.extend(q.pop_up_to(len(q)))
+    assert got == expected
+
+
+# -- gain distribution properties ------------------------------------------
+
+_gains = st.one_of(
+    st.builds(DeterministicGain, st.integers(0, 8)),
+    st.builds(BernoulliGain, st.floats(0.0, 1.0)),
+    st.builds(
+        CensoredPoissonGain,
+        st.floats(0.01, 8.0),
+        st.integers(1, 24),
+    ),
+    st.builds(
+        EmpiricalGain,
+        st.lists(st.integers(0, 50), min_size=1, max_size=8).filter(
+            lambda c: sum(c) > 0
+        ),
+    ),
+)
+
+
+@given(gain=_gains)
+@settings(max_examples=150, deadline=None)
+def test_pmf_is_a_distribution_with_matching_mean(gain):
+    p = gain.pmf()
+    assert p.shape == (gain.max_outputs + 1,)
+    assert (p >= 0).all()
+    assert np.isclose(p.sum(), 1.0, atol=1e-12)
+    pmf_mean = float(np.dot(np.arange(p.size), p))
+    assert pmf_mean == pytest.approx(gain.mean, rel=1e-9, abs=1e-12)
+
+
+@given(gain=_gains, seed=st.integers(0, 2**32 - 1), n=st.integers(1, 300))
+@settings(max_examples=100, deadline=None)
+def test_samples_stay_on_support(gain, seed, n):
+    draws = gain.sample(np.random.default_rng(seed), n)
+    assert draws.shape == (n,)
+    assert draws.dtype == np.int64
+    assert (draws >= 0).all()
+    assert (draws <= gain.max_outputs).all()
+
+
+@given(
+    means=st.lists(st.floats(0.01, 5.0), min_size=1, max_size=8),
+    v=st.sampled_from([1, 2, 4, 8, 128]),
+)
+@settings(max_examples=150, deadline=None)
+def test_total_gains_compose_as_prefix_products(means, v):
+    """G_i = prod_{j<i} g_j with G_0 = 1 — on specs and raw arrays."""
+    pipeline = PipelineSpec.from_arrays([1.0] * len(means), means, v)
+    G = pipeline.total_gains
+    assert G[0] == 1.0
+    g = pipeline.mean_gains
+    for i in range(1, len(means)):
+        assert G[i] == pytest.approx(G[i - 1] * g[i - 1], rel=1e-12)
+    np.testing.assert_allclose(G, cumprod_prefix(g), rtol=1e-12)
+    # Composition: splitting the chain multiplies the tail gains through.
+    if len(means) >= 2:
+        k = len(means) // 2
+        np.testing.assert_allclose(
+            G[k:], G[k] * cumprod_prefix(g[k:]), rtol=1e-12
+        )
+
+
+@given(mean=st.floats(0.0, 6.0))
+@settings(max_examples=100, deadline=None)
+def test_gain_from_mean_round_trips_the_mean(mean):
+    gain = gain_from_mean(mean, u=32)
+    # Censored Poisson truncates mass above u: its mean is *at most* the
+    # nominal rate, equal for small rates where censoring is negligible.
+    assert gain.mean <= mean + 1e-12
+    if mean <= 1.0:
+        assert gain.mean == pytest.approx(mean, abs=1e-12)

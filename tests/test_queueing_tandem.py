@@ -47,6 +47,7 @@ class TestAnalyzeTandem:
                 expected, rel=0.05
             )
 
+    @pytest.mark.slow
     def test_critical_chain_binding_raises_or_none(self):
         from repro.apps.blast.pipeline import blast_pipeline
 
@@ -90,6 +91,7 @@ class TestEstimateB:
         tight = estimate_b(blast, sol.periods, 50.0, epsilon=1e-6)
         assert (tight >= loose).all()
 
+    @pytest.mark.slow
     def test_critical_point_strict_raises(self):
         from repro.apps.blast.pipeline import blast_pipeline
 

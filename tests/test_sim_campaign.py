@@ -209,6 +209,7 @@ class TestFailurePaths:
         assert "died without a result" in outcome.error
         assert "17" in outcome.error
 
+    @pytest.mark.slow
     def test_hanging_trial_times_out(self):
         faults = FaultPlan(hang_seeds=(1,), hang_seconds=60.0)
         trials = run_trials_parallel(
@@ -268,6 +269,7 @@ class TestFailurePaths:
         assert result.n_failed == 1
         assert "seed 1" in str(excinfo.value)
 
+    @pytest.mark.slow
     def test_acceptance_20_seed_campaign_with_injected_faults(self):
         """ISSUE acceptance: 20 seeds, 3 crashes + 1 hang -> 16 ok, in order."""
         faults = FaultPlan(
