@@ -1,0 +1,236 @@
+"""Emit ``BENCH_runtime.json``: live wall-clock executor measurements.
+
+Three sections, each gated on a correctness property before reporting a
+number (a throughput figure from a run that missed deadlines would be
+meaningless):
+
+- ``live`` — a planned pipeline run on the wall clock with Poisson
+  arrivals: items/sec ingest throughput, measured vs planned active
+  fraction (gated within ``--af-rtol``, default the ISSUE's 15%), and
+  end-to-end latency mean/p99/max against the planned deadline (gated
+  on zero misses).
+- ``drift_replan`` — a mid-run service slowdown that must trigger a
+  drift re-plan; reports detection-to-adoption latency and the solve
+  time of the adopted re-plan.
+- ``replan_cache`` — the same drift scenario replayed against a shared
+  :class:`~repro.planning.cache.PlanCache`: the second run's re-plan
+  must be cache-assisted (hit or warm) and its solve time is reported
+  next to the cold one (the warm-start re-plan latency claim).
+
+Usage (repository root)::
+
+    python -m benchmarks.perf.runtime [--smoke] [--out PATH]
+                                      [--af-rtol X]
+
+CI's runtime-smoke job runs ``--smoke`` and archives the JSON artifact.
+Wall-clock figures vary with machine load; only the correctness gates
+(zero misses, AF tolerance, cache-assisted re-plan) fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.planning.cache import PlanCache  # noqa: E402
+from repro.runtime.cli import run_live  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def _live_section(plan, report) -> dict:
+    t = report.telemetry
+    return {
+        "app": plan.workload.name,
+        "tau0_ms": plan.problem.tau0 * 1e3,
+        "deadline_ms": plan.problem.deadline * 1e3,
+        "vector_width": plan.pipeline.vector_width,
+        "b": [float(x) for x in plan.b],
+        "elapsed_s": t.elapsed,
+        "items_ingested": t.items_ingested,
+        "outputs": t.outputs,
+        "items_per_sec": t.items_ingested / t.elapsed if t.elapsed > 0 else None,
+        "missed_items": t.missed_items,
+        "miss_rate": t.miss_rate,
+        "latency_mean_ms": t.latency_mean * 1e3,
+        "latency_p99_ms": t.latency_p99 * 1e3,
+        "latency_max_ms": t.latency_max * 1e3,
+        "planned_active_fraction": t.planned_active_fraction,
+        "measured_active_fraction": t.measured_active_fraction,
+        "af_relative_error": abs(
+            t.measured_active_fraction / t.planned_active_fraction - 1.0
+        )
+        if t.planned_active_fraction > 0
+        else None,
+        "replans": t.replans,
+    }
+
+
+def bench_live(smoke: bool, seed: int = 0) -> dict:
+    """Steady-state live run: throughput, AF match, latency vs deadline."""
+    plan, report = run_live(
+        "synthetic", seconds=1.5 if smoke else 4.0, seed=seed
+    )
+    return _live_section(plan, report)
+
+
+def bench_drift_replan(smoke: bool, seed: int = 0) -> dict:
+    """Mid-run slowdown: drift detection and re-plan adoption latency."""
+    drift_after = 0.7 if smoke else 1.0
+    plan, report = run_live(
+        "synthetic",
+        seconds=2.5 if smoke else 5.0,
+        seed=seed,
+        drift_node=1,
+        drift_factor=1.8,
+        drift_after=drift_after,
+    )
+    section = _live_section(plan, report)
+    adopted = [e for e in report.replan_events if e.adopted]
+    section["replan_events"] = [
+        {
+            "time_s": e.time,
+            "source": e.source,
+            "solve_ms": e.solve_seconds * 1e3,
+            "adopted": e.adopted,
+        }
+        for e in report.replan_events
+    ]
+    section["adopted_replans"] = len(adopted)
+    if adopted:
+        section["detection_to_adoption_s"] = adopted[0].time - drift_after
+        section["adopted_solve_ms"] = adopted[0].solve_seconds * 1e3
+    return section
+
+
+def bench_replan_cache(smoke: bool, seed: int = 0) -> dict:
+    """Cold vs cache-assisted re-plan latency across identical drift runs."""
+    cache = PlanCache()
+    seconds = 2.5 if smoke else 5.0
+    runs = []
+    for _ in range(2):
+        _, report = run_live(
+            "synthetic",
+            seconds=seconds,
+            seed=seed,
+            drift_node=1,
+            drift_factor=1.8,
+            drift_after=0.7 if smoke else 1.0,
+            cache=cache,
+        )
+        adopted = [e for e in report.replan_events if e.adopted]
+        runs.append(
+            {
+                "missed_items": report.missed_items,
+                "adopted": [
+                    {"source": e.source, "solve_ms": e.solve_seconds * 1e3}
+                    for e in adopted
+                ],
+            }
+        )
+    cold = [e["solve_ms"] for e in runs[0]["adopted"] if e["source"] == "cold"]
+    warm = [
+        e["solve_ms"]
+        for e in runs[1]["adopted"]
+        if e["source"] in ("hit", "warm")
+    ]
+    return {
+        "first_run": runs[0],
+        "second_run": runs[1],
+        "cold_solve_ms": max(cold) if cold else None,
+        "cache_assisted_solve_ms": min(warm) if warm else None,
+        "replan_speedup": (max(cold) / min(warm)) if cold and warm else None,
+    }
+
+
+def run_all(smoke: bool, af_rtol: float) -> tuple[dict, list[str]]:
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "live": bench_live(smoke),
+        "drift_replan": bench_drift_replan(smoke),
+        "replan_cache": bench_replan_cache(smoke),
+    }
+    failures = []
+    live = report["live"]
+    if live["missed_items"] != 0:
+        failures.append(f"live run missed {live['missed_items']} deadlines")
+    if live["af_relative_error"] is None or live["af_relative_error"] > af_rtol:
+        failures.append(
+            f"active fraction off plan by {live['af_relative_error']:.1%} "
+            f"(> {af_rtol:.0%})"
+        )
+    drift = report["drift_replan"]
+    if drift["adopted_replans"] < 1:
+        failures.append("drift scenario adopted no re-plan")
+    if drift["missed_items"] != 0:
+        failures.append(
+            f"drift scenario missed {drift['missed_items']} deadlines"
+        )
+    cachesec = report["replan_cache"]
+    if cachesec["cache_assisted_solve_ms"] is None:
+        failures.append("second drift run's re-plan was not cache-assisted")
+    return report, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Live runtime benchmarks -> BENCH_runtime.json"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short runs for CI (a few seconds of wall clock each)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_runtime.json",
+        help="output path (default: BENCH_runtime.json at the repo root)",
+    )
+    parser.add_argument(
+        "--af-rtol",
+        type=float,
+        default=0.15,
+        help="measured-vs-planned active fraction gate (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    report, failures = run_all(smoke=args.smoke, af_rtol=args.af_rtol)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    live = report["live"]
+    print(f"wrote {args.out}")
+    print(
+        f"live: {live['items_per_sec']:.0f} items/s, "
+        f"p99 {live['latency_p99_ms']:.1f} ms vs D={live['deadline_ms']:.0f} ms, "
+        f"AF {live['measured_active_fraction']:.4f} vs "
+        f"{live['planned_active_fraction']:.4f} planned "
+        f"({live['af_relative_error']:.1%} off)"
+    )
+    cachesec = report["replan_cache"]
+    if cachesec["replan_speedup"] is not None:
+        print(
+            f"re-plan: cold {cachesec['cold_solve_ms']:.1f} ms -> "
+            f"cache-assisted {cachesec['cache_assisted_solve_ms']:.2f} ms "
+            f"({cachesec['replan_speedup']:.0f}x)"
+        )
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,11 @@ from repro.apps.gamma.detector import (
     gamma_pipeline,
     measure_gamma_gains,
 )
+from repro.apps.gamma.trace_gains import (
+    calibrated_gamma_b,
+    empirical_gamma_pipeline,
+    measure_gains,
+)
 
 __all__ = [
     "PhotonStreamConfig",
@@ -27,4 +32,7 @@ __all__ = [
     "GammaGainTrace",
     "measure_gamma_gains",
     "gamma_pipeline",
+    "measure_gains",
+    "empirical_gamma_pipeline",
+    "calibrated_gamma_b",
 ]

@@ -18,6 +18,11 @@ from repro.apps.nids.inspector import (
     measure_nids_gains,
     nids_pipeline,
 )
+from repro.apps.nids.trace_gains import (
+    calibrated_nids_b,
+    empirical_nids_pipeline,
+    measure_gains,
+)
 
 __all__ = [
     "AhoCorasick",
@@ -27,4 +32,7 @@ __all__ = [
     "NidsGainTrace",
     "measure_nids_gains",
     "nids_pipeline",
+    "measure_gains",
+    "empirical_nids_pipeline",
+    "calibrated_nids_b",
 ]

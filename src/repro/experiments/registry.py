@@ -50,6 +50,7 @@ def _build_registry() -> dict[str, Experiment]:
     )
     from repro.experiments.overload import run_overload_sweep
     from repro.experiments.queueing_exp import run_queueing_b
+    from repro.experiments.runtime_exp import run_runtime_validation
     from repro.experiments.sim_validation import run_sim_validation
     from repro.experiments.stress import run_bursty_stress
     from repro.experiments.table1 import run_table1
@@ -151,6 +152,12 @@ def _build_registry() -> dict[str, Experiment]:
             "Load shedding and graceful degradation under arrival overload",
             "robustness extension (R1)",
             run_overload_sweep,
+        ),
+        Experiment(
+            "runtime-validation",
+            "Prediction vs simulator vs live wall-clock execution",
+            "runtime extension (R2)",
+            run_runtime_validation,
         ),
     ]
     return {e.id: e for e in entries}

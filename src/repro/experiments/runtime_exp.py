@@ -1,0 +1,141 @@
+"""Experiment R2: solver prediction vs DES vs live wall-clock execution.
+
+Section 6.2 validates the optimizer against a discrete-event simulator;
+the live runtime (:mod:`repro.runtime`) closes the remaining gap to a
+real deployment.  This driver runs the *same planned design* through
+both substrates — the DES advancing virtual time exactly, the executor
+paying for real sleeps, thread scheduling, and allocator noise — and
+tabulates each measured active fraction against the solver's predicted
+``T(w)``, plus deadline misses on both sides.
+
+The live leg replays Poisson arrivals at the planned rate with the
+standard 15% head headroom (see ``docs/runtime.md``); the DES leg uses
+the same arrival process so the comparison is apples to apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arrivals.poisson import PoissonArrivals
+from repro.experiments.scale import scaled
+from repro.sim.enforced import EnforcedWaitsSimulator
+from repro.utils.mathx import relative_error
+from repro.utils.tables import render_table
+
+__all__ = ["RuntimeValidationRow", "RuntimeValidationResult", "run_runtime_validation"]
+
+#: Arrival-period multiplier shared by both legs (docs/runtime.md).
+RATE_SCALE = 1.15
+
+
+@dataclass
+class RuntimeValidationRow:
+    """One workload: predicted vs DES-measured vs live-measured."""
+
+    app: str
+    tau0: float
+    deadline: float
+    predicted_af: float
+    sim_af: float
+    live_af: float
+    sim_miss_rate: float
+    live_missed: int
+    live_outputs: int
+
+    @property
+    def sim_rel_error(self) -> float:
+        return relative_error(self.sim_af, self.predicted_af)
+
+    @property
+    def live_rel_error(self) -> float:
+        return relative_error(self.live_af, self.predicted_af)
+
+
+@dataclass
+class RuntimeValidationResult:
+    rows: list[RuntimeValidationRow] = field(default_factory=list)
+
+    @property
+    def max_live_rel_error(self) -> float:
+        return max((r.live_rel_error for r in self.rows), default=float("nan"))
+
+    def render(self) -> str:
+        table_rows = [
+            (
+                r.app,
+                r.tau0 * 1e3,
+                r.deadline * 1e3,
+                r.predicted_af,
+                r.sim_af,
+                r.sim_rel_error,
+                r.live_af,
+                r.live_rel_error,
+                r.live_missed,
+            )
+            for r in self.rows
+        ]
+        return render_table(
+            [
+                "app",
+                "tau0 (ms)",
+                "D (ms)",
+                "predicted AF",
+                "DES AF",
+                "DES err",
+                "live AF",
+                "live err",
+                "live miss",
+            ],
+            table_rows,
+            title=(
+                "R2: prediction vs simulator vs live wall-clock run "
+                f"(max live rel err {self.max_live_rel_error:.3g})"
+            ),
+        )
+
+
+def run_runtime_validation(
+    apps: tuple[str, ...] = ("synthetic", "blast"),
+    *,
+    seconds: float = 1.5,
+    seed: int = 0,
+    n_sim_items: int | None = None,
+) -> RuntimeValidationResult:
+    """Run each workload's planned design through the DES and live.
+
+    ``seconds`` bounds each live leg's wall-clock duration (this
+    experiment really sleeps); the DES leg simulates
+    ``n_sim_items`` (default honors ``REPRO_SCALE``) at no wall cost.
+    """
+    from repro.runtime.cli import run_live
+
+    items = n_sim_items if n_sim_items is not None else scaled(8_000, minimum=1000)
+    result = RuntimeValidationResult()
+    for app in apps:
+        plan, report = run_live(
+            app, seconds=seconds, seed=seed, rate_scale=RATE_SCALE
+        )
+        sim = EnforcedWaitsSimulator(
+            plan.pipeline,
+            plan.waits,
+            PoissonArrivals(plan.problem.tau0 * RATE_SCALE),
+            plan.problem.deadline,
+            items,
+            seed=seed,
+        )
+        metrics = sim.run()
+        result.rows.append(
+            RuntimeValidationRow(
+                app=app,
+                tau0=plan.problem.tau0,
+                deadline=plan.problem.deadline,
+                predicted_af=plan.planned_active_fraction,
+                sim_af=metrics.active_fraction,
+                live_af=report.measured_active_fraction,
+                sim_miss_rate=metrics.miss_rate,
+                live_missed=report.missed_items,
+                live_outputs=report.outputs,
+            )
+        )
+    return result

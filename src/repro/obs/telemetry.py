@@ -54,6 +54,8 @@ __all__ = [
     "EngineTelemetry",
     "PlanCacheTelemetry",
     "RunTelemetry",
+    "LiveNodeTelemetry",
+    "RuntimeTelemetry",
     "TelemetryCollector",
 ]
 
@@ -209,6 +211,148 @@ class PlanCacheTelemetry:
         return render_table(
             ["counter", "value"], rows, title="plan cache telemetry"
         )
+
+
+@dataclass(frozen=True)
+class LiveNodeTelemetry:
+    """One live-executor node's telemetry (wall-clock seconds).
+
+    The counters mirror :class:`NodeTelemetry` so runtime numbers line up
+    column-for-column with simulator output, plus the live-only fields:
+    current queue depth, the node's busy fraction of wall time, and the
+    online EWMA estimates of service time and gain next to their planned
+    values (the drift detector's inputs).
+    """
+
+    name: str
+    firings: int
+    empty_firings: int
+    items_consumed: int
+    items_produced: int
+    mean_occupancy: float
+    busy_time: float
+    wait_time: float
+    queue_depth: int
+    queue_hwm: int
+    queue_pushed: int
+    queue_popped: int
+    queue_shed: int
+    planned_service: float
+    planned_wait: float
+    ewma_service: float
+    ewma_gain: float
+
+    @property
+    def busy_fraction(self) -> float:
+        """Busy time over busy+wait time — the node's measured ``t_i/x_i``."""
+        return _rate(self.busy_time, self.busy_time + self.wait_time)
+
+
+@dataclass(frozen=True)
+class RuntimeTelemetry:
+    """A live executor run's telemetry snapshot (or final report).
+
+    ``measured_active_fraction`` is the mean of per-node busy fractions —
+    the wall-clock realization of the paper's objective ``T(x) = (1/N)
+    Σ t_i/x_i`` — directly comparable to the solver's planned value and
+    to ``SimMetrics.mean_active_fraction``.
+    """
+
+    strategy: str
+    nodes: tuple[LiveNodeTelemetry, ...]
+    elapsed: float
+    items_ingested: int
+    outputs: int
+    in_flight: int
+    missed_items: int
+    deadline: float
+    latency_mean: float
+    latency_p99: float
+    latency_max: float
+    planned_active_fraction: float
+    replans: int
+    degraded_time: float
+    degraded_intervals: tuple[tuple[float, float], ...] = ()
+
+    @property
+    def measured_active_fraction(self) -> float:
+        if not self.nodes:
+            return math.nan
+        fracs = [n.busy_fraction for n in self.nodes]
+        return sum(fracs) / len(fracs)
+
+    @property
+    def miss_rate(self) -> float:
+        return _rate(self.missed_items, self.outputs + self.missed_items)
+
+    @property
+    def total_shed(self) -> int:
+        return sum(n.queue_shed for n in self.nodes)
+
+    def render(self) -> str:
+        """The snapshot as aligned tables (node table + run summary)."""
+        rows = [
+            (
+                n.name,
+                n.firings,
+                n.empty_firings,
+                f"{n.mean_occupancy:.3f}",
+                f"{n.busy_fraction:.3f}",
+                f"{n.planned_service * 1e3:.3g}",
+                f"{n.ewma_service * 1e3:.3g}",
+                f"{n.planned_wait * 1e3:.3g}",
+                f"{n.ewma_gain:.3f}",
+                n.queue_depth,
+                n.queue_hwm,
+                n.queue_shed,
+            )
+            for n in self.nodes
+        ]
+        table = render_table(
+            [
+                "node",
+                "firings",
+                "empty",
+                "occupancy",
+                "busy frac",
+                "t plan (ms)",
+                "t ewma (ms)",
+                "w (ms)",
+                "g ewma",
+                "q depth",
+                "q hwm",
+                "shed",
+            ],
+            rows,
+            title=f"runtime telemetry ({self.strategy})",
+        )
+        lines = [
+            table,
+            (
+                f"run: {self.elapsed:.3f}s elapsed, "
+                f"{self.items_ingested} in / {self.outputs} out "
+                f"({self.in_flight} in flight), "
+                f"misses {self.missed_items} ({self.miss_rate:.4f}), "
+                f"latency mean/p99/max "
+                f"{self.latency_mean * 1e3:.3g}/"
+                f"{self.latency_p99 * 1e3:.3g}/"
+                f"{self.latency_max * 1e3:.3g} ms vs D="
+                f"{self.deadline * 1e3:.3g} ms"
+            ),
+            (
+                f"active fraction: measured "
+                f"{self.measured_active_fraction:.4f} vs planned "
+                f"{self.planned_active_fraction:.4f}; "
+                f"replans {self.replans}, degraded "
+                f"{self.degraded_time:.3f}s"
+            ),
+        ]
+        if self.degraded_intervals:
+            spans = ", ".join(
+                f"[{a:.4g}, {b:.4g}]" for a, b in self.degraded_intervals
+            )
+            lines.append(f"degraded intervals: {spans}")
+        return "\n".join(lines)
 
 
 class TelemetryCollector:

@@ -9,7 +9,12 @@ zeroing the enforced waits — the pipeline falls back to firing as fast
 as it can, sacrificing occupancy (the objective) to protect deadlines
 (the constraint).  Once the backlog drains and slack recovers past a
 *higher* threshold (hysteresis, so the mode doesn't flap at the
-boundary), the planned waits are restored.
+boundary), the planned waits are restored.  The restore decision is
+driven by its own, separately smoothed EWMA of the slack signal
+(``restore_alpha``) and can demand that recovery be *sustained*
+(``restore_time``) — degraded-mode exits show optimistic slack because
+the pipeline is firing flat out, and restoring on a fast-moving average
+of a few lucky items would re-enter degradation immediately.
 
 Mechanically the simulators consult :meth:`DeadlineWatchdog.wait_scale`
 whenever they schedule a post-firing wait, and feed the watchdog the
@@ -59,6 +64,19 @@ class DeadlineWatchdog:
         drained.
     alpha:
         EWMA smoothing factor for the slack signal.
+    restore_alpha:
+        Separate (usually smaller) EWMA smoothing factor for the
+        *restore* decision.  While degraded the pipeline fires flat out,
+        so individual exits show large, optimistic slack; judging
+        recovery by the same fast-moving average that detects erosion
+        restores the waits on what may be a handful of lucky items, and
+        the mode flaps.  ``None`` (the default) reuses ``alpha``,
+        preserving the historical behavior.
+    restore_time:
+        Virtual time the smoothed restore slack must *stay* above the
+        exit threshold (with the backlog drained) before the waits come
+        back — the symmetric counterpart of ``sustain_time``.  Default
+        0.0 restores on the first qualifying exit, as before.
     """
 
     def __init__(
@@ -70,6 +88,8 @@ class DeadlineWatchdog:
         sustain_time: float = 0.0,
         drain_backlog: int = 0,
         alpha: float = 0.2,
+        restore_alpha: float | None = None,
+        restore_time: float = 0.0,
     ) -> None:
         if deadline <= 0:
             raise SpecError(f"deadline must be > 0, got {deadline}")
@@ -87,14 +107,24 @@ class DeadlineWatchdog:
             raise SpecError(
                 f"drain_backlog must be >= 0, got {drain_backlog}"
             )
+        if restore_time < 0:
+            raise SpecError(
+                f"restore_time must be >= 0, got {restore_time}"
+            )
         self.deadline = float(deadline)
         self.enter_threshold = enter_slack_frac * deadline
         self.exit_threshold = exit_slack_frac * deadline
         self.sustain_time = float(sustain_time)
         self.drain_backlog = int(drain_backlog)
+        self.restore_time = float(restore_time)
         self._slack = Ewma("watchdog.slack", alpha)
+        self._restore_slack = Ewma(
+            "watchdog.restore_slack",
+            alpha if restore_alpha is None else restore_alpha,
+        )
         self._degraded = False
         self._erosion_since: float | None = None
+        self._recovery_since: float | None = None
         self._entered_at: float = math.nan
         self._intervals: list[tuple[float, float]] = []
         self._finalized = False
@@ -115,6 +145,11 @@ class DeadlineWatchdog:
     def smoothed_slack(self) -> float:
         """Current EWMA of observed exit slack (NaN before any exit)."""
         return self._slack.value
+
+    @property
+    def smoothed_restore_slack(self) -> float:
+        """Restore-side EWMA of exit slack (NaN before any exit)."""
+        return self._restore_slack.value
 
     @property
     def intervals(self) -> tuple[tuple[float, float], ...]:
@@ -143,6 +178,7 @@ class DeadlineWatchdog:
         currently in flight anywhere in the pipeline.
         """
         value = self._slack.add(slack)
+        restore_value = self._restore_slack.add(slack)
         if not self._degraded:
             if value < self.enter_threshold:
                 if self._erosion_since is None:
@@ -151,13 +187,24 @@ class DeadlineWatchdog:
                     self._degraded = True
                     self._entered_at = now
                     self._erosion_since = None
+                    self._recovery_since = None
             else:
                 self._erosion_since = None
         else:
-            if value > self.exit_threshold and backlog <= self.drain_backlog:
-                self._intervals.append((self._entered_at, now))
-                self._degraded = False
-                self._entered_at = math.nan
+            recovered = (
+                restore_value > self.exit_threshold
+                and backlog <= self.drain_backlog
+            )
+            if recovered:
+                if self._recovery_since is None:
+                    self._recovery_since = now
+                if now - self._recovery_since >= self.restore_time:
+                    self._intervals.append((self._entered_at, now))
+                    self._degraded = False
+                    self._entered_at = math.nan
+                    self._recovery_since = None
+            else:
+                self._recovery_since = None
 
     def finalize(self, now: float) -> tuple[tuple[float, float], ...]:
         """Close any open degraded interval at ``now`` and return all.

@@ -1,0 +1,74 @@
+"""Wall-clock pipeline runtime (live executor + online calibration).
+
+Everything else in the repository exercises the paper's model inside the
+discrete-event simulator; this package actually *runs* a planned
+pipeline in real time.  Nodes are vectorized callables
+(:class:`~repro.runtime.kernels.VectorKernel`) firing on up-to-``v``-item
+NumPy batches popped from bounded thread-safe queues
+(:class:`~repro.runtime.queues.LiveQueue`); after each firing a node
+sleeps the planned enforced wait ``w_i``, exactly as the enforced-waits
+strategy prescribes.  Around the executor run an online calibration loop
+(per-node EWMA estimates of service time and gain), a drift detector
+comparing the estimates against the planned operating point, and a
+re-planner that resolves a fresh plan through the shared
+:class:`~repro.planning.cache.PlanCache` and hot-swaps the waits without
+draining the pipeline.
+
+Entry points
+------------
+- :class:`~repro.runtime.executor.PipelineExecutor` — the executor.
+- :func:`~repro.runtime.kernels.build_workload` — real app kernels
+  (mini-BLAST, NIDS, gamma) or synthetic spin kernels.
+- :func:`~repro.runtime.kernels.plan_runtime` — calibrate + solve a plan
+  for a workload in wall-clock seconds.
+- :class:`~repro.runtime.ingest.ReplaySource` — replay any
+  ``arrivals/`` process (or a recorded trace) in real time.
+- :class:`~repro.runtime.ingest.IngestServer` — JSON-lines TCP ingest.
+- ``repro-run`` (:mod:`repro.runtime.cli`) — the command-line surface.
+
+See ``docs/runtime.md`` for the architecture and the sim-vs-live
+comparison methodology.
+"""
+
+from repro.runtime.calibration import NodeEstimator, OnlineCalibrator, quantize_relative
+from repro.runtime.drift import DriftConfig, DriftDetector
+from repro.runtime.executor import LiveRunReport, PipelineExecutor
+from repro.runtime.ingest import IngestServer, ReplaySource
+from repro.runtime.kernels import (
+    RuntimePlan,
+    RuntimeWorkload,
+    SpinKernel,
+    VectorKernel,
+    build_workload,
+    calibrate_service_times,
+    measure_runtime_gains,
+    plan_runtime,
+    suggest_tau0,
+)
+from repro.runtime.queues import LiveQueue, OriginStore
+from repro.runtime.replan import ReplanEvent, Replanner
+
+__all__ = [
+    "DriftConfig",
+    "DriftDetector",
+    "IngestServer",
+    "LiveQueue",
+    "LiveRunReport",
+    "NodeEstimator",
+    "OnlineCalibrator",
+    "OriginStore",
+    "PipelineExecutor",
+    "ReplanEvent",
+    "Replanner",
+    "ReplaySource",
+    "RuntimePlan",
+    "RuntimeWorkload",
+    "SpinKernel",
+    "VectorKernel",
+    "build_workload",
+    "calibrate_service_times",
+    "measure_runtime_gains",
+    "plan_runtime",
+    "quantize_relative",
+    "suggest_tau0",
+]

@@ -1,0 +1,234 @@
+"""Online estimation of per-node service times and gains.
+
+The offline calibration loop (:mod:`repro.core.calibration`) measures a
+pipeline once, up front.  The live executor keeps measuring: every
+non-empty firing feeds a :class:`NodeEstimator`, which maintains EWMA
+estimates of the node's wall-clock service time ``t_i`` and per-item
+gain ``g_i``.  The :class:`~repro.runtime.drift.DriftDetector` compares
+these against the planned operating point, and the re-planner feeds them
+back into :func:`repro.planning.warmstart.solve_plan`.
+
+Empty firings are excluded from the service EWMA on purpose: under
+service padding an empty firing always costs exactly the *nominal*
+service, so including it would dilute the drift signal from real
+firings (the quantity that actually changed on the device).
+
+:func:`quantize_relative` snaps estimates onto a relative (log-scale)
+grid before re-planning.  Two runs that drift to the same regime then
+produce byte-identical plan-cache keys, so the second re-plan is an
+exact cache hit — the "cache-warm re-plan" the runtime banks on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.des.monitors import Ewma
+from repro.errors import SpecError
+
+__all__ = ["NodeEstimator", "OnlineCalibrator", "CalibrationSnapshot", "quantize_relative"]
+
+
+def quantize_relative(
+    values: np.ndarray, *, step: float = 0.05, floor: float = 1e-9
+) -> np.ndarray:
+    """Snap positive values onto a multiplicative grid ``(1+step)^k``.
+
+    Values within one grid step of each other collapse to the same grid
+    point, making downstream plan-cache keys insensitive to sub-step
+    estimation noise.  Values at or below ``floor`` are clamped to it.
+    """
+    if step <= 0:
+        raise SpecError(f"quantization step must be > 0, got {step}")
+    vals = np.maximum(np.asarray(values, dtype=float), floor)
+    ratio = np.log1p(step)
+    return np.exp(np.round(np.log(vals) / ratio) * ratio)
+
+
+class NodeEstimator:
+    """EWMA estimates of one node's service time and mean gain.
+
+    ``observe(duration, outputs, consumed)`` records one non-empty
+    firing: ``duration`` seconds of wall-clock service and
+    ``outputs / consumed`` as the firing's mean per-item gain.  Reads
+    return the planned values until ``min_observations`` firings have
+    been seen, so a cold estimator never reports drift.
+
+    The EWMAs are *not* seeded by the first firing: a single up-to-``v``
+    item batch is a terrible gain sample (a Bernoulli stage at ``v=8``
+    spans 0..1 in steps of 1/8), and a slow EWMA seeded there stays
+    wrong long enough to trip the drift detector on a healthy pipeline.
+    Instead the first ``min_observations`` firings accumulate plain
+    totals, the EWMAs are seeded with the totals' mean (for gain, the
+    ratio of totals — the items-weighted estimator), and only then do
+    per-firing EWMA updates begin.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        planned_service: float,
+        planned_gain: float,
+        *,
+        alpha: float = 0.2,
+        gain_alpha: float = 0.05,
+        min_observations: int = 5,
+    ) -> None:
+        if min_observations < 1:
+            raise SpecError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        self.name = name
+        self.planned_service = float(planned_service)
+        self.planned_gain = float(planned_gain)
+        self.min_observations = min_observations
+        self._service = Ewma(f"{name}.service", alpha)
+        # A firing's mean gain over <= v items is far noisier than its
+        # duration (a Bernoulli stage at v=8 has ~40% relative spread per
+        # firing), so the gain EWMA smooths much harder by default.
+        self._gain = Ewma(f"{name}.gain", gain_alpha)
+        self._n = 0
+        self._sum_duration = 0.0
+        self._sum_outputs = 0
+        self._sum_consumed = 0
+        self._lock = threading.Lock()
+
+    @property
+    def observations(self) -> int:
+        return self._n
+
+    @property
+    def warmed(self) -> bool:
+        return self._n >= self.min_observations
+
+    def observe(self, duration: float, outputs: int, consumed: int) -> None:
+        """Record one non-empty firing (``consumed >= 1``)."""
+        if consumed < 1:
+            raise SpecError(
+                f"estimator {self.name!r}: observe requires consumed >= 1"
+            )
+        with self._lock:
+            self._n += 1
+            if self._n <= self.min_observations:
+                self._sum_duration += float(duration)
+                self._sum_outputs += int(outputs)
+                self._sum_consumed += int(consumed)
+                if self._n == self.min_observations:
+                    self._service.add(self._sum_duration / self._n)
+                    self._gain.add(self._sum_outputs / self._sum_consumed)
+            else:
+                self._service.add(float(duration))
+                self._gain.add(outputs / consumed)
+
+    @property
+    def service(self) -> float:
+        """Current service estimate (planned value until warmed)."""
+        with self._lock:
+            if self._n < self.min_observations:
+                return self.planned_service
+            return self._service.value
+
+    @property
+    def gain(self) -> float:
+        """Current mean-gain estimate (planned value until warmed)."""
+        with self._lock:
+            if self._n < self.min_observations:
+                return self.planned_gain
+            return self._gain.value
+
+    def rebase(self, planned_service: float, planned_gain: float) -> None:
+        """Reset against a new operating point (after a re-plan)."""
+        with self._lock:
+            self.planned_service = float(planned_service)
+            self.planned_gain = float(planned_gain)
+            self._service = Ewma(self._service.name, self._service.alpha)
+            self._gain = Ewma(self._gain.name, self._gain.alpha)
+            self._n = 0
+            self._sum_duration = 0.0
+            self._sum_outputs = 0
+            self._sum_consumed = 0
+
+
+@dataclass(frozen=True)
+class CalibrationSnapshot:
+    """A consistent read of every node's current estimates."""
+
+    services: np.ndarray
+    gains: np.ndarray
+    planned_services: np.ndarray
+    planned_gains: np.ndarray
+    observations: np.ndarray
+    warmed: bool
+
+    @property
+    def service_ratios(self) -> np.ndarray:
+        """Estimate / planned per node (1.0 = on plan)."""
+        return self.services / self.planned_services
+
+    @property
+    def gain_ratios(self) -> np.ndarray:
+        return self.gains / np.maximum(self.planned_gains, 1e-12)
+
+
+class OnlineCalibrator:
+    """One :class:`NodeEstimator` per pipeline node, snapshot-readable."""
+
+    def __init__(
+        self,
+        names: list[str],
+        planned_services: np.ndarray,
+        planned_gains: np.ndarray,
+        *,
+        alpha: float = 0.2,
+        gain_alpha: float = 0.05,
+        min_observations: int = 5,
+    ) -> None:
+        services = np.asarray(planned_services, dtype=float)
+        gains = np.asarray(planned_gains, dtype=float)
+        if not (len(names) == services.size == gains.size):
+            raise SpecError(
+                "calibrator names/services/gains length mismatch: "
+                f"{len(names)}/{services.size}/{gains.size}"
+            )
+        self.estimators = [
+            NodeEstimator(
+                name,
+                float(t),
+                float(g),
+                alpha=alpha,
+                gain_alpha=gain_alpha,
+                min_observations=min_observations,
+            )
+            for name, t, g in zip(names, services, gains)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.estimators)
+
+    def observe(self, node: int, duration: float, outputs: int, consumed: int) -> None:
+        self.estimators[node].observe(duration, outputs, consumed)
+
+    def snapshot(self) -> CalibrationSnapshot:
+        ests = self.estimators
+        return CalibrationSnapshot(
+            services=np.asarray([e.service for e in ests]),
+            gains=np.asarray([e.gain for e in ests]),
+            planned_services=np.asarray([e.planned_service for e in ests]),
+            planned_gains=np.asarray([e.planned_gain for e in ests]),
+            observations=np.asarray([e.observations for e in ests]),
+            warmed=all(e.warmed for e in ests),
+        )
+
+    def rebase(
+        self, planned_services: np.ndarray, planned_gains: np.ndarray
+    ) -> None:
+        """Reset every estimator against a freshly adopted plan."""
+        for est, t, g in zip(
+            self.estimators,
+            np.asarray(planned_services, dtype=float),
+            np.asarray(planned_gains, dtype=float),
+        ):
+            est.rebase(float(t), float(g))

@@ -1,0 +1,362 @@
+"""Command-line entry point: ``repro-run``.
+
+Usage::
+
+    # plan and run the mini-BLAST pipeline live for 2 seconds:
+    repro-run run --app blast --seconds 2
+
+    # synthetic pipeline with a mid-run device slowdown (drift demo):
+    repro-run run --app synthetic --seconds 4 --drift-node 1 \\
+        --drift-factor 1.8 --drift-after 1.0
+
+    # bounded queues with deadline-aware shedding and the watchdog:
+    repro-run run --app nids --queue-capacity 256 --shed deadline-aware \\
+        --watchdog
+
+    # JSON-lines TCP ingest (mirrors `repro-plan serve`):
+    repro-run serve --app gamma --port 7422
+
+``run`` plans the workload (empirical gains + wall-clock service
+calibration through the plan cache), replays Poisson arrivals at the
+planned rate in real time, and prints the final runtime telemetry —
+measured active fraction next to the solver's predicted ``T(w)``,
+deadline misses, latency percentiles, and any drift-triggered re-plans.
+
+``serve`` starts the executor with no replay source and accepts items
+over TCP; each request line is ``{"op": "submit", "items": [...]}``,
+``{"op": "stats"}``, or ``{"op": "shutdown"}`` (which drains the
+pipeline and prints the final report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+
+from repro.errors import ReproError
+
+__all__ = ["main", "run_live"]
+
+
+def run_live(
+    app: str = "synthetic",
+    *,
+    seconds: float = 2.0,
+    vector_width: int = 8,
+    utilization: float = 0.7,
+    deadline_factor: float = 4.0,
+    rate_scale: float = 1.15,
+    seed: int = 0,
+    service_floor: float = 0.005,
+    queue_capacity: int | None = None,
+    shed: str | None = None,
+    watchdog: bool = False,
+    replanning: bool = True,
+    drift_node: int | None = None,
+    drift_factor: float = 1.0,
+    drift_after: float = 0.5,
+    drift_config=None,
+    control_interval: float = 0.05,
+    min_replan_interval: float = 0.25,
+    cache=None,
+    timeout: float | None = None,
+):
+    """Plan a workload, run it live on Poisson arrivals, return the report.
+
+    This is the programmatic form of ``repro-run run`` — the benchmark,
+    the CI smoke test, and the sim-vs-live experiment all call it.
+    Returns ``(plan, report)``.
+
+    ``rate_scale`` multiplies the planned ``tau0`` for the replayed
+    arrivals (2.0 = half rate).  The default 1.15 leaves 15% head
+    headroom: the solver drives the head period to the ``x_0 <= v*tau0``
+    boundary, and feeding at *exactly* that rate leaves zero margin for
+    sleep overshoot and Poisson bursts — queues then random-walk upward
+    and latency drifts past any deadline, on a real device as much as
+    here.  ``drift_node``/``drift_factor`` scale
+    one node's padded service time ``drift_after`` seconds into the run,
+    emulating a device slowdown the online calibrator must detect.
+    """
+    from repro.arrivals.poisson import PoissonArrivals
+    from repro.resilience.shedding import make_shed_policy
+    from repro.resilience.watchdog import DeadlineWatchdog
+    from repro.runtime.executor import PipelineExecutor
+    from repro.runtime.ingest import ReplaySource
+    from repro.runtime.kernels import build_workload, plan_runtime
+
+    workload = build_workload(app, seed=seed)
+    plan = plan_runtime(
+        workload,
+        vector_width=vector_width,
+        utilization=utilization,
+        deadline_factor=deadline_factor,
+        service_floor=service_floor,
+        cache=cache,
+        seed=seed,
+    )
+    wd = None
+    if watchdog:
+        wd = DeadlineWatchdog(
+            plan.problem.deadline,
+            sustain_time=2 * control_interval,
+            drain_backlog=2 * vector_width,
+            restore_alpha=0.1,
+            restore_time=2 * control_interval,
+        )
+    policy = None
+    if shed is not None:
+        origins = None  # bound below, after the executor exists
+
+        def _slack_of(ids, now):
+            lookup = origins.lookup(ids)
+            return lookup + plan.problem.deadline - now
+
+        policy = make_shed_policy(shed, slack_of=_slack_of)
+    executor = PipelineExecutor.from_plan(
+        plan,
+        cache=cache,
+        enable_replanning=replanning,
+        drift=drift_config,
+        queue_capacity=queue_capacity,
+        shed_policy=policy,
+        watchdog=wd,
+        control_interval=control_interval,
+        min_replan_interval=min_replan_interval,
+    )
+    if shed is not None:
+        origins = executor.origins
+    tau0 = plan.problem.tau0 * rate_scale
+    n_items = max(1, int(round(seconds / tau0)))
+    source = ReplaySource(
+        PoissonArrivals(tau0),
+        workload.sample_payload,
+        n_items=n_items,
+        seed=seed + 1,
+    )
+    executor.start()
+    if drift_node is not None and drift_factor != 1.0:
+        timer = threading.Timer(
+            drift_after,
+            executor.inject_service_scale,
+            args=(drift_node, drift_factor),
+        )
+        timer.daemon = True
+        timer.start()
+    source.feed(executor)
+    if timeout is None:
+        timeout = max(30.0, 10.0 * seconds)
+    report = executor.join(timeout=timeout)
+    return plan, report
+
+
+def _report_to_dict(plan, report) -> dict:
+    t = report.telemetry
+    return {
+        "app": plan.workload.name,
+        "tau0": plan.problem.tau0,
+        "deadline": plan.problem.deadline,
+        "vector_width": plan.pipeline.vector_width,
+        "planned_active_fraction": t.planned_active_fraction,
+        "measured_active_fraction": t.measured_active_fraction,
+        "elapsed": t.elapsed,
+        "items_ingested": t.items_ingested,
+        "outputs": t.outputs,
+        "missed_items": t.missed_items,
+        "miss_rate": t.miss_rate,
+        "latency_mean": t.latency_mean,
+        "latency_p99": t.latency_p99,
+        "latency_max": t.latency_max,
+        "replans": t.replans,
+        "degraded_time": t.degraded_time,
+        "total_shed": t.total_shed,
+        "replan_events": [
+            {
+                "time": e.time,
+                "source": e.source,
+                "solve_seconds": e.solve_seconds,
+                "feasible": e.feasible,
+                "adopted": e.adopted,
+                "active_fraction": e.active_fraction,
+            }
+            for e in report.replan_events
+        ],
+        "nodes": [
+            {
+                "name": n.name,
+                "firings": n.firings,
+                "empty_firings": n.empty_firings,
+                "items_consumed": n.items_consumed,
+                "items_produced": n.items_produced,
+                "busy_fraction": n.busy_fraction,
+                "planned_service": n.planned_service,
+                "ewma_service": n.ewma_service,
+                "planned_wait": n.planned_wait,
+                "ewma_gain": n.ewma_gain,
+                "queue_hwm": n.queue_hwm,
+                "queue_shed": n.queue_shed,
+            }
+            for n in t.nodes
+        ],
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    plan, report = run_live(
+        args.app,
+        seconds=args.seconds,
+        vector_width=args.vector_width,
+        utilization=args.utilization,
+        deadline_factor=args.deadline_factor,
+        rate_scale=args.rate_scale,
+        seed=args.seed,
+        queue_capacity=args.queue_capacity,
+        shed=args.shed,
+        watchdog=args.watchdog,
+        replanning=not args.no_replanning,
+        drift_node=args.drift_node,
+        drift_factor=args.drift_factor,
+        drift_after=args.drift_after,
+    )
+    print(
+        f"planned {plan.workload.name}: tau0={plan.problem.tau0 * 1e3:.3g} ms, "
+        f"D={plan.problem.deadline * 1e3:.3g} ms, "
+        f"plan source={plan.outcome.source}"
+    )
+    print(report.render())
+    for e in report.replan_events:
+        verdict = "adopted" if e.adopted else "rejected"
+        print(
+            f"replan at {e.time:.3f}s: {verdict} ({e.source}, "
+            f"{e.solve_seconds * 1e3:.2f} ms solve, "
+            f"AF={e.active_fraction:.4f})"
+        )
+    if args.json is not None:
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(_report_to_dict(plan, report), indent=2) + "\n"
+        )
+        print(f"report written to {args.json}")
+    return 0 if report.missed_items == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.executor import PipelineExecutor
+    from repro.runtime.ingest import IngestServer
+    from repro.runtime.kernels import build_workload, plan_runtime
+
+    workload = build_workload(args.app, seed=args.seed)
+    plan = plan_runtime(
+        workload,
+        vector_width=args.vector_width,
+        utilization=args.utilization,
+        deadline_factor=args.deadline_factor,
+        seed=args.seed,
+    )
+    executor = PipelineExecutor.from_plan(plan)
+    executor.start()
+    server = IngestServer(executor, host=args.host, port=args.port)
+    server.start()
+    print(
+        f"repro-run serving {args.app} on {server.host}:{server.port} "
+        f"(v={plan.pipeline.vector_width}, "
+        f"D={plan.problem.deadline * 1e3:.3g} ms)",
+        flush=True,
+    )
+    try:
+        server._thread.join()
+    except KeyboardInterrupt:  # pragma: no cover — interactive only
+        server.stop()
+        executor.finish_ingest()
+    report = executor.join(timeout=60.0)
+    print(report.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Run a planned pipeline live on the wall clock.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--app",
+            default="synthetic",
+            choices=("blast", "nids", "gamma", "synthetic"),
+            help="workload (real app kernels or synthetic spin kernels)",
+        )
+        p.add_argument("--vector-width", type=int, default=8)
+        p.add_argument(
+            "--utilization",
+            type=float,
+            default=0.7,
+            help="target bottleneck load when deriving tau0",
+        )
+        p.add_argument(
+            "--deadline-factor",
+            type=float,
+            default=4.0,
+            help="deadline as a multiple of sum(b_i * t_i)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+
+    run_p = sub.add_parser("run", help="replay arrivals through a live run")
+    _add_common(run_p)
+    run_p.add_argument("--seconds", type=float, default=2.0)
+    run_p.add_argument(
+        "--rate-scale",
+        type=float,
+        default=1.15,
+        help=(
+            "arrival tau0 multiplier (default 1.15: 15%% headroom below "
+            "the planned head rate; 2.0 = half rate)"
+        ),
+    )
+    run_p.add_argument("--queue-capacity", type=int, default=None)
+    run_p.add_argument(
+        "--shed",
+        default=None,
+        choices=("drop-newest", "drop-oldest", "deadline-aware"),
+        help="shed policy for bounded queues",
+    )
+    run_p.add_argument(
+        "--watchdog",
+        action="store_true",
+        help="attach the deadline watchdog to the live run",
+    )
+    run_p.add_argument(
+        "--no-replanning",
+        action="store_true",
+        help="disable drift detection and re-planning",
+    )
+    run_p.add_argument("--drift-node", type=int, default=None)
+    run_p.add_argument("--drift-factor", type=float, default=1.0)
+    run_p.add_argument("--drift-after", type=float, default=0.5)
+    run_p.add_argument(
+        "--json", metavar="FILE", default=None, help="write the report as JSON"
+    )
+
+    serve_p = sub.add_parser("serve", help="JSON-lines TCP ingest server")
+    _add_common(serve_p)
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7422)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

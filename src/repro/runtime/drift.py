@@ -1,0 +1,109 @@
+"""Detect when live estimates have drifted off the planned operating point.
+
+The enforced-waits plan is only as good as the ``(t, g)`` it was solved
+for.  The :class:`DriftDetector` compares each control tick's
+:class:`~repro.runtime.calibration.CalibrationSnapshot` against the plan:
+a node whose service-time or gain estimate deviates from its planned
+value by more than a relative tolerance is *suspect*; when any node stays
+suspect for ``sustain_checks`` consecutive ticks the detector trips and
+the executor re-plans.  The sustain requirement plays the same role as
+the watchdog's ``sustain_time`` — one noisy EWMA reading must not
+trigger a solver round-trip.
+
+After a re-plan the executor calls :meth:`DriftDetector.rebase` so the
+detector measures deviation from the *new* operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.runtime.calibration import CalibrationSnapshot
+
+__all__ = ["DriftConfig", "DriftDetector", "DriftState"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Tolerances for declaring the plan stale.
+
+    ``service_rtol`` / ``gain_rtol`` are relative deviations (0.25 =
+    25%) of the EWMA estimate from the planned value; ``sustain_checks``
+    is how many consecutive control ticks the deviation must persist.
+    """
+
+    service_rtol: float = 0.25
+    gain_rtol: float = 0.5
+    sustain_checks: int = 3
+
+    def __post_init__(self) -> None:
+        if self.service_rtol <= 0 or self.gain_rtol <= 0:
+            raise SpecError(
+                "drift tolerances must be > 0, got "
+                f"service_rtol={self.service_rtol}, gain_rtol={self.gain_rtol}"
+            )
+        if self.sustain_checks < 1:
+            raise SpecError(
+                f"sustain_checks must be >= 1, got {self.sustain_checks}"
+            )
+
+
+@dataclass(frozen=True)
+class DriftState:
+    """One control tick's verdict.
+
+    ``service_suspect`` / ``gain_suspect`` are per-node boolean masks of
+    which *dimension* exceeded its tolerance — the re-planner uses them
+    to apply a minimal update (estimates only where drifted, planned
+    values elsewhere), which keeps re-plan cache keys deterministic.
+    """
+
+    drifted: bool
+    suspect_nodes: tuple[int, ...]
+    service_deviation: np.ndarray
+    gain_deviation: np.ndarray
+    service_suspect: np.ndarray
+    gain_suspect: np.ndarray
+    consecutive: int
+
+
+@dataclass
+class DriftDetector:
+    config: DriftConfig = field(default_factory=DriftConfig)
+    _streak: int = 0
+    trips: int = 0
+
+    def update(self, snapshot: CalibrationSnapshot) -> DriftState:
+        """Fold in one snapshot; ``drifted`` is True on the tripping tick."""
+        sdev = np.abs(snapshot.service_ratios - 1.0)
+        gdev = np.abs(snapshot.gain_ratios - 1.0)
+        s_suspect = sdev > self.config.service_rtol
+        g_suspect = gdev > self.config.gain_rtol
+        suspect = s_suspect | g_suspect
+        # A cold calibrator reports planned values (deviation 0), so no
+        # warm-up guard is needed — but a partially warmed one must not
+        # accumulate a streak from nodes that have not fired yet.
+        if snapshot.warmed and bool(suspect.any()):
+            self._streak += 1
+        else:
+            self._streak = 0
+        drifted = self._streak >= self.config.sustain_checks
+        if drifted:
+            self.trips += 1
+            self._streak = 0
+        return DriftState(
+            drifted=drifted,
+            suspect_nodes=tuple(int(i) for i in np.flatnonzero(suspect)),
+            service_deviation=sdev,
+            gain_deviation=gdev,
+            service_suspect=s_suspect,
+            gain_suspect=g_suspect,
+            consecutive=self._streak,
+        )
+
+    def rebase(self) -> None:
+        """Clear state after the executor adopts a new plan."""
+        self._streak = 0

@@ -1,0 +1,648 @@
+"""The wall-clock pipeline executor.
+
+:class:`PipelineExecutor` runs a planned pipeline for real: one thread
+per node pops up-to-``v``-item batches off its bounded
+:class:`~repro.runtime.queues.LiveQueue`, calls the node's
+:class:`~repro.runtime.kernels.VectorKernel`, and then sleeps the
+planned enforced wait ``w_i`` — the paper's enforced-waits strategy
+executed on the wall clock instead of inside the discrete-event
+simulator.
+
+Service padding
+---------------
+The paper's model charges every vector firing the full service time
+``t_i`` regardless of lane occupancy (a SIMD device runs all lanes in
+lockstep).  On a CPU the raw Python kernel time varies with batch
+content, so each firing is *padded* with a sleep up to the kernel's
+calibrated ``nominal_service`` (times an injectable per-node
+``service_scale``, the drift test hook emulating a device slowdown).
+With ``charge_empty_firings=True`` (the default, matching
+:class:`~repro.sim.enforced.EnforcedWaitsSimulator`) empty firings are
+padded too, so a node's firing period is ``t_i + w_i`` under any load
+and the measured per-node busy fraction realizes the planned ``t_i/x_i``.
+
+Control loop
+------------
+A controller thread ticks every ``control_interval`` seconds: it
+snapshots the :class:`~repro.runtime.calibration.OnlineCalibrator`
+(fed by every non-empty firing), runs the
+:class:`~repro.runtime.drift.DriftDetector`, and on a sustained drift
+asks the :class:`~repro.runtime.replan.Replanner` for a fresh plan
+through the shared plan cache.  A feasible solution is adopted by
+atomically swapping the wait vector — in-flight items, queue contents,
+and node threads are untouched; the next firing of each node simply
+sleeps the new wait.
+
+Deadline accounting reuses :class:`~repro.sim.metrics.LatencyLedger`
+keyed on the int64 item ids minted by
+:class:`~repro.runtime.queues.OriginStore`; a
+:class:`~repro.resilience.watchdog.DeadlineWatchdog` (optional) observes
+tail-exit slack exactly as in the simulator and scales the waits of
+*every* node while degraded.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError, SpecError
+from repro.obs.telemetry import LiveNodeTelemetry, RuntimeTelemetry
+from repro.runtime.calibration import OnlineCalibrator
+from repro.runtime.drift import DriftConfig, DriftDetector
+from repro.runtime.kernels import RuntimePlan, VectorKernel
+from repro.runtime.queues import LiveQueue, OriginStore
+from repro.runtime.replan import ReplanEvent, Replanner
+from repro.sim.metrics import LatencyLedger
+
+__all__ = ["PipelineExecutor", "LiveRunReport"]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+class _NodeStats:
+    """Per-node counters, written only by the owning node thread."""
+
+    __slots__ = (
+        "firings",
+        "empty_firings",
+        "items_consumed",
+        "items_produced",
+        "occupancy_sum",
+        "busy_time",
+        "wait_time",
+    )
+
+    def __init__(self) -> None:
+        self.firings = 0
+        self.empty_firings = 0
+        self.items_consumed = 0
+        self.items_produced = 0
+        self.occupancy_sum = 0.0
+        self.busy_time = 0.0
+        self.wait_time = 0.0
+
+
+@dataclass(frozen=True)
+class LiveRunReport:
+    """Final report of one live run."""
+
+    telemetry: RuntimeTelemetry
+    replan_events: tuple[ReplanEvent, ...] = ()
+
+    @property
+    def outputs(self) -> int:
+        return self.telemetry.outputs
+
+    @property
+    def missed_items(self) -> int:
+        return self.telemetry.missed_items
+
+    @property
+    def miss_rate(self) -> float:
+        return self.telemetry.miss_rate
+
+    @property
+    def measured_active_fraction(self) -> float:
+        return self.telemetry.measured_active_fraction
+
+    @property
+    def planned_active_fraction(self) -> float:
+        return self.telemetry.planned_active_fraction
+
+    @property
+    def replans(self) -> int:
+        return len([e for e in self.replan_events if e.adopted])
+
+    def render(self) -> str:
+        return self.telemetry.render()
+
+
+class PipelineExecutor:
+    """Run vectorized kernels as a live enforced-waits pipeline.
+
+    Parameters
+    ----------
+    kernels:
+        The node kernels, head to tail; each must have a positive
+        ``nominal_service`` (run :func:`~repro.runtime.kernels.\
+calibrate_service_times` or use :func:`~repro.runtime.kernels.\
+plan_runtime`).
+    waits:
+        Planned enforced waits ``w_i`` in seconds (the solver's output).
+    vector_width:
+        SIMD width ``v`` — the maximum batch popped per firing.
+    deadline:
+        End-to-end latency bound ``D`` in seconds.
+    tau0:
+        Planned head inter-arrival time (used by the re-planner's
+        problem; required when ``replanner`` is set).
+    planned_active_fraction:
+        The solver's predicted ``T(w)``, carried into telemetry.
+    queue_capacity / shed_policy:
+        Bound and overflow policy applied to every inter-node queue
+        (same :class:`~repro.resilience.shedding.ShedPolicy` objects the
+        simulators use).  Shed items are scored as deadline misses.
+    watchdog:
+        Optional :class:`~repro.resilience.watchdog.DeadlineWatchdog`;
+        fed the minimum slack of every tail exit batch, its
+        ``wait_scale`` multiplies every enforced wait.
+    drift / replanner:
+        Online re-planning: ``drift`` configures the detector,
+        ``replanner`` performs cache-warm solves.  Either may be None
+        (no re-planning).
+    charge_empty_firings:
+        Pad and count firings that consumed zero items (default True,
+        the simulator's convention — keeps the firing period ``t_i +
+        w_i`` under any load).
+    pad_service:
+        Pad firings up to nominal service (default True).  Disable only
+        for raw-throughput measurements.
+    control_interval:
+        Controller tick in seconds.
+    """
+
+    def __init__(
+        self,
+        kernels: list[VectorKernel],
+        waits: np.ndarray,
+        *,
+        vector_width: int,
+        deadline: float,
+        tau0: float | None = None,
+        planned_active_fraction: float = math.nan,
+        queue_capacity: int | None = None,
+        shed_policy=None,
+        watchdog=None,
+        drift: DriftConfig | None = None,
+        replanner: Replanner | None = None,
+        charge_empty_firings: bool = True,
+        pad_service: bool = True,
+        calibration_alpha: float = 0.2,
+        min_observations: int = 5,
+        control_interval: float = 0.05,
+        poll_interval: float = 0.001,
+        planned_gains: np.ndarray | None = None,
+    ) -> None:
+        if not kernels:
+            raise SpecError("executor needs at least one kernel")
+        if vector_width < 1:
+            raise SpecError(f"vector_width must be >= 1, got {vector_width}")
+        if deadline <= 0:
+            raise SpecError(f"deadline must be > 0, got {deadline}")
+        waits = np.asarray(waits, dtype=float)
+        if waits.shape != (len(kernels),):
+            raise SpecError(
+                f"waits must have length {len(kernels)}, got {waits.shape}"
+            )
+        if (waits < 0).any():
+            raise SpecError("waits must be >= 0")
+        if pad_service and any(k.nominal_service <= 0 for k in kernels):
+            raise SpecError(
+                "every kernel needs a positive nominal_service under "
+                "service padding; run calibrate_service_times first"
+            )
+        self.kernels = list(kernels)
+        self.n_nodes = len(kernels)
+        self.vector_width = int(vector_width)
+        self.deadline = float(deadline)
+        self.tau0 = None if tau0 is None else float(tau0)
+        self.charge_empty_firings = bool(charge_empty_firings)
+        self.pad_service = bool(pad_service)
+        self.control_interval = float(control_interval)
+        self.poll_interval = float(poll_interval)
+        self.watchdog = watchdog
+        self.replanner = replanner
+        self.drift_detector = (
+            DriftDetector(drift) if drift is not None else None
+        )
+        if replanner is not None and self.drift_detector is None:
+            self.drift_detector = DriftDetector(DriftConfig())
+
+        self._waits = waits.copy()
+        self._planned_af = float(planned_active_fraction)
+        self._service_scale = np.ones(self.n_nodes)
+        self.queues = [
+            LiveQueue(
+                k.name, capacity=queue_capacity, shed_policy=shed_policy
+            )
+            for k in kernels
+        ]
+        self.origins = OriginStore()
+        self.ledger = LatencyLedger(self.deadline, keep_samples=True)
+        if planned_gains is None:
+            planned_gains = np.ones(self.n_nodes)
+        self.calibrator = OnlineCalibrator(
+            [k.name for k in kernels],
+            np.asarray([k.nominal_service for k in kernels], dtype=float),
+            np.asarray(planned_gains, dtype=float),
+            alpha=calibration_alpha,
+            min_observations=min_observations,
+        )
+        self._stats = [_NodeStats() for _ in kernels]
+        self._lock = threading.Lock()  # ledger + in_flight + ingest counts
+        self._in_flight = 0
+        self._items_ingested = 0
+        self._ingest_done = threading.Event()
+        self._stop = threading.Event()
+        self._started = False
+        self._finished = False
+        self._t0 = math.nan
+        self._elapsed = 0.0
+        self._threads: list[threading.Thread] = []
+        self._node_errors: list[BaseException] = []
+        self._adopted_replans = 0
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: RuntimePlan,
+        *,
+        cache=None,
+        drift: DriftConfig | None = None,
+        enable_replanning: bool = True,
+        quantize_step: float = 0.05,
+        min_replan_interval: float = 0.25,
+        **kwargs,
+    ) -> "PipelineExecutor":
+        """Build an executor directly from a solved :class:`RuntimePlan`."""
+        if not plan.feasible:
+            raise SpecError(
+                "cannot execute an infeasible plan: "
+                f"{plan.outcome.solution.diagnosis}"
+            )
+        replanner = None
+        if enable_replanning:
+            replanner = Replanner(
+                tau0=plan.problem.tau0,
+                deadline=plan.problem.deadline,
+                vector_width=plan.pipeline.vector_width,
+                cache=cache,
+                quantize_step=quantize_step,
+                min_interval=min_replan_interval,
+            )
+        return cls(
+            plan.workload.kernels,
+            plan.waits,
+            vector_width=plan.pipeline.vector_width,
+            deadline=plan.problem.deadline,
+            tau0=plan.problem.tau0,
+            planned_active_fraction=plan.planned_active_fraction,
+            planned_gains=plan.pipeline.mean_gains,
+            drift=drift,
+            replanner=replanner,
+            **kwargs,
+        )
+
+    # -- time --------------------------------------------------------------
+
+    def _now(self) -> float:
+        """Seconds since :meth:`start` (0.0 before)."""
+        return time.perf_counter() - self._t0 if self._started else 0.0
+
+    def _sleep(self, seconds: float) -> None:
+        """Sleep interruptibly (wakes early if the executor stops)."""
+        end = time.perf_counter() + seconds
+        while not self._stop.is_set():
+            remaining = end - time.perf_counter()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.05))
+
+    # -- ingest -------------------------------------------------------------
+
+    def submit(self, payload: np.ndarray) -> np.ndarray:
+        """Ingest a batch of head-of-pipeline payload rows; returns ids.
+
+        Each row becomes one item originating *now*; overflow of the
+        head queue follows its shed policy (dropped items are scored as
+        deadline misses, like the simulator).
+        """
+        if not self._started or self._finished:
+            raise SimulationError(
+                "submit() requires a started, unfinished executor"
+            )
+        payload = np.asarray(payload)
+        k = len(payload)
+        if k == 0:
+            return _EMPTY_IDS
+        now = self._now()
+        ids = self.origins.append(now, k)
+        with self._lock:
+            self._items_ingested += k
+            self._in_flight += k
+        dropped = self.queues[0].push(ids, payload, now=now)
+        if dropped is not None and dropped.size:
+            with self._lock:
+                self.ledger.record_drops(ids=dropped)
+                self._in_flight -= int(dropped.size)
+        return ids
+
+    def finish_ingest(self) -> None:
+        """Signal that no more items will be submitted."""
+        self._ingest_done.set()
+
+    # -- live control --------------------------------------------------------
+
+    @property
+    def waits(self) -> np.ndarray:
+        """The enforced waits currently in force (a copy)."""
+        return self._waits.copy()
+
+    def swap_waits(self, waits: np.ndarray) -> None:
+        """Atomically adopt a new wait vector without draining."""
+        waits = np.asarray(waits, dtype=float)
+        if waits.shape != (self.n_nodes,):
+            raise SpecError(
+                f"waits must have length {self.n_nodes}, got {waits.shape}"
+            )
+        if (waits < 0).any():
+            raise SpecError("waits must be >= 0")
+        self._waits = waits.copy()
+
+    def inject_service_scale(self, node: int, factor: float) -> None:
+        """Scale one node's padded service time (drift test hook)."""
+        if factor <= 0:
+            raise SpecError(f"service scale must be > 0, got {factor}")
+        scale = self._service_scale.copy()
+        scale[node] = factor
+        self._service_scale = scale
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def replan_events(self) -> tuple[ReplanEvent, ...]:
+        if self.replanner is None:
+            return ()
+        return tuple(self.replanner.events)
+
+    # -- node and controller loops ------------------------------------------
+
+    def _route_outputs(
+        self, node: int, ids: np.ndarray, counts: np.ndarray, outputs
+    ) -> None:
+        produced = int(counts.sum())
+        consumed = int(ids.size)
+        out_ids = np.repeat(ids, counts) if produced else _EMPTY_IDS
+        if node + 1 < self.n_nodes:
+            with self._lock:
+                self._in_flight += produced - consumed
+            if produced:
+                now = self._now()
+                dropped = self.queues[node + 1].push(
+                    out_ids, outputs, now=now
+                )
+                if dropped is not None and dropped.size:
+                    with self._lock:
+                        self.ledger.record_drops(ids=dropped)
+                        self._in_flight -= int(dropped.size)
+            return
+        # Tail: outputs exit the pipeline.
+        now = self._now()
+        with self._lock:
+            if produced:
+                origins = self.origins.lookup(out_ids)
+                self.ledger.record_exits(origins, now, ids=out_ids)
+            self._in_flight -= consumed
+            backlog = self._in_flight
+        if self.watchdog is not None and produced:
+            slack = float(origins.min()) + self.deadline - now
+            self.watchdog.observe_exit(now, slack, backlog)
+
+    def _node_loop(self, node: int) -> None:
+        kernel = self.kernels[node]
+        queue = self.queues[node]
+        stats = self._stats[node]
+        v = self.vector_width
+        try:
+            while not self._stop.is_set():
+                ids, payload = queue.pop_up_to(v)
+                consumed = int(ids.size)
+                if consumed == 0 and not self.charge_empty_firings:
+                    time.sleep(self.poll_interval)
+                    stats.wait_time += self.poll_interval
+                    continue
+                fire_start = time.perf_counter()
+                if consumed:
+                    counts, outputs = kernel.fire(payload)
+                    counts = np.asarray(counts, dtype=np.int64)
+                    if counts.size != consumed:
+                        raise SimulationError(
+                            f"kernel {kernel.name!r} returned "
+                            f"{counts.size} counts for {consumed} items"
+                        )
+                else:
+                    counts, outputs = _EMPTY_IDS, None
+                if self.pad_service:
+                    target = (
+                        kernel.nominal_service * self._service_scale[node]
+                    )
+                    remaining = target - (time.perf_counter() - fire_start)
+                    if remaining > 0:
+                        self._sleep(remaining)
+                duration = time.perf_counter() - fire_start
+                stats.firings += 1
+                stats.busy_time += duration
+                stats.occupancy_sum += consumed / v
+                if consumed:
+                    stats.items_consumed += consumed
+                    produced = int(counts.sum())
+                    stats.items_produced += produced
+                    self.calibrator.observe(
+                        node, duration, produced, consumed
+                    )
+                    self._route_outputs(node, ids, counts, outputs)
+                else:
+                    stats.empty_firings += 1
+                scale = (
+                    self.watchdog.wait_scale
+                    if self.watchdog is not None
+                    else 1.0
+                )
+                wait = self._waits[node] * scale
+                if wait > 0:
+                    wait_start = time.perf_counter()
+                    self._sleep(wait)
+                    stats.wait_time += time.perf_counter() - wait_start
+        except BaseException as exc:  # surface in join(), don't die silently
+            self._node_errors.append(exc)
+            self._stop.set()
+
+    def _control_loop(self) -> None:
+        if self.drift_detector is None:
+            return
+        try:
+            while not self._stop.is_set():
+                self._sleep(self.control_interval)
+                if self._stop.is_set():
+                    return
+                snapshot = self.calibrator.snapshot()
+                state = self.drift_detector.update(snapshot)
+                if (
+                    state.drifted
+                    and self.replanner is not None
+                    and self.replanner.ready(self._now())
+                ):
+                    event = self.replanner.replan(
+                        snapshot,
+                        self._now(),
+                        service_mask=state.service_suspect,
+                        gain_mask=state.gain_suspect,
+                    )
+                    if event.adopted:
+                        self.swap_waits(event.waits)
+                        self._planned_af = event.active_fraction
+                        self.calibrator.rebase(event.services, event.gains)
+                        self.drift_detector.rebase()
+                        self._adopted_replans += 1
+        except BaseException as exc:
+            self._node_errors.append(exc)
+            self._stop.set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "PipelineExecutor":
+        """Start the node threads (and the controller); returns self."""
+        if self._started:
+            raise SimulationError("executor already started")
+        self._started = True
+        self._t0 = time.perf_counter()
+        for i in range(self.n_nodes):
+            t = threading.Thread(
+                target=self._node_loop,
+                args=(i,),
+                name=f"repro-node-{i}-{self.kernels[i].name}",
+                daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+        if self.drift_detector is not None:
+            t = threading.Thread(
+                target=self._control_loop,
+                name="repro-runtime-control",
+                daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+        return self
+
+    def join(self, timeout: float | None = None) -> LiveRunReport:
+        """Wait for ingest to finish and the pipeline to drain, then stop.
+
+        Raises :class:`~repro.errors.SimulationError` on timeout or if a
+        node thread failed.
+        """
+        if not self._started:
+            raise SimulationError("executor was never started")
+        deadline = (
+            time.perf_counter() + timeout if timeout is not None else None
+        )
+        while not self._stop.is_set():
+            if self._ingest_done.is_set() and self._in_flight == 0:
+                break
+            if deadline is not None and time.perf_counter() > deadline:
+                self._stop.set()
+                self._finalize()
+                raise SimulationError(
+                    f"executor did not drain within {timeout}s "
+                    f"({self._in_flight} items in flight)"
+                )
+            time.sleep(self.poll_interval)
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self._finalize()
+        if self._node_errors:
+            raise SimulationError(
+                f"node thread failed: {self._node_errors[0]!r}"
+            ) from self._node_errors[0]
+        return self.report()
+
+    def _finalize(self) -> None:
+        if not self._finished:
+            self._elapsed = self._now()
+            self._finished = True
+            if self.watchdog is not None:
+                self.watchdog.finalize(self._elapsed)
+
+    # -- observation ---------------------------------------------------------
+
+    def snapshot(self) -> RuntimeTelemetry:
+        """A point-in-time :class:`RuntimeTelemetry` (usable mid-run)."""
+        elapsed = self._elapsed if self._finished else self._now()
+        snap = self.calibrator.snapshot()
+        nodes = []
+        for i, kernel in enumerate(self.kernels):
+            s = self._stats[i]
+            q = self.queues[i]
+            firings = s.firings
+            nodes.append(
+                LiveNodeTelemetry(
+                    name=kernel.name,
+                    firings=firings,
+                    empty_firings=s.empty_firings,
+                    items_consumed=s.items_consumed,
+                    items_produced=s.items_produced,
+                    mean_occupancy=(
+                        s.occupancy_sum / firings if firings else math.nan
+                    ),
+                    busy_time=s.busy_time,
+                    wait_time=s.wait_time,
+                    queue_depth=q.depth,
+                    queue_hwm=q.max_depth,
+                    queue_pushed=q.total_pushed,
+                    queue_popped=q.total_popped,
+                    queue_shed=q.total_shed,
+                    planned_service=snap.planned_services[i],
+                    planned_wait=float(self._waits[i]),
+                    ewma_service=snap.services[i],
+                    ewma_gain=snap.gains[i],
+                )
+            )
+        with self._lock:
+            outputs = self.ledger.outputs
+            missed = self.ledger.missed_items
+            lat = self.ledger.latency
+            latency_mean = lat.mean if lat.n else math.nan
+            latency_p99 = lat.quantile(0.99) if lat.n else math.nan
+            latency_max = lat.max if lat.n else math.nan
+            in_flight = self._in_flight
+            ingested = self._items_ingested
+        if self.watchdog is not None:
+            degraded_time = self.watchdog.degraded_time(elapsed)
+            intervals = self.watchdog.intervals
+        else:
+            degraded_time = 0.0
+            intervals = ()
+        return RuntimeTelemetry(
+            strategy="live-enforced",
+            nodes=tuple(nodes),
+            elapsed=elapsed,
+            items_ingested=ingested,
+            outputs=outputs,
+            in_flight=in_flight,
+            missed_items=missed,
+            deadline=self.deadline,
+            latency_mean=latency_mean,
+            latency_p99=latency_p99,
+            latency_max=latency_max,
+            planned_active_fraction=self._planned_af,
+            replans=self._adopted_replans,
+            degraded_time=degraded_time,
+            degraded_intervals=intervals,
+        )
+
+    def report(self) -> LiveRunReport:
+        """The final report (call after :meth:`join`)."""
+        return LiveRunReport(
+            telemetry=self.snapshot(),
+            replan_events=self.replan_events,
+        )

@@ -1,0 +1,279 @@
+"""Feeding the live executor: real-time replay and TCP ingest.
+
+:class:`ReplaySource` turns any :class:`~repro.arrivals.base.\
+ArrivalProcess` — Poisson, burst, or a recorded
+:class:`~repro.arrivals.trace.TraceArrivals` — into real-time ingest: it
+generates the arrival timestamps up front, then submits each item to the
+executor when the wall clock reaches its (scaled) timestamp.  ``scale``
+maps recorded time units to seconds, so a trace captured in
+microseconds replays at true speed with ``scale=1e-6``, or at 10x speed
+with ``scale=1e-7``.
+
+:class:`IngestServer` is the network mode: a JSON-lines TCP server
+mirroring ``repro-plan serve`` (:mod:`repro.planning.cli`).  Each
+request line is one object::
+
+    {"op": "submit", "items": [[...], ...]}   -> {"ok": true, "accepted": k}
+    {"op": "stats"}                           -> runtime telemetry summary
+    {"op": "shutdown"}                        -> {"op": "shutdown", "ok": true}
+
+``submit`` rows are payload rows for the head kernel (scalars or
+fixed-width lists); items originate at the moment the server accepts
+them, so end-to-end latency includes network delivery — exactly what a
+live deployment would measure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.errors import ReproError, SpecError
+from repro.runtime.executor import PipelineExecutor
+
+__all__ = ["ReplaySource", "IngestServer"]
+
+
+class ReplaySource:
+    """Replay arrival timestamps against an executor in real time.
+
+    Parameters
+    ----------
+    arrivals:
+        An :class:`~repro.arrivals.base.ArrivalProcess` (timestamps are
+        drawn via ``generate(n_items, rng)``) or a precomputed 1-D
+        nondecreasing array of timestamps.
+    sample_payload:
+        ``(n, rng) -> payload rows`` for the head kernel (e.g.
+        ``RuntimeWorkload.sample_payload``).
+    n_items:
+        Number of items to replay (required for an ``ArrivalProcess``;
+        defaults to the full array otherwise).
+    scale:
+        Seconds per recorded time unit.  The executor plans in seconds,
+        so an arrival process parameterized in seconds replays with the
+        default ``scale=1.0``.
+    seed:
+        Seed for both timestamp generation and payload sampling.
+    """
+
+    def __init__(
+        self,
+        arrivals: ArrivalProcess | np.ndarray,
+        sample_payload,
+        *,
+        n_items: int | None = None,
+        scale: float = 1.0,
+        seed: int = 0,
+        chunk_seconds: float = 0.005,
+    ) -> None:
+        if scale <= 0:
+            raise SpecError(f"scale must be > 0, got {scale}")
+        rng = np.random.default_rng(seed)
+        if isinstance(arrivals, ArrivalProcess):
+            if n_items is None:
+                raise SpecError(
+                    "n_items is required when replaying an ArrivalProcess"
+                )
+            times = arrivals.generate(n_items, rng)
+        else:
+            times = np.asarray(arrivals, dtype=float)
+            if times.ndim != 1 or times.size == 0:
+                raise SpecError(
+                    "arrival times must be a non-empty 1-D array"
+                )
+            if (np.diff(times) < 0).any():
+                raise SpecError("arrival times must be nondecreasing")
+            if n_items is not None:
+                if n_items > times.size:
+                    raise SpecError(
+                        f"trace holds {times.size} arrivals, "
+                        f"{n_items} requested"
+                    )
+                times = times[:n_items]
+        # Rebase to 0 so replay starts immediately regardless of the
+        # trace's capture epoch, then map recorded units to seconds.
+        self.times = (times - times[0]) * scale
+        self.sample_payload = sample_payload
+        self.scale = float(scale)
+        self.chunk_seconds = float(chunk_seconds)
+        self._rng = rng
+        self.submitted = 0
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def feed(
+        self, executor: PipelineExecutor, *, finish: bool = True
+    ) -> int:
+        """Submit every item at its wall-clock time (blocking).
+
+        Due items are coalesced into one ``submit`` batch, so a trace
+        with tied timestamps ingests them together (the nondecreasing-
+        ties-allowed contract).  Returns the number of items submitted;
+        with ``finish=True`` (default) marks the executor's ingest done
+        afterwards.
+        """
+        t0 = time.perf_counter()
+        times = self.times
+        n = times.size
+        i = 0
+        try:
+            while i < n and not executor._stop.is_set():
+                now = time.perf_counter() - t0
+                j = int(np.searchsorted(times, now, side="right"))
+                if j <= i:
+                    delay = min(self.chunk_seconds, times[i] - now)
+                    time.sleep(delay if delay > 0 else self.chunk_seconds)
+                    continue
+                payload = self.sample_payload(j - i, self._rng)
+                executor.submit(payload)
+                self.submitted += j - i
+                i = j
+        finally:
+            if finish:
+                executor.finish_ingest()
+        return self.submitted
+
+    def start(self, executor: PipelineExecutor) -> threading.Thread:
+        """Run :meth:`feed` on a daemon thread; returns the thread."""
+        thread = threading.Thread(
+            target=self.feed, args=(executor,), name="repro-replay", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+class IngestServer:
+    """JSON-lines TCP ingest for a running executor.
+
+    Runs an asyncio server on a background thread so it composes with
+    the (threaded) executor.  ``serve_forever`` blocks until a
+    ``shutdown`` op or :meth:`stop`; :meth:`start` runs it in the
+    background and returns once the port is bound (``port`` attribute
+    holds the bound port, useful with ``port=0``).
+    """
+
+    def __init__(
+        self,
+        executor: PipelineExecutor,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        finish_on_shutdown: bool = True,
+    ) -> None:
+        self.executor = executor
+        self.host = host
+        self.port = port
+        self.finish_on_shutdown = finish_on_shutdown
+        self.accepted = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._done: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- request handling --------------------------------------------------
+
+    def _handle_obj(self, obj) -> dict:
+        if not isinstance(obj, dict):
+            raise SpecError("request must be a JSON object")
+        op = obj.get("op")
+        if op == "submit":
+            items = obj.get("items")
+            if not isinstance(items, list) or not items:
+                raise SpecError("submit needs a non-empty 'items' array")
+            payload = np.asarray(items)
+            self.executor.submit(payload)
+            self.accepted += len(payload)
+            return {"ok": True, "accepted": int(len(payload))}
+        if op == "stats":
+            snap = self.executor.snapshot()
+            return {
+                "op": "stats",
+                "elapsed": snap.elapsed,
+                "items_ingested": snap.items_ingested,
+                "outputs": snap.outputs,
+                "in_flight": snap.in_flight,
+                "missed_items": snap.missed_items,
+                "miss_rate": snap.miss_rate,
+                "measured_active_fraction": snap.measured_active_fraction,
+                "planned_active_fraction": snap.planned_active_fraction,
+                "replans": snap.replans,
+                "queue_depths": [n.queue_depth for n in snap.nodes],
+            }
+        if op == "shutdown":
+            return {"op": "shutdown", "ok": True}
+        raise SpecError(f"unknown op {op!r}")
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        assert self._done is not None
+        try:
+            while not self._done.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = self._handle_obj(json.loads(line))
+                except (ReproError, ValueError, KeyError, TypeError) as exc:
+                    payload = {"error": f"{type(exc).__name__}: {exc}"}
+                writer.write((json.dumps(payload) + "\n").encode())
+                await writer.drain()
+                if payload.get("op") == "shutdown":
+                    self._done.set()
+                    break
+        finally:
+            writer.close()
+
+    async def _serve(self) -> None:
+        self._done = asyncio.Event()
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await self._done.wait()
+        if self.finish_on_shutdown:
+            self.executor.finish_ingest()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run the server on this thread until shutdown."""
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(self._serve())
+        finally:
+            self._loop.close()
+
+    def start(self) -> "IngestServer":
+        """Serve on a background thread; returns once the port is bound."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-ingest", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise SpecError("ingest server failed to bind within 10s")
+        return self
+
+    def stop(self) -> None:
+        """Request shutdown and join the server thread (idempotent)."""
+        if (
+            self._loop is not None
+            and self._done is not None
+            and not self._loop.is_closed()
+        ):
+            try:
+                self._loop.call_soon_threadsafe(self._done.set)
+            except RuntimeError:
+                pass  # loop closed between the check and the call
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)

@@ -1,0 +1,289 @@
+"""Thread-safe inter-node queues and item identity for the live executor.
+
+The simulator's :class:`~repro.dataflow.queues.ItemQueue` carries bare
+scalar tokens and is single-threaded by construction.  The live executor
+needs two more things: *payload rows* must travel with the item ids (the
+kernels operate on real data, not tokens), and pushes/pops happen from
+different node threads concurrently.  :class:`LiveQueue` provides both
+while keeping the simulator's accounting contract — conservation
+(``popped + shed + depth == pushed``), a high-water mark, and the same
+:class:`~repro.resilience.shedding.ShedPolicy` overflow protocol, so the
+degraded-mode policies work unchanged against live queues.
+
+:class:`OriginStore` assigns monotonically increasing int64 item ids and
+records each item's origin (ingest) wall-clock time; deadline accounting
+and the deadline-aware shed policy look origins up by id, exactly like
+the simulators thread ids through their queues.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover — typing-only import
+    from repro.resilience.shedding import ShedPolicy
+
+__all__ = ["LiveQueue", "OriginStore"]
+
+
+class OriginStore:
+    """Monotone item-id allocator with origin-timestamp lookup.
+
+    ``append(origin, k)`` assigns ``k`` fresh consecutive ids recorded at
+    ``origin`` (a wall-clock ``perf_counter`` reading) and returns them;
+    ``lookup(ids)`` vectorizes id -> origin.  Thread-safe: ingest threads
+    append while node threads look up.
+    """
+
+    def __init__(self, initial_capacity: int = 1024) -> None:
+        self._origins = np.empty(max(16, initial_capacity), dtype=float)
+        self._n = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, origin: float, k: int = 1) -> np.ndarray:
+        """Allocate ``k`` ids with the given origin time; returns the ids."""
+        if k < 1:
+            raise SimulationError(f"cannot allocate {k} ids")
+        with self._lock:
+            n = self._n
+            if n + k > self._origins.size:
+                cap = self._origins.size
+                while cap < n + k:
+                    cap *= 2
+                grown = np.empty(cap, dtype=float)
+                grown[:n] = self._origins[:n]
+                self._origins = grown
+            self._origins[n : n + k] = origin
+            self._n = n + k
+            return np.arange(n, n + k, dtype=np.int64)
+
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Origin timestamps of the given ids (a copy)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        with self._lock:
+            if ids.size and (ids.min() < 0 or ids.max() >= self._n):
+                raise SimulationError(
+                    f"unknown item id in lookup (allocated {self._n})"
+                )
+            return self._origins[ids].copy()
+
+
+class LiveQueue:
+    """Bounded thread-safe FIFO of ``(ids, payload rows)`` batches.
+
+    Items are stored as pushed batches (chunks) — ``push``/``pop_up_to``
+    are O(1) amortized slice operations, and the O(depth) combined view
+    is materialized only on an actual overflow, mirroring
+    :class:`~repro.dataflow.queues.ItemQueue`.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label (the consuming node's name).
+    capacity:
+        Optional bound in items.  Without a shed policy an overflowing
+        push raises :class:`~repro.errors.SimulationError` (fail-fast);
+        with one, the policy chooses which of (queued + incoming) items
+        survive and the dropped ids are returned to the pusher.
+    shed_policy:
+        Optional :class:`~repro.resilience.shedding.ShedPolicy`, the
+        *same* objects the simulators use: ``keep_mask`` runs over the
+        combined id array and the mask is applied to ids and payload rows
+        alike, so kept items stay aligned.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        capacity: int | None = None,
+        shed_policy: Union["ShedPolicy", None] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(
+                f"queue capacity must be >= 1, got {capacity}"
+            )
+        if shed_policy is not None and capacity is None:
+            raise SimulationError("shed_policy requires a capacity")
+        self.name = name
+        self.capacity = capacity
+        self.shed_policy = shed_policy
+        self._chunks: deque[tuple[np.ndarray, np.ndarray | None]] = deque()
+        self._size = 0
+        self._pushed = 0
+        self._popped = 0
+        self._shed = 0
+        self._max_depth = 0
+        self._lock = threading.Lock()
+
+    # -- statistics (reads are safe without the lock: ints only) ----------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def depth(self) -> int:
+        return self._size
+
+    @property
+    def max_depth(self) -> int:
+        """High-water mark; an overflowed bounded queue reports capacity."""
+        return self._max_depth
+
+    @property
+    def total_pushed(self) -> int:
+        return self._pushed
+
+    @property
+    def total_popped(self) -> int:
+        return self._popped
+
+    @property
+    def total_shed(self) -> int:
+        return self._shed
+
+    # -- operations --------------------------------------------------------
+
+    def push(
+        self,
+        ids: np.ndarray,
+        payload: np.ndarray | None,
+        *,
+        now: float = 0.0,
+    ) -> np.ndarray | None:
+        """Append a batch; returns shed ids on overflow (else None).
+
+        ``payload`` rows must match ``ids`` one-to-one along axis 0
+        (``None`` for payload-less streams).  With ``capacity`` set and
+        no shed policy the capacity check runs *before* anything is
+        stored: there is no partial enqueue.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        k = int(ids.size)
+        if k == 0:
+            return None
+        if payload is not None and len(payload) != k:
+            raise SimulationError(
+                f"queue {self.name!r}: payload rows ({len(payload)}) != "
+                f"ids ({k})"
+            )
+        with self._lock:
+            if self.capacity is not None and self._size + k > self.capacity:
+                if self.shed_policy is None:
+                    raise SimulationError(
+                        f"queue {self.name!r} overflowed: depth {self._size}"
+                        f" + push {k} exceeds capacity {self.capacity}"
+                    )
+                return self._shed_push(ids, payload, now)
+            self._chunks.append((ids, payload))
+            self._size += k
+            self._pushed += k
+            if self._size > self._max_depth:
+                self._max_depth = self._size
+            return None
+
+    def _shed_push(
+        self, ids: np.ndarray, payload: np.ndarray | None, now: float
+    ) -> np.ndarray:
+        """Overflow under a shed policy; caller holds the lock."""
+        held_ids = [c[0] for c in self._chunks]
+        held_pay = [c[1] for c in self._chunks]
+        combined_ids = (
+            np.concatenate(held_ids + [ids]) if held_ids else ids.copy()
+        )
+        if payload is not None:
+            combined_pay: np.ndarray | None = (
+                np.concatenate(held_pay + [payload], axis=0)
+                if held_pay
+                else payload.copy()
+            )
+        else:
+            combined_pay = None
+        cap = self.capacity
+        mask = np.asarray(
+            self.shed_policy.keep_mask(combined_ids, cap, now), dtype=bool
+        )
+        if mask.shape != combined_ids.shape:
+            raise SimulationError(
+                f"shed policy {self.shed_policy!r} returned mask shape "
+                f"{mask.shape} for {combined_ids.size} items on queue "
+                f"{self.name!r}"
+            )
+        kept_ids = combined_ids[mask]
+        if kept_ids.size != cap:
+            raise SimulationError(
+                f"shed policy {self.shed_policy!r} kept {kept_ids.size} of "
+                f"{combined_ids.size} items on queue {self.name!r}; must "
+                f"keep exactly the capacity ({cap})"
+            )
+        kept_pay = combined_pay[mask] if combined_pay is not None else None
+        dropped = combined_ids[~mask]
+        self._chunks.clear()
+        self._chunks.append((kept_ids, kept_pay))
+        self._size = int(kept_ids.size)
+        self._pushed += int(ids.size)
+        self._shed += int(dropped.size)
+        if cap > self._max_depth:
+            self._max_depth = cap
+        return dropped
+
+    def pop_up_to(self, k: int) -> tuple[np.ndarray, np.ndarray | None]:
+        """Remove and return up to ``k`` oldest items, FIFO order.
+
+        Returns ``(ids, payload)``; payload is None when the queue is
+        empty or the stream carries no payload.
+        """
+        if k < 0:
+            raise SimulationError(f"cannot pop a negative count ({k})")
+        with self._lock:
+            if self._size == 0 or k == 0:
+                return np.empty(0, dtype=np.int64), None
+            out_ids: list[np.ndarray] = []
+            out_pay: list[np.ndarray] = []
+            need = min(k, self._size)
+            taken = 0
+            while taken < need:
+                ids, pay = self._chunks[0]
+                take = min(need - taken, int(ids.size))
+                if take == int(ids.size):
+                    self._chunks.popleft()
+                    out_ids.append(ids)
+                    if pay is not None:
+                        out_pay.append(pay)
+                else:
+                    out_ids.append(ids[:take])
+                    if pay is not None:
+                        out_pay.append(pay[:take])
+                        self._chunks[0] = (ids[take:], pay[take:])
+                    else:
+                        self._chunks[0] = (ids[take:], None)
+                taken += take
+            self._size -= taken
+            self._popped += taken
+            ids_arr = (
+                out_ids[0] if len(out_ids) == 1 else np.concatenate(out_ids)
+            )
+            pay_arr = None
+            if out_pay:
+                pay_arr = (
+                    out_pay[0]
+                    if len(out_pay) == 1
+                    else np.concatenate(out_pay, axis=0)
+                )
+            return ids_arr, pay_arr
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveQueue({self.name!r}, depth={self._size}, "
+            f"pushed={self._pushed}, popped={self._popped}, "
+            f"shed={self._shed})"
+        )

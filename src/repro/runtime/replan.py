@@ -1,0 +1,202 @@
+"""Re-solve the enforced-waits plan from live estimates, cache-warm.
+
+When the :class:`~repro.runtime.drift.DriftDetector` trips, the
+:class:`Replanner` turns the current calibration snapshot into a fresh
+:class:`~repro.core.model.RealTimeProblem` and solves it through
+:func:`repro.planning.warmstart.solve_plan`, so the plan cache and warm
+starts apply.  Two details make the round-trip cheap and reproducible:
+
+- Estimates are snapped to a relative grid
+  (:func:`~repro.runtime.calibration.quantize_relative`) before keying,
+  so a pipeline that drifts *back* to a previously seen regime — or two
+  runs drifting to the same regime — produce identical cache keys and
+  the re-plan is an exact hit rather than a fresh solve.
+- The batch sizes ``b`` are recomputed deterministically from the
+  quantized spec (:func:`~repro.core.enforced_waits.optimistic_b`), so
+  the key is a pure function of the quantized estimates.
+
+The executor adopts the new waits only when the solution is feasible;
+an infeasible re-plan is recorded and the current waits stay in force
+(the watchdog remains the backstop).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import RealTimeProblem
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+from repro.runtime.calibration import CalibrationSnapshot, quantize_relative
+
+__all__ = ["ReplanEvent", "Replanner"]
+
+
+@dataclass(frozen=True)
+class ReplanEvent:
+    """One re-planning round-trip (adopted or not)."""
+
+    time: float
+    services: np.ndarray
+    gains: np.ndarray
+    waits: np.ndarray | None
+    active_fraction: float
+    feasible: bool
+    source: str
+    solve_seconds: float
+    adopted: bool
+
+
+class Replanner:
+    """Solve fresh plans from quantized live estimates via the plan cache."""
+
+    def __init__(
+        self,
+        *,
+        tau0: float,
+        deadline: float,
+        vector_width: int,
+        cache=None,
+        method: str = "auto",
+        quantize_step: float = 0.05,
+        min_interval: float = 0.25,
+        expander_limit: int = 16,
+    ) -> None:
+        if min_interval < 0:
+            raise SpecError(
+                f"min_interval must be >= 0, got {min_interval}"
+            )
+        self.tau0 = float(tau0)
+        self.deadline = float(deadline)
+        self.vector_width = int(vector_width)
+        self.cache = cache
+        self.method = method
+        self.quantize_step = float(quantize_step)
+        self.min_interval = float(min_interval)
+        self.expander_limit = int(expander_limit)
+        self.events: list[ReplanEvent] = []
+        self._last_attempt: float | None = None
+
+    def ready(self, now: float) -> bool:
+        """Whether the rate limit allows another attempt at ``now``."""
+        return (
+            self._last_attempt is None
+            or now - self._last_attempt >= self.min_interval
+        )
+
+    def _problem_for(
+        self, services: np.ndarray, gains: np.ndarray
+    ) -> RealTimeProblem:
+        spec = PipelineSpec.from_arrays(
+            services,
+            gains,
+            self.vector_width,
+            expander_limit=self.expander_limit,
+        )
+        return RealTimeProblem(spec, self.tau0, self.deadline)
+
+    def _snap_to_cached(
+        self,
+        services: np.ndarray,
+        raw_services: np.ndarray,
+        service_mask: np.ndarray | None,
+        gains: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, RealTimeProblem]:
+        """Prefer an adjacent grid point whose plan is already cached.
+
+        An estimate sitting near a quantization boundary lands on either
+        neighboring grid point run to run (EWMA noise decides).  When the
+        nearest point has no cached plan but an adjacent one (for a
+        drifted service dimension) does, re-planning at the neighbor —
+        one step, at most ``quantize_step`` away, inside the estimator's
+        own noise — turns a boundary coin-flip into a cache hit.
+        """
+        from repro.core.enforced_waits import EnforcedWaitsProblem
+        from repro.planning.cache import plan_key
+
+        problem = self._problem_for(services, gains)
+        if self.cache is None:
+            return services, gains, problem
+        key = plan_key(
+            problem, EnforcedWaitsProblem(problem).b, method=self.method
+        )
+        if key in self.cache:
+            return services, gains, problem
+        dims = (
+            np.flatnonzero(service_mask)
+            if service_mask is not None
+            else range(len(services))
+        )
+        for i in dims:
+            alt = services.copy()
+            toward = raw_services[i] > services[i]
+            alt[i] *= (1 + self.quantize_step) if toward else 1 / (
+                1 + self.quantize_step
+            )
+            alt_problem = self._problem_for(alt, gains)
+            alt_key = plan_key(
+                alt_problem,
+                EnforcedWaitsProblem(alt_problem).b,
+                method=self.method,
+            )
+            if alt_key in self.cache:
+                return alt, gains, alt_problem
+        return services, gains, problem
+
+    def replan(
+        self,
+        snapshot: CalibrationSnapshot,
+        now: float,
+        *,
+        service_mask: np.ndarray | None = None,
+        gain_mask: np.ndarray | None = None,
+    ) -> ReplanEvent:
+        """Solve for the snapshot's quantized estimates; record the event.
+
+        ``service_mask`` / ``gain_mask`` (from the drift detector's
+        per-dimension suspect flags) select a *minimal update*: only the
+        masked dimensions take the live estimate, the rest keep their
+        planned values.  Estimates within tolerance are indistinguishable
+        from noise, and folding them in anyway would bake each run's
+        noise realization into the cache key — two runs drifting the
+        same way would then never share a plan.  With both masks None
+        every dimension uses its estimate (full update).
+        """
+        from repro.planning.warmstart import solve_plan
+
+        self._last_attempt = now
+        raw_services = snapshot.services
+        raw_gains = snapshot.gains
+        if service_mask is not None:
+            raw_services = np.where(
+                service_mask, raw_services, snapshot.planned_services
+            )
+        if gain_mask is not None:
+            raw_gains = np.where(gain_mask, raw_gains, snapshot.planned_gains)
+        services = quantize_relative(raw_services, step=self.quantize_step)
+        gains = quantize_relative(raw_gains, step=self.quantize_step)
+        services, gains, problem = self._snap_to_cached(
+            services, raw_services, service_mask, gains
+        )
+        t0 = time.perf_counter()
+        outcome = solve_plan(
+            problem, method=self.method, cache=self.cache
+        )
+        solve_seconds = time.perf_counter() - t0
+        sol = outcome.solution
+        event = ReplanEvent(
+            time=now,
+            services=services,
+            gains=gains,
+            waits=sol.waits.copy() if sol.feasible else None,
+            active_fraction=sol.active_fraction if sol.feasible else float("nan"),
+            feasible=sol.feasible,
+            source=outcome.source,
+            solve_seconds=solve_seconds,
+            adopted=sol.feasible,
+        )
+        self.events.append(event)
+        return event

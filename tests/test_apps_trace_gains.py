@@ -1,0 +1,97 @@
+"""Blast-parity empirical gain facades for the NIDS and gamma apps.
+
+`repro.apps.blast.trace_gains` set the pattern (measure_gains /
+empirical_*_pipeline / calibrated_*_b); these tests pin the same
+contract on the other two apps so the offline calibration loop and the
+live runtime can treat all three uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.gamma import (
+    calibrated_gamma_b,
+    empirical_gamma_pipeline,
+)
+from repro.apps.gamma import measure_gains as measure_gamma
+from repro.apps.nids import (
+    calibrated_nids_b,
+    empirical_nids_pipeline,
+)
+from repro.apps.nids import measure_gains as measure_nids
+from repro.apps.nids.packets import PacketStreamConfig
+from repro.core.enforced_waits import optimistic_b
+
+
+class TestNidsFacade:
+    def test_measure_gains_records_every_stage(self):
+        trace = measure_nids(
+            config=PacketStreamConfig(n_packets=400), seed=3
+        )
+        assert len(trace.stage_counts) == 4
+        assert all(c.size > 0 for c in trace.stage_counts[:1])
+        assert np.all(trace.mean_gains >= 0)
+
+    def test_measurement_is_seed_deterministic(self):
+        cfg = PacketStreamConfig(n_packets=300)
+        a = measure_nids(config=cfg, seed=7)
+        b = measure_nids(config=cfg, seed=7)
+        for x, y in zip(a.stage_counts, b.stage_counts):
+            np.testing.assert_array_equal(x, y)
+
+    def test_empirical_pipeline_uses_measured_gains(self):
+        trace = measure_nids(
+            config=PacketStreamConfig(n_packets=400), seed=3
+        )
+        pipeline = empirical_nids_pipeline(trace)
+        assert pipeline.n_nodes == 4
+        # The head stage's modeled mean matches the measurement.
+        assert pipeline.nodes[0].gain.mean == pytest.approx(
+            trace.mean_gains[0], rel=0.05
+        )
+
+
+class TestGammaFacade:
+    def test_measure_and_build_pipeline(self):
+        trace = measure_gamma(seed=5)
+        assert len(trace.stage_counts) == 4
+        pipeline = empirical_gamma_pipeline(trace)
+        assert pipeline.n_nodes == 4
+        assert pipeline.nodes[0].gain.mean == pytest.approx(
+            trace.mean_gains[0], rel=0.05
+        )
+
+
+@pytest.mark.slow
+class TestCalibratedB:
+    """The simulator raise-and-retry loop applies to all three apps."""
+
+    def test_nids_calibrated_b_covers_optimistic(self):
+        # Default 5000-packet stream: small ones can starve the last
+        # stage (alerts) of samples entirely.
+        trace = measure_nids(seed=0)
+        pipeline = empirical_nids_pipeline(trace)
+        b = calibrated_nids_b(
+            tau0=2000.0,
+            deadline=4.0e5,
+            pipeline=pipeline,
+            n_trials=3,
+            n_items=800,
+        )
+        assert b.shape == (4,)
+        assert np.all(b >= optimistic_b(pipeline))
+
+    def test_gamma_calibrated_b_covers_optimistic(self):
+        trace = measure_gamma(seed=0)
+        pipeline = empirical_gamma_pipeline(trace)
+        b = calibrated_gamma_b(
+            tau0=3000.0,
+            deadline=6.0e5,
+            pipeline=pipeline,
+            n_trials=3,
+            n_items=800,
+        )
+        assert b.shape == (4,)
+        assert np.all(b >= optimistic_b(pipeline))

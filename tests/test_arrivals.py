@@ -95,6 +95,114 @@ class TestTrace:
     def test_mean_rate(self):
         assert TraceArrivals([0.0, 1.0, 2.0]).mean_rate == pytest.approx(1.0)
 
+    def test_ties_allowed(self, rng):
+        """Equal consecutive timestamps are part of the contract."""
+        p = TraceArrivals([0.0, 1.0, 1.0, 1.0, 2.0])
+        assert p.generate(5, rng).tolist() == [0.0, 1.0, 1.0, 1.0, 2.0]
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(SpecError, match="non-empty"):
+            TraceArrivals([])
+
+    def test_rejects_2d_trace(self):
+        with pytest.raises(SpecError, match="1-D"):
+            TraceArrivals(np.zeros((2, 2)))
+
+    def test_generate_returns_a_copy(self, rng):
+        p = TraceArrivals([0.0, 1.0])
+        out = p.generate(2, rng)
+        out[0] = 99.0
+        assert p.generate(2, rng)[0] == 0.0
+
+
+class _StubExecutor:
+    """Just enough of the PipelineExecutor surface for ReplaySource.feed."""
+
+    def __init__(self):
+        import threading
+        import time
+
+        self._stop = threading.Event()
+        self._clock = time.perf_counter
+        self.batches: list[tuple[float, int]] = []
+        self.finished = False
+        self._t0 = self._clock()
+
+    def submit(self, payload):
+        self.batches.append((self._clock() - self._t0, len(payload)))
+        return np.arange(len(payload))
+
+    def finish_ingest(self):
+        self.finished = True
+
+
+class TestTraceReplayPacing:
+    """TraceArrivals driven through the executor's ReplaySource."""
+
+    def _feed(self, times, *, scale, n_items=None):
+        from repro.runtime.ingest import ReplaySource
+
+        source = ReplaySource(
+            TraceArrivals(times).generate(len(times), None)
+            if n_items is None
+            else TraceArrivals(times),
+            lambda n, rng: np.zeros(n),
+            n_items=n_items,
+            scale=scale,
+        )
+        executor = _StubExecutor()
+        submitted = source.feed(executor)
+        return source, executor, submitted
+
+    def test_scale_paces_the_replay(self):
+        """A trace recorded in 0.1-unit steps replays in scaled seconds."""
+        import time
+
+        t0 = time.perf_counter()
+        _, executor, submitted = self._feed(
+            [0.0, 1.0, 2.0], scale=0.05
+        )
+        elapsed = time.perf_counter() - t0
+        assert submitted == 3
+        assert executor.finished
+        # Last item is due at 2.0 * 0.05 = 0.1 s; generous upper bound
+        # for a loaded CI box.
+        assert 0.1 <= elapsed < 2.0
+        last_batch_time = executor.batches[-1][0]
+        assert last_batch_time >= 0.1
+
+    def test_tied_timestamps_coalesce_into_one_batch(self):
+        _, executor, submitted = self._feed(
+            [0.0, 0.0, 0.0], scale=1.0
+        )
+        assert submitted == 3
+        assert executor.batches[0][1] == 3
+
+    def test_replay_rebases_capture_epoch(self):
+        """A trace starting at t=1e9 still begins replaying immediately."""
+        import time
+
+        t0 = time.perf_counter()
+        _, _, submitted = self._feed(
+            [1e9, 1e9 + 0.01, 1e9 + 0.02], scale=1.0
+        )
+        assert submitted == 3
+        assert time.perf_counter() - t0 < 2.0
+
+    def test_arrival_process_requires_n_items(self):
+        from repro.runtime.ingest import ReplaySource
+
+        with pytest.raises(SpecError, match="n_items"):
+            ReplaySource(TraceArrivals([0.0, 1.0]), lambda n, rng: np.zeros(n))
+
+    def test_rejects_nonpositive_scale(self):
+        from repro.runtime.ingest import ReplaySource
+
+        with pytest.raises(SpecError, match="scale"):
+            ReplaySource(
+                np.asarray([0.0, 1.0]), lambda n, rng: np.zeros(n), scale=0.0
+            )
+
 
 @settings(max_examples=25)
 @given(

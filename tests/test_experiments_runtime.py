@@ -1,0 +1,32 @@
+"""The R2 experiment: prediction vs simulator vs live execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runtime_exp import run_runtime_validation
+
+
+def test_registered():
+    assert "runtime-validation" in EXPERIMENTS
+
+
+@pytest.mark.slow
+class TestRuntimeValidation:
+    def test_all_three_measurements_agree(self):
+        result = run_runtime_validation(
+            ("synthetic",), seconds=1.2, n_sim_items=2000
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        # The DES leg tracks the solver tightly; the live leg pays for
+        # real sleeps and scheduling but stays inside the 15% gate.
+        assert row.sim_rel_error < 0.05
+        assert row.live_rel_error < 0.15
+        assert row.live_missed == 0
+        assert row.live_outputs > 0
+        assert np.isfinite(result.max_live_rel_error)
+        text = result.render()
+        assert "synthetic" in text and "live AF" in text

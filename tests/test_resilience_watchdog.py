@@ -175,6 +175,79 @@ class TestFinalize:
         assert wd.degraded_time(9.0) == pytest.approx(4.0)
 
 
+class TestRestoreHysteresis:
+    """Restore is driven by its own EWMA (restore_alpha, restore_time)."""
+
+    def test_rejects_negative_restore_time(self):
+        with pytest.raises(SpecError, match="restore_time"):
+            DeadlineWatchdog(10.0, restore_time=-0.5)
+
+    def test_default_restore_alpha_matches_legacy_behavior(self):
+        """restore_alpha=None reuses alpha: first qualifying exit restores."""
+        wd = _watchdog()
+        wd.observe_exit(5.0, slack=1.0, backlog=10)
+        wd.observe_exit(6.0, slack=9.0, backlog=0)
+        assert not wd.degraded
+
+    def test_slow_restore_ewma_resists_one_lucky_exit(self):
+        """With restore_alpha=0.1 one optimistic exit cannot restore.
+
+        Entry uses the fast EWMA (alpha=1.0 here, so last-sample); the
+        restore EWMA has already absorbed the eroded samples and a single
+        slack=9 exit only moves it to 0.1*9 + 0.9*1 = 1.8 < 5.0.
+        """
+        wd = _watchdog(restore_alpha=0.1)
+        wd.observe_exit(4.0, slack=1.0, backlog=10)  # seeds both EWMAs
+        wd.observe_exit(5.0, slack=1.0, backlog=10)
+        assert wd.degraded
+        wd.observe_exit(6.0, slack=9.0, backlog=0)
+        assert wd.degraded  # restore EWMA still inside the band
+        assert wd.smoothed_restore_slack == pytest.approx(0.1 * 9.0 + 0.9 * 1.0)
+        for t in range(7, 40):
+            wd.observe_exit(float(t), slack=9.0, backlog=0)
+            if not wd.degraded:
+                break
+        assert not wd.degraded  # sustained recovery eventually restores
+
+    def test_restore_time_requires_sustained_recovery(self):
+        wd = _watchdog(restore_time=2.0)
+        wd.observe_exit(5.0, slack=1.0, backlog=10)
+        wd.observe_exit(6.0, slack=9.0, backlog=0)  # recovery clock starts
+        assert wd.degraded
+        wd.observe_exit(7.0, slack=9.0, backlog=0)  # 1.0 sustained
+        assert wd.degraded
+        wd.observe_exit(8.0, slack=9.0, backlog=0)  # 2.0 sustained
+        assert not wd.degraded
+        assert wd.intervals == ((5.0, 8.0),)
+
+    def test_relapse_resets_the_recovery_clock(self):
+        wd = _watchdog(restore_time=2.0)
+        wd.observe_exit(5.0, slack=1.0, backlog=10)
+        wd.observe_exit(6.0, slack=9.0, backlog=0)   # recovery starts
+        wd.observe_exit(7.0, slack=1.0, backlog=10)  # relapse: reset
+        wd.observe_exit(8.0, slack=9.0, backlog=0)   # recovery restarts
+        wd.observe_exit(9.0, slack=9.0, backlog=0)
+        assert wd.degraded  # only 1.0 sustained since the restart
+        wd.observe_exit(10.0, slack=9.0, backlog=0)
+        assert not wd.degraded
+        assert wd.intervals == ((5.0, 10.0),)
+
+    def test_backlog_spike_resets_the_recovery_clock(self):
+        wd = _watchdog(restore_time=2.0, drain_backlog=2)
+        wd.observe_exit(5.0, slack=1.0, backlog=10)
+        wd.observe_exit(6.0, slack=9.0, backlog=0)   # recovery starts
+        wd.observe_exit(7.0, slack=9.0, backlog=5)   # backlog spike: reset
+        wd.observe_exit(8.0, slack=9.0, backlog=1)
+        wd.observe_exit(9.0, slack=9.0, backlog=1)
+        assert wd.degraded
+        wd.observe_exit(10.0, slack=9.0, backlog=0)
+        assert not wd.degraded
+
+    def test_smoothed_restore_slack_starts_nan(self):
+        wd = _watchdog(restore_alpha=0.1)
+        assert math.isnan(wd.smoothed_restore_slack)
+
+
 class TestRepr:
     def test_shows_state(self):
         wd = _watchdog()

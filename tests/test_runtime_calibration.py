@@ -1,0 +1,219 @@
+"""Tests for online calibration, drift detection, and re-planning
+(repro.runtime.calibration / drift / replan)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.planning.cache import PlanCache
+from repro.runtime.calibration import (
+    NodeEstimator,
+    OnlineCalibrator,
+    quantize_relative,
+)
+from repro.runtime.drift import DriftConfig, DriftDetector
+from repro.runtime.replan import Replanner
+
+
+class TestQuantizeRelative:
+    def test_nearby_values_collapse_to_one_grid_point(self):
+        a, b = quantize_relative(np.asarray([1.000, 1.004]), step=0.05)
+        assert a == b
+
+    def test_distant_values_stay_distinct(self):
+        a, b = quantize_relative(np.asarray([1.0, 1.5]), step=0.05)
+        assert a != b
+
+    def test_within_one_step_of_input(self):
+        vals = np.asarray([0.003, 0.7, 12.0, 900.0])
+        q = quantize_relative(vals, step=0.05)
+        assert (np.abs(q / vals - 1.0) <= 0.05).all()
+
+    def test_floor_clamps_nonpositive(self):
+        q = quantize_relative(np.asarray([0.0]), step=0.05, floor=1e-9)
+        # The floor itself lands on the nearest grid point.
+        assert q[0] == pytest.approx(1e-9, rel=0.05)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(SpecError, match="step"):
+            quantize_relative(np.asarray([1.0]), step=0.0)
+
+    def test_deterministic_keys(self):
+        """The property the plan cache relies on: same regime, same bytes."""
+        a = quantize_relative(np.asarray([1.01, 2.02]), step=0.05)
+        b = quantize_relative(np.asarray([1.02, 2.01]), step=0.05)
+        assert a.tobytes() == b.tobytes()
+
+
+class TestNodeEstimator:
+    def test_reports_planned_until_warmed(self):
+        est = NodeEstimator("n", 0.01, 2.0, min_observations=3)
+        est.observe(0.05, outputs=10, consumed=5)
+        est.observe(0.05, outputs=10, consumed=5)
+        assert est.service == 0.01
+        assert est.gain == 2.0
+        assert not est.warmed
+
+    def test_warmup_seeds_with_batch_totals(self):
+        est = NodeEstimator("n", 0.01, 2.0, min_observations=3)
+        est.observe(0.02, outputs=0, consumed=4)
+        est.observe(0.04, outputs=8, consumed=4)
+        est.observe(0.06, outputs=4, consumed=4)
+        assert est.warmed
+        # Service seeded with the mean duration; gain with the ratio of
+        # totals (items-weighted), not the mean of per-firing ratios.
+        assert est.service == pytest.approx(0.04)
+        assert est.gain == pytest.approx(12 / 12)
+
+    def test_rejects_empty_firing(self):
+        est = NodeEstimator("n", 0.01, 2.0)
+        with pytest.raises(SpecError, match="consumed"):
+            est.observe(0.01, outputs=0, consumed=0)
+
+    def test_rebase_resets_to_new_plan(self):
+        est = NodeEstimator("n", 0.01, 2.0, min_observations=1)
+        est.observe(0.09, outputs=1, consumed=1)
+        assert est.service == pytest.approx(0.09)
+        est.rebase(0.05, 1.5)
+        assert est.observations == 0
+        assert est.service == 0.05
+        assert est.gain == 1.5
+
+    def test_rejects_zero_min_observations(self):
+        with pytest.raises(SpecError, match="min_observations"):
+            NodeEstimator("n", 0.01, 2.0, min_observations=0)
+
+
+class TestOnlineCalibrator:
+    def _calibrator(self, **kwargs):
+        return OnlineCalibrator(
+            ["a", "b"],
+            np.asarray([0.01, 0.02]),
+            np.asarray([0.5, 2.0]),
+            **kwargs,
+        )
+
+    def test_snapshot_shapes_and_ratios(self):
+        cal = self._calibrator(min_observations=1)
+        cal.observe(0, 0.02, outputs=1, consumed=2)
+        snap = cal.snapshot()
+        assert snap.services.shape == (2,)
+        assert snap.service_ratios[0] == pytest.approx(2.0)
+        assert snap.gain_ratios[1] == pytest.approx(1.0)
+
+    def test_warmed_requires_every_node(self):
+        cal = self._calibrator(min_observations=1)
+        cal.observe(0, 0.01, outputs=1, consumed=1)
+        assert not cal.snapshot().warmed
+        cal.observe(1, 0.02, outputs=2, consumed=1)
+        assert cal.snapshot().warmed
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SpecError, match="mismatch"):
+            OnlineCalibrator(["a"], np.asarray([0.01, 0.02]), np.asarray([1.0]))
+
+
+def _snapshot(service_ratio=1.0, gain_ratio=1.0, warmed=True):
+    from repro.runtime.calibration import CalibrationSnapshot
+
+    planned_t = np.asarray([0.01, 0.02])
+    planned_g = np.asarray([0.5, 2.0])
+    return CalibrationSnapshot(
+        services=planned_t * service_ratio,
+        gains=planned_g * gain_ratio,
+        planned_services=planned_t,
+        planned_gains=planned_g,
+        observations=np.asarray([10, 10]),
+        warmed=warmed,
+    )
+
+
+class TestDriftDetector:
+    def test_on_plan_never_trips(self):
+        det = DriftDetector(DriftConfig(sustain_checks=1))
+        for _ in range(10):
+            assert not det.update(_snapshot()).drifted
+
+    def test_trips_after_sustained_deviation(self):
+        det = DriftDetector(DriftConfig(service_rtol=0.25, sustain_checks=3))
+        states = [det.update(_snapshot(service_ratio=1.5)) for _ in range(3)]
+        assert [s.drifted for s in states] == [False, False, True]
+        assert det.trips == 1
+
+    def test_unwarmed_snapshot_does_not_accumulate(self):
+        det = DriftDetector(DriftConfig(sustain_checks=2))
+        det.update(_snapshot(service_ratio=1.5, warmed=False))
+        det.update(_snapshot(service_ratio=1.5, warmed=False))
+        assert not det.update(_snapshot(service_ratio=1.5)).drifted
+
+    def test_recovery_resets_streak(self):
+        det = DriftDetector(DriftConfig(sustain_checks=2))
+        det.update(_snapshot(service_ratio=1.5))
+        det.update(_snapshot())  # back on plan
+        assert not det.update(_snapshot(service_ratio=1.5)).drifted
+
+    def test_gain_drift_flags_suspect_nodes(self):
+        det = DriftDetector(DriftConfig(gain_rtol=0.5, sustain_checks=1))
+        state = det.update(_snapshot(gain_ratio=2.0))
+        assert state.drifted
+        assert state.suspect_nodes == (0, 1)
+
+    def test_rebase_clears_streak(self):
+        det = DriftDetector(DriftConfig(sustain_checks=2))
+        det.update(_snapshot(service_ratio=1.5))
+        det.rebase()
+        assert not det.update(_snapshot(service_ratio=1.5)).drifted
+
+    def test_config_validation(self):
+        with pytest.raises(SpecError):
+            DriftConfig(service_rtol=0.0)
+        with pytest.raises(SpecError):
+            DriftConfig(sustain_checks=0)
+
+
+class TestReplanner:
+    def _replanner(self, cache=None, **kwargs):
+        return Replanner(
+            tau0=0.002,
+            deadline=0.5,
+            vector_width=8,
+            cache=cache,
+            min_interval=0.0,
+            **kwargs,
+        )
+
+    def test_replan_returns_adoptable_event(self):
+        rp = self._replanner()
+        event = rp.replan(_snapshot(), now=1.0)
+        assert event.feasible
+        assert event.adopted
+        assert event.waits is not None
+        assert len(rp.events) == 1
+
+    def test_identical_drift_regime_is_a_cache_hit(self):
+        """Quantization makes equal regimes produce equal cache keys."""
+        cache = PlanCache()
+        rp = self._replanner(cache=cache)
+        first = rp.replan(_snapshot(service_ratio=1.5), now=1.0)
+        # Slightly different estimates, same grid point after quantization.
+        second = rp.replan(_snapshot(service_ratio=1.502), now=2.0)
+        assert first.source == "cold"
+        assert second.source == "hit"
+        assert second.solve_seconds <= first.solve_seconds
+
+    def test_min_interval_rate_limits(self):
+        rp = Replanner(tau0=0.002, deadline=0.5, vector_width=8, min_interval=10.0)
+        assert rp.ready(0.0)
+        rp.replan(_snapshot(), now=0.0)
+        assert not rp.ready(5.0)
+        assert rp.ready(10.0)
+
+    def test_infeasible_plan_not_adopted(self):
+        rp = Replanner(
+            tau0=0.002, deadline=1e-6, vector_width=8, min_interval=0.0
+        )
+        event = rp.replan(_snapshot(), now=1.0)
+        assert not event.feasible
+        assert not event.adopted

@@ -1,0 +1,225 @@
+"""Tests for the live wall-clock executor (repro.runtime.executor).
+
+The acceptance tests at the bottom run real planned pipelines on the
+wall clock: a live run must hold zero deadline misses with measured
+active fraction within 15% of the solver's predicted ``T(w)``, and an
+injected mid-run service shift must trigger a drift re-plan that
+restores compliance without restarting the executor.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.dataflow.gains import BernoulliGain, DeterministicGain
+from repro.errors import SimulationError, SpecError
+from repro.runtime.executor import PipelineExecutor
+from repro.runtime.kernels import SpinKernel, VectorKernel
+
+
+def _kernels(n=2, service=0.002, seed=0):
+    gains = [DeterministicGain(1)] * n
+    return [
+        SpinKernel(f"k{i}", g, nominal_service=service, seed=seed + i)
+        for i, g in enumerate(gains)
+    ]
+
+
+def _run(executor, n_items=32, batch=8):
+    executor.start()
+    rng = np.random.default_rng(0)
+    for _ in range(0, n_items, batch):
+        executor.submit(rng.random(batch))
+        time.sleep(0.002)
+    executor.finish_ingest()
+    return executor.join(timeout=30.0)
+
+
+class TestExecutorBasics:
+    def test_passthrough_delivers_every_item(self):
+        ex = PipelineExecutor(
+            _kernels(), [0.0, 0.0], vector_width=8, deadline=5.0
+        )
+        report = _run(ex, n_items=32)
+        assert report.outputs == 32
+        assert report.missed_items == 0
+        assert ex.in_flight == 0
+
+    def test_submit_before_start_rejected(self):
+        ex = PipelineExecutor(
+            _kernels(), [0.0, 0.0], vector_width=8, deadline=5.0
+        )
+        with pytest.raises(SimulationError, match="start"):
+            ex.submit(np.zeros(4))
+
+    def test_filter_kernel_drops_items_silently(self):
+        kernels = [
+            SpinKernel("f", BernoulliGain(0.5), nominal_service=0.002, seed=1),
+            SpinKernel("t", DeterministicGain(1), nominal_service=0.002),
+        ]
+        ex = PipelineExecutor(kernels, [0.0, 0.0], vector_width=8, deadline=5.0)
+        report = _run(ex, n_items=64)
+        assert 0 < report.outputs < 64
+        assert report.missed_items == 0
+
+    def test_wait_validation(self):
+        with pytest.raises(SpecError):
+            PipelineExecutor(
+                _kernels(), [0.0], vector_width=8, deadline=5.0
+            )
+
+    def test_swap_waits_length_checked(self):
+        ex = PipelineExecutor(
+            _kernels(), [0.0, 0.0], vector_width=8, deadline=5.0
+        )
+        with pytest.raises(SpecError):
+            ex.swap_waits(np.zeros(3))
+
+    def test_kernel_exception_surfaces_in_join(self):
+        class Boom(VectorKernel):
+            def fire(self, payload):
+                raise RuntimeError("kernel exploded")
+
+        ex = PipelineExecutor(
+            [Boom("boom", 0.002)], [0.0], vector_width=8, deadline=5.0
+        )
+        ex.start()
+        ex.submit(np.zeros(4))
+        ex.finish_ingest()
+        with pytest.raises(SimulationError, match="kernel exploded"):
+            ex.join(timeout=10.0)
+
+    def test_snapshot_while_running(self):
+        ex = PipelineExecutor(
+            _kernels(), [0.0, 0.0], vector_width=8, deadline=5.0
+        )
+        ex.start()
+        ex.submit(np.zeros(8))
+        snap = ex.snapshot()
+        assert snap.items_ingested == 8
+        assert len(snap.nodes) == 2
+        ex.finish_ingest()
+        report = ex.join(timeout=10.0)
+        assert report.telemetry.items_ingested == 8
+
+
+class TestExecutorResilience:
+    def test_bounded_queue_with_shed_records_misses(self):
+        from repro.resilience.shedding import make_shed_policy
+
+        # Slow tail, fast head, tiny queue: overflow must shed, and shed
+        # items must be charged as deadline misses.
+        kernels = [
+            SpinKernel("h", DeterministicGain(1), nominal_service=0.001),
+            SpinKernel("t", DeterministicGain(1), nominal_service=0.02),
+        ]
+        ex = PipelineExecutor(
+            kernels,
+            [0.0, 0.0],
+            vector_width=4,
+            deadline=10.0,
+            queue_capacity=8,
+            shed_policy=make_shed_policy("drop-newest"),
+        )
+        ex.start()
+        for _ in range(12):
+            ex.submit(np.zeros(8))
+        ex.finish_ingest()
+        report = ex.join(timeout=30.0)
+        t = report.telemetry
+        assert t.total_shed > 0
+        assert t.missed_items == t.total_shed
+        assert t.outputs + t.missed_items == t.items_ingested
+
+    def test_overflow_without_policy_raises(self):
+        kernels = [
+            SpinKernel("h", DeterministicGain(1), nominal_service=0.001),
+            SpinKernel("t", DeterministicGain(1), nominal_service=0.05),
+        ]
+        ex = PipelineExecutor(
+            kernels, [0.0, 0.0], vector_width=4, deadline=10.0, queue_capacity=4
+        )
+        ex.start()
+        with pytest.raises(SimulationError):
+            for _ in range(30):
+                ex.submit(np.zeros(8))
+                time.sleep(0.002)
+        ex.finish_ingest()
+
+
+class TestAcceptance:
+    """ISSUE 5 acceptance: live runs hold the plan's promises."""
+
+    def test_live_blast_holds_af_and_deadline(self):
+        """3 real mini-BLAST kernels, Poisson arrivals at the planned
+        operating point: zero misses, AF within 15% of predicted T(w)."""
+        from repro.runtime.cli import run_live
+
+        plan, report = run_live("blast", seconds=1.5, seed=0)
+        assert plan.feasible
+        t = report.telemetry
+        assert t.outputs > 0
+        assert t.missed_items == 0
+        assert t.planned_active_fraction == pytest.approx(
+            t.measured_active_fraction, rel=0.15
+        )
+        assert t.latency_max <= plan.problem.deadline
+
+    def test_drift_triggers_replan_and_compliance_holds(self):
+        """A mid-run service slowdown trips the drift detector; the
+        adopted re-plan restores compliance without a restart."""
+        from repro.runtime.cli import run_live
+
+        plan, report = run_live(
+            "synthetic",
+            seconds=3.0,
+            seed=0,
+            drift_node=1,
+            drift_factor=1.8,
+            drift_after=0.8,
+        )
+        adopted = [e for e in report.replan_events if e.adopted]
+        assert len(adopted) >= 1
+        assert report.missed_items == 0
+        # The adopted plan rebased node 1's planned service upward.
+        node = report.telemetry.nodes[1]
+        assert node.planned_service > plan.pipeline.service_times[1] * 1.2
+        # Single uninterrupted run: every ingested item is accounted for.
+        t = report.telemetry
+        assert t.outputs + t.missed_items <= t.items_ingested
+        assert t.in_flight == 0
+
+    @pytest.mark.slow
+    def test_second_drift_replan_is_cache_assisted(self):
+        """Two identical drift scenarios sharing a PlanCache: the second
+        run's re-plan comes from the cache (hit or warm-start)."""
+        from repro.planning.cache import PlanCache
+        from repro.runtime.cli import run_live
+
+        cache = PlanCache()
+        _, first = run_live(
+            "synthetic",
+            seconds=3.0,
+            seed=0,
+            drift_node=1,
+            drift_factor=1.8,
+            drift_after=0.8,
+            cache=cache,
+        )
+        _, second = run_live(
+            "synthetic",
+            seconds=3.0,
+            seed=0,
+            drift_node=1,
+            drift_factor=1.8,
+            drift_after=0.8,
+            cache=cache,
+        )
+        first_adopted = [e for e in first.replan_events if e.adopted]
+        second_adopted = [e for e in second.replan_events if e.adopted]
+        assert first_adopted and second_adopted
+        assert all(e.source in ("hit", "warm") for e in second_adopted)
+        assert second.missed_items == 0

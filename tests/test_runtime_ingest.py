@@ -1,0 +1,111 @@
+"""Tests for live ingest (repro.runtime.ingest): replay + TCP server."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.dataflow.gains import DeterministicGain
+from repro.runtime.executor import PipelineExecutor
+from repro.runtime.ingest import IngestServer, ReplaySource
+from repro.runtime.kernels import SpinKernel
+
+
+def _executor(n=2, service=0.002):
+    kernels = [
+        SpinKernel(f"k{i}", DeterministicGain(1), nominal_service=service)
+        for i in range(n)
+    ]
+    return PipelineExecutor(
+        kernels, [0.0] * n, vector_width=8, deadline=10.0
+    )
+
+
+class TestReplaySource:
+    def test_replays_into_executor(self):
+        ex = _executor()
+        source = ReplaySource(
+            np.linspace(0.0, 0.05, 20),
+            lambda n, rng: np.zeros(n),
+        )
+        ex.start()
+        submitted = source.feed(ex)
+        report = ex.join(timeout=20.0)
+        assert submitted == 20
+        assert report.outputs == 20
+        assert report.missed_items == 0
+
+    def test_n_items_truncates_array(self):
+        source = ReplaySource(
+            np.linspace(0.0, 1.0, 10),
+            lambda n, rng: np.zeros(n),
+            n_items=3,
+        )
+        assert len(source) == 3
+
+    def test_start_runs_on_background_thread(self):
+        ex = _executor()
+        source = ReplaySource(
+            np.zeros(5), lambda n, rng: np.zeros(n)
+        )
+        ex.start()
+        thread = source.start(ex)
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        report = ex.join(timeout=10.0)
+        assert report.outputs == 5
+
+
+class _Client:
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=10.0)
+        self.file = self.sock.makefile("rwb")
+
+    def request(self, obj) -> dict:
+        self.file.write((json.dumps(obj) + "\n").encode())
+        self.file.flush()
+        return json.loads(self.file.readline())
+
+    def close(self):
+        self.file.close()
+        self.sock.close()
+
+
+@pytest.mark.slow
+class TestIngestServer:
+    def test_submit_stats_shutdown_roundtrip(self):
+        ex = _executor()
+        ex.start()
+        server = IngestServer(ex, port=0).start()
+        client = _Client(server.host, server.port)
+        try:
+            reply = client.request(
+                {"op": "submit", "items": [0.0, 1.0, 2.0]}
+            )
+            assert reply == {"ok": True, "accepted": 3}
+
+            stats = client.request({"op": "stats"})
+            assert stats["items_ingested"] == 3
+
+            bad = client.request({"op": "warp"})
+            assert "error" in bad
+
+            bye = client.request({"op": "shutdown"})
+            assert bye["ok"] is True
+        finally:
+            client.close()
+        server.stop()
+        report = ex.join(timeout=20.0)
+        assert report.outputs == 3
+        assert report.missed_items == 0
+
+    def test_stop_without_shutdown_op(self):
+        ex = _executor()
+        ex.start()
+        server = IngestServer(ex, port=0, finish_on_shutdown=False).start()
+        server.stop()
+        ex.finish_ingest()
+        assert ex.join(timeout=20.0).outputs == 0

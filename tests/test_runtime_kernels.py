@@ -1,0 +1,136 @@
+"""Tests for the runtime kernels and wall-clock planning (repro.runtime.kernels)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataflow.gains import BernoulliGain, DeterministicGain, EmpiricalGain
+from repro.errors import SpecError
+from repro.planning.cache import PlanCache
+from repro.runtime.kernels import (
+    SpinKernel,
+    build_workload,
+    calibrate_service_times,
+    measure_runtime_gains,
+    plan_runtime,
+    suggest_tau0,
+)
+
+
+class TestSpinKernel:
+    def test_counts_match_output_rows(self):
+        k = SpinKernel("s", BernoulliGain(0.5), seed=1)
+        payload = np.arange(16.0)
+        counts, outputs = k.fire(payload)
+        assert counts.size == 16
+        assert outputs.shape[0] == counts.sum()
+
+    def test_outputs_repeat_inputs_in_order(self):
+        k = SpinKernel("s", DeterministicGain(2), seed=1)
+        counts, outputs = k.fire(np.asarray([7.0, 9.0]))
+        assert counts.tolist() == [2, 2]
+        assert outputs.tolist() == [7.0, 7.0, 9.0, 9.0]
+
+    def test_reproducible_per_seed(self):
+        a = SpinKernel("s", BernoulliGain(0.5), seed=3)
+        b = SpinKernel("s", BernoulliGain(0.5), seed=3)
+        pay = np.arange(32.0)
+        assert a.fire(pay)[0].tolist() == b.fire(pay)[0].tolist()
+
+    def test_rejects_non_distribution_gain(self):
+        with pytest.raises(SpecError, match="GainDistribution"):
+            SpinKernel("s", 0.5)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecError, match="name"):
+            SpinKernel("", BernoulliGain(0.5))
+
+
+@pytest.mark.parametrize("app", ["blast", "nids", "gamma", "synthetic"])
+class TestBuildWorkload:
+    def test_three_stage_chain_runs(self, app):
+        wl = build_workload(app, seed=0)
+        assert wl.n_nodes == 3
+        rng = np.random.default_rng(0)
+        payload = wl.sample_payload(64, rng)
+        assert len(payload) == 64
+        for kernel in wl.kernels:
+            counts, outputs = kernel.fire(payload)
+            assert counts.size == len(payload)
+            assert (counts >= 0).all()
+            assert len(outputs) == counts.sum()
+            if len(outputs) == 0:
+                break
+            payload = outputs
+
+    def test_gain_measurement_yields_distributions(self, app):
+        wl = build_workload(app, seed=0)
+        dists = measure_runtime_gains(wl, n_items=256, seed=0)
+        assert len(dists) == 3
+        for d in dists:
+            assert isinstance(d, EmpiricalGain)
+            assert d.mean >= 0
+
+
+class TestBuildWorkloadErrors:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SpecError, match="unknown"):
+            build_workload("quantum")
+
+
+class TestServiceCalibration:
+    def test_sets_nominal_at_or_above_floor(self):
+        wl = build_workload("synthetic", seed=0)
+        calibrate_service_times(wl, floor=0.004, seed=0)
+        for k in wl.kernels:
+            assert k.nominal_service >= 0.004
+
+    def test_preexisting_nominal_service_kept(self):
+        wl = build_workload("synthetic", seed=0)
+        wl.kernels[0].nominal_service = 0.123
+        calibrate_service_times(wl, floor=0.004, seed=0)
+        assert wl.kernels[0].nominal_service == 0.123
+
+
+class TestPlanRuntime:
+    def test_feasible_plan_in_seconds(self):
+        wl = build_workload("synthetic", seed=0)
+        plan = plan_runtime(wl, vector_width=8, seed=0, n_gain_items=256)
+        assert plan.feasible
+        assert plan.waits.shape == (3,)
+        assert (plan.waits >= -1e-12).all()
+        # Wall-clock scale: every service time is in [1 ms, 1 s].
+        assert (plan.pipeline.service_times > 1e-3).all()
+        assert (plan.pipeline.service_times < 1.0).all()
+        assert 0 < plan.planned_active_fraction <= 1.0
+
+    def test_suggest_tau0_positive(self):
+        wl = build_workload("synthetic", seed=0)
+        plan = plan_runtime(wl, vector_width=8, seed=0, n_gain_items=256)
+        assert suggest_tau0(plan.pipeline) > 0
+
+    def test_calibrated_b_covers_optimistic(self):
+        from repro.core.enforced_waits import optimistic_b
+
+        wl = build_workload("synthetic", seed=0)
+        plan = plan_runtime(wl, vector_width=8, seed=0, n_gain_items=256)
+        assert (plan.b >= optimistic_b(plan.pipeline) - 1e-12).all()
+
+    def test_plan_cache_hit_on_identical_request(self):
+        cache = PlanCache()
+        wl = build_workload("synthetic", seed=0)
+        plan_runtime(wl, vector_width=8, seed=0, n_gain_items=256, cache=cache)
+        wl2 = build_workload("synthetic", seed=0)
+        plan2 = plan_runtime(
+            wl2, vector_width=8, seed=0, n_gain_items=256, cache=cache
+        )
+        assert plan2.outcome.source == "hit"
+
+    def test_explicit_b_skips_calibration(self):
+        wl = build_workload("synthetic", seed=0)
+        b = np.asarray([1.0, 4.0, 2.0])
+        plan = plan_runtime(
+            wl, vector_width=8, seed=0, n_gain_items=256, b=b
+        )
+        assert plan.b.tolist() == b.tolist()

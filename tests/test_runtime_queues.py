@@ -1,0 +1,121 @@
+"""Tests for the live executor's thread-safe queues (repro.runtime.queues)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.resilience.shedding import make_shed_policy
+from repro.runtime.queues import LiveQueue, OriginStore
+
+
+class TestOriginStore:
+    def test_append_returns_consecutive_ids(self):
+        store = OriginStore()
+        ids = store.append(1.5, 3)
+        assert ids.tolist() == [0, 1, 2]
+        more = store.append(2.5, 2)
+        assert more.tolist() == [3, 4]
+
+    def test_lookup_returns_origins(self):
+        store = OriginStore()
+        store.append(1.0, 2)
+        store.append(5.0, 1)
+        got = store.lookup(np.asarray([2, 0]))
+        assert got.tolist() == [5.0, 1.0]
+
+    def test_lookup_unknown_id_raises(self):
+        store = OriginStore()
+        store.append(0.0, 1)
+        with pytest.raises(SimulationError):
+            store.lookup(np.asarray([7]))
+
+
+class TestLiveQueueFifo:
+    def test_push_pop_preserves_order(self):
+        q = LiveQueue("q")
+        q.push(np.asarray([0, 1, 2]), None)
+        q.push(np.asarray([3, 4]), None)
+        ids, payload = q.pop_up_to(10)
+        assert ids.tolist() == [0, 1, 2, 3, 4]
+        assert payload is None
+
+    def test_pop_splits_chunks(self):
+        q = LiveQueue("q")
+        q.push(np.asarray([0, 1, 2, 3]), np.asarray([10, 11, 12, 13]))
+        ids, payload = q.pop_up_to(3)
+        assert ids.tolist() == [0, 1, 2]
+        assert payload.tolist() == [10, 11, 12]
+        ids, payload = q.pop_up_to(3)
+        assert ids.tolist() == [3]
+        assert payload.tolist() == [13]
+
+    def test_pop_empty_returns_empty(self):
+        q = LiveQueue("q")
+        ids, payload = q.pop_up_to(4)
+        assert ids.size == 0
+        assert payload is None
+
+    def test_payload_rows_stay_aligned_with_ids(self):
+        q = LiveQueue("q")
+        rows = np.arange(8).reshape(4, 2)
+        q.push(np.asarray([5, 6, 7, 8]), rows)
+        ids, payload = q.pop_up_to(2)
+        assert ids.tolist() == [5, 6]
+        assert payload.tolist() == [[0, 1], [2, 3]]
+
+    def test_depth_and_counters(self):
+        q = LiveQueue("q")
+        q.push(np.asarray([0, 1, 2]), None)
+        assert q.depth == 3
+        assert q.max_depth == 3
+        q.pop_up_to(2)
+        assert q.depth == 1
+        assert q.total_pushed == 3
+        assert q.total_popped == 2
+        assert q.max_depth == 3
+
+
+class TestLiveQueueCapacity:
+    def test_overflow_without_policy_raises_and_rejects_whole_batch(self):
+        q = LiveQueue("q", capacity=2)
+        q.push(np.asarray([0]), None)
+        with pytest.raises(SimulationError, match="overflow"):
+            q.push(np.asarray([1, 2]), None)
+        # Fail-fast must not partially enqueue.
+        assert q.depth == 1
+
+    def test_shed_policy_keeps_capacity_items(self):
+        q = LiveQueue("q", capacity=3, shed_policy=make_shed_policy("drop-newest"))
+        q.push(np.asarray([0, 1, 2]), None)
+        dropped = q.push(np.asarray([3, 4]), None)
+        assert q.depth == 3
+        assert dropped.size == 2
+        assert q.total_shed == 2
+        ids, _ = q.pop_up_to(10)
+        # drop-newest keeps the oldest three.
+        assert ids.tolist() == [0, 1, 2]
+        assert sorted(dropped.tolist()) == [3, 4]
+
+    def test_drop_oldest_sheds_from_the_front(self):
+        q = LiveQueue("q", capacity=2, shed_policy=make_shed_policy("drop-oldest"))
+        q.push(np.asarray([0, 1]), np.asarray([10.0, 11.0]))
+        dropped = q.push(np.asarray([2]), np.asarray([12.0]))
+        assert sorted(dropped.tolist()) == [0]
+        ids, payload = q.pop_up_to(10)
+        assert ids.tolist() == [1, 2]
+        # Payload rows shed in lockstep with their ids.
+        assert payload.tolist() == [11.0, 12.0]
+
+    def test_conservation_invariant(self):
+        q = LiveQueue("q", capacity=4, shed_policy=make_shed_policy("drop-newest"))
+        rng = np.random.default_rng(0)
+        next_id = 0
+        for _ in range(50):
+            k = int(rng.integers(1, 4))
+            q.push(np.arange(next_id, next_id + k), None)
+            next_id += k
+            if rng.random() < 0.5:
+                q.pop_up_to(int(rng.integers(1, 5)))
+        assert q.total_popped + q.total_shed + q.depth == q.total_pushed
