@@ -46,6 +46,15 @@ __all__ = [
 class GainDistribution(ABC):
     """Distribution of the number of outputs a node emits per input item."""
 
+    #: Whether sampling is *split-composable*: drawing ``n1`` then ``n2``
+    #: counts from the same generator yields exactly the concatenation of
+    #: one ``n1 + n2`` draw.  True for single-stream samplers (one
+    #: generator call of size ``n``); False whenever the number or order
+    #: of generator calls depends on ``n`` (e.g. mixtures).  The
+    #: simulator fast path batches per-firing draws into one call only
+    #: when this is set, so the conservative default is False.
+    sample_is_composable: bool = False
+
     @property
     @abstractmethod
     def mean(self) -> float:
@@ -79,6 +88,8 @@ class GainDistribution(ABC):
 class DeterministicGain(GainDistribution):
     """Exactly ``k`` outputs per input; ``k=1`` is a pass-through node."""
 
+    sample_is_composable = True
+
     def __init__(self, k: int) -> None:
         if not isinstance(k, (int, np.integer)) or k < 0:
             raise SpecError(f"DeterministicGain k must be an int >= 0, got {k!r}")
@@ -103,6 +114,8 @@ class DeterministicGain(GainDistribution):
 
 class BernoulliGain(GainDistribution):
     """One output with probability ``p``, else zero (a filtering node)."""
+
+    sample_is_composable = True
 
     def __init__(self, p: float) -> None:
         self._p = check_probability("BernoulliGain p", p)
@@ -134,6 +147,8 @@ class CensoredPoissonGain(GainDistribution):
     exact censored mean; :attr:`nominal_mean` reports ``lam`` (what the
     paper's Table 1 lists).
     """
+
+    sample_is_composable = True
 
     def __init__(self, lam: float, u: int) -> None:
         self._lam = check_positive("CensoredPoissonGain lam", lam)
@@ -187,6 +202,8 @@ class EmpiricalGain(GainDistribution):
     Used to drive the model with gains measured from the mini-BLAST
     application (ablation A3 in DESIGN.md).
     """
+
+    sample_is_composable = True
 
     def __init__(self, counts: Sequence[int]) -> None:
         arr = np.asarray(counts, dtype=np.int64)

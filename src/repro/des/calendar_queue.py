@@ -8,23 +8,47 @@ re-buckets, keeping enqueue/dequeue O(1) amortized for the
 quasi-stationary event horizons typical of simulations — versus the
 binary heap's O(log n).
 
-Implementation note: the dequeue cursor is an *integer day index* and an
-event belongs to day ``int(time / width)`` — the same function used for
-bucketing — so day membership is exact.  (A float ``day_start``
-accumulated by repeated addition drifts away from the bucket boundaries
-and can skip an event sitting exactly on one.)
-
-For the modest event counts of this package's pipelines the heap is
-plenty fast; the calendar queue exists as the scalable substrate (and is
-property-tested to order exactly like the heap).  Select it with
-``Engine(queue="calendar")``.
+Implementation notes
+--------------------
+- The dequeue cursor is an *integer day index* and an event belongs to
+  day ``int(time / width)`` — the same function used for bucketing — so
+  day membership is exact.  (A float ``day_start`` accumulated by
+  repeated addition drifts away from the bucket boundaries and can skip
+  an event sitting exactly on one.)
+- Buckets are kept **sorted** (:class:`~repro.des.events.Event` carries
+  its own ``(time, priority, seq)`` ordering), pushed with
+  ``bisect.insort``.  That turns the per-day probe into an O(1) head
+  check — the historical implementation re-filtered and re-minimized
+  whole buckets on *every* probe, which is what collapsed its
+  throughput to ~3.5x below the heap on the engine benchmark — and the
+  one-year-miss fallback into a min over bucket heads instead of a min
+  over every queued event.
+- The scan's head check ``day_of(bucket[0]) == day`` is sound: events
+  of an earlier day aliasing to the same bucket would have to sit a
+  whole year (``n`` days) behind the scan, which the cursor invariant
+  (push rewinds the cursor to any earlier day) excludes from the scan's
+  one-year window, so the events of the probed day — if any — are
+  exactly a prefix of the sorted bucket.
+- ``peek`` memoizes the bucket it found; the engine's peek→pop idiom
+  then pops in O(1) without rescanning.  The hint is invalidated by
+  any intervening push/resize/clear.
+- The calendar resizes both ways with hysteresis — grow at
+  ``size > 2n``, shrink at ``size < n/2`` (never below
+  ``min_buckets``) — so a drained queue stops paying empty-bucket scan
+  costs.  The historical version only ever grew.
 """
 
 from __future__ import annotations
 
+from bisect import insort
+
 from repro.des.events import Event
 
 __all__ = ["CalendarQueue"]
+
+#: Bucket-count ceiling: beyond this, growth stops (scan cost is already
+#: amortized; unbounded growth would just burn memory).
+_MAX_BUCKETS = 1 << 20
 
 
 class CalendarQueue:
@@ -35,6 +59,17 @@ class CalendarQueue:
     ``__iter__``, ``clear()``.  Cancelled events are the caller's concern
     (as with the heap, they are skipped at pop time by the engine).
     """
+
+    __slots__ = (
+        "_min_buckets",
+        "_size",
+        "_n",
+        "_width",
+        "_buckets",
+        "_cursor_day",
+        "_hint_bucket",
+        "_hint_day",
+    )
 
     def __init__(
         self,
@@ -56,6 +91,13 @@ class CalendarQueue:
         self._width = width
         self._buckets: list[list[Event]] = [[] for _ in range(n_buckets)]
         self._cursor_day = start_day  # integer day index
+        # Bucket (and its day) holding the global minimum, found by the
+        # last peek or maintained by push; consumed by pop.  Two slots
+        # instead of a tuple: the hint is retargeted on every push that
+        # sets a new minimum, and a tuple allocation there is measurable
+        # on the engine hot path.
+        self._hint_bucket: list[Event] | None = None
+        self._hint_day = 0
 
     def __len__(self) -> int:
         return self._size
@@ -67,21 +109,28 @@ class CalendarQueue:
     def _day_of(self, time: float) -> int:
         return int(time / self._width)
 
-    @staticmethod
-    def _key(e: Event) -> tuple[float, int, int]:
-        return (e.time, e.priority, e.seq)
-
     def push(self, event: Event) -> None:
-        day = self._day_of(event.time)
+        day = int(event.time / self._width)
         if day < self._cursor_day:
             # An event earlier than the current day (a resize may have
             # advanced the cursor to the then-minimum event): rewind so
             # the forward scan cannot skip it.  DES engines never push
             # into the past, so this stays off the hot path.
             self._cursor_day = day
-        self._buckets[day % self._n].append(event)
+        bucket = self._buckets[day % self._n]
+        hb = self._hint_bucket
+        if self._size == 0 or (hb is not None and event < hb[0]):
+            # The pushed event *is* the new global minimum: retarget the
+            # hint instead of dropping it, so the engine's pop→push→peek
+            # cycle never rescans.  Decided before the insert — after
+            # it, an event landing at the hinted bucket's head would
+            # compare against itself and keep a stale day.  A push >=
+            # the hinted minimum leaves any existing hint valid.
+            self._hint_bucket = bucket
+            self._hint_day = day
+        insort(bucket, event)
         self._size += 1
-        if self._size > 2 * self._n and self._n < 1 << 20:
+        if self._size > 2 * self._n and self._n < _MAX_BUCKETS:
             self._resize(2 * self._n)
 
     def _resize(self, n_buckets: int) -> None:
@@ -94,59 +143,89 @@ class CalendarQueue:
             # to a degenerate sliver, which would scatter later events
             # billions of days past the cursor and degrade every
             # subsequent pop to the full-scan fallback.
-            times = sorted(e.time for e in events)
-            span = times[-1] - times[0]
+            lo = min(e.time for e in events)
+            hi = max(e.time for e in events)
+            span = hi - lo
             if span > 0:
                 width = max(span / len(events), 1e-9)
             else:
                 width = self._width
-            start_day = int(times[0] / width)
+            start_day = int(lo / width)
         else:
             width = self._width
             start_day = self._cursor_day
         self._init_calendar(
             max(n_buckets, self._min_buckets), width, start_day
         )
+        buckets = self._buckets
+        n = self._n
+        day_of = self._day_of
         for e in events:
-            self._buckets[self._day_of(e.time) % self._n].append(e)
+            buckets[day_of(e.time) % n].append(e)
+        for bucket in buckets:
+            if len(bucket) > 1:
+                bucket.sort()
 
-    def _min_event(self) -> Event:
-        """Full scan fallback (used when a year passes without a hit)."""
-        best: Event | None = None
+    def _min_over_heads(self) -> tuple[list[Event], int]:
+        """Fallback when a year passes without a hit.
+
+        Buckets are sorted, so the global minimum is one of the bucket
+        heads — O(n_buckets), not O(events).
+        """
+        best_bucket: list[Event] | None = None
         for bucket in self._buckets:
-            for e in bucket:
-                if best is None or self._key(e) < self._key(best):
-                    best = e
-        assert best is not None
-        return best
+            if bucket and (
+                best_bucket is None or bucket[0] < best_bucket[0]
+            ):
+                best_bucket = bucket
+        assert best_bucket is not None
+        return best_bucket, self._day_of(best_bucket[0].time)
 
-    def _scan(self) -> tuple[Event, int] | None:
-        """Next event within one year of the cursor, with its day."""
+    def _find_min(self) -> tuple[list[Event], int]:
+        """Bucket holding the global minimum event, and its day.
+
+        Scans at most one year forward from the cursor (O(1) per day:
+        a single head comparison), then falls back to the head scan.
+        Advancing the cursor here is sound — the returned event is the
+        global minimum, so no event lives on any day the scan passed.
+        """
+        # Shrink with hysteresis (grow at size > 2n, shrink at size <
+        # n/2) — checked here rather than on every pop because the scan
+        # below is the only cost empty buckets impose; hint-served pops
+        # never pay it.
+        if self._size < self._n // 2 and self._n > self._min_buckets:
+            self._resize(max(self._n // 2, self._min_buckets))
         day = self._cursor_day
-        for _ in range(self._n):
-            bucket = self._buckets[day % self._n]
-            candidates = [e for e in bucket if self._day_of(e.time) == day]
-            if candidates:
-                return min(candidates, key=self._key), day
+        n = self._n
+        buckets = self._buckets
+        width = self._width
+        for _ in range(n):
+            bucket = buckets[day % n]
+            if bucket and int(bucket[0].time / width) == day:
+                self._cursor_day = day
+                return bucket, day
             day += 1
-        return None
+        return self._min_over_heads()
 
     def peek(self) -> Event:
         if self._size == 0:
             raise IndexError("peek from empty CalendarQueue")
-        found = self._scan()
-        return found[0] if found is not None else self._min_event()
+        hb = self._hint_bucket
+        if hb is None:
+            hb, self._hint_day = self._find_min()
+            self._hint_bucket = hb
+        return hb[0]
 
     def pop(self) -> Event:
         if self._size == 0:
             raise IndexError("pop from empty CalendarQueue")
-        found = self._scan()
-        if found is not None:
-            event, day = found
+        bucket = self._hint_bucket
+        if bucket is None:
+            bucket, day = self._find_min()
         else:
-            event = self._min_event()
-            day = self._day_of(event.time)
-        self._buckets[self._day_of(event.time) % self._n].remove(event)
+            day = self._hint_day
+            self._hint_bucket = None
+        event = bucket.pop(0)
         self._size -= 1
         self._cursor_day = day
         return event
@@ -155,3 +234,4 @@ class CalendarQueue:
         for bucket in self._buckets:
             bucket.clear()
         self._size = 0
+        self._hint_bucket = None

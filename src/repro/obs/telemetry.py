@@ -241,6 +241,12 @@ class LiveNodeTelemetry:
     planned_wait: float
     ewma_service: float
     ewma_gain: float
+    #: Cumulative seconds slept *past* requested sleep deadlines (service
+    #: padding and enforced waits).  Nonzero residue is expected — the OS
+    #: scheduler wakes sleepers late — but it should be micro-, not
+    #: milli-seconds per firing; a large value means enforced waits ran
+    #: systematically long and measured activity is biased low.
+    oversleep_time: float = 0.0
 
     @property
     def busy_fraction(self) -> float:
@@ -288,6 +294,11 @@ class RuntimeTelemetry:
     @property
     def total_shed(self) -> int:
         return sum(n.queue_shed for n in self.nodes)
+
+    @property
+    def total_oversleep(self) -> float:
+        """Seconds slept past sleep deadlines, summed over nodes."""
+        return sum(n.oversleep_time for n in self.nodes)
 
     def render(self) -> str:
         """The snapshot as aligned tables (node table + run summary)."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import tempfile
 from collections import OrderedDict
@@ -68,8 +69,22 @@ _DEFAULT_TOL = 1e-9
 
 
 def _canon_float(x: Any) -> str:
-    """Canonical text for a float: exact, format-independent."""
-    return float(x).hex()
+    """Canonical text for a float: exact, format-independent.
+
+    ``-0.0`` is collapsed onto ``0.0`` before hashing — the two compare
+    equal everywhere a plan parameter is *used*, but ``float.hex()``
+    spells them differently (``-0x0.0p+0`` vs ``0x0.0p+0``), which
+    would split one configuration across two cache keys.  NaN is
+    rejected outright: it never equals itself, so no key containing it
+    could ever be deliberately re-hit, and its presence in a planning
+    payload is always an upstream bug worth surfacing.
+    """
+    v = float(x)
+    if math.isnan(v):
+        raise SpecError("plan-cache keys cannot contain NaN parameters")
+    if v == 0.0:
+        v = 0.0
+    return v.hex()
 
 
 def _canon_floats(xs: Any) -> list[str]:

@@ -63,6 +63,12 @@ __all__ = ["PipelineExecutor", "LiveRunReport"]
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 
+#: Longest uninterruptible block inside :meth:`PipelineExecutor._sleep`
+#: (stop-flag recheck cadence) and the deliberate undershoot before its
+#: final yield-spin to the deadline.
+_SLEEP_SLICE = 0.05
+_SLEEP_UNDERSHOOT = 0.002
+
 
 class _NodeStats:
     """Per-node counters, written only by the owning node thread."""
@@ -75,6 +81,7 @@ class _NodeStats:
         "occupancy_sum",
         "busy_time",
         "wait_time",
+        "oversleep_time",
     )
 
     def __init__(self) -> None:
@@ -85,6 +92,7 @@ class _NodeStats:
         self.occupancy_sum = 0.0
         self.busy_time = 0.0
         self.wait_time = 0.0
+        self.oversleep_time = 0.0
 
 
 @dataclass(frozen=True)
@@ -93,6 +101,11 @@ class LiveRunReport:
 
     telemetry: RuntimeTelemetry
     replan_events: tuple[ReplanEvent, ...] = ()
+
+    @property
+    def total_oversleep(self) -> float:
+        """Residual seconds slept past deadlines, summed over all nodes."""
+        return self.telemetry.total_oversleep
 
     @property
     def outputs(self) -> int:
@@ -306,14 +319,41 @@ plan_runtime`).
         """Seconds since :meth:`start` (0.0 before)."""
         return time.perf_counter() - self._t0 if self._started else 0.0
 
-    def _sleep(self, seconds: float) -> None:
-        """Sleep interruptibly (wakes early if the executor stops)."""
+    def _sleep(self, seconds: float) -> float:
+        """Sleep to a deadline ``seconds`` from now, interruptibly.
+
+        Anchored on the absolute deadline rather than accumulated
+        slices: the historical loop slept ``min(remaining, 0.05)`` and
+        every ``time.sleep`` call overshoots by the OS scheduler's
+        wake-up granularity, so the final short slice carried a
+        millisecond-scale overshoot straight onto *every* enforced wait
+        — a systematic oversleep bias that lengthened effective periods
+        and depressed measured activity.  Here the last slice
+        deliberately undershoots by :data:`_SLEEP_UNDERSHOOT` and the
+        residue is closed with ``sleep(0)`` yields, which wake within
+        scheduler-quantum noise of the deadline.
+
+        Returns the residual oversleep: seconds past the deadline at
+        return (0.0 when interrupted early by stop, or when the
+        deadline was met exactly).  Callers accumulate it into
+        per-node stats so the bias, if the platform still imposes one,
+        is *measured* rather than silent.
+        """
         end = time.perf_counter() + seconds
-        while not self._stop.is_set():
+        stop = self._stop
+        while not stop.is_set():
             remaining = end - time.perf_counter()
             if remaining <= 0:
-                return
-            time.sleep(min(remaining, 0.05))
+                break
+            if remaining > _SLEEP_SLICE:
+                # Interruptibility bound: never block longer than one
+                # slice without rechecking stop.
+                time.sleep(_SLEEP_SLICE)
+            elif remaining > _SLEEP_UNDERSHOOT:
+                time.sleep(remaining - _SLEEP_UNDERSHOOT)
+            else:
+                time.sleep(0)  # yield-spin the last ~2 ms to the deadline
+        return max(0.0, time.perf_counter() - end)
 
     # -- ingest -------------------------------------------------------------
 
@@ -447,7 +487,7 @@ plan_runtime`).
                     )
                     remaining = target - (time.perf_counter() - fire_start)
                     if remaining > 0:
-                        self._sleep(remaining)
+                        stats.oversleep_time += self._sleep(remaining)
                 duration = time.perf_counter() - fire_start
                 stats.firings += 1
                 stats.busy_time += duration
@@ -470,7 +510,7 @@ plan_runtime`).
                 wait = self._waits[node] * scale
                 if wait > 0:
                     wait_start = time.perf_counter()
-                    self._sleep(wait)
+                    stats.oversleep_time += self._sleep(wait)
                     stats.wait_time += time.perf_counter() - wait_start
         except BaseException as exc:  # surface in join(), don't die silently
             self._node_errors.append(exc)
@@ -605,6 +645,7 @@ plan_runtime`).
                     planned_wait=float(self._waits[i]),
                     ewma_service=snap.services[i],
                     ewma_gain=snap.gains[i],
+                    oversleep_time=s.oversleep_time,
                 )
             )
         with self._lock:

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.dataflow.gains import EmpiricalGain, GainDistribution
 from repro.dataflow.spec import NodeSpec, PipelineSpec
+from repro.des.hotloop import ragged_gather
 from repro.errors import SpecError
 
 __all__ = [
@@ -290,18 +291,10 @@ class _GammaPairExpand(VectorKernel):
 
     def fire(self, payload: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         idx = np.asarray(payload, dtype=np.int64)
-        begins = self._offsets[idx]
-        ends = self._offsets[idx + 1]
-        counts = (ends - begins).astype(np.int64)
-        total = int(counts.sum())
-        pairs = np.empty((total, 2), dtype=np.int64)
-        pos = 0
-        for j, i in enumerate(idx):
-            c = int(counts[j])
-            if c:
-                pairs[pos : pos + c, 0] = i
-                pairs[pos : pos + c, 1] = self._flat[begins[j] : ends[j]]
-                pos += c
+        counts, owners, values = ragged_gather(self._offsets, self._flat, idx)
+        pairs = np.empty((owners.size, 2), dtype=np.int64)
+        pairs[:, 0] = owners
+        pairs[:, 1] = values
         return counts, pairs
 
 

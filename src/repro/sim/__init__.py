@@ -17,7 +17,12 @@ determining how many inputs, if any, incur a deadline miss."
 
 from repro.sim.metrics import LatencyLedger, SimMetrics
 from repro.sim.adaptive import AdaptiveWaitsSimulator
-from repro.sim.campaign import run_planned_trials_parallel, run_trials_parallel
+from repro.sim.campaign import (
+    run_planned_trials_parallel,
+    run_planned_trials_sharded,
+    run_trials_parallel,
+    run_trials_sharded,
+)
 from repro.sim.enforced import EnforcedWaitsSimulator
 from repro.sim.faults import FaultPlan, InjectedFault
 from repro.sim.monolithic import MonolithicSimulator
@@ -38,7 +43,9 @@ __all__ = [
     "InjectedFault",
     "run_trials",
     "run_planned_trials_parallel",
+    "run_planned_trials_sharded",
     "run_trials_parallel",
+    "run_trials_sharded",
     "TrialOutcome",
     "TrialsResult",
     "summarize_metrics",

@@ -35,6 +35,7 @@ cores runs them ~6x faster.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import pickle
 import time
 import traceback
@@ -42,6 +43,10 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as mp_wait
 from typing import Any, Sequence
 
+import numpy as np
+
+from repro.arrivals.trace import TraceArrivals
+from repro.des.rng import RngRegistry
 from repro.errors import CampaignError, SpecError
 from repro.sim.faults import FaultPlan
 from repro.sim.runner import (
@@ -54,7 +59,12 @@ from repro.sim.runner import (
     normalize_seeds,
 )
 
-__all__ = ["run_trials_parallel", "run_planned_trials_parallel"]
+__all__ = [
+    "run_trials_parallel",
+    "run_planned_trials_parallel",
+    "run_trials_sharded",
+    "run_planned_trials_sharded",
+]
 
 
 def _run_attempt(
@@ -480,3 +490,340 @@ def _supervise(
             _reap(r)
 
     return [outcomes[i] for i in range(len(seed_list))]
+
+# -- sharded campaigns ------------------------------------------------------
+#
+# run_trials_parallel isolates every *seed* in its own process, which is
+# the right shape for hostile workloads (timeouts, retries, crash
+# containment) but pays one interpreter fork + import + pipe per seed.
+# Calibration campaigns are the opposite regime: hundreds of small,
+# trusted, deterministic trials — there, the per-seed process overhead
+# dominates wall clock.  run_trials_sharded splits the seed list into
+# one contiguous shard per worker, runs each shard *serially inside* its
+# worker, and sends one result batch back per shard, so process overhead
+# is amortized across the whole shard.
+#
+# Arrival sharing: each trial's arrival trace is a pure function of
+# (arrival process, n_items, seed) — the simulators draw it from the
+# dedicated "arrivals" RNG stream, whose identity is exactly
+# ``(seed, "arrivals")``.  The parent therefore pregenerates all traces
+# into one shared-memory matrix; workers replay their rows through
+# :class:`~repro.arrivals.trace.TraceArrivals` (whose ``generate``
+# returns the trace verbatim and ignores the generator), which is
+# bit-identical to each worker drawing its own — without pickling
+# ``n_seeds * n_items`` floats through every pipe.
+
+
+def _shard_worker(
+    conn: Connection,
+    sim_cls: type,
+    kwargs: dict[str, Any],
+    seeds: Sequence[int],
+    shm_name: str | None,
+    n_rows: int,
+    n_items: int,
+    row0: int,
+) -> None:
+    """Run one contiguous shard of seeds serially; send the outcome batch.
+
+    Sends ``(STATUS_OK, [TrialOutcome, ...])`` — per-seed failures are
+    already captured inside the outcomes by ``_run_serial`` — or
+    ``("error", traceback)`` if the shard machinery itself breaks.
+    """
+    shm = None
+    try:
+        mat = None
+        if shm_name is not None:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(name=shm_name)
+            try:
+                # Under spawn, attaching registers the segment with this
+                # worker's own resource tracker, which would unlink it
+                # when the first shard exits and strand the others; the
+                # parent owns the segment's lifetime, so deregister.
+                # Under fork(server) the tracker is *shared* with the
+                # parent — deregistering there would double-remove the
+                # parent's own registration.
+                if mp.get_start_method() == "spawn":
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+            mat = np.ndarray(
+                (n_rows, n_items), dtype=np.float64, buffer=shm.buf
+            )
+        outcomes = []
+        for j, seed in enumerate(seeds):
+            wkw = kwargs
+            if mat is not None:
+                # Copy the row out of shared memory: the simulator may
+                # hold the array past shm.close().
+                wkw = dict(
+                    kwargs,
+                    arrivals=TraceArrivals(np.array(mat[row0 + j])),
+                )
+            outcomes.append(_run_serial(sim_cls, wkw, seed, None, 0, 0.0))
+        conn.send((STATUS_OK, outcomes))
+    except BaseException:  # noqa: BLE001 — the traceback is the payload
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        if shm is not None:
+            shm.close()
+        conn.close()
+
+
+def run_trials_sharded(
+    sim_cls: type,
+    kwargs: dict[str, Any],
+    seeds: Sequence[int] | int,
+    *,
+    workers: int | None = None,
+    share_arrivals: bool = True,
+    strict: bool = False,
+) -> TrialsResult:
+    """Fan a multi-seed campaign out to one worker process per *shard*.
+
+    Bit-identical outcomes to :func:`run_trials_parallel` /
+    :func:`repro.sim.runner.run_trials` (each seed fully determines its
+    run), but the seed list is split into ``workers`` contiguous shards,
+    each executed serially inside a single worker — amortizing process
+    startup across the shard instead of paying it per seed.
+
+    Parameters
+    ----------
+    sim_cls, kwargs, seeds:
+        As in :func:`run_trials_parallel` (``kwargs`` excludes ``seed``).
+    workers:
+        Shard/process count; ``None`` uses ``os.cpu_count()``.  0 or 1
+        (or a single seed) runs serially in-process with no pickling
+        requirement.
+    share_arrivals:
+        When True (default) and ``kwargs`` carries both ``arrivals`` and
+        a positive ``n_items``, the parent pregenerates every seed's
+        arrival trace into one POSIX shared-memory matrix and workers
+        replay their rows zero-copy (see the section comment above for
+        the bit-identity argument).  Set False to make workers draw
+        arrivals themselves (e.g. for an arrival process whose
+        ``generate`` is cheaper than the shared matrix).
+    strict:
+        When True, raise :class:`~repro.errors.CampaignError` if any
+        trial failed, with the partial results attached as
+        ``exc.result``.
+
+    Failure containment is per-seed for simulator errors (captured as
+    ``failed`` outcomes inside the shard) and per-shard for process
+    death (every seed of a dead shard is recorded as ``failed``).  For
+    per-seed timeouts or retries, use :func:`run_trials_parallel`.
+    """
+    if "seed" in kwargs:
+        raise SpecError("pass seeds via the seeds argument, not kwargs")
+    seed_list = normalize_seeds(seeds)
+    if workers is not None and workers < 0:
+        raise SpecError(f"workers must be >= 0, got {workers}")
+    n_workers = workers if workers is not None else (os.cpu_count() or 1)
+    n_shards = min(n_workers, len(seed_list))
+
+    result = TrialsResult(seeds=seed_list)
+    if n_shards <= 1:
+        for seed in seed_list:
+            result.outcomes.append(
+                _run_serial(sim_cls, kwargs, seed, None, 0, 0.0)
+            )
+    else:
+        _check_picklable(sim_cls, kwargs, None)
+        result.outcomes.extend(
+            _run_shards(
+                sim_cls, kwargs, seed_list, n_shards, share_arrivals
+            )
+        )
+
+    if strict and not result.all_ok:
+        bad = ", ".join(
+            f"seed {o.seed}: {o.status}" for o in result.failures
+        )
+        exc = CampaignError(
+            f"{len(result.failures)} of {result.n_attempted} trials did "
+            f"not complete ({bad})"
+        )
+        exc.result = result  # type: ignore[attr-defined]
+        raise exc
+    return result
+
+
+def _run_shards(
+    sim_cls: type,
+    kwargs: dict[str, Any],
+    seed_list: tuple[int, ...],
+    n_shards: int,
+    share_arrivals: bool,
+) -> list[TrialOutcome]:
+    """Launch the shard workers and reassemble outcomes in seed order."""
+    n_items = kwargs.get("n_items")
+    share = (
+        share_arrivals
+        and "arrivals" in kwargs
+        and isinstance(n_items, (int, np.integer))
+        and n_items > 0
+    )
+    n_seeds = len(seed_list)
+    shm = None
+    shm_name = None
+    worker_kwargs = kwargs
+    procs: list[tuple[mp.Process, Connection, np.ndarray]] = []
+    try:
+        if share:
+            from multiprocessing import shared_memory
+
+            arrivals = kwargs["arrivals"]
+            traces = np.empty((n_seeds, int(n_items)), dtype=np.float64)
+            for i, seed in enumerate(seed_list):
+                traces[i] = arrivals.generate(
+                    int(n_items), RngRegistry(int(seed)).stream("arrivals")
+                )
+            shm = shared_memory.SharedMemory(create=True, size=traces.nbytes)
+            np.ndarray(
+                traces.shape, dtype=np.float64, buffer=shm.buf
+            )[:] = traces
+            shm_name = shm.name
+            worker_kwargs = {
+                k: v for k, v in kwargs.items() if k != "arrivals"
+            }
+
+        for idx in np.array_split(np.arange(n_seeds), n_shards):
+            if idx.size == 0:
+                continue
+            recv, send = mp.Pipe(duplex=False)
+            proc = mp.Process(
+                target=_shard_worker,
+                args=(
+                    send,
+                    sim_cls,
+                    worker_kwargs,
+                    [seed_list[i] for i in idx.tolist()],
+                    shm_name,
+                    n_seeds,
+                    int(n_items) if share else 0,
+                    int(idx[0]),
+                ),
+                daemon=True,
+            )
+            proc.start()
+            send.close()
+            procs.append((proc, recv, idx))
+
+        outcomes: dict[int, TrialOutcome] = {}
+
+        def shard_failed(idx: np.ndarray, error: str) -> None:
+            for i in idx.tolist():
+                outcomes[i] = TrialOutcome(
+                    seed=seed_list[i],
+                    status=STATUS_FAILED,
+                    error=error,
+                    attempts=1,
+                    duration=0.0,
+                )
+
+        live = list(procs)
+        while live:
+            mp_wait(
+                [c for _, c, _ in live] + [p.sentinel for p, _, _ in live],
+                timeout=0.5,
+            )
+            still: list[tuple[mp.Process, Connection, np.ndarray]] = []
+            for p, c, idx in live:
+                msg: tuple[str, Any] | None = None
+                try:
+                    if c.poll():
+                        msg = c.recv()
+                except (EOFError, OSError):
+                    msg = None
+                if msg is not None:
+                    kind, payload = msg
+                    if kind == STATUS_OK:
+                        for i, out in zip(idx.tolist(), payload):
+                            outcomes[i] = out
+                    else:
+                        shard_failed(idx, payload)
+                    p.join()
+                    c.close()
+                elif not p.is_alive():
+                    shard_failed(
+                        idx,
+                        f"shard worker for seeds "
+                        f"{[seed_list[i] for i in idx.tolist()]} died "
+                        f"without a result (exitcode {p.exitcode})",
+                    )
+                    p.join()
+                    c.close()
+                else:
+                    still.append((p, c, idx))
+            live = still
+        return [outcomes[i] for i in range(n_seeds)]
+    finally:
+        for p, c, _ in procs:
+            if p.is_alive():  # pragma: no cover — only on an abort above
+                p.terminate()
+                p.join(timeout=5.0)
+            try:
+                c.close()
+            except OSError:
+                pass
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+def run_planned_trials_sharded(
+    sim_cls: type,
+    problem,
+    kwargs: dict[str, Any],
+    seeds: Sequence[int] | int,
+    *,
+    b=None,
+    method: str = "auto",
+    cache=None,
+    warm_start: bool = True,
+    **sharded_kwargs,
+):
+    """Plan through the cache, then fan out via :func:`run_trials_sharded`.
+
+    The sharded twin of :func:`run_planned_trials_parallel`: identical
+    planning (one :func:`~repro.planning.warmstart.solve_plan` resolve,
+    ``pipeline``/``waits``/``deadline`` injected into the kwargs) with
+    the shard-per-worker execution model.  ``sharded_kwargs`` are
+    ``workers``/``share_arrivals``/``strict``.  Returns
+    ``(trials_result, plan_outcome)``.
+    """
+    from repro.planning.warmstart import solve_plan
+
+    for reserved in ("pipeline", "waits", "deadline"):
+        if reserved in kwargs:
+            raise SpecError(
+                f"{reserved!r} is supplied by the planner; remove it "
+                f"from kwargs"
+            )
+    outcome = solve_plan(
+        problem, b, method=method, cache=cache, warm_start=warm_start
+    )
+    if not outcome.solution.feasible:
+        raise SpecError(
+            f"cannot run a planned campaign at an infeasible design point "
+            f"(tau0={problem.tau0:g}, D={problem.deadline:g}): "
+            f"{outcome.solution.diagnosis}"
+        )
+    full_kwargs = dict(
+        kwargs,
+        pipeline=problem.pipeline,
+        waits=outcome.solution.waits,
+        deadline=problem.deadline,
+    )
+    result = run_trials_sharded(sim_cls, full_kwargs, seeds, **sharded_kwargs)
+    return result, outcome

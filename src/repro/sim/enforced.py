@@ -80,6 +80,7 @@ from repro.obs.telemetry import TelemetryCollector
 from repro.resilience.faults import RuntimeFaultPlan
 from repro.resilience.shedding import make_shed_policy
 from repro.resilience.watchdog import DeadlineWatchdog
+from repro.sim.fastpath import run_enforced_fast
 from repro.sim.metrics import LatencyLedger, SimMetrics
 from repro.simd.occupancy import OccupancyTracker
 from repro.simd.sharing import IdealizedSharing, TimingModel, WorkConservingSharing
@@ -534,22 +535,31 @@ class EnforcedWaitsSimulator:
             # Arrival bursts remap the same seed-determined stream; the
             # RNG draw above is identical with or without faults.
             self._times = self._faults.transform_arrivals(self._times)
-        # No per-arrival events: the head node's firings drain the
-        # arrival array lazily (see module docstring).  Firings
-        # self-perpetuate until shutdown, so the drain always happens.
-        for i in range(self.pipeline.n_nodes):
-            self.engine.schedule(
-                float(self.start_offsets[i]),
-                lambda i=i: self._fire(i),
-                priority=_PRIO_FIRE,
-            )
+        # Closed-form fast path (array computation, no event loop):
+        # eligible only for plain idealized-timing runs, and bit-identical
+        # to the event loop when taken (see repro.sim.fastpath).  Returns
+        # None to fall back — e.g. under REPRO_BACKEND=python.
+        hwm_items = run_enforced_fast(self, self._times)
+        if hwm_items is None:
+            # No per-arrival events: the head node's firings drain the
+            # arrival array lazily (see module docstring).  Firings
+            # self-perpetuate until shutdown, so the drain always happens.
+            for i in range(self.pipeline.n_nodes):
+                self.engine.schedule(
+                    float(self.start_offsets[i]),
+                    lambda i=i: self._fire(i),
+                    priority=_PRIO_FIRE,
+                )
 
-        self.engine.run(max_events=self.max_events)
+            self.engine.run(max_events=self.max_events)
 
-        if self._in_flight != 0 or self._inflight_firings:
-            raise SimulationError(
-                f"pipeline failed to drain: {self._in_flight} items in "
-                f"flight, {len(self._inflight_firings)} firings active"
+            if self._in_flight != 0 or self._inflight_firings:
+                raise SimulationError(
+                    f"pipeline failed to drain: {self._in_flight} items in "
+                    f"flight, {len(self._inflight_firings)} firings active"
+                )
+            hwm_items = np.asarray(
+                [q.max_depth for q in self.queues], dtype=float
             )
 
         makespan = max(self._last_activity, float(self._times[-1]))
@@ -558,7 +568,7 @@ class EnforcedWaitsSimulator:
         n = self.pipeline.n_nodes
         v = self.pipeline.vector_width
         af = float(np.sum(self._active_time)) / (n * makespan)
-        hwm = np.asarray([q.max_depth for q in self.queues], dtype=float) / v
+        hwm = hwm_items / v
         extra = {
             "timing": self._timing_name,
             "charge_empty": self.charge_empty,

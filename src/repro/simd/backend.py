@@ -1,0 +1,164 @@
+"""Execution-backend selection for the package's hot loops.
+
+The simulators and runtime kernels keep a *pure-Python event-loop* path
+as the semantic reference, but their hot loops (the enforced-waits
+firing schedule, consumption scans, ragged gathers) can run on faster
+substrates.  This module is the seam that picks one:
+
+- ``"numba"`` — JIT-compiled kernels (:mod:`repro.des.hotloop` compiles
+  its loop twins with ``numba.njit``).  Requires the optional ``numba``
+  package; never a hard dependency.
+- ``"vector"`` — NumPy array kernels.  Always available; this is also
+  the automatic fallback when numba is absent or fails to compile.
+- ``"python"`` — disable the array fast paths entirely and run the
+  per-event reference loops.  Exists so the fallback path can be forced
+  (CI runs the whole suite under it) and so bit-identity of fast vs.
+  slow paths stays testable forever.
+
+Selection happens lazily at first use: the ``REPRO_BACKEND`` environment
+variable (``auto``/``numba``/``vector``/``python``, default ``auto``)
+names the requested backend, and :func:`get_backend` resolves it to an
+available one, recording *why* in :attr:`Backend.reason`.  ``auto``
+prefers numba when importable, else vector.  A requested-but-unavailable
+backend degrades with a :class:`RuntimeWarning` instead of failing:
+results are identical on every backend (pinned by
+``tests/test_sim_equivalence.py``), only speed differs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import SpecError
+
+__all__ = [
+    "Backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: Names accepted by ``REPRO_BACKEND`` / :func:`set_backend`.
+_CHOICES = ("auto", "numba", "vector", "python")
+
+
+@dataclass(frozen=True)
+class Backend:
+    """The resolved execution backend.
+
+    Attributes
+    ----------
+    name:
+        ``"numba"``, ``"vector"``, or ``"python"`` (never ``"auto"``).
+    requested:
+        What the user asked for (``"auto"`` when unspecified).
+    compiled:
+        True when numba JIT kernels are in use.
+    reason:
+        One line explaining the resolution (shown in bench reports).
+    """
+
+    name: str
+    requested: str
+    compiled: bool
+    reason: str
+
+    @property
+    def fastpath(self) -> bool:
+        """Whether array fast paths may replace the per-event loops."""
+        return self.name != "python"
+
+
+_active: Backend | None = None
+
+
+def numba_available() -> bool:
+    """Whether the optional numba package is importable."""
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # pragma: no cover — broken metadata
+        return False
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backend names usable in this environment."""
+    names = ["vector", "python"]
+    if numba_available():
+        names.insert(0, "numba")
+    return tuple(names)
+
+
+def _resolve(requested: str) -> Backend:
+    if requested not in _CHOICES:
+        raise SpecError(
+            f"REPRO_BACKEND must be one of {_CHOICES}, got {requested!r}"
+        )
+    if requested == "python":
+        return Backend("python", requested, False, "explicitly requested")
+    if requested == "vector":
+        return Backend("vector", requested, False, "explicitly requested")
+    have_numba = numba_available()
+    if requested == "numba":
+        if have_numba:
+            return Backend("numba", requested, True, "explicitly requested")
+        warnings.warn(
+            "REPRO_BACKEND=numba but numba is not importable; "
+            "falling back to the vector backend",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return Backend("vector", requested, False, "numba unavailable")
+    # auto
+    if have_numba:
+        return Backend("numba", requested, True, "auto-detected numba")
+    return Backend("vector", requested, False, "auto: numba unavailable")
+
+
+def get_backend() -> Backend:
+    """The active backend, resolving ``REPRO_BACKEND`` on first call."""
+    global _active
+    if _active is None:
+        _active = _resolve(os.environ.get("REPRO_BACKEND", "auto").lower())
+    return _active
+
+
+def set_backend(name: str) -> Backend:
+    """Override the active backend (``"auto"`` re-resolves); returns it.
+
+    Intended for tests and benchmarks; library code should only read
+    :func:`get_backend`.
+    """
+    global _active
+    _active = _resolve(name)
+    return _active
+
+
+def demote_backend(reason: str) -> Backend:
+    """Drop from numba to the vector backend (compile failure path)."""
+    global _active
+    current = get_backend()
+    if current.name == "numba":
+        warnings.warn(
+            f"numba backend disabled: {reason}; using vector kernels",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        _active = Backend("vector", current.requested, False, reason)
+    return _active
+
+
+@contextmanager
+def use_backend(name: str):
+    """Context manager: temporarily select ``name``, then restore."""
+    global _active
+    previous = _active
+    set_backend(name)
+    try:
+        yield get_backend()
+    finally:
+        _active = previous

@@ -104,6 +104,44 @@ class OccupancyTracker:
         )
         self._hist += np.bincount(counts, minlength=self.vector_width + 1)
 
+    def record_firing_batch(
+        self, consumed: np.ndarray, charged: np.ndarray
+    ) -> None:
+        """Record a batch of firings with *per-firing* charges.
+
+        Bit-identical to calling :meth:`record_firing` once per entry:
+        integer statistics are exact under any summation order, and the
+        active time uses ``np.cumsum`` — a strictly sequential reduction
+        — seeded with the current total, reproducing the per-firing
+        ``+=`` chain exactly.  Used by the simulator fast path, whose
+        completion charges vary per firing.
+        """
+        counts = np.asarray(consumed, dtype=np.int64)
+        charges = np.asarray(charged, dtype=float)
+        if counts.shape != charges.shape:
+            raise ValueError(
+                f"consumed and charged must align, got shapes "
+                f"{counts.shape} and {charges.shape}"
+            )
+        k = int(counts.size)
+        if k == 0:
+            return
+        if counts.min() < 0 or counts.max() > self.vector_width:
+            bad = counts[(counts < 0) | (counts > self.vector_width)][0]
+            raise ValueError(
+                f"consumed must be in [0, {self.vector_width}], got {int(bad)}"
+            )
+        if charges.min() < 0:
+            bad_t = charges[charges < 0][0]
+            raise ValueError(f"charged_time must be >= 0, got {bad_t}")
+        self._firings += k
+        self._empty_firings += int(np.count_nonzero(counts == 0))
+        self._items += int(counts.sum())
+        self._active_time = float(
+            np.cumsum(np.concatenate(([self._active_time], charges)))[-1]
+        )
+        self._hist += np.bincount(counts, minlength=self.vector_width + 1)
+
     @property
     def mean_occupancy(self) -> float:
         """Average lane occupancy across all firings (NaN if no firings)."""

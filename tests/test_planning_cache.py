@@ -263,3 +263,38 @@ class TestDiskStore:
         assert t.stores == 2 and t.evictions == 1
         assert "plan cache telemetry" in t.render()
         assert t.hit_rate == pytest.approx(0.5)
+
+
+class TestFloatCanonicalization:
+    def test_negative_zero_and_zero_share_a_key(self, problem):
+        """-0.0 and 0.0 compare equal, so their keys must agree.
+
+        float.hex() distinguishes them ('-0x0.0p+0' vs '0x0.0p+0'), so
+        canonicalization has to collapse the sign before hashing — a
+        solver emitting a -0.0 budget entry used to miss the cache.
+        """
+        assert plan_key(problem, [0.0, 1.0]) == plan_key(
+            problem, [-0.0, 1.0]
+        )
+        assert shape_key(problem.pipeline, [0.0, 1.0]) == shape_key(
+            problem.pipeline, [-0.0, 1.0]
+        )
+        assert plan_key(problem, np.asarray([0.0, 1.0])) == plan_key(
+            problem, np.asarray([np.negative(0.0), 1.0])
+        )
+
+    def test_negative_zero_hits_a_zero_keyed_entry(self, problem, solution):
+        cache = PlanCache(capacity=4)
+        cache.put(plan_key(problem, [0.0, 1.0]), solution)
+        assert cache.get(plan_key(problem, [-0.0, 1.0])) is solution
+
+    def test_nan_parameter_rejected(self, problem):
+        with pytest.raises(SpecError, match="NaN"):
+            plan_key(problem, [float("nan"), 1.0])
+
+    def test_nonzero_values_keep_full_precision(self, problem):
+        """Canonicalization must not round: nextafter(1) gets its own key."""
+        eps_up = np.nextafter(1.0, 2.0)
+        assert plan_key(problem, [1.0, 1.0]) != plan_key(
+            problem, [eps_up, 1.0]
+        )

@@ -223,3 +223,59 @@ class TestAcceptance:
         assert first_adopted and second_adopted
         assert all(e.source in ("hit", "warm") for e in second_adopted)
         assert second.missed_items == 0
+
+
+class TestSleepOversleep:
+    """The deadline-anchored sleep and its measured residual."""
+
+    def _executor(self):
+        return PipelineExecutor(
+            _kernels(1), [0.0], vector_width=4, deadline=10.0
+        )
+
+    def test_sleep_returns_nonnegative_residual(self):
+        ex = self._executor()
+        residual = ex._sleep(0.02)
+        assert residual >= 0.0
+        # The whole point of the fix: the residual is bounded by
+        # scheduler noise, not by the historical 50 ms slice quantum.
+        assert residual < 0.045
+
+    def test_sleep_holds_the_deadline(self):
+        ex = self._executor()
+        t0 = time.perf_counter()
+        ex._sleep(0.08)
+        elapsed = time.perf_counter() - t0
+        assert elapsed >= 0.08  # never wakes early
+        assert elapsed < 0.08 + 0.045
+
+    def test_stop_interrupts_without_residual(self):
+        ex = self._executor()
+        ex._stop.set()
+        t0 = time.perf_counter()
+        residual = ex._sleep(5.0)
+        assert time.perf_counter() - t0 < 1.0
+        assert residual == 0.0
+
+    def test_zero_and_negative_sleep(self):
+        ex = self._executor()
+        assert ex._sleep(0.0) >= 0.0
+        assert ex._sleep(-1.0) >= 0.0
+
+    def test_report_surfaces_total_oversleep(self):
+        ex = PipelineExecutor(
+            _kernels(2, service=0.001),
+            [0.01, 0.01],
+            vector_width=8,
+            deadline=10.0,
+        )
+        report = _run(ex, n_items=16, batch=8)
+        total = report.total_oversleep
+        assert total >= 0.0
+        assert total == pytest.approx(
+            sum(n.oversleep_time for n in report.telemetry.nodes)
+        )
+        # Waits of 10 ms over a handful of periods cannot plausibly
+        # accumulate a second of scheduler overshoot; a regression to
+        # slice-quantized sleeping would.
+        assert total < 1.0

@@ -360,3 +360,93 @@ class TestFaultPlan:
         with pytest.raises(KeyboardInterrupt):
             FaultPlan(hang_seeds=(5,), hang_seconds=3600.0).apply(5)
         assert len(calls) == 2
+
+
+# -- sharded campaigns -------------------------------------------------------
+
+from repro.sim.campaign import run_trials_sharded  # noqa: E402
+
+
+class TestShardedCampaign:
+    def test_matches_process_per_seed(self, enforced_kwargs):
+        baseline = run_trials_parallel(
+            EnforcedWaitsSimulator, enforced_kwargs, 6, workers=2
+        )
+        sharded = run_trials_sharded(
+            EnforcedWaitsSimulator, enforced_kwargs, 6, workers=3
+        )
+        assert sharded.all_ok
+        for a, b in zip(sharded.outcomes, baseline.outcomes):
+            assert a.seed == b.seed
+            assert a.metrics.outputs == b.metrics.outputs
+            assert a.metrics.makespan == b.metrics.makespan
+            assert a.metrics.active_fraction == b.metrics.active_fraction
+            assert np.array_equal(
+                a.metrics.queue_hwm_vectors, b.metrics.queue_hwm_vectors
+            )
+
+    def test_serial_path_matches_sharded(self, enforced_kwargs):
+        serial = run_trials_sharded(
+            EnforcedWaitsSimulator, enforced_kwargs, 4, workers=0
+        )
+        sharded = run_trials_sharded(
+            EnforcedWaitsSimulator, enforced_kwargs, 4, workers=2
+        )
+        assert [o.metrics.outputs for o in serial.outcomes] == [
+            o.metrics.outputs for o in sharded.outcomes
+        ]
+
+    def test_private_arrivals_match_shared(self, enforced_kwargs):
+        shared = run_trials_sharded(
+            EnforcedWaitsSimulator, enforced_kwargs, 4, workers=2
+        )
+        private = run_trials_sharded(
+            EnforcedWaitsSimulator,
+            enforced_kwargs,
+            4,
+            workers=2,
+            share_arrivals=False,
+        )
+        for a, b in zip(shared.outcomes, private.outcomes):
+            assert a.metrics.outputs == b.metrics.outputs
+            assert a.metrics.makespan == b.metrics.makespan
+
+    def test_explicit_seed_list_preserves_order(self):
+        result = run_trials_sharded(FastSim, {}, [9, 3, 11], workers=2)
+        assert [o.seed for o in result.outcomes] == [9, 3, 11]
+        assert result.all_ok
+
+    def test_seed_in_kwargs_rejected(self):
+        with pytest.raises(SpecError, match="seeds argument"):
+            run_trials_sharded(FastSim, {"seed": 1}, 2)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SpecError, match="workers"):
+            run_trials_sharded(FastSim, {}, 2, workers=-1)
+
+    def test_crash_is_contained_per_seed(self):
+        result = run_trials_sharded(CrashingSim, {}, 4, workers=2)
+        assert not result.all_ok
+        assert len(result.failures) == 4
+        for o in result.outcomes:
+            assert o.status == "failed"
+            assert "boom from seed" in o.error
+
+    def test_dead_shard_seeds_recorded_as_failed(self):
+        result = run_trials_sharded(DyingSim, {}, 4, workers=2)
+        assert not result.all_ok
+        for o in result.outcomes:
+            assert o.status == "failed"
+            assert "died without a result" in o.error
+
+    def test_strict_raises_with_partial_result_attached(self):
+        with pytest.raises(CampaignError) as exc_info:
+            run_trials_sharded(CrashingSim, {}, 3, workers=2, strict=True)
+        attached = exc_info.value.result
+        assert len(attached.outcomes) == 3
+
+    def test_unpicklable_kwargs_fail_early(self):
+        with pytest.raises(SpecError, match="picklable"):
+            run_trials_sharded(
+                FastSim, {"cb": lambda: None}, 4, workers=2
+            )

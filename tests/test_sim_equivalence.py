@@ -274,3 +274,66 @@ def test_adaptive_policies_equivalent():
         s1 = AdaptiveWaitsSimulator(_pipeline(), waits, **kw)
         s2 = ReferenceAdaptiveSimulator(_pipeline(), waits, **kw)
         _assert_bitwise_equal(s1, s2, s1.run(), s2.run())
+
+
+# -- execution-backend matrix ------------------------------------------------
+#
+# The closed-form fast path (repro.sim.fastpath) replaces the event loop
+# entirely when no observer needs per-event granularity.  Every
+# available backend x engine queue x seed must stay bit-identical to
+# the frozen reference — and the fast path must *actually* engage
+# (events_processed == 0 is the tell; a silently-falling-back backend
+# would vacuously pass the equality check).
+
+from repro.simd.backend import available_backends, use_backend  # noqa: E402
+
+BACKENDS = list(available_backends())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("engine_queue", QUEUES)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_enforced_backend_matrix_bitwise_equivalent(
+    seed, engine_queue, backend
+):
+    waits = np.asarray([3.0, 2.0, 1.5])
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=40.0,
+        n_items=1500,
+        seed=seed,
+    )
+    with use_backend(backend) as be:
+        s1 = EnforcedWaitsSimulator(
+            _pipeline(), waits, **kw, engine_queue=engine_queue
+        )
+        m1 = s1.run()
+        assert (s1.engine.events_processed == 0) == be.fastpath
+    s2 = ReferenceEnforcedSimulator(
+        _pipeline(), waits, **kw, engine_queue=engine_queue
+    )
+    _assert_bitwise_equal(s1, s2, m1, s2.run())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_enforced_backend_matrix_queue_stats_agree(backend):
+    """Queue occupancy stats are read off the queue objects directly
+    (e.g. by the overload capacity calibration), so the fast path must
+    leave them exactly as the event loop would."""
+    waits = np.asarray([3.0, 2.0, 1.5])
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=40.0,
+        n_items=800,
+        seed=1,
+    )
+    with use_backend(backend):
+        s1 = EnforcedWaitsSimulator(_pipeline(), waits, **kw)
+        s1.run()
+    s2 = ReferenceEnforcedSimulator(_pipeline(), waits, **kw)
+    s2.run()
+    for q1, q2 in zip(s1.queues, s2.queues):
+        assert q1.max_depth == q2.max_depth
+        assert q1.total_pushed == q2.total_pushed
+        assert q1.total_popped == q2.total_popped
+        assert len(q1) == len(q2)
