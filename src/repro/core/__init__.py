@@ -16,6 +16,13 @@ irregular SIMD pipelines.
 """
 
 from repro.core.model import RealTimeProblem
+from repro.core.dag import (
+    DagEnforcedWaitsProblem,
+    DagEnforcedWaitsSolution,
+    DagRealTimeProblem,
+    dag_optimistic_b,
+    solve_enforced_waits_dag,
+)
 from repro.core.enforced_waits import (
     EnforcedWaitsProblem,
     EnforcedWaitsSolution,
@@ -56,6 +63,11 @@ from repro.core.pareto import DeadlineFrontier, deadline_frontier, min_deadline_
 
 __all__ = [
     "RealTimeProblem",
+    "DagEnforcedWaitsProblem",
+    "DagEnforcedWaitsSolution",
+    "DagRealTimeProblem",
+    "dag_optimistic_b",
+    "solve_enforced_waits_dag",
     "EnforcedWaitsProblem",
     "EnforcedWaitsSolution",
     "optimistic_b",

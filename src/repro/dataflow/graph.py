@@ -1,21 +1,45 @@
-"""General dataflow-graph topology support.
+"""First-class dataflow-graph pipeline specifications.
 
 The paper's applications are linear pipelines, but MERCATOR-style
-frameworks support DAGs.  :class:`DataflowGraph` stores an arbitrary DAG of
-:class:`~repro.dataflow.spec.NodeSpec` nodes, validates acyclicity, computes
-per-node total gains along paths, and can certify/convert a graph that is in
-fact a chain into a :class:`~repro.dataflow.spec.PipelineSpec` (which the
-optimizers in :mod:`repro.core` require).
+frameworks support general DAGs with fan-out (one node feeding several
+successors) and fan-in (several streams merging into one node).
+:class:`DataflowGraph` is the first-class spec for such pipelines:
+
+- nodes are :class:`~repro.dataflow.spec.NodeSpec` instances;
+- edges carry their own :class:`~repro.dataflow.gains.GainDistribution`
+  (defaulting to the source node's distribution, which reproduces the
+  chain convention where node ``i``'s gain governs the ``i -> i+1``
+  edge);
+- :meth:`validate` certifies the single-source acyclic connected shape
+  the optimizations assume;
+- :meth:`total_gain_into` computes the DAG generalization of the
+  paper's total gain ``G_i``: the sum over all source->node paths of
+  the product of edge gains along the path;
+- :meth:`source_sink_paths` enumerates the source->sink paths that
+  carry the per-sink deadline constraints.
+
+A graph that is in fact a chain can be certified and converted to a
+:class:`~repro.dataflow.spec.PipelineSpec` with :meth:`as_chain`, which
+the chain-only optimizers in :mod:`repro.core` require; the DAG
+optimizer (:mod:`repro.core.dag`) consumes the graph directly.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 import networkx as nx
 
+from repro.dataflow.gains import GainDistribution
 from repro.dataflow.spec import NodeSpec, PipelineSpec
 from repro.errors import SpecError
 
 __all__ = ["DataflowGraph"]
+
+# Per-sink deadline constraints enumerate simple source->sink paths; a
+# dense DAG can have exponentially many.  Refuse clearly past this cap
+# rather than hanging in path enumeration.
+_MAX_PATHS = 4096
 
 
 class DataflowGraph:
@@ -37,14 +61,30 @@ class DataflowGraph:
             raise SpecError(f"duplicate node {spec.name!r}")
         self._g.add_node(spec.name, spec=spec)
 
-    def add_edge(self, src: str, dst: str) -> None:
-        """Connect ``src -> dst``; both must exist and no cycle may form."""
+    def add_edge(
+        self, src: str, dst: str, gain: GainDistribution | None = None
+    ) -> None:
+        """Connect ``src -> dst``; both must exist and no cycle may form.
+
+        ``gain`` is the output-multiplicity distribution applied to items
+        leaving ``src`` along this edge.  ``None`` (the default) inherits
+        ``src``'s node gain — the chain convention.  An explicit
+        distribution lets fan-out edges split or replicate a stream
+        unevenly.
+        """
         for name in (src, dst):
             if name not in self._g:
                 raise SpecError(f"unknown node {name!r}")
         if src == dst:
             raise SpecError(f"self-loop on {src!r} is not allowed")
-        self._g.add_edge(src, dst)
+        if self._g.has_edge(src, dst):
+            raise SpecError(f"duplicate edge {src!r}->{dst!r}")
+        if gain is not None and not isinstance(gain, GainDistribution):
+            raise SpecError(
+                f"gain of edge {src!r}->{dst!r} must be a GainDistribution, "
+                f"got {type(gain).__name__}"
+            )
+        self._g.add_edge(src, dst, gain=gain)
         if not nx.is_directed_acyclic_graph(self._g):
             self._g.remove_edge(src, dst)
             raise SpecError(f"edge {src!r}->{dst!r} would create a cycle")
@@ -66,6 +106,25 @@ class DataflowGraph:
         except KeyError as exc:
             raise SpecError(f"unknown node {name!r}") from exc
 
+    def edge_gain(self, src: str, dst: str) -> GainDistribution:
+        """The gain distribution on ``src -> dst`` (inherited or explicit)."""
+        try:
+            explicit = self._g.edges[src, dst]["gain"]
+        except KeyError as exc:
+            raise SpecError(f"no edge {src!r}->{dst!r}") from exc
+        return self.spec(src).gain if explicit is None else explicit
+
+    def edge_gain_is_inherited(self, src: str, dst: str) -> bool:
+        """True iff the edge uses its source node's gain distribution."""
+        try:
+            return self._g.edges[src, dst]["gain"] is None
+        except KeyError as exc:
+            raise SpecError(f"no edge {src!r}->{dst!r}") from exc
+
+    def edge_mean_gain(self, src: str, dst: str) -> float:
+        """Mean of :meth:`edge_gain` — the DAG analogue of ``g_i``."""
+        return self.edge_gain(src, dst).mean
+
     def sources(self) -> list[str]:
         """Nodes with no predecessors (stream entry points)."""
         return [n for n in self._g if self._g.in_degree(n) == 0]
@@ -74,28 +133,144 @@ class DataflowGraph:
         """Nodes with no successors (stream exit points)."""
         return [n for n in self._g if self._g.out_degree(n) == 0]
 
+    def predecessors(self, name: str) -> list[str]:
+        """Predecessors of ``name`` in deterministic (topological) order."""
+        pos = {n: i for i, n in enumerate(self.topological_order())}
+        if name not in pos:
+            raise SpecError(f"unknown node {name!r}")
+        return sorted(self._g.predecessors(name), key=pos.__getitem__)
+
+    def successors(self, name: str) -> list[str]:
+        """Successors of ``name`` in deterministic (topological) order."""
+        pos = {n: i for i, n in enumerate(self.topological_order())}
+        if name not in pos:
+            raise SpecError(f"unknown node {name!r}")
+        return sorted(self._g.successors(name), key=pos.__getitem__)
+
     def topological_order(self) -> list[str]:
         """Node names in a deterministic topological order."""
         return list(nx.lexicographical_topological_sort(self._g))
 
-    def total_gain_into(self, name: str) -> float:
-        """Expected items reaching ``name`` per source input.
+    def edges(self) -> list[tuple[str, str]]:
+        """All edges ``(src, dst)`` in deterministic (topological) order."""
+        pos = {n: i for i, n in enumerate(self.topological_order())}
+        return sorted(self._g.edges, key=lambda e: (pos[e[0]], pos[e[1]]))
 
-        Sums the gain products over all source->node paths; for a chain
-        this is exactly the paper's ``G_i``.
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> "DataflowGraph":
+        """Certify the single-source acyclic connected DAG shape.
+
+        Raises :class:`SpecError` with an actionable message when the
+        graph is empty, has zero or multiple sources, or is not weakly
+        connected.  Acyclicity is already enforced edge-by-edge at
+        construction.  Returns ``self`` so calls can chain.
         """
-        if name not in self._g:
-            raise SpecError(f"unknown node {name!r}")
+        if self.n_nodes == 0:
+            raise SpecError(
+                "dataflow graph is empty; add nodes with add_node() and "
+                "connect them with add_edge()"
+            )
+        srcs = self.sources()
+        if len(srcs) == 0:  # pragma: no cover - impossible while acyclic
+            raise SpecError("dataflow graph has no source node")
+        if len(srcs) > 1:
+            raise SpecError(
+                f"dataflow graph has {len(srcs)} sources {sorted(srcs)}; "
+                "streaming semantics require exactly one entry node — merge "
+                "the extra sources under a single head node or remove them"
+            )
+        if self.n_nodes > 1 and not nx.is_weakly_connected(self._g):
+            comps = sorted(
+                sorted(c) for c in nx.weakly_connected_components(self._g)
+            )
+            stray = [c for c in comps if srcs[0] not in c]
+            raise SpecError(
+                "dataflow graph is disconnected; nodes "
+                f"{[n for c in stray for n in c]} are unreachable from "
+                f"source {srcs[0]!r} — connect them with add_edge() or "
+                "remove them"
+            )
+        return self
+
+    def single_source(self) -> str:
+        """The unique source node name (validates first)."""
+        return self.validate().sources()[0]
+
+    # -- derived quantities --------------------------------------------------
+
+    def total_gains(self) -> dict[str, float]:
+        """``G_i`` for every node: expected items reaching it per source input.
+
+        The DAG generalization of the paper's total gain: the sum over
+        all source->node paths of the product of *edge* gains along the
+        path.  At a fan-in node the per-predecessor contributions add;
+        along a path the edge gains multiply.  For a chain this reduces
+        to ``G_i = prod_{j<i} g_j`` exactly.
+        """
         order = self.topological_order()
         flow = {n: (1.0 if self._g.in_degree(n) == 0 else 0.0) for n in order}
         for n in order:
-            out = flow[n] * self.spec(n).mean_gain
-            succs = list(self._g.successors(n))
-            for s in succs:
-                flow[s] += out
-            if n == name:
-                return flow[n]
-        raise AssertionError("unreachable")  # pragma: no cover
+            for s in self._g.successors(n):
+                flow[s] += flow[n] * self.edge_mean_gain(n, s)
+        return flow
+
+    def total_gain_into(self, name: str) -> float:
+        """Expected items reaching ``name`` per source input (``G_i``)."""
+        if name not in self._g:
+            raise SpecError(f"unknown node {name!r}")
+        return self.total_gains()[name]
+
+    def source_sink_paths(self) -> list[tuple[str, ...]]:
+        """All simple source->sink paths, deterministically ordered.
+
+        Each path carries one per-sink deadline constraint
+        ``sum_{i in path} b_i x_i <= D``.  Raises :class:`SpecError` past
+        ``_MAX_PATHS`` paths — a DAG that path-dense needs a coarser
+        constraint formulation, not silent truncation.
+        """
+        src = self.single_source()
+        pos = {n: i for i, n in enumerate(self.topological_order())}
+        paths: list[tuple[str, ...]] = []
+        for sink in sorted(self.sinks(), key=pos.__getitem__):
+            if sink == src:
+                paths.append((src,))
+                continue
+            for path in nx.all_simple_paths(self._g, src, sink):
+                paths.append(tuple(path))
+                if len(paths) > _MAX_PATHS:
+                    raise SpecError(
+                        f"dataflow graph has more than {_MAX_PATHS} "
+                        "source->sink paths; per-path deadline constraints "
+                        "do not scale to this topology"
+                    )
+        paths.sort(key=lambda p: tuple(pos[n] for n in p))
+        return paths
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (Table 1 style, DAG columns)."""
+        from repro.utils.tables import render_table
+
+        gains = self.total_gains()
+        order = self.topological_order()
+        rows = [
+            (
+                i,
+                n,
+                self.spec(n).service_time,
+                "|".join(self.successors(n)) or "-",
+                float(gains[n]),
+            )
+            for i, n in enumerate(order)
+        ]
+        return render_table(
+            ["node", "name", "t_i", "succs", "G_i"],
+            rows,
+            title=(
+                f"dataflow graph (N={self.n_nodes}, E={self.n_edges}, "
+                f"v={self.vector_width})"
+            ),
+        )
 
     # -- chain certification -------------------------------------------------
 
@@ -117,11 +292,30 @@ class DataflowGraph:
         )
 
     def as_chain(self) -> PipelineSpec:
-        """Convert to a :class:`PipelineSpec`; raises if not a chain."""
+        """Convert to a :class:`PipelineSpec`; raises if not a chain.
+
+        Edge gains fold back onto their source nodes (the chain
+        convention); an inherited edge gain leaves the node spec
+        untouched, so ``from_pipeline(p).as_chain()`` round-trips to an
+        equal pipeline.
+        """
         if not self.is_chain():
+            branching = sorted(
+                n
+                for n in self._g
+                if self._g.in_degree(n) > 1 or self._g.out_degree(n) > 1
+            )
+            detail = (
+                f"nodes {branching} branch or merge"
+                if branching
+                else f"sources={sorted(self.sources())}, "
+                f"sinks={sorted(self.sinks())}"
+            )
             raise SpecError(
-                "graph is not a linear chain; the paper's optimizations "
-                "apply only to linear pipelines"
+                f"graph is not a linear chain ({detail}); use the DAG "
+                "optimizer (repro.core.dag) for branching topologies — "
+                "as_chain()/the paper's chain optimizations apply only to "
+                "linear pipelines"
             )
         order: list[str] = []
         (current,) = self.sources()
@@ -131,9 +325,14 @@ class DataflowGraph:
             if not succs:
                 break
             current = succs[0]
-        return PipelineSpec(
-            tuple(self.spec(n) for n in order), self.vector_width
-        )
+        nodes = []
+        for a, b in zip(order, order[1:]):
+            spec = self.spec(a)
+            if not self.edge_gain_is_inherited(a, b):
+                spec = dataclasses.replace(spec, gain=self.edge_gain(a, b))
+            nodes.append(spec)
+        nodes.append(self.spec(order[-1]))
+        return PipelineSpec(tuple(nodes), self.vector_width)
 
     @staticmethod
     def from_pipeline(spec: PipelineSpec) -> "DataflowGraph":

@@ -20,6 +20,8 @@ rule, and single-flight behavior.
 from repro.planning.cache import (
     CacheStats,
     PlanCache,
+    dag_plan_key,
+    dag_shape_key,
     plan_key,
     shape_key,
     solution_from_dict,
@@ -31,6 +33,7 @@ from repro.planning.warmstart import (
     default_cache,
     reset_default_cache,
     solve_plan,
+    solve_plan_dag,
     warm_start_solve,
 )
 
@@ -41,6 +44,8 @@ __all__ = [
     "PlanRequest",
     "PlanResponse",
     "PlanningService",
+    "dag_plan_key",
+    "dag_shape_key",
     "default_cache",
     "plan_key",
     "reset_default_cache",
@@ -48,5 +53,6 @@ __all__ = [
     "solution_from_dict",
     "solution_to_dict",
     "solve_plan",
+    "solve_plan_dag",
     "warm_start_solve",
 ]

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.core.enforced_waits import EnforcedWaitsSolution
 from repro.core.model import RealTimeProblem
+from repro.dataflow.graph import DataflowGraph
 from repro.dataflow.spec import PipelineSpec
 from repro.errors import SpecError
 from repro.obs.telemetry import PlanCacheTelemetry
@@ -54,6 +55,10 @@ __all__ = [
     "SCHEMA_VERSION",
     "CacheStats",
     "PlanCache",
+    "dag_plan_key",
+    "dag_plan_payload",
+    "dag_shape_key",
+    "dag_shape_payload",
     "plan_key",
     "shape_key",
     "plan_payload",
@@ -160,6 +165,96 @@ def shape_key(
 ) -> str:
     """Content hash of the configuration *without* its operating point."""
     return _digest(shape_payload(pipeline, b, method=method, tol=tol))
+
+
+# -- DAG keys ---------------------------------------------------------------
+
+
+def dag_shape_payload(
+    graph: DataflowGraph,
+    b: np.ndarray,
+    *,
+    method: str = "auto",
+    tol: float = _DEFAULT_TOL,
+) -> dict:
+    """The operating-point-free payload of a DAG planning configuration.
+
+    A **chain-shaped** graph delegates to :func:`shape_payload` on its
+    folded :meth:`~repro.dataflow.graph.DataflowGraph.as_chain` spec, so
+    it keys *identically* to the equivalent ``PipelineSpec``
+    configuration — chain plans are shared between the two APIs and
+    pre-existing chain keys are unchanged.  Branching graphs add the
+    edge list ``(u_idx, d_idx, mean_gain)`` over topological indices
+    (names never enter the key, matching the chain convention).
+    """
+    if graph.is_chain():
+        return shape_payload(graph.as_chain(), b, method=method, tol=tol)
+    order = tuple(graph.topological_order())
+    pos = {name: i for i, name in enumerate(order)}
+    b = np.asarray(b, dtype=float)
+    if b.shape != (graph.n_nodes,):
+        raise SpecError(
+            f"b must have length {graph.n_nodes}, got shape {b.shape}"
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "dag",
+        "t": _canon_floats(
+            [graph.spec(n).service_time for n in order]
+        ),
+        "g": _canon_floats([graph.spec(n).gain.mean for n in order]),
+        "edges": [
+            [pos[u], pos[d], _canon_float(graph.edge_mean_gain(u, d))]
+            for u, d in graph.edges()
+        ],
+        "v": int(graph.vector_width),
+        "b": _canon_floats(b),
+        "method": str(method),
+        "tol": _canon_float(tol),
+    }
+
+
+def dag_plan_payload(
+    problem,
+    b: np.ndarray,
+    *,
+    method: str = "auto",
+    tol: float = _DEFAULT_TOL,
+) -> dict:
+    """Full canonical DAG payload: shape plus ``(tau0, D)``.
+
+    ``problem`` is a :class:`~repro.core.dag.DagRealTimeProblem`.
+    """
+    payload = dag_shape_payload(problem.graph, b, method=method, tol=tol)
+    payload["tau0"] = _canon_float(problem.tau0)
+    payload["deadline"] = _canon_float(problem.deadline)
+    return payload
+
+
+def dag_plan_key(
+    problem,
+    b: np.ndarray,
+    *,
+    method: str = "auto",
+    tol: float = _DEFAULT_TOL,
+) -> str:
+    """Content hash of a DAG planning configuration.
+
+    Chain-shaped graphs hash identically to :func:`plan_key` on the
+    equivalent :class:`~repro.core.model.RealTimeProblem`.
+    """
+    return _digest(dag_plan_payload(problem, b, method=method, tol=tol))
+
+
+def dag_shape_key(
+    graph: DataflowGraph,
+    b: np.ndarray,
+    *,
+    method: str = "auto",
+    tol: float = _DEFAULT_TOL,
+) -> str:
+    """Content hash of a DAG configuration without its operating point."""
+    return _digest(dag_shape_payload(graph, b, method=method, tol=tol))
 
 
 # -- solution (de)serialization -------------------------------------------

@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.core.enforced_waits import EnforcedWaitsSolution
 from repro.core.model import RealTimeProblem
-from repro.errors import SpecError
+from repro.errors import SolverError, SpecError
 from repro.planning.cache import PlanCache, plan_key
 from repro.planning.warmstart import PlanOutcome, solve_plan
 
@@ -126,7 +126,22 @@ class PlanningService:
                 )
         except BaseException as exc:
             if not future.done():
-                future.set_exception(exc)
+                if isinstance(exc, asyncio.CancelledError):
+                    # Never set a bare CancelledError on the shared
+                    # future: waiters would observe it as *their own*
+                    # cancellation (gather() then tears down the whole
+                    # batch) instead of a failed solve.  Reject them
+                    # with a real, actionable error; only the leader
+                    # propagates the cancellation itself.
+                    future.set_exception(
+                        SolverError(
+                            "single-flight solve for plan key "
+                            f"{key} was cancelled before completing; "
+                            "resubmit the request"
+                        )
+                    )
+                else:
+                    future.set_exception(exc)
                 # A coalesced waiter (if any) consumes the exception;
                 # otherwise silence the "never retrieved" warning.
                 future.exception()

@@ -39,16 +39,34 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.dag import (
+    DagEnforcedWaitsProblem,
+    DagEnforcedWaitsSolution,
+    DagRealTimeProblem,
+)
 from repro.core.enforced_waits import EnforcedWaitsProblem, EnforcedWaitsSolution
 from repro.core.feasibility import enforced_feasibility
 from repro.core.model import RealTimeProblem
 from repro.errors import SolverError
-from repro.planning.cache import PlanCache, plan_key, shape_key
+from repro.planning.cache import (
+    PlanCache,
+    dag_plan_key,
+    dag_shape_key,
+    plan_key,
+    shape_key,
+)
 from repro.solvers.fallback import FeasibilityCertificate, certify_linear
 from repro.solvers.interior_point import barrier_solve
 from repro.solvers.result import SolverStatus
 
-__all__ = ["PlanOutcome", "default_cache", "reset_default_cache", "solve_plan", "warm_start_solve"]
+__all__ = [
+    "PlanOutcome",
+    "default_cache",
+    "reset_default_cache",
+    "solve_plan",
+    "solve_plan_dag",
+    "warm_start_solve",
+]
 
 _CERT_TOL = 1e-9
 _WARM_ALPHAS = (0.98, 0.9, 0.7, 0.4, 0.1)
@@ -198,5 +216,80 @@ def solve_plan(
             cache.stats.warm_rejects += 1
 
     solution = ewp.solve(method)
+    cache.put(key, solution, shape=shape)
+    return PlanOutcome(solution, key, "cold", time.perf_counter() - t0)
+
+
+def _as_dag_solution(
+    sol: EnforcedWaitsSolution, order: tuple[str, ...]
+) -> DagEnforcedWaitsSolution:
+    """Re-wrap a (possibly cached, possibly plain) solution with ``order``."""
+    if isinstance(sol, DagEnforcedWaitsSolution) and sol.order == order:
+        return sol
+    return DagEnforcedWaitsSolution(
+        feasible=sol.feasible,
+        periods=sol.periods,
+        waits=sol.waits,
+        active_fraction=sol.active_fraction,
+        node_utilizations=sol.node_utilizations,
+        binding=sol.binding,
+        method=sol.method,
+        diagnosis=sol.diagnosis,
+        solver_result=sol.solver_result,
+        order=order,
+    )
+
+
+def solve_plan_dag(
+    problem: DagRealTimeProblem,
+    b: np.ndarray | None = None,
+    *,
+    method: str = "auto",
+    cache: PlanCache | None = None,
+    warm_start: bool = True,
+) -> PlanOutcome:
+    """Solve the DAG-generalized problem through the plan cache.
+
+    Chain-shaped graphs route through :func:`solve_plan` on the
+    equivalent chain problem — exact hits, warm starts, and the stored
+    entries themselves are **shared** with the ``PipelineSpec`` API
+    (the keys coincide by construction, see
+    :func:`repro.planning.cache.dag_plan_key`).  Branching graphs are
+    cached under their own graph-shape keys; warm starting is exact-hit
+    only for now (the chain warm-start seeding recursion does not
+    carry over to branching systems), so a near miss runs the cold DAG
+    solve.
+    """
+    if cache is None:
+        cache = default_cache()
+    dewp = DagEnforcedWaitsProblem(problem, b)
+    if dewp.is_chain:
+        outcome = solve_plan(
+            problem.as_chain_problem(),
+            dewp.b,
+            method=method,
+            cache=cache,
+            warm_start=warm_start,
+        )
+        return PlanOutcome(
+            _as_dag_solution(outcome.solution, dewp.order),
+            outcome.key,
+            outcome.source,
+            outcome.seconds,
+            outcome.certificate,
+        )
+
+    key = dag_plan_key(problem, dewp.b, method=method)
+    shape = dag_shape_key(problem.graph, dewp.b, method=method)
+    t0 = time.perf_counter()
+    cached = cache.get(key)
+    if cached is not None:
+        return PlanOutcome(
+            _as_dag_solution(cached, dewp.order),
+            key,
+            "hit",
+            time.perf_counter() - t0,
+        )
+    solution = dewp.solve(method)
     cache.put(key, solution, shape=shape)
     return PlanOutcome(solution, key, "cold", time.perf_counter() - t0)

@@ -21,6 +21,7 @@ exact cache hit — the "cache-warm re-plan" the runtime banks on.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
 
@@ -91,6 +92,7 @@ class NodeEstimator:
         # firing), so the gain EWMA smooths much harder by default.
         self._gain = Ewma(f"{name}.gain", gain_alpha)
         self._n = 0
+        self._skipped = 0
         self._sum_duration = 0.0
         self._sum_outputs = 0
         self._sum_consumed = 0
@@ -101,26 +103,49 @@ class NodeEstimator:
         return self._n
 
     @property
+    def skipped(self) -> int:
+        """Degenerate observations ignored (see :meth:`observe`)."""
+        return self._skipped
+
+    @property
     def warmed(self) -> bool:
         return self._n >= self.min_observations
 
     def observe(self, duration: float, outputs: int, consumed: int) -> None:
-        """Record one non-empty firing (``consumed >= 1``)."""
-        if consumed < 1:
-            raise SpecError(
-                f"estimator {self.name!r}: observe requires consumed >= 1"
-            )
+        """Record one non-empty firing.
+
+        Degenerate observations — ``consumed < 1``, negative
+        ``outputs``, or a non-positive / non-finite ``duration`` — are
+        **skipped** (counted in :attr:`skipped`), never folded into the
+        EWMAs: a warm-up firing racing an empty feeder queue or a clock
+        hiccup would otherwise poison the estimates with a div-by-zero
+        ratio, a NaN, or a zero service seed, and the poisoned EWMA
+        then trips the drift detector on a healthy pipeline.  Raising
+        is no better — ``observe`` runs on the live node threads, so an
+        exception here kills the pipeline mid-run over a measurement
+        artifact.
+        """
+        duration = float(duration)
+        if (
+            consumed < 1
+            or outputs < 0
+            or duration <= 0.0
+            or not math.isfinite(duration)
+        ):
+            with self._lock:
+                self._skipped += 1
+            return
         with self._lock:
             self._n += 1
             if self._n <= self.min_observations:
-                self._sum_duration += float(duration)
+                self._sum_duration += duration
                 self._sum_outputs += int(outputs)
                 self._sum_consumed += int(consumed)
                 if self._n == self.min_observations:
                     self._service.add(self._sum_duration / self._n)
                     self._gain.add(self._sum_outputs / self._sum_consumed)
             else:
-                self._service.add(float(duration))
+                self._service.add(duration)
                 self._gain.add(outputs / consumed)
 
     @property
@@ -147,6 +172,7 @@ class NodeEstimator:
             self._service = Ewma(self._service.name, self._service.alpha)
             self._gain = Ewma(self._gain.name, self._gain.alpha)
             self._n = 0
+            self._skipped = 0
             self._sum_duration = 0.0
             self._sum_outputs = 0
             self._sum_consumed = 0

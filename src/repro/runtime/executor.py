@@ -177,6 +177,17 @@ plan_runtime`).
         for raw-throughput measurements.
     control_interval:
         Controller tick in seconds.
+    successors:
+        Optional DAG topology: ``successors[i]`` lists the kernel
+        indices fed by node ``i`` (must all be ``> i``, i.e. kernels are
+        given in topological order).  ``None`` (the default) is the
+        linear chain ``[[1], [2], ..., []]``.  A node with several
+        successors *broadcasts* its output batch to each of them
+        (matching a DAG simulation whose fan-out edges carry
+        deterministic unit gains — the branch nodes themselves do the
+        filtering); a node with none is a sink, and every sink gets its
+        own :class:`~repro.sim.metrics.LatencyLedger` in
+        :attr:`sink_ledgers` besides the global one.
     """
 
     def __init__(
@@ -200,6 +211,7 @@ plan_runtime`).
         control_interval: float = 0.05,
         poll_interval: float = 0.001,
         planned_gains: np.ndarray | None = None,
+        successors: list[list[int]] | None = None,
     ) -> None:
         if not kernels:
             raise SpecError("executor needs at least one kernel")
@@ -236,6 +248,38 @@ plan_runtime`).
         if replanner is not None and self.drift_detector is None:
             self.drift_detector = DriftDetector(DriftConfig())
 
+        n = len(kernels)
+        if successors is None:
+            successors = [[i + 1] for i in range(n - 1)] + [[]]
+        if len(successors) != n:
+            raise SpecError(
+                f"successors must have one entry per kernel ({n}), "
+                f"got {len(successors)}"
+            )
+        self._succs: list[tuple[int, ...]] = []
+        for i, succ in enumerate(successors):
+            succ = tuple(int(s) for s in succ)
+            for s in succ:
+                if not (i < s < n):
+                    raise SpecError(
+                        f"successor {s} of node {i} must lie in "
+                        f"({i}, {n}) — kernels must be topologically "
+                        "ordered"
+                    )
+            if len(set(succ)) != len(succ):
+                raise SpecError(f"duplicate successor in node {i}: {succ}")
+            self._succs.append(succ)
+        self.sink_indices: tuple[int, ...] = tuple(
+            i for i, succ in enumerate(self._succs) if not succ
+        )
+        fed = {s for succ in self._succs for s in succ}
+        orphans = [i for i in range(1, n) if i not in fed]
+        if orphans:
+            raise SpecError(
+                f"nodes {orphans} are fed by no one; the executor needs a "
+                "single-source topology (connect them via successors)"
+            )
+
         self._waits = waits.copy()
         self._planned_af = float(planned_active_fraction)
         self._service_scale = np.ones(self.n_nodes)
@@ -247,6 +291,12 @@ plan_runtime`).
         ]
         self.origins = OriginStore()
         self.ledger = LatencyLedger(self.deadline, keep_samples=True)
+        self.sink_ledgers: dict[str, LatencyLedger] = {
+            self.kernels[i].name: LatencyLedger(
+                self.deadline, keep_samples=True
+            )
+            for i in self.sink_indices
+        }
         if planned_gains is None:
             planned_gains = np.ones(self.n_nodes)
         self.calibrator = OnlineCalibrator(
@@ -310,6 +360,57 @@ plan_runtime`).
             planned_gains=plan.pipeline.mean_gains,
             drift=drift,
             replanner=replanner,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph,
+        kernels: dict[str, VectorKernel],
+        waits: np.ndarray | dict,
+        *,
+        deadline: float,
+        **kwargs,
+    ) -> "PipelineExecutor":
+        """Build a DAG executor from a validated
+        :class:`~repro.dataflow.graph.DataflowGraph`.
+
+        ``kernels`` maps node name -> :class:`VectorKernel`; ``waits``
+        is an array in the graph's deterministic topological order or a
+        ``{name: wait}`` mapping (e.g. from
+        :meth:`repro.core.dag.DagEnforcedWaitsSolution.waits_by_name`).
+        Vector width, topology, and planned per-node mean gains all
+        come from the graph.
+        """
+        graph.validate()
+        order = tuple(graph.topological_order())
+        pos = {name: i for i, name in enumerate(order)}
+        missing = [name for name in order if name not in kernels]
+        if missing:
+            raise SpecError(f"kernels mapping is missing nodes {missing}")
+        if isinstance(waits, dict):
+            absent = [name for name in order if name not in waits]
+            if absent:
+                raise SpecError(f"waits mapping is missing nodes {absent}")
+            waits = np.asarray(
+                [waits[name] for name in order], dtype=float
+            )
+        successors = [
+            [pos[s] for s in graph.successors(name)] for name in order
+        ]
+        kwargs.setdefault(
+            "planned_gains",
+            np.asarray(
+                [graph.spec(name).gain.mean for name in order], dtype=float
+            ),
+        )
+        return cls(
+            [kernels[name] for name in order],
+            waits,
+            vector_width=graph.vector_width,
+            deadline=deadline,
+            successors=successors,
             **kwargs,
         )
 
@@ -432,25 +533,32 @@ plan_runtime`).
         produced = int(counts.sum())
         consumed = int(ids.size)
         out_ids = np.repeat(ids, counts) if produced else _EMPTY_IDS
-        if node + 1 < self.n_nodes:
+        succs = self._succs[node]
+        if succs:
+            # Broadcast the batch to every successor; each copy is one
+            # in-flight item.
             with self._lock:
-                self._in_flight += produced - consumed
+                self._in_flight += produced * len(succs) - consumed
             if produced:
                 now = self._now()
-                dropped = self.queues[node + 1].push(
-                    out_ids, outputs, now=now
-                )
-                if dropped is not None and dropped.size:
-                    with self._lock:
-                        self.ledger.record_drops(ids=dropped)
-                        self._in_flight -= int(dropped.size)
+                for dst in succs:
+                    dropped = self.queues[dst].push(
+                        out_ids, outputs, now=now
+                    )
+                    if dropped is not None and dropped.size:
+                        with self._lock:
+                            self.ledger.record_drops(ids=dropped)
+                            self._in_flight -= int(dropped.size)
             return
-        # Tail: outputs exit the pipeline.
+        # Sink: outputs exit the pipeline.
         now = self._now()
         with self._lock:
             if produced:
                 origins = self.origins.lookup(out_ids)
                 self.ledger.record_exits(origins, now, ids=out_ids)
+                self.sink_ledgers[self.kernels[node].name].record_exits(
+                    origins, now, ids=out_ids
+                )
             self._in_flight -= consumed
             backlog = self._in_flight
         if self.watchdog is not None and produced:

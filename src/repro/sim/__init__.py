@@ -23,6 +23,7 @@ from repro.sim.campaign import (
     run_trials_parallel,
     run_trials_sharded,
 )
+from repro.sim.dag import DagEnforcedWaitsSimulator
 from repro.sim.enforced import EnforcedWaitsSimulator
 from repro.sim.faults import FaultPlan, InjectedFault
 from repro.sim.monolithic import MonolithicSimulator
@@ -37,6 +38,7 @@ __all__ = [
     "SimMetrics",
     "LatencyLedger",
     "AdaptiveWaitsSimulator",
+    "DagEnforcedWaitsSimulator",
     "EnforcedWaitsSimulator",
     "MonolithicSimulator",
     "FaultPlan",

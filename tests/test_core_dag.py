@@ -1,0 +1,280 @@
+"""Tests for the DAG-generalized enforced-waits optimization
+(repro.core.dag)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dag import (
+    DagEnforcedWaitsProblem,
+    DagEnforcedWaitsSolution,
+    DagRealTimeProblem,
+    dag_optimistic_b,
+    solve_enforced_waits_dag,
+)
+from repro.core.enforced_waits import (
+    EnforcedWaitsProblem,
+    optimistic_b,
+    solve_enforced_waits,
+)
+from repro.core.model import RealTimeProblem
+from repro.dataflow.gains import (
+    BernoulliGain,
+    CensoredPoissonGain,
+    DeterministicGain,
+)
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.spec import NodeSpec, PipelineSpec
+from repro.errors import SolverError, SpecError
+
+
+def _chain() -> PipelineSpec:
+    return PipelineSpec(
+        nodes=(
+            NodeSpec("a", service_time=2.0, gain=CensoredPoissonGain(1.4, 6)),
+            NodeSpec("b", service_time=1.0, gain=BernoulliGain(0.7)),
+            NodeSpec("c", service_time=1.5, gain=DeterministicGain(1)),
+        ),
+        vector_width=16,
+    )
+
+
+def _diamond() -> DataflowGraph:
+    """Branching diamond: s splits 0.6/0.4 to l/r which merge into t."""
+    g = DataflowGraph(16)
+    g.add_node(NodeSpec("s", 1.5, DeterministicGain(1)))
+    g.add_node(NodeSpec("l", 1.0, BernoulliGain(0.8)))
+    g.add_node(NodeSpec("r", 2.0, CensoredPoissonGain(1.3, 6)))
+    g.add_node(NodeSpec("t", 1.2, DeterministicGain(1)))
+    g.add_edge("s", "l", BernoulliGain(0.6))
+    g.add_edge("s", "r", BernoulliGain(0.4))
+    g.add_edge("l", "t")
+    g.add_edge("r", "t")
+    return g
+
+
+class TestProblemSpec:
+    def test_rejects_non_graph(self):
+        with pytest.raises(SpecError, match="DataflowGraph"):
+            DagRealTimeProblem("nope", 1.0, 10.0)
+
+    def test_rejects_nonpositive_parameters(self):
+        g = _diamond()
+        with pytest.raises(SpecError):
+            DagRealTimeProblem(g, 0.0, 10.0)
+        with pytest.raises(SpecError):
+            DagRealTimeProblem(g, 1.0, -1.0)
+
+    def test_validates_graph_shape(self):
+        g = DataflowGraph(8)
+        with pytest.raises(SpecError, match="empty"):
+            DagRealTimeProblem(g, 1.0, 10.0)
+
+    def test_as_chain_problem(self):
+        g = DataflowGraph.from_pipeline(_chain())
+        p = DagRealTimeProblem(g, 0.5, 200.0).as_chain_problem()
+        assert isinstance(p, RealTimeProblem)
+        assert p.tau0 == 0.5 and p.deadline == 200.0
+
+
+class TestOptimisticB:
+    def test_chain_matches_paper_rule(self):
+        pipe = _chain()
+        g = DataflowGraph.from_pipeline(pipe)
+        np.testing.assert_array_equal(dag_optimistic_b(g), optimistic_b(pipe))
+
+    def test_diamond_uses_max_out_edge_gain(self):
+        b = dag_optimistic_b(_diamond())
+        # s: max(0.6, 0.4) -> 1; l: 0.8 -> 1; r: 1.3 -> ceil = 2;
+        # t (sink): its own gain 1 -> 1.
+        np.testing.assert_array_equal(b, [1.0, 1.0, 2.0, 1.0])
+
+
+class TestChainDelegation:
+    def test_chain_graph_waterfill_failure_delegates_too(self):
+        """This operating point makes the waterfill relaxation violate
+        the chain constraints; the DAG wrapper must surface the exact
+        same SolverError the chain path raises."""
+        with pytest.raises(SolverError, match="waterfill relaxation"):
+            solve_enforced_waits(
+                RealTimeProblem(_chain(), 0.5, 200.0), method="waterfill"
+            )
+        with pytest.raises(SolverError, match="waterfill relaxation"):
+            solve_enforced_waits_dag(
+                DagRealTimeProblem(
+                    DataflowGraph.from_pipeline(_chain()), 0.5, 200.0
+                ),
+                method="waterfill",
+            )
+
+    @pytest.mark.parametrize("method", ["auto", "interior", "fallback"])
+    def test_chain_graph_solves_bit_identical(self, method):
+        pipe = _chain()
+        chain_sol = solve_enforced_waits(
+            RealTimeProblem(pipe, 0.5, 200.0), method=method
+        )
+        dag_sol = solve_enforced_waits_dag(
+            DagRealTimeProblem(
+                DataflowGraph.from_pipeline(pipe), 0.5, 200.0
+            ),
+            method=method,
+        )
+        assert isinstance(dag_sol, DagEnforcedWaitsSolution)
+        assert dag_sol.method == chain_sol.method
+        np.testing.assert_array_equal(dag_sol.periods, chain_sol.periods)
+        np.testing.assert_array_equal(dag_sol.waits, chain_sol.waits)
+        assert dag_sol.active_fraction == chain_sol.active_fraction
+        assert dag_sol.binding == chain_sol.binding
+        assert dag_sol.order == ("a", "b", "c")
+
+    def test_chain_b_matches(self):
+        pipe = _chain()
+        dewp = DagEnforcedWaitsProblem(
+            DagRealTimeProblem(DataflowGraph.from_pipeline(pipe), 0.5, 200.0)
+        )
+        ewp = EnforcedWaitsProblem(RealTimeProblem(pipe, 0.5, 200.0))
+        assert dewp.is_chain
+        np.testing.assert_array_equal(dewp.b, ewp.b)
+
+    def test_infeasible_chain_diagnosis_matches(self):
+        pipe = _chain()
+        chain_sol = solve_enforced_waits(RealTimeProblem(pipe, 0.5, 1.0))
+        dag_sol = solve_enforced_waits_dag(
+            DagRealTimeProblem(DataflowGraph.from_pipeline(pipe), 0.5, 1.0)
+        )
+        assert not chain_sol.feasible and not dag_sol.feasible
+        assert dag_sol.diagnosis == chain_sol.diagnosis
+        assert dag_sol.waits_by_name == {}
+
+
+class TestConstraintSystem:
+    def test_diamond_rows_and_labels(self):
+        dewp = DagEnforcedWaitsProblem(
+            DagRealTimeProblem(_diamond(), 0.6, 300.0)
+        )
+        A, c, labels = dewp.constraint_system()
+        assert labels[0] == "head_rate"
+        np.testing.assert_array_equal(A[0], [1.0, 0.0, 0.0, 0.0])
+        assert c[0] == pytest.approx(16 * 0.6)
+
+        # Edge rows: in-degree-1 edges carry raw chain coefficients.
+        i = labels.index("edge_s->l")
+        np.testing.assert_allclose(A[i], [-1.0, 0.6, 0.0, 0.0])
+        assert c[i] == 0.0
+        i = labels.index("edge_s->r")
+        np.testing.assert_allclose(A[i], [-1.0, 0.0, 0.4, 0.0])
+
+        # Fan-in edges split t's budget by expected-flow share alpha_e.
+        gains = _diamond().total_gains()
+        g_lt = 0.8
+        g_rt = CensoredPoissonGain(1.3, 6).mean
+        alpha_lt = g_lt * gains["l"] / gains["t"]
+        alpha_rt = g_rt * gains["r"] / gains["t"]
+        assert alpha_lt + alpha_rt == pytest.approx(1.0)
+        i = labels.index("edge_l->t")
+        np.testing.assert_allclose(A[i], [0.0, -alpha_lt, 0.0, g_lt])
+        i = labels.index("edge_r->t")
+        np.testing.assert_allclose(A[i], [0.0, 0.0, -alpha_rt, g_rt])
+
+        # One deadline row per source->sink path, b-weighted.
+        i = labels.index("deadline[s->l->t]")
+        np.testing.assert_allclose(A[i], dewp.b * [1.0, 1.0, 0.0, 1.0])
+        assert c[i] == 300.0
+        i = labels.index("deadline[s->r->t]")
+        np.testing.assert_allclose(A[i], dewp.b * [1.0, 0.0, 1.0, 1.0])
+
+        for name in ("s", "l", "r", "t"):
+            assert f"wait_nonneg_{name}" in labels
+
+    def test_zero_flow_edge_carries_no_row(self):
+        g = DataflowGraph(8)
+        g.add_node(NodeSpec("s", 1.0, DeterministicGain(1)))
+        g.add_node(NodeSpec("l", 1.0, DeterministicGain(1)))
+        g.add_node(NodeSpec("r", 1.0, DeterministicGain(1)))
+        g.add_node(NodeSpec("t", 1.0, DeterministicGain(1)))
+        g.add_edge("s", "l", DeterministicGain(1))
+        g.add_edge("s", "r", DeterministicGain(0))  # dead branch
+        g.add_edge("l", "t")
+        g.add_edge("r", "t")
+        dewp = DagEnforcedWaitsProblem(DagRealTimeProblem(g, 1.0, 100.0))
+        _, _, labels = dewp.constraint_system()
+        assert "edge_r->t" not in labels
+        assert "edge_s->r" in labels  # in-degree-1: kept as a chain row
+
+
+class TestFeasibility:
+    def test_head_overload_diagnosed(self):
+        dewp = DagEnforcedWaitsProblem(
+            DagRealTimeProblem(_diamond(), 0.01, 300.0)
+        )
+        feas = dewp.feasibility()
+        assert not feas.feasible
+        assert "cannot keep up" in feas.diagnosis
+
+    def test_tight_deadline_names_offending_path(self):
+        dewp = DagEnforcedWaitsProblem(
+            DagRealTimeProblem(_diamond(), 0.6, 5.0)
+        )
+        feas = dewp.feasibility()
+        assert not feas.feasible
+        assert "deadline too tight on path s->" in feas.diagnosis
+
+    def test_minimal_periods_respect_edges(self):
+        dewp = DagEnforcedWaitsProblem(
+            DagRealTimeProblem(_diamond(), 0.6, 300.0)
+        )
+        x = dewp.minimal_periods()
+        assert (x >= dewp.t).all()
+        for e in dewp.edges:
+            assert e.gain * x[e.dst] <= e.coeff_u * x[e.src] * (1 + 1e-9)
+
+
+class TestSolve:
+    def test_diamond_solution_satisfies_all_constraints(self):
+        dewp = DagEnforcedWaitsProblem(
+            DagRealTimeProblem(_diamond(), 0.6, 300.0)
+        )
+        sol = dewp.solve()
+        assert sol.feasible and sol.method == "dag-interior"
+        A, c, _ = dewp.constraint_system()
+        assert (A @ sol.periods <= c + 1e-6).all()
+        assert (sol.waits >= 0).all()
+        assert set(sol.waits_by_name) == {"s", "l", "r", "t"}
+        assert 0 < sol.active_fraction < 1
+
+    def test_interior_and_slsqp_agree(self):
+        prob = DagRealTimeProblem(_diamond(), 0.6, 300.0)
+        a = solve_enforced_waits_dag(prob, method="interior")
+        b = solve_enforced_waits_dag(prob, method="slsqp")
+        assert a.feasible and b.feasible
+        assert a.active_fraction == pytest.approx(
+            b.active_fraction, rel=1e-4
+        )
+
+    def test_chain_only_methods_rejected_on_branching_graphs(self):
+        prob = DagRealTimeProblem(_diamond(), 0.6, 300.0)
+        for method in ("waterfill", "fallback"):
+            with pytest.raises(SolverError, match="chain-shaped"):
+                solve_enforced_waits_dag(prob, method=method)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SpecError, match="unknown method"):
+            solve_enforced_waits_dag(
+                DagRealTimeProblem(_diamond(), 0.6, 300.0), method="zzz"
+            )
+
+    def test_infeasible_diamond_reports_diagnosis(self):
+        sol = solve_enforced_waits_dag(
+            DagRealTimeProblem(_diamond(), 0.6, 5.0)
+        )
+        assert not sol.feasible
+        assert "deadline too tight" in sol.diagnosis
+        assert sol.periods_by_name == {}
+
+    def test_bad_b_rejected(self):
+        prob = DagRealTimeProblem(_diamond(), 0.6, 300.0)
+        with pytest.raises(SpecError, match="length"):
+            DagEnforcedWaitsProblem(prob, np.ones(3))
+        with pytest.raises(SpecError, match="> 0"):
+            DagEnforcedWaitsProblem(prob, np.asarray([1.0, 1.0, -1.0, 1.0]))

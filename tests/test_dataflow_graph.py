@@ -115,3 +115,143 @@ class TestChainCertification:
 
     def test_empty_is_not_chain(self):
         assert not DataflowGraph(4).is_chain()
+
+
+def _weighted_diamond():
+    """Diamond with *heterogeneous* explicit edge gains.
+
+    s --0.6--> l --0.5--> t
+    s --0.25-> r --2.0--> t       (r's own node gain is 0.5, ignored on
+                                   the explicit s->r and r->t edges)
+    """
+    g = DataflowGraph(8)
+    for n, gain in [("s", 1.0), ("l", 0.5), ("r", 0.5), ("t", 1.0)]:
+        g.add_node(_node(n, g=gain))
+    g.add_edge("s", "l", BernoulliGain(0.6))
+    g.add_edge("s", "r", BernoulliGain(0.25))
+    g.add_edge("l", "t")  # inherited: l's node gain 0.5
+    g.add_edge("r", "t", DeterministicGain(2))
+    return g
+
+
+class TestEdgeGains:
+    def test_inherited_edge_gain_is_source_node_gain(self):
+        g = _weighted_diamond()
+        assert g.edge_gain_is_inherited("l", "t")
+        assert g.edge_gain("l", "t") is g.spec("l").gain
+        assert g.edge_mean_gain("l", "t") == pytest.approx(0.5)
+
+    def test_explicit_edge_gain_overrides_node_gain(self):
+        g = _weighted_diamond()
+        assert not g.edge_gain_is_inherited("s", "l")
+        assert g.edge_mean_gain("s", "l") == pytest.approx(0.6)
+        assert g.edge_mean_gain("r", "t") == pytest.approx(2.0)
+
+    def test_duplicate_edge_rejected(self):
+        g = _weighted_diamond()
+        with pytest.raises(SpecError, match="duplicate edge"):
+            g.add_edge("s", "l")
+
+    def test_unknown_edge_queried(self):
+        g = _weighted_diamond()
+        with pytest.raises(SpecError, match="no edge"):
+            g.edge_gain("t", "s")
+
+    def test_diamond_total_gains_use_edge_gains(self):
+        """Regression (fan-in semantics): G_i must sum *edge*-gain path
+        products, not broadcast the source node's own gain.  With
+        heterogeneous edge gains the two are observably different:
+        using node gains would give G_t = 1.0*0.5 + 1.0*0.5 = 1.0."""
+        g = _weighted_diamond()
+        gains = g.total_gains()
+        assert gains["s"] == pytest.approx(1.0)
+        assert gains["l"] == pytest.approx(0.6)
+        assert gains["r"] == pytest.approx(0.25)
+        # G_t = 0.6 * 0.5  +  0.25 * 2.0 = 0.3 + 0.5
+        assert gains["t"] == pytest.approx(0.8)
+        assert g.total_gain_into("t") == pytest.approx(0.8)
+
+    def test_total_gain_unknown_node(self):
+        g = _weighted_diamond()
+        with pytest.raises(SpecError, match="unknown node"):
+            g.total_gain_into("zzz")
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SpecError, match="empty.*add_node"):
+            DataflowGraph(8).validate()
+
+    def test_multiple_sources_rejected_with_names(self):
+        g = DataflowGraph(8)
+        for n in ("a", "b", "t"):
+            g.add_node(_node(n))
+        g.add_edge("a", "t")
+        g.add_edge("b", "t")
+        with pytest.raises(SpecError, match=r"2 sources \['a', 'b'\]"):
+            g.validate()
+
+    def test_disconnected_graph_rejected(self):
+        """A disconnected DAG always presents >= 2 entry points (every
+        weak component has a source), so validate() rejects it with the
+        multi-source message naming each stray entry node."""
+        g = DataflowGraph(8)
+        for n in ("a", "b", "x", "y"):
+            g.add_node(_node(n))
+        g.add_edge("a", "b")
+        g.add_edge("x", "y")
+        with pytest.raises(SpecError, match=r"\['a', 'x'\].*exactly one"):
+            g.validate()
+
+    def test_isolated_node_rejected(self):
+        g = DataflowGraph(8)
+        for n in ("a", "b"):
+            g.add_node(_node(n))
+        g.add_edge("a", "b")
+        g.add_node(_node("stray"))
+        with pytest.raises(SpecError, match="'stray'"):
+            g.validate()
+
+    def test_validate_returns_self_and_single_source(self):
+        g = _weighted_diamond()
+        assert g.validate() is g
+        assert g.single_source() == "s"
+
+    def test_as_chain_refusal_names_branching_nodes(self):
+        g = _weighted_diamond()
+        with pytest.raises(SpecError, match=r"\['s', 't'\] branch or merge"):
+            g.as_chain()
+        with pytest.raises(SpecError, match="repro.core.dag"):
+            g.as_chain()
+
+    def test_cycle_rejected_with_actionable_message(self):
+        g = DataflowGraph(8)
+        for n in "abc":
+            g.add_node(_node(n))
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        with pytest.raises(SpecError, match="'c'->'a' would create a cycle"):
+            g.add_edge("c", "a")
+
+
+class TestPaths:
+    def test_diamond_paths_deterministic(self):
+        g = _weighted_diamond()
+        assert g.source_sink_paths() == [
+            ("s", "l", "t"),
+            ("s", "r", "t"),
+        ]
+
+    def test_chain_single_path(self, blast):
+        g = DataflowGraph.from_pipeline(blast)
+        (path,) = g.source_sink_paths()
+        assert path == tuple(n.name for n in blast.nodes)
+
+    def test_single_node_path(self):
+        g = DataflowGraph(4)
+        g.add_node(_node("only"))
+        assert g.source_sink_paths() == [("only",)]
+
+    def test_describe_mentions_gains(self):
+        text = _weighted_diamond().describe()
+        assert "G_i" in text and "dataflow graph" in text

@@ -136,6 +136,85 @@ class TestSingleFlight:
         results = asyncio.run(scenario())
         assert all(isinstance(r, RuntimeError) for r in results)
 
+    def test_failed_solve_rejects_every_coalesced_waiter(self, monkeypatch):
+        """Regression: >= 3 requests coalesced onto one failing solve
+        must *each* receive the solver's exception — none may hang or
+        resolve with a bogus solution."""
+        gate = threading.Event()
+        calls = []
+
+        def failing_solve_plan(problem, b=None, **kwargs):
+            calls.append(problem.tau0)
+            gate.wait(timeout=5.0)
+            raise ValueError("injected solver crash")
+
+        monkeypatch.setattr(
+            "repro.planning.service.solve_plan", failing_solve_plan
+        )
+
+        async def scenario():
+            service = PlanningService(PlanCache(), max_concurrency=4)
+            req = _request(20.0)
+            leader = asyncio.ensure_future(service.plan(req))
+            await asyncio.sleep(0.05)  # leader's solve is in flight
+            waiters = [
+                asyncio.ensure_future(service.plan(req)) for _ in range(3)
+            ]
+            await asyncio.sleep(0.05)  # all three coalesce onto it
+            gate.set()
+            return await asyncio.gather(
+                leader, *waiters, return_exceptions=True
+            )
+
+        results = asyncio.run(scenario())
+        assert len(calls) == 1  # single-flight held: one real solve
+        assert len(results) == 4
+        for r in results:
+            assert isinstance(r, ValueError)
+            assert "injected solver crash" in str(r)
+
+    def test_cancelled_leader_rejects_waiters_with_real_error(
+        self, monkeypatch
+    ):
+        """Regression: cancelling the single-flight leader must not
+        deliver a bare CancelledError to coalesced waiters (gather()
+        would tear the whole batch down as if *they* were cancelled);
+        they get an actionable SolverError instead."""
+        from repro.errors import SolverError
+
+        gate = threading.Event()
+
+        def slow_solve_plan(problem, b=None, **kwargs):
+            gate.wait(timeout=5.0)
+            raise RuntimeError("unreached")
+
+        monkeypatch.setattr(
+            "repro.planning.service.solve_plan", slow_solve_plan
+        )
+
+        async def scenario():
+            service = PlanningService(PlanCache(), max_concurrency=2)
+            req = _request(20.0)
+            leader = asyncio.ensure_future(service.plan(req))
+            await asyncio.sleep(0.05)
+            waiters = [
+                asyncio.ensure_future(service.plan(req)) for _ in range(3)
+            ]
+            await asyncio.sleep(0.05)
+            leader.cancel()
+            await asyncio.sleep(0.05)
+            gate.set()
+            return await asyncio.gather(
+                leader, *waiters, return_exceptions=True
+            )
+
+        leader_res, *waiter_res = asyncio.run(scenario())
+        assert isinstance(leader_res, asyncio.CancelledError)
+        for r in waiter_res:
+            assert isinstance(r, SolverError)
+            assert "cancelled" in str(r)
+            assert "resubmit" in str(r)
+
 
 class TestConcurrencyBound:
     def test_semaphore_caps_parallel_solves(self, monkeypatch):

@@ -3,8 +3,12 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SpecError
 from repro.planning.cache import PlanCache
@@ -67,10 +71,31 @@ class TestNodeEstimator:
         assert est.service == pytest.approx(0.04)
         assert est.gain == pytest.approx(12 / 12)
 
-    def test_rejects_empty_firing(self):
-        est = NodeEstimator("n", 0.01, 2.0)
-        with pytest.raises(SpecError, match="consumed"):
-            est.observe(0.01, outputs=0, consumed=0)
+    def test_skips_empty_firing(self):
+        """Regression: a zero-consumed warm-up batch must not count
+        toward warm-up (div-by-zero seed) or kill the node thread."""
+        est = NodeEstimator("n", 0.01, 2.0, min_observations=2)
+        est.observe(0.01, outputs=0, consumed=0)
+        assert est.observations == 0
+        assert est.skipped == 1
+        # Two *valid* firings later the estimator warms up finitely —
+        # the degenerate one contributed nothing to the seeds.
+        est.observe(0.02, outputs=4, consumed=4)
+        est.observe(0.04, outputs=4, consumed=4)
+        assert est.warmed
+        assert est.service == pytest.approx(0.03)
+        assert est.gain == pytest.approx(1.0)
+
+    def test_skips_degenerate_durations(self):
+        """Zero, negative, NaN, and inf durations are all skipped."""
+        est = NodeEstimator("n", 0.01, 2.0, min_observations=1)
+        for bad in (0.0, -0.5, math.nan, math.inf):
+            est.observe(bad, outputs=2, consumed=2)
+        est.observe(0.01, outputs=-1, consumed=2)  # negative outputs
+        assert est.observations == 0
+        assert est.skipped == 5
+        assert est.service == 0.01  # still reporting the plan
+        assert est.gain == 2.0
 
     def test_rebase_resets_to_new_plan(self):
         est = NodeEstimator("n", 0.01, 2.0, min_observations=1)
@@ -84,6 +109,43 @@ class TestNodeEstimator:
     def test_rejects_zero_min_observations(self):
         with pytest.raises(SpecError, match="min_observations"):
             NodeEstimator("n", 0.01, 2.0, min_observations=0)
+
+    @given(
+        obs=st.lists(
+            st.tuples(
+                st.one_of(
+                    st.floats(
+                        min_value=-1.0,
+                        max_value=1.0,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                    st.just(0.0),
+                    st.just(math.nan),
+                    st.just(math.inf),
+                    st.just(-math.inf),
+                ),
+                st.integers(min_value=-3, max_value=64),
+                st.integers(min_value=0, max_value=8),
+            ),
+            max_size=40,
+        ),
+        min_obs=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_estimates_stay_finite_under_any_observation_stream(
+        self, obs, min_obs
+    ):
+        """Property (the satellite's acceptance bar): whatever mix of
+        degenerate and valid firings arrives — zero-consumed warm-up
+        batches, zero/negative/NaN/inf durations, negative outputs —
+        the reported estimates are finite at every step."""
+        est = NodeEstimator("n", 0.01, 2.0, min_observations=min_obs)
+        for duration, outputs, consumed in obs:
+            est.observe(duration, outputs, consumed)
+            assert math.isfinite(est.service), (duration, outputs, consumed)
+            assert math.isfinite(est.gain), (duration, outputs, consumed)
+        assert est.observations + est.skipped == len(obs)
 
 
 class TestOnlineCalibrator:

@@ -315,6 +315,66 @@ def test_enforced_backend_matrix_bitwise_equivalent(
     _assert_bitwise_equal(s1, s2, m1, s2.run())
 
 
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("engine_queue", QUEUES)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dag_chain_backend_matrix_bitwise_equivalent(
+    seed, engine_queue, backend
+):
+    """A chain-shaped DataflowGraph through the DAG simulator must stay
+    bit-identical to the frozen chain reference on every backend —
+    the DAG generalization is an extension, not a model change."""
+    from repro.dataflow.graph import DataflowGraph
+    from repro.sim.dag import DagEnforcedWaitsSimulator
+
+    waits = np.asarray([3.0, 2.0, 1.5])
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=40.0,
+        n_items=1500,
+        seed=seed,
+    )
+    with use_backend(backend) as be:
+        s1 = DagEnforcedWaitsSimulator(
+            DataflowGraph.from_pipeline(_pipeline()),
+            waits,
+            **kw,
+            engine_queue=engine_queue,
+        )
+        m1 = s1.run()
+        assert (s1.engine.events_processed == 0) == be.fastpath
+    s2 = ReferenceEnforcedSimulator(
+        _pipeline(), waits, **kw, engine_queue=engine_queue
+    )
+    _assert_bitwise_equal(s1, s2, m1, s2.run())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dag_chain_backend_matrix_queue_stats_agree(backend):
+    from repro.dataflow.graph import DataflowGraph
+    from repro.sim.dag import DagEnforcedWaitsSimulator
+
+    waits = np.asarray([3.0, 2.0, 1.5])
+    kw = dict(
+        arrivals=PoissonArrivals(1.4),
+        deadline=40.0,
+        n_items=800,
+        seed=1,
+    )
+    with use_backend(backend):
+        s1 = DagEnforcedWaitsSimulator(
+            DataflowGraph.from_pipeline(_pipeline()), waits, **kw
+        )
+        s1.run()
+    s2 = ReferenceEnforcedSimulator(_pipeline(), waits, **kw)
+    s2.run()
+    for q1, q2 in zip(s1.queues, s2.queues):
+        assert q1.max_depth == q2.max_depth
+        assert q1.total_pushed == q2.total_pushed
+        assert q1.total_popped == q2.total_popped
+        assert len(q1) == len(q2)
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_enforced_backend_matrix_queue_stats_agree(backend):
     """Queue occupancy stats are read off the queue objects directly
