@@ -1,0 +1,380 @@
+"""Emit ``BENCH_serving.json``: hardened serving layer under load.
+
+Four sections, each gated on a survival property before any latency
+number is reported (a p99 from a run where connections crashed or the
+server leaked state would be meaningless):
+
+- ``planning_flood`` — many concurrent clients hammer a planning
+  server (the ``repro-plan serve`` handler on
+  :class:`~repro.serving.server.JsonLinesServer`) with identical
+  requests: the single-flight + cache layers absorb the duplicates and
+  the section reports request p50/p99 latency.  Gated on every request
+  answered, zero transport failures, and p99 under ``--max-p99-ms``.
+- ``ingest_overload`` — a flood against an admission-controlled
+  :class:`~repro.runtime.ingest.IngestServer` whose certified budget is
+  deliberately tiny: the server must shed with structured
+  ``{"ok": false, "retriable": true}`` rejections while the live
+  in-flight population stays bounded by the budget.  Gated on
+  rejections actually happening, zero crashes, and the bound holding.
+- ``chaos`` — slow-loris writers, oversized frames, and mid-request
+  disconnects against a live ingest server; gated on the health probe
+  still answering and zero internal errors.
+- ``graceful_drain`` — a ``shutdown`` op racing in-flight submits: the
+  server must drain, the executor must account every accepted item
+  (outputs + misses == ingested), and the serving thread must exit.
+
+Usage (repository root)::
+
+    python -m benchmarks.perf.serving [--smoke] [--out PATH]
+                                      [--clients N] [--max-p99-ms X]
+
+CI's serving-chaos job runs ``--smoke`` and archives the JSON artifact.
+Wall-clock figures vary with machine load; only the survival gates fail
+the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.dataflow.gains import DeterministicGain  # noqa: E402
+from repro.planning.cache import PlanCache  # noqa: E402
+from repro.planning.cli import parse_request  # noqa: E402
+from repro.planning.service import PlanningService  # noqa: E402
+from repro.runtime.executor import PipelineExecutor  # noqa: E402
+from repro.runtime.ingest import IngestServer  # noqa: E402
+from repro.runtime.kernels import SpinKernel  # noqa: E402
+from repro.serving import (  # noqa: E402
+    AdmissionController,
+    JsonLinesServer,
+    ServingConfig,
+)
+from repro.serving.chaos import (  # noqa: E402
+    disconnect_mid_request,
+    flood,
+    oversized_frame,
+    request_once,
+    slow_loris,
+)
+
+SCHEMA_VERSION = 1
+
+PLAN_REQUEST = {
+    "pipeline": {
+        "service_times": [10.0, 20.0, 15.0],
+        "mean_gains": [0.6, 1.5, 1.0],
+        "vector_width": 16,
+    },
+    "tau0": 20.0,
+    "deadline": 900.0,
+}
+
+
+def _executor(service=0.004, spin=0.004, deadline=120.0):
+    kernels = [
+        SpinKernel(
+            f"k{i}",
+            DeterministicGain(1),
+            nominal_service=service,
+            spin_seconds=spin,
+        )
+        for i in range(2)
+    ]
+    ex = PipelineExecutor(
+        kernels, [0.0, 0.0], vector_width=8, deadline=deadline
+    )
+    ex.start()
+    return ex
+
+
+def bench_planning_flood(clients: int, requests_per_client: int) -> dict:
+    """Concurrent planning clients vs. one hardened planning server."""
+    service = PlanningService(PlanCache(), max_concurrency=8)
+
+    async def handle(obj: dict) -> dict:
+        resp = await service.plan(parse_request(obj))
+        return {"source": resp.source, "seconds": resp.seconds}
+
+    server = JsonLinesServer(
+        handle,
+        port=0,
+        # Generous connection cap: the flood IS the legitimate load here.
+        config=ServingConfig(max_connections=4 * clients),
+        name="bench-plan",
+    )
+    server.start()
+    try:
+        result = flood(
+            server.host,
+            server.port,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            build_request=lambda ci, ri: dict(PLAN_REQUEST),
+            timeout=120.0,
+        )
+        health = request_once(server.host, server.port, {"op": "health"})
+    finally:
+        server.stop()
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "sent": result.sent,
+        "answered": result.answered,
+        "ok": result.ok,
+        "errors": result.errors,
+        "transport_failures": result.transport_failures,
+        "exceptions": result.exceptions[:5],
+        "latency_p50_ms": result.latency_quantile(0.50) * 1e3,
+        "latency_p99_ms": result.latency_quantile(0.99) * 1e3,
+        "server_internal_errors": health["stats"]["internal_errors"],
+        "server_responses": health["stats"]["responses"],
+    }
+
+
+def bench_ingest_overload(clients: int, requests_per_client: int) -> dict:
+    """Flood an admission-controlled ingest server far past its budget."""
+    budget = 32
+    admission = AdmissionController(budget)
+    ex = _executor()
+    server = IngestServer(ex, port=0, admission=admission).start()
+    try:
+        result = flood(
+            server.host,
+            server.port,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            build_request=lambda ci, ri: {
+                "op": "submit",
+                "items": [float(ci)] * 8,
+            },
+            timeout=120.0,
+        )
+        health = request_once(server.host, server.port, {"op": "health"})
+    finally:
+        server.stop()
+        ex.finish_ingest()
+        report = ex.join(timeout=120.0)
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "budget": budget,
+        "sent": result.sent,
+        "answered": result.answered,
+        "accepted_batches": result.ok,
+        "overload_rejections": result.overload,
+        "errors": result.errors,
+        "transport_failures": result.transport_failures,
+        "exceptions": result.exceptions[:5],
+        "latency_p50_ms": result.latency_quantile(0.50) * 1e3,
+        "latency_p99_ms": result.latency_quantile(0.99) * 1e3,
+        "max_in_flight_seen": health["in_flight_items"],
+        "items_ingested": report.telemetry.items_ingested,
+        "outputs": report.outputs,
+        "missed_items": report.missed_items,
+        "server_internal_errors": health["stats"]["internal_errors"],
+        "admission": admission.stats(),
+    }
+
+
+def bench_chaos() -> dict:
+    """Slow-loris, oversized frames, and disconnects vs. a live server."""
+    ex = _executor(service=0.001, spin=0.0)
+    server = IngestServer(
+        ex,
+        port=0,
+        config=ServingConfig(max_line_bytes=4096, idle_timeout=0.4),
+    ).start()
+    try:
+        loris = slow_loris(
+            server.host, server.port, byte_interval=0.2, max_bytes=8
+        )
+        oversized = oversized_frame(server.host, server.port, nbytes=64_000)
+        for _ in range(8):
+            disconnect_mid_request(server.host, server.port)
+        health = request_once(server.host, server.port, {"op": "health"})
+    finally:
+        server.stop()
+        ex.finish_ingest()
+        ex.join(timeout=60.0)
+    return {
+        "slow_loris_kicked": loris is not None,
+        "oversized_rejected": (
+            oversized is not None and "error" in oversized
+        ),
+        "disconnects": 8,
+        "health_ok": health["ok"],
+        "stats": health["stats"],
+    }
+
+
+def bench_graceful_drain() -> dict:
+    """Shutdown racing live submits: drain must preserve accounting."""
+    ex = _executor(service=0.002, spin=0.002)
+    server = IngestServer(ex, port=0).start()
+    try:
+        for i in range(6):
+            request_once(
+                server.host,
+                server.port,
+                {"op": "submit", "items": [float(i)] * 8},
+            )
+        bye = request_once(server.host, server.port, {"op": "shutdown"})
+        drained = server.join(timeout=30.0)
+    finally:
+        server.stop()
+        report = ex.join(timeout=60.0)
+    t = report.telemetry
+    return {
+        "shutdown_ok": bool(bye.get("ok")),
+        "drained": drained,
+        "items_ingested": t.items_ingested,
+        "outputs": t.outputs,
+        "missed_items": t.missed_items,
+        "accounting_closed": t.outputs + t.missed_items == t.items_ingested,
+    }
+
+
+def run_all(
+    smoke: bool, clients: int, max_p99_ms: float
+) -> tuple[dict, list[str]]:
+    requests_per_client = 4 if smoke else 16
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "planning_flood": bench_planning_flood(clients, requests_per_client),
+        "ingest_overload": bench_ingest_overload(
+            max(8, clients // 4), requests_per_client
+        ),
+        "chaos": bench_chaos(),
+        "graceful_drain": bench_graceful_drain(),
+    }
+    failures = []
+    pf = report["planning_flood"]
+    if pf["answered"] != pf["sent"] or pf["transport_failures"]:
+        failures.append(
+            f"planning flood: {pf['sent'] - pf['answered']} unanswered, "
+            f"{pf['transport_failures']} transport failures"
+        )
+    if pf["errors"]:
+        failures.append(f"planning flood: {pf['errors']} error responses")
+    if pf["server_internal_errors"]:
+        failures.append(
+            f"planning flood: {pf['server_internal_errors']} internal errors"
+        )
+    if pf["latency_p99_ms"] > max_p99_ms:
+        failures.append(
+            f"planning flood p99 {pf['latency_p99_ms']:.1f} ms "
+            f"> {max_p99_ms:.0f} ms"
+        )
+    ov = report["ingest_overload"]
+    if ov["overload_rejections"] == 0:
+        failures.append("ingest overload: admission never rejected")
+    if ov["transport_failures"] or ov["exceptions"]:
+        failures.append(
+            f"ingest overload: {ov['transport_failures']} transport "
+            f"failures, {len(ov['exceptions'])} client exceptions"
+        )
+    if ov["server_internal_errors"]:
+        failures.append(
+            f"ingest overload: {ov['server_internal_errors']} internal errors"
+        )
+    if ov["max_in_flight_seen"] > ov["budget"]:
+        failures.append(
+            f"ingest overload: in-flight {ov['max_in_flight_seen']} "
+            f"exceeded budget {ov['budget']}"
+        )
+    ch = report["chaos"]
+    if not ch["health_ok"]:
+        failures.append("chaos: server unhealthy after the attack round")
+    if not ch["oversized_rejected"]:
+        failures.append("chaos: oversized frame was not rejected")
+    if ch["stats"]["internal_errors"]:
+        failures.append(
+            f"chaos: {ch['stats']['internal_errors']} internal errors"
+        )
+    gd = report["graceful_drain"]
+    if not (gd["shutdown_ok"] and gd["drained"]):
+        failures.append("graceful drain did not complete")
+    if not gd["accounting_closed"]:
+        failures.append(
+            "graceful drain leaked items: "
+            f"{gd['outputs']} + {gd['missed_items']} != {gd['items_ingested']}"
+        )
+    return report, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serving hardening benchmarks -> BENCH_serving.json"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short runs for CI (fewer requests per client)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="concurrent planning clients (default: 32 smoke, 128 full)",
+    )
+    parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=2000.0,
+        help="planning-flood p99 latency gate (default 2000 ms)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_serving.json",
+        help="output path (default: BENCH_serving.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    clients = args.clients
+    if clients is None:
+        clients = 32 if args.smoke else 128
+
+    report, failures = run_all(
+        smoke=args.smoke, clients=clients, max_p99_ms=args.max_p99_ms
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    pf = report["planning_flood"]
+    ov = report["ingest_overload"]
+    print(f"wrote {args.out}")
+    print(
+        f"planning flood: {pf['clients']} clients x "
+        f"{pf['requests_per_client']} reqs, p50 {pf['latency_p50_ms']:.1f} ms, "
+        f"p99 {pf['latency_p99_ms']:.1f} ms, "
+        f"{pf['transport_failures']} transport failures"
+    )
+    print(
+        f"ingest overload: {ov['accepted_batches']} accepted, "
+        f"{ov['overload_rejections']} shed (budget {ov['budget']}), "
+        f"in-flight <= {ov['max_in_flight_seen']}"
+    )
+    print(
+        f"drain: accounting "
+        f"{'closed' if report['graceful_drain']['accounting_closed'] else 'LEAKED'}"
+    )
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,8 @@ __all__ = [
     "SimulationError",
     "CalibrationError",
     "CampaignError",
+    "ServingError",
+    "CircuitOpenError",
 ]
 
 
@@ -57,3 +59,22 @@ class CalibrationError(ReproError):
 
 class CampaignError(ReproError):
     """A strict multi-seed campaign had failed or timed-out trials."""
+
+
+class ServingError(ReproError):
+    """A network serving operation failed (after any configured retries).
+
+    Raised by the serving layer (:mod:`repro.serving`) for exhausted
+    retry budgets, failed connections, and protocol violations observed
+    by the client.  Server-side problems are *never* raised — they are
+    reported to the peer as structured ``{"error": ...}`` responses so
+    the server keeps serving.
+    """
+
+
+class CircuitOpenError(ServingError):
+    """The client's circuit breaker is open; the request was not sent.
+
+    Callers back off (the breaker half-opens after its reset timeout) or
+    route around the unhealthy endpoint.
+    """

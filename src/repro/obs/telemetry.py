@@ -279,6 +279,11 @@ class RuntimeTelemetry:
     replans: int
     degraded_time: float
     degraded_intervals: tuple[tuple[float, float], ...] = ()
+    #: Node-thread deaths observed by the executor's supervisor, and how
+    #: many of them were recovered by a thread restart (see
+    #: :class:`repro.runtime.executor.NodeFailure`).
+    node_failures: int = 0
+    node_restarts: int = 0
 
     @property
     def measured_active_fraction(self) -> float:
@@ -363,6 +368,11 @@ class RuntimeTelemetry:
                 f"[{a:.4g}, {b:.4g}]" for a, b in self.degraded_intervals
             )
             lines.append(f"degraded intervals: {spans}")
+        if self.node_failures:
+            lines.append(
+                f"node failures: {self.node_failures} "
+                f"({self.node_restarts} recovered by restart)"
+            )
         return "\n".join(lines)
 
 

@@ -17,9 +17,14 @@ Usage::
 timing with the resolution source (``hit``/``warm``/``cold``; ``+``
 marks a coalesced request), and ends with the cache telemetry counters.
 
-``serve`` speaks JSON lines over TCP: each request line is either a
-planning request object or ``{"op": "stats"}`` / ``{"op": "shutdown"}``.
-Responses are one JSON object per line.
+``serve`` speaks JSON lines over TCP via the hardened
+:class:`~repro.serving.server.JsonLinesServer` (line-size/idle/deadline/
+connection limits, structured errors, graceful drain): each request
+line is either a planning request object or ``{"op": "stats"}`` /
+``{"op": "health"}`` / ``{"op": "shutdown"}``.  Responses are one JSON
+object per line.  ``batch --connect HOST:PORT`` sends the same batch to
+a running server through the resilient client (retries with backoff +
+jitter, circuit breaker) instead of solving locally.
 
 Request object schema (both file and wire)::
 
@@ -37,7 +42,6 @@ Request object schema (both file and wire)::
 from __future__ import annotations
 
 import argparse
-import asyncio
 import json
 import sys
 from pathlib import Path
@@ -46,11 +50,18 @@ import numpy as np
 
 from repro.core.model import RealTimeProblem
 from repro.dataflow.spec import PipelineSpec
-from repro.errors import ReproError, SpecError
+from repro.errors import SpecError
 from repro.planning.cache import PlanCache
 from repro.planning.service import PlanRequest, PlanResponse, PlanningService
+from repro.serving import (
+    JsonLinesServer,
+    ResilientClient,
+    RetryPolicy,
+    add_serving_arguments,
+    serving_config_from_args,
+)
 
-__all__ = ["main", "parse_request", "demo_requests"]
+__all__ = ["main", "parse_request", "request_to_wire", "demo_requests"]
 
 
 def parse_request(obj: dict, *, tag: str | None = None) -> PlanRequest:
@@ -76,6 +87,30 @@ def parse_request(obj: dict, *, tag: str | None = None) -> PlanRequest:
         method=str(obj.get("method", "auto")),
         tag=obj.get("tag", tag),
     )
+
+
+def request_to_wire(request: PlanRequest) -> dict:
+    """Serialize a :class:`PlanRequest` back to its JSON wire form.
+
+    The inverse of :func:`parse_request` — what ``repro-plan batch
+    --connect`` sends over the wire to a running ``repro-plan serve``.
+    """
+    pipeline = request.problem.pipeline
+    obj: dict = {
+        "pipeline": {
+            "service_times": [float(x) for x in pipeline.service_times],
+            "mean_gains": [float(x) for x in pipeline.mean_gains],
+            "vector_width": int(pipeline.vector_width),
+        },
+        "tau0": float(request.problem.tau0),
+        "deadline": float(request.problem.deadline),
+        "method": request.method,
+    }
+    if request.b is not None:
+        obj["b"] = [float(x) for x in np.asarray(request.b)]
+    if request.tag is not None:
+        obj["tag"] = request.tag
+    return obj
 
 
 def demo_requests(n: int, *, distinct: int = 16) -> list[PlanRequest]:
@@ -134,6 +169,54 @@ def _load_requests(path: Path) -> list[PlanRequest]:
     ]
 
 
+def _cmd_batch_remote(args: argparse.Namespace, requests) -> int:
+    """Send the batch to a running ``repro-plan serve`` over TCP."""
+    host, _, port_s = args.connect.rpartition(":")
+    try:
+        port = int(port_s)
+    except ValueError:
+        print(
+            f"error: --connect expects HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    failed = 0
+    replies = []
+    with ResilientClient(
+        host or "127.0.0.1",
+        port,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+    ) as client:
+        for req in requests:
+            reply = client.request(request_to_wire(req))
+            replies.append(reply)
+            if "error" in reply:
+                failed += 1
+                print(f"{req.tag or '?':<16} ERROR  {reply['error']}")
+                continue
+            af = (
+                f"{reply['active_fraction']:.6f}"
+                if reply.get("feasible")
+                else "infeasible"
+            )
+            print(
+                f"{reply.get('tag') or reply.get('key', '?')[:12]:<16} "
+                f"{reply.get('source', '?'):<5}  "
+                f"{reply.get('seconds', 0.0) * 1e3:9.3f} ms  AF={af}"
+            )
+        print()
+        print(
+            f"client: {client.requests} requests, {client.retries} retries, "
+            f"{client.transport_failures} transport failures, "
+            f"{client.retriable_responses} retriable responses, "
+            f"breaker {client.breaker.state}"
+        )
+    if args.json is not None:
+        Path(args.json).write_text(json.dumps(replies, indent=2) + "\n")
+        print(f"responses written to {args.json}")
+    return 1 if failed else 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     if (args.requests is None) == (args.demo is None):
         print(
@@ -146,6 +229,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if args.demo is not None
         else _load_requests(Path(args.requests))
     )
+    if args.connect is not None:
+        return _cmd_batch_remote(args, requests)
     cache = PlanCache(capacity=args.capacity, path=args.store)
     service = PlanningService(
         cache,
@@ -178,7 +263,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-async def _serve(args: argparse.Namespace) -> int:
+def _cmd_serve(args: argparse.Namespace) -> int:
     cache = PlanCache(capacity=args.capacity, path=args.store)
     service = PlanningService(
         cache,
@@ -186,71 +271,62 @@ async def _serve(args: argparse.Namespace) -> int:
         warm_start=not args.no_warm_start,
     )
     remaining = [args.max_requests]  # None = unlimited
-    done = asyncio.Event()
 
-    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-        try:
-            while not done.is_set():
-                line = await reader.readline()
-                if not line:
-                    break
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    obj = json.loads(line)
-                    op = obj.get("op") if isinstance(obj, dict) else None
-                    if op == "stats":
-                        t = cache.telemetry()
-                        payload = {
-                            "op": "stats",
-                            **{
-                                f: getattr(t, f)
-                                for f in (
-                                    "entries",
-                                    "requests",
-                                    "hits",
-                                    "misses",
-                                    "warm_hits",
-                                    "warm_rejects",
-                                    "coalesced",
-                                    "evictions",
-                                )
-                            },
-                        }
-                    elif op == "shutdown":
-                        payload = {"op": "shutdown", "ok": True}
-                        done.set()
-                    else:
-                        resp = await service.plan(parse_request(obj))
-                        payload = _response_to_dict(resp)
-                except (ReproError, ValueError, KeyError, TypeError) as exc:
-                    payload = {"error": f"{type(exc).__name__}: {exc}"}
-                writer.write((json.dumps(payload) + "\n").encode())
-                await writer.drain()
-                if payload.get("op") == "shutdown":
-                    break
-                if remaining[0] is not None and "error" not in payload:
-                    remaining[0] -= 1
-                    if remaining[0] <= 0:
-                        done.set()
-                        break
-        finally:
-            writer.close()
+    def stats_payload() -> dict:
+        t = cache.telemetry()
+        return {
+            "op": "stats",
+            **{
+                f: getattr(t, f)
+                for f in (
+                    "entries",
+                    "requests",
+                    "hits",
+                    "misses",
+                    "warm_hits",
+                    "warm_rejects",
+                    "coalesced",
+                    "evictions",
+                )
+            },
+        }
 
-    server = await asyncio.start_server(handle, args.host, args.port)
-    addr = server.sockets[0].getsockname()
-    print(f"repro-plan serving on {addr[0]}:{addr[1]}", flush=True)
-    async with server:
-        await done.wait()
-    if args.store is not None:
-        cache.flush()
+    async def handle(obj: dict) -> dict:
+        op = obj.get("op")
+        if op == "stats":
+            payload = stats_payload()
+        elif op == "shutdown":
+            return {"op": "shutdown", "ok": True}
+        else:
+            resp = await service.plan(parse_request(obj))
+            payload = _response_to_dict(resp)
+        if remaining[0] is not None and "error" not in payload:
+            remaining[0] -= 1
+            if remaining[0] <= 0:
+                # Reply to this request, then drain gracefully.
+                server.request_shutdown()
+        return payload
+
+    def on_drain() -> None:
+        if args.store is not None:
+            cache.flush()
+
+    server = JsonLinesServer(
+        handle,
+        host=args.host,
+        port=args.port,
+        config=serving_config_from_args(args),
+        name="plan",
+        health_extra=lambda: {"cache": stats_payload()},
+        on_drain=on_drain,
+    )
+    server.serve_forever(
+        on_ready=lambda s: print(
+            f"repro-plan serving on {s.host}:{s.port}", flush=True
+        )
+    )
     print(cache.telemetry().render())
     return 0
-
-
-def _cmd_serve(args: argparse.Namespace) -> int:
-    return asyncio.run(_serve(args))
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -306,6 +382,19 @@ def main(argv: list[str] | None = None) -> int:
     batch_p.add_argument(
         "--json", metavar="FILE", default=None, help="write responses as JSON"
     )
+    batch_p.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="resolve the batch against a running repro-plan serve "
+        "(resilient client: retries, backoff, circuit breaker)",
+    )
+    batch_p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=4,
+        help="retry attempts per request in --connect mode",
+    )
     _add_common(batch_p)
 
     serve_p = sub.add_parser("serve", help="JSON-lines planning server (TCP)")
@@ -317,6 +406,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="exit after N successful requests (tests / smoke runs)",
     )
+    add_serving_arguments(serve_p)
     _add_common(serve_p)
 
     args = parser.parse_args(argv)

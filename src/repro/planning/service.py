@@ -176,9 +176,14 @@ class PlanningService:
             for done in asyncio.as_completed(tasks):
                 yield await done
         finally:
-            for t in tasks:
-                if not t.done():
-                    t.cancel()
+            pending = [t for t in tasks if not t.done()]
+            for t in pending:
+                t.cancel()
+            if pending:
+                # Await the cancellations so no task outlives the
+                # generator (otherwise the loop warns about pending
+                # tasks being destroyed at shutdown).
+                await asyncio.gather(*pending, return_exceptions=True)
 
     # -- sync convenience --------------------------------------------------
 

@@ -23,9 +23,16 @@ measured active fraction next to the solver's predicted ``T(w)``,
 deadline misses, latency percentiles, and any drift-triggered re-plans.
 
 ``serve`` starts the executor with no replay source and accepts items
-over TCP; each request line is ``{"op": "submit", "items": [...]}``,
-``{"op": "stats"}``, or ``{"op": "shutdown"}`` (which drains the
-pipeline and prints the final report).
+over TCP through the hardened serving layer (:mod:`repro.serving`);
+each request line is ``{"op": "submit", "items": [...]}``,
+``{"op": "stats"}``, ``{"op": "health"}``, or ``{"op": "shutdown"}``
+(which gracefully drains the pipeline and prints the final report).
+Unless ``--no-admission`` is given, submits are admission-controlled
+against an in-flight budget derived from the plan's feasibility
+certificate; over-budget submits get ``{"ok": false, "retriable":
+true}`` so well-behaved clients back off.  ``feed`` is that
+well-behaved client: it samples workload payloads and submits them
+through the resilient retry/backoff/breaker client.
 """
 
 from __future__ import annotations
@@ -246,6 +253,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.executor import PipelineExecutor
     from repro.runtime.ingest import IngestServer
     from repro.runtime.kernels import build_workload, plan_runtime
+    from repro.serving import AdmissionController, budget_from_plan
+    from repro.serving.config import serving_config_from_args
 
     workload = build_workload(args.app, seed=args.seed)
     plan = plan_runtime(
@@ -255,9 +264,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadline_factor=args.deadline_factor,
         seed=args.seed,
     )
-    executor = PipelineExecutor.from_plan(plan)
+    admission = None
+    if not args.no_admission:
+        budget = budget_from_plan(plan, slack_vectors=args.slack_vectors)
+        admission = AdmissionController(budget)
+        print(budget.render(), flush=True)
+    executor = PipelineExecutor.from_plan(
+        plan, restart_failed_nodes=args.restart_failed_nodes
+    )
     executor.start()
-    server = IngestServer(executor, host=args.host, port=args.port)
+    server = IngestServer(
+        executor,
+        host=args.host,
+        port=args.port,
+        config=serving_config_from_args(args),
+        admission=admission,
+    )
     server.start()
     print(
         f"repro-run serving {args.app} on {server.host}:{server.port} "
@@ -266,13 +288,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     try:
-        server._thread.join()
+        server.join()
     except KeyboardInterrupt:  # pragma: no cover — interactive only
         server.stop()
         executor.finish_ingest()
     report = executor.join(timeout=60.0)
     print(report.render())
     return 0
+
+
+def _cmd_feed(args: argparse.Namespace) -> int:
+    """Feed a running ingest server over TCP via the resilient client."""
+    import numpy as np
+
+    from repro.runtime.kernels import build_workload
+    from repro.serving import ResilientClient, RetryPolicy
+
+    host, _, port_s = args.connect.rpartition(":")
+    try:
+        port = int(port_s)
+    except ValueError:
+        print(
+            f"error: --connect expects HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    workload = build_workload(args.app, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    accepted = 0
+    rejected = 0
+    with ResilientClient(
+        host or "127.0.0.1",
+        port,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+    ) as client:
+        for _ in range(args.batches):
+            payload = workload.sample_payload(args.batch_items, rng)
+            reply = client.request(
+                {"op": "submit", "items": np.asarray(payload).tolist()}
+            )
+            if reply.get("ok"):
+                accepted += reply.get("accepted", 0)
+            else:
+                rejected += 1
+            if args.interval > 0:
+                import time
+
+                time.sleep(args.interval)
+        print(
+            f"fed {accepted} items in {args.batches} batches "
+            f"({rejected} batches rejected after retries); "
+            f"client: {client.retries} retries, "
+            f"{client.transport_failures} transport failures, "
+            f"breaker {client.breaker.state}"
+        )
+        if args.shutdown:
+            reply = client.request({"op": "shutdown"})
+            print(f"shutdown: {json.dumps(reply)}")
+    return 0 if rejected == 0 else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -345,6 +418,55 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(serve_p)
     serve_p.add_argument("--host", default="127.0.0.1")
     serve_p.add_argument("--port", type=int, default=7422)
+    serve_p.add_argument(
+        "--no-admission",
+        action="store_true",
+        help="disable the certificate-derived in-flight admission budget",
+    )
+    serve_p.add_argument(
+        "--slack-vectors",
+        type=float,
+        default=2.0,
+        help="admission headroom in vector widths above Little's law",
+    )
+    serve_p.add_argument(
+        "--restart-failed-nodes",
+        action="store_true",
+        help="supervise node threads and restart them after a crash",
+    )
+    from repro.serving.config import add_serving_arguments
+
+    add_serving_arguments(serve_p)
+
+    feed_p = sub.add_parser(
+        "feed", help="feed a running ingest server over TCP"
+    )
+    _add_common(feed_p)
+    feed_p.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        required=True,
+        help="address of a running repro-run serve",
+    )
+    feed_p.add_argument("--batches", type=int, default=32)
+    feed_p.add_argument("--batch-items", type=int, default=8)
+    feed_p.add_argument(
+        "--interval",
+        type=float,
+        default=0.0,
+        help="seconds to sleep between batches",
+    )
+    feed_p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=4,
+        help="retry attempts per batch (backoff + jitter between tries)",
+    )
+    feed_p.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send {'op': 'shutdown'} after the last batch",
+    )
 
     args = parser.parse_args(argv)
     try:
@@ -352,6 +474,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "feed":
+            return _cmd_feed(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

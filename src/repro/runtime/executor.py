@@ -59,7 +59,7 @@ from repro.runtime.queues import LiveQueue, OriginStore
 from repro.runtime.replan import ReplanEvent, Replanner
 from repro.sim.metrics import LatencyLedger
 
-__all__ = ["PipelineExecutor", "LiveRunReport"]
+__all__ = ["PipelineExecutor", "LiveRunReport", "NodeFailure"]
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 
@@ -96,11 +96,31 @@ class _NodeStats:
 
 
 @dataclass(frozen=True)
+class NodeFailure:
+    """One node-thread death, as observed by the supervisor.
+
+    ``restarted`` says whether the supervisor respawned the node thread
+    (``restart_failed_nodes`` with budget remaining); ``items_lost``
+    counts the batch that died with the thread — those items are scored
+    as deadline misses in the ledger so conservation holds and drains
+    complete.
+    """
+
+    node: int
+    name: str
+    time: float
+    error: str
+    restarted: bool
+    items_lost: int
+
+
+@dataclass(frozen=True)
 class LiveRunReport:
     """Final report of one live run."""
 
     telemetry: RuntimeTelemetry
     replan_events: tuple[ReplanEvent, ...] = ()
+    node_failures: tuple[NodeFailure, ...] = ()
 
     @property
     def total_oversleep(self) -> float:
@@ -130,6 +150,11 @@ class LiveRunReport:
     @property
     def replans(self) -> int:
         return len([e for e in self.replan_events if e.adopted])
+
+    @property
+    def node_restarts(self) -> int:
+        """Node-thread deaths the supervisor recovered from."""
+        return len([f for f in self.node_failures if f.restarted])
 
     def render(self) -> str:
         return self.telemetry.render()
@@ -177,6 +202,16 @@ plan_runtime`).
         for raw-throughput measurements.
     control_interval:
         Controller tick in seconds.
+    restart_failed_nodes / max_node_restarts:
+        Supervised recovery.  By default a node-thread death stops the
+        whole pipeline and :meth:`join` raises.  With
+        ``restart_failed_nodes=True`` the supervisor records a
+        :class:`NodeFailure` (the dying batch's items are scored as
+        deadline misses so conservation holds), respawns the node
+        thread, and the run continues — up to ``max_node_restarts``
+        total restarts, after which the next death stops the pipeline
+        as before.  All failures, recovered or not, are reported in
+        :attr:`LiveRunReport.node_failures`.
     successors:
         Optional DAG topology: ``successors[i]`` lists the kernel
         indices fed by node ``i`` (must all be ``> i``, i.e. kernels are
@@ -212,6 +247,8 @@ plan_runtime`).
         poll_interval: float = 0.001,
         planned_gains: np.ndarray | None = None,
         successors: list[list[int]] | None = None,
+        restart_failed_nodes: bool = False,
+        max_node_restarts: int = 3,
     ) -> None:
         if not kernels:
             raise SpecError("executor needs at least one kernel")
@@ -319,6 +356,15 @@ plan_runtime`).
         self._threads: list[threading.Thread] = []
         self._node_errors: list[BaseException] = []
         self._adopted_replans = 0
+        if max_node_restarts < 0:
+            raise SpecError(
+                f"max_node_restarts must be >= 0, got {max_node_restarts}"
+            )
+        self.restart_failed_nodes = bool(restart_failed_nodes)
+        self.max_node_restarts = int(max_node_restarts)
+        self._node_failures: list[NodeFailure] = []
+        self._node_restarts = 0
+        self._supervision_lock = threading.Lock()
 
     # -- construction helpers ---------------------------------------------
 
@@ -520,6 +566,34 @@ plan_runtime`).
         return self._in_flight
 
     @property
+    def stopped(self) -> bool:
+        """True once the executor has stopped (or was asked to stop).
+
+        The *public* form of the internal stop flag: ingest sources
+        (:class:`~repro.runtime.ingest.ReplaySource`, the TCP ingest
+        server) poll this instead of reaching into ``_stop``.
+        """
+        return self._stop.is_set()
+
+    def should_stop(self) -> bool:
+        """Callable alias of :attr:`stopped` for feeder loops."""
+        return self._stop.is_set()
+
+    def request_stop(self) -> None:
+        """Ask every node/control thread to stop at its next check."""
+        self._stop.set()
+
+    @property
+    def node_failures(self) -> tuple[NodeFailure, ...]:
+        """Every node-thread death observed so far (see :class:`NodeFailure`)."""
+        return tuple(self._node_failures)
+
+    @property
+    def node_restarts(self) -> int:
+        """Node-thread deaths the supervisor has recovered from."""
+        return self._node_restarts
+
+    @property
     def replan_events(self) -> tuple[ReplanEvent, ...]:
         if self.replanner is None:
             return ()
@@ -570,6 +644,7 @@ plan_runtime`).
         queue = self.queues[node]
         stats = self._stats[node]
         v = self.vector_width
+        ids = _EMPTY_IDS  # the batch currently held outside any queue
         try:
             while not self._stop.is_set():
                 ids, payload = queue.pop_up_to(v)
@@ -608,6 +683,9 @@ plan_runtime`).
                         node, duration, produced, consumed
                     )
                     self._route_outputs(node, ids, counts, outputs)
+                    # Routed: in-flight accounting for this batch is
+                    # settled, so a later failure must not re-drop it.
+                    ids = _EMPTY_IDS
                 else:
                     stats.empty_firings += 1
                 scale = (
@@ -620,7 +698,57 @@ plan_runtime`).
                     wait_start = time.perf_counter()
                     stats.oversleep_time += self._sleep(wait)
                     stats.wait_time += time.perf_counter() - wait_start
-        except BaseException as exc:  # surface in join(), don't die silently
+        except BaseException as exc:  # supervised: report, maybe restart
+            self._on_node_failure(node, exc, ids)
+
+    def _on_node_failure(
+        self, node: int, exc: BaseException, ids: np.ndarray
+    ) -> None:
+        """Handle one node-thread death: account, record, restart or stop.
+
+        The batch the thread died holding (popped but not yet routed) is
+        scored as deadline misses — the same provenance shed items get —
+        so ``in_flight`` conservation holds and :meth:`join` can still
+        drain.  Within the restart budget a fresh thread is spawned for
+        the node and the pipeline keeps running; otherwise the failure
+        stops the pipeline and surfaces in :meth:`join`.
+        """
+        lost = int(ids.size)
+        if lost:
+            with self._lock:
+                self.ledger.record_drops(ids=ids)
+                self._in_flight -= lost
+        with self._supervision_lock:
+            restart = (
+                self.restart_failed_nodes
+                and self._node_restarts < self.max_node_restarts
+                and not self._stop.is_set()
+            )
+            if restart:
+                self._node_restarts += 1
+            self._node_failures.append(
+                NodeFailure(
+                    node=node,
+                    name=self.kernels[node].name,
+                    time=self._now(),
+                    error=f"{type(exc).__name__}: {exc}",
+                    restarted=restart,
+                    items_lost=lost,
+                )
+            )
+        if restart:
+            thread = threading.Thread(
+                target=self._node_loop,
+                args=(node,),
+                name=(
+                    f"repro-node-{node}-{self.kernels[node].name}-r"
+                    f"{self._node_restarts}"
+                ),
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        else:
             self._node_errors.append(exc)
             self._stop.set()
 
@@ -694,7 +822,7 @@ plan_runtime`).
             time.perf_counter() + timeout if timeout is not None else None
         )
         while not self._stop.is_set():
-            if self._ingest_done.is_set() and self._in_flight == 0:
+            if self._ingest_done.is_set() and self._in_flight <= 0:
                 break
             if deadline is not None and time.perf_counter() > deadline:
                 self._stop.set()
@@ -787,6 +915,8 @@ plan_runtime`).
             replans=self._adopted_replans,
             degraded_time=degraded_time,
             degraded_intervals=intervals,
+            node_failures=len(self._node_failures),
+            node_restarts=self._node_restarts,
         )
 
     def report(self) -> LiveRunReport:
@@ -794,4 +924,5 @@ plan_runtime`).
         return LiveRunReport(
             telemetry=self.snapshot(),
             replan_events=self.replan_events,
+            node_failures=self.node_failures,
         )

@@ -1,4 +1,4 @@
-"""Feeding the live executor: real-time replay and TCP ingest.
+"""Feeding the live executor: real-time replay and hardened TCP ingest.
 
 :class:`ReplaySource` turns any :class:`~repro.arrivals.base.\
 ArrivalProcess` — Poisson, burst, or a recorded
@@ -9,32 +9,46 @@ maps recorded time units to seconds, so a trace captured in
 microseconds replays at true speed with ``scale=1e-6``, or at 10x speed
 with ``scale=1e-7``.
 
-:class:`IngestServer` is the network mode: a JSON-lines TCP server
-mirroring ``repro-plan serve`` (:mod:`repro.planning.cli`).  Each
-request line is one object::
+:class:`IngestServer` is the network mode: a JSON-lines TCP server built
+on the shared hardened serving layer (:mod:`repro.serving`), so it
+enforces the same line-size/idle/deadline/connection limits as
+``repro-plan serve`` and answers the same ``{"op": "health"}`` probe.
+Each request line is one object::
 
     {"op": "submit", "items": [[...], ...]}   -> {"ok": true, "accepted": k}
     {"op": "stats"}                           -> runtime telemetry summary
+    {"op": "health"}                          -> readiness/liveness probe
     {"op": "shutdown"}                        -> {"op": "shutdown", "ok": true}
 
 ``submit`` rows are payload rows for the head kernel (scalars or
 fixed-width lists); items originate at the moment the server accepts
 them, so end-to-end latency includes network delivery — exactly what a
 live deployment would measure.
+
+With an :class:`~repro.serving.admission.AdmissionController` attached
+(``repro-run serve`` derives one from the plan's feasibility certificate
+via :func:`~repro.serving.admission.budget_from_plan`), a ``submit``
+that would push the live in-flight population past the certified budget
+is rejected with ``{"ok": false, "retriable": true}`` — the client backs
+off instead of the queues growing without bound.  Shutdown is a
+graceful drain: the server stops accepting, lets in-flight requests
+finish, and only then (with ``finish_on_shutdown``) marks executor
+ingest done.
 """
 
 from __future__ import annotations
 
-import asyncio
-import json
 import threading
 import time
 
 import numpy as np
 
 from repro.arrivals.base import ArrivalProcess
-from repro.errors import ReproError, SpecError
+from repro.errors import SpecError
 from repro.runtime.executor import PipelineExecutor
+from repro.serving.admission import AdmissionController
+from repro.serving.config import ServingConfig
+from repro.serving.server import JsonLinesServer
 
 __all__ = ["ReplaySource", "IngestServer"]
 
@@ -117,14 +131,15 @@ class ReplaySource:
         with tied timestamps ingests them together (the nondecreasing-
         ties-allowed contract).  Returns the number of items submitted;
         with ``finish=True`` (default) marks the executor's ingest done
-        afterwards.
+        afterwards.  Stops early once the executor reports
+        :meth:`~repro.runtime.executor.PipelineExecutor.should_stop`.
         """
         t0 = time.perf_counter()
         times = self.times
         n = times.size
         i = 0
         try:
-            while i < n and not executor._stop.is_set():
+            while i < n and not executor.should_stop():
                 now = time.perf_counter() - t0
                 j = int(np.searchsorted(times, now, side="right"))
                 if j <= i:
@@ -150,10 +165,13 @@ class ReplaySource:
 
 
 class IngestServer:
-    """JSON-lines TCP ingest for a running executor.
+    """Hardened JSON-lines TCP ingest for a running executor.
 
-    Runs an asyncio server on a background thread so it composes with
-    the (threaded) executor.  ``serve_forever`` blocks until a
+    A thin application layer over
+    :class:`~repro.serving.server.JsonLinesServer`: the serving layer
+    owns limits, timeouts, structured errors, health, and the graceful
+    drain; this class owns the ``submit``/``stats``/``shutdown`` ops and
+    the admission decision.  ``serve_forever`` blocks until a
     ``shutdown`` op or :meth:`stop`; :meth:`start` runs it in the
     background and returns once the port is bound (``port`` attribute
     holds the bound port, useful with ``port=0``).
@@ -166,81 +184,110 @@ class IngestServer:
         host: str = "127.0.0.1",
         port: int = 0,
         finish_on_shutdown: bool = True,
+        config: ServingConfig | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.executor = executor
-        self.host = host
-        self.port = port
         self.finish_on_shutdown = finish_on_shutdown
+        self.admission = admission
         self.accepted = 0
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._ready = threading.Event()
-        self._done: asyncio.Event | None = None
-        self._thread: threading.Thread | None = None
+        self.overload_rejections = 0
+        self._server = JsonLinesServer(
+            self._handle,
+            host=host,
+            port=port,
+            config=config,
+            name="ingest",
+            health_extra=self._health_extra,
+            on_drain=self._on_drain,
+        )
+
+    # -- delegated server surface -------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def stats(self):
+        """The serving layer's :class:`~repro.serving.server.ServerStats`."""
+        return self._server.stats
 
     # -- request handling --------------------------------------------------
 
-    def _handle_obj(self, obj) -> dict:
-        if not isinstance(obj, dict):
-            raise SpecError("request must be a JSON object")
+    def _health_extra(self) -> dict:
+        extra = {
+            "in_flight_items": self.executor.in_flight,
+            "executor_stopped": self.executor.stopped,
+            "accepted_items": self.accepted,
+            "overload_rejections": self.overload_rejections,
+        }
+        if self.admission is not None:
+            extra["admission"] = self.admission.stats()
+        return extra
+
+    def _submit(self, obj: dict) -> dict:
+        items = obj.get("items")
+        if not isinstance(items, list) or not items:
+            raise SpecError("submit needs a non-empty 'items' array")
+        if self.executor.stopped:
+            return {
+                "ok": False,
+                "error": "SimulationError: executor has stopped",
+            }
+        payload = np.asarray(items)
+        if payload.dtype == object:
+            raise SpecError(
+                "submit items must be scalars or fixed-width rows "
+                "(ragged or mixed-type arrays are not ingestible)"
+            )
+        k = len(payload)
+        if self.admission is not None:
+            in_flight = self.executor.in_flight
+            if not self.admission.admit(k, in_flight):
+                self.overload_rejections += 1
+                return self.admission.overload_response(k, in_flight)
+        self.executor.submit(payload)
+        self.accepted += k
+        return {"ok": True, "accepted": int(k)}
+
+    def _stats_payload(self) -> dict:
+        snap = self.executor.snapshot()
+        payload = {
+            "op": "stats",
+            "elapsed": snap.elapsed,
+            "items_ingested": snap.items_ingested,
+            "outputs": snap.outputs,
+            "in_flight": snap.in_flight,
+            "missed_items": snap.missed_items,
+            "miss_rate": snap.miss_rate,
+            "measured_active_fraction": snap.measured_active_fraction,
+            "planned_active_fraction": snap.planned_active_fraction,
+            "replans": snap.replans,
+            "node_failures": snap.node_failures,
+            "node_restarts": snap.node_restarts,
+            "queue_depths": [n.queue_depth for n in snap.nodes],
+            "serving": self._server.stats.as_dict(),
+        }
+        if self.admission is not None:
+            payload["admission"] = self.admission.stats()
+        return payload
+
+    async def _handle(self, obj: dict) -> dict:
         op = obj.get("op")
         if op == "submit":
-            items = obj.get("items")
-            if not isinstance(items, list) or not items:
-                raise SpecError("submit needs a non-empty 'items' array")
-            payload = np.asarray(items)
-            self.executor.submit(payload)
-            self.accepted += len(payload)
-            return {"ok": True, "accepted": int(len(payload))}
+            return self._submit(obj)
         if op == "stats":
-            snap = self.executor.snapshot()
-            return {
-                "op": "stats",
-                "elapsed": snap.elapsed,
-                "items_ingested": snap.items_ingested,
-                "outputs": snap.outputs,
-                "in_flight": snap.in_flight,
-                "missed_items": snap.missed_items,
-                "miss_rate": snap.miss_rate,
-                "measured_active_fraction": snap.measured_active_fraction,
-                "planned_active_fraction": snap.planned_active_fraction,
-                "replans": snap.replans,
-                "queue_depths": [n.queue_depth for n in snap.nodes],
-            }
+            return self._stats_payload()
         if op == "shutdown":
             return {"op": "shutdown", "ok": True}
         raise SpecError(f"unknown op {op!r}")
 
-    async def _handle(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        assert self._done is not None
-        try:
-            while not self._done.is_set():
-                line = await reader.readline()
-                if not line:
-                    break
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = self._handle_obj(json.loads(line))
-                except (ReproError, ValueError, KeyError, TypeError) as exc:
-                    payload = {"error": f"{type(exc).__name__}: {exc}"}
-                writer.write((json.dumps(payload) + "\n").encode())
-                await writer.drain()
-                if payload.get("op") == "shutdown":
-                    self._done.set()
-                    break
-        finally:
-            writer.close()
-
-    async def _serve(self) -> None:
-        self._done = asyncio.Event()
-        server = await asyncio.start_server(self._handle, self.host, self.port)
-        self.port = server.sockets[0].getsockname()[1]
-        self._ready.set()
-        async with server:
-            await self._done.wait()
+    def _on_drain(self) -> None:
         if self.finish_on_shutdown:
             self.executor.finish_ingest()
 
@@ -248,32 +295,17 @@ class IngestServer:
 
     def serve_forever(self) -> None:
         """Run the server on this thread until shutdown."""
-        self._loop = asyncio.new_event_loop()
-        try:
-            self._loop.run_until_complete(self._serve())
-        finally:
-            self._loop.close()
+        self._server.serve_forever()
 
     def start(self) -> "IngestServer":
         """Serve on a background thread; returns once the port is bound."""
-        self._thread = threading.Thread(
-            target=self.serve_forever, name="repro-ingest", daemon=True
-        )
-        self._thread.start()
-        if not self._ready.wait(timeout=10.0):
-            raise SpecError("ingest server failed to bind within 10s")
+        self._server.start()
         return self
 
     def stop(self) -> None:
-        """Request shutdown and join the server thread (idempotent)."""
-        if (
-            self._loop is not None
-            and self._done is not None
-            and not self._loop.is_closed()
-        ):
-            try:
-                self._loop.call_soon_threadsafe(self._done.set)
-            except RuntimeError:
-                pass  # loop closed between the check and the call
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
+        """Graceful drain and join the server thread (idempotent)."""
+        self._server.stop()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for the serving thread to exit; True if it did."""
+        return self._server.join(timeout=timeout)

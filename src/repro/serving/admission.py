@@ -1,0 +1,189 @@
+"""Ingest admission control derived from the plan's feasibility certificate.
+
+The planner doesn't just emit waits — its
+:class:`~repro.core.feasibility.FeasibilityCertificate` *proves* the
+operating point: items admitted with head period ``tau0`` clear the
+pipeline within the deadline ``D``.  By Little's law that certificate
+bounds the sustainable population: at the certified arrival rate
+``1/tau0`` and latency bound ``D``, at most ``ceil(D / tau0)`` items can
+be in flight before a newly admitted item *cannot* finish inside its
+deadline even if everything runs exactly to plan.  Admitting beyond that
+point only grows queues and manufactures guaranteed misses — so the
+serving edge should reject there, with a retriable overload response,
+and let the client back off.
+
+:func:`inflight_budget` computes that bound (plus a small burst
+allowance in vector widths, since arrivals are admitted in batches);
+:func:`budget_from_plan` checks the plan through
+:func:`repro.core.admission.admit` first, so an infeasible or
+over-capacity plan yields a zero budget (reject everything) rather than
+a meaningless Little's-law number.  :class:`AdmissionController` is the
+runtime object the ingest server consults per ``submit``: it compares
+the executor's live ``in_flight`` against the budget and shapes the
+``{"ok": false, "retriable": true}`` overload response.  Items that are
+admitted remain subject to the bounded-queue shed policies — admission
+is the first rung of the degradation ladder, shedding the second, the
+watchdog the third.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from repro.core.admission import AdmissionRequest, admit
+from repro.errors import SpecError
+
+__all__ = [
+    "AdmissionBudget",
+    "AdmissionController",
+    "inflight_budget",
+    "budget_from_plan",
+]
+
+
+def inflight_budget(
+    tau0: float,
+    deadline: float,
+    vector_width: int,
+    *,
+    slack_vectors: float = 2.0,
+) -> int:
+    """Little's-law in-flight bound at the certified operating point.
+
+    ``ceil(D / tau0)`` items can be concurrently in flight at the
+    certified rate/latency pair; ``slack_vectors`` extra vector widths
+    absorb batched submits arriving between firings.
+    """
+    if tau0 <= 0:
+        raise SpecError(f"tau0 must be > 0, got {tau0}")
+    if deadline <= 0:
+        raise SpecError(f"deadline must be > 0, got {deadline}")
+    if vector_width < 1:
+        raise SpecError(f"vector_width must be >= 1, got {vector_width}")
+    if slack_vectors < 0:
+        raise SpecError(f"slack_vectors must be >= 0, got {slack_vectors}")
+    little = math.ceil(deadline / tau0)
+    slack = math.ceil(slack_vectors * vector_width)
+    return max(vector_width, little + slack)
+
+
+@dataclass(frozen=True)
+class AdmissionBudget:
+    """A derived in-flight budget with its certificate provenance."""
+
+    budget: int
+    feasible: bool
+    active_fraction: float
+    headroom: float
+    source: str  # "certificate" | "explicit" | "infeasible"
+
+    def render(self) -> str:
+        return (
+            f"admission budget {self.budget} items "
+            f"({self.source}; AF={self.active_fraction:.4f}, "
+            f"headroom={self.headroom:.4f})"
+        )
+
+
+def budget_from_plan(
+    plan,
+    *,
+    capacity: float = 1.0,
+    slack_vectors: float = 2.0,
+) -> AdmissionBudget:
+    """Derive the ingest budget from a solved :class:`RuntimePlan`.
+
+    Runs the plan's problem through :func:`repro.core.admission.admit`
+    (the certificate check: individually feasible *and* the active
+    fraction fits in ``capacity``); an admitted plan gets the
+    Little's-law budget, a rejected one gets budget 0 so the serving
+    edge refuses all traffic instead of queueing work the device
+    provably cannot finish on time.
+    """
+    result = admit(
+        [AdmissionRequest(plan.workload.name, plan.problem, plan.b)],
+        capacity=capacity,
+    )
+    if not result.admitted:
+        return AdmissionBudget(
+            budget=0,
+            feasible=not result.infeasible,
+            active_fraction=result.total_utilization,
+            headroom=result.headroom,
+            source="infeasible",
+        )
+    return AdmissionBudget(
+        budget=inflight_budget(
+            plan.problem.tau0,
+            plan.problem.deadline,
+            plan.pipeline.vector_width,
+            slack_vectors=slack_vectors,
+        ),
+        feasible=True,
+        active_fraction=result.total_utilization,
+        headroom=result.headroom,
+        source="certificate",
+    )
+
+
+class AdmissionController:
+    """Per-submit admission decisions against a fixed in-flight budget.
+
+    The controller is deliberately stateless about population — the
+    executor's live ``in_flight`` is the ground truth and is passed into
+    every decision — so there is no drift between admission bookkeeping
+    and reality.  It owns only the budget and the accept/reject
+    counters.
+    """
+
+    def __init__(self, budget: int | AdmissionBudget) -> None:
+        if isinstance(budget, AdmissionBudget):
+            self.provenance: AdmissionBudget | None = budget
+            budget = budget.budget
+        else:
+            self.provenance = None
+        if budget < 0:
+            raise SpecError(f"admission budget must be >= 0, got {budget}")
+        self.budget = int(budget)
+        self.admitted_items = 0
+        self.rejected_items = 0
+        self.rejections = 0
+        self._lock = threading.Lock()
+
+    def admit(self, k: int, in_flight: int) -> bool:
+        """Admit ``k`` more items given the live in-flight population?"""
+        if k < 0:
+            raise SpecError(f"cannot admit a negative batch ({k})")
+        ok = in_flight + k <= self.budget
+        with self._lock:
+            if ok:
+                self.admitted_items += k
+            else:
+                self.rejected_items += k
+                self.rejections += 1
+        return ok
+
+    def overload_response(self, k: int, in_flight: int) -> dict:
+        """The structured rejection for an over-budget submit."""
+        return {
+            "ok": False,
+            "retriable": True,
+            "error": (
+                f"ServingError: admission rejected {k} items: "
+                f"{in_flight} in flight + {k} exceeds the certified "
+                f"budget {self.budget}; retry after backoff"
+            ),
+            "in_flight": int(in_flight),
+            "budget": self.budget,
+        }
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "budget": self.budget,
+                "admitted_items": self.admitted_items,
+                "rejected_items": self.rejected_items,
+                "rejections": self.rejections,
+            }

@@ -1,0 +1,289 @@
+"""Resilient JSON-lines TCP client: retry, backoff + jitter, breaker.
+
+:class:`ResilientClient` is the client half of the serving contract.  It
+speaks the same one-object-per-line protocol as both servers and layers
+three defenses a bare socket lacks:
+
+- **Retry with exponential backoff and jitter**
+  (:class:`RetryPolicy`): connection failures, timeouts, and server
+  responses marked ``"retriable": true`` (overload rejections, idle
+  kicks, request-deadline misses) are retried up to ``max_attempts``
+  with delays ``base_delay * multiplier^attempt`` capped at
+  ``max_delay``, each scaled by a random jitter factor so a fleet of
+  clients retrying the same overloaded server doesn't resynchronize
+  into thundering herds.
+- **Circuit breaker** (:class:`CircuitBreaker`): after
+  ``failure_threshold`` consecutive *transport* failures the breaker
+  opens and requests fail fast with
+  :class:`~repro.errors.CircuitOpenError` instead of hammering a dead
+  endpoint; after ``reset_timeout`` seconds it half-opens to let one
+  probe through.  Structured server responses — including overload
+  rejections — count as *successes* for the breaker: the server is
+  alive and shedding load, which is exactly what it should be doing.
+- **Connection reuse**: one persistent connection per client, re-dialed
+  transparently after a failure.
+
+Exhausting retries on transport errors raises
+:class:`~repro.errors.ServingError`; exhausting them on retriable
+*responses* returns the final response, so callers (e.g. ``repro-plan
+batch --connect``) can report the overload instead of crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.errors import CircuitOpenError, ServingError, SpecError
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "ResilientClient"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule with multiplicative jitter."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5  # fraction of each delay randomized away
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SpecError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise SpecError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise SpecError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SpecError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker: closed -> open -> half-open."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        now=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise SpecError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise SpecError(
+                f"reset_timeout must be > 0, got {reset_timeout}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._now = now
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._half_open = False
+        self.opens = 0  # lifetime count of closed->open transitions
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._half_open or (
+            self._now() - self._opened_at >= self.reset_timeout
+        ):
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a request be attempted right now?
+
+        In the half-open state exactly one probe is allowed; its
+        outcome closes or re-opens the breaker.
+        """
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open" and not self._half_open:
+            self._half_open = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._half_open = False
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._half_open:
+            # Failed probe: re-open for a fresh cooldown.
+            self._opened_at = self._now()
+            self._half_open = False
+            self.opens += 1
+        elif (
+            self._opened_at is None
+            and self._failures >= self.failure_threshold
+        ):
+            self._opened_at = self._now()
+            self.opens += 1
+
+
+class ResilientClient:
+    """Persistent JSON-lines client with retries and a circuit breaker.
+
+    Parameters
+    ----------
+    host / port:
+        The serving endpoint.
+    retry / breaker:
+        Policies (defaults above).  Pass ``RetryPolicy(max_attempts=1)``
+        for fail-fast behavior.
+    timeout:
+        Per-operation socket timeout (connect, send, and reply read).
+    seed:
+        Seeds the jitter RNG for reproducible backoff in tests.
+    sleep:
+        Injectable ``sleep(seconds)`` (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        timeout: float = 10.0,
+        seed: int | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        if timeout <= 0:
+            raise SpecError(f"timeout must be > 0, got {timeout}")
+        self.host = host
+        self.port = int(port)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.timeout = float(timeout)
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._sock: socket.socket | None = None
+        self._file = None
+        self.requests = 0
+        self.retries = 0
+        self.transport_failures = 0
+        self.retriable_responses = 0
+
+    # -- connection management ----------------------------------------------
+
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def close(self) -> None:
+        """Close the connection (the client can be reused afterwards)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- requests ------------------------------------------------------------
+
+    def _once(self, obj: dict) -> dict:
+        """One attempt: send a line, read a line.  Raises on transport."""
+        self._connect()
+        assert self._file is not None
+        self._file.write((json.dumps(obj) + "\n").encode())
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = json.loads(line)
+        if not isinstance(reply, dict):
+            raise ServingError(
+                f"server sent a non-object reply: {reply!r}"
+            )
+        return reply
+
+    @staticmethod
+    def _is_retriable(reply: dict) -> bool:
+        return bool(reply.get("retriable")) and (
+            "error" in reply or reply.get("ok") is False
+        )
+
+    def request(self, obj: dict) -> dict:
+        """Resolve one request through retries; returns the reply object.
+
+        Raises :class:`~repro.errors.CircuitOpenError` when the breaker
+        is open, :class:`~repro.errors.ServingError` when every attempt
+        failed at the transport level.  A final *retriable* response
+        (e.g. a still-overloaded server) is returned as-is.
+        """
+        last_exc: BaseException | None = None
+        last_reply: dict | None = None
+        self.requests += 1
+        for attempt in range(self.retry.max_attempts):
+            if attempt > 0:
+                self.retries += 1
+                self._sleep(self.retry.delay(attempt - 1, self._rng))
+            if not self.breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit to {self.host}:{self.port} is open "
+                    f"(state {self.breaker.state}); retry after "
+                    f"{self.breaker.reset_timeout}s"
+                )
+            try:
+                reply = self._once(obj)
+            except (OSError, ValueError, ServingError) as exc:
+                # OSError covers refused/reset/timeout; ValueError is a
+                # torn JSON line on a dying connection.
+                self.transport_failures += 1
+                self.breaker.record_failure()
+                self.close()
+                last_exc = exc
+                continue
+            self.breaker.record_success()
+            if self._is_retriable(reply):
+                self.retriable_responses += 1
+                last_reply = reply
+                continue
+            return reply
+        if last_reply is not None:
+            return last_reply
+        raise ServingError(
+            f"request to {self.host}:{self.port} failed after "
+            f"{self.retry.max_attempts} attempts: {last_exc}"
+        ) from last_exc

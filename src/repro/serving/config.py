@@ -1,0 +1,133 @@
+"""Shared limits and timeouts for the JSON-lines TCP servers.
+
+One :class:`ServingConfig` travels into every server built on
+:class:`~repro.serving.server.JsonLinesServer` (the planning service's
+``repro-plan serve`` and the runtime's
+:class:`~repro.runtime.ingest.IngestServer`), so both network edges
+enforce the same hardening contract:
+
+- ``max_line_bytes`` bounds a single request line (the asyncio stream
+  ``limit``) — an oversized frame gets a structured error, never an
+  unbounded buffer;
+- ``idle_timeout`` bounds how long a connection may sit between
+  requests — a slow-loris writer that trickles bytes forever is cut off
+  with a structured error instead of holding a connection slot;
+- ``request_deadline`` bounds one request's handling time — a wedged
+  solve or drain produces a retriable error response, not a silent
+  stall;
+- ``max_connections`` bounds concurrently served connections — excess
+  connections are told to retry and closed instead of accepted into an
+  unbounded set;
+- ``drain_timeout`` bounds the graceful-shutdown drain: how long the
+  server waits for in-flight requests after it stops accepting.
+
+Timeouts may be ``None`` to disable (tests and trusted local pipes);
+the defaults are production-lean.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.errors import SpecError
+
+__all__ = [
+    "ServingConfig",
+    "DEFAULT_MAX_LINE_BYTES",
+    "add_serving_arguments",
+    "serving_config_from_args",
+]
+
+#: Default per-line bound: far above any legitimate request (a 10k-item
+#: submit of float rows is ~200 KiB) while keeping a malicious frame
+#: from ballooning the stream buffer.
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Limits and timeouts applied by :class:`JsonLinesServer`."""
+
+    max_line_bytes: int = DEFAULT_MAX_LINE_BYTES
+    idle_timeout: float | None = 300.0
+    request_deadline: float | None = 30.0
+    max_connections: int = 256
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_line_bytes < 64:
+            raise SpecError(
+                f"max_line_bytes must be >= 64, got {self.max_line_bytes}"
+            )
+        if self.idle_timeout is not None and self.idle_timeout <= 0:
+            raise SpecError(
+                f"idle_timeout must be > 0 or None, got {self.idle_timeout}"
+            )
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise SpecError(
+                "request_deadline must be > 0 or None, got "
+                f"{self.request_deadline}"
+            )
+        if self.max_connections < 1:
+            raise SpecError(
+                f"max_connections must be >= 1, got {self.max_connections}"
+            )
+        if self.drain_timeout < 0:
+            raise SpecError(
+                f"drain_timeout must be >= 0, got {self.drain_timeout}"
+            )
+
+
+def add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the hardening flags shared by both ``serve`` commands."""
+    defaults = ServingConfig()
+    parser.add_argument(
+        "--max-line-bytes",
+        type=int,
+        default=defaults.max_line_bytes,
+        help="maximum request-line size in bytes",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=defaults.idle_timeout,
+        help="seconds a connection may idle between requests (0 = off)",
+    )
+    parser.add_argument(
+        "--request-deadline",
+        type=float,
+        default=defaults.request_deadline,
+        help="per-request handling deadline in seconds (0 = off)",
+    )
+    parser.add_argument(
+        "--max-conns",
+        type=int,
+        default=defaults.max_connections,
+        help="maximum concurrently served connections",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=defaults.drain_timeout,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+
+
+def serving_config_from_args(args: argparse.Namespace) -> ServingConfig:
+    """Build a :class:`ServingConfig` from :func:`add_serving_arguments`.
+
+    A timeout flag of ``0`` (or less) disables that timeout — the CLI
+    spelling of ``None``.
+    """
+    return ServingConfig(
+        max_line_bytes=args.max_line_bytes,
+        idle_timeout=(
+            args.idle_timeout if args.idle_timeout > 0 else None
+        ),
+        request_deadline=(
+            args.request_deadline if args.request_deadline > 0 else None
+        ),
+        max_connections=args.max_conns,
+        drain_timeout=args.drain_timeout,
+    )

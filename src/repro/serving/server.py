@@ -1,0 +1,442 @@
+"""Hardened JSON-lines TCP server shared by the planning and ingest edges.
+
+:class:`JsonLinesServer` owns everything about the network edge that the
+planning service (``repro-plan serve``) and the runtime ingest server
+(:class:`~repro.runtime.ingest.IngestServer`) previously each
+half-implemented: bounded request lines, idle-connection timeouts,
+per-request deadlines, a connection cap, a built-in ``{"op": "health"}``
+probe, structured ``{"error": ...}`` replies for every failure mode, and
+a graceful drain on shutdown (stop accepting, let in-flight requests
+finish, run the ``on_drain`` hook, then close).
+
+The application supplies one async ``handler(obj) -> dict``.  The
+handler's contract:
+
+- it receives only parsed JSON *objects* (non-JSON lines and non-object
+  payloads are rejected by the server with a structured error, and the
+  connection keeps serving);
+- whatever :class:`~repro.errors.ReproError` / ``ValueError`` /
+  ``KeyError`` / ``TypeError`` it raises becomes a structured error
+  response; any *other* exception becomes an ``InternalError`` response
+  and is counted — the server never crashes on a request;
+- returning a payload with ``{"op": "shutdown", "ok": True}`` initiates
+  the graceful drain after the response is written (the wire protocol
+  both CLIs already speak).
+
+Error-response schema: ``{"error": "<Type>: <message>"}`` plus
+``"retriable": true`` when the client should back off and resend
+(overload, idle/deadline timeouts) — exactly what
+:class:`~repro.serving.client.ResilientClient` keys its retry loop on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, ServingError
+from repro.serving.config import ServingConfig
+
+__all__ = ["JsonLinesServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Mutable counters of one server's lifetime (reads are lock-free)."""
+
+    connections_accepted: int = 0
+    connections_rejected: int = 0
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    internal_errors: int = 0
+    oversized_lines: int = 0
+    idle_timeouts: int = 0
+    deadline_timeouts: int = 0
+    disconnects_mid_request: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "connections_accepted": self.connections_accepted,
+            "connections_rejected": self.connections_rejected,
+            "requests": self.requests,
+            "responses": self.responses,
+            "errors": self.errors,
+            "internal_errors": self.internal_errors,
+            "oversized_lines": self.oversized_lines,
+            "idle_timeouts": self.idle_timeouts,
+            "deadline_timeouts": self.deadline_timeouts,
+            "disconnects_mid_request": self.disconnects_mid_request,
+        }
+
+
+@dataclass(eq=False)  # identity semantics: lives in a set
+class _ConnState:
+    """Per-connection bookkeeping (owned by the connection's task)."""
+
+    writer: asyncio.StreamWriter
+    closing: bool = False
+    opened: float = field(default=0.0)
+
+
+class JsonLinesServer:
+    """One hardened JSON-lines TCP endpoint.
+
+    Parameters
+    ----------
+    handler:
+        ``async (obj: dict) -> dict`` application dispatch (see module
+        docstring for the contract).  The built-in ``health`` op never
+        reaches it.
+    host / port:
+        Bind address; ``port=0`` lets the OS pick (the bound port is
+        published on :attr:`port` once ready).
+    config:
+        :class:`~repro.serving.config.ServingConfig` limits/timeouts.
+    name:
+        Diagnostic label used in error messages and thread names.
+    health_extra:
+        Optional zero-arg callable returning a dict merged into the
+        ``health`` response (e.g. executor depth, cache entries).
+    on_drain:
+        Optional callable (sync or async) run exactly once after the
+        listener closed and in-flight requests drained — the place to
+        flush a plan cache or finish executor ingest.
+    """
+
+    def __init__(
+        self,
+        handler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: ServingConfig | None = None,
+        name: str = "serving",
+        health_extra=None,
+        on_drain=None,
+    ) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.config = config if config is not None else ServingConfig()
+        self.name = name
+        self.health_extra = health_extra
+        self.on_drain = on_drain
+        self.stats = ServerStats()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._conns: set[_ConnState] = set()
+        self._in_flight = 0
+        self._draining = False
+        self._drained = False
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._bind_error: BaseException | None = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def connections(self) -> int:
+        return len(self._conns)
+
+    @property
+    def in_flight_requests(self) -> int:
+        return self._in_flight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def health_payload(self) -> dict:
+        """The ``{"op": "health"}`` response (also usable off-wire)."""
+        payload = {
+            "op": "health",
+            "ok": True,
+            "ready": self._ready.is_set() and not self._draining,
+            "draining": self._draining,
+            "connections": self.connections,
+            "in_flight_requests": self._in_flight,
+            "stats": self.stats.as_dict(),
+        }
+        if self.health_extra is not None:
+            try:
+                payload.update(self.health_extra())
+            except Exception as exc:  # keep health itself unkillable
+                payload["health_extra_error"] = f"{type(exc).__name__}: {exc}"
+        return payload
+
+    # -- request plumbing ----------------------------------------------------
+
+    @staticmethod
+    def _error(message: str, *, retriable: bool = False) -> dict:
+        payload: dict = {"error": message}
+        if retriable:
+            payload["retriable"] = True
+        return payload
+
+    async def _write(self, writer: asyncio.StreamWriter, payload: dict) -> bool:
+        """Serialize + send one response; False if the peer is gone."""
+        try:
+            writer.write((json.dumps(payload) + "\n").encode())
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        self.stats.responses += 1
+        return True
+
+    async def _read_line(self, reader: asyncio.StreamReader):
+        """One line, or a structured-error dict, or None on EOF/disconnect.
+
+        Distinguishes the three failure modes the chaos suite exercises:
+        clean EOF and mid-request disconnects return ``None`` (nothing
+        to reply to), an oversized frame returns an error payload (the
+        caller replies, then closes — the stream buffer can no longer be
+        resynchronized reliably), and an idle timeout returns an error
+        payload marked retriable.
+        """
+        read = reader.readuntil(b"\n")
+        try:
+            if self.config.idle_timeout is not None:
+                line = await asyncio.wait_for(read, self.config.idle_timeout)
+            else:
+                line = await read
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                self.stats.disconnects_mid_request += 1
+            return None
+        except asyncio.LimitOverrunError:
+            self.stats.oversized_lines += 1
+            return self._error(
+                f"ServingError: request line exceeds "
+                f"{self.config.max_line_bytes} bytes; connection closing"
+            )
+        except asyncio.TimeoutError:
+            self.stats.idle_timeouts += 1
+            return self._error(
+                f"ServingError: connection idle longer than "
+                f"{self.config.idle_timeout}s; connection closing",
+                retriable=True,
+            )
+        except (ConnectionError, OSError):
+            return None
+        return line
+
+    async def _dispatch(self, obj: dict) -> dict:
+        """Run the application handler under the request deadline."""
+        self._in_flight += 1
+        try:
+            call = self.handler(obj)
+            if self.config.request_deadline is not None:
+                return await asyncio.wait_for(
+                    call, self.config.request_deadline
+                )
+            return await call
+        except asyncio.TimeoutError:
+            self.stats.deadline_timeouts += 1
+            return self._error(
+                f"ServingError: request exceeded its "
+                f"{self.config.request_deadline}s deadline",
+                retriable=True,
+            )
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            return self._error(f"{type(exc).__name__}: {exc}")
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never let a request kill the server
+            self.stats.internal_errors += 1
+            return self._error(f"InternalError: {type(exc).__name__}: {exc}")
+        finally:
+            self._in_flight -= 1
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining or len(self._conns) >= self.config.max_connections:
+            self.stats.connections_rejected += 1
+            reason = (
+                "server is draining"
+                if self._draining
+                else f"connection limit ({self.config.max_connections}) reached"
+            )
+            await self._write(
+                writer,
+                {
+                    "ok": False,
+                    **self._error(f"ServingError: {reason}", retriable=True),
+                },
+            )
+            await self._close_writer(writer)
+            return
+        self.stats.connections_accepted += 1
+        state = _ConnState(writer=writer)
+        self._conns.add(state)
+        try:
+            while not self._draining:
+                line = await self._read_line(reader)
+                if line is None:
+                    break
+                if isinstance(line, dict):  # read-side structured error
+                    self.stats.errors += 1
+                    await self._write(writer, line)
+                    break  # oversized/idle connections close after the reply
+                line = line.strip()
+                if not line:
+                    continue
+                self.stats.requests += 1
+                try:
+                    obj = json.loads(line)
+                except ValueError as exc:
+                    self.stats.errors += 1
+                    if not await self._write(
+                        writer, self._error(f"JSONDecodeError: {exc}")
+                    ):
+                        break
+                    continue
+                if not isinstance(obj, dict):
+                    self.stats.errors += 1
+                    if not await self._write(
+                        writer,
+                        self._error(
+                            "SpecError: request must be a JSON object, got "
+                            f"{type(obj).__name__}"
+                        ),
+                    ):
+                        break
+                    continue
+                if obj.get("op") == "health":
+                    payload = self.health_payload()
+                else:
+                    payload = await self._dispatch(obj)
+                if "error" in payload:
+                    self.stats.errors += 1
+                if not await self._write(writer, payload):
+                    break
+                if payload.get("op") == "shutdown" and payload.get("ok"):
+                    self.request_shutdown()
+                    break
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._conns.discard(state)
+            await self._close_writer(writer)
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def run(self, *, on_ready=None) -> None:
+        """Bind, serve until shutdown, then drain gracefully.
+
+        ``on_ready(server)`` (if given) runs right after the port is
+        bound — the place to print the "serving on host:port" line.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._serve_connection,
+                self.host,
+                self.port,
+                limit=self.config.max_line_bytes,
+            )
+        except BaseException as exc:
+            self._bind_error = exc
+            self._ready.set()
+            raise
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            async with server:
+                await self._shutdown.wait()
+                # Graceful drain: stop accepting first ...
+                self._draining = True
+                server.close()
+                await server.wait_closed()
+                # ... let in-flight requests complete (bounded) ...
+                deadline = self._loop.time() + self.config.drain_timeout
+                while self._in_flight > 0 and self._loop.time() < deadline:
+                    await asyncio.sleep(0.005)
+                # ... then close every remaining connection.
+                for state in list(self._conns):
+                    await self._close_writer(state.writer)
+        finally:
+            if self.on_drain is not None and not self._drained:
+                self._drained = True
+                result = self.on_drain()
+                if asyncio.iscoroutine(result):
+                    await result
+            self._stopped.set()
+
+    def request_shutdown(self) -> None:
+        """Initiate graceful drain (idempotent; loop-thread only)."""
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    def request_shutdown_threadsafe(self) -> None:
+        """Initiate graceful drain from any thread (idempotent)."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self.request_shutdown)
+        except RuntimeError:
+            pass  # loop closed between the check and the call
+
+    def serve_forever(self, *, on_ready=None) -> None:
+        """Run the server on this thread's own event loop until drained."""
+        asyncio.run(self.run(on_ready=on_ready))
+
+    def start(self) -> "JsonLinesServer":
+        """Serve on a background thread; returns once the port is bound."""
+        if self._thread is not None:
+            raise ServingError(f"server {self.name!r} already started")
+
+        def thread_main() -> None:
+            try:
+                self.serve_forever()
+            except BaseException:
+                # A bind failure is reported to the starting thread via
+                # _bind_error below; don't also crash the daemon thread.
+                if self._bind_error is None:
+                    raise
+                self._stopped.set()
+
+        self._thread = threading.Thread(
+            target=thread_main, name=f"repro-{self.name}", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise ServingError(
+                f"server {self.name!r} failed to bind within 10s"
+            )
+        if self._bind_error is not None:
+            raise ServingError(
+                f"server {self.name!r} failed to bind: {self._bind_error}"
+            ) from self._bind_error
+        return self
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Graceful drain + join the server thread (idempotent)."""
+        self.request_shutdown_threadsafe()
+        if self._thread is not None:
+            if timeout is None:
+                timeout = self.config.drain_timeout + 10.0
+            self._thread.join(timeout=timeout)
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for the serving thread to exit; True if it did."""
+        if self._thread is None:
+            return self._stopped.is_set()
+        self._thread.join(timeout=timeout)
+        return not self._thread.is_alive()

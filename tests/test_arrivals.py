@@ -128,6 +128,9 @@ class _StubExecutor:
         self.finished = False
         self._t0 = self._clock()
 
+    def should_stop(self) -> bool:
+        return self._stop.is_set()
+
     def submit(self, payload):
         self.batches.append((self._clock() - self._t0, len(payload)))
         return np.arange(len(payload))

@@ -8,7 +8,12 @@ import threading
 
 import pytest
 
-from repro.planning.cli import demo_requests, main, parse_request
+from repro.planning.cli import (
+    demo_requests,
+    main,
+    parse_request,
+    request_to_wire,
+)
 
 BLAST_REQUEST = {
     "pipeline": {
@@ -47,6 +52,26 @@ class TestParseRequest:
         assert len(reqs) == 10
         keys = {(r.problem.tau0, r.problem.deadline) for r in reqs}
         assert len(keys) == 4
+
+    def test_request_to_wire_round_trips(self):
+        obj = dict(BLAST_REQUEST, b=[1.0, 2.0], method="interior", tag="rt")
+        req = parse_request(obj)
+        wire = request_to_wire(req)
+        again = parse_request(wire)
+        assert again.tag == "rt"
+        assert again.method == "interior"
+        assert again.problem.tau0 == req.problem.tau0
+        assert again.problem.deadline == req.problem.deadline
+        assert list(again.b) == [1.0, 2.0]
+        assert (
+            wire["pipeline"]["service_times"]
+            == BLAST_REQUEST["pipeline"]["service_times"]
+        )
+
+    def test_request_to_wire_omits_optionals(self):
+        wire = request_to_wire(parse_request(dict(BLAST_REQUEST)))
+        assert "b" not in wire
+        assert "tag" not in wire
 
 
 @pytest.mark.slow
@@ -109,6 +134,44 @@ class TestBatchVerb:
         assert main(["batch", "--requests", str(reqs), "--demo", "4"]) == 2
         err = capsys.readouterr().err
         assert "exactly one of" in err
+
+
+def _serve_in_thread(extra_args: list[str]):
+    """Run ``repro-plan serve --port 0 ...`` on a thread; return (thread, port).
+
+    Captures the "serving on host:port" announcement to learn the bound
+    port (stdout is swapped for a tee only on the serving thread).
+    """
+    ready = threading.Event()
+    port_box: list[int] = []
+
+    class _Tee:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def write(self, text):
+            if "serving on" in text and not port_box:
+                port_box.append(int(text.rsplit(":", 1)[1]))
+                ready.set()
+            return self.inner.write(text)
+
+        def flush(self):
+            self.inner.flush()
+
+    def run_server():
+        import sys as _sys
+
+        old = _sys.stdout
+        _sys.stdout = _Tee(old)
+        try:
+            main(["serve", "--port", "0", *extra_args])
+        finally:
+            _sys.stdout = old
+
+    thread = threading.Thread(target=run_server, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=15), "server never announced its port"
+    return thread, port_box[0]
 
 
 def _client_lines(port: int, lines: list[str]) -> list[dict]:
@@ -225,3 +288,84 @@ class TestServeVerb:
         assert responses[1]["tag"] == "ok"
         thread.join(timeout=15)
         assert not thread.is_alive()
+
+    def test_serve_health_and_malformed_lines(self):
+        thread, port = _serve_in_thread(["--max-requests", "1"])
+        responses = _client_lines(
+            port,
+            [
+                '{"op": "health"}',
+                "this is not json",
+                "[1, 2]",
+                json.dumps(dict(BLAST_REQUEST, tag="done")),
+            ],
+        )
+        assert responses[0]["ok"] is True
+        assert responses[0]["ready"] is True
+        assert "cache" in responses[0]
+        assert "JSONDecodeError" in responses[1]["error"]
+        assert "SpecError" in responses[2]["error"]
+        assert responses[3]["tag"] == "done"
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+
+    def test_serve_shutdown_op_drains(self):
+        thread, port = _serve_in_thread([])
+        responses = _client_lines(
+            port,
+            [
+                json.dumps(dict(BLAST_REQUEST, tag="one")),
+                json.dumps({"op": "shutdown"}),
+            ],
+        )
+        assert responses[0]["tag"] == "one"
+        assert responses[1] == {"op": "shutdown", "ok": True}
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+
+
+@pytest.mark.slow
+class TestBatchConnect:
+    def test_batch_resolves_against_live_server(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(
+            json.dumps(
+                [
+                    dict(BLAST_REQUEST, tag="w1"),
+                    dict(BLAST_REQUEST, tag="w2"),  # duplicate -> hit
+                    dict(BLAST_REQUEST, tau0=25.0, tag="w3"),
+                ]
+            )
+        )
+        out_json = tmp_path / "remote.json"
+        thread, port = _serve_in_thread(["--max-requests", "3"])
+        rc = main(
+            [
+                "batch",
+                "--requests",
+                str(reqs),
+                "--connect",
+                f"127.0.0.1:{port}",
+                "--json",
+                str(out_json),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        replies = json.loads(out_json.read_text())
+        assert [r["tag"] for r in replies] == ["w1", "w2", "w3"]
+        assert all(r["feasible"] for r in replies)
+        assert replies[1]["source"] == "hit"
+        assert "client: 3 requests" in out
+        assert "breaker closed" in out
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+
+    def test_bad_connect_address_is_usage_error(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([dict(BLAST_REQUEST, tag="x")]))
+        rc = main(
+            ["batch", "--requests", str(reqs), "--connect", "nonsense"]
+        )
+        assert rc == 2
+        assert "HOST:PORT" in capsys.readouterr().err

@@ -265,3 +265,49 @@ class TestStream:
         responses = asyncio.run(scenario())
         assert sorted(r.tag for r in responses) == [f"s{i}" for i in range(5)]
         assert all(r.solution.feasible for r in responses)
+
+    def test_abandoned_stream_awaits_cancelled_tasks(self, monkeypatch):
+        """Regression: breaking out of ``stream()`` early must cancel
+        *and await* the remaining tasks — no task may outlive the
+        generator (asyncio warns about pending tasks at loop shutdown,
+        and the solve threads would keep running unobserved)."""
+        gate = threading.Event()
+
+        def slow_solve_plan(problem, b=None, **kwargs):
+            # The tau0=20 request resolves instantly; every other solve
+            # blocks on the gate so its task is still pending when the
+            # consumer abandons the stream.
+            if problem.tau0 != 20.0:
+                gate.wait(timeout=5.0)
+            sol = object.__new__(
+                __import__(
+                    "repro.core.enforced_waits", fromlist=["x"]
+                ).EnforcedWaitsSolution
+            )
+            return PlanOutcome(sol, f"k{problem.tau0}", "cold", 0.0)
+
+        monkeypatch.setattr(
+            "repro.planning.service.solve_plan", slow_solve_plan
+        )
+
+        async def scenario():
+            service = PlanningService(PlanCache(), max_concurrency=8)
+            requests = [_request(20.0 + i) for i in range(6)]
+            stream = service.stream(requests)
+            async for _ in stream:
+                break  # abandon after the first response
+            gate.set()  # let the blocked solve threads finish
+            await stream.aclose()
+            # After aclose() returns, every task this stream spawned is
+            # done (cancelled or finished) — nothing pending remains.
+            return [
+                t
+                for t in asyncio.all_tasks()
+                if t is not asyncio.current_task() and not t.done()
+            ]
+
+        try:
+            pending = asyncio.run(scenario())
+        finally:
+            gate.set()  # never deadlock the solver threads on failure
+        assert pending == []

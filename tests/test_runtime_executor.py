@@ -279,3 +279,125 @@ class TestSleepOversleep:
         # accumulate a second of scheduler overshoot; a regression to
         # slice-quantized sleeping would.
         assert total < 1.0
+
+
+class _FlakyKernel(VectorKernel):
+    """Fails its first ``fail_times`` non-empty firings, then works."""
+
+    def __init__(self, name, fail_times=1):
+        super().__init__(name, 0.002)
+        self.failures_left = fail_times
+
+    def fire(self, payload):
+        k = len(payload)
+        if k and self.failures_left > 0:
+            self.failures_left -= 1
+            raise RuntimeError("transient kernel fault")
+        return np.ones(k, dtype=np.int64), payload
+
+
+class TestSupervision:
+    def test_public_stop_api(self):
+        ex = PipelineExecutor(
+            _kernels(), [0.0, 0.0], vector_width=8, deadline=5.0
+        )
+        assert ex.stopped is False
+        assert ex.should_stop() is False
+        ex.request_stop()
+        assert ex.stopped is True
+        assert ex.should_stop() is True
+
+    def test_failed_node_restarts_and_run_completes(self):
+        ex = PipelineExecutor(
+            [_FlakyKernel("flaky", fail_times=1)],
+            [0.0],
+            vector_width=8,
+            deadline=30.0,
+            restart_failed_nodes=True,
+        )
+        ex.start()
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            ex.submit(rng.random(8))
+            time.sleep(0.005)
+        ex.finish_ingest()
+        report = ex.join(timeout=30.0)
+
+        assert len(report.node_failures) == 1
+        failure = report.node_failures[0]
+        assert failure.restarted is True
+        assert failure.node == 0
+        assert failure.name == "flaky"
+        assert "transient kernel fault" in failure.error
+        assert report.node_restarts == 1
+        # The batch the thread died holding is scored as misses, so
+        # item conservation still holds.
+        assert failure.items_lost > 0
+        assert report.missed_items == failure.items_lost
+        assert report.outputs == 32 - failure.items_lost
+        assert ex.in_flight == 0
+
+    def test_restart_budget_exhaustion_stops_the_run(self):
+        ex = PipelineExecutor(
+            [_FlakyKernel("doomed", fail_times=10_000)],
+            [0.0],
+            vector_width=8,
+            deadline=30.0,
+            restart_failed_nodes=True,
+            max_node_restarts=2,
+        )
+        ex.start()
+        ex.submit(np.zeros(32))
+        ex.finish_ingest()
+        with pytest.raises(SimulationError, match="transient kernel fault"):
+            ex.join(timeout=30.0)
+        # Budget of 2 restarts: failures 1 and 2 restarted, 3rd stopped.
+        assert ex.node_restarts == 2
+        assert len(ex.node_failures) == 3
+        assert ex.node_failures[-1].restarted is False
+        assert ex.stopped
+
+    def test_supervision_off_by_default(self):
+        ex = PipelineExecutor(
+            [_FlakyKernel("once", fail_times=1)],
+            [0.0],
+            vector_width=8,
+            deadline=30.0,
+        )
+        ex.start()
+        ex.submit(np.zeros(8))
+        ex.finish_ingest()
+        with pytest.raises(SimulationError, match="transient kernel fault"):
+            ex.join(timeout=30.0)
+        assert ex.node_restarts == 0
+        assert len(ex.node_failures) == 1
+        assert ex.node_failures[0].restarted is False
+
+    def test_snapshot_and_render_surface_failures(self):
+        ex = PipelineExecutor(
+            [_FlakyKernel("flaky", fail_times=1)],
+            [0.0],
+            vector_width=8,
+            deadline=30.0,
+            restart_failed_nodes=True,
+        )
+        ex.start()
+        for _ in range(4):
+            ex.submit(np.zeros(8))
+            time.sleep(0.005)
+        ex.finish_ingest()
+        report = ex.join(timeout=30.0)
+        assert report.telemetry.node_failures == 1
+        assert report.telemetry.node_restarts == 1
+        rendered = report.render()
+        assert "node failures: 1 (1 recovered by restart)" in rendered
+
+    def test_invalid_restart_budget_rejected(self):
+        with pytest.raises(SpecError):
+            PipelineExecutor(
+                _kernels(),
+                [0.0, 0.0],
+                vector_width=8,
+                deadline=5.0,
+                max_node_restarts=-1,
+            )

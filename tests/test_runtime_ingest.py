@@ -109,3 +109,128 @@ class TestIngestServer:
         server.stop()
         ex.finish_ingest()
         assert ex.join(timeout=20.0).outputs == 0
+
+    def test_health_op_reports_executor_state(self):
+        ex = _executor()
+        ex.start()
+        server = IngestServer(ex, port=0).start()
+        client = _Client(server.host, server.port)
+        try:
+            health = client.request({"op": "health"})
+            assert health["ok"] is True
+            assert health["ready"] is True
+            assert health["executor_stopped"] is False
+            assert health["accepted_items"] == 0
+            assert "stats" in health
+        finally:
+            client.close()
+            server.stop()
+            ex.finish_ingest()
+            ex.join(timeout=20.0)
+
+    def test_malformed_inputs_get_structured_errors(self):
+        ex = _executor()
+        ex.start()
+        server = IngestServer(ex, port=0).start()
+        client = _Client(server.host, server.port)
+        try:
+            # Non-JSON, non-object, unknown op, empty submit, missing
+            # items, ragged rows — every one is a structured error and
+            # the connection keeps serving.
+            client.file.write(b"not json at all\n")
+            client.file.flush()
+            assert "JSONDecodeError" in json.loads(client.file.readline())[
+                "error"
+            ]
+            client.file.write(b"[1, 2, 3]\n")
+            client.file.flush()
+            assert "SpecError" in json.loads(client.file.readline())["error"]
+            assert "unknown op" in client.request({"op": "warp"})["error"]
+            assert (
+                "non-empty"
+                in client.request({"op": "submit", "items": []})["error"]
+            )
+            assert "non-empty" in client.request({"op": "submit"})["error"]
+            ragged = client.request(
+                {"op": "submit", "items": [[1.0], [1.0, 2.0]]}
+            )
+            assert "error" in ragged
+            # Still serving: a good submit lands.
+            assert client.request(
+                {"op": "submit", "items": [1.0, 2.0]}
+            ) == {"ok": True, "accepted": 2}
+        finally:
+            client.close()
+            server.stop()
+            ex.finish_ingest()
+            assert ex.join(timeout=20.0).outputs == 2
+
+    def test_oversized_submit_rejected_and_connection_closed(self):
+        from repro.serving import ServingConfig
+
+        ex = _executor()
+        ex.start()
+        server = IngestServer(
+            ex,
+            port=0,
+            config=ServingConfig(max_line_bytes=512, idle_timeout=None),
+        ).start()
+        client = _Client(server.host, server.port)
+        try:
+            blob = json.dumps(
+                {"op": "submit", "items": [1.0] * 4096}
+            ).encode()
+            client.file.write(blob + b"\n")
+            client.file.flush()
+            reply = json.loads(client.file.readline())
+            assert "exceeds" in reply["error"]
+            assert client.file.readline() == b""  # server closed it
+        finally:
+            client.close()
+            server.stop()
+            ex.finish_ingest()
+            ex.join(timeout=20.0)
+
+    def test_admission_overload_is_retriable(self):
+        from repro.serving import AdmissionController
+
+        ex = _executor()
+        ex.start()
+        server = IngestServer(
+            ex, port=0, admission=AdmissionController(4)
+        ).start()
+        client = _Client(server.host, server.port)
+        try:
+            reply = client.request(
+                {"op": "submit", "items": [float(i) for i in range(8)]}
+            )
+            assert reply["ok"] is False
+            assert reply["retriable"] is True
+            assert reply["budget"] == 4
+            assert server.overload_rejections == 1
+            # A within-budget submit still lands.
+            small = client.request({"op": "submit", "items": [1.0, 2.0]})
+            assert small == {"ok": True, "accepted": 2}
+            stats = client.request({"op": "stats"})
+            assert stats["admission"]["rejections"] == 1
+        finally:
+            client.close()
+            server.stop()
+            ex.finish_ingest()
+            ex.join(timeout=20.0)
+
+    def test_submit_after_executor_stop_rejected(self):
+        ex = _executor()
+        ex.start()
+        server = IngestServer(ex, port=0, finish_on_shutdown=False).start()
+        client = _Client(server.host, server.port)
+        try:
+            ex.finish_ingest()
+            ex.join(timeout=20.0)
+            assert ex.stopped  # public API, not executor._stop
+            reply = client.request({"op": "submit", "items": [1.0]})
+            assert reply["ok"] is False
+            assert "stopped" in reply["error"]
+        finally:
+            client.close()
+            server.stop()

@@ -1,0 +1,115 @@
+"""Certificate-derived ingest admission (repro.serving.admission)."""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.model import RealTimeProblem
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+from repro.serving import (
+    AdmissionBudget,
+    AdmissionController,
+    budget_from_plan,
+    inflight_budget,
+)
+
+
+def _fake_plan(tau0=20.0, deadline=500.0, v=8):
+    pipeline = PipelineSpec.from_arrays([10.0, 20.0], [0.5, 1.0], v)
+    problem = RealTimeProblem(pipeline, tau0, deadline)
+    return SimpleNamespace(
+        problem=problem,
+        pipeline=pipeline,
+        b=np.array([1.0, 1.0]),
+        workload=SimpleNamespace(name="fake"),
+    )
+
+
+class TestInflightBudget:
+    def test_littles_law_plus_slack(self):
+        budget = inflight_budget(20.0, 500.0, 8, slack_vectors=2.0)
+        assert budget == math.ceil(500.0 / 20.0) + 16
+
+    def test_floor_is_one_vector(self):
+        # Absurdly tight deadline still admits one full vector.
+        assert inflight_budget(10.0, 1.0, 32, slack_vectors=0.0) == 32
+
+    @pytest.mark.parametrize(
+        "args",
+        [(0.0, 1.0, 8), (1.0, 0.0, 8), (1.0, 1.0, 0)],
+    )
+    def test_validation(self, args):
+        with pytest.raises(SpecError):
+            inflight_budget(*args)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(SpecError):
+            inflight_budget(1.0, 1.0, 8, slack_vectors=-1.0)
+
+
+class TestBudgetFromPlan:
+    def test_feasible_plan_gets_certificate_budget(self):
+        budget = budget_from_plan(_fake_plan())
+        assert budget.source == "certificate"
+        assert budget.feasible
+        assert budget.budget == inflight_budget(20.0, 500.0, 8)
+        assert 0.0 < budget.active_fraction <= 1.0
+        assert "certificate" in budget.render()
+
+    def test_over_capacity_plan_gets_zero_budget(self):
+        budget = budget_from_plan(_fake_plan(), capacity=1e-6)
+        assert budget.source == "infeasible"
+        assert budget.budget == 0
+
+    def test_slack_vectors_flow_through(self):
+        tight = budget_from_plan(_fake_plan(), slack_vectors=0.0)
+        loose = budget_from_plan(_fake_plan(), slack_vectors=4.0)
+        assert loose.budget - tight.budget == 32
+
+
+class TestAdmissionController:
+    def test_admit_until_budget(self):
+        ctl = AdmissionController(10)
+        assert ctl.admit(4, in_flight=0)
+        assert ctl.admit(6, in_flight=4)
+        assert not ctl.admit(1, in_flight=10)
+        stats = ctl.stats()
+        assert stats["admitted_items"] == 10
+        assert stats["rejected_items"] == 1
+        assert stats["rejections"] == 1
+
+    def test_overload_response_contract(self):
+        ctl = AdmissionController(5)
+        resp = ctl.overload_response(3, in_flight=4)
+        assert resp["ok"] is False
+        assert resp["retriable"] is True
+        assert resp["budget"] == 5
+        assert resp["in_flight"] == 4
+        assert "error" in resp
+
+    def test_budget_provenance_preserved(self):
+        budget = AdmissionBudget(
+            budget=7,
+            feasible=True,
+            active_fraction=0.5,
+            headroom=0.5,
+            source="explicit",
+        )
+        ctl = AdmissionController(budget)
+        assert ctl.budget == 7
+        assert ctl.provenance is budget
+
+    def test_zero_budget_rejects_everything(self):
+        ctl = AdmissionController(0)
+        assert not ctl.admit(1, in_flight=0)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            AdmissionController(-1)
+        with pytest.raises(SpecError):
+            AdmissionController(4).admit(-1, in_flight=0)

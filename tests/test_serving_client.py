@@ -1,0 +1,238 @@
+"""Resilient client: retry policy, circuit breaker, live retries."""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.errors import CircuitOpenError, ServingError, SpecError
+from repro.serving import (
+    CircuitBreaker,
+    JsonLinesServer,
+    ResilientClient,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.delay(a, rng) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_shrinks_delay(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for _ in range(20):
+            d = policy.delay(0, rng)
+            assert 0.5 <= d <= 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(SpecError):
+            RetryPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, **kwargs):
+        return CircuitBreaker(now=lambda: clock[0], **kwargs)
+
+    def test_opens_after_threshold(self):
+        clock = [0.0]
+        br = self._breaker(clock, failure_threshold=3, reset_timeout=10.0)
+        assert br.state == "closed"
+        for _ in range(3):
+            assert br.allow()
+            br.record_failure()
+        assert br.state == "open"
+        assert not br.allow()
+        assert br.opens == 1
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = [0.0]
+        br = self._breaker(clock, failure_threshold=1, reset_timeout=5.0)
+        br.record_failure()
+        assert br.state == "open"
+        clock[0] = 6.0
+        assert br.state == "half-open"
+        assert br.allow()  # the single probe
+        assert not br.allow()  # second concurrent probe denied
+        br.record_success()
+        assert br.state == "closed"
+        assert br.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = [0.0]
+        br = self._breaker(clock, failure_threshold=1, reset_timeout=5.0)
+        br.record_failure()
+        clock[0] = 6.0
+        assert br.allow()
+        br.record_failure()
+        assert br.state == "open"
+        assert not br.allow()
+        assert br.opens == 2
+        # A fresh cooldown starts from the failed probe.
+        clock[0] = 12.0
+        assert br.state == "half-open"
+
+    def test_success_resets_failure_streak(self):
+        clock = [0.0]
+        br = self._breaker(clock, failure_threshold=2, reset_timeout=5.0)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state == "closed"
+
+
+@pytest.mark.slow
+class TestResilientClient:
+    def _server(self, handler):
+        server = JsonLinesServer(handler, port=0, name="client-test")
+        server.start()
+        return server
+
+    def test_plain_request(self):
+        async def handler(obj):
+            return {"ok": True, "v": obj["v"]}
+
+        server = self._server(handler)
+        try:
+            with ResilientClient(server.host, server.port, seed=0) as client:
+                assert client.request({"v": 1}) == {"ok": True, "v": 1}
+                assert client.request({"v": 2}) == {"ok": True, "v": 2}
+                assert client.requests == 2
+                assert client.retries == 0
+        finally:
+            server.stop()
+
+    def test_retriable_response_retried_until_success(self):
+        calls = [0]
+
+        async def handler(obj):
+            calls[0] += 1
+            if calls[0] < 3:
+                return {"ok": False, "retriable": True, "error": "busy"}
+            return {"ok": True}
+
+        server = self._server(handler)
+        try:
+            sleeps = []
+            with ResilientClient(
+                server.host,
+                server.port,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.01),
+                seed=0,
+                sleep=sleeps.append,
+            ) as client:
+                reply = client.request({"op": "try"})
+            assert reply == {"ok": True}
+            assert calls[0] == 3
+            assert client.retries == 2
+            assert client.retriable_responses == 2
+            assert len(sleeps) == 2
+            assert sleeps[1] > sleeps[0] * 0.5  # backoff grew (pre-jitter 2x)
+        finally:
+            server.stop()
+
+    def test_exhausted_retries_return_last_retriable_reply(self):
+        async def handler(obj):
+            return {"ok": False, "retriable": True, "error": "still busy"}
+
+        server = self._server(handler)
+        try:
+            with ResilientClient(
+                server.host,
+                server.port,
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+                seed=0,
+                sleep=lambda s: None,
+            ) as client:
+                reply = client.request({"op": "try"})
+            assert reply["ok"] is False
+            assert reply["error"] == "still busy"
+        finally:
+            server.stop()
+
+    def test_transport_failure_retried_after_reconnect(self):
+        # First connection dies mid-request; the retry lands on a live
+        # server and succeeds.
+        accepted = [0]
+        ready = threading.Event()
+        killer = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        killer.bind(("127.0.0.1", 0))
+        killer.listen(8)
+        kport = killer.getsockname()[1]
+
+        async def handler(obj):
+            return {"ok": True}
+
+        server = self._server(handler)
+
+        def kill_first_then_proxy():
+            ready.set()
+            conn, _ = killer.accept()
+            accepted[0] += 1
+            conn.close()  # hang up on the first attempt
+
+        threading.Thread(target=kill_first_then_proxy, daemon=True).start()
+        ready.wait(timeout=5.0)
+        try:
+            client = ResilientClient(
+                "127.0.0.1",
+                kport,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+                seed=0,
+                sleep=lambda s: None,
+                timeout=5.0,
+            )
+            # Redirect the client to the real server after the failure.
+            original_close = client.close
+
+            def close_and_redirect():
+                original_close()
+                client.port = server.port
+
+            client.close = close_and_redirect
+            reply = client.request({"op": "go"})
+            assert reply == {"ok": True}
+            assert client.transport_failures >= 1
+            client.close()
+        finally:
+            server.stop()
+            killer.close()
+
+    def test_breaker_opens_and_fails_fast(self):
+        # Nothing is listening on this port: every attempt fails.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+
+        client = ResilientClient(
+            "127.0.0.1",
+            dead_port,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            breaker=CircuitBreaker(failure_threshold=2, reset_timeout=60.0),
+            seed=0,
+            sleep=lambda s: None,
+            timeout=1.0,
+        )
+        with pytest.raises(ServingError):
+            client.request({"op": "go"})
+        assert client.breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            client.request({"op": "go"})

@@ -1,0 +1,274 @@
+"""Hardened JSON-lines server (repro.serving.server + config)."""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.errors import ServingError, SpecError
+from repro.serving import JsonLinesServer, ServingConfig
+from repro.serving.chaos import request_once, send_raw_lines
+
+
+async def echo_handler(obj: dict) -> dict:
+    op = obj.get("op")
+    if op == "echo":
+        return {"ok": True, "echo": obj.get("value")}
+    if op == "boom":
+        raise RuntimeError("handler exploded")
+    if op == "bad":
+        raise SpecError("bad request by design")
+    if op == "slow":
+        import asyncio
+
+        await asyncio.sleep(obj.get("seconds", 1.0))
+        return {"ok": True}
+    if op == "shutdown":
+        return {"op": "shutdown", "ok": True}
+    raise SpecError(f"unknown op {op!r}")
+
+
+def serve(config=None, **kwargs):
+    server = JsonLinesServer(
+        echo_handler, port=0, config=config, name="test", **kwargs
+    )
+    server.start()
+    return server
+
+
+class TestServingConfig:
+    def test_defaults_valid(self):
+        cfg = ServingConfig()
+        assert cfg.max_line_bytes >= 1 << 20
+        assert cfg.max_connections >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_line_bytes": 8},
+            {"idle_timeout": 0.0},
+            {"request_deadline": -1.0},
+            {"max_connections": 0},
+            {"drain_timeout": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(SpecError):
+            ServingConfig(**kwargs)
+
+    def test_none_timeouts_allowed(self):
+        cfg = ServingConfig(idle_timeout=None, request_deadline=None)
+        assert cfg.idle_timeout is None
+        assert cfg.request_deadline is None
+
+
+@pytest.mark.slow
+class TestJsonLinesServer:
+    def test_echo_roundtrip_and_shutdown(self):
+        server = serve()
+        reply = request_once(
+            server.host, server.port, {"op": "echo", "value": 42}
+        )
+        assert reply == {"ok": True, "echo": 42}
+        bye = request_once(server.host, server.port, {"op": "shutdown"})
+        assert bye == {"op": "shutdown", "ok": True}
+        assert server.join(timeout=10.0)
+        assert server.stats.requests == 2
+
+    def test_health_op_served_by_server(self):
+        server = serve(health_extra=lambda: {"depth": 7})
+        try:
+            health = request_once(server.host, server.port, {"op": "health"})
+            assert health["ok"] is True
+            assert health["ready"] is True
+            assert health["draining"] is False
+            assert health["depth"] == 7
+            assert "stats" in health
+        finally:
+            server.stop()
+
+    def test_health_extra_failure_is_contained(self):
+        def broken():
+            raise RuntimeError("probe broke")
+
+        server = serve(health_extra=broken)
+        try:
+            health = request_once(server.host, server.port, {"op": "health"})
+            assert health["ok"] is True
+            assert "probe broke" in health["health_extra_error"]
+        finally:
+            server.stop()
+
+    def test_non_json_line_gets_structured_error(self):
+        server = serve()
+        try:
+            replies = send_raw_lines(
+                server.host,
+                server.port,
+                [b"this is not json", b'{"op": "echo", "value": 1}'],
+            )
+            assert "JSONDecodeError" in replies[0]["error"]
+            # The connection survives the malformed line.
+            assert replies[1] == {"ok": True, "echo": 1}
+        finally:
+            server.stop()
+
+    def test_non_object_payload_rejected(self):
+        server = serve()
+        try:
+            replies = send_raw_lines(
+                server.host, server.port, [b"[1, 2, 3]", b'"just a string"']
+            )
+            assert all("SpecError" in r["error"] for r in replies)
+        finally:
+            server.stop()
+
+    def test_handler_spec_error_becomes_response(self):
+        server = serve()
+        try:
+            reply = request_once(server.host, server.port, {"op": "bad"})
+            assert reply == {"error": "SpecError: bad request by design"}
+        finally:
+            server.stop()
+
+    def test_handler_crash_becomes_internal_error(self):
+        server = serve()
+        try:
+            reply = request_once(server.host, server.port, {"op": "boom"})
+            assert "InternalError" in reply["error"]
+            assert "handler exploded" in reply["error"]
+            # Server is still alive and serving.
+            ok = request_once(
+                server.host, server.port, {"op": "echo", "value": 2}
+            )
+            assert ok["echo"] == 2
+            assert server.stats.internal_errors == 1
+        finally:
+            server.stop()
+
+    def test_oversized_line_rejected_with_error(self):
+        server = serve(config=ServingConfig(max_line_bytes=256))
+        try:
+            blob = b'{"op": "echo", "value": "' + b"x" * 1024 + b'"}'
+            replies = send_raw_lines(server.host, server.port, [blob])
+            assert "exceeds" in replies[0]["error"]
+            assert server.stats.oversized_lines == 1
+            # Fresh connections still work after the oversized frame.
+            ok = request_once(
+                server.host, server.port, {"op": "echo", "value": 3}
+            )
+            assert ok["echo"] == 3
+        finally:
+            server.stop()
+
+    def test_idle_timeout_kicks_connection(self):
+        server = serve(config=ServingConfig(idle_timeout=0.2))
+        try:
+            with socket.create_connection(
+                (server.host, server.port), timeout=10.0
+            ) as sock:
+                sock.settimeout(10.0)
+                fh = sock.makefile("rwb")
+                line = fh.readline()  # blocks until the server kicks us
+            reply = json.loads(line)
+            assert reply["retriable"] is True
+            assert "idle" in reply["error"]
+            assert server.stats.idle_timeouts == 1
+        finally:
+            server.stop()
+
+    def test_request_deadline_returns_retriable_error(self):
+        server = serve(config=ServingConfig(request_deadline=0.1))
+        try:
+            reply = request_once(
+                server.host, server.port, {"op": "slow", "seconds": 5.0}
+            )
+            assert reply["retriable"] is True
+            assert "deadline" in reply["error"]
+            assert server.stats.deadline_timeouts == 1
+        finally:
+            server.stop()
+
+    def test_connection_cap_rejects_excess(self):
+        server = serve(config=ServingConfig(max_connections=1))
+        try:
+            first = socket.create_connection(
+                (server.host, server.port), timeout=10.0
+            )
+            fh = first.makefile("rwb")
+            fh.write(b'{"op": "echo", "value": 0}\n')
+            fh.flush()
+            assert json.loads(fh.readline())["ok"] is True
+            # Second connection is told to back off.
+            reply = request_once(
+                server.host, server.port, {"op": "echo", "value": 1}
+            )
+            assert reply["ok"] is False
+            assert reply["retriable"] is True
+            assert "connection limit" in reply["error"]
+            assert server.stats.connections_rejected >= 1
+            first.close()
+        finally:
+            server.stop()
+
+    def test_mid_request_disconnect_counted(self):
+        server = serve()
+        try:
+            with socket.create_connection(
+                (server.host, server.port), timeout=10.0
+            ) as sock:
+                sock.sendall(b'{"op": "ech')
+            deadline = time.time() + 5.0
+            while (
+                server.stats.disconnects_mid_request == 0
+                and time.time() < deadline
+            ):
+                time.sleep(0.01)
+            assert server.stats.disconnects_mid_request == 1
+        finally:
+            server.stop()
+
+    def test_on_drain_runs_exactly_once(self):
+        calls = []
+        server = serve(on_drain=lambda: calls.append(1))
+        request_once(server.host, server.port, {"op": "shutdown"})
+        assert server.join(timeout=10.0)
+        server.stop()  # second stop must not re-run the hook
+        assert calls == [1]
+
+    def test_stop_without_traffic(self):
+        server = serve()
+        server.stop()
+        assert server.join(timeout=10.0)
+
+    def test_double_start_rejected(self):
+        server = serve()
+        try:
+            with pytest.raises(ServingError, match="already started"):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_bind_failure_raises_serving_error(self):
+        taken = serve()
+        try:
+            clash = JsonLinesServer(
+                echo_handler, host=taken.host, port=taken.port, name="clash"
+            )
+            with pytest.raises(ServingError, match="failed to bind"):
+                clash.start()
+        finally:
+            taken.stop()
+
+    def test_draining_connection_rejected(self):
+        server = serve(config=ServingConfig(drain_timeout=0.5))
+        # Hold a connection open so drain has something to wait on.
+        hold = socket.create_connection(
+            (server.host, server.port), timeout=10.0
+        )
+        server.request_shutdown_threadsafe()
+        assert server.join(timeout=10.0)
+        hold.close()
