@@ -1,0 +1,443 @@
+"""Emit ``BENCH_tenancy.json``: multi-tenant co-scheduling under load.
+
+Three sections, each gated on the tenancy acceptance properties before
+any throughput/latency number is reported:
+
+- ``des_overload`` — eight mixed-QoS tenants (2 gold, 2 silver, 4
+  best-effort) co-simulated at exactly 2x device overload through
+  :class:`~repro.tenancy.sim.MultiTenantSimulator`.  Gated on gold
+  recording **zero** deadline misses, best-effort being the class that
+  degrades (service scale > 1), and the device-seconds ledger
+  conserving.
+- ``live_tenants`` — four tenants on a live
+  :class:`~repro.tenancy.executor.MultiPipelineExecutor` sharing one
+  WRR-arbitrated device on the wall clock.  Gated on every tenant's
+  item accounting closing (outputs + misses == ingested) and the
+  arbiter ledger conserving (sum busy + idle == elapsed).
+- ``frontend`` — a sharded planning frontend (consistent-hash routing
+  over real ``repro-plan serve`` worker subprocesses) under >= 1000
+  concurrent plan requests (128 in ``--smoke``).  Gated on every
+  request answered, zero transport failures, and p99 under
+  ``--max-p99-ms``.
+
+Usage (repository root)::
+
+    python -m benchmarks.perf.tenancy [--smoke] [--out PATH]
+                                      [--max-p99-ms X]
+                                      [--min-frontend-requests N]
+
+CI's tenancy job runs ``--smoke`` and archives the JSON artifact.
+Wall-clock figures vary with machine load; only the gates fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.arrivals.fixed import FixedRateArrivals  # noqa: E402
+from repro.dataflow.gains import DeterministicGain  # noqa: E402
+from repro.dataflow.spec import NodeSpec, PipelineSpec  # noqa: E402
+from repro.planning.cli import demo_requests, request_to_wire  # noqa: E402
+from repro.runtime.kernels import (  # noqa: E402
+    RuntimeWorkload,
+    SpinKernel,
+    plan_runtime,
+)
+from repro.serving import ServingConfig  # noqa: E402
+from repro.serving.chaos import flood, request_once  # noqa: E402
+from repro.tenancy.executor import (  # noqa: E402
+    MultiPipelineExecutor,
+    TenantSpec,
+)
+from repro.tenancy.frontend import (  # noqa: E402
+    ShardedPlanningFrontend,
+    start_worker_pool,
+)
+from repro.tenancy.sim import MultiTenantSimulator, SimTenant  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def _sim_tenant(name, qos, *, deadline, n_items, seed):
+    """A two-node passthrough tenant demanding active fraction 0.25."""
+    service, wait = 5.0, 15.0  # AF = t / (t + w) = 0.25 per node
+    pipeline = PipelineSpec(
+        (
+            NodeSpec(f"{name}-a", service, DeterministicGain(1)),
+            NodeSpec(f"{name}-b", service, DeterministicGain(1)),
+        ),
+        vector_width=4,
+    )
+    return SimTenant(
+        name=name,
+        pipeline=pipeline,
+        waits=np.asarray([wait, wait]),
+        arrivals=FixedRateArrivals(6.0),
+        deadline=deadline,
+        n_items=n_items,
+        qos=qos,
+        seed=seed,
+    )
+
+
+def bench_des_overload(smoke: bool) -> dict:
+    """8 mixed-QoS tenants at exactly 2x device overload in the DES."""
+    n_items = 120 if smoke else 400
+    tenants = []
+    for i in range(2):
+        tenants.append(
+            _sim_tenant(f"gold-{i}", "gold", deadline=150.0,
+                        n_items=n_items, seed=10 + i)
+        )
+    for i in range(2):
+        tenants.append(
+            _sim_tenant(f"silver-{i}", "silver", deadline=150.0,
+                        n_items=n_items, seed=20 + i)
+        )
+    for i in range(4):
+        tenants.append(
+            _sim_tenant(f"be-{i}", "best-effort", deadline=80.0,
+                        n_items=n_items, seed=30 + i)
+        )
+    # Total demand 8 * 0.25 = 2.0 against capacity 1.0: a 2x overload
+    # where the guaranteed classes (1.0 combined) exactly fill the
+    # device and best-effort is wholly defunded (clamped slowdown).
+    t0 = time.perf_counter()
+    result = MultiTenantSimulator(tenants, capacity=1.0, max_scale=16.0).run()
+    elapsed = time.perf_counter() - t0
+    per_tenant = {
+        name: {
+            "qos": result.qos[name].name,
+            "scale": result.scales[name],
+            "n_items": m.n_items,
+            "outputs": m.outputs,
+            "missed_items": m.missed_items,
+            "mean_latency": (
+                None if not np.isfinite(m.mean_latency) else m.mean_latency
+            ),
+        }
+        for name, m in result.tenants.items()
+    }
+    return {
+        "tenants": 8,
+        "overload_factor": sum(result.demands.values()) / 1.0,
+        "n_items_per_tenant": n_items,
+        "per_tenant": per_tenant,
+        "gold_missed": sum(
+            m["missed_items"]
+            for m in per_tenant.values()
+            if m["qos"] == "gold"
+        ),
+        "silver_missed": sum(
+            m["missed_items"]
+            for m in per_tenant.values()
+            if m["qos"] == "silver"
+        ),
+        "best_effort_missed": sum(
+            m["missed_items"]
+            for m in per_tenant.values()
+            if m["qos"] == "best-effort"
+        ),
+        "best_effort_min_scale": min(
+            m["scale"]
+            for m in per_tenant.values()
+            if m["qos"] == "best-effort"
+        ),
+        "makespan": result.makespan,
+        "events_processed": result.events_processed,
+        "device_busy_seconds": result.device.busy_seconds,
+        "conserves": result.conserves(),
+        "wall_seconds": elapsed,
+    }
+
+
+def _live_plan(name):
+    kernels = [
+        SpinKernel(
+            f"{name}-k{i}", DeterministicGain(1), nominal_service=0.002
+        )
+        for i in range(2)
+    ]
+    wl = RuntimeWorkload(
+        name=name,
+        kernels=kernels,
+        sample_payload=lambda n, rng: rng.random(n),
+    )
+    return plan_runtime(
+        wl,
+        vector_width=8,
+        tau0=0.05,
+        deadline=5.0,
+        calibrate_b=False,
+        n_gain_items=64,
+        seed=0,
+    )
+
+
+def bench_live_tenants(smoke: bool) -> dict:
+    """4 tenants co-scheduled on one WRR-arbitrated live device."""
+    n_items = 32 if smoke else 128
+    names_qos = (
+        ("g0", "gold"),
+        ("s0", "silver"),
+        ("b0", "best-effort"),
+        ("b1", "best-effort"),
+    )
+    multi = MultiPipelineExecutor(arbitration="wrr")
+    for name, qos in names_qos:
+        decision = multi.add_tenant(
+            TenantSpec(name=name, plan=_live_plan(name), qos=qos)
+        )
+        if not decision.admitted:
+            raise RuntimeError(
+                f"benchmark tenant {name} rejected: {decision.reason}"
+            )
+    multi.start()
+    rng = np.random.default_rng(0)
+    t0 = time.perf_counter()
+    for _ in range(0, n_items, 8):
+        for name, _ in names_qos:
+            multi.submit(name, rng.random(8))
+        time.sleep(0.002)
+    multi.finish_ingest()
+    report = multi.join(timeout=300.0)
+    elapsed = time.perf_counter() - t0
+    per_tenant = {}
+    accounting_closed = True
+    for name, _ in names_qos:
+        t = report.report(name).telemetry
+        # Misses are *late* outputs, not lost items; the conservation
+        # identity is ingested == delivered + still-queued + shed.
+        closed = t.outputs + t.in_flight + t.total_shed == t.items_ingested
+        accounting_closed = accounting_closed and closed
+        per_tenant[name] = {
+            "qos": report.qos[name],
+            "items_ingested": t.items_ingested,
+            "outputs": t.outputs,
+            "in_flight": t.in_flight,
+            "shed": t.total_shed,
+            "missed_items": t.missed_items,
+            "accounting_closed": closed,
+        }
+    device = report.device
+    return {
+        "tenants": len(names_qos),
+        "n_items_per_tenant": n_items,
+        "per_tenant": per_tenant,
+        "accounting_closed": accounting_closed,
+        "device": {
+            t.name: {
+                "busy_seconds": t.busy_seconds,
+                "grants": t.grants,
+                "weight": t.weight,
+            }
+            for t in device.tenants
+        },
+        "device_elapsed": device.elapsed,
+        "device_busy_seconds": device.busy_seconds,
+        "conserves": report.conserves(tol=1e-6),
+        "wall_seconds": elapsed,
+        "throughput_items_per_s": len(names_qos) * n_items / elapsed,
+    }
+
+
+def bench_frontend(
+    smoke: bool, workers: int, min_requests: int
+) -> dict:
+    """>= ``min_requests`` concurrent plan requests vs the sharded
+    frontend."""
+    clients = 32 if smoke else 250
+    requests_per_client = max(1, -(-min_requests // clients))  # ceil
+    reqs = [
+        request_to_wire(r)
+        for r in demo_requests(64, distinct=64)
+    ]
+    pool = start_worker_pool(workers)
+    frontend = ShardedPlanningFrontend(
+        pool,
+        config=ServingConfig(max_connections=1024, idle_timeout=None),
+    ).start()
+    try:
+        t0 = time.perf_counter()
+        result = flood(
+            frontend.host,
+            frontend.port,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            build_request=lambda ci, ri: reqs[
+                (ci * requests_per_client + ri) % len(reqs)
+            ],
+            timeout=300.0,
+        )
+        elapsed = time.perf_counter() - t0
+        stats = request_once(
+            frontend.host, frontend.port, {"op": "stats"}, timeout=60.0
+        )
+    finally:
+        request_once(
+            frontend.host, frontend.port, {"op": "shutdown"}, timeout=60.0
+        )
+        frontend.join(timeout=60.0)
+        for w in pool:
+            w.stop()
+    return {
+        "workers": workers,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "sent": result.sent,
+        "answered": result.answered,
+        "ok": result.ok,
+        "errors": result.errors,
+        "transport_failures": result.transport_failures,
+        "exceptions": result.exceptions[:5],
+        "latency_p50_ms": result.latency_quantile(0.50) * 1e3,
+        "latency_p99_ms": result.latency_quantile(0.99) * 1e3,
+        "routed": stats["routed"],
+        "worker_failures": stats["worker_failures"],
+        "wall_seconds": elapsed,
+        "requests_per_s": result.sent / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_all(
+    smoke: bool, max_p99_ms: float, min_frontend_requests: int
+) -> tuple[dict, list[str]]:
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "des_overload": bench_des_overload(smoke),
+        "live_tenants": bench_live_tenants(smoke),
+        "frontend": bench_frontend(
+            smoke, workers=2 if smoke else 4,
+            min_requests=min_frontend_requests,
+        ),
+    }
+    failures: list[str] = []
+    des = report["des_overload"]
+    if des["overload_factor"] < 2.0 - 1e-9:
+        failures.append(
+            f"des overload factor {des['overload_factor']:.2f} < 2.0"
+        )
+    if des["gold_missed"] != 0:
+        failures.append(
+            f"des overload: gold missed {des['gold_missed']} deadlines"
+        )
+    if des["best_effort_min_scale"] <= 1.0:
+        failures.append("des overload: best-effort was not degraded")
+    if not des["conserves"]:
+        failures.append("des overload: device ledger does not conserve")
+    live = report["live_tenants"]
+    if not live["accounting_closed"]:
+        failures.append("live tenants: item accounting did not close")
+    if not live["conserves"]:
+        failures.append("live tenants: arbiter ledger does not conserve")
+    fe = report["frontend"]
+    if fe["sent"] < min_frontend_requests:
+        failures.append(
+            f"frontend: only {fe['sent']} requests sent "
+            f"(floor {min_frontend_requests})"
+        )
+    if fe["answered"] != fe["sent"] or fe["transport_failures"]:
+        failures.append(
+            f"frontend: {fe['sent'] - fe['answered']} unanswered, "
+            f"{fe['transport_failures']} transport failures"
+        )
+    if fe["errors"]:
+        failures.append(f"frontend: {fe['errors']} error responses")
+    if fe["worker_failures"]:
+        failures.append(
+            f"frontend: {fe['worker_failures']} worker failures"
+        )
+    if fe["latency_p99_ms"] > max_p99_ms:
+        failures.append(
+            f"frontend p99 {fe['latency_p99_ms']:.1f} ms "
+            f"> {max_p99_ms:.0f} ms"
+        )
+    return report, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Multi-tenant co-scheduling benchmarks -> "
+        "BENCH_tenancy.json"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short runs for CI (fewer items, fewer concurrent clients)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_tenancy.json",
+        help="output JSON path (default: repo root)",
+    )
+    parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=5000.0,
+        help="frontend flood p99 latency gate (default 5000 ms)",
+    )
+    parser.add_argument(
+        "--min-frontend-requests",
+        type=int,
+        default=None,
+        help="concurrent plan-request floor for the frontend section "
+        "(default: 128 smoke, 1000 full)",
+    )
+    args = parser.parse_args(argv)
+    min_requests = args.min_frontend_requests
+    if min_requests is None:
+        min_requests = 128 if args.smoke else 1000
+
+    report, failures = run_all(args.smoke, args.max_p99_ms, min_requests)
+    report["gates_failed"] = failures
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    des, live, fe = (
+        report["des_overload"],
+        report["live_tenants"],
+        report["frontend"],
+    )
+    print(
+        f"des_overload: {des['tenants']} tenants at "
+        f"{des['overload_factor']:.1f}x, gold missed {des['gold_missed']}, "
+        f"best-effort missed {des['best_effort_missed']}, "
+        f"conserves={des['conserves']}"
+    )
+    print(
+        f"live_tenants: {live['tenants']} tenants, "
+        f"accounting_closed={live['accounting_closed']}, "
+        f"conserves={live['conserves']}, "
+        f"{live['throughput_items_per_s']:.0f} items/s"
+    )
+    print(
+        f"frontend: {fe['sent']} requests over {fe['workers']} workers, "
+        f"p50 {fe['latency_p50_ms']:.1f} ms, p99 {fe['latency_p99_ms']:.1f} "
+        f"ms, {fe['requests_per_s']:.0f} req/s"
+    )
+    if failures:
+        print("GATES FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,6 +57,8 @@ __all__ = [
     "LiveNodeTelemetry",
     "RuntimeTelemetry",
     "TelemetryCollector",
+    "TenantLedgerTelemetry",
+    "DeviceTelemetry",
 ]
 
 
@@ -374,6 +376,84 @@ class RuntimeTelemetry:
                 f"({self.node_restarts} recovered by restart)"
             )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TenantLedgerTelemetry:
+    """One tenant's device-time ledger on a shared device.
+
+    ``busy_seconds`` is the device time charged to the tenant (the sum
+    of its firing durations granted by the arbiter, or the work-rate
+    charge in the DES); ``grants`` counts firings.  ``share`` is the
+    busy fraction of the reference horizon the snapshot was taken over.
+    """
+
+    name: str
+    qos: str
+    weight: float
+    busy_seconds: float
+    grants: int
+    share: float
+
+
+@dataclass(frozen=True)
+class DeviceTelemetry:
+    """A shared device's per-tenant busy-time ledger snapshot.
+
+    The conservation contract (pinned by the tenancy test battery): with
+    ``slots`` concurrent firing slots over ``elapsed`` seconds the
+    device offered ``slots * elapsed`` device-seconds, so the
+    per-tenant busy times plus the idle remainder must reproduce that
+    total — :meth:`conserves` checks ``sum(busy) + idle == slots *
+    elapsed`` within tolerance (idle is derived, so the real content is
+    ``0 <= sum(busy) <= slots * elapsed + tol`` and every per-tenant
+    entry nonnegative).
+    """
+
+    elapsed: float
+    slots: int
+    capacity: float
+    tenants: tuple[TenantLedgerTelemetry, ...]
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(t.busy_seconds for t in self.tenants)
+
+    @property
+    def idle_seconds(self) -> float:
+        return self.slots * self.elapsed - self.busy_seconds
+
+    def conserves(self, *, tol: float = 1e-6) -> bool:
+        """Does ``sum(per-tenant busy) + idle == slots * elapsed``?"""
+        total = self.slots * self.elapsed
+        if any(t.busy_seconds < -tol for t in self.tenants):
+            return False
+        if self.busy_seconds > total + tol:
+            return False
+        return abs(self.busy_seconds + self.idle_seconds - total) <= tol
+
+    def render(self) -> str:
+        rows = [
+            (
+                t.name,
+                t.qos,
+                f"{t.weight:g}",
+                f"{t.busy_seconds:.4f}",
+                t.grants,
+                f"{t.share:.4f}",
+            )
+            for t in self.tenants
+        ]
+        table = render_table(
+            ["tenant", "qos", "weight", "busy s", "grants", "share"],
+            rows,
+            title=f"device ledger ({self.slots} slot(s))",
+        )
+        return table + (
+            f"\ndevice: {self.elapsed:.3f}s elapsed, "
+            f"{self.busy_seconds:.3f}s busy, "
+            f"{self.idle_seconds:.3f}s idle"
+        )
 
 
 class TelemetryCollector:

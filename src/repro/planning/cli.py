@@ -263,7 +263,44 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``serve --workers N``: the sharded planning frontend."""
+    from repro.tenancy.frontend import ShardedPlanningFrontend, start_worker_pool
+
+    if args.max_requests is not None:
+        print(
+            "error: --max-requests is not supported with --workers "
+            "(send {'op': 'shutdown'} instead)",
+            file=sys.stderr,
+        )
+        return 2
+    workers = start_worker_pool(
+        args.workers,
+        store=args.store,
+        capacity=args.capacity,
+        concurrency=args.concurrency,
+    )
+    frontend = ShardedPlanningFrontend(
+        workers,
+        host=args.host,
+        port=args.port,
+        config=serving_config_from_args(args),
+    )
+    for w in workers:
+        print(f"plan worker {w.name} on {w.host}:{w.port}", flush=True)
+    frontend.serve_forever(
+        on_ready=lambda s: print(
+            f"repro-plan serving on {s.host}:{s.port} "
+            f"({len(workers)} workers)",
+            flush=True,
+        )
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _cmd_serve_sharded(args)
     cache = PlanCache(capacity=args.capacity, path=args.store)
     service = PlanningService(
         cache,
@@ -404,7 +441,15 @@ def main(argv: list[str] | None = None) -> int:
         "--max-requests",
         type=int,
         default=None,
-        help="exit after N successful requests (tests / smoke runs)",
+        help="exit after N successful requests (tests / smoke runs; "
+        "single-process mode only)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes behind a sharded consistent-hash frontend "
+        "(1 = solve in-process)",
     )
     add_serving_arguments(serve_p)
     _add_common(serve_p)

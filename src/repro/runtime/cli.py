@@ -253,8 +253,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.executor import PipelineExecutor
     from repro.runtime.ingest import IngestServer
     from repro.runtime.kernels import build_workload, plan_runtime
-    from repro.serving import AdmissionController, budget_from_plan
+    from repro.serving import (
+        AdmissionController,
+        budget_from_event,
+        budget_from_plan,
+    )
     from repro.serving.config import serving_config_from_args
+
+    if args.tenants:
+        return _cmd_serve_tenants(args)
 
     workload = build_workload(args.app, seed=args.seed)
     plan = plan_runtime(
@@ -265,12 +272,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     admission = None
+    on_replan = None
     if not args.no_admission:
         budget = budget_from_plan(plan, slack_vectors=args.slack_vectors)
         admission = AdmissionController(budget)
         print(budget.render(), flush=True)
+
+        def on_replan(event, admission=admission, plan=plan):
+            # Keep the in-flight budget synced to the plan actually in
+            # force: a hot re-plan adoption replaces the certificate the
+            # server-start budget was derived from.
+            admission.set_budget(
+                budget_from_event(
+                    plan, event, slack_vectors=args.slack_vectors
+                )
+            )
+
     executor = PipelineExecutor.from_plan(
-        plan, restart_failed_nodes=args.restart_failed_nodes
+        plan,
+        restart_failed_nodes=args.restart_failed_nodes,
+        on_replan=on_replan,
     )
     executor.start()
     server = IngestServer(
@@ -294,6 +315,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor.finish_ingest()
     report = executor.join(timeout=60.0)
     print(report.render())
+    return 0
+
+
+def _cmd_serve_tenants(args: argparse.Namespace) -> int:
+    """Multi-tenant serve mode: one server, K admitted pipelines."""
+    import zlib
+
+    from repro.runtime.kernels import build_workload, plan_runtime
+    from repro.serving.config import serving_config_from_args
+    from repro.tenancy.executor import MultiPipelineExecutor
+    from repro.tenancy.server import MultiTenantIngestServer
+
+    # Calibrate once against a base workload; per-tenant plans reuse the
+    # measured nominal services so an admit costs one solve, not a
+    # wall-clock calibration.
+    base = build_workload(args.app, seed=args.seed)
+    base_plan = plan_runtime(
+        base,
+        vector_width=args.vector_width,
+        utilization=args.utilization,
+        deadline_factor=args.deadline_factor,
+        seed=args.seed,
+    )
+    nominal = [k.nominal_service for k in base.kernels]
+
+    def plan_factory(name: str, tau0, deadline):
+        # Fresh kernels per tenant (kernels hold RNG state and belong to
+        # one executor's threads); deterministic per-name seed.
+        tenant_seed = args.seed + 1 + (zlib.crc32(name.encode()) % 100003)
+        workload = build_workload(args.app, seed=tenant_seed)
+        for kernel, service in zip(workload.kernels, nominal):
+            kernel.nominal_service = service
+        return plan_runtime(
+            workload,
+            vector_width=args.vector_width,
+            tau0=float(tau0) if tau0 is not None else base_plan.problem.tau0,
+            deadline=(
+                float(deadline)
+                if deadline is not None
+                else base_plan.problem.deadline
+            ),
+            b=base_plan.b,
+            calibrate_b=False,
+            seed=tenant_seed,
+        )
+
+    multi = MultiPipelineExecutor(
+        arbitration=args.arbitration,
+        capacity=args.device_capacity,
+        slack_vectors=args.slack_vectors,
+        max_overload=args.max_overload,
+    )
+    multi.start()
+    server = MultiTenantIngestServer(
+        multi,
+        plan_factory,
+        host=args.host,
+        port=args.port,
+        config=serving_config_from_args(args),
+    )
+    server.start()
+    print(
+        f"repro-run serving tenants of {args.app} on "
+        f"{server.host}:{server.port} (arbitration={args.arbitration}, "
+        f"capacity={args.device_capacity:g})",
+        flush=True,
+    )
+    try:
+        server.join()
+    except KeyboardInterrupt:  # pragma: no cover — interactive only
+        server.stop()
+        multi.finish_ingest()
+    report = multi.join(timeout=60.0)
+    for name, tenant_report in sorted(report.tenants.items()):
+        t = tenant_report.telemetry
+        print(
+            f"tenant {name} [{report.qos.get(name, '?')}]: "
+            f"{t.items_ingested} in, {t.outputs} out, "
+            f"{t.missed_items} missed"
+        )
+    if report.device is not None:
+        print(report.device.render())
     return 0
 
 
@@ -433,6 +536,31 @@ def main(argv: list[str] | None = None) -> int:
         "--restart-failed-nodes",
         action="store_true",
         help="supervise node threads and restart them after a crash",
+    )
+    serve_p.add_argument(
+        "--tenants",
+        action="store_true",
+        help="multi-tenant mode: admit/evict per-tenant pipelines over "
+        "the wire with certificate-based admission and QoS classes",
+    )
+    serve_p.add_argument(
+        "--arbitration",
+        default="none",
+        choices=("none", "wrr"),
+        help="--tenants device sharing: 'wrr' serializes firings through "
+        "a weighted-round-robin arbiter with per-tenant ledgers",
+    )
+    serve_p.add_argument(
+        "--device-capacity",
+        type=float,
+        default=1.0,
+        help="--tenants admission capacity in active-fraction units",
+    )
+    serve_p.add_argument(
+        "--max-overload",
+        type=float,
+        default=None,
+        help="--tenants cap on total (incl. best-effort) oversubscription",
     )
     from repro.serving.config import add_serving_arguments
 

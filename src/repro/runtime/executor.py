@@ -223,6 +223,24 @@ plan_runtime`).
         filtering); a node with none is a sink, and every sink gets its
         own :class:`~repro.sim.metrics.LatencyLedger` in
         :attr:`sink_ledgers` besides the global one.
+    device:
+        Optional shared-device handle (e.g.
+        :class:`~repro.tenancy.device.TenantDeviceHandle`) with
+        ``acquire(stop) -> bool`` and ``release(duration)``.  When set,
+        every node firing is bracketed by an acquire/release pair, so K
+        executors sharing one arbiter contend for the device like K
+        tenants on one SIMD machine and the arbiter's busy-time ledger
+        accounts each tenant's device time.  Enforced waits are slept
+        *without* holding the device — that idle time is exactly what
+        co-residency reclaims.  ``None`` (default) runs device-free with
+        unchanged behavior.
+    on_replan:
+        Optional callback invoked with the adopted
+        :class:`~repro.runtime.replan.ReplanEvent` each time the control
+        loop swaps in a re-planned wait vector.  The serving layer uses
+        it to recompute the admission in-flight budget from the new
+        plan's certificate.  Exceptions propagate to the control loop
+        and stop the pipeline (they surface in :meth:`join`).
     """
 
     def __init__(
@@ -249,6 +267,8 @@ plan_runtime`).
         successors: list[list[int]] | None = None,
         restart_failed_nodes: bool = False,
         max_node_restarts: int = 3,
+        device=None,
+        on_replan=None,
     ) -> None:
         if not kernels:
             raise SpecError("executor needs at least one kernel")
@@ -365,6 +385,8 @@ plan_runtime`).
         self._node_failures: list[NodeFailure] = []
         self._node_restarts = 0
         self._supervision_lock = threading.Lock()
+        self._device = device
+        self._on_replan = on_replan
 
     # -- construction helpers ---------------------------------------------
 
@@ -644,12 +666,21 @@ plan_runtime`).
         queue = self.queues[node]
         stats = self._stats[node]
         v = self.vector_width
+        device = self._device
+        held = False  # this thread currently holds a device slot
         ids = _EMPTY_IDS  # the batch currently held outside any queue
         try:
             while not self._stop.is_set():
+                if device is not None:
+                    if not device.acquire(self._stop):
+                        return  # stop fired while queued for the device
+                    held = True
                 ids, payload = queue.pop_up_to(v)
                 consumed = int(ids.size)
                 if consumed == 0 and not self.charge_empty_firings:
+                    if held:
+                        device.release(0.0)
+                        held = False
                     time.sleep(self.poll_interval)
                     stats.wait_time += self.poll_interval
                     continue
@@ -672,6 +703,11 @@ plan_runtime`).
                     if remaining > 0:
                         stats.oversleep_time += self._sleep(remaining)
                 duration = time.perf_counter() - fire_start
+                if held:
+                    # The device was busy for the whole (padded) firing;
+                    # the enforced wait below is slept without it.
+                    device.release(duration)
+                    held = False
                 stats.firings += 1
                 stats.busy_time += duration
                 stats.occupancy_sum += consumed / v
@@ -700,6 +736,9 @@ plan_runtime`).
                     stats.wait_time += time.perf_counter() - wait_start
         except BaseException as exc:  # supervised: report, maybe restart
             self._on_node_failure(node, exc, ids)
+        finally:
+            if held:
+                device.release(0.0)
 
     def _on_node_failure(
         self, node: int, exc: BaseException, ids: np.ndarray
@@ -774,14 +813,28 @@ plan_runtime`).
                         gain_mask=state.gain_suspect,
                     )
                     if event.adopted:
-                        self.swap_waits(event.waits)
-                        self._planned_af = event.active_fraction
-                        self.calibrator.rebase(event.services, event.gains)
-                        self.drift_detector.rebase()
-                        self._adopted_replans += 1
+                        self._adopt_replan(event)
         except BaseException as exc:
             self._node_errors.append(exc)
             self._stop.set()
+
+    def _adopt_replan(self, event: ReplanEvent) -> None:
+        """Adopt a feasible replan mid-flight and notify the serving layer.
+
+        Swaps the waits in, rebases the calibrator and drift detector on
+        the new plan, and — the piece the serving layer hooks — calls
+        ``on_replan(event)`` so the admission budget is recomputed from
+        the *adopted* plan's certificate rather than staying frozen at
+        the server-start value (see
+        :func:`repro.serving.admission.budget_from_event`).
+        """
+        self.swap_waits(event.waits)
+        self._planned_af = event.active_fraction
+        self.calibrator.rebase(event.services, event.gains)
+        self.drift_detector.rebase()
+        self._adopted_replans += 1
+        if self._on_replan is not None:
+            self._on_replan(event)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -25,6 +25,7 @@ stack so they harden together:
 from repro.serving.admission import (
     AdmissionBudget,
     AdmissionController,
+    budget_from_event,
     budget_from_plan,
     inflight_budget,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "ServerStats",
     "ServingConfig",
     "add_serving_arguments",
+    "budget_from_event",
     "budget_from_plan",
     "inflight_budget",
     "serving_config_from_args",

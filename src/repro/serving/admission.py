@@ -39,6 +39,7 @@ __all__ = [
     "AdmissionBudget",
     "AdmissionController",
     "inflight_budget",
+    "budget_from_event",
     "budget_from_plan",
 ]
 
@@ -128,14 +129,64 @@ def budget_from_plan(
     )
 
 
+def budget_from_event(
+    plan,
+    event,
+    *,
+    capacity: float = 1.0,
+    slack_vectors: float = 2.0,
+) -> AdmissionBudget:
+    """Re-derive the ingest budget after a hot re-plan adoption.
+
+    The budget computed at server start is only valid for the plan the
+    server started with; when the control loop adopts a re-planned wait
+    vector (a :class:`~repro.runtime.replan.ReplanEvent`), the *new*
+    certificate must drive admission.  The operating point ``(tau0, D)``
+    is unchanged by a re-plan — only the waits and the active fraction
+    move — so the Little's-law bound itself is stable, but an event whose
+    solution is infeasible or whose active fraction exceeds capacity
+    zeroes the budget exactly like :func:`budget_from_plan` does for a
+    bad initial plan.
+    """
+    if not event.feasible or not math.isfinite(event.active_fraction):
+        return AdmissionBudget(
+            budget=0,
+            feasible=False,
+            active_fraction=event.active_fraction,
+            headroom=capacity - event.active_fraction,
+            source="replan-infeasible",
+        )
+    if event.active_fraction > capacity + 1e-12:
+        return AdmissionBudget(
+            budget=0,
+            feasible=True,
+            active_fraction=event.active_fraction,
+            headroom=capacity - event.active_fraction,
+            source="replan-infeasible",
+        )
+    return AdmissionBudget(
+        budget=inflight_budget(
+            plan.problem.tau0,
+            plan.problem.deadline,
+            plan.pipeline.vector_width,
+            slack_vectors=slack_vectors,
+        ),
+        feasible=True,
+        active_fraction=event.active_fraction,
+        headroom=capacity - event.active_fraction,
+        source="replan-certificate",
+    )
+
+
 class AdmissionController:
-    """Per-submit admission decisions against a fixed in-flight budget.
+    """Per-submit admission decisions against a revisable in-flight budget.
 
     The controller is deliberately stateless about population — the
     executor's live ``in_flight`` is the ground truth and is passed into
     every decision — so there is no drift between admission bookkeeping
     and reality.  It owns only the budget and the accept/reject
-    counters.
+    counters.  :meth:`set_budget` swaps the budget when the plan it was
+    derived from is replaced mid-flight (hot re-plan adoption).
     """
 
     def __init__(self, budget: int | AdmissionBudget) -> None:
@@ -150,7 +201,23 @@ class AdmissionController:
         self.admitted_items = 0
         self.rejected_items = 0
         self.rejections = 0
+        self.budget_updates = 0
         self._lock = threading.Lock()
+
+    def set_budget(self, budget: int | AdmissionBudget) -> None:
+        """Atomically adopt a new budget (e.g. after a hot re-plan)."""
+        if isinstance(budget, AdmissionBudget):
+            provenance: AdmissionBudget | None = budget
+            value = budget.budget
+        else:
+            provenance = None
+            value = budget
+        if value < 0:
+            raise SpecError(f"admission budget must be >= 0, got {value}")
+        with self._lock:
+            self.budget = int(value)
+            self.provenance = provenance
+            self.budget_updates += 1
 
     def admit(self, k: int, in_flight: int) -> bool:
         """Admit ``k`` more items given the live in-flight population?"""
@@ -186,4 +253,5 @@ class AdmissionController:
                 "admitted_items": self.admitted_items,
                 "rejected_items": self.rejected_items,
                 "rejections": self.rejections,
+                "budget_updates": self.budget_updates,
             }

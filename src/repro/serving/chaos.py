@@ -30,6 +30,8 @@ __all__ = [
     "disconnect_mid_request",
     "FloodResult",
     "flood",
+    "ChurnResult",
+    "tenant_churn",
 ]
 
 
@@ -236,4 +238,118 @@ def flood(
         t.start()
     for t in threads:
         t.join(timeout=timeout + 30.0)
+    return result
+
+
+@dataclass
+class ChurnResult:
+    """Aggregate outcome of a :func:`tenant_churn` run."""
+
+    cycles: int = 0
+    admitted: int = 0
+    admit_rejected: int = 0
+    submit_ok: int = 0
+    submit_rejected: int = 0
+    evicted: int = 0
+    evict_failures: int = 0
+    errors: int = 0
+    transport_failures: int = 0
+    exceptions: list[str] = field(default_factory=list)
+
+
+def tenant_churn(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    cycles: int,
+    build_admit,
+    build_submit=None,
+    submits_per_cycle: int = 1,
+    timeout: float = 30.0,
+) -> ChurnResult:
+    """Rapid connect/admit/submit/evict cycles against a tenancy server.
+
+    Each of ``clients`` concurrent threads runs ``cycles`` full tenant
+    lifecycles on *fresh connections* (connection churn is part of the
+    chaos): admit a uniquely named tenant via ``build_admit(client,
+    cycle) -> dict`` (an ``{"op": "admit", ...}`` request), optionally
+    submit ``submits_per_cycle`` batches via ``build_submit(client,
+    cycle, tenant) -> dict``, then evict the tenant.  Admission
+    rejections (capacity) and submit rejections (budget) are expected
+    outcomes, counted rather than raised; what must *never* happen —
+    and what the chaos test asserts via the aggregate — is a transport
+    failure, an unstructured error, or a failed evict of a tenant that
+    was admitted (state leak).
+    """
+    result = ChurnResult()
+    lock = threading.Lock()
+
+    def one_request(obj: dict) -> dict:
+        return request_once(host, port, obj, timeout=timeout)
+
+    def one_client(ci: int) -> None:
+        for cy in range(cycles):
+            admitted = False
+            tenant = None
+            try:
+                admit = build_admit(ci, cy)
+                tenant = admit.get("tenant")
+                reply = one_request(admit)
+                with lock:
+                    result.cycles += 1
+                if reply.get("ok"):
+                    admitted = True
+                    with lock:
+                        result.admitted += 1
+                elif reply.get("retriable") or "reason" in reply:
+                    with lock:
+                        result.admit_rejected += 1
+                else:
+                    with lock:
+                        result.errors += 1
+                    continue
+                if not admitted:
+                    continue
+                for _ in range(submits_per_cycle):
+                    if build_submit is None:
+                        break
+                    sreply = one_request(build_submit(ci, cy, tenant))
+                    with lock:
+                        if sreply.get("ok"):
+                            result.submit_ok += 1
+                        elif sreply.get("retriable"):
+                            result.submit_rejected += 1
+                        else:
+                            result.errors += 1
+            except Exception as exc:
+                with lock:
+                    result.transport_failures += 1
+                    result.exceptions.append(f"{type(exc).__name__}: {exc}")
+            finally:
+                if admitted and tenant is not None:
+                    try:
+                        ereply = one_request(
+                            {"op": "evict", "tenant": tenant}
+                        )
+                        with lock:
+                            if ereply.get("ok"):
+                                result.evicted += 1
+                            else:
+                                result.evict_failures += 1
+                    except Exception as exc:
+                        with lock:
+                            result.transport_failures += 1
+                            result.exceptions.append(
+                                f"{type(exc).__name__}: {exc}"
+                            )
+
+    threads = [
+        threading.Thread(target=one_client, args=(ci,), daemon=True)
+        for ci in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout * cycles + 30.0)
     return result

@@ -148,6 +148,12 @@ class EnforcedWaitsSimulator:
     watchdog:
         Optional :class:`~repro.resilience.watchdog.DeadlineWatchdog`
         enabling graceful degradation of the enforced waits.
+    engine:
+        Optional shared :class:`~repro.des.engine.Engine`.  When given,
+        this simulator co-schedules on the caller's virtual timeline
+        (multi-tenant mode, :mod:`repro.tenancy.sim`): the caller arms
+        it with :meth:`prepare`, runs the engine itself, and collects
+        metrics with :meth:`finalize`.  ``engine_queue`` is ignored.
     """
 
     def __init__(
@@ -171,6 +177,7 @@ class EnforcedWaitsSimulator:
         queue_capacity: int | None = None,
         shed_policy: str | None = None,
         watchdog: DeadlineWatchdog | None = None,
+        engine: Engine | None = None,
     ) -> None:
         waits = np.asarray(waits, dtype=float)
         if waits.shape != (pipeline.n_nodes,):
@@ -214,7 +221,11 @@ class EnforcedWaitsSimulator:
         self._watchdog = watchdog
 
         self.rng = RngRegistry(seed)
-        self.engine = Engine(queue=engine_queue)
+        # A caller-supplied engine co-schedules this simulator with others
+        # on one virtual timeline (see repro.tenancy.sim); the owner of a
+        # shared engine drives it via prepare()/finalize() instead of run().
+        self._owns_engine = engine is None
+        self.engine = Engine(queue=engine_queue) if engine is None else engine
         n = pipeline.n_nodes
         # Minimum downstream service from node i (inclusive) to the tail:
         # the deadline-aware shed policy's traversal estimate.
@@ -544,24 +555,65 @@ class EnforcedWaitsSimulator:
             # No per-arrival events: the head node's firings drain the
             # arrival array lazily (see module docstring).  Firings
             # self-perpetuate until shutdown, so the drain always happens.
-            for i in range(self.pipeline.n_nodes):
-                self.engine.schedule(
-                    float(self.start_offsets[i]),
-                    lambda i=i: self._fire(i),
-                    priority=_PRIO_FIRE,
-                )
+            self._schedule_initial_firings()
 
             self.engine.run(max_events=self.max_events)
 
-            if self._in_flight != 0 or self._inflight_firings:
-                raise SimulationError(
-                    f"pipeline failed to drain: {self._in_flight} items in "
-                    f"flight, {len(self._inflight_firings)} firings active"
-                )
+            self._check_drained()
             hwm_items = np.asarray(
                 [q.max_depth for q in self.queues], dtype=float
             )
 
+        return self._collect(hwm_items)
+
+    # -- co-simulation (shared engine) --------------------------------------
+
+    def prepare(self) -> None:
+        """Arm this simulator on its engine without running the loop.
+
+        The co-simulation protocol (:mod:`repro.tenancy.sim`): each of K
+        simulators sharing one :class:`~repro.des.engine.Engine` calls
+        ``prepare()``, the owner runs the engine once to quiescence, and
+        each collects its own metrics with :meth:`finalize`.  The
+        closed-form fast path is intentionally skipped — co-scheduled
+        runs need the explicit event loop.  Single use, like :meth:`run`.
+        """
+        if self._ran:
+            raise SimulationError("simulator instances are single-use")
+        self._ran = True
+        self._times = self.arrivals.generate(
+            self.n_items, self.rng.stream("arrivals")
+        )
+        if self._faults is not None:
+            self._times = self._faults.transform_arrivals(self._times)
+        self._schedule_initial_firings()
+
+    def finalize(self) -> SimMetrics:
+        """Collect metrics after a shared engine run following :meth:`prepare`."""
+        if self._times is None:
+            raise SimulationError("finalize() requires prepare() first")
+        self._check_drained()
+        hwm_items = np.asarray(
+            [q.max_depth for q in self.queues], dtype=float
+        )
+        return self._collect(hwm_items)
+
+    def _schedule_initial_firings(self) -> None:
+        for i in range(self.pipeline.n_nodes):
+            self.engine.schedule(
+                float(self.start_offsets[i]),
+                lambda i=i: self._fire(i),
+                priority=_PRIO_FIRE,
+            )
+
+    def _check_drained(self) -> None:
+        if self._in_flight != 0 or self._inflight_firings:
+            raise SimulationError(
+                f"pipeline failed to drain: {self._in_flight} items in "
+                f"flight, {len(self._inflight_firings)} firings active"
+            )
+
+    def _collect(self, hwm_items: np.ndarray) -> SimMetrics:
         makespan = max(self._last_activity, float(self._times[-1]))
         if makespan <= 0:
             makespan = float("nan")

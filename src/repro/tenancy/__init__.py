@@ -1,0 +1,77 @@
+"""Multi-tenant co-scheduling of enforced-waits pipelines.
+
+The paper plans one pipeline owning one device.  This package hosts
+*many* pipelines per device, each admitted at its own operating point
+``(tau0, D)`` with a QoS class, and keeps the per-tenant guarantees
+checkable:
+
+- :mod:`repro.tenancy.qos` — the gold/silver/best-effort ladder and the
+  capacity-allocation math that decides who degrades under overload.
+- :mod:`repro.tenancy.admission` — certificate-based tenant admission
+  extending :mod:`repro.serving.admission`: a guaranteed-class tenant is
+  accepted only if the combined active fractions stay within capacity.
+- :mod:`repro.tenancy.device` — the shared-device arbiter: weighted
+  round-robin over node firings with per-tenant busy-time ledgers.
+- :mod:`repro.tenancy.executor` — :class:`MultiPipelineExecutor`, the
+  live co-scheduler over per-tenant :class:`~repro.runtime.executor.\
+PipelineExecutor` instances.
+- :mod:`repro.tenancy.sim` — the DES-level multi-tenant mode: K tenant
+  simulators co-run on one virtual timeline, so QoS properties are
+  checkable without wall-clock time.
+- :mod:`repro.tenancy.frontend` — the sharded planning frontend:
+  N worker processes behind one JSON-lines server with consistent-hash
+  request routing and a shared on-disk plan store.
+- :mod:`repro.tenancy.server` — the multi-tenant ingest server behind
+  ``repro-run serve --tenants``.
+"""
+
+from repro.tenancy.admission import (
+    TenantAdmissionController,
+    TenantDecision,
+    TenantRecord,
+)
+from repro.tenancy.device import DeviceArbiter, TenantDeviceHandle
+from repro.tenancy.executor import MultiPipelineExecutor, MultiTenantReport, TenantSpec
+from repro.tenancy.frontend import (
+    ConsistentHashRing,
+    PlanWorker,
+    ShardedPlanningFrontend,
+    start_worker_pool,
+)
+from repro.tenancy.qos import (
+    BEST_EFFORT,
+    GOLD,
+    QOS_CLASSES,
+    SILVER,
+    QoSClass,
+    allocate_capacity,
+    qos_class,
+    service_scales,
+)
+from repro.tenancy.sim import MultiTenantSimResult, MultiTenantSimulator, SimTenant
+
+__all__ = [
+    "BEST_EFFORT",
+    "GOLD",
+    "QOS_CLASSES",
+    "SILVER",
+    "ConsistentHashRing",
+    "DeviceArbiter",
+    "MultiPipelineExecutor",
+    "MultiTenantReport",
+    "MultiTenantSimResult",
+    "MultiTenantSimulator",
+    "PlanWorker",
+    "QoSClass",
+    "ShardedPlanningFrontend",
+    "SimTenant",
+    "TenantAdmissionController",
+    "TenantDecision",
+    "TenantDeviceHandle",
+    "TenantRecord",
+    "TenantSpec",
+    "allocate_capacity",
+    "qos_class",
+    "service_scales",
+    "start_worker_pool",
+]

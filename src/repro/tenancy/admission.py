@@ -1,0 +1,300 @@
+"""Certificate-based tenant admission for a shared device.
+
+Extends the single-pipeline serving admission
+(:mod:`repro.serving.admission`) to K tenants: a tenant asks to run at
+its own operating point ``(tau0, D)`` with a QoS class, and the
+controller answers from the solver's feasibility certificate:
+
+- The candidate's plan is re-solved
+  (:class:`~repro.core.enforced_waits.EnforcedWaitsProblem`); an
+  infeasible operating point is rejected for *every* class — there is
+  no schedule under which that tenant meets its deadline, so admitting
+  it only manufactures misses.
+- A **guaranteed** class (gold, silver) is additionally accepted only
+  if the summed active fractions of all admitted guaranteed tenants
+  plus the candidate stay within the device capacity — the conservative
+  form of the co-residency check
+  (:func:`repro.core.admission.admit`); :meth:`TenantAdmissionController.\
+recheck` runs the full re-solve form over the admitted set.
+- A **best-effort** tenant may oversubscribe the device (it is the
+  class that degrades under the QoS ladder), optionally capped by
+  ``max_overload``.
+
+Every admitted tenant also gets its own Little's-law in-flight budget
+(:func:`repro.serving.admission.inflight_budget`) at its certified
+operating point, which the multi-tenant ingest server enforces per
+``submit``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.admission import AdmissionRequest, admit
+from repro.core.enforced_waits import EnforcedWaitsProblem, EnforcedWaitsSolution
+from repro.core.model import RealTimeProblem
+from repro.errors import SpecError
+from repro.serving.admission import inflight_budget
+from repro.tenancy.qos import QoSClass, qos_class
+
+__all__ = ["TenantAdmissionController", "TenantDecision", "TenantRecord"]
+
+_CAPACITY_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class TenantRecord:
+    """One admitted tenant's certified state."""
+
+    name: str
+    qos: QoSClass
+    problem: RealTimeProblem
+    active_fraction: float
+    waits: np.ndarray
+    budget: int
+
+
+@dataclass(frozen=True)
+class TenantDecision:
+    """Outcome of one admission attempt."""
+
+    admitted: bool
+    reason: str
+    record: TenantRecord | None = None
+    solution: EnforcedWaitsSolution | None = None
+
+    def as_dict(self) -> dict:
+        out: dict = {"ok": self.admitted, "reason": self.reason}
+        if self.record is not None:
+            out.update(
+                tenant=self.record.name,
+                qos=self.record.qos.name,
+                active_fraction=self.record.active_fraction,
+                budget=self.record.budget,
+            )
+        if not self.admitted:
+            # A capacity rejection is retriable (evictions free load); a
+            # certificate rejection is not — the operating point itself
+            # is unschedulable.
+            out["retriable"] = self.reason.startswith("capacity")
+        return out
+
+
+class TenantAdmissionController:
+    """Thread-safe certificate-based admission over a tenant population."""
+
+    def __init__(
+        self,
+        *,
+        capacity: float = 1.0,
+        slack_vectors: float = 2.0,
+        max_overload: float | None = None,
+    ) -> None:
+        if not 0 < capacity <= 1.0:
+            raise SpecError(f"capacity must be in (0, 1], got {capacity}")
+        if max_overload is not None and max_overload < 1.0:
+            raise SpecError(
+                f"max_overload must be >= 1, got {max_overload}"
+            )
+        self.capacity = float(capacity)
+        self.slack_vectors = float(slack_vectors)
+        self.max_overload = max_overload
+        self._tenants: dict[str, TenantRecord] = {}
+        self._lock = threading.Lock()
+        self.admitted_tenants = 0
+        self.rejected_tenants = 0
+        self.evicted_tenants = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def tenants(self) -> dict[str, TenantRecord]:
+        with self._lock:
+            return dict(self._tenants)
+
+    def record(self, name: str) -> TenantRecord | None:
+        with self._lock:
+            return self._tenants.get(name)
+
+    def guaranteed_utilization(self) -> float:
+        """Summed certified AF of the admitted guaranteed tenants."""
+        with self._lock:
+            return sum(
+                r.active_fraction
+                for r in self._tenants.values()
+                if r.qos.guaranteed
+            )
+
+    def total_demand(self) -> float:
+        """Summed certified AF of *all* admitted tenants."""
+        with self._lock:
+            return sum(r.active_fraction for r in self._tenants.values())
+
+    def pressure(self) -> float:
+        """Total demand over capacity; > 1 means the device is oversold."""
+        return self.total_demand() / self.capacity
+
+    def demands(self) -> dict[str, tuple[QoSClass, float]]:
+        """The allocation input for :func:`repro.tenancy.qos.\
+allocate_capacity`."""
+        with self._lock:
+            return {
+                name: (r.qos, r.active_fraction)
+                for name, r in self._tenants.items()
+            }
+
+    # -- admission ----------------------------------------------------------
+
+    def try_admit(
+        self,
+        name: str,
+        problem: RealTimeProblem,
+        *,
+        b: np.ndarray | None = None,
+        qos: str | QoSClass = "best-effort",
+        solution: EnforcedWaitsSolution | None = None,
+    ) -> TenantDecision:
+        """Certificate-check one candidate and admit it if it fits.
+
+        ``solution`` may carry a pre-solved plan for ``problem`` (e.g.
+        from the planning frontend) to skip the re-solve; it is trusted
+        to match.
+        """
+        if not name:
+            raise SpecError("tenant admission needs a name")
+        cls = qos_class(qos)
+        if solution is None:
+            solution = EnforcedWaitsProblem(problem, b).solve()
+        if not solution.feasible:
+            with self._lock:
+                self.rejected_tenants += 1
+            return TenantDecision(
+                admitted=False,
+                reason=(
+                    "certificate: operating point infeasible "
+                    f"({solution.diagnosis})"
+                ),
+                solution=solution,
+            )
+        af = float(solution.active_fraction)
+        budget = inflight_budget(
+            problem.tau0,
+            problem.deadline,
+            problem.pipeline.vector_width,
+            slack_vectors=self.slack_vectors,
+        )
+        with self._lock:
+            if name in self._tenants:
+                self.rejected_tenants += 1
+                return TenantDecision(
+                    admitted=False,
+                    reason=f"duplicate: tenant {name!r} already admitted",
+                    solution=solution,
+                )
+            if cls.guaranteed:
+                guaranteed = sum(
+                    r.active_fraction
+                    for r in self._tenants.values()
+                    if r.qos.guaranteed
+                )
+                if guaranteed + af > self.capacity + _CAPACITY_TOL:
+                    self.rejected_tenants += 1
+                    return TenantDecision(
+                        admitted=False,
+                        reason=(
+                            f"capacity: guaranteed load {guaranteed:.4f} + "
+                            f"{af:.4f} exceeds {self.capacity:.4f}"
+                        ),
+                        solution=solution,
+                    )
+            elif self.max_overload is not None:
+                total = sum(
+                    r.active_fraction for r in self._tenants.values()
+                )
+                if total + af > self.max_overload * self.capacity:
+                    self.rejected_tenants += 1
+                    return TenantDecision(
+                        admitted=False,
+                        reason=(
+                            f"capacity: total load {total:.4f} + {af:.4f} "
+                            f"exceeds the {self.max_overload:g}x overload "
+                            "cap"
+                        ),
+                        solution=solution,
+                    )
+            record = TenantRecord(
+                name=name,
+                qos=cls,
+                problem=problem,
+                active_fraction=af,
+                waits=solution.waits.copy(),
+                budget=budget,
+            )
+            self._tenants[name] = record
+            self.admitted_tenants += 1
+        return TenantDecision(
+            admitted=True, reason="certificate", record=record,
+            solution=solution,
+        )
+
+    def evict(self, name: str) -> bool:
+        """Remove a tenant, freeing its certified load. False if absent."""
+        with self._lock:
+            record = self._tenants.pop(name, None)
+            if record is None:
+                return False
+            self.evicted_tenants += 1
+            return True
+
+    def recheck(self) -> bool:
+        """Full co-residency re-solve of the admitted guaranteed set.
+
+        The expensive form of the invariant the conservative check
+        maintains incrementally; returns True when
+        :func:`repro.core.admission.admit` still admits every
+        guaranteed tenant together.
+        """
+        with self._lock:
+            guaranteed = [
+                r for r in self._tenants.values() if r.qos.guaranteed
+            ]
+        if not guaranteed:
+            return True
+        result = admit(
+            [
+                AdmissionRequest(
+                    r.name, r.problem, EnforcedWaitsProblem(r.problem).b
+                )
+                for r in guaranteed
+            ],
+            capacity=self.capacity,
+        )
+        return result.admitted
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            by_class: dict[str, int] = {}
+            for r in self._tenants.values():
+                by_class[r.qos.name] = by_class.get(r.qos.name, 0) + 1
+            total = sum(r.active_fraction for r in self._tenants.values())
+            guaranteed = sum(
+                r.active_fraction
+                for r in self._tenants.values()
+                if r.qos.guaranteed
+            )
+            return {
+                "capacity": self.capacity,
+                "active_tenants": len(self._tenants),
+                "by_class": by_class,
+                "admitted_tenants": self.admitted_tenants,
+                "rejected_tenants": self.rejected_tenants,
+                "evicted_tenants": self.evicted_tenants,
+                "total_demand": total,
+                "guaranteed_demand": guaranteed,
+                "pressure": total / self.capacity,
+            }

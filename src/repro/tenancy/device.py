@@ -1,0 +1,190 @@
+"""The shared-device arbiter: weighted round-robin over node firings.
+
+A SIMD device runs one vector firing at a time; when K tenants share
+it, *which* tenant's ready node fires next is the scheduling decision.
+:class:`DeviceArbiter` makes it with weighted round-robin in the
+classic virtual-time form: among the waiting tenants, grant the one
+with the smallest ``busy_time / weight`` (ties broken by arrival
+order), so long-run device shares converge to the weight ratios
+regardless of firing-duration mix.
+
+Each tenant's :class:`~repro.runtime.executor.PipelineExecutor` node
+threads call ``handle.acquire()`` before popping a batch and
+``handle.release(duration)`` after the padded firing; the arbiter
+accumulates the per-tenant busy-time ledger as it grants.  With the
+default single slot (``max_concurrent=1``) firings never overlap, so
+the ledger *conserves*: summed busy time plus idle equals elapsed wall
+time — the property the tenancy test battery pins via
+:class:`~repro.obs.telemetry.DeviceTelemetry`.
+
+``max_concurrent > 1`` models a device with several independent
+execution slots (still WRR-arbitrated); the conservation identity then
+holds against ``slots * elapsed``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import SpecError
+from repro.obs.telemetry import DeviceTelemetry, TenantLedgerTelemetry
+
+__all__ = ["DeviceArbiter", "TenantDeviceHandle"]
+
+#: Longest uninterruptible block inside :meth:`DeviceArbiter.acquire`
+#: (stop-flag recheck cadence, mirrors the executor's sleep slice).
+_WAIT_SLICE = 0.05
+
+
+class _TenantLedger:
+    __slots__ = ("name", "qos", "weight", "busy", "grants")
+
+    def __init__(self, name: str, qos: str, weight: float) -> None:
+        self.name = name
+        self.qos = qos
+        self.weight = weight
+        self.busy = 0.0
+        self.grants = 0
+
+
+class TenantDeviceHandle:
+    """One tenant's bound view of the arbiter (what executors hold)."""
+
+    def __init__(self, arbiter: "DeviceArbiter", tenant: str) -> None:
+        self._arbiter = arbiter
+        self.tenant = tenant
+
+    def acquire(self, stop: threading.Event | None = None) -> bool:
+        """Block until granted a firing slot; False if ``stop`` fired."""
+        return self._arbiter.acquire(self.tenant, stop=stop)
+
+    def release(self, duration: float) -> None:
+        """Return the slot, charging ``duration`` seconds of busy time."""
+        self._arbiter.release(self.tenant, duration)
+
+
+class DeviceArbiter:
+    """WRR grant order + per-tenant busy-time ledgers for one device."""
+
+    def __init__(self, *, max_concurrent: int = 1, capacity: float = 1.0) -> None:
+        if max_concurrent < 1:
+            raise SpecError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if capacity <= 0:
+            raise SpecError(f"capacity must be > 0, got {capacity}")
+        self.max_concurrent = int(max_concurrent)
+        self.capacity = float(capacity)
+        self._cond = threading.Condition()
+        self._ledgers: dict[str, _TenantLedger] = {}
+        self._inflight = 0
+        self._waiters: list[tuple[int, str]] = []
+        self._ticket = 0
+        self._t0 = time.perf_counter()
+
+    # -- registration -------------------------------------------------------
+
+    def register(
+        self, tenant: str, *, weight: float = 1.0, qos: str = "best-effort"
+    ) -> TenantDeviceHandle:
+        """Add a tenant; returns the handle its executor will hold."""
+        if weight <= 0:
+            raise SpecError(f"weight must be > 0, got {weight}")
+        with self._cond:
+            if tenant in self._ledgers:
+                raise SpecError(f"tenant {tenant!r} already registered")
+            self._ledgers[tenant] = _TenantLedger(tenant, qos, float(weight))
+        return TenantDeviceHandle(self, tenant)
+
+    def unregister(self, tenant: str) -> None:
+        """Drop a tenant's ledger (after its executor has stopped)."""
+        with self._cond:
+            self._ledgers.pop(tenant, None)
+            self._waiters = [w for w in self._waiters if w[1] != tenant]
+            self._cond.notify_all()
+
+    # -- arbitration --------------------------------------------------------
+
+    def _pick(self) -> tuple[int, str] | None:
+        """The waiter to grant next: min virtual time, then FIFO ticket."""
+        best = None
+        best_key = None
+        for w in self._waiters:
+            ledger = self._ledgers.get(w[1])
+            if ledger is None:
+                continue
+            key = (ledger.busy / ledger.weight, w[0])
+            if best_key is None or key < best_key:
+                best, best_key = w, key
+        return best
+
+    def acquire(
+        self, tenant: str, *, stop: threading.Event | None = None
+    ) -> bool:
+        """Block until ``tenant`` is granted a slot (WRR order).
+
+        Returns False without holding a slot when ``stop`` is set while
+        waiting — the caller's thread is shutting down.
+        """
+        with self._cond:
+            if tenant not in self._ledgers:
+                raise SpecError(f"tenant {tenant!r} is not registered")
+            self._ticket += 1
+            me = (self._ticket, tenant)
+            self._waiters.append(me)
+            try:
+                while not (
+                    self._inflight < self.max_concurrent
+                    and self._pick() == me
+                ):
+                    if stop is not None and stop.is_set():
+                        return False
+                    self._cond.wait(timeout=_WAIT_SLICE)
+                self._inflight += 1
+                return True
+            finally:
+                self._waiters.remove(me)
+                self._cond.notify_all()
+
+    def release(self, tenant: str, duration: float) -> None:
+        """Return a slot, charging ``duration`` to ``tenant``'s ledger."""
+        if duration < 0:
+            raise SpecError(f"duration must be >= 0, got {duration}")
+        with self._cond:
+            ledger = self._ledgers.get(tenant)
+            if ledger is not None:
+                ledger.busy += float(duration)
+                ledger.grants += 1
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    # -- observation --------------------------------------------------------
+
+    def busy_seconds(self, tenant: str) -> float:
+        with self._cond:
+            ledger = self._ledgers.get(tenant)
+            return ledger.busy if ledger is not None else 0.0
+
+    def telemetry(self, *, elapsed: float | None = None) -> DeviceTelemetry:
+        """Freeze the ledger into a :class:`DeviceTelemetry` snapshot."""
+        if elapsed is None:
+            elapsed = time.perf_counter() - self._t0
+        with self._cond:
+            tenants = tuple(
+                TenantLedgerTelemetry(
+                    name=ledger.name,
+                    qos=ledger.qos,
+                    weight=ledger.weight,
+                    busy_seconds=ledger.busy,
+                    grants=ledger.grants,
+                    share=(ledger.busy / elapsed if elapsed > 0 else 0.0),
+                )
+                for ledger in self._ledgers.values()
+            )
+        return DeviceTelemetry(
+            elapsed=float(elapsed),
+            slots=self.max_concurrent,
+            capacity=self.capacity,
+            tenants=tenants,
+        )

@@ -1,0 +1,302 @@
+"""Live multi-tenant co-scheduling: K pipelines, one device.
+
+:class:`MultiPipelineExecutor` supervises one
+:class:`~repro.runtime.executor.PipelineExecutor` per admitted tenant.
+Each tenant enters through certificate-based admission
+(:class:`~repro.tenancy.admission.TenantAdmissionController`) and its
+executor's queues take the QoS class's bound and shed policy, so the
+degradation ladder — gold never sheds, best-effort sheds first — is
+enforced structurally rather than by a scheduler heuristic.
+
+Device sharing is opt-in via ``arbitration``:
+
+``"none"`` (default)
+    Tenants run device-free, exactly as solo executors.  A single
+    tenant under this mode is *metric-identical* to a plain
+    :class:`~repro.runtime.executor.PipelineExecutor` — the equivalence
+    the test battery pins.
+``"wrr"``
+    All tenants share one :class:`~repro.tenancy.device.DeviceArbiter`:
+    every node firing holds a device slot, granted in weighted
+    round-robin order by QoS weight, and the arbiter's per-tenant
+    busy-time ledger feeds :class:`~repro.obs.telemetry.DeviceTelemetry`
+    — with one slot, summed busy plus idle equals elapsed wall time
+    (conservation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError, SpecError
+from repro.obs.telemetry import DeviceTelemetry
+from repro.runtime.executor import LiveRunReport, PipelineExecutor
+from repro.runtime.kernels import RuntimePlan
+from repro.tenancy.admission import TenantAdmissionController, TenantDecision
+from repro.tenancy.device import DeviceArbiter
+from repro.tenancy.qos import QoSClass, qos_class
+
+__all__ = ["MultiPipelineExecutor", "MultiTenantReport", "TenantSpec"]
+
+_ARBITRATIONS = ("none", "wrr")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's workload for the live co-scheduler.
+
+    ``executor_kwargs`` flow into
+    :meth:`~repro.runtime.executor.PipelineExecutor.from_plan` (and from
+    there to the executor constructor); replanning defaults *off* for
+    co-scheduled tenants — pass ``enable_replanning=True`` to opt in.
+    """
+
+    name: str
+    plan: RuntimePlan
+    qos: str | QoSClass = "best-effort"
+    executor_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MultiTenantReport:
+    """Final report of one multi-tenant run."""
+
+    tenants: dict[str, LiveRunReport]
+    qos: dict[str, str]
+    device: DeviceTelemetry | None
+    admission: dict
+
+    def report(self, name: str) -> LiveRunReport:
+        return self.tenants[name]
+
+    def missed(self, name: str) -> int:
+        return self.tenants[name].telemetry.missed_items
+
+    def conserves(self, *, tol: float = 1e-6) -> bool:
+        """Device busy-time conservation (True trivially without arbiter)."""
+        return self.device is None or self.device.conserves(tol=tol)
+
+
+class _Tenant:
+    __slots__ = ("spec", "qos", "executor", "handle", "report")
+
+    def __init__(self, spec, qos, executor, handle):
+        self.spec = spec
+        self.qos = qos
+        self.executor = executor
+        self.handle = handle
+        self.report = None
+
+
+class MultiPipelineExecutor:
+    """Co-schedule K admitted pipelines on one shared device."""
+
+    def __init__(
+        self,
+        *,
+        arbitration: str = "none",
+        max_concurrent: int = 1,
+        capacity: float = 1.0,
+        admission: TenantAdmissionController | None = None,
+        slack_vectors: float = 2.0,
+        max_overload: float | None = None,
+    ) -> None:
+        if arbitration not in _ARBITRATIONS:
+            raise SpecError(
+                f"arbitration must be one of {_ARBITRATIONS}, "
+                f"got {arbitration!r}"
+            )
+        self.arbitration = arbitration
+        self.arbiter = (
+            DeviceArbiter(max_concurrent=max_concurrent, capacity=capacity)
+            if arbitration == "wrr"
+            else None
+        )
+        self.admission = (
+            admission
+            if admission is not None
+            else TenantAdmissionController(
+                capacity=capacity,
+                slack_vectors=slack_vectors,
+                max_overload=max_overload,
+            )
+        )
+        self._tenants: dict[str, _Tenant] = {}
+        self._started = False
+        self._finished = False
+        self._t0: float | None = None
+        self._elapsed = 0.0
+
+    # -- tenant lifecycle ----------------------------------------------------
+
+    @property
+    def tenant_names(self) -> tuple[str, ...]:
+        return tuple(self._tenants)
+
+    def executor(self, name: str) -> PipelineExecutor:
+        return self._tenants[name].executor
+
+    def add_tenant(self, spec: TenantSpec) -> TenantDecision:
+        """Admit one tenant; on acceptance its executor is built (and
+        started, if the co-scheduler is already running)."""
+        if self._finished:
+            raise SimulationError("executor already finished")
+        if spec.name in self._tenants:
+            raise SpecError(f"tenant {spec.name!r} already present")
+        decision = self.admission.try_admit(
+            spec.name, spec.plan.problem, b=spec.plan.b, qos=spec.qos
+        )
+        if not decision.admitted:
+            return decision
+        cls = qos_class(spec.qos)
+        handle = None
+        if self.arbiter is not None:
+            handle = self.arbiter.register(
+                spec.name, weight=cls.weight, qos=cls.name
+            )
+        kwargs = dict(spec.executor_kwargs)
+        kwargs.setdefault("enable_replanning", False)
+        kwargs.setdefault(
+            "queue_capacity",
+            cls.queue_capacity(spec.plan.pipeline.vector_width),
+        )
+        if kwargs["queue_capacity"] is not None:
+            kwargs.setdefault("shed_policy", cls.shed)
+        try:
+            executor = PipelineExecutor.from_plan(
+                spec.plan, device=handle, **kwargs
+            )
+        except Exception:
+            # Roll the half-admitted tenant back out before re-raising.
+            if self.arbiter is not None:
+                self.arbiter.unregister(spec.name)
+            self.admission.evict(spec.name)
+            raise
+        tenant = _Tenant(spec, cls, executor, handle)
+        self._tenants[spec.name] = tenant
+        if self._started:
+            executor.start()
+        return decision
+
+    def evict_tenant(
+        self, name: str, *, drain_timeout: float = 30.0
+    ) -> LiveRunReport | None:
+        """Drain, stop, and remove one tenant; returns its final report.
+
+        Returns None (and changes nothing) when the tenant is unknown.
+        In-flight items get ``drain_timeout`` seconds to finish before a
+        hard stop.  All of the tenant's state — executor threads,
+        arbiter ledger, admission record — is released, so its certified
+        load is freed for future admissions.
+        """
+        tenant = self._tenants.pop(name, None)
+        if tenant is None:
+            return None
+        executor = tenant.executor
+        report = None
+        if self._started:
+            executor.finish_ingest()
+            try:
+                report = executor.join(timeout=drain_timeout)
+            except SimulationError:
+                executor.request_stop()
+                report = executor.report()
+        if self.arbiter is not None:
+            self.arbiter.unregister(name)
+        self.admission.evict(name)
+        tenant.report = report
+        return report
+
+    # -- run lifecycle -------------------------------------------------------
+
+    def start(self) -> "MultiPipelineExecutor":
+        if self._started:
+            raise SimulationError("executor already started")
+        self._started = True
+        self._t0 = time.perf_counter()
+        for tenant in self._tenants.values():
+            tenant.executor.start()
+        return self
+
+    def submit(self, name: str, payload: np.ndarray) -> np.ndarray:
+        """Ingest a batch for one tenant (see
+        :meth:`~repro.runtime.executor.PipelineExecutor.submit`)."""
+        return self._tenants[name].executor.submit(payload)
+
+    def in_flight(self, name: str) -> int:
+        return self._tenants[name].executor.in_flight
+
+    def finish_ingest(self, name: str | None = None) -> None:
+        """Signal end of ingest for one tenant (or all, when None)."""
+        if name is not None:
+            self._tenants[name].executor.finish_ingest()
+            return
+        for tenant in self._tenants.values():
+            tenant.executor.finish_ingest()
+
+    def join(self, timeout: float | None = None) -> MultiTenantReport:
+        """Drain every tenant and assemble the multi-tenant report.
+
+        Each tenant joins independently; a tenant whose node thread
+        failed surfaces its error here, after the others have drained.
+        """
+        if not self._started:
+            raise SimulationError("executor was never started")
+        errors: list[tuple[str, BaseException]] = []
+        reports: dict[str, LiveRunReport] = {}
+        for name, tenant in self._tenants.items():
+            try:
+                reports[name] = tenant.executor.join(timeout)
+            except BaseException as exc:
+                errors.append((name, exc))
+                reports[name] = tenant.executor.report()
+        self._elapsed = time.perf_counter() - (self._t0 or time.perf_counter())
+        self._finished = True
+        if errors:
+            name, exc = errors[0]
+            raise SimulationError(
+                f"tenant {name!r} failed: {exc}"
+                + (f" (+{len(errors) - 1} more)" if len(errors) > 1 else "")
+            ) from exc
+        return self._assemble(reports)
+
+    def report(self) -> MultiTenantReport:
+        """The final report (also usable after a failed :meth:`join`)."""
+        return self._assemble(
+            {
+                name: (
+                    tenant.report
+                    if tenant.report is not None
+                    else tenant.executor.report()
+                )
+                for name, tenant in self._tenants.items()
+            }
+        )
+
+    def _assemble(self, reports: dict[str, LiveRunReport]) -> MultiTenantReport:
+        elapsed = (
+            self._elapsed
+            if self._finished
+            else (
+                time.perf_counter() - self._t0
+                if self._t0 is not None
+                else 0.0
+            )
+        )
+        device = (
+            self.arbiter.telemetry(elapsed=elapsed)
+            if self.arbiter is not None
+            else None
+        )
+        return MultiTenantReport(
+            tenants=reports,
+            qos={
+                name: tenant.qos.name
+                for name, tenant in self._tenants.items()
+            },
+            device=device,
+            admission=self.admission.stats(),
+        )

@@ -1,0 +1,478 @@
+"""Sharded planning frontend: N worker processes, one serving address.
+
+``repro-plan serve`` solves in-process behind one event loop; solver
+work is CPU-bound, so one process caps planning throughput at one core.
+``repro-plan serve --workers N`` instead runs this frontend: N
+``repro-plan serve`` **worker processes** (real processes — the solver
+escapes the GIL) behind a single hardened
+:class:`~repro.serving.server.JsonLinesServer` address.
+
+Routing is by **consistent hash of the plan key** — the same
+content-address the cache layer uses
+(:func:`repro.planning.cache.plan_key`) — so every repeat of one
+planning request lands on the same worker, whose in-memory LRU and
+single-flight machinery then collapse duplicates exactly as in the
+single-process server.  Workers may additionally share one on-disk plan
+store (warm restarts); the frontend itself holds no plans.
+
+A worker death yields ``{"ok": false, "retriable": true}`` responses for
+the requests routed to it — the standard serving-layer contract, which
+:class:`~repro.serving.client.ResilientClient` retries — rather than an
+error cascade; ``shutdown`` drains the frontend and then shuts every
+worker down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ServingError, SpecError
+from repro.serving.config import ServingConfig
+from repro.serving.server import JsonLinesServer
+
+__all__ = [
+    "ConsistentHashRing",
+    "PlanWorker",
+    "ShardedPlanningFrontend",
+    "start_worker_pool",
+]
+
+_READY_PREFIX = "repro-plan serving on "
+
+
+def _hash(value: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(value.encode()).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """Consistent hashing over named nodes (``replicas`` vnodes each).
+
+    Adding or removing one node moves only ``~1/len(nodes)`` of the key
+    space, so a worker joining or dying invalidates only its own shard's
+    cache locality.
+    """
+
+    def __init__(self, nodes: tuple[str, ...] = (), *, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise SpecError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._hashes: list[int] = []
+        self._nodes: list[str] = []  # parallel to _hashes
+        self._members: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._members))
+
+    def add(self, node: str) -> None:
+        if node in self._members:
+            raise SpecError(f"node {node!r} already on the ring")
+        self._members.add(node)
+        for i in range(self.replicas):
+            h = _hash(f"{node}#{i}")
+            idx = bisect.bisect(self._hashes, h)
+            self._hashes.insert(idx, h)
+            self._nodes.insert(idx, node)
+
+    def remove(self, node: str) -> None:
+        if node not in self._members:
+            raise SpecError(f"node {node!r} is not on the ring")
+        self._members.remove(node)
+        keep = [
+            (h, n)
+            for h, n in zip(self._hashes, self._nodes)
+            if n != node
+        ]
+        self._hashes = [h for h, _ in keep]
+        self._nodes = [n for _, n in keep]
+
+    def route(self, key: str) -> str:
+        """The node owning ``key`` (first vnode clockwise of its hash)."""
+        if not self._members:
+            raise SpecError("cannot route on an empty ring")
+        idx = bisect.bisect(self._hashes, _hash(key))
+        if idx == len(self._hashes):
+            idx = 0
+        return self._nodes[idx]
+
+
+class PlanWorker:
+    """One ``repro-plan serve`` subprocess owned by the frontend."""
+
+    def __init__(
+        self, name: str, process: subprocess.Popen, host: str, port: int
+    ) -> None:
+        self.name = name
+        self.process = process
+        self.host = host
+        self.port = port
+
+    @classmethod
+    def spawn(
+        cls,
+        name: str,
+        *,
+        host: str = "127.0.0.1",
+        store: str | None = None,
+        capacity: int = 512,
+        concurrency: int = 8,
+        extra_args: tuple[str, ...] = (),
+        timeout: float = 30.0,
+    ) -> "PlanWorker":
+        """Launch one worker on an ephemeral port and wait for readiness.
+
+        The worker prints ``repro-plan serving on HOST:PORT`` once bound
+        (the startup contract of ``repro-plan serve``); spawn parses
+        that line to learn the port.
+        """
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.planning.cli",
+            "serve",
+            "--host",
+            host,
+            "--port",
+            "0",
+            "--capacity",
+            str(capacity),
+            "--concurrency",
+            str(concurrency),
+        ]
+        if store is not None:
+            cmd += ["--store", store]
+        cmd += list(extra_args)
+        process = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": src_root,
+                "PYTHONUNBUFFERED": "1",
+            },
+        )
+        deadline = time.monotonic() + timeout
+        assert process.stdout is not None
+        while True:
+            if process.poll() is not None:
+                out = process.stdout.read() or ""
+                raise ServingError(
+                    f"plan worker {name!r} exited during startup "
+                    f"(rc={process.returncode}): {out.strip()[-500:]}"
+                )
+            if time.monotonic() > deadline:
+                process.kill()
+                raise ServingError(
+                    f"plan worker {name!r} did not become ready within "
+                    f"{timeout:g}s"
+                )
+            line = process.stdout.readline()
+            if line.startswith(_READY_PREFIX):
+                addr = line[len(_READY_PREFIX):].strip()
+                bound_host, _, port_s = addr.rpartition(":")
+                return cls(name, process, bound_host, int(port_s))
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Graceful worker shutdown (op, then terminate, then kill)."""
+        if not self.alive:
+            return
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=2.0
+            ) as sock:
+                sock.sendall(b'{"op": "shutdown"}\n')
+                sock.recv(4096)
+        except OSError:
+            pass
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+
+def start_worker_pool(
+    n: int,
+    *,
+    host: str = "127.0.0.1",
+    store: str | None = None,
+    capacity: int = 512,
+    concurrency: int = 8,
+    timeout: float = 30.0,
+) -> list[PlanWorker]:
+    """Spawn ``n`` plan workers; on any startup failure, stop them all."""
+    if n < 1:
+        raise SpecError(f"worker pool size must be >= 1, got {n}")
+    workers: list[PlanWorker] = []
+    try:
+        for i in range(n):
+            workers.append(
+                PlanWorker.spawn(
+                    f"worker-{i}",
+                    host=host,
+                    store=store,
+                    capacity=capacity,
+                    concurrency=concurrency,
+                    timeout=timeout,
+                )
+            )
+    except BaseException:
+        for w in workers:
+            w.stop()
+        raise
+    return workers
+
+
+class _WorkerPool:
+    """A small asyncio connection pool to one worker."""
+
+    def __init__(self, worker: PlanWorker, size: int) -> None:
+        self.worker = worker
+        self._free: asyncio.Queue = asyncio.Queue()
+        self._created = 0
+        self._size = size
+        self._lock = asyncio.Lock()
+
+    async def _checkout(self):
+        while True:
+            try:
+                reader, writer = self._free.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if not writer.is_closing():
+                return reader, writer
+        async with self._lock:
+            if self._created < self._size:
+                self._created += 1
+                try:
+                    return await asyncio.open_connection(
+                        self.worker.host, self.worker.port
+                    )
+                except OSError:
+                    self._created -= 1
+                    raise
+        return await self._free.get()
+
+    async def request(self, obj: dict, *, timeout: float) -> dict:
+        reader, writer = await self._checkout()
+        try:
+            writer.write(json.dumps(obj).encode() + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=timeout
+            )
+            if not line:
+                raise ConnectionError("worker closed the connection")
+            reply = json.loads(line)
+        except BaseException:
+            writer.close()
+            async with self._lock:
+                self._created -= 1
+            raise
+        self._free.put_nowait((reader, writer))
+        return reply
+
+    async def close(self) -> None:
+        while True:
+            try:
+                _, writer = self._free.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            writer.close()
+
+
+class ShardedPlanningFrontend:
+    """One serving address over a pool of plan-worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Ready workers (see :func:`start_worker_pool`).  The frontend
+        takes ownership: ``shutdown`` stops them.
+    connections_per_worker:
+        Pooled TCP connections per worker; requests beyond the pool
+        queue on it, giving natural per-worker backpressure.
+    request_timeout:
+        Seconds to wait for one worker reply before failing the request
+        as retriable.
+    """
+
+    def __init__(
+        self,
+        workers: list[PlanWorker],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: ServingConfig | None = None,
+        replicas: int = 64,
+        connections_per_worker: int = 8,
+        request_timeout: float = 60.0,
+    ) -> None:
+        if not workers:
+            raise SpecError("the frontend needs at least one worker")
+        names = [w.name for w in workers]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate worker names: {names}")
+        self.workers = {w.name: w for w in workers}
+        self.ring = ConsistentHashRing(tuple(names), replicas=replicas)
+        self.request_timeout = float(request_timeout)
+        self._pool_size = int(connections_per_worker)
+        self._pools: dict[str, _WorkerPool] = {}
+        self.routed: dict[str, int] = {name: 0 for name in names}
+        self.worker_failures = 0
+        self._server = JsonLinesServer(
+            self._handle,
+            host=host,
+            port=port,
+            config=config,
+            name="plan-frontend",
+            health_extra=self._health_extra,
+            on_drain=self._on_drain,
+        )
+
+    # -- delegated server surface -------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def stats(self):
+        return self._server.stats
+
+    # -- routing -------------------------------------------------------------
+
+    def route_key(self, obj: dict) -> str:
+        """The cache key a planning request routes by.
+
+        Normalizes ``b`` exactly as the solver layer will (see
+        ``PlanningService.plan``), so duplicates of one operating point
+        always share a worker regardless of how the client spelled the
+        request.
+        """
+        from repro.core.enforced_waits import EnforcedWaitsProblem
+        from repro.planning.cache import plan_key
+        from repro.planning.cli import parse_request
+
+        request = parse_request(obj)
+        ewp = EnforcedWaitsProblem(request.problem, request.b)
+        return plan_key(request.problem, ewp.b, method=request.method)
+
+    def _pool(self, name: str) -> _WorkerPool:
+        pool = self._pools.get(name)
+        if pool is None:
+            pool = _WorkerPool(self.workers[name], self._pool_size)
+            self._pools[name] = pool
+        return pool
+
+    def _health_extra(self) -> dict:
+        return {
+            "workers": {
+                name: {"alive": w.alive, "routed": self.routed[name]}
+                for name, w in self.workers.items()
+            },
+            "worker_failures": self.worker_failures,
+        }
+
+    async def _forward(self, name: str, obj: dict) -> dict:
+        worker = self.workers[name]
+        if not worker.alive:
+            self.worker_failures += 1
+            return {
+                "ok": False,
+                "retriable": True,
+                "error": f"ServingError: plan worker {name!r} is down",
+                "worker": name,
+            }
+        try:
+            reply = await self._pool(name).request(
+                obj, timeout=self.request_timeout
+            )
+        except (OSError, ConnectionError, asyncio.TimeoutError) as exc:
+            self.worker_failures += 1
+            return {
+                "ok": False,
+                "retriable": True,
+                "error": (
+                    f"ServingError: plan worker {name!r} unavailable: "
+                    f"{type(exc).__name__}"
+                ),
+                "worker": name,
+            }
+        if isinstance(reply, dict):
+            reply.setdefault("worker", name)
+        return reply
+
+    async def _stats_payload(self) -> dict:
+        per_worker = {}
+        for name in self.workers:
+            per_worker[name] = await self._forward(name, {"op": "stats"})
+        return {
+            "op": "stats",
+            "workers": per_worker,
+            "routed": dict(self.routed),
+            "worker_failures": self.worker_failures,
+            "serving": self._server.stats.as_dict(),
+        }
+
+    async def _handle(self, obj: dict) -> dict:
+        op = obj.get("op")
+        if op == "stats":
+            return await self._stats_payload()
+        if op == "shutdown":
+            return {"op": "shutdown", "ok": True}
+        name = self.ring.route(self.route_key(obj))
+        self.routed[name] += 1
+        return await self._forward(name, obj)
+
+    def _on_drain(self) -> None:
+        for worker in self.workers.values():
+            worker.stop()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self, on_ready=None) -> None:
+        self._server.serve_forever(on_ready=on_ready)
+
+    def start(self) -> "ShardedPlanningFrontend":
+        self._server.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.stop()
+
+    def join(self, timeout: float | None = None) -> bool:
+        return self._server.join(timeout=timeout)

@@ -1,0 +1,180 @@
+"""QoS classes and the overload capacity-allocation math.
+
+Three classes map onto the existing degradation ladder
+(:mod:`repro.resilience.shedding`):
+
+========== ===== ======== ================= =========================
+class      rank  weight   shed policy       queues
+========== ===== ======== ================= =========================
+gold         0     4.0    none (unbounded)  never shed
+silver       1     2.0    drop-newest       bounded, sheds arrivals
+best-effort  2     1.0    deadline-aware    bounded, sheds stale work
+========== ===== ======== ================= =========================
+
+``rank`` orders degradation: when the summed planned active fractions of
+the admitted tenants exceed the device capacity, :func:`allocate_capacity`
+funds classes rank by rank — gold gets its full demand first, then
+silver, then best-effort splits whatever is left pro-rata.  A tenant
+funded below its demand runs with service times scaled by
+``demand / allocation`` (:func:`service_scales`): the device-share model
+of "you only get a fraction of the machine, so your work takes
+proportionally longer".  Gold therefore keeps ``scale == 1`` (zero
+deadline misses) under any overload the lower classes can absorb, while
+best-effort slows down and its bounded queues shed — overload degrades
+best-effort first, exactly the ladder the single-tenant runtime already
+implements with admission -> shedding -> watchdog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecError
+
+__all__ = [
+    "QoSClass",
+    "GOLD",
+    "SILVER",
+    "BEST_EFFORT",
+    "QOS_CLASSES",
+    "qos_class",
+    "allocate_capacity",
+    "service_scales",
+]
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """One service class on the degradation ladder.
+
+    ``rank`` 0 degrades last; ``weight`` biases the live device
+    arbiter's weighted round-robin; ``guaranteed`` classes must pass the
+    combined certificate check at admission, non-guaranteed ones may
+    oversubscribe the device (they are the ones that degrade).
+    ``shed`` / ``queue_capacity_vectors`` configure the tenant's queues
+    (``None`` = unbounded, never shed).
+    """
+
+    name: str
+    rank: int
+    weight: float
+    guaranteed: bool
+    shed: str | None
+    queue_capacity_vectors: int | None
+
+    def queue_capacity(self, vector_width: int) -> int | None:
+        """Queue bound in items for this class (None = unbounded)."""
+        if self.queue_capacity_vectors is None:
+            return None
+        return int(self.queue_capacity_vectors) * int(vector_width)
+
+
+GOLD = QoSClass(
+    name="gold",
+    rank=0,
+    weight=4.0,
+    guaranteed=True,
+    shed=None,
+    queue_capacity_vectors=None,
+)
+SILVER = QoSClass(
+    name="silver",
+    rank=1,
+    weight=2.0,
+    guaranteed=True,
+    shed="drop-newest",
+    queue_capacity_vectors=64,
+)
+BEST_EFFORT = QoSClass(
+    name="best-effort",
+    rank=2,
+    weight=1.0,
+    guaranteed=False,
+    shed="deadline-aware",
+    queue_capacity_vectors=16,
+)
+
+QOS_CLASSES: dict[str, QoSClass] = {
+    c.name: c for c in (GOLD, SILVER, BEST_EFFORT)
+}
+
+
+def qos_class(name: str | QoSClass) -> QoSClass:
+    """Resolve a class by name (pass-through for a :class:`QoSClass`)."""
+    if isinstance(name, QoSClass):
+        return name
+    try:
+        return QOS_CLASSES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(QOS_CLASSES))
+        raise SpecError(f"unknown QoS class {name!r}; known: {known}") from exc
+
+
+def allocate_capacity(
+    demands: dict[str, tuple[QoSClass, float]],
+    *,
+    capacity: float = 1.0,
+) -> dict[str, float]:
+    """Split device capacity across tenants, best rank first.
+
+    ``demands`` maps tenant name to ``(qos, planned_active_fraction)``.
+    Classes are funded in rank order; within a rank, if the remaining
+    capacity covers the rank's total demand every tenant gets its full
+    demand, otherwise the remainder is split pro-rata to demand.  Ranks
+    after exhaustion get allocation 0.  The allocations always satisfy
+    ``sum(alloc) <= capacity`` and ``alloc[k] <= demand[k]``.
+    """
+    if capacity <= 0:
+        raise SpecError(f"capacity must be > 0, got {capacity}")
+    for name, (qos, af) in demands.items():
+        if af < 0:
+            raise SpecError(f"tenant {name!r} has negative demand {af}")
+        if not isinstance(qos, QoSClass):
+            raise SpecError(f"tenant {name!r}: qos must be a QoSClass")
+    allocations: dict[str, float] = {}
+    remaining = float(capacity)
+    by_rank: dict[int, list[str]] = {}
+    for name, (qos, _) in demands.items():
+        by_rank.setdefault(qos.rank, []).append(name)
+    for rank in sorted(by_rank):
+        names = by_rank[rank]
+        total = sum(demands[n][1] for n in names)
+        if total <= remaining or total == 0.0:
+            for n in names:
+                allocations[n] = demands[n][1]
+            remaining -= total
+        else:
+            for n in names:
+                allocations[n] = remaining * demands[n][1] / total
+            remaining = 0.0
+    return allocations
+
+
+def service_scales(
+    demands: dict[str, tuple[QoSClass, float]],
+    *,
+    capacity: float = 1.0,
+    max_scale: float = 64.0,
+) -> dict[str, float]:
+    """Per-tenant service slowdown implied by the capacity allocation.
+
+    A tenant funded at ``alloc < demand`` receives only that share of
+    the device, so each unit of its work takes ``demand / alloc`` times
+    longer in wall time.  Fully funded tenants keep scale 1; a tenant
+    defunded to (near) zero is clamped at ``max_scale`` rather than
+    stalled forever, so its bounded queues shed and the run still
+    drains.
+    """
+    if max_scale < 1:
+        raise SpecError(f"max_scale must be >= 1, got {max_scale}")
+    allocations = allocate_capacity(demands, capacity=capacity)
+    scales: dict[str, float] = {}
+    for name, (_, demand) in demands.items():
+        alloc = allocations[name]
+        if demand <= 0:
+            scales[name] = 1.0
+        elif alloc <= demand / max_scale:
+            scales[name] = float(max_scale)
+        else:
+            scales[name] = max(1.0, demand / alloc)
+    return scales

@@ -206,3 +206,108 @@ class TestPlainServerChaos:
             assert health["stats"]["responses"] >= 8 * 16
         finally:
             server.stop()
+
+
+@pytest.mark.slow
+class TestTenantChurn:
+    """Satellite chaos scenario: rapid admit/submit/evict tenant churn.
+
+    Concurrent clients cycle whole tenant lifecycles on fresh
+    connections against a MultiTenantIngestServer.  Afterward the
+    server must be healthy, its admission counters must add up
+    exactly, and no tenant state may survive the evictions.
+    """
+
+    def _serve(self):
+        from repro.runtime.kernels import RuntimeWorkload, plan_runtime
+        from repro.tenancy.executor import MultiPipelineExecutor
+        from repro.tenancy.server import MultiTenantIngestServer
+
+        def plan_factory(name, tau0, deadline):
+            kernels = [
+                SpinKernel(
+                    f"{name}-k{i}",
+                    DeterministicGain(1),
+                    nominal_service=0.001,
+                )
+                for i in range(2)
+            ]
+            wl = RuntimeWorkload(
+                name=name,
+                kernels=kernels,
+                sample_payload=lambda n, rng: rng.random(n),
+            )
+            return plan_runtime(
+                wl,
+                vector_width=8,
+                tau0=tau0 or 0.05,
+                deadline=deadline or 2.0,
+                calibrate_b=False,
+                n_gain_items=64,
+                seed=0,
+            )
+
+        multi = MultiPipelineExecutor(arbitration="wrr").start()
+        server = MultiTenantIngestServer(multi, plan_factory).start()
+        return multi, server
+
+    def test_churn_leaves_no_state_and_counters_add_up(self):
+        from repro.serving.chaos import tenant_churn
+
+        multi, server = self._serve()
+        try:
+            result = tenant_churn(
+                server.host,
+                server.port,
+                clients=4,
+                cycles=3,
+                build_admit=lambda ci, cy: {
+                    "op": "admit",
+                    "tenant": f"t{ci}-{cy}",
+                    "qos": ("gold", "best-effort")[ci % 2],
+                },
+                build_submit=lambda ci, cy, tenant: {
+                    "op": "submit",
+                    "tenant": tenant,
+                    "items": [[0.5]] * 8,
+                },
+                submits_per_cycle=2,
+            )
+            # Chaos may reject (capacity, budget) but must never break:
+            # no transport failures, no unstructured errors, and every
+            # admitted tenant evicted cleanly (no state leaks).
+            assert result.cycles == 12
+            assert result.transport_failures == 0, result.exceptions
+            assert result.errors == 0
+            assert result.evict_failures == 0
+            assert result.evicted == result.admitted > 0
+            assert result.admitted + result.admit_rejected == result.cycles
+
+            health = request_once(
+                server.host, server.port, {"op": "health"}
+            )
+            assert health["ok"] is True
+            assert health["active_tenants"] == 0
+            admission = health["admission"]
+            assert admission["active_tenants"] == 0
+            assert admission["total_demand"] == 0.0
+            assert admission["admitted_tenants"] == result.admitted
+            assert admission["evicted_tenants"] == result.evicted
+            # Rejections observed by clients match the server's count.
+            assert admission["rejected_tenants"] == result.admit_rejected
+
+            tenants = request_once(
+                server.host, server.port, {"op": "tenants"}
+            )
+            assert tenants["tenants"] == []
+            stats = request_once(
+                server.host, server.port, {"op": "stats"}
+            )
+            assert stats["tenants"] == {}
+            # Arbiter ledgers were released with their tenants.
+            assert stats.get("device", {}) == {}
+        finally:
+            server.stop()
+            server.join(timeout=30.0)
+            multi.finish_ingest()
+            multi.join(timeout=30.0)

@@ -1,0 +1,256 @@
+"""Tests for certificate-based tenant admission.
+
+The Hypothesis property is the battery's satellite (b): over random
+operating points ``(tau0, D)`` the controller must *never* admit a
+tenant whose own feasibility certificate fails — admission is exactly
+as strict as the solver.  The regression tests at the bottom pin the
+satellite-3 bugfix: the serving admission budget is no longer frozen at
+server start but recomputed from every hot re-plan the executor adopts
+(``PipelineExecutor`` -> ``on_replan`` -> :func:`budget_from_event` ->
+:meth:`AdmissionController.set_budget`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enforced_waits import EnforcedWaitsProblem
+from repro.core.model import RealTimeProblem
+from repro.errors import SpecError
+from repro.runtime.replan import ReplanEvent
+from repro.serving.admission import (
+    AdmissionController,
+    budget_from_event,
+    budget_from_plan,
+    inflight_budget,
+)
+from repro.tenancy.admission import TenantAdmissionController
+
+
+def _controller(**kwargs):
+    return TenantAdmissionController(**kwargs)
+
+
+class TestTryAdmit:
+    def test_feasible_gold_admitted(self, tiny_pipeline):
+        ctl = _controller()
+        decision = ctl.try_admit(
+            "a", RealTimeProblem(tiny_pipeline, 100.0, 1e4), qos="gold"
+        )
+        assert decision.admitted
+        assert decision.reason == "certificate"
+        assert decision.record is not None
+        assert decision.record.budget >= tiny_pipeline.vector_width
+        assert 0 < decision.record.active_fraction <= 1.0
+        assert decision.as_dict()["ok"] is True
+
+    def test_infeasible_rejected_for_every_class(self, tiny_pipeline):
+        # A deadline shorter than one pass through the pipeline is
+        # unschedulable no matter the class.
+        problem = RealTimeProblem(tiny_pipeline, 5.0, 1.0)
+        for qos in ("gold", "silver", "best-effort"):
+            ctl = _controller()
+            decision = ctl.try_admit("t", problem, qos=qos)
+            assert not decision.admitted
+            assert decision.reason.startswith("certificate")
+            assert decision.as_dict()["retriable"] is False
+
+    def test_duplicate_rejected(self, tiny_pipeline):
+        ctl = _controller()
+        problem = RealTimeProblem(tiny_pipeline, 100.0, 1e4)
+        assert ctl.try_admit("a", problem).admitted
+        decision = ctl.try_admit("a", problem)
+        assert not decision.admitted
+        assert decision.reason.startswith("duplicate")
+
+    def test_guaranteed_capacity_rejection_is_retriable(self, tiny_pipeline):
+        # Load the device with gold until the next gold no longer fits.
+        ctl = _controller()
+        problem = RealTimeProblem(tiny_pipeline, 40.0, 1e4)
+        af = EnforcedWaitsProblem(problem).solve().active_fraction
+        fit = int(1.0 // af)
+        for i in range(fit):
+            assert ctl.try_admit(f"g{i}", problem, qos="gold").admitted
+        decision = ctl.try_admit("one-too-many", problem, qos="gold")
+        assert not decision.admitted
+        assert decision.reason.startswith("capacity")
+        assert decision.as_dict()["retriable"] is True
+        # ... and eviction frees the load for a retry.
+        assert ctl.evict("g0")
+        assert ctl.try_admit("one-too-many", problem, qos="gold").admitted
+
+    def test_best_effort_may_oversubscribe(self, tiny_pipeline):
+        ctl = _controller()
+        problem = RealTimeProblem(tiny_pipeline, 40.0, 1e4)
+        for i in range(20):  # way past capacity 1.0 in summed AF
+            assert ctl.try_admit(f"b{i}", problem).admitted
+        assert ctl.pressure() > 1.0
+
+    def test_max_overload_caps_best_effort(self, tiny_pipeline):
+        problem = RealTimeProblem(tiny_pipeline, 40.0, 1e4)
+        af = EnforcedWaitsProblem(problem).solve().active_fraction
+        ctl = _controller(max_overload=1.5)
+        admitted = 0
+        while ctl.try_admit(f"b{admitted}", problem).admitted:
+            admitted += 1
+        assert admitted == int(1.5 // af)
+        decision = ctl.try_admit("next", problem)
+        assert decision.reason.startswith("capacity")
+        assert "overload cap" in decision.reason
+
+    def test_recheck_confirms_conservative_invariant(self, tiny_pipeline):
+        ctl = _controller()
+        ctl.try_admit(
+            "a", RealTimeProblem(tiny_pipeline, 100.0, 1e4), qos="gold"
+        )
+        ctl.try_admit(
+            "b", RealTimeProblem(tiny_pipeline, 120.0, 1e4), qos="silver"
+        )
+        assert ctl.recheck()
+
+    def test_counters_and_stats(self, tiny_pipeline):
+        ctl = _controller()
+        good = RealTimeProblem(tiny_pipeline, 100.0, 1e4)
+        bad = RealTimeProblem(tiny_pipeline, 5.0, 1.0)
+        ctl.try_admit("a", good, qos="gold")
+        ctl.try_admit("b", bad)
+        ctl.evict("a")
+        stats = ctl.stats()
+        assert stats["admitted_tenants"] == 1
+        assert stats["rejected_tenants"] == 1
+        assert stats["evicted_tenants"] == 1
+        assert stats["active_tenants"] == 0
+        assert stats["total_demand"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            _controller(capacity=0.0)
+        with pytest.raises(SpecError):
+            _controller(capacity=1.5)
+        with pytest.raises(SpecError):
+            _controller(max_overload=0.5)
+
+    def test_evict_absent_tenant_false(self):
+        assert not _controller().evict("ghost")
+
+
+class TestCertificateProperty:
+    """Satellite (b): admission is never laxer than the certificate."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tau0=st.floats(min_value=0.5, max_value=500.0),
+        deadline=st.floats(min_value=1.0, max_value=1e5),
+        qos=st.sampled_from(["gold", "silver", "best-effort"]),
+    )
+    def test_never_admits_a_failing_certificate(self, tau0, deadline, qos):
+        from repro.dataflow.gains import BernoulliGain, DeterministicGain
+        from repro.dataflow.spec import NodeSpec, PipelineSpec
+
+        pipeline = PipelineSpec(
+            (
+                NodeSpec("a", 10.0, BernoulliGain(0.5)),
+                NodeSpec("b", 20.0, DeterministicGain(1)),
+            ),
+            vector_width=4,
+        )
+        problem = RealTimeProblem(pipeline, tau0, deadline)
+        certificate = EnforcedWaitsProblem(problem).solve()
+        decision = TenantAdmissionController().try_admit(
+            "t", problem, qos=qos
+        )
+        if not certificate.feasible:
+            assert not decision.admitted
+            assert decision.reason.startswith("certificate")
+        else:
+            # A fresh controller holds no load, so a feasible point with
+            # AF <= capacity must be admitted symmetrically.
+            if certificate.active_fraction <= 1.0:
+                assert decision.admitted
+
+
+class TestReplanBudgetRecompute:
+    """Satellite 3: the serving budget follows hot re-plan adoptions."""
+
+    def _event(self, *, feasible=True, active_fraction=0.4, n_nodes=2):
+        return ReplanEvent(
+            time=1.0,
+            services=np.full(n_nodes, 0.002),
+            gains=np.ones(n_nodes),
+            waits=np.zeros(n_nodes) if feasible else None,
+            active_fraction=active_fraction,
+            feasible=feasible,
+            source="drift",
+            solve_seconds=0.0,
+            adopted=feasible,
+        )
+
+    def _plan(self):
+        from tests.test_tenancy_executor import _plan
+
+        return _plan("replan-budget")
+
+    def test_feasible_event_keeps_littles_law_budget(self):
+        plan = self._plan()
+        budget = budget_from_event(plan, self._event())
+        assert budget.source == "replan-certificate"
+        assert budget.budget == inflight_budget(
+            plan.problem.tau0,
+            plan.problem.deadline,
+            plan.pipeline.vector_width,
+        )
+
+    def test_infeasible_event_zeroes_budget(self):
+        plan = self._plan()
+        budget = budget_from_event(plan, self._event(feasible=False))
+        assert budget.budget == 0
+        assert budget.source == "replan-infeasible"
+
+    def test_over_capacity_event_zeroes_budget(self):
+        plan = self._plan()
+        budget = budget_from_event(
+            plan, self._event(active_fraction=1.2)
+        )
+        assert budget.budget == 0
+
+    def test_set_budget_swaps_and_counts(self):
+        ctl = AdmissionController(100)
+        assert ctl.budget_updates == 0
+        ctl.set_budget(3)
+        assert ctl.budget == 3
+        assert not ctl.admit(4, 0)
+        ctl.set_budget(10)
+        assert ctl.admit(4, 0)
+        assert ctl.budget_updates == 2
+        assert ctl.stats()["budget_updates"] == 2
+        with pytest.raises(SpecError):
+            ctl.set_budget(-1)
+
+    def test_executor_adoption_drives_the_admission_budget(self):
+        # The regression: before the fix the budget was computed once at
+        # server start; an adopted re-plan (here: one that certifies the
+        # operating point infeasible) must now propagate through
+        # on_replan into the controller, closing the ingest gate.
+        from repro.runtime.executor import PipelineExecutor
+
+        plan = self._plan()
+        admission = AdmissionController(budget_from_plan(plan))
+        assert admission.budget > 0
+
+        def on_replan(event, plan=plan):
+            admission.set_budget(budget_from_event(plan, event))
+
+        ex = PipelineExecutor.from_plan(plan, on_replan=on_replan)
+        ex._adopt_replan(self._event(feasible=True, active_fraction=0.3))
+        assert admission.budget_updates == 1
+        assert admission.budget > 0
+
+        bad = self._event(feasible=True, active_fraction=1.5)
+        ex._adopt_replan(bad)
+        assert admission.budget_updates == 2
+        assert admission.budget == 0
+        assert not admission.admit(1, 0)
+        assert ex._adopted_replans == 2
