@@ -4,13 +4,17 @@ The paper assumes items arrive at a fixed rate ``rho_0`` (inter-arrival
 time ``tau_0``, Section 2.1).  :class:`FixedRateArrivals` implements that;
 :class:`PoissonArrivals` and :class:`BurstyArrivals` support the future-work
 directions of Section 7 (Poisson generalization, sustained non-average
-behaviour), and :class:`TraceArrivals` replays recorded timestamps.
+behaviour), :class:`DiurnalArrivals` and :class:`HeavyTailedArrivals`
+provide the nonstationary models the learned control layer
+(:mod:`repro.control`) trains against, and :class:`TraceArrivals` replays
+recorded timestamps.
 """
 
 from repro.arrivals.base import ArrivalProcess
 from repro.arrivals.fixed import FixedRateArrivals
 from repro.arrivals.poisson import PoissonArrivals
 from repro.arrivals.bursty import BurstyArrivals
+from repro.arrivals.nonstationary import DiurnalArrivals, HeavyTailedArrivals
 from repro.arrivals.trace import TraceArrivals
 
 __all__ = [
@@ -18,5 +22,7 @@ __all__ = [
     "FixedRateArrivals",
     "PoissonArrivals",
     "BurstyArrivals",
+    "DiurnalArrivals",
+    "HeavyTailedArrivals",
     "TraceArrivals",
 ]

@@ -1,0 +1,212 @@
+"""Nonstationary arrival models: diurnal load curves and heavy-tailed bursts.
+
+Both models stress the drift -> re-plan -> cache-hit loop and the learned
+control policies (:mod:`repro.control`): the long-run rate is well
+defined, but over any control-interval-sized window the instantaneous
+rate wanders far from it.
+
+:class:`DiurnalArrivals` is a nonhomogeneous Poisson process whose rate
+follows a sinusoidal "time of day" curve.  With ``amplitude > 1`` the
+curve is clamped at zero over part of each period — *empty epochs* in
+which no items arrive at all.  Generation inverts the integrated rate
+``Lambda(t)``; over an empty epoch ``Lambda`` is flat, and the inverse
+must map the whole flat stretch to its right edge without ever stepping
+backwards.  The output is explicitly clamped nondecreasing
+(``np.maximum.accumulate``) so a generated trace always satisfies the
+:class:`~repro.arrivals.trace.TraceArrivals` replay contract — the
+regression pinned by ``tests/test_arrivals.py``.
+
+:class:`HeavyTailedArrivals` emits bursts whose sizes follow a truncated
+Zipf (discrete power) law: most bursts are small, but the tail is heavy
+enough that a single burst can swamp a queue — the "sustained
+non-average-case behaviour" of the paper's Section 5 taken to its
+power-law extreme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.errors import SpecError
+from repro.utils.validation import check_positive
+
+__all__ = ["DiurnalArrivals", "HeavyTailedArrivals"]
+
+#: Grid points per period used to tabulate the integrated rate.
+_GRID_PER_PERIOD = 2048
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Nonhomogeneous Poisson arrivals with a sinusoidal rate curve.
+
+    The instantaneous rate is::
+
+        rate(t) = max(0, (1/tau0) * (1 + amplitude * sin(2*pi*(t/period + phase))))
+
+    Parameters
+    ----------
+    tau0:
+        Inter-arrival time at the *unclamped* mean of the curve.  With
+        ``amplitude <= 1`` the long-run mean rate is exactly ``1/tau0``;
+        with ``amplitude > 1`` clamping at zero raises it above
+        ``1/tau0`` (the lost trough mass never goes negative).
+    period:
+        Length of one diurnal cycle, in the same time unit as ``tau0``.
+    amplitude:
+        Relative swing of the curve.  ``amplitude > 1`` produces empty
+        epochs (zero rate) around each trough.
+    phase:
+        Fraction of a period to shift the curve (0.25 starts at peak).
+    """
+
+    def __init__(
+        self,
+        tau0: float,
+        *,
+        period: float,
+        amplitude: float = 0.8,
+        phase: float = 0.0,
+    ) -> None:
+        self.tau0 = check_positive("tau0", tau0)
+        self.period = check_positive("period", period)
+        if amplitude < 0:
+            raise SpecError(f"amplitude must be >= 0, got {amplitude}")
+        self.amplitude = float(amplitude)
+        self.phase = float(phase)
+
+    def rate(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Instantaneous arrival rate at time(s) ``t`` (clamped at 0)."""
+        t = np.asarray(t, dtype=float)
+        raw = 1.0 + self.amplitude * np.sin(
+            2.0 * np.pi * (t / self.period + self.phase)
+        )
+        return np.maximum(0.0, raw) / self.tau0
+
+    @property
+    def mean_rate(self) -> float:
+        grid = np.linspace(0.0, self.period, _GRID_PER_PERIOD + 1)
+        return float(np.trapezoid(self.rate(grid), grid) / self.period)
+
+    def _lambda_table(self, horizon: float) -> tuple[np.ndarray, np.ndarray]:
+        """Tabulated integrated rate ``Lambda`` on a grid up to ``horizon``."""
+        n_cells = max(2, int(np.ceil(horizon / self.period * _GRID_PER_PERIOD)))
+        grid = np.linspace(0.0, horizon, n_cells + 1)
+        rates = np.asarray(self.rate(grid))
+        # Trapezoid increments are >= 0, so Lambda is exactly nondecreasing
+        # (flat across empty epochs).
+        increments = 0.5 * (rates[1:] + rates[:-1]) * np.diff(grid)
+        lam = np.concatenate(([0.0], np.cumsum(increments)))
+        return grid, lam
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n == 0:
+            return self._check_output(np.empty(0), 0)
+        # Unit-rate exponential cumulative sums, inverted through Lambda.
+        targets = np.cumsum(rng.exponential(1.0, size=n))
+        mean = self.mean_rate
+        if mean <= 0:
+            raise SpecError(
+                "diurnal rate curve integrates to zero; no arrivals possible"
+            )
+        horizon = max(self.period, 1.5 * targets[-1] / mean)
+        grid, lam = self._lambda_table(horizon)
+        while lam[-1] < targets[-1]:
+            horizon *= 2.0
+            grid, lam = self._lambda_table(horizon)
+        # np.interp over a nondecreasing (flat across empty epochs) table
+        # is monotone, but interpolation *within* a flat stretch can land
+        # anywhere inside the epoch depending on float rounding of the
+        # bracketing Lambda values.  The accumulate-clamp guarantees the
+        # output honors the nondecreasing arrival contract regardless —
+        # without it, a trace generated across a zero-rate trough could
+        # step backwards by one ULP and TraceArrivals would reject it.
+        times = np.interp(targets, lam, grid)
+        times = np.maximum.accumulate(times)
+        return self._check_output(times, n)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiurnalArrivals(tau0={self.tau0!r}, period={self.period!r}, "
+            f"amplitude={self.amplitude!r}, phase={self.phase!r})"
+        )
+
+
+class HeavyTailedArrivals(ArrivalProcess):
+    """Bursts with truncated-Zipf (power-law) sizes.
+
+    Bursts start after exponential idle gaps with mean ``tau_between``;
+    within a burst, items are ``tau_burst`` apart.  Burst sizes ``k`` in
+    ``[1, max_burst]`` have probability proportional to ``k**-exponent``
+    — for ``exponent`` near 1.5-2.5 the size distribution is heavy
+    enough that rare giant bursts dominate queue high-water marks.
+
+    Parameters
+    ----------
+    tau_between:
+        Mean idle time before each burst (exponential).
+    tau_burst:
+        Inter-arrival time within a burst (must be < tau_between).
+    exponent:
+        Zipf exponent of the burst-size law (> 1).
+    max_burst:
+        Truncation of the size law (>= 1); keeps ``mean_rate`` finite
+        and simulations bounded.
+    """
+
+    def __init__(
+        self,
+        tau_between: float,
+        tau_burst: float,
+        *,
+        exponent: float = 2.0,
+        max_burst: int = 512,
+    ) -> None:
+        self.tau_between = check_positive("tau_between", tau_between)
+        self.tau_burst = check_positive("tau_burst", tau_burst)
+        if tau_burst >= tau_between:
+            raise SpecError(
+                f"tau_burst ({tau_burst}) must be < tau_between ({tau_between})"
+            )
+        if exponent <= 1.0:
+            raise SpecError(f"exponent must be > 1, got {exponent}")
+        if max_burst < 1:
+            raise SpecError(f"max_burst must be >= 1, got {max_burst}")
+        self.exponent = float(exponent)
+        self.max_burst = int(max_burst)
+        sizes = np.arange(1, self.max_burst + 1, dtype=float)
+        pmf = sizes**-self.exponent
+        pmf /= pmf.sum()
+        self._size_cdf = np.cumsum(pmf)
+        self._mean_burst = float(np.dot(sizes, pmf))
+
+    @property
+    def mean_burst_size(self) -> float:
+        """Expected items per burst under the truncated size law."""
+        return self._mean_burst
+
+    @property
+    def mean_rate(self) -> float:
+        mean_span = self.tau_between + (self._mean_burst - 1.0) * self.tau_burst
+        return self._mean_burst / mean_span
+
+    def _sample_size(self, rng: np.random.Generator) -> int:
+        u = rng.random()
+        return int(np.searchsorted(self._size_cdf, u, side="right")) + 1
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        gaps = np.empty(n, dtype=float)
+        i = 0
+        while i < n:
+            gaps[i] = rng.exponential(self.tau_between)
+            size = min(self._sample_size(rng), n - i)
+            gaps[i + 1 : i + size] = self.tau_burst
+            i += size
+        return self._check_output(np.cumsum(gaps), n)
+
+    def __repr__(self) -> str:
+        return (
+            f"HeavyTailedArrivals(tau_between={self.tau_between!r}, "
+            f"tau_burst={self.tau_burst!r}, exponent={self.exponent!r}, "
+            f"max_burst={self.max_burst!r})"
+        )

@@ -1,0 +1,324 @@
+"""Contextual bandit plan selection through the plan cache.
+
+During a drift transient the runtime's model-based path re-detects the
+regime (detector sustain), re-solves (cold unless the cache already holds
+the regime), and only then adopts — every step of which costs segments at
+the wrong operating point.  If the regimes recur, the *plans* themselves
+are a small discrete set, and picking among them is a contextual bandit
+problem: the context is the calibrator's drift features (EWMA
+service/gain ratios), the arms are cached plans, and the reward is the
+segment reward already defined by the environment.
+
+:class:`PlanLibrary` materializes the arms: one
+:func:`~repro.planning.warmstart.solve_plan` outcome per candidate
+regime, all routed through the shared :class:`~repro.planning.cache.PlanCache`
+(so live re-plans and the bandit share entries — selecting an arm *is* a
+cache hit).  :class:`LinUCB` is the classic disjoint linear UCB of
+Li et al. (2010): per arm ``a`` it maintains ridge statistics
+``A_a = I + sum x x^T``, ``b_a = sum r x`` and scores
+``theta_a^T x + alpha * sqrt(x^T A_a^{-1} x)``.  It is deterministic —
+ties break toward the lowest arm index — and pure numpy, so bandit
+episodes are bit-reproducible.
+
+:class:`BanditPolicy` adapts the bandit to both control surfaces: the
+environment protocol (``begin_episode`` / ``act`` / ``observe``) and the
+live executor hook (``propose_live``), where it maps the calibrator
+snapshot to an arm and returns that arm's wait vector for
+:meth:`~repro.runtime.executor.PipelineExecutor.swap_waits`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.env import ControlEnvConfig, Regime
+from repro.errors import SpecError
+from repro.planning.cache import PlanCache
+from repro.planning.warmstart import default_cache, solve_plan
+
+__all__ = ["PlanArm", "PlanLibrary", "LinUCB", "BanditPolicy"]
+
+
+@dataclass(frozen=True)
+class PlanArm:
+    """One selectable operating point: a solved plan for one regime."""
+
+    name: str
+    waits: np.ndarray
+    periods: np.ndarray
+    active_fraction: float
+    plan_key: str
+    source: str
+    service_scale: np.ndarray
+    gain_scale: np.ndarray
+
+
+class PlanLibrary:
+    """Solved enforced-waits plans for a set of candidate regimes.
+
+    Every solve goes through :func:`solve_plan` with the shared cache, so
+    building the library warms exactly the entries the live Replanner
+    would produce for the same regimes, and re-building it is all cache
+    hits.  Infeasible regimes are rejected eagerly — an arm the bandit
+    could pull must always be adoptable.
+    """
+
+    def __init__(
+        self,
+        config: ControlEnvConfig,
+        regimes: tuple[Regime, ...] | None = None,
+        *,
+        cache: PlanCache | None = None,
+    ) -> None:
+        self.config = config
+        self.cache = cache if cache is not None else default_cache()
+        if regimes is None:
+            regimes = config.schedule.regimes
+        if not regimes:
+            raise SpecError("plan library needs at least one regime")
+        arms = []
+        for regime in regimes:
+            outcome = solve_plan(
+                config.problem_for_regime(regime), cache=self.cache
+            )
+            sol = outcome.solution
+            if not sol.feasible:
+                raise SpecError(
+                    f"regime {regime.name!r} is infeasible; it cannot be a "
+                    "bandit arm (diagnosis: "
+                    f"{getattr(sol, 'diagnosis', None)})"
+                )
+            arms.append(
+                PlanArm(
+                    name=regime.name,
+                    waits=np.asarray(sol.waits, dtype=float),
+                    periods=np.asarray(sol.periods, dtype=float),
+                    active_fraction=float(sol.active_fraction),
+                    plan_key=outcome.key,
+                    source=outcome.source,
+                    service_scale=np.asarray(regime.service_scale, dtype=float),
+                    gain_scale=np.asarray(regime.gain_scale, dtype=float),
+                )
+            )
+        self.arms: tuple[PlanArm, ...] = tuple(arms)
+
+    def __len__(self) -> int:
+        return len(self.arms)
+
+    def closest_arm(
+        self, service_ratios: np.ndarray, gain_ratios: np.ndarray
+    ) -> int:
+        """Index of the arm whose regime best matches the drift ratios.
+
+        Distance is Euclidean in log-ratio space over both dimensions —
+        the oracle matching rule, used by tests and diagnostics rather
+        than by the bandit itself.
+        """
+        target = np.concatenate(
+            (
+                np.log(np.maximum(service_ratios, 1e-9)),
+                np.log(np.maximum(gain_ratios, 1e-9)),
+            )
+        )
+        best, best_d = 0, np.inf
+        for k, arm in enumerate(self.arms):
+            point = np.concatenate(
+                (np.log(arm.service_scale), np.log(arm.gain_scale))
+            )
+            d = float(np.sum((target - point) ** 2))
+            if d < best_d:
+                best, best_d = k, d
+        return best
+
+
+class LinUCB:
+    """Disjoint linear UCB over a fixed arm set (deterministic).
+
+    Parameters
+    ----------
+    n_arms, dim:
+        Number of arms and context dimension.
+    alpha:
+        Exploration width multiplier (0 = pure exploitation).
+    ridge:
+        Tikhonov regularizer seeding each arm's ``A`` matrix.
+    """
+
+    def __init__(
+        self, n_arms: int, dim: int, *, alpha: float = 0.6, ridge: float = 1.0
+    ) -> None:
+        if n_arms < 1:
+            raise SpecError(f"need at least one arm, got {n_arms}")
+        if dim < 1:
+            raise SpecError(f"context dim must be >= 1, got {dim}")
+        if alpha < 0:
+            raise SpecError(f"alpha must be >= 0, got {alpha}")
+        if ridge <= 0:
+            raise SpecError(f"ridge must be > 0, got {ridge}")
+        self.n_arms = int(n_arms)
+        self.dim = int(dim)
+        self.alpha = float(alpha)
+        self._A = np.stack([np.eye(dim) * ridge for _ in range(n_arms)])
+        self._b = np.zeros((n_arms, dim))
+        self.pulls = np.zeros(n_arms, dtype=np.int64)
+
+    def _check_context(self, context: np.ndarray) -> np.ndarray:
+        x = np.asarray(context, dtype=float)
+        if x.shape != (self.dim,):
+            raise SpecError(
+                f"context must have shape ({self.dim},), got {x.shape}"
+            )
+        if not np.isfinite(x).all():
+            raise SpecError("context must be finite")
+        return x
+
+    def scores(self, context: np.ndarray) -> np.ndarray:
+        """Per-arm UCB scores (estimate + exploration bonus)."""
+        x = self._check_context(context)
+        out = np.empty(self.n_arms)
+        for a in range(self.n_arms):
+            inv_x = np.linalg.solve(self._A[a], x)
+            theta = np.linalg.solve(self._A[a], self._b[a])
+            out[a] = float(theta @ x) + self.alpha * float(
+                np.sqrt(max(x @ inv_x, 0.0))
+            )
+        return out
+
+    def select(self, context: np.ndarray) -> int:
+        """Arm with the highest UCB score (ties -> lowest index)."""
+        return int(np.argmax(self.scores(context)))
+
+    def update(self, arm: int, context: np.ndarray, reward: float) -> None:
+        """Fold one observed ``(context, reward)`` into ``arm``'s model."""
+        if not (0 <= arm < self.n_arms):
+            raise SpecError(f"arm {arm} out of range [0, {self.n_arms})")
+        x = self._check_context(context)
+        reward = float(reward)
+        if not np.isfinite(reward):
+            raise SpecError(f"reward must be finite, got {reward}")
+        self._A[arm] += np.outer(x, x)
+        self._b[arm] += reward * x
+        self.pulls[arm] += 1
+
+
+def _context_from_ratios(
+    service_ratios: np.ndarray,
+    gain_ratios: np.ndarray,
+    queue_depths: np.ndarray | None = None,
+) -> np.ndarray:
+    """Bandit context: bias, log drift ratios, and queue depths per node.
+
+    The queue-depth features (in vector widths, log1p-compressed) let
+    the per-arm linear model *explain* backlog-driven reward collapse:
+    without them, a segment spent draining a blown queue punishes
+    whichever arm was pulled — including the correct one — and drags its
+    estimate down in every drifted context.
+    """
+    service_ratios = np.asarray(service_ratios, dtype=float)
+    if queue_depths is None:
+        queue_depths = np.zeros(service_ratios.size)
+    return np.concatenate(
+        (
+            [1.0],
+            np.log(np.maximum(service_ratios, 1e-9)),
+            np.log(np.maximum(np.asarray(gain_ratios, dtype=float), 1e-9)),
+            np.log1p(np.maximum(np.asarray(queue_depths, dtype=float), 0.0)),
+        )
+    )
+
+
+class BanditPolicy:
+    """LinUCB over a :class:`PlanLibrary`, usable offline and live.
+
+    Offline (environment) protocol: ``begin_episode(env)`` resets
+    nothing but the pending-selection state (the bandit's statistics
+    persist across episodes — that *is* the learning), ``act(obs, env)``
+    returns the selected arm's waits, ``observe(reward)`` credits the
+    pulled arm.
+
+    Credit assignment pairs each reward with the *post-segment* context
+    (the observation delivered to the next ``act`` call), not the
+    context the arm was selected on.  The EWMA drift features lag the
+    regime by up to a segment, so the pre-segment context of the first
+    drifted segment still looks nominal — pairing the (terrible) reward
+    with it would teach the bandit that the nominal arm is bad *at the
+    nominal operating point*.  The post-segment context reflects the
+    regime the reward was actually earned under.
+
+    Live protocol: ``propose_live(snapshot, now)`` maps an
+    :class:`~repro.runtime.calibration.CalibrationSnapshot` to a wait
+    vector, or None to keep the current plan.  Rewards are credited with
+    the *negative active-fraction estimate* of the selected arm under
+    the observed ratios on the next call — pessimistic but
+    model-consistent when live segment rewards are not available.
+    """
+
+    name = "bandit"
+
+    def __init__(
+        self,
+        library: PlanLibrary,
+        *,
+        alpha: float = 0.6,
+        ridge: float = 1.0,
+    ) -> None:
+        self.library = library
+        n = library.config.n_nodes
+        self.linucb = LinUCB(
+            len(library), 1 + 3 * n, alpha=alpha, ridge=ridge
+        )
+        self._pending: tuple[int, float] | None = None
+        self._last_arm: int | None = None
+        self._live_arm: int | None = None
+        self.selections: list[int] = []
+
+    def _context_from_obs(self, obs: np.ndarray) -> np.ndarray:
+        n = self.library.config.n_nodes
+        return _context_from_ratios(
+            obs[1 : 3 * n : 3], obs[2 : 3 * n : 3], obs[0 : 3 * n : 3]
+        )
+
+    # -- environment protocol ------------------------------------------------
+
+    def begin_episode(self, env) -> None:
+        self._pending = None
+        self._last_arm = None
+
+    def act(self, obs: np.ndarray, env) -> np.ndarray:
+        context = self._context_from_obs(obs)
+        if self._pending is not None:
+            arm, reward = self._pending
+            self._pending = None
+            self.linucb.update(arm, context, reward)
+        arm = self.linucb.select(context)
+        self._last_arm = arm
+        self.selections.append(arm)
+        return self.library.arms[arm].waits
+
+    def observe(self, reward: float) -> None:
+        if self._last_arm is not None:
+            self._pending = (self._last_arm, reward)
+
+    # -- live executor protocol ----------------------------------------------
+
+    def propose_live(self, snapshot, now: float) -> np.ndarray | None:
+        """Wait vector for the live executor, or None to keep the plan."""
+        if not snapshot.warmed:
+            return None
+        context = _context_from_ratios(
+            snapshot.service_ratios, snapshot.gain_ratios
+        )
+        if self._live_arm is not None:
+            # Credit the previous selection with its model-implied reward
+            # under the ratios it actually produced.
+            prev = self.library.arms[self._live_arm]
+            self.linucb.update(
+                self._live_arm, context, -prev.active_fraction
+            )
+        arm = self.linucb.select(context)
+        changed = arm != self._live_arm
+        self._live_arm = arm
+        self.selections.append(arm)
+        return self.library.arms[arm].waits if changed else None

@@ -1,0 +1,623 @@
+"""A gym-style control environment over the discrete-event simulator.
+
+:class:`PipelineControlEnv` exposes the enforced-waits pipeline as a
+sequential decision problem with the classic ``reset(seed)`` /
+``step(action)`` interface.  Episodes run **entirely in simulated
+time**: one ``step`` advances the DES engine by ``segment_time`` virtual
+seconds with the current wait vector in force, so training a policy
+needs no wall clock and is bit-reproducible given ``(seed, arrival
+model, drift schedule)``.
+
+The dynamics reuse the existing simulation stack rather than a
+re-implementation: the :class:`~repro.des.engine.Engine` event loop (via
+``run(until=...)``), :class:`~repro.dataflow.queues.ItemQueue` bounded
+queues, :class:`~repro.sim.metrics.LatencyLedger` deadline accounting,
+the gain distributions of :mod:`repro.dataflow.gains`, and the runtime's
+:class:`~repro.runtime.calibration.NodeEstimator` EWMAs for the
+observation's service/gain estimates.  Event handlers follow
+:class:`~repro.sim.enforced.EnforcedWaitsSimulator`'s fire/complete/wait
+cycle (arrivals outrank completions outrank firing starts at equal
+times), with two deliberate differences: the wait vector is *mutable*
+(a policy action takes effect at each node's next firing, mirroring
+:meth:`~repro.runtime.executor.PipelineExecutor.swap_waits`) and node
+service times / gains follow a :class:`DriftSchedule` — the
+nonstationarity the policies must track.
+
+Observation vector (length ``3 * n_nodes + 3``)::
+
+    per node:  [queue depth / v,  EWMA service / planned,  EWMA gain / planned]
+    global:    [min slack of queued items / deadline,
+                last-segment miss fraction,
+                diurnal phase (fraction of the arrival period, 0 if none)]
+
+Action: a wait vector (seconds, clamped at >= 0), optionally wrapped in
+a :class:`ControlAction` to add a batch-size hint (items popped per
+firing, <= ``v``).  ``None`` keeps the waits in force.
+
+Reward per step: ``-(segment active fraction) - miss_penalty *
+(segment misses / segment arrivals)`` — the paper's objective (minimize
+device activity) with deadline misses charged as a soft constraint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import partial
+
+import numpy as np
+
+from repro.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    FixedRateArrivals,
+    HeavyTailedArrivals,
+    PoissonArrivals,
+)
+from repro.core.model import RealTimeProblem
+from repro.dataflow.gains import gain_from_mean
+from repro.dataflow.queues import ItemQueue
+from repro.dataflow.spec import PipelineSpec
+from repro.des.engine import Engine
+from repro.des.rng import RngRegistry
+from repro.errors import SimulationError, SpecError
+from repro.runtime.calibration import NodeEstimator
+from repro.sim.metrics import LatencyLedger
+
+__all__ = [
+    "Regime",
+    "DriftSchedule",
+    "ControlAction",
+    "ControlEnvConfig",
+    "PipelineControlEnv",
+]
+
+_PRIO_ARRIVAL = -1
+_PRIO_COMPLETE = 0
+_PRIO_FIRE = 1
+
+
+@dataclass(frozen=True)
+class Regime:
+    """One operating regime: multiplicative drift off the nominal point."""
+
+    name: str
+    service_scale: np.ndarray
+    gain_scale: np.ndarray
+
+    @staticmethod
+    def nominal(n_nodes: int) -> "Regime":
+        return Regime("nominal", np.ones(n_nodes), np.ones(n_nodes))
+
+    def scaled_params(
+        self, services: np.ndarray, gains: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """True ``(t, g)`` of this regime given the nominal arrays."""
+        return services * self.service_scale, gains * self.gain_scale
+
+
+class DriftSchedule:
+    """A piecewise-constant map from virtual time to :class:`Regime`.
+
+    ``breakpoints[k]`` is the start time of ``regime_ids[k]``; the first
+    breakpoint must be 0.  The schedule is *known data*, not a process:
+    the environment applies it to the simulated pipeline, the
+    :class:`~repro.control.policy.OraclePolicy` reads it to compute the
+    per-regime enforced-waits optimum, and everyone else must infer it
+    from observations.
+    """
+
+    def __init__(
+        self,
+        breakpoints: np.ndarray,
+        regime_ids: np.ndarray,
+        regimes: tuple[Regime, ...],
+    ) -> None:
+        self.breakpoints = np.asarray(breakpoints, dtype=float)
+        self.regime_ids = np.asarray(regime_ids, dtype=np.int64)
+        self.regimes = tuple(regimes)
+        if self.breakpoints.ndim != 1 or self.breakpoints.size == 0:
+            raise SpecError("schedule needs at least one breakpoint")
+        if self.breakpoints[0] != 0.0:
+            raise SpecError("the first breakpoint must be at time 0")
+        if (np.diff(self.breakpoints) <= 0).any():
+            raise SpecError("breakpoints must be strictly increasing")
+        if self.regime_ids.shape != self.breakpoints.shape:
+            raise SpecError("one regime id per breakpoint required")
+        if not self.regimes:
+            raise SpecError("schedule needs at least one regime")
+        lo, hi = self.regime_ids.min(), self.regime_ids.max()
+        if lo < 0 or hi >= len(self.regimes):
+            raise SpecError(
+                f"regime ids must index regimes [0, {len(self.regimes)}), "
+                f"got range [{lo}, {hi}]"
+            )
+
+    @property
+    def n_regimes(self) -> int:
+        return len(self.regimes)
+
+    def regime_index_at(self, t: float) -> int:
+        k = int(np.searchsorted(self.breakpoints, t, side="right")) - 1
+        return int(self.regime_ids[max(k, 0)])
+
+    def regime_at(self, t: float) -> Regime:
+        return self.regimes[self.regime_index_at(t)]
+
+    @staticmethod
+    def stationary(n_nodes: int) -> "DriftSchedule":
+        """A schedule that never drifts (the nominal operating point)."""
+        return DriftSchedule(
+            np.asarray([0.0]),
+            np.asarray([0]),
+            (Regime.nominal(n_nodes),),
+        )
+
+    @staticmethod
+    def seeded(
+        seed: int,
+        regimes: tuple[Regime, ...],
+        *,
+        horizon: float,
+        mean_dwell: float,
+        min_dwell: float | None = None,
+    ) -> "DriftSchedule":
+        """A deterministic pseudo-random switching schedule.
+
+        Starts at regime 0 (nominal by convention); dwell times are
+        ``min_dwell + Exp(mean_dwell - min_dwell)``; each switch picks a
+        different regime uniformly.  Fully determined by ``seed``.
+        """
+        if len(regimes) < 1:
+            raise SpecError("seeded schedule needs at least one regime")
+        if min_dwell is None:
+            min_dwell = 0.25 * mean_dwell
+        if not (0 < min_dwell <= mean_dwell):
+            raise SpecError(
+                f"need 0 < min_dwell <= mean_dwell, got {min_dwell}, {mean_dwell}"
+            )
+        rng = np.random.default_rng(seed)
+        breaks = [0.0]
+        ids = [0]
+        t = 0.0
+        while True:
+            t += min_dwell + rng.exponential(max(mean_dwell - min_dwell, 1e-12))
+            if t >= horizon or len(regimes) == 1:
+                break
+            choices = [k for k in range(len(regimes)) if k != ids[-1]]
+            ids.append(int(choices[int(rng.integers(len(choices)))]))
+            breaks.append(t)
+        return DriftSchedule(np.asarray(breaks), np.asarray(ids), regimes)
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """A policy's decision for the next segment.
+
+    ``waits`` replaces the enforced-wait vector (``None`` keeps the
+    current one); ``batch_hint`` caps the items popped per firing
+    (``None`` restores the full vector width).
+    """
+
+    waits: np.ndarray | None = None
+    batch_hint: int | None = None
+
+
+@dataclass(frozen=True)
+class ControlEnvConfig:
+    """Everything that defines an episode distribution.
+
+    ``service_times``/``mean_gains`` are the *nominal* operating point;
+    the :class:`DriftSchedule` scales them over virtual time.
+    ``arrival`` picks the arrival model: ``"poisson"``, ``"fixed"``,
+    ``"bursty"``, ``"diurnal"``, or ``"heavy-tail"`` (the nonstationary
+    models of :mod:`repro.arrivals.nonstationary`), with extra keyword
+    arguments in ``arrival_kwargs``.
+    """
+
+    service_times: tuple[float, ...]
+    mean_gains: tuple[float, ...]
+    vector_width: int
+    tau0: float
+    deadline: float
+    n_items: int
+    segment_time: float
+    schedule: DriftSchedule
+    arrival: str = "poisson"
+    arrival_kwargs: dict = field(default_factory=dict)
+    rate_scale: float = 1.15
+    miss_penalty: float = 25.0
+    # Weight of the queue-growth term in the reward.  A wrong operating
+    # point at a drifted regime shows up as backlog growth *immediately*
+    # but as deadline misses only several segments later (once the slack
+    # is consumed) — and late misses are credited to whatever action was
+    # in force by then.  Charging growth in the segment it happens keeps
+    # the reward Markovian in the action.  Growth within ``queue_deadband``
+    # (a fraction of one segment's expected arrivals) is free: stochastic
+    # arrival/gain fluctuations make depth a random walk, and penalizing
+    # its rectified positive increments would punish well-planned
+    # policies for noise.
+    queue_penalty: float = 5.0
+    queue_deadband: float = 0.25
+    max_segments: int = 10_000
+    queue_capacity: int | None = None
+    expander_limit: int = 16
+    warmup_observations: int = 3
+    # Faster than the live calibrator's defaults (0.2 / 0.05): control
+    # segments are long relative to firings, and a gain EWMA that needs
+    # a whole regime dwell to converge starves the policies of their
+    # main drift feature.
+    ewma_alpha: float = 0.2
+    gain_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if len(self.service_times) != len(self.mean_gains):
+            raise SpecError("service_times and mean_gains length mismatch")
+        if self.segment_time <= 0:
+            raise SpecError(f"segment_time must be > 0, got {self.segment_time}")
+        if self.n_items < 1:
+            raise SpecError(f"n_items must be >= 1, got {self.n_items}")
+        if self.miss_penalty < 0:
+            raise SpecError(f"miss_penalty must be >= 0, got {self.miss_penalty}")
+        if self.rate_scale <= 0:
+            raise SpecError(f"rate_scale must be > 0, got {self.rate_scale}")
+        if self.queue_penalty < 0:
+            raise SpecError(
+                f"queue_penalty must be >= 0, got {self.queue_penalty}"
+            )
+        if self.queue_deadband < 0:
+            raise SpecError(
+                f"queue_deadband must be >= 0, got {self.queue_deadband}"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.service_times)
+
+    def pipeline(self) -> PipelineSpec:
+        return PipelineSpec.from_arrays(
+            np.asarray(self.service_times, dtype=float),
+            np.asarray(self.mean_gains, dtype=float),
+            self.vector_width,
+            expander_limit=self.expander_limit,
+        )
+
+    def problem(self) -> RealTimeProblem:
+        return RealTimeProblem(self.pipeline(), self.tau0, self.deadline)
+
+    def problem_for_regime(self, regime: Regime) -> RealTimeProblem:
+        t, g = regime.scaled_params(
+            np.asarray(self.service_times, dtype=float),
+            np.asarray(self.mean_gains, dtype=float),
+        )
+        spec = PipelineSpec.from_arrays(
+            t, g, self.vector_width, expander_limit=self.expander_limit
+        )
+        return RealTimeProblem(spec, self.tau0, self.deadline)
+
+    def build_arrivals(self) -> ArrivalProcess:
+        # run_live's convention: the solver plans at tau0 (the head cap
+        # x_0 <= v*tau0 is driven to its boundary), while the actual
+        # stream is fed at tau0 * rate_scale, leaving headroom so queues
+        # don't random-walk upward at exactly critical load.
+        tau = self.tau0 * self.rate_scale
+        kind = self.arrival
+        kw = dict(self.arrival_kwargs)
+        if kind == "poisson":
+            return PoissonArrivals(tau)
+        if kind == "fixed":
+            return FixedRateArrivals(tau)
+        if kind == "bursty":
+            kw.setdefault("tau_burst", tau / 4.0)
+            return BurstyArrivals(tau, **kw)
+        if kind == "diurnal":
+            kw.setdefault("period", 100.0 * tau)
+            kw.setdefault("amplitude", 0.8)
+            return DiurnalArrivals(tau, **kw)
+        if kind == "heavy-tail":
+            kw.setdefault("tau_burst", tau / 8.0)
+            # Default idle gap keeps the long-run rate near 1/tau.
+            kw.setdefault("exponent", 2.0)
+            kw.setdefault("max_burst", 4 * self.vector_width)
+            tau_between = kw.pop("tau_between", None)
+            if tau_between is None:
+                probe = HeavyTailedArrivals(
+                    tau, kw["tau_burst"],
+                    exponent=kw["exponent"], max_burst=kw["max_burst"],
+                )
+                m = probe.mean_burst_size
+                tau_between = max(
+                    m * tau - (m - 1.0) * kw["tau_burst"],
+                    2.0 * kw["tau_burst"],
+                )
+            return HeavyTailedArrivals(tau_between, **kw)
+        raise SpecError(
+            "arrival must be one of poisson/fixed/bursty/diurnal/heavy-tail, "
+            f"got {kind!r}"
+        )
+
+
+class PipelineControlEnv:
+    """Gym-style environment over the enforced-waits DES (module docstring)."""
+
+    def __init__(self, config: ControlEnvConfig) -> None:
+        self.config = config
+        self.n_nodes = config.n_nodes
+        self._t_nominal = np.asarray(config.service_times, dtype=float)
+        self._g_nominal = np.asarray(config.mean_gains, dtype=float)
+        self._v = int(config.vector_width)
+        # Per-regime gain distributions, built once: gain drift swaps the
+        # sampled distribution (gain_from_mean of the scaled mean), it
+        # does not rescale integer samples.
+        self._regime_gains = [
+            [
+                gain_from_mean(
+                    float(g), u=config.expander_limit
+                )
+                for g in regime.gain_scale * self._g_nominal
+            ]
+            for regime in config.schedule.regimes
+        ]
+        self._diurnal_period = None
+        if config.arrival == "diurnal":
+            self._diurnal_period = config.arrival_kwargs.get(
+                "period", 100.0 * config.tau0
+            )
+        self._episode_active = False
+        self.observation_size = 3 * self.n_nodes + 3
+
+    # -- gym surface --------------------------------------------------------
+
+    def reset(self, seed: int = 0) -> np.ndarray:
+        """Start a fresh episode; returns the initial observation."""
+        cfg = self.config
+        self.seed = int(seed)
+        self.rng = RngRegistry(self.seed)
+        self.engine = Engine()
+        self.arrivals = cfg.build_arrivals()
+        self._times = self.arrivals.generate(
+            cfg.n_items, self.rng.stream("arrivals")
+        )
+        self._expected_arrivals = max(
+            1.0, cfg.segment_time * self.arrivals.mean_rate
+        )
+        self._depth_prev = 0
+        self._rng_of = [
+            self.rng.stream(f"node{i}.gain") for i in range(self.n_nodes)
+        ]
+        self.queues = [
+            ItemQueue(f"q{i}", dtype=np.int64, capacity=cfg.queue_capacity)
+            for i in range(self.n_nodes)
+        ]
+        self.ledger = LatencyLedger(cfg.deadline)
+        self.estimators = [
+            NodeEstimator(
+                f"n{i}",
+                float(self._t_nominal[i]),
+                float(self._g_nominal[i]),
+                alpha=cfg.ewma_alpha,
+                gain_alpha=cfg.gain_alpha,
+                min_observations=cfg.warmup_observations,
+            )
+            for i in range(self.n_nodes)
+        ]
+        self._waits = np.zeros(self.n_nodes)
+        self._batch = self._v
+        self._cursor = 0
+        self._in_flight = 0
+        self._active_time = np.zeros(self.n_nodes)
+        self._seg_active = np.zeros(self.n_nodes)
+        self._seg_arrivals = 0
+        self._last_outputs = 0
+        self._last_missed = 0
+        self._last_miss_frac = 0.0
+        self._segments = 0
+        self._fire_fns = [partial(self._fire, i) for i in range(self.n_nodes)]
+        for i in range(self.n_nodes):
+            self.engine.schedule(0.0, self._fire_fns[i], priority=_PRIO_FIRE)
+        self._episode_active = True
+        return self._observe()
+
+    def step(
+        self, action: ControlAction | np.ndarray | None
+    ) -> tuple[np.ndarray, float, bool, dict]:
+        """Apply ``action`` and advance one segment of virtual time."""
+        if not self._episode_active:
+            raise SimulationError("step() before reset(), or episode is done")
+        self._apply_action(action)
+        cfg = self.config
+        self._seg_active[:] = 0.0
+        self._seg_arrivals = 0
+        outputs0 = self.ledger.outputs
+        missed0 = self.ledger.missed_items
+        until = self.engine.now + cfg.segment_time
+        # max_events compares against the engine's *cumulative* count, so
+        # the runaway guard must be re-based per segment.
+        self.engine.run(
+            until=until, max_events=self.engine.events_processed + 5_000_000
+        )
+        self._segments += 1
+
+        seg_outputs = self.ledger.outputs - outputs0
+        seg_missed = self.ledger.missed_items - missed0
+        seg_arrivals = self._seg_arrivals
+        seg_af = float(np.mean(self._seg_active)) / cfg.segment_time
+        # Normalize misses by the *expected* arrivals per segment, not the
+        # realized count: tail-flush segments see few arrivals but may
+        # drain a late backlog, and dividing by the realized count would
+        # make their penalty explode.
+        miss_frac = seg_missed / self._expected_arrivals
+        self._last_miss_frac = miss_frac
+        depth_now = sum(len(q) for q in self.queues)
+        deadband = cfg.queue_deadband * self._expected_arrivals
+        growth_frac = (
+            max(0.0, depth_now - self._depth_prev - deadband)
+            / self._expected_arrivals
+        )
+        self._depth_prev = depth_now
+        reward = (
+            -seg_af
+            - cfg.miss_penalty * miss_frac
+            - cfg.queue_penalty * growth_frac
+        )
+
+        done = (
+            self._cursor >= cfg.n_items and self._in_flight == 0
+        ) or self._segments >= cfg.max_segments
+        if done:
+            self._episode_active = False
+        obs = self._observe()
+        info = {
+            "time": self.engine.now,
+            "segment": self._segments,
+            "regime": cfg.schedule.regime_index_at(self.engine.now),
+            "arrivals": seg_arrivals,
+            "outputs": seg_outputs,
+            "misses": seg_missed,
+            "active_fraction": seg_af,
+            "queue_depth": depth_now,
+            "in_flight": self._in_flight,
+            "waits": self._waits.copy(),
+            "services": np.asarray([e.service for e in self.estimators]),
+            "gains": np.asarray([e.gain for e in self.estimators]),
+            "planned_services": self._t_nominal.copy(),
+            "planned_gains": self._g_nominal.copy(),
+            "observations": np.asarray(
+                [e.observations for e in self.estimators]
+            ),
+            "warmed": all(e.warmed for e in self.estimators),
+            "truncated": self._segments >= cfg.max_segments,
+        }
+        return obs, float(reward), done, info
+
+    # -- action / observation ------------------------------------------------
+
+    def _apply_action(self, action: ControlAction | np.ndarray | None) -> None:
+        if action is None:
+            return
+        if isinstance(action, ControlAction):
+            waits, hint = action.waits, action.batch_hint
+        else:
+            waits, hint = action, None
+        if waits is not None:
+            waits = np.asarray(waits, dtype=float)
+            if waits.shape != (self.n_nodes,):
+                raise SpecError(
+                    f"waits must have length {self.n_nodes}, got {waits.shape}"
+                )
+            if not np.isfinite(waits).all():
+                raise SpecError("waits must be finite")
+            self._waits = np.maximum(waits, 0.0)
+        if hint is not None:
+            if not (1 <= int(hint) <= self._v):
+                raise SpecError(
+                    f"batch_hint must be in [1, {self._v}], got {hint}"
+                )
+            self._batch = int(hint)
+        elif isinstance(action, ControlAction):
+            self._batch = self._v
+
+    def _observe(self) -> np.ndarray:
+        obs = np.empty(self.observation_size)
+        now = self.engine.now
+        oldest = math.inf
+        for i in range(self.n_nodes):
+            e = self.estimators[i]
+            q = self.queues[i]
+            obs[3 * i] = len(q) / self._v
+            obs[3 * i + 1] = e.service / e.planned_service
+            obs[3 * i + 2] = e.gain / max(e.planned_gain, 1e-12)
+            if len(q):
+                oldest = min(oldest, float(self._times[int(q.peek_oldest())]))
+        base = 3 * self.n_nodes
+        if math.isinf(oldest):
+            obs[base] = 1.0
+        else:
+            obs[base] = (oldest + self.config.deadline - now) / self.config.deadline
+        obs[base + 1] = self._last_miss_frac
+        if self._diurnal_period:
+            obs[base + 2] = (now / self._diurnal_period) % 1.0
+        else:
+            obs[base + 2] = 0.0
+        return obs
+
+    # -- DES event handlers (EnforcedWaitsSimulator's cycle, steppable) ------
+
+    def _drain_arrivals(self, now: float) -> None:
+        c = self._cursor
+        if c >= self.config.n_items:
+            return
+        j = int(np.searchsorted(self._times, now, side="right"))
+        if j <= c:
+            return
+        self.queues[0].push_many(np.arange(c, j, dtype=np.int64), now=now)
+        self._in_flight += j - c
+        self._seg_arrivals += j - c
+        self._cursor = j
+
+    def _regime_index(self, now: float) -> int:
+        return self.config.schedule.regime_index_at(now)
+
+    def _fire(self, i: int) -> None:
+        now = self.engine.now
+        if i == 0:
+            self._drain_arrivals(now)
+        ids = self.queues[i].pop_up_to(self._batch)
+        regime_idx = self._regime_index(now)
+        regime = self.config.schedule.regimes[regime_idx]
+        t_i = float(self._t_nominal[i] * regime.service_scale[i])
+        self.engine.schedule(
+            now + t_i,
+            partial(self._complete, i, ids, now, regime_idx),
+            priority=_PRIO_COMPLETE,
+        )
+
+    def _complete(
+        self, i: int, ids: np.ndarray, start: float, regime_idx: int
+    ) -> None:
+        now = self.engine.now
+        duration = now - start
+        # The paper's accounting: every firing (empty included) charges
+        # its full service time as active device time.
+        self._active_time[i] += duration
+        self._seg_active[i] += duration
+        consumed = int(ids.size)
+        if consumed:
+            counts = self._regime_gains[regime_idx][i].sample(
+                self._rng_of[i], consumed
+            )
+            produced = int(counts.sum())
+            # Like the live calibrator, the estimator sees the realized
+            # (drifted) duration and gain ratio of non-empty firings.
+            self.estimators[i].observe(duration, produced, consumed)
+            outputs = np.repeat(ids, counts)
+            if i + 1 < self.n_nodes:
+                self.queues[i + 1].push_many(outputs, now=now)
+                self._in_flight += produced - consumed
+            else:
+                if produced:
+                    self.ledger.record_exits(
+                        self._times[outputs], now, ids=outputs
+                    )
+                self._in_flight -= consumed
+        self.engine.schedule(
+            now + float(self._waits[i]), self._fire_fns[i], priority=_PRIO_FIRE
+        )
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.engine.now if self._episode_active or self._segments else 0.0
+
+    @property
+    def waits(self) -> np.ndarray:
+        return self._waits.copy()
+
+    def total_active_fraction(self) -> float:
+        """Mean per-node active fraction over the whole episode so far."""
+        elapsed = self.engine.now
+        if elapsed <= 0:
+            return math.nan
+        return float(np.mean(self._active_time)) / elapsed

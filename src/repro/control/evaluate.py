@@ -1,0 +1,219 @@
+"""Head-to-head evaluation of control policies.
+
+:func:`run_episode` drives one policy through one
+:class:`~repro.control.env.PipelineControlEnv` episode and returns the
+per-segment trace plus episode aggregates.  Episodes are bit-reproducible
+given ``(seed, config)``: the environment's randomness is fully seeded,
+policies are deterministic, and everything runs in virtual time.
+
+:func:`head_to_head` runs several policies over the *same* episode seeds
+and scores each against the :class:`~repro.control.policy.OraclePolicy`
+run on the identical seed:
+
+- **cumulative regret** — ``sum_k (r_oracle[k] - r_policy[k])`` over
+  segments, summed over seeds.  The oracle sees the drift schedule, so
+  regret measures exactly the cost of *not knowing* the regime.
+- **deadline misses**, split into stationary-segment misses (segments
+  whose regime is the nominal one — the CI floor demands zero for the
+  bandit and learned policies) and transient misses.
+- **active fraction** — the paper's objective, averaged over segments.
+
+The ISSUE's acceptance gate compares the contextual bandit against the
+*cold re-solve* path (a :class:`~repro.control.policy.ReplanPolicy`
+given a fresh empty plan cache, so every trip pays a full solve and the
+detector's sustain delay): the bandit's cumulative regret must be
+strictly below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.env import ControlEnvConfig, PipelineControlEnv
+from repro.errors import SpecError
+
+__all__ = ["EpisodeResult", "PolicyComparison", "run_episode", "head_to_head"]
+
+
+@dataclass
+class EpisodeResult:
+    """One policy episode's trace and aggregates."""
+
+    policy: str
+    seed: int
+    rewards: np.ndarray
+    active_fractions: np.ndarray
+    misses: np.ndarray
+    arrivals: np.ndarray
+    regimes: np.ndarray
+    segments: int
+    total_reward: float
+    episode_active_fraction: float
+    total_misses: int
+    total_arrivals: int
+    makespan: float
+    truncated: bool
+
+    def misses_in_regime(self, regime_index: int) -> int:
+        """Deadline misses attributed to segments of one regime."""
+        return int(self.misses[self.regimes == regime_index].sum())
+
+
+def run_episode(
+    env: PipelineControlEnv,
+    policy,
+    *,
+    seed: int = 0,
+    max_segments: int | None = None,
+) -> EpisodeResult:
+    """Run ``policy`` for one full episode on ``env`` (module docstring)."""
+    obs = env.reset(seed)
+    policy.begin_episode(env)
+    rewards: list[float] = []
+    afs: list[float] = []
+    misses: list[int] = []
+    arrivals: list[int] = []
+    regimes: list[int] = []
+    limit = max_segments if max_segments is not None else env.config.max_segments
+    truncated = False
+    done = False
+    while not done and len(rewards) < limit:
+        action = policy.act(obs, env)
+        obs, reward, done, info = env.step(action)
+        policy.observe(reward)
+        rewards.append(reward)
+        afs.append(info["active_fraction"])
+        misses.append(info["misses"])
+        arrivals.append(info["arrivals"])
+        regimes.append(info["regime"])
+        truncated = bool(info.get("truncated", False))
+    return EpisodeResult(
+        policy=getattr(policy, "name", type(policy).__name__),
+        seed=int(seed),
+        rewards=np.asarray(rewards),
+        active_fractions=np.asarray(afs),
+        misses=np.asarray(misses, dtype=np.int64),
+        arrivals=np.asarray(arrivals, dtype=np.int64),
+        regimes=np.asarray(regimes, dtype=np.int64),
+        segments=len(rewards),
+        total_reward=float(np.sum(rewards)) if rewards else 0.0,
+        episode_active_fraction=env.total_active_fraction(),
+        total_misses=int(np.sum(misses)) if misses else 0,
+        total_arrivals=int(np.sum(arrivals)) if arrivals else 0,
+        makespan=env.engine.now,
+        truncated=truncated,
+    )
+
+
+@dataclass
+class PolicyComparison:
+    """One policy's aggregate standing against the oracle."""
+
+    policy: str
+    seeds: tuple[int, ...]
+    cumulative_regret: float
+    mean_active_fraction: float
+    total_misses: int
+    stationary_misses: int
+    transient_misses: int
+    total_arrivals: int
+    mean_reward: float
+    episodes: list[EpisodeResult] = field(default_factory=list)
+
+    @property
+    def miss_rate(self) -> float:
+        if self.total_arrivals == 0:
+            return float("nan")
+        return self.total_misses / self.total_arrivals
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "seeds": list(self.seeds),
+            "cumulative_regret": self.cumulative_regret,
+            "mean_active_fraction": self.mean_active_fraction,
+            "total_misses": self.total_misses,
+            "stationary_misses": self.stationary_misses,
+            "transient_misses": self.transient_misses,
+            "total_arrivals": self.total_arrivals,
+            "miss_rate": self.miss_rate,
+            "mean_reward": self.mean_reward,
+        }
+
+
+def _paired_regret(
+    oracle: EpisodeResult, other: EpisodeResult
+) -> float:
+    """Segment-aligned cumulative regret against the oracle run."""
+    k = min(oracle.segments, other.segments)
+    regret = float(np.sum(oracle.rewards[:k] - other.rewards[:k]))
+    # A policy that ends late (extra segments flushing queues the oracle
+    # had already drained) pays each extra segment's full shortfall.
+    if other.segments > k:
+        regret += float(np.sum(-other.rewards[k:]))
+    return regret
+
+
+def head_to_head(
+    config: ControlEnvConfig,
+    policies: dict[str, object],
+    *,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    stationary_regime: int = 0,
+    oracle=None,
+) -> dict[str, PolicyComparison]:
+    """Run every policy on every seed; score against the oracle.
+
+    ``policies`` maps display names to policy objects; ``oracle`` is
+    constructed from the config when not supplied.  Stateful policies
+    (the bandit) keep their statistics across seeds — episodes are
+    ordered by seed, so later seeds benefit from earlier learning, which
+    is the intended online-learning evaluation.
+    """
+    from repro.control.policy import OraclePolicy
+
+    if not seeds:
+        raise SpecError("head_to_head needs at least one seed")
+    env = PipelineControlEnv(config)
+    if oracle is None:
+        oracle = OraclePolicy(config)
+    oracle_runs = {s: run_episode(env, oracle, seed=s) for s in seeds}
+    out: dict[str, PolicyComparison] = {}
+    oracle_cmp = _summarize(
+        "oracle", list(oracle_runs.values()), seeds, stationary_regime, 0.0
+    )
+    out["oracle"] = oracle_cmp
+    for name, policy in policies.items():
+        runs = [run_episode(env, policy, seed=s) for s in seeds]
+        regret = sum(
+            _paired_regret(oracle_runs[s], r) for s, r in zip(seeds, runs)
+        )
+        out[name] = _summarize(name, runs, seeds, stationary_regime, regret)
+    return out
+
+
+def _summarize(
+    name: str,
+    runs: list[EpisodeResult],
+    seeds: tuple[int, ...],
+    stationary_regime: int,
+    regret: float,
+) -> PolicyComparison:
+    stationary = sum(r.misses_in_regime(stationary_regime) for r in runs)
+    total = sum(r.total_misses for r in runs)
+    return PolicyComparison(
+        policy=name,
+        seeds=tuple(seeds),
+        cumulative_regret=float(regret),
+        mean_active_fraction=float(
+            np.mean([r.episode_active_fraction for r in runs])
+        ),
+        total_misses=total,
+        stationary_misses=stationary,
+        transient_misses=total - stationary,
+        total_arrivals=sum(r.total_arrivals for r in runs),
+        mean_reward=float(np.mean([r.total_reward for r in runs])),
+        episodes=runs,
+    )

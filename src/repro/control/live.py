@@ -1,0 +1,183 @@
+"""Build control policies for the live executor from a solved plan.
+
+The environment-trained policies in this package are parameterized by a
+:class:`~repro.control.env.ControlEnvConfig`; the live CLI has a
+:class:`~repro.runtime.kernels.RuntimePlan`.  This module bridges them:
+
+- :func:`control_config_from_plan` derives a training/arm-solving
+  configuration from the plan (calibrated nominal services, planned
+  gains, the plan's ``tau0``/deadline/vector width) plus a candidate
+  regime set — by default the nominal point and one per-node service
+  slowdown, the same family of drifts ``repro-run run --drift-node``
+  injects.  Candidate regimes whose enforced-waits problem is infeasible
+  are dropped (an arm the bandit could pull must be adoptable).
+- :func:`make_live_policy` maps a ``--policy`` name to an object with
+  ``propose_live(snapshot, now)`` for
+  :class:`~repro.runtime.executor.PipelineExecutor`'s ``policy=`` hook:
+  ``oracle`` keeps the planned waits (the plan *is* the oracle for the
+  planned operating point), ``bandit`` runs LinUCB over the candidate
+  plan library, ``learned`` trains a small cross-entropy policy in
+  simulated time before the run starts (a few seconds of solver +
+  DES work, all deterministic).  ``replan`` returns None — the
+  executor's built-in detector/re-planner path is that policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.bandit import BanditPolicy, PlanLibrary
+from repro.control.env import ControlEnvConfig, DriftSchedule, Regime
+from repro.errors import SpecError
+from repro.planning.warmstart import solve_plan
+
+__all__ = [
+    "StaticPolicy",
+    "control_config_from_plan",
+    "make_live_policy",
+    "LIVE_POLICIES",
+]
+
+#: ``--policy`` choices; ``replan`` maps to the executor's built-in path.
+LIVE_POLICIES = ("oracle", "replan", "bandit", "learned")
+
+
+class StaticPolicy:
+    """Keep the planned waits: propose nothing, ever.
+
+    The ``--policy oracle`` behavior for a live run: with no drift
+    schedule to read, the hindsight-optimal policy for the *planned*
+    operating point is the plan itself.
+    """
+
+    name = "oracle"
+
+    def propose_live(self, snapshot, now: float) -> None:
+        return None
+
+
+def candidate_regimes(
+    n_nodes: int, *, slow_factor: float = 1.3
+) -> tuple[Regime, ...]:
+    """Nominal plus one per-node service slowdown of ``slow_factor``."""
+    if slow_factor <= 1.0:
+        raise SpecError(f"slow_factor must be > 1, got {slow_factor}")
+    regimes = [Regime.nominal(n_nodes)]
+    for i in range(n_nodes):
+        scale = np.ones(n_nodes)
+        scale[i] = slow_factor
+        regimes.append(Regime(f"slow-{i}", scale, np.ones(n_nodes)))
+    return tuple(regimes)
+
+
+def control_config_from_plan(
+    plan,
+    *,
+    seed: int = 0,
+    slow_factor: float = 1.3,
+    n_items: int = 2000,
+    cache=None,
+) -> ControlEnvConfig:
+    """Derive a :class:`ControlEnvConfig` from a solved runtime plan.
+
+    Candidate regimes that make the enforced-waits problem infeasible at
+    the plan's ``tau0``/deadline are silently dropped (the nominal
+    regime is always kept — the plan itself proves it feasible).
+    """
+    services = tuple(
+        float(k.nominal_service) for k in plan.workload.kernels
+    )
+    gains = tuple(float(g) for g in plan.pipeline.mean_gains)
+    tau0 = float(plan.problem.tau0)
+    deadline = float(plan.problem.deadline)
+    v = int(plan.pipeline.vector_width)
+    horizon = n_items * tau0 * 1.1
+    schedule_regimes = []
+    for regime in candidate_regimes(len(services), slow_factor=slow_factor):
+        probe = ControlEnvConfig(
+            service_times=services,
+            mean_gains=gains,
+            vector_width=v,
+            tau0=tau0,
+            deadline=deadline,
+            n_items=n_items,
+            segment_time=horizon / 40.0,
+            schedule=DriftSchedule.stationary(len(services)),
+        )
+        outcome = solve_plan(probe.problem_for_regime(regime), cache=cache)
+        if outcome.solution.feasible:
+            schedule_regimes.append(regime)
+    schedule = DriftSchedule.seeded(
+        seed,
+        tuple(schedule_regimes),
+        horizon=horizon,
+        mean_dwell=horizon / 4.0,
+    )
+    return ControlEnvConfig(
+        service_times=services,
+        mean_gains=gains,
+        vector_width=v,
+        tau0=tau0,
+        deadline=deadline,
+        n_items=n_items,
+        segment_time=horizon / 40.0,
+        schedule=schedule,
+        arrival="fixed",
+        rate_scale=1.0,
+    )
+
+
+def make_live_policy(
+    kind: str,
+    plan,
+    *,
+    cache=None,
+    seed: int = 0,
+    slow_factor: float = 1.3,
+    pretrain_episodes: int = 4,
+    train_iterations: int = 3,
+    train_population: int = 8,
+):
+    """Build the ``--policy`` object for a live run, or None for ``replan``.
+
+    ``bandit`` is pretrained with ``pretrain_episodes`` wide-exploration
+    episodes in simulated time (then scored nearly greedy); ``learned``
+    runs a short cross-entropy search.  Both take seconds of virtual
+    time, are deterministic given ``seed``, and share ``cache`` with the
+    executor's plan cache so arm selection is a cache hit at runtime.
+    """
+    if kind not in LIVE_POLICIES:
+        raise SpecError(
+            f"unknown policy {kind!r}; choose from {LIVE_POLICIES}"
+        )
+    if kind == "replan":
+        return None
+    if kind == "oracle":
+        return StaticPolicy()
+    config = control_config_from_plan(
+        plan, seed=seed, slow_factor=slow_factor, cache=cache
+    )
+    if kind == "bandit":
+        from repro.control.evaluate import run_episode
+        from repro.control.env import PipelineControlEnv
+
+        library = PlanLibrary(config, cache=cache)
+        policy = BanditPolicy(library, alpha=0.4)
+        env = PipelineControlEnv(config)
+        for k in range(pretrain_episodes):
+            run_episode(env, policy, seed=100 + k)
+        policy.linucb.alpha = 0.05
+        return policy
+    # kind == "learned"
+    from repro.control.policy import train_cross_entropy
+
+    policy, _ = train_cross_entropy(
+        config,
+        seed=seed,
+        iterations=train_iterations,
+        population=train_population,
+        elite_frac=0.3,
+        episode_seeds=(100,),
+        cache=cache,
+    )
+    return policy

@@ -1,0 +1,381 @@
+"""Control policies: learned wait/batch control plus frozen baselines.
+
+Every policy speaks the same protocol the evaluator and the live
+executor understand:
+
+- ``begin_episode(env)`` — reset per-episode state (learned parameters
+  persist; that is the learning);
+- ``act(obs, env) -> waits | ControlAction | None`` — decision for the
+  next segment (None keeps the current waits);
+- ``observe(reward)`` — credit assignment for the previous decision.
+
+Baselines
+---------
+:class:`OraclePolicy` reads the :class:`~repro.control.env.DriftSchedule`
+directly and applies each regime's enforced-waits optimum — the
+hindsight-optimal piecewise plan the paper's solver would pick with a
+perfect, instant drift oracle.  Regret in :mod:`repro.control.evaluate`
+is measured against it.
+
+:class:`ReplanPolicy` is the runtime's existing model-based loop run
+inside the environment: a :class:`~repro.runtime.drift.DriftDetector`
+watches the EWMA estimates, and on a sustained trip the policy re-solves
+through :func:`~repro.planning.warmstart.solve_plan` with the detector's
+per-dimension suspect masks applied as a minimal update (estimates
+quantized onto the re-plan grid where drifted, planned values
+elsewhere — exactly :class:`repro.runtime.replan.Replanner`'s rule).
+Its handicap is structural, not simulated: the detector needs
+``sustain_checks`` consecutive drifted segments before it may react, and
+the fresh solve lands one segment later — while the bandit can switch
+arms every segment.
+
+Learned policy
+--------------
+:class:`LearnedPolicy` maps the observation through a linear head to
+per-node wait multipliers ``m = sigmoid(W f + bias_shift)`` and proposes
+``waits = m * w*`` off the nominal-optimal waits ``w*``.  The proposal
+is then **feasibility-projected**: the enforced-waits constraint system
+``A x <= c`` is linear, so its feasible set is convex, and blending the
+proposal toward the known-feasible nominal periods ``x* = t + w*``
+always restores feasibility.  The projection is what makes the CI gate
+"zero deadline misses at the stationary operating point" a property
+rather than a hope: whatever the parameters, the adopted operating
+point satisfies the same chain-stability/head-cap/deadline system the
+solver's optimum does.  Training is cross-entropy search
+(:func:`train_cross_entropy`) on episode returns — pure numpy, seeded,
+deterministic, no gradients required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.env import ControlEnvConfig, PipelineControlEnv
+from repro.core.enforced_waits import EnforcedWaitsProblem
+from repro.core.model import RealTimeProblem
+from repro.dataflow.spec import PipelineSpec
+from repro.errors import SpecError
+from repro.planning.cache import PlanCache
+from repro.planning.warmstart import solve_plan
+from repro.runtime.calibration import CalibrationSnapshot, quantize_relative
+from repro.runtime.drift import DriftConfig, DriftDetector
+
+__all__ = [
+    "OraclePolicy",
+    "ReplanPolicy",
+    "LearnedPolicy",
+    "TrainingLog",
+    "train_cross_entropy",
+]
+
+_FEAS_TOL = 1e-9
+#: Blend ladder for the feasibility projection (largest kept proposal
+#: fraction first); mirrors the warm-start seeding ladder.
+_PROJECT_ALPHAS = (1.0, 0.9, 0.7, 0.4, 0.2, 0.0)
+#: Bias added inside the sigmoid so zero parameters start at ~0.95 of
+#: the nominal-optimal waits (near the oracle point, not at half-waits).
+_SIGMOID_SHIFT = 3.0
+
+
+def _nominal_solution(config: ControlEnvConfig, cache: PlanCache | None):
+    outcome = solve_plan(config.problem(), cache=cache)
+    if not outcome.solution.feasible:
+        raise SpecError(
+            "nominal operating point is infeasible; no control policy can "
+            f"run it (diagnosis: {getattr(outcome.solution, 'diagnosis', None)})"
+        )
+    return outcome
+
+
+class OraclePolicy:
+    """Per-regime enforced-waits optimum with a perfect drift oracle."""
+
+    name = "oracle"
+
+    def __init__(
+        self, config: ControlEnvConfig, *, cache: PlanCache | None = None
+    ) -> None:
+        self.config = config
+        self._waits = []
+        for regime in config.schedule.regimes:
+            outcome = solve_plan(config.problem_for_regime(regime), cache=cache)
+            if not outcome.solution.feasible:
+                raise SpecError(
+                    f"regime {regime.name!r} is infeasible; the oracle "
+                    "baseline is undefined for this schedule"
+                )
+            self._waits.append(np.asarray(outcome.solution.waits, dtype=float))
+
+    def begin_episode(self, env: PipelineControlEnv) -> None:
+        pass
+
+    def act(self, obs: np.ndarray, env: PipelineControlEnv) -> np.ndarray:
+        return self._waits[self.config.schedule.regime_index_at(env.now)]
+
+    def observe(self, reward: float) -> None:
+        pass
+
+
+class ReplanPolicy:
+    """The runtime's detector -> minimal-update re-solve loop, in-env.
+
+    ``cache`` controls the experimental condition: a fresh empty
+    :class:`PlanCache` per episode is the *cold re-solve* baseline; a
+    cache pre-warmed with the regime plans measures the cache-warm
+    variant.  Solve provenance is tallied in :attr:`solve_sources`.
+    """
+
+    name = "replan"
+
+    def __init__(
+        self,
+        config: ControlEnvConfig,
+        *,
+        cache: PlanCache | None = None,
+        drift: DriftConfig | None = None,
+        quantize_step: float = 0.05,
+        pessimism: float = 1.05,
+    ) -> None:
+        self.config = config
+        self.cache = cache if cache is not None else PlanCache(capacity=128)
+        self.drift = drift if drift is not None else DriftConfig()
+        self.quantize_step = float(quantize_step)
+        if pessimism < 1.0:
+            raise SpecError(f"pessimism must be >= 1, got {pessimism}")
+        # Drifted estimates are inflated by this factor before the
+        # re-solve: an EWMA underestimate of a service time or gain
+        # yields a plan that is marginally infeasible at the *true*
+        # point, and at tight utilization the backlog then grows without
+        # ever re-tripping the detector (which measures deviation from
+        # the adopted estimate, not the truth).  Rounding pessimistically
+        # trades a little active fraction for stability.
+        self.pessimism = float(pessimism)
+        nominal = _nominal_solution(config, self.cache)
+        self._nominal_waits = np.asarray(nominal.solution.waits, dtype=float)
+        self.solve_sources: dict[str, int] = {"hit": 0, "warm": 0, "cold": 0}
+        self.solve_seconds = 0.0
+        self.replans = 0
+
+    def begin_episode(self, env: PipelineControlEnv) -> None:
+        self.detector = DriftDetector(self.drift)
+        self._waits = self._nominal_waits.copy()
+
+    def _snapshot(self, env: PipelineControlEnv) -> CalibrationSnapshot:
+        ests = env.estimators
+        return CalibrationSnapshot(
+            services=np.asarray([e.service for e in ests]),
+            gains=np.asarray([e.gain for e in ests]),
+            planned_services=np.asarray([e.planned_service for e in ests]),
+            planned_gains=np.asarray([e.planned_gain for e in ests]),
+            observations=np.asarray([e.observations for e in ests]),
+            warmed=all(e.warmed for e in ests),
+        )
+
+    def act(self, obs: np.ndarray, env: PipelineControlEnv) -> np.ndarray:
+        snapshot = self._snapshot(env)
+        state = self.detector.update(snapshot)
+        if state.drifted:
+            # Minimal update on the re-plan grid (the Replanner's rule).
+            services = np.where(
+                state.service_suspect,
+                quantize_relative(
+                    snapshot.services * self.pessimism, step=self.quantize_step
+                ),
+                snapshot.planned_services,
+            )
+            gains = np.where(
+                state.gain_suspect,
+                quantize_relative(
+                    snapshot.gains * self.pessimism, step=self.quantize_step
+                ),
+                snapshot.planned_gains,
+            )
+            cfg = self.config
+            spec = PipelineSpec.from_arrays(
+                services, gains, cfg.vector_width,
+                expander_limit=cfg.expander_limit,
+            )
+            problem = RealTimeProblem(spec, cfg.tau0, cfg.deadline)
+            outcome = solve_plan(problem, cache=self.cache)
+            self.solve_sources[outcome.source] = (
+                self.solve_sources.get(outcome.source, 0) + 1
+            )
+            self.solve_seconds += outcome.seconds
+            if outcome.solution.feasible:
+                self.replans += 1
+                self._waits = np.asarray(outcome.solution.waits, dtype=float)
+                # Adopt: the estimators now measure deviation from the
+                # new operating point (the executor's rebase step).
+                for est, t, g in zip(env.estimators, services, gains):
+                    est.rebase(float(t), float(g))
+                self.detector.rebase()
+        return self._waits
+
+    def observe(self, reward: float) -> None:
+        pass
+
+
+class LearnedPolicy:
+    """Linear wait-multiplier policy with feasibility projection."""
+
+    name = "learned"
+
+    def __init__(
+        self,
+        config: ControlEnvConfig,
+        params: np.ndarray | None = None,
+        *,
+        cache: PlanCache | None = None,
+    ) -> None:
+        self.config = config
+        nominal = _nominal_solution(config, cache)
+        self._base_waits = np.asarray(nominal.solution.waits, dtype=float)
+        ewp = EnforcedWaitsProblem(config.problem())
+        self._A, self._c, _ = ewp.constraint_system()
+        self._t = ewp.t
+        self._x_star = self._t + self._base_waits
+        n = config.n_nodes
+        self.n_features = 3 * n + 3
+        self.n_params = self.n_features * n
+        if params is None:
+            params = np.zeros(self.n_params)
+        self.set_params(params)
+        self.projections = 0
+
+    def set_params(self, params: np.ndarray) -> None:
+        params = np.asarray(params, dtype=float)
+        if params.shape != (self.n_params,):
+            raise SpecError(
+                f"params must have shape ({self.n_params},), got {params.shape}"
+            )
+        self._W = params.reshape(self.config.n_nodes, self.n_features)
+
+    @property
+    def params(self) -> np.ndarray:
+        return self._W.reshape(-1).copy()
+
+    def _feasible(self, x: np.ndarray) -> bool:
+        return bool((self._A @ x <= self._c + _FEAS_TOL).all())
+
+    def propose(self, obs: np.ndarray) -> np.ndarray:
+        """Feasibility-projected wait vector for an observation."""
+        logits = self._W @ obs + _SIGMOID_SHIFT
+        m = 1.0 / (1.0 + np.exp(-np.clip(logits, -40.0, 40.0)))
+        x = self._t + m * self._base_waits
+        if not self._feasible(x):
+            # Convex region: blending toward the feasible optimum x*
+            # restores feasibility; keep as much of the proposal as the
+            # ladder allows (alpha = 0 is x* itself, always feasible).
+            for alpha in _PROJECT_ALPHAS[1:]:
+                blend = alpha * x + (1.0 - alpha) * self._x_star
+                if self._feasible(blend):
+                    x = blend
+                    break
+            else:
+                x = self._x_star
+            self.projections += 1
+        return np.maximum(x - self._t, 0.0)
+
+    def begin_episode(self, env: PipelineControlEnv) -> None:
+        pass
+
+    def act(self, obs: np.ndarray, env: PipelineControlEnv) -> np.ndarray:
+        return self.propose(obs)
+
+    def observe(self, reward: float) -> None:
+        pass
+
+    # -- live executor protocol ----------------------------------------------
+
+    def propose_live(self, snapshot: CalibrationSnapshot, now: float):
+        """Map a live calibration snapshot to a wait vector.
+
+        The live control loop has no queue-depth observation, so the
+        queue/slack/miss features are held at their stationary resting
+        values (empty queues, full slack, no misses) and only the
+        drift-ratio features vary.
+        """
+        n = self.config.n_nodes
+        obs = np.zeros(self.n_features)
+        obs[1 : 3 * n : 3] = snapshot.service_ratios
+        obs[2 : 3 * n : 3] = snapshot.gain_ratios
+        obs[3 * n] = 1.0
+        return self.propose(obs)
+
+
+@dataclass
+class TrainingLog:
+    """Cross-entropy search trace (one row per iteration)."""
+
+    mean_return: list[float] = field(default_factory=list)
+    elite_return: list[float] = field(default_factory=list)
+    best_return: float = -np.inf
+    best_params: np.ndarray | None = None
+    iterations: int = 0
+    episodes: int = 0
+
+
+def train_cross_entropy(
+    config: ControlEnvConfig,
+    *,
+    seed: int = 0,
+    iterations: int = 8,
+    population: int = 16,
+    elite_frac: float = 0.25,
+    episode_seeds: tuple[int, ...] = (0, 1),
+    init_sigma: float = 0.5,
+    min_sigma: float = 0.05,
+    cache: PlanCache | None = None,
+) -> tuple[LearnedPolicy, TrainingLog]:
+    """Cross-entropy search over :class:`LearnedPolicy` parameters.
+
+    Samples parameter vectors from a diagonal Gaussian, scores each by
+    the mean episode return over ``episode_seeds``, and refits the
+    Gaussian to the elite fraction.  Deterministic given ``seed`` (one
+    ``default_rng`` drives all sampling; episodes are themselves
+    bit-reproducible).  Returns the policy holding the best parameters
+    seen and the search log.
+    """
+    from repro.control.evaluate import run_episode
+
+    if iterations < 1 or population < 2:
+        raise SpecError(
+            f"need iterations >= 1 and population >= 2, got "
+            f"{iterations}, {population}"
+        )
+    n_elite = max(1, int(round(elite_frac * population)))
+    policy = LearnedPolicy(config, cache=cache)
+    rng = np.random.default_rng(seed)
+    mu = np.zeros(policy.n_params)
+    sigma = np.full(policy.n_params, float(init_sigma))
+    log = TrainingLog()
+    env = PipelineControlEnv(config)
+    for _ in range(iterations):
+        samples = mu + sigma * rng.standard_normal(
+            (population, policy.n_params)
+        )
+        returns = np.empty(population)
+        for k in range(population):
+            policy.set_params(samples[k])
+            total = 0.0
+            for ep_seed in episode_seeds:
+                result = run_episode(env, policy, seed=ep_seed)
+                total += result.total_reward
+                log.episodes += 1
+            returns[k] = total / len(episode_seeds)
+        order = np.argsort(returns)[::-1]
+        elite = samples[order[:n_elite]]
+        mu = elite.mean(axis=0)
+        sigma = np.maximum(elite.std(axis=0), min_sigma)
+        log.mean_return.append(float(returns.mean()))
+        log.elite_return.append(float(returns[order[:n_elite]].mean()))
+        if returns[order[0]] > log.best_return:
+            log.best_return = float(returns[order[0]])
+            log.best_params = samples[order[0]].copy()
+        log.iterations += 1
+    policy.set_params(
+        log.best_params if log.best_params is not None else mu
+    )
+    return policy, log

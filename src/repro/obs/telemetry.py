@@ -286,6 +286,14 @@ class RuntimeTelemetry:
     #: :class:`repro.runtime.executor.NodeFailure`).
     node_failures: int = 0
     node_restarts: int = 0
+    #: Grid-neighbor snap provenance of re-plans (see
+    #: :meth:`repro.runtime.replan.Replanner._snap_to_cached`): how many
+    #: re-plan attempts were snapped to an adjacent cached grid point
+    #: versus solved at the nearest one, and the largest relative
+    #: distance such a snap moved the operating point.
+    replan_snap_hits: int = 0
+    replan_snap_misses: int = 0
+    replan_max_snap_distance: float = 0.0
 
     @property
     def measured_active_fraction(self) -> float:

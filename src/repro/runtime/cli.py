@@ -69,12 +69,20 @@ def run_live(
     min_replan_interval: float = 0.25,
     cache=None,
     timeout: float | None = None,
+    policy: str | None = None,
 ):
     """Plan a workload, run it live on Poisson arrivals, return the report.
 
     This is the programmatic form of ``repro-run run`` — the benchmark,
     the CI smoke test, and the sim-vs-live experiment all call it.
     Returns ``(plan, report)``.
+
+    ``policy`` selects the live control policy (see
+    :mod:`repro.control.live`): ``"replan"``/None keeps the built-in
+    drift-detector + re-planner path; ``"oracle"`` freezes the planned
+    waits; ``"bandit"`` and ``"learned"`` are trained in simulated time
+    before the run starts and then drive live plan selection through
+    the executor's ``policy=`` hook.
 
     ``rate_scale`` multiplies the planned ``tau0`` for the replayed
     arrivals (2.0 = half rate).  The default 1.15 leaves 15% head
@@ -112,7 +120,7 @@ def run_live(
             restore_alpha=0.1,
             restore_time=2 * control_interval,
         )
-    policy = None
+    shed_policy = None
     if shed is not None:
         origins = None  # bound below, after the executor exists
 
@@ -120,17 +128,25 @@ def run_live(
             lookup = origins.lookup(ids)
             return lookup + plan.problem.deadline - now
 
-        policy = make_shed_policy(shed, slack_of=_slack_of)
+        shed_policy = make_shed_policy(shed, slack_of=_slack_of)
+    control_policy = None
+    if policy is not None and policy != "replan":
+        from repro.control.live import make_live_policy
+
+        control_policy = make_live_policy(
+            policy, plan, cache=cache, seed=seed
+        )
     executor = PipelineExecutor.from_plan(
         plan,
         cache=cache,
         enable_replanning=replanning,
         drift=drift_config,
         queue_capacity=queue_capacity,
-        shed_policy=policy,
+        shed_policy=shed_policy,
         watchdog=wd,
         control_interval=control_interval,
         min_replan_interval=min_replan_interval,
+        policy=control_policy,
     )
     if shed is not None:
         origins = executor.origins
@@ -176,6 +192,10 @@ def _report_to_dict(plan, report) -> dict:
         "latency_p99": t.latency_p99,
         "latency_max": t.latency_max,
         "replans": t.replans,
+        "policy_swaps": report.policy_swaps,
+        "replan_snap_hits": t.replan_snap_hits,
+        "replan_snap_misses": t.replan_snap_misses,
+        "replan_max_snap_distance": t.replan_max_snap_distance,
         "degraded_time": t.degraded_time,
         "total_shed": t.total_shed,
         "replan_events": [
@@ -186,6 +206,8 @@ def _report_to_dict(plan, report) -> dict:
                 "feasible": e.feasible,
                 "adopted": e.adopted,
                 "active_fraction": e.active_fraction,
+                "snapped": e.snapped,
+                "snap_distance": e.snap_distance,
             }
             for e in report.replan_events
         ],
@@ -225,6 +247,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         drift_node=args.drift_node,
         drift_factor=args.drift_factor,
         drift_after=args.drift_after,
+        policy=args.policy,
     )
     print(
         f"planned {plan.workload.name}: tau0={plan.problem.tau0 * 1e3:.3g} ms, "
@@ -232,6 +255,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"plan source={plan.outcome.source}"
     )
     print(report.render())
+    if args.policy is not None:
+        print(
+            f"policy {args.policy}: {report.policy_swaps} live wait swaps"
+        )
     for e in report.replan_events:
         verdict = "adopted" if e.adopted else "rejected"
         print(
@@ -513,6 +540,18 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--drift-node", type=int, default=None)
     run_p.add_argument("--drift-factor", type=float, default=1.0)
     run_p.add_argument("--drift-after", type=float, default=0.5)
+    run_p.add_argument(
+        "--policy",
+        default=None,
+        choices=("oracle", "replan", "bandit", "learned"),
+        help=(
+            "live control policy (repro.control): 'replan' is the "
+            "built-in detector + re-planner (the default behavior), "
+            "'oracle' freezes the planned waits, 'bandit'/'learned' are "
+            "trained in simulated time at startup and then drive plan "
+            "selection live"
+        ),
+    )
     run_p.add_argument(
         "--json", metavar="FILE", default=None, help="write the report as JSON"
     )

@@ -121,6 +121,7 @@ class LiveRunReport:
     telemetry: RuntimeTelemetry
     replan_events: tuple[ReplanEvent, ...] = ()
     node_failures: tuple[NodeFailure, ...] = ()
+    policy_swaps: int = 0
 
     @property
     def total_oversleep(self) -> float:
@@ -241,6 +242,14 @@ plan_runtime`).
         it to recompute the admission in-flight budget from the new
         plan's certificate.  Exceptions propagate to the control loop
         and stop the pipeline (they surface in :meth:`join`).
+    policy:
+        Optional learned control policy (see :mod:`repro.control`): any
+        object with ``propose_live(snapshot, now) -> waits | None``.
+        When set, the control loop consults the policy every tick with
+        the calibrator snapshot and adopts any returned wait vector via
+        :meth:`swap_waits`; the drift-detector/re-planner path is *not*
+        consulted (the policy owns plan selection).  Adoptions are
+        counted in :attr:`policy_swaps`.
     """
 
     def __init__(
@@ -269,6 +278,7 @@ plan_runtime`).
         max_node_restarts: int = 3,
         device=None,
         on_replan=None,
+        policy=None,
     ) -> None:
         if not kernels:
             raise SpecError("executor needs at least one kernel")
@@ -387,6 +397,8 @@ plan_runtime`).
         self._supervision_lock = threading.Lock()
         self._device = device
         self._on_replan = on_replan
+        self._policy = policy
+        self._policy_swaps = 0
 
     # -- construction helpers ---------------------------------------------
 
@@ -621,6 +633,11 @@ plan_runtime`).
             return ()
         return tuple(self.replanner.events)
 
+    @property
+    def policy_swaps(self) -> int:
+        """Wait-vector adoptions proposed by the control policy."""
+        return self._policy_swaps
+
     # -- node and controller loops ------------------------------------------
 
     def _route_outputs(
@@ -792,7 +809,7 @@ plan_runtime`).
             self._stop.set()
 
     def _control_loop(self) -> None:
-        if self.drift_detector is None:
+        if self.drift_detector is None and self._policy is None:
             return
         try:
             while not self._stop.is_set():
@@ -800,6 +817,12 @@ plan_runtime`).
                 if self._stop.is_set():
                     return
                 snapshot = self.calibrator.snapshot()
+                if self._policy is not None:
+                    waits = self._policy.propose_live(snapshot, self._now())
+                    if waits is not None:
+                        self.swap_waits(waits)
+                        self._policy_swaps += 1
+                    continue
                 state = self.drift_detector.update(snapshot)
                 if (
                     state.drifted
@@ -853,7 +876,7 @@ plan_runtime`).
             )
             self._threads.append(t)
             t.start()
-        if self.drift_detector is not None:
+        if self.drift_detector is not None or self._policy is not None:
             t = threading.Thread(
                 target=self._control_loop,
                 name="repro-runtime-control",
@@ -952,6 +975,8 @@ plan_runtime`).
         else:
             degraded_time = 0.0
             intervals = ()
+        events = self.replan_events
+        snap_hits = sum(1 for e in events if e.snapped)
         return RuntimeTelemetry(
             strategy="live-enforced",
             nodes=tuple(nodes),
@@ -970,6 +995,11 @@ plan_runtime`).
             degraded_intervals=intervals,
             node_failures=len(self._node_failures),
             node_restarts=self._node_restarts,
+            replan_snap_hits=snap_hits,
+            replan_snap_misses=len(events) - snap_hits,
+            replan_max_snap_distance=max(
+                (e.snap_distance for e in events), default=0.0
+            ),
         )
 
     def report(self) -> LiveRunReport:
@@ -978,4 +1008,5 @@ plan_runtime`).
             telemetry=self.snapshot(),
             replan_events=self.replan_events,
             node_failures=self.node_failures,
+            policy_swaps=self._policy_swaps,
         )

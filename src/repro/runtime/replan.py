@@ -37,7 +37,15 @@ __all__ = ["ReplanEvent", "Replanner"]
 
 @dataclass(frozen=True)
 class ReplanEvent:
-    """One re-planning round-trip (adopted or not)."""
+    """One re-planning round-trip (adopted or not).
+
+    ``snapped`` records grid-neighbor snap provenance: True when the
+    solved operating point is not the nearest grid point to the raw
+    estimates but an adjacent one chosen because its plan was already
+    cached (see :meth:`Replanner._snap_to_cached`), and
+    ``snap_distance`` is the relative distance moved (``|alt/q - 1|``
+    on the snapped dimension, at most one quantization step).
+    """
 
     time: float
     services: np.ndarray
@@ -48,6 +56,8 @@ class ReplanEvent:
     source: str
     solve_seconds: float
     adopted: bool
+    snapped: bool = False
+    snap_distance: float = 0.0
 
 
 class Replanner:
@@ -104,7 +114,7 @@ class Replanner:
         raw_services: np.ndarray,
         service_mask: np.ndarray | None,
         gains: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray, RealTimeProblem]:
+    ) -> tuple[np.ndarray, np.ndarray, RealTimeProblem, bool, float]:
         """Prefer an adjacent grid point whose plan is already cached.
 
         An estimate sitting near a quantization boundary lands on either
@@ -113,18 +123,23 @@ class Replanner:
         drifted service dimension) does, re-planning at the neighbor —
         one step, at most ``quantize_step`` away, inside the estimator's
         own noise — turns a boundary coin-flip into a cache hit.
+
+        Returns ``(services, gains, problem, snapped, snap_distance)``;
+        the last two are the provenance recorded on the
+        :class:`ReplanEvent` (snap distance is the relative move on the
+        snapped dimension, 0.0 when no snap happened).
         """
         from repro.core.enforced_waits import EnforcedWaitsProblem
         from repro.planning.cache import plan_key
 
         problem = self._problem_for(services, gains)
         if self.cache is None:
-            return services, gains, problem
+            return services, gains, problem, False, 0.0
         key = plan_key(
             problem, EnforcedWaitsProblem(problem).b, method=self.method
         )
         if key in self.cache:
-            return services, gains, problem
+            return services, gains, problem, False, 0.0
         dims = (
             np.flatnonzero(service_mask)
             if service_mask is not None
@@ -136,6 +151,11 @@ class Replanner:
             alt[i] *= (1 + self.quantize_step) if toward else 1 / (
                 1 + self.quantize_step
             )
+            # Re-quantize: the multiplicative step lands within one ULP
+            # of the adjacent grid point, not *on* it, and cache keys
+            # hash exact float bits — without this the neighbor key can
+            # never match.
+            alt = quantize_relative(alt, step=self.quantize_step)
             alt_problem = self._problem_for(alt, gains)
             alt_key = plan_key(
                 alt_problem,
@@ -143,8 +163,9 @@ class Replanner:
                 method=self.method,
             )
             if alt_key in self.cache:
-                return alt, gains, alt_problem
-        return services, gains, problem
+                distance = float(abs(alt[i] / services[i] - 1.0))
+                return alt, gains, alt_problem, True, distance
+        return services, gains, problem, False, 0.0
 
     def replan(
         self,
@@ -178,8 +199,8 @@ class Replanner:
             raw_gains = np.where(gain_mask, raw_gains, snapshot.planned_gains)
         services = quantize_relative(raw_services, step=self.quantize_step)
         gains = quantize_relative(raw_gains, step=self.quantize_step)
-        services, gains, problem = self._snap_to_cached(
-            services, raw_services, service_mask, gains
+        services, gains, problem, snapped, snap_distance = (
+            self._snap_to_cached(services, raw_services, service_mask, gains)
         )
         t0 = time.perf_counter()
         outcome = solve_plan(
@@ -197,6 +218,8 @@ class Replanner:
             source=outcome.source,
             solve_seconds=solve_seconds,
             adopted=sol.feasible,
+            snapped=snapped,
+            snap_distance=snap_distance,
         )
         self.events.append(event)
         return event

@@ -226,3 +226,95 @@ def test_property_generators_contract(tau0, n, kind):
     assert times.shape == (n,)
     assert (times >= 0).all()
     assert (np.diff(times) >= 0).all()
+
+
+class TestDiurnal:
+    def test_nondecreasing_across_zero_rate_epochs(self):
+        """Regression: amplitude > 1 clamps the rate to zero around each
+        trough; interpolating the inverse of the (flat) integrated rate
+        there could step backwards by one ULP before the accumulate-clamp
+        was added."""
+        from repro.arrivals import DiurnalArrivals
+
+        proc = DiurnalArrivals(0.05, period=10.0, amplitude=1.6)
+        for seed in range(5):
+            times = proc.generate(500, np.random.default_rng(seed))
+            assert times.shape == (500,)
+            assert (np.diff(times) >= 0).all()
+            # The trace must span several periods so it actually crosses
+            # empty epochs.
+            assert times[-1] > 2 * proc.period
+
+    def test_generated_trace_replays(self):
+        """A diurnal trace with empty epochs satisfies the TraceArrivals
+        replay contract (nondecreasing, nonnegative)."""
+        from repro.arrivals import DiurnalArrivals
+
+        proc = DiurnalArrivals(0.05, period=5.0, amplitude=1.4)
+        times = proc.generate(300, np.random.default_rng(3))
+        trace = TraceArrivals(times)
+        replayed = trace.generate(300, np.random.default_rng(0))
+        assert np.array_equal(replayed, times)
+
+    def test_rate_clamped_at_zero(self):
+        from repro.arrivals import DiurnalArrivals
+
+        proc = DiurnalArrivals(0.1, period=1.0, amplitude=2.0)
+        t = np.linspace(0.0, 1.0, 101)
+        rates = np.asarray(proc.rate(t))
+        assert (rates >= 0).all()
+        assert (rates == 0).any()
+
+    def test_mean_rate_matches_unclamped_curve(self):
+        from repro.arrivals import DiurnalArrivals
+
+        proc = DiurnalArrivals(0.1, period=1.0, amplitude=0.8)
+        assert proc.mean_rate == pytest.approx(10.0, rel=1e-3)
+        clamped = DiurnalArrivals(0.1, period=1.0, amplitude=1.5)
+        assert clamped.mean_rate > 10.0
+
+    def test_deterministic_given_rng(self):
+        from repro.arrivals import DiurnalArrivals
+
+        proc = DiurnalArrivals(0.05, period=4.0, amplitude=1.2)
+        a = proc.generate(200, np.random.default_rng(11))
+        b = proc.generate(200, np.random.default_rng(11))
+        assert np.array_equal(a, b)
+
+    def test_rejects_negative_amplitude(self):
+        from repro.arrivals import DiurnalArrivals
+
+        with pytest.raises(SpecError, match="amplitude"):
+            DiurnalArrivals(0.1, period=1.0, amplitude=-0.5)
+
+
+class TestHeavyTailed:
+    def test_contract_and_burst_spacing(self):
+        from repro.arrivals import HeavyTailedArrivals
+
+        proc = HeavyTailedArrivals(1.0, 0.01, exponent=1.8, max_burst=64)
+        times = proc.generate(400, np.random.default_rng(2))
+        assert times.shape == (400,)
+        assert (np.diff(times) >= 0).all()
+        gaps = np.diff(times)
+        # Within-burst gaps are exactly tau_burst; some must occur.
+        assert (np.isclose(gaps, 0.01)).any()
+
+    def test_mean_rate_consistent_with_samples(self):
+        from repro.arrivals import HeavyTailedArrivals
+
+        proc = HeavyTailedArrivals(0.5, 0.01, exponent=2.0, max_burst=32)
+        n = 5000
+        times = proc.generate(n, np.random.default_rng(0))
+        empirical = n / times[-1]
+        assert empirical == pytest.approx(proc.mean_rate, rel=0.15)
+
+    def test_rejects_bad_params(self):
+        from repro.arrivals import HeavyTailedArrivals
+
+        with pytest.raises(SpecError, match="tau_burst"):
+            HeavyTailedArrivals(0.1, 0.2)
+        with pytest.raises(SpecError, match="exponent"):
+            HeavyTailedArrivals(1.0, 0.01, exponent=1.0)
+        with pytest.raises(SpecError, match="max_burst"):
+            HeavyTailedArrivals(1.0, 0.01, max_burst=0)

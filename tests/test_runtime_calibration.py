@@ -234,6 +234,99 @@ class TestDriftDetector:
         with pytest.raises(SpecError):
             DriftConfig(sustain_checks=0)
 
+    @staticmethod
+    def _mixed_snapshot(service_ratios, gain_ratios, warmed=True):
+        """Snapshot with independent per-node service/gain drift."""
+        from repro.runtime.calibration import CalibrationSnapshot
+
+        planned_t = np.asarray([0.01, 0.02])
+        planned_g = np.asarray([0.5, 2.0])
+        return CalibrationSnapshot(
+            services=planned_t * np.asarray(service_ratios),
+            gains=planned_g * np.asarray(gain_ratios),
+            planned_services=planned_t,
+            planned_gains=planned_g,
+            observations=np.asarray([10, 10]),
+            warmed=warmed,
+        )
+
+    def test_simultaneous_service_and_gain_drift_masks(self):
+        """Service drift on node 0 and gain drift on node 1 at once:
+        each dimension's suspect mask flags only its own node."""
+        det = DriftDetector(
+            DriftConfig(service_rtol=0.25, gain_rtol=0.5, sustain_checks=1)
+        )
+        state = det.update(self._mixed_snapshot([1.5, 1.0], [1.0, 2.0]))
+        assert state.drifted
+        assert state.suspect_nodes == (0, 1)
+        assert state.service_suspect.tolist() == [True, False]
+        assert state.gain_suspect.tolist() == [False, True]
+
+    def test_same_node_drifts_in_both_dimensions(self):
+        det = DriftDetector(
+            DriftConfig(service_rtol=0.25, gain_rtol=0.5, sustain_checks=1)
+        )
+        state = det.update(self._mixed_snapshot([1.5, 1.0], [2.0, 1.0]))
+        assert state.drifted
+        assert state.suspect_nodes == (0,)
+        assert state.service_suspect.tolist() == [True, False]
+        assert state.gain_suspect.tolist() == [True, False]
+
+    def test_subthreshold_dimension_stays_clear(self):
+        """A dimension within tolerance never enters its mask even while
+        the other dimension is tripping the detector."""
+        det = DriftDetector(
+            DriftConfig(service_rtol=0.25, gain_rtol=0.5, sustain_checks=1)
+        )
+        # Gains off by 20% (< 50% rtol) while services drift hard.
+        state = det.update(self._mixed_snapshot([1.6, 1.6], [1.2, 1.2]))
+        assert state.drifted
+        assert state.service_suspect.tolist() == [True, True]
+        assert state.gain_suspect.tolist() == [False, False]
+
+    def test_masks_drive_minimal_replan_update(self):
+        """End-to-end with the re-planner: under simultaneous drift, only
+        the suspect dimensions take live estimates; clear dimensions keep
+        their planned values (deterministic cache keys)."""
+        det = DriftDetector(
+            DriftConfig(service_rtol=0.25, gain_rtol=0.5, sustain_checks=1)
+        )
+        # Service drift on node 0, gain drift on node 1, plus 5% noise on
+        # the non-drifted gain dimension of node 0.
+        snap = self._mixed_snapshot([1.5, 1.0], [1.05, 2.0])
+        state = det.update(snap)
+        assert state.drifted
+        rp = Replanner(
+            tau0=0.002, deadline=0.5, vector_width=8, min_interval=0.0
+        )
+        event = rp.replan(
+            snap,
+            now=1.0,
+            service_mask=state.service_suspect,
+            gain_mask=state.gain_suspect,
+        )
+        # Node 1 service and node 0 gain were within tolerance: the
+        # re-plan keeps their planned values exactly (quantized), so the
+        # 5% noise on node 0's gain never enters the operating point.
+        q = quantize_relative(np.asarray([0.015, 0.02, 0.5, 4.0]), step=0.05)
+        assert event.services[0] == pytest.approx(q[0])
+        assert event.services[1] == pytest.approx(q[1])
+        assert event.gains[0] == pytest.approx(q[2])
+        assert event.gains[1] == pytest.approx(q[3])
+
+    def test_streak_shared_across_dimensions(self):
+        """Alternating service-only and gain-only drift sustains one
+        streak: the detector trips on 'any suspect', not per-dimension."""
+        det = DriftDetector(
+            DriftConfig(service_rtol=0.25, gain_rtol=0.5, sustain_checks=3)
+        )
+        states = [
+            det.update(self._mixed_snapshot([1.5, 1.0], [1.0, 1.0])),
+            det.update(self._mixed_snapshot([1.0, 1.0], [1.0, 2.0])),
+            det.update(self._mixed_snapshot([1.5, 1.0], [1.0, 2.0])),
+        ]
+        assert [s.drifted for s in states] == [False, False, True]
+
 
 class TestReplanner:
     def _replanner(self, cache=None, **kwargs):
@@ -279,3 +372,78 @@ class TestReplanner:
         event = rp.replan(_snapshot(), now=1.0)
         assert not event.feasible
         assert not event.adopted
+
+    @staticmethod
+    def _dim0_snapshot(ratio):
+        """Snapshot where only service dimension 0 drifted."""
+        from repro.runtime.calibration import CalibrationSnapshot
+
+        planned_t = np.asarray([0.01, 0.02])
+        planned_g = np.asarray([0.5, 2.0])
+        services = planned_t.copy()
+        services[0] *= ratio
+        return CalibrationSnapshot(
+            services=services,
+            gains=planned_g.copy(),
+            planned_services=planned_t,
+            planned_gains=planned_g,
+            observations=np.asarray([10, 10]),
+            warmed=True,
+        )
+
+    def test_grid_neighbor_snap_provenance(self):
+        # 1.5x on dim 0 quantizes to grid index k; 1.55x to k+1.  The
+        # second estimate's nearest point has no cached plan, but its
+        # neighbor (the first re-plan's point) does — the snap turns the
+        # boundary coin-flip into a cache hit and records provenance.
+        cache = PlanCache()
+        rp = self._replanner(cache=cache)
+        first = rp.replan(
+            self._dim0_snapshot(1.5),
+            now=1.0,
+            service_mask=np.array([True, False]),
+        )
+        assert first.source == "cold"
+        assert not first.snapped
+        assert first.snap_distance == 0.0
+        second = rp.replan(
+            self._dim0_snapshot(1.55),
+            now=2.0,
+            service_mask=np.array([True, False]),
+        )
+        assert second.source == "hit"
+        assert second.snapped
+        assert second.snap_distance == pytest.approx(1 - 1 / 1.05)
+        assert np.allclose(second.services, first.services)
+
+    def test_no_cache_never_snaps(self):
+        rp = self._replanner(cache=None)
+        event = rp.replan(self._dim0_snapshot(1.55), now=1.0)
+        assert not event.snapped
+        assert event.snap_distance == 0.0
+
+    def test_snap_counters_surface_in_telemetry(self):
+        from repro.obs.telemetry import RuntimeTelemetry
+
+        t = RuntimeTelemetry(
+            strategy="live-enforced",
+            nodes=(),
+            elapsed=1.0,
+            items_ingested=0,
+            outputs=0,
+            in_flight=0,
+            missed_items=0,
+            deadline=0.5,
+            latency_mean=0.0,
+            latency_p99=0.0,
+            latency_max=0.0,
+            planned_active_fraction=0.5,
+            replans=2,
+            degraded_time=0.0,
+            replan_snap_hits=1,
+            replan_snap_misses=1,
+            replan_max_snap_distance=0.047,
+        )
+        assert t.replan_snap_hits == 1
+        assert t.replan_snap_misses == 1
+        assert t.replan_max_snap_distance == pytest.approx(0.047)
